@@ -1,0 +1,35 @@
+// Regenerates the paper's Figures 10-11: ROSA search time for the
+// refactored passwd and su.
+//
+// Expected shape versus the paper: slower than the stock programs' searches
+// — the refactoring introduces extra uid/gid values (the `etc` user, the
+// shadow group, the planted target ids), so the wildcard instantiation
+// space is larger; impossible attacks pay the full cost, and with the
+// Table V budget some hit the resource limit ([T], the paper's timeout).
+#include "bench_util.h"
+
+using namespace pa;
+
+int main() {
+  privanalyzer::PipelineOptions opts;
+  opts.run_rosa = false;
+
+  rosa::SearchLimits limits;
+  limits.max_states = 1'000'000;
+
+  {
+    programs::ProgramSpec spec = programs::make_passwd_refactored();
+    privanalyzer::ProgramAnalysis a =
+        privanalyzer::analyze_program(spec, opts);
+    bench::print_search_time_figure(
+        "Figure 10: search time for refactored passwd", a, spec, limits);
+  }
+  {
+    programs::ProgramSpec spec = programs::make_su_refactored();
+    privanalyzer::ProgramAnalysis a =
+        privanalyzer::analyze_program(spec, opts);
+    bench::print_search_time_figure(
+        "Figure 11: search time for refactored su", a, spec, limits);
+  }
+  return 0;
+}

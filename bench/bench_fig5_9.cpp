@@ -1,0 +1,37 @@
+// Regenerates the paper's Figures 5-9: ROSA search time for every
+// (privilege set x attack) combination of the five baseline programs,
+// mean +- stdev over 10 runs.
+//
+// Expected shape versus the paper: attacks that succeed verify quickly
+// (ROSA stops at the first witness); impossible attacks must exhaust the
+// reachable space and take longer — most visibly for the file attacks,
+// whose message sets are the largest (the paper's su empty-set case).
+#include "bench_util.h"
+
+using namespace pa;
+
+int main() {
+  privanalyzer::PipelineOptions opts;
+  opts.run_rosa = false;  // epochs only; timing happens below
+
+  rosa::SearchLimits limits;
+  limits.max_states = 1'000'000;
+
+  const struct {
+    const char* figure;
+    programs::ProgramSpec spec;
+  } figures[] = {
+      {"Figure 5: search time for passwd", programs::make_passwd()},
+      {"Figure 6: search time for ping", programs::make_ping()},
+      {"Figure 7: search time for sshd", programs::make_sshd()},
+      {"Figure 8: search time for su", programs::make_su()},
+      {"Figure 9: search time for thttpd", programs::make_thttpd()},
+  };
+
+  for (const auto& f : figures) {
+    privanalyzer::ProgramAnalysis a =
+        privanalyzer::analyze_program(f.spec, opts);
+    bench::print_search_time_figure(f.figure, a, f.spec, limits);
+  }
+  return 0;
+}

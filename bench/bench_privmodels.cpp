@@ -1,0 +1,95 @@
+// Extension experiment (paper §X, future work): compare the efficacy of
+// privilege models. For each representative Table III epoch, evaluate the
+// four modeled attacks under:
+//   linux-caps          the paper's baseline
+//   solaris-translated  a naive port (same coarse powers, Solaris spelling)
+//   solaris-minimized   the port a careful developer would do, dropping the
+//                       halves of each coarse Linux capability the program
+//                       never needed (possible only because Solaris splits
+//                       FILE_DAC_READ / FILE_DAC_WRITE / FILE_DAC_SEARCH)
+//   capsicum            the program sandboxed in capability mode with a
+//                       typical worker's descriptor rights (CAP_READ+WRITE)
+#include <iostream>
+
+#include "privmodels/compare.h"
+#include "support/str.h"
+
+using namespace pa;
+using caps::Capability;
+
+namespace {
+
+struct EpochCase {
+  const char* name;
+  attacks::ScenarioInput input;
+  privmodels::SolarisNeeds needs;
+};
+
+attacks::ScenarioInput epoch(caps::CapSet permitted,
+                             std::vector<std::string> syscalls) {
+  attacks::ScenarioInput in;
+  in.permitted = permitted;
+  in.creds = caps::Credentials::of_user(1000, 1000);
+  in.syscalls = std::move(syscalls);
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<EpochCase> cases;
+  cases.push_back(
+      {"passwd_priv4 (update db: DacOverride,Chown,Fowner)",
+       epoch({Capability::DacOverride, Capability::Chown, Capability::Fowner},
+             {"open", "chmod", "chown", "unlink", "rename", "kill"}),
+       // passwd's override is write-only: it reads the shadow db via
+       // CAP_DAC_READ_SEARCH (already dropped by this epoch).
+       privmodels::SolarisNeeds{.dac_override_needs_read = false}});
+  cases.push_back(
+      {"hypothetical writer (DacOverride only)",
+       epoch({Capability::DacOverride},
+             {"open", "chmod", "chown", "unlink", "rename"}),
+       privmodels::SolarisNeeds{.dac_override_needs_read = false}});
+  cases.push_back(
+      {"su_priv1 (auth: DacReadSearch,Setgid,Setuid)",
+       epoch({Capability::DacReadSearch, Capability::Setgid,
+              Capability::Setuid},
+             {"open", "setgid", "setuid", "kill"}),
+       privmodels::SolarisNeeds{}});
+  cases.push_back(
+      {"thttpd_priv2 (Setgid,NetBindService,SysChroot)",
+       epoch({Capability::Setgid, Capability::NetBindService,
+              Capability::SysChroot},
+             {"open", "setgid", "socket", "bind", "chroot", "kill"}),
+       privmodels::SolarisNeeds{}});
+
+  std::cout << "Privilege-model efficacy comparison (paper §X)\n"
+               "(V = attack reachable, x = impossible)\n\n";
+  for (const EpochCase& c : cases) {
+    std::cout << c.name << "\n";
+    std::cout << "  " << str::pad_right("model", 22) << " 1 2 3 4   "
+              << "privileges under that model\n";
+    for (const privmodels::ModelRow& row :
+         privmodels::compare_models(c.input, c.needs)) {
+      std::cout << "  "
+                << str::pad_right(std::string(privmodels::model_name(row.model)),
+                                  22)
+                << " ";
+      for (attacks::CellVerdict v : row.verdicts)
+        std::cout << attacks::cell_symbol(v) << ' ';
+      std::cout << "  " << row.privileges << "\n";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout
+      << "Reading: translated Solaris matches Linux verdict-for-verdict (the\n"
+         "coarse powers are the problem, not their spelling). Minimization\n"
+         "shows what finer granularity buys: a write-only DAC override stops\n"
+         "the /dev/mem READ (the DacOverride-only row) — but only if the\n"
+         "program also sheds FILE_CHOWN/FILE_OWNER, since ownership transfer\n"
+         "re-opens the path (the passwd_priv4 row). Capsicum's capability\n"
+         "mode closes every global-namespace attack outright, at the cost of\n"
+         "restructuring the program around descriptor rights.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation benchmarks for ROSA's design choices (§VIII's claim that search
+// time is driven by state-space size), built on google-benchmark.
+//
+// The rich-but-impossible workhorse is WriteDevMem under CAP_SETGID: the
+// attacker can permute gids through every group object (large reachable
+// space) but /dev/mem's group has no write bit, so the goal is unreachable
+// and the search must exhaust everything. The possible counterpart is
+// ReadDevMem under CAP_SETUID, which stops at the first witness.
+#include <benchmark/benchmark.h>
+
+#include "attacks/scenario.h"
+#include "rosa/query.h"
+
+using namespace pa;
+using caps::Capability;
+
+namespace {
+
+rosa::Query make_query(attacks::AttackId attack, caps::CapSet permitted,
+                       int extra_ids, int n_syscalls = 7) {
+  attacks::ScenarioInput in;
+  in.permitted = permitted;
+  in.creds = caps::Credentials::of_user(1000, 1000);
+  std::vector<std::string> all = {"setresgid", "open",   "chmod", "chown",
+                                  "setgid",    "setuid", "unlink"};
+  all.resize(static_cast<std::size_t>(n_syscalls));
+  in.syscalls = all;
+  for (int i = 0; i < extra_ids; ++i) {
+    in.extra_users.push_back(2000 + i);
+    in.extra_groups.push_back(3000 + i);
+  }
+  return attacks::build_attack_query(attack, in);
+}
+
+rosa::Query impossible_query(int extra_ids, int n_syscalls = 7) {
+  return make_query(attacks::AttackId::WriteDevMem,
+                    {Capability::Setgid}, extra_ids, n_syscalls);
+}
+
+void report(benchmark::State& state, const rosa::SearchResult& r) {
+  state.counters["states"] = static_cast<double>(r.states_explored);
+  state.counters["transitions"] = static_cast<double>(r.transitions);
+}
+
+}  // namespace
+
+// Search cost vs. the size of the wildcard id pools — the mechanism that
+// makes the refactored programs' searches slower (Figs. 10-11).
+static void BM_PoolScaling(benchmark::State& state) {
+  rosa::Query q = impossible_query(static_cast<int>(state.range(0)));
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q);
+    benchmark::DoNotOptimize(last.states_explored);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_PoolScaling)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Search cost vs. the number of one-shot messages (bounded-model depth).
+static void BM_MessageCountScaling(benchmark::State& state) {
+  rosa::Query q = impossible_query(2, static_cast<int>(state.range(0)));
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q);
+    benchmark::DoNotOptimize(last.states_explored);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_MessageCountScaling)->Arg(1)->Arg(3)->Arg(5)->Arg(7);
+
+// The paper's §VIII observation: reachable goals verify fast (first-witness
+// exit), impossible ones pay for the whole space.
+static void BM_PossibleAttack(benchmark::State& state) {
+  rosa::Query q = make_query(attacks::AttackId::ReadDevMem,
+                             {Capability::Setuid}, 2);
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q);
+    benchmark::DoNotOptimize(last.verdict);
+  }
+  report(state, last);
+  if (last.verdict != rosa::Verdict::Reachable)
+    state.SkipWithError("expected reachable");
+}
+BENCHMARK(BM_PossibleAttack);
+
+static void BM_ImpossibleAttack(benchmark::State& state) {
+  rosa::Query q = impossible_query(2);
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q);
+    benchmark::DoNotOptimize(last.verdict);
+  }
+  report(state, last);
+  if (last.verdict != rosa::Verdict::Unreachable)
+    state.SkipWithError("expected unreachable");
+}
+BENCHMARK(BM_ImpossibleAttack);
+
+// DESIGN.md decision 2: canonical-state deduplication. Off, commuting
+// message orders multiply instead of collapsing.
+static void BM_DedupOn(benchmark::State& state) {
+  rosa::Query q = impossible_query(1);
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q);
+    benchmark::DoNotOptimize(last.states_explored);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_DedupOn);
+
+static void BM_DedupOff(benchmark::State& state) {
+  rosa::Query q = impossible_query(1);
+  rosa::SearchLimits limits;
+  limits.no_dedup = true;
+  limits.max_states = 5'000'000;  // safety net: the space explodes
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q, limits);
+    benchmark::DoNotOptimize(last.states_explored);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_DedupOff);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Extension experiment: the paper's §VII-C analysis shows sshd retaining 7
+// of its 8 capabilities for its entire run (signal handlers that use
+// privileges + an indirect call AutoPriv must over-approximate). The paper
+// refactors passwd and su but leaves sshd as future work; this bench applies
+// the same §VII-E lessons (change credentials early; privilege-separation-
+// style startup; unprivileged handlers; direct-call dispatch) and measures
+// the improvement with the same pipeline.
+#include <iostream>
+
+#include "privanalyzer/render.h"
+#include "support/str.h"
+
+using namespace pa;
+
+int main() {
+  privanalyzer::PipelineOptions opts;
+  opts.rosa_limits.max_states = 1'000'000;
+
+  std::vector<privanalyzer::ProgramAnalysis> analyses;
+  analyses.push_back(
+      privanalyzer::analyze_program(programs::make_sshd(), opts));
+  analyses.push_back(
+      privanalyzer::analyze_program(programs::make_sshd_refactored(), opts));
+
+  std::cout << privanalyzer::render_efficacy_table(
+      analyses, "sshd before/after §VII-E refactoring (extension)");
+
+  privanalyzer::ExposureSummary before =
+      privanalyzer::exposure_of(analyses[0]);
+  privanalyzer::ExposureSummary after = privanalyzer::exposure_of(analyses[1]);
+  std::cout << "\nExposure to any modeled attack: "
+            << str::percent(before.any_attack) << " -> "
+            << str::percent(after.any_attack) << " of execution\n\n";
+
+  std::cout
+      << "What changed (each fixes one cause the paper identifies in "
+         "§VII-C):\n"
+         "  1. the SIGCHLD handler no longer raises privileges, so no\n"
+         "     capability is pinned live for the program's lifetime;\n"
+         "  2. channel dispatch is a direct call, so AutoPriv's conservative\n"
+         "     indirect-call resolution has nothing to over-approximate;\n"
+         "  3. session credentials are planted once at startup\n"
+         "     (CAP_SETUID/CAP_SETGID for a few instructions), making the\n"
+         "     per-session user switch an unprivileged setresuid/setresgid.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Regenerates the paper's Table III: for each of the five baseline
+// programs, the ChronoPriv privilege epochs (privileges, uids, gids,
+// dynamic instruction counts) and the four ROSA attack verdicts per epoch.
+//
+// Expected shape versus the paper: ping safe everywhere; thttpd safe for
+// ~90%; passwd and su vulnerable to attacks 1/2/4 for most of execution;
+// sshd vulnerable for essentially all of it; attack 3 only where
+// CAP_NET_BIND_SERVICE is still permitted.
+#include <iostream>
+
+#include "privanalyzer/export.h"
+#include "privanalyzer/render.h"
+#include "support/str.h"
+
+using namespace pa;
+
+int main() {
+  std::cout << privanalyzer::render_attack_table() << "\n";
+
+  privanalyzer::PipelineOptions opts;
+  opts.rosa_limits.max_states = 1'000'000;
+
+  std::vector<privanalyzer::ProgramAnalysis> analyses =
+      privanalyzer::analyze_baseline(opts);
+
+  std::cout << privanalyzer::render_efficacy_table(
+      analyses,
+      "Table III: Security Efficacy Results (V vulnerable / x safe / T "
+      "limit)");
+
+  std::cout << "\nHeadline numbers (paper: passwd and su retain the ability "
+               "to read+write /dev/mem\nfor 97% and 88% of execution):\n";
+  for (const privanalyzer::ProgramAnalysis& a : analyses) {
+    privanalyzer::ExposureSummary s = privanalyzer::exposure_of(a);
+    std::cout << "  " << a.program << ": devmem-read "
+              << str::percent(s.devmem_read) << ", devmem-write "
+              << str::percent(s.devmem_write) << ", any-attack "
+              << str::percent(s.any_attack) << "\n";
+  }
+  std::cout << "\nCSV (for plotting):\n"
+            << privanalyzer::efficacy_to_csv(analyses);
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Regenerates the paper's Table IV: how much code the §VII-D security
+// refactoring changed, split into shared library code vs the program
+// drivers. The paper counts source lines; the model-level analogue is
+// added/deleted PrivIR instructions.
+#include <iostream>
+
+#include "privanalyzer/render.h"
+
+using namespace pa;
+
+int main() {
+  std::cout << privanalyzer::render_refactor_diff_table() << "\n";
+  std::cout
+      << "Paper's Table IV for comparison (source lines):\n"
+         "            shadow library  passwd.c  su.c\n"
+         "  Added                  7        23    35\n"
+         "  Deleted               76        13     6\n"
+         "\nThe point preserved: the churn is tiny relative to program size\n"
+         "(~50k SLOC in the paper; hundreds of model instructions here).\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared helpers for the paper-artifact benchmark binaries.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "privanalyzer/render.h"
+#include "support/str.h"
+
+namespace pa::bench {
+
+struct Timing {
+  double mean_ms = 0.0;
+  double stdev_ms = 0.0;
+};
+
+/// Run `fn` `reps` times (the paper uses 10) and report mean +- stdev.
+inline Timing time_reps(const std::function<void()>& fn, int reps = 10) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  Timing t;
+  for (double s : samples) t.mean_ms += s;
+  t.mean_ms /= reps;
+  for (double s : samples)
+    t.stdev_ms += (s - t.mean_ms) * (s - t.mean_ms);
+  t.stdev_ms = std::sqrt(t.stdev_ms / reps);
+  return t;
+}
+
+inline std::string fmt_timing(const Timing& t) {
+  return str::cat(str::fixed(t.mean_ms, 2), " ms +- ",
+                  str::fixed(t.stdev_ms, 2));
+}
+
+/// Search-time figure for one set of analyses (the shape of Figs. 5-11):
+/// per (epoch x attack), mean +- stdev over `reps` ROSA searches.
+inline void print_search_time_figure(
+    const std::string& title,
+    const privanalyzer::ProgramAnalysis& analysis,
+    const programs::ProgramSpec& spec, const rosa::SearchLimits& limits,
+    int reps = 10) {
+  std::cout << title << "\n";
+  std::cout << "  " << str::pad_right("epoch", 20);
+  for (const attacks::AttackInfo& a : attacks::modeled_attacks())
+    std::cout << str::pad_right(a.name, 32);
+  std::cout << "\n";
+
+  const auto syscalls = spec.syscalls_used();
+  for (const chronopriv::EpochRow& row : analysis.chrono.rows) {
+    attacks::ScenarioInput in = attacks::scenario_from_epoch(
+        row, syscalls, spec.scenario_extra_users, spec.scenario_extra_groups);
+    std::cout << "  " << str::pad_right(row.name, 20);
+    for (const attacks::AttackInfo& a : attacks::modeled_attacks()) {
+      rosa::SearchResult last;
+      Timing t = time_reps(
+          [&] {
+            attacks::run_attack(a.id, in, limits, &last);
+          },
+          reps);
+      char verdict =
+          last.verdict == rosa::Verdict::Reachable ? 'V'
+          : last.verdict == rosa::Verdict::Unreachable ? 'x' : 'T';
+      std::cout << str::pad_right(
+          str::cat(fmt_timing(t), " [", std::string(1, verdict), " ",
+                   last.states_explored, "st]"),
+          32);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace pa::bench

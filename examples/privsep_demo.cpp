@@ -1,0 +1,107 @@
+// Privilege separation, run for real: a privileged monitor process and an
+// unprivileged worker process execute side by side on one SimOS kernel
+// (vm::Scheduler interleaves them), and ChronoPriv measures each one.
+//
+// This is the design that fixes the paper's sshd finding structurally: the
+// network-facing code — the part an attacker can reach — simply has no
+// capabilities to steal, no matter how long it runs.
+//
+//   $ ./privsep_demo
+#include <iostream>
+
+#include "chronopriv/epoch.h"
+#include "chronopriv/exposure.h"
+#include "chronopriv/report.h"
+#include "ir/builder.h"
+#include "programs/world.h"
+#include "vm/scheduler.h"
+
+using namespace pa;
+using B = ir::IRBuilder;
+using caps::Capability;
+
+namespace {
+
+ir::Module build_monitor() {
+  ir::Module m("monitor");
+  ir::IRBuilder b(m);
+  b.begin_function("main", 0);
+  // The monitor does everything privileged, once, up front:
+  b.priv_raise({Capability::DacReadSearch});
+  int key = b.syscall("open", {B::s("/etc/ssh/ssh_host_key"), B::i(1)});
+  b.syscall("read", {B::r(key), B::i(64)});
+  b.syscall("close", {B::r(key)});
+  b.priv_lower({Capability::DacReadSearch});
+  int sock = b.syscall("socket", {B::i(0)});
+  b.priv_raise({Capability::NetBindService});
+  b.syscall("bind", {B::r(sock), B::i(22)});
+  b.priv_lower({Capability::NetBindService});
+  b.priv_remove({Capability::DacReadSearch, Capability::NetBindService});
+  // ...then idles, supervising (a real monitor would service requests).
+  b.work(200);
+  b.exit(B::i(0));
+  b.end_function();
+  return m;
+}
+
+ir::Module build_worker() {
+  ir::Module m("worker");
+  ir::IRBuilder b(m);
+  b.begin_function("main", 0);
+  // The attack surface: parses untrusted network input, for a long time,
+  // with NOTHING in its permitted set.
+  int i = b.mov(B::i(0));
+  b.br("loop");
+  b.at("loop");
+  int c = b.cmp_lt(B::r(i), B::i(500));
+  b.condbr(B::r(c), "body", "done");
+  b.at("body");
+  b.work(40);
+  int n = b.add(B::r(i), B::i(1));
+  b.mov_to(i, B::r(n));
+  b.br("loop");
+  b.at("done");
+  b.exit(B::i(0));
+  b.end_function();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  os::Kernel kernel = programs::make_standard_world();
+  os::Pid monitor_pid = kernel.spawn(
+      "monitor", caps::Credentials::of_user(1000, 1000),
+      {Capability::DacReadSearch, Capability::NetBindService});
+  os::Pid worker_pid =
+      kernel.spawn("worker", caps::Credentials::of_user(1000, 1000), {});
+
+  ir::Module monitor = build_monitor();
+  ir::Module worker = build_worker();
+
+  chronopriv::EpochTracker monitor_epochs, worker_epochs;
+  vm::Scheduler sched(kernel);
+  sched.add(monitor, monitor_pid).set_tracer(&monitor_epochs);
+  sched.add(worker, worker_pid).set_tracer(&worker_epochs);
+  std::uint64_t total = sched.run_all(/*quantum=*/32);
+
+  std::cout << "Ran " << total << " instructions across "
+            << sched.process_count() << " interleaved processes.\n";
+  std::cout << "Port 22 bound by pid " << kernel.net().port_owner(22)
+            << " (the monitor, pid " << monitor_pid << ")\n\n";
+
+  chronopriv::ChronoReport mr =
+      chronopriv::make_report("monitor", monitor_epochs);
+  chronopriv::ChronoReport wr =
+      chronopriv::make_report("worker", worker_epochs);
+  std::cout << mr.to_string() << "\n" << chronopriv::render_exposure(mr)
+            << "\n";
+  std::cout << wr.to_string() << "\n" << chronopriv::render_exposure(wr)
+            << "\n";
+
+  std::cout << "The worker — the code an attacker actually reaches — ran "
+            << worker_epochs.total_instructions()
+            << " instructions with an empty permitted set: nothing to "
+               "escalate with.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+; tinyd: the quickstart daemon as a loadable PrivIR file.
+; Run:  tools/privanalyzer examples/programs/tinyd.pir
+;
+; !name: tinyd
+; !description: demo daemon reading a protected config then serving
+; !permitted: CapDacReadSearch,CapNetBindService
+; !uid: 1000
+; !gid: 1000
+; !world: standard
+
+func @read_config(0) {
+entry:
+  priv_raise {CapDacReadSearch}
+  %0 = syscall open("/etc/shadow", 1)
+  %1 = syscall read(%0, 128)
+  %2 = syscall close(%0)
+  priv_lower {CapDacReadSearch}
+  ret 0
+}
+
+func @main(0) {
+entry:
+  %0 = call @read_config()
+  %1 = syscall socket(0)
+  priv_raise {CapNetBindService}
+  %2 = syscall bind(%1, 443)
+  priv_lower {CapNetBindService}
+  %3 = mov 0
+  br loop_head
+loop_head:
+  %4 = cmplt %3, 200
+  condbr %4, loop_body, done
+loop_body:
+  %5 = syscall read(%1, 64)
+  %6 = syscall write(%1, 64)
+  nop
+  nop
+  nop
+  nop
+  %7 = add %3, 1
+  %3 = mov %7
+  br loop_head
+done:
+  %8 = syscall close(%1)
+  exit 0
+}

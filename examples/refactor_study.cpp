@@ -1,0 +1,46 @@
+// The paper's §VII-D case study end to end: analyze stock passwd and su,
+// then their security-refactored variants, and show how the vulnerability
+// window collapses (97%/88% of execution down to a few percent). Also
+// prints the Table IV churn numbers showing how small the refactor is.
+//
+//   $ ./refactor_study
+#include <iostream>
+
+#include "privanalyzer/render.h"
+
+using namespace pa;
+
+int main() {
+  privanalyzer::PipelineOptions opts;
+  opts.rosa_limits.max_states = 500'000;
+
+  std::cout << privanalyzer::render_attack_table() << "\n";
+
+  std::vector<privanalyzer::ProgramAnalysis> before;
+  before.push_back(
+      privanalyzer::analyze_program(programs::make_passwd(), opts));
+  before.push_back(privanalyzer::analyze_program(programs::make_su(), opts));
+  std::cout << privanalyzer::render_efficacy_table(
+                   before, "Stock programs (Table III excerpt)")
+            << "\n";
+
+  std::vector<privanalyzer::ProgramAnalysis> after;
+  after.push_back(privanalyzer::analyze_program(
+      programs::make_passwd_refactored(), opts));
+  after.push_back(
+      privanalyzer::analyze_program(programs::make_su_refactored(), opts));
+  std::cout << privanalyzer::render_efficacy_table(
+                   after, "Refactored programs (Table V)")
+            << "\n";
+
+  std::cout << privanalyzer::render_refactor_diff_table() << "\n";
+
+  std::cout << "Security lessons (paper §VII-E):\n"
+               "  a) Change credentials early: plant two credential sets with\n"
+               "     one early CAP_SETUID/CAP_SETGID use, then drop both and\n"
+               "     switch ids unprivileged via setres[ug]id.\n"
+               "  b) Create special users for special files: an `etc` user\n"
+               "     owning /etc/shadow means a password changer never needs\n"
+               "     CAP_DAC_OVERRIDE / CAP_CHOWN / CAP_FOWNER at all.\n";
+  return 0;
+}

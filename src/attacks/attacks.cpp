@@ -1,0 +1,203 @@
+#include "attacks/attacks.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rosa/query.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::attacks {
+namespace {
+
+using rosa::Message;
+using rosa::Query;
+using rosa::State;
+
+/// Syscalls relevant to each attack (the per-attack input tailoring of
+/// §VII-A): file attacks use the file and credential syscalls, the bind
+/// attack uses the socket syscalls, the kill attack uses kill plus the
+/// credential syscalls (CAP_SETUID lets the attacker become the victim's
+/// uid and pass the kill(2) permission check).
+const std::set<std::string>& relevant_syscalls(AttackId attack) {
+  static const std::set<std::string> file_attack = {
+      "open",   "chmod",  "fchmod",    "chown",  "fchown",    "unlink",
+      "rename", "creat",  "link",      "setuid", "seteuid",   "setresuid",
+      "setgid", "setegid", "setresgid"};
+  static const std::set<std::string> bind_attack = {"socket", "bind",
+                                                    "connect"};
+  static const std::set<std::string> kill_attack = {
+      "kill", "setuid", "seteuid", "setresuid"};
+  switch (attack) {
+    case AttackId::ReadDevMem:
+    case AttackId::WriteDevMem:
+      return file_attack;
+    case AttackId::BindPrivilegedPort:
+      return bind_attack;
+    case AttackId::KillServer:
+      return kill_attack;
+  }
+  PA_UNREACHABLE("attack id");
+}
+
+void add_messages(Query& q, const ScenarioInput& in, AttackId attack) {
+  const std::set<std::string>& relevant = relevant_syscalls(attack);
+  const caps::CapSet privs = in.permitted;
+  for (const std::string& name : in.syscalls) {
+    if (!relevant.contains(name)) continue;
+    auto sys = rosa::parse_sys(name);
+    if (!sys) continue;  // syscall exists but is outside ROSA's model
+    Message m;
+    m.sys = *sys;
+    m.proc = kVictimProc;
+    m.privs = privs;
+    switch (*sys) {
+      case rosa::Sys::Open:
+        m.args = {rosa::kWild,
+                  attack == AttackId::WriteDevMem ? rosa::kAccWrite
+                                                  : rosa::kAccRead};
+        break;
+      case rosa::Sys::Chmod:
+      case rosa::Sys::Fchmod:
+        m.args = {rosa::kWild, 0777};
+        break;
+      case rosa::Sys::Chown:
+      case rosa::Sys::Fchown:
+        m.args = {rosa::kWild, rosa::kWild, rosa::kWild};
+        break;
+      case rosa::Sys::Unlink:
+        m.args = {rosa::kWild};
+        break;
+      case rosa::Sys::Rename:
+        m.args = {rosa::kWild, rosa::kWild};
+        break;
+      case rosa::Sys::Creat:
+        m.args = {rosa::kWild, 0666};
+        break;
+      case rosa::Sys::Link:
+        m.args = {rosa::kWild, rosa::kWild};
+        break;
+      case rosa::Sys::Setuid:
+      case rosa::Sys::Seteuid:
+      case rosa::Sys::Setgid:
+      case rosa::Sys::Setegid:
+        m.args = {rosa::kWild};
+        break;
+      case rosa::Sys::Setresuid:
+      case rosa::Sys::Setresgid:
+        m.args = {rosa::kWild, rosa::kWild, rosa::kWild};
+        break;
+      case rosa::Sys::Kill:
+        m.args = {kServerProc, 9};
+        break;
+      case rosa::Sys::Socket:
+        m.args = {0};
+        break;
+      case rosa::Sys::Bind:
+        m.args = {rosa::kWild, rosa::kWild};
+        break;
+      case rosa::Sys::Connect:
+        m.args = {rosa::kWild, rosa::kWild};
+        break;
+    }
+    q.messages.push_back(std::move(m));
+  }
+}
+
+void add_pools(State& st, const ScenarioInput& in, AttackId attack) {
+  std::set<int> users = {caps::kRootUid, in.creds.uid.real,
+                         in.creds.uid.effective, in.creds.uid.saved};
+  std::set<int> groups = {caps::kRootGid, kKmemGid, in.creds.gid.real,
+                          in.creds.gid.effective, in.creds.gid.saved};
+  if (attack == AttackId::KillServer) users.insert(kServerUid);
+  for (int u : in.extra_users) users.insert(u);
+  for (int g : in.extra_groups) groups.insert(g);
+  st.users.assign(users.begin(), users.end());
+  st.groups.assign(groups.begin(), groups.end());
+}
+
+}  // namespace
+
+const std::vector<AttackInfo>& modeled_attacks() {
+  static const std::vector<AttackInfo> attacks = {
+      {AttackId::ReadDevMem, "read-devmem",
+       "Read from /dev/mem to steal application data"},
+      {AttackId::WriteDevMem, "write-devmem",
+       "Write to /dev/mem to corrupt application data"},
+      {AttackId::BindPrivilegedPort, "bind-privport",
+       "Bind to a privileged port to masquerade as a server"},
+      {AttackId::KillServer, "kill-server",
+       "Send a SIGKILL signal to kill the sshd server"},
+  };
+  return attacks;
+}
+
+rosa::Query build_attack_query(AttackId attack, const ScenarioInput& in) {
+  Query q;
+
+  rosa::ProcObj victim;
+  victim.id = kVictimProc;
+  victim.uid = in.creds.uid;
+  victim.gid = in.creds.gid;
+  victim.supplementary = in.creds.supplementary;
+  q.initial.procs.push_back(std::move(victim));
+
+  switch (attack) {
+    case AttackId::ReadDevMem:
+    case AttackId::WriteDevMem: {
+      // /dev (root:root 0755) containing /dev/mem (root:kmem 0640).
+      q.initial.dirs.push_back(rosa::DirObj{
+          kDevDir, "/dev",
+          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
+          kDevMemFile});
+      q.initial.files.push_back(rosa::FileObj{
+          kDevMemFile, "/dev/mem",
+          os::FileMeta{caps::kRootUid, kKmemGid, os::Mode(0640)}});
+      // The /etc files every evaluated program touches; wildcard file
+      // arguments range over these too, as in the paper's input files.
+      q.initial.files.push_back(rosa::FileObj{
+          kShadowFile, "/etc/shadow",
+          os::FileMeta{caps::kRootUid, 42, os::Mode(0640)}});
+      q.initial.files.push_back(rosa::FileObj{
+          kPasswdFile, "/etc/passwd",
+          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0644)}});
+      q.initial.dirs.push_back(rosa::DirObj{
+          kEtcDir, "/etc",
+          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
+          kShadowFile});
+      q.initial.dirs.push_back(rosa::DirObj{
+          kEtcDir2, "/etc",
+          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
+          kPasswdFile});
+      q.goal = attack == AttackId::ReadDevMem
+                   ? rosa::goal_file_in_rdfset(kVictimProc, kDevMemFile)
+                   : rosa::goal_file_in_wrfset(kVictimProc, kDevMemFile);
+      q.description = attack == AttackId::ReadDevMem
+                          ? "victim opens /dev/mem for reading"
+                          : "victim opens /dev/mem for writing";
+      break;
+    }
+    case AttackId::BindPrivilegedPort:
+      q.goal = rosa::goal_privileged_port_bound(kVictimProc);
+      q.description = "victim binds a socket to a privileged port";
+      break;
+    case AttackId::KillServer: {
+      rosa::ProcObj server;
+      server.id = kServerProc;
+      server.uid = caps::IdTriple{kServerUid, kServerUid, kServerUid};
+      server.gid = caps::IdTriple{kServerUid, kServerUid, kServerUid};
+      q.initial.procs.push_back(std::move(server));
+      q.goal = rosa::goal_proc_terminated(kServerProc);
+      q.description = "critical server terminated by SIGKILL";
+      break;
+    }
+  }
+
+  add_pools(q.initial, in, attack);
+  add_messages(q, in, attack);
+  q.attacker = in.attacker;
+  q.initial.normalize();
+  return q;
+}
+
+}  // namespace pa::attacks

@@ -1,0 +1,63 @@
+#include "attacks/scenario.h"
+
+namespace pa::attacks {
+
+char cell_symbol(CellVerdict v) {
+  switch (v) {
+    case CellVerdict::Vulnerable: return 'V';
+    case CellVerdict::Safe: return 'x';
+    case CellVerdict::Timeout: return 'T';
+  }
+  return '?';
+}
+
+ScenarioInput scenario_from_epoch(const chronopriv::EpochRow& row,
+                                  std::vector<std::string> program_syscalls,
+                                  std::vector<int> extra_users,
+                                  std::vector<int> extra_groups) {
+  ScenarioInput in;
+  in.permitted = row.key.permitted;
+  in.creds = row.key.creds;
+  in.syscalls = std::move(program_syscalls);
+  in.extra_users = std::move(extra_users);
+  in.extra_groups = std::move(extra_groups);
+  return in;
+}
+
+CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
+                       const rosa::SearchLimits& limits,
+                       rosa::SearchResult* result) {
+  rosa::Query q = build_attack_query(attack, input);
+  rosa::SearchResult r = rosa::search(q, limits);
+  CellVerdict verdict;
+  switch (r.verdict) {
+    case rosa::Verdict::Reachable:
+      verdict = CellVerdict::Vulnerable;
+      break;
+    case rosa::Verdict::Unreachable:
+      verdict = CellVerdict::Safe;
+      break;
+    case rosa::Verdict::ResourceLimit:
+      verdict = CellVerdict::Timeout;
+      break;
+    default:
+      verdict = CellVerdict::Timeout;
+      break;
+  }
+  if (result) *result = std::move(r);
+  return verdict;
+}
+
+EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
+                            const ScenarioInput& input,
+                            const rosa::SearchLimits& limits) {
+  EpochVerdicts out;
+  out.epoch_name = row.name;
+  for (std::size_t i = 0; i < modeled_attacks().size(); ++i) {
+    const AttackId id = modeled_attacks()[i].id;
+    out.verdicts[i] = run_attack(id, input, limits, &out.results[i]);
+  }
+  return out;
+}
+
+}  // namespace pa::attacks

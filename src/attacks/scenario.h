@@ -1,0 +1,50 @@
+// Bridges ChronoPriv's dynamic epochs to ROSA attack queries and collects
+// the per-epoch verdict matrix (the Vulnerability columns of Tables III/V).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "attacks/attacks.h"
+#include "chronopriv/report.h"
+#include "rosa/search.h"
+
+namespace pa::attacks {
+
+/// One cell of the vulnerability matrix.
+enum class CellVerdict {
+  Vulnerable,  // paper's check mark: the compromised state is reachable
+  Safe,        // paper's cross: exhaustive search found no path
+  Timeout,     // paper's hourglass: resource limit hit before exhaustion
+};
+
+/// Render as the paper does: "V" / "x" / "T".
+char cell_symbol(CellVerdict v);
+
+struct EpochVerdicts {
+  std::string epoch_name;
+  std::array<CellVerdict, 4> verdicts{};
+  std::array<rosa::SearchResult, 4> results{};
+};
+
+/// Build the scenario input for one epoch. `program_syscalls` is the set of
+/// syscalls the program can execute (the attack model's constraint);
+/// extra uid/gid values widen the wildcard pools (used for the refactored
+/// programs whose special users enlarge the search space).
+ScenarioInput scenario_from_epoch(const chronopriv::EpochRow& row,
+                                  std::vector<std::string> program_syscalls,
+                                  std::vector<int> extra_users = {},
+                                  std::vector<int> extra_groups = {});
+
+/// Run all four attacks against one epoch.
+EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
+                            const ScenarioInput& input,
+                            const rosa::SearchLimits& limits = {});
+
+/// Run one attack; maps the search verdict to a cell verdict.
+CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
+                       const rosa::SearchLimits& limits,
+                       rosa::SearchResult* result = nullptr);
+
+}  // namespace pa::attacks

@@ -1,0 +1,98 @@
+#include "autopriv/priv_liveness.h"
+
+namespace pa::autopriv {
+namespace {
+
+caps::CapSet local_caps_used(const ir::Function& f) {
+  caps::CapSet used;
+  for (const ir::BasicBlock& bb : f.blocks()) {
+    for (const ir::Instruction& inst : bb.instructions) {
+      if (inst.op == ir::Opcode::PrivRaise || inst.op == ir::Opcode::PrivLower)
+        used |= inst.operands[0].caps_value();
+    }
+  }
+  return used;
+}
+
+}  // namespace
+
+PrivLiveness::PrivLiveness(const ir::Module& module, Options options)
+    : module_(&module),
+      options_(options),
+      cg_(ir::CallGraph::build(module, options.indirect_calls)) {
+  // summary(f) = union of local uses over everything reachable from f.
+  std::map<std::string, caps::CapSet> local;
+  for (const ir::Function& f : module.functions())
+    local[f.name()] = local_caps_used(f);
+
+  for (const ir::Function& f : module.functions()) {
+    caps::CapSet sum;
+    for (const std::string& g : cg_.reachable_from(f.name())) {
+      auto it = local.find(g);
+      if (it != local.end()) sum |= it->second;
+    }
+    summaries_[f.name()] = sum;
+  }
+
+  if (options_.handler_roots) {
+    for (const std::string& h : cg_.signal_handlers())
+      handler_caps_ |= summary(h);
+  }
+}
+
+caps::CapSet PrivLiveness::summary(const std::string& fname) const {
+  auto it = summaries_.find(fname);
+  return it == summaries_.end() ? caps::CapSet{} : it->second;
+}
+
+caps::CapSet PrivLiveness::gen(const ir::Instruction& inst) const {
+  switch (inst.op) {
+    case ir::Opcode::PrivRaise:
+    case ir::Opcode::PrivLower:
+      return inst.operands[0].caps_value();
+    case ir::Opcode::Call:
+      return summary(inst.symbol);
+    case ir::Opcode::CallInd: {
+      caps::CapSet sum;
+      if (options_.indirect_calls == ir::IndirectCallPolicy::Conservative)
+        for (const std::string& t : cg_.address_taken()) sum |= summary(t);
+      return sum;
+    }
+    case ir::Opcode::Syscall:
+      if (inst.symbol == "signal" && options_.handler_roots) {
+        caps::CapSet sum;
+        for (const ir::Operand& op : inst.operands)
+          if (op.kind() == ir::Operand::Kind::Func) sum |= summary(op.str_value());
+        return sum;
+      }
+      return {};
+    default:
+      return {};
+  }
+}
+
+dataflow::Facts<caps::CapSet> PrivLiveness::analyze(
+    const std::string& fname, caps::CapSet boundary) const {
+  const ir::Function& f = module_->function(fname);
+  std::function<caps::CapSet(const ir::Instruction&, const caps::CapSet&)>
+      transfer = [this](const ir::Instruction& inst, const caps::CapSet& after) {
+        return after | gen(inst);
+      };
+  std::function<caps::CapSet(const caps::CapSet&, const caps::CapSet&)> join =
+      [](const caps::CapSet& a, const caps::CapSet& b) { return a | b; };
+  return dataflow::solve_backward<caps::CapSet>(f, boundary, caps::CapSet{},
+                                                transfer, join);
+}
+
+std::vector<caps::CapSet> PrivLiveness::instruction_facts(
+    const std::string& fname, int block, caps::CapSet block_out) const {
+  const ir::Function& f = module_->function(fname);
+  std::function<caps::CapSet(const ir::Instruction&, const caps::CapSet&)>
+      transfer = [this](const ir::Instruction& inst, const caps::CapSet& after) {
+        return after | gen(inst);
+      };
+  return dataflow::instruction_facts_backward<caps::CapSet>(
+      f.block(block), block_out, transfer);
+}
+
+}  // namespace pa::autopriv

@@ -1,0 +1,72 @@
+// AutoPriv's core static analysis: at which program points may each
+// privilege still be used (raised) in the future? A privilege that is not
+// live is *dead* and can be removed from the permitted set.
+//
+// The analysis is a backward may-analysis over the CapSet lattice:
+//  * gen at priv_raise / priv_lower instructions is the capability-set
+//    operand (AutoPriv-style programs bracket privileged syscalls between a
+//    raise and a lower, so treating the lower as the final use keeps the
+//    privilege live through the bracketed region),
+//  * a direct call generates the callee's interprocedural summary
+//    (capabilities used by the callee or anything it may transitively call),
+//  * an indirect call generates the union of the summaries of every
+//    address-taken function — AutoPriv's conservative call graph, which the
+//    paper identifies as the reason sshd retains its privileges,
+//  * registering a signal handler keeps the handler's summary live for the
+//    rest of execution ("signal handlers can be called at any time").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "caps/capability.h"
+#include "dataflow/solver.h"
+#include "ir/callgraph.h"
+
+namespace pa::autopriv {
+
+struct Options {
+  ir::IndirectCallPolicy indirect_calls = ir::IndirectCallPolicy::Conservative;
+  /// Treat registered signal handlers' capabilities as live until program
+  /// exit (the paper's semantics). Disabled only by the ablation benchmark.
+  bool handler_roots = true;
+};
+
+class PrivLiveness {
+ public:
+  PrivLiveness(const ir::Module& module, Options options = {});
+
+  /// Capabilities used by `fname` or anything it may transitively call.
+  caps::CapSet summary(const std::string& fname) const;
+
+  /// Union of summaries of every registered signal handler (empty when
+  /// handler_roots is off).
+  caps::CapSet handler_caps() const { return handler_caps_; }
+
+  /// Capabilities `inst` may use (the dataflow gen set).
+  caps::CapSet gen(const ir::Instruction& inst) const;
+
+  /// Per-block liveness facts for `fname`. `boundary` is the fact at
+  /// function exits; PrivAnalyzer passes handler_caps() for the entry
+  /// function and the full set (unknown caller context) for callees.
+  dataflow::Facts<caps::CapSet> analyze(const std::string& fname,
+                                        caps::CapSet boundary) const;
+
+  /// Fact immediately before each instruction of one block (last element is
+  /// the block-out fact).
+  std::vector<caps::CapSet> instruction_facts(const std::string& fname,
+                                              int block,
+                                              caps::CapSet block_out) const;
+
+  const ir::CallGraph& callgraph() const { return cg_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const ir::Module* module_;
+  Options options_;
+  ir::CallGraph cg_;
+  std::map<std::string, caps::CapSet> summaries_;
+  caps::CapSet handler_caps_;
+};
+
+}  // namespace pa::autopriv

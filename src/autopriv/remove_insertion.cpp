@@ -1,0 +1,136 @@
+#include "autopriv/remove_insertion.h"
+
+#include <vector>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::autopriv {
+namespace {
+
+ir::Instruction make_remove(caps::CapSet caps) {
+  return {.op = ir::Opcode::PrivRemove,
+          .operands = {ir::Operand::capset(caps)}};
+}
+
+ir::Instruction make_prctl_strict() {
+  // prctl(1) == PrctlOp::SetSecurebitsStrict in the VM's syscall bridge.
+  return {.op = ir::Opcode::Syscall,
+          .dest = ir::kNoReg,
+          .operands = {ir::Operand::imm(1)},
+          .symbol = "prctl"};
+}
+
+}  // namespace
+
+std::string RemoveSite::to_string() const {
+  return str::cat(block, (on_split_edge ? " (edge)" : ""), ": {",
+                  caps.to_string(), "}");
+}
+
+std::string TransformStats::to_string() const {
+  return str::cat("removes=", removes_inserted, " edge_splits=", edges_split,
+                  " prctl=", prctl_inserted ? "yes" : "no",
+                  " entry_removed={", removed_at_entry.to_string(), "}");
+}
+
+TransformStats insert_removes(ir::Module& module, const std::string& entry,
+                              Options options) {
+  TransformStats stats;
+  PrivLiveness analysis(module, options);
+  ir::Function& fn = module.function(entry);
+
+  const caps::CapSet boundary = analysis.handler_caps();
+  const auto facts = analysis.analyze(entry, boundary);
+  const caps::CapSet full = caps::CapSet::full();
+
+  // Plan all insertions against the *current* block contents, then apply.
+  struct Insertion {
+    int block;
+    std::size_t after_index;  // insert after instructions[after_index]
+    caps::CapSet caps;
+  };
+  std::vector<Insertion> insertions;
+
+  for (std::size_t b = 0; b < fn.blocks().size(); ++b) {
+    const auto before = analysis.instruction_facts(
+        entry, static_cast<int>(b), facts.out[b]);
+    const auto& insts = fn.block(static_cast<int>(b)).instructions;
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (insts[i].is_term()) continue;  // edge deaths handled below
+      caps::CapSet dead = before[i] - before[i + 1];
+      if (!dead.empty())
+        insertions.push_back({static_cast<int>(b), i, dead});
+    }
+  }
+
+  // Edge splitting: a capability live out of `b` but dead into successor `s`
+  // dies on the edge; give the remove its own block on that edge.
+  struct EdgeSplit {
+    int from_block;
+    std::size_t target_slot;  // index into the terminator's label list
+    std::string to_label;
+    caps::CapSet caps;
+  };
+  std::vector<EdgeSplit> splits;
+  for (std::size_t b = 0; b < fn.blocks().size(); ++b) {
+    const ir::BasicBlock& bb = fn.block(static_cast<int>(b));
+    const ir::Instruction* term = bb.terminator();
+    if (!term || term->targets.empty()) continue;
+    for (std::size_t t = 0; t < term->targets.size(); ++t) {
+      const int succ = term->targets[t];
+      caps::CapSet dead =
+          facts.out[b] - facts.in[static_cast<std::size_t>(succ)];
+      if (!dead.empty())
+        splits.push_back({static_cast<int>(b), t,
+                          fn.block(succ).label, dead});
+    }
+  }
+
+  // Apply mid-block insertions (descending index so indices stay valid).
+  for (auto it = insertions.rbegin(); it != insertions.rend(); ++it) {
+    auto& insts = fn.block(it->block).instructions;
+    insts.insert(insts.begin() + static_cast<long>(it->after_index) + 1,
+                 make_remove(it->caps));
+    ++stats.removes_inserted;
+    stats.sites.push_back(
+        RemoveSite{fn.block(it->block).label, it->caps, false});
+  }
+
+  // Apply edge splits.
+  int split_counter = 0;
+  for (const EdgeSplit& sp : splits) {
+    std::string label =
+        str::cat("autopriv_split", split_counter++, "_", sp.to_label);
+    int nb = fn.add_block(label);
+    fn.block(nb).instructions.push_back(make_remove(sp.caps));
+    fn.block(nb).instructions.push_back(
+        {.op = ir::Opcode::Br, .target_labels = {sp.to_label}});
+    ir::Instruction& term =
+        fn.block(sp.from_block).instructions.back();
+    term.target_labels[sp.target_slot] = label;
+    ++stats.edges_split;
+    ++stats.removes_inserted;
+    stats.sites.push_back(RemoveSite{label, sp.caps, true});
+  }
+
+  // Entry-block prelude: prctl + remove of everything never used.
+  {
+    caps::CapSet never_used = full - facts.in[0];
+    auto& insts = fn.block(0).instructions;
+    std::vector<ir::Instruction> prelude;
+    prelude.push_back(make_prctl_strict());
+    stats.prctl_inserted = true;
+    if (!never_used.empty()) {
+      prelude.push_back(make_remove(never_used));
+      stats.removed_at_entry = never_used;
+      ++stats.removes_inserted;
+    }
+    insts.insert(insts.begin(), prelude.begin(), prelude.end());
+  }
+
+  fn.resolve_labels();
+  return stats;
+}
+
+}  // namespace pa::autopriv

@@ -1,0 +1,47 @@
+// The AutoPriv transformation: insert priv_remove calls where privileges
+// become dead, a prctl() call at program start disabling the kernel's
+// root-uid capability fixups, and an initial remove of everything the
+// program will never use.
+//
+// Removes are inserted in the entry function (the program's privilege
+// lifecycle driver). Privileges used inside callees are kept live across
+// their call sites by the interprocedural summaries, so this placement is
+// sound; it matches how the evaluation programs structure privilege use.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "autopriv/priv_liveness.h"
+
+namespace pa::autopriv {
+
+/// Where one priv_remove landed.
+struct RemoveSite {
+  std::string block;       // label of the block holding the remove
+  caps::CapSet caps;       // what it removes
+  bool on_split_edge = false;
+
+  std::string to_string() const;
+};
+
+struct TransformStats {
+  int removes_inserted = 0;
+  int edges_split = 0;
+  bool prctl_inserted = false;
+  /// Capabilities removed by the entry-block remove (never used at all).
+  caps::CapSet removed_at_entry;
+  /// Every remove the transformation placed (the "dead points" AutoPriv
+  /// computes), excluding the entry-block cleanup.
+  std::vector<RemoveSite> sites;
+
+  std::string to_string() const;
+};
+
+/// Run the transformation on `module`'s `entry` function in place.
+/// The module must verify before the call; it verifies after, too.
+TransformStats insert_removes(ir::Module& module,
+                              const std::string& entry = "main",
+                              Options options = {});
+
+}  // namespace pa::autopriv

@@ -1,0 +1,45 @@
+#include "autopriv/report.h"
+
+#include <sstream>
+
+#include "ir/verifier.h"
+
+namespace pa::autopriv {
+
+std::string StaticReport::to_string() const {
+  std::ostringstream os;
+  os << "AutoPriv report for " << program << "\n";
+  os << "  transformation: " << stats.to_string() << "\n";
+  if (!stats.sites.empty()) {
+    os << "  privilege dead points (priv_remove placements):\n";
+    for (const RemoveSite& site : stats.sites)
+      os << "    " << site.to_string() << "\n";
+  }
+  if (!handler_caps.empty())
+    os << "  signal-handler pinned caps: " << handler_caps.to_string() << "\n";
+  os << "  function summaries:\n";
+  for (const auto& [name, caps] : function_summaries)
+    if (!caps.empty())
+      os << "    @" << name << ": " << caps.to_string() << "\n";
+  return os.str();
+}
+
+StaticReport run_autopriv(ir::Module& module, const std::string& entry,
+                          Options options) {
+  ir::verify_or_throw(module);
+
+  StaticReport report;
+  report.program = module.name();
+
+  PrivLiveness analysis(module, options);
+  for (const ir::Function& f : module.functions())
+    report.function_summaries[f.name()] = analysis.summary(f.name());
+  report.handler_caps = analysis.handler_caps();
+
+  report.stats = insert_removes(module, entry, options);
+
+  ir::verify_or_throw(module);
+  return report;
+}
+
+}  // namespace pa::autopriv

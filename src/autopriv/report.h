@@ -1,0 +1,29 @@
+// Human-readable static-analysis report for one program, plus the
+// convenience entry point PrivAnalyzer's pipeline uses to run AutoPriv.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "autopriv/remove_insertion.h"
+
+namespace pa::autopriv {
+
+struct StaticReport {
+  std::string program;
+  /// Interprocedural capability summary per function.
+  std::map<std::string, caps::CapSet> function_summaries;
+  /// Capabilities pinned live by signal handlers.
+  caps::CapSet handler_caps;
+  /// What the transformation did.
+  TransformStats stats;
+
+  std::string to_string() const;
+};
+
+/// Run the full AutoPriv stage: analyze `module`, transform it in place,
+/// and return the report.
+StaticReport run_autopriv(ir::Module& module, const std::string& entry = "main",
+                          Options options = {});
+
+}  // namespace pa::autopriv

@@ -1,0 +1,60 @@
+#include "caps/priv_state.h"
+
+#include "support/str.h"
+
+namespace pa::caps {
+
+bool PrivState::raise(CapSet caps) {
+  if (!caps.subset_of(permitted_)) return false;
+  effective_ |= caps;
+  return true;
+}
+
+void PrivState::lower(CapSet caps) { effective_ -= caps; }
+
+void PrivState::remove(CapSet caps) {
+  effective_ -= caps;
+  permitted_ -= caps;
+}
+
+bool PrivState::capset(CapSet new_effective, CapSet new_permitted) {
+  if (!new_permitted.subset_of(permitted_)) return false;
+  if (!new_effective.subset_of(new_permitted)) return false;
+  permitted_ = new_permitted;
+  effective_ = new_effective;
+  return true;
+}
+
+void PrivState::on_uid_change(const IdTriple& before, const IdTriple& after) {
+  if (securebits_.no_setuid_fixup) return;
+
+  const bool had_root =
+      before.real == kRootUid || before.effective == kRootUid ||
+      before.saved == kRootUid;
+  const bool has_root = after.real == kRootUid ||
+                        after.effective == kRootUid || after.saved == kRootUid;
+
+  // Rule 1: all of (real, effective, saved) leave 0 -> clear permitted and
+  // effective, unless KEEPCAPS retains the permitted set.
+  if (had_root && !has_root) {
+    if (!securebits_.keep_caps) permitted_ = {};
+    effective_ = {};
+    return;
+  }
+  // Rule 2: effective uid 0 -> nonzero clears the effective set.
+  if (before.effective == kRootUid && after.effective != kRootUid) {
+    effective_ = {};
+  }
+  // Rule 3: effective uid nonzero -> 0 copies permitted into effective.
+  if (before.effective != kRootUid && after.effective == kRootUid) {
+    effective_ = permitted_;
+  }
+}
+
+std::string PrivState::to_string() const {
+  return str::cat("eff={", effective_.to_string(), "} perm={",
+                  permitted_.to_string(), "} inh={", inheritable_.to_string(),
+                  "}");
+}
+
+}  // namespace pa::caps

@@ -1,0 +1,81 @@
+// Per-process privilege state: the effective / permitted / inheritable
+// capability sets, the securebits that control root-uid "fixup" behaviour,
+// and the three privilege-manipulation wrappers the paper adopts from
+// AutoPriv: priv_raise, priv_lower, priv_remove.
+#pragma once
+
+#include <string>
+
+#include "caps/capability.h"
+#include "caps/credentials.h"
+
+namespace pa::caps {
+
+/// Securebits (prctl(PR_SET_SECUREBITS)) relevant to this work. PrivAnalyzer
+/// inserts a prctl call disabling the kernel's backward-compatibility
+/// behaviours so that having euid 0 does not silently re-grant privileges.
+struct SecureBits {
+  /// SECBIT_NO_SETUID_FIXUP: uid transitions do not touch capability sets.
+  bool no_setuid_fixup = false;
+  /// SECBIT_NOROOT: exec as root does not grant the full set (modelled for
+  /// completeness; the evaluation programs never exec).
+  bool noroot = false;
+  /// SECBIT_KEEP_CAPS: keep permitted caps when all uids leave 0.
+  bool keep_caps = false;
+
+  bool operator==(const SecureBits&) const = default;
+};
+
+/// The three capability sets of a task plus securebits.
+class PrivState {
+ public:
+  PrivState() = default;
+  PrivState(CapSet effective, CapSet permitted, CapSet inheritable = {})
+      : effective_(effective & permitted),
+        permitted_(permitted),
+        inheritable_(inheritable) {}
+
+  /// Process launched with `permitted` available but nothing raised —
+  /// the starting state of the paper's evaluation programs.
+  static PrivState launched_with(CapSet permitted) {
+    return PrivState({}, permitted);
+  }
+
+  CapSet effective() const { return effective_; }
+  CapSet permitted() const { return permitted_; }
+  CapSet inheritable() const { return inheritable_; }
+  const SecureBits& securebits() const { return securebits_; }
+
+  /// priv_raise: enable caps in the effective set. Fails (returns false,
+  /// state unchanged) unless `caps ⊆ permitted`.
+  bool raise(CapSet caps);
+
+  /// priv_lower: disable caps in the effective set. Always succeeds.
+  void lower(CapSet caps);
+
+  /// priv_remove: disable caps in both effective and permitted sets.
+  /// Irreversible until exec — this is what makes privileges attacker-proof.
+  void remove(CapSet caps);
+
+  /// capset(2) semantics: replace the sets; permitted may only shrink and
+  /// effective must stay within the new permitted. Returns false on EPERM.
+  bool capset(CapSet new_effective, CapSet new_permitted);
+
+  void set_securebits(SecureBits bits) { securebits_ = bits; }
+
+  /// Apply the kernel's uid-transition capability fixup (capabilities(7)).
+  /// Call after every change to the process's uid triple.
+  void on_uid_change(const IdTriple& before, const IdTriple& after);
+
+  bool operator==(const PrivState&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  CapSet effective_;
+  CapSet permitted_;
+  CapSet inheritable_;
+  SecureBits securebits_;
+};
+
+}  // namespace pa::caps

@@ -1,0 +1,45 @@
+#include "chronopriv/epoch.h"
+
+namespace pa::chronopriv {
+
+void EpochTracker::on_instruction(const os::Process& p,
+                                  const ir::Function& /*fn*/) {
+  ++total_;
+  // Fast path: privilege state unchanged since the previous instruction.
+  // ChronoPriv records the permitted set and the real/effective/saved
+  // uid/gid triples; supplementary groups are not part of the epoch key
+  // (they are not among the credentials the paper's Table III reports).
+  if (current_index_ != SIZE_MAX &&
+      p.privs.permitted() == current_key_.permitted &&
+      p.creds.uid == current_key_.creds.uid &&
+      p.creds.gid == current_key_.creds.gid) {
+    ++epochs_[current_index_].instructions;
+    ++timeline_.back().length;
+    return;
+  }
+
+  EpochKey key{p.privs.permitted(),
+               caps::Credentials{p.creds.uid, p.creds.gid, {}}};
+  timeline_.push_back(EpochSegment{key, total_ - 1, 1});
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    if (epochs_[i].key == key) {
+      ++epochs_[i].instructions;
+      current_key_ = std::move(key);
+      current_index_ = i;
+      return;
+    }
+  }
+  epochs_.push_back(
+      Epoch{key, 1, static_cast<int>(epochs_.size())});
+  current_key_ = std::move(key);
+  current_index_ = epochs_.size() - 1;
+}
+
+void EpochTracker::reset() {
+  epochs_.clear();
+  timeline_.clear();
+  total_ = 0;
+  current_index_ = SIZE_MAX;
+}
+
+}  // namespace pa::chronopriv

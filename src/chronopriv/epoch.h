@@ -1,0 +1,65 @@
+// ChronoPriv's dynamic measurement: how many instructions execute under each
+// combination of (permitted privilege set, process credentials)?  Each such
+// combination is a privilege *epoch* — one row of the paper's Table III.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "caps/credentials.h"
+#include "caps/priv_state.h"
+#include "vm/interpreter.h"
+
+namespace pa::chronopriv {
+
+/// The identity of an epoch: what an attacker could work with if the
+/// program were exploited while this state is in force.
+struct EpochKey {
+  caps::CapSet permitted;
+  caps::Credentials creds;
+
+  bool operator==(const EpochKey&) const = default;
+};
+
+struct Epoch {
+  EpochKey key;
+  std::uint64_t instructions = 0;
+  /// Order of first appearance during execution (Table III row order).
+  int first_seen = 0;
+};
+
+/// One contiguous stretch of execution under a single privilege state —
+/// the unaggregated view behind Table III's merged rows. `start` is the
+/// index of the segment's first instruction in the run.
+struct EpochSegment {
+  EpochKey key;
+  std::uint64_t start = 0;
+  std::uint64_t length = 0;
+};
+
+/// Accumulates instruction counts per epoch as the VM runs. Rows with equal
+/// keys are merged; order of first appearance is preserved.
+class EpochTracker final : public vm::Tracer {
+ public:
+  void on_instruction(const os::Process& p,
+                      const ir::Function& fn) override;
+
+  /// Epochs in order of first appearance.
+  const std::vector<Epoch>& epochs() const { return epochs_; }
+  /// Contiguous privilege-state segments in execution order.
+  const std::vector<EpochSegment>& timeline() const { return timeline_; }
+  std::uint64_t total_instructions() const { return total_; }
+
+  void reset();
+
+ private:
+  std::vector<Epoch> epochs_;
+  std::vector<EpochSegment> timeline_;
+  std::uint64_t total_ = 0;
+  // Cache of the current epoch to avoid a search per instruction.
+  EpochKey current_key_;
+  std::size_t current_index_ = SIZE_MAX;
+};
+
+}  // namespace pa::chronopriv

@@ -1,0 +1,46 @@
+#include "chronopriv/exposure.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/str.h"
+
+namespace pa::chronopriv {
+
+std::vector<CapabilityExposure> capability_exposure(const ChronoReport& r) {
+  std::map<caps::Capability, CapabilityExposure> acc;
+  for (const EpochRow& row : r.rows) {
+    for (caps::Capability c : row.key.permitted.members()) {
+      CapabilityExposure& e = acc[c];
+      e.capability = c;
+      e.fraction += row.fraction;
+      e.instructions += row.instructions;
+    }
+  }
+  std::vector<CapabilityExposure> out;
+  out.reserve(acc.size());
+  for (auto& [c, e] : acc) out.push_back(e);
+  std::sort(out.begin(), out.end(),
+            [](const CapabilityExposure& a, const CapabilityExposure& b) {
+              return a.fraction > b.fraction;
+            });
+  return out;
+}
+
+std::string render_exposure(const ChronoReport& r) {
+  std::ostringstream os;
+  os << "Capability exposure for " << r.program
+     << " (fraction of execution each capability stays permitted)\n";
+  auto rows = capability_exposure(r);
+  if (rows.empty()) {
+    os << "  (no capabilities ever permitted)\n";
+    return os.str();
+  }
+  for (const CapabilityExposure& e : rows)
+    os << "  " << str::pad_right(std::string(caps::name(e.capability)), 22)
+       << str::pad_left(str::percent(e.fraction), 8) << "  "
+       << str::with_commas(static_cast<long long>(e.instructions)) << "\n";
+  return os.str();
+}
+
+}  // namespace pa::chronopriv

@@ -1,0 +1,29 @@
+// Per-capability exposure: for each capability, the fraction of execution
+// during which it remained in the permitted set — the per-privilege view of
+// the paper's "vulnerability window" metric. This is the summary §VII-D.1
+// reasons with informally ("CAP_SETUID is available for 63% of passwd's
+// execution, and CAP_CHOWN, CAP_FOWNER, and CAP_DAC_OVERRIDE are available
+// for more than 99%").
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "chronopriv/report.h"
+
+namespace pa::chronopriv {
+
+struct CapabilityExposure {
+  caps::Capability capability;
+  double fraction = 0.0;          // of executed instructions
+  std::uint64_t instructions = 0;
+};
+
+/// Exposure per capability that ever appears in a permitted set, sorted by
+/// descending fraction.
+std::vector<CapabilityExposure> capability_exposure(const ChronoReport& r);
+
+/// Render as a small table ("CapSetuid  63.1%  43,997").
+std::string render_exposure(const ChronoReport& r);
+
+}  // namespace pa::chronopriv

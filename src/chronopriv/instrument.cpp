@@ -1,0 +1,30 @@
+#include "chronopriv/instrument.h"
+
+#include "ir/verifier.h"
+#include "vm/interpreter.h"
+
+namespace pa::chronopriv {
+
+std::map<std::pair<std::string, int>, int> static_block_counts(
+    const ir::Module& module) {
+  std::map<std::pair<std::string, int>, int> counts;
+  for (const ir::Function& f : module.functions())
+    for (std::size_t b = 0; b < f.blocks().size(); ++b)
+      counts[{f.name(), static_cast<int>(b)}] =
+          f.blocks()[b].countable_instructions();
+  return counts;
+}
+
+ChronoReport run_instrumented(os::Kernel& kernel, const ir::Module& module,
+                              os::Pid pid, std::vector<ir::RtValue> args,
+                              const std::string& entry, long* exit_code) {
+  ir::verify_or_throw(module);
+  EpochTracker tracker;
+  vm::Interpreter interp(kernel, module, pid);
+  interp.set_tracer(&tracker);
+  long rc = interp.run(entry, std::move(args));
+  if (exit_code) *exit_code = rc;
+  return make_report(module.name(), tracker);
+}
+
+}  // namespace pa::chronopriv

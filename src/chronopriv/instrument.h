@@ -1,0 +1,37 @@
+// The ChronoPriv "pass": prepares a module for measured execution and runs
+// it under an EpochTracker.
+//
+// The paper's ChronoPriv is an LLVM pass that inserts per-basic-block
+// counting code; in this reproduction the VM natively counts executed
+// instructions and the tracker attributes each one to the privilege state in
+// force, which yields the same measurement without mutating the module.
+// This file also exposes the static per-block counts (what the inserted
+// counters would have added) so tests can cross-check dynamic totals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chronopriv/report.h"
+#include "ir/module.h"
+#include "os/kernel.h"
+
+namespace pa::chronopriv {
+
+/// Static countable-instruction size of every block, keyed by
+/// (function, block index). Mirrors what the instrumentation pass computes
+/// when choosing counter increments; excludes `unreachable`.
+std::map<std::pair<std::string, int>, int> static_block_counts(
+    const ir::Module& module);
+
+/// Execute `module` as process `pid` under an EpochTracker and produce the
+/// dynamic report. `args` are the program's argv-style inputs.
+ChronoReport run_instrumented(os::Kernel& kernel, const ir::Module& module,
+                              os::Pid pid,
+                              std::vector<ir::RtValue> args = {},
+                              const std::string& entry = "main",
+                              long* exit_code = nullptr);
+
+}  // namespace pa::chronopriv

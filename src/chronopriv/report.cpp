@@ -1,0 +1,60 @@
+#include "chronopriv/report.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace pa::chronopriv {
+
+ChronoReport make_report(const std::string& program,
+                         const EpochTracker& tracker) {
+  ChronoReport report;
+  report.program = program;
+  report.total_instructions = tracker.total_instructions();
+  int n = 0;
+  for (const Epoch& e : tracker.epochs()) {
+    EpochRow row;
+    row.name = str::cat(program, "_priv", ++n);
+    row.key = e.key;
+    row.instructions = e.instructions;
+    row.fraction = report.total_instructions == 0
+                       ? 0.0
+                       : static_cast<double>(e.instructions) /
+                             static_cast<double>(report.total_instructions);
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string render_timeline(const EpochTracker& tracker) {
+  std::ostringstream os;
+  os << "Privilege timeline (" << tracker.timeline().size()
+     << " segments):\n";
+  for (const EpochSegment& seg : tracker.timeline()) {
+    os << "  [" << str::pad_left(str::with_commas(
+                       static_cast<long long>(seg.start)), 12)
+       << " +" << str::pad_left(str::with_commas(
+                       static_cast<long long>(seg.length)), 12)
+       << "]  uid=" << seg.key.creds.uid.to_string()
+       << " gid=" << seg.key.creds.gid.to_string() << "  {"
+       << seg.key.permitted.to_string() << "}\n";
+  }
+  return os.str();
+}
+
+std::string ChronoReport::to_string() const {
+  std::ostringstream os;
+  os << "ChronoPriv report for " << program << " ("
+     << str::with_commas(static_cast<long long>(total_instructions))
+     << " instructions)\n";
+  for (const EpochRow& r : rows) {
+    os << "  " << str::pad_right(r.name, 18) << " "
+       << str::pad_left(str::with_commas(static_cast<long long>(r.instructions)), 14)
+       << " (" << str::percent(r.fraction) << ")  uid="
+       << r.key.creds.uid.to_string() << " gid=" << r.key.creds.gid.to_string()
+       << "\n    permitted: " << r.key.permitted.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pa::chronopriv

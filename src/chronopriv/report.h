@@ -1,0 +1,36 @@
+// ChronoPriv's output: the ordered epoch table for one program run,
+// rendered in the layout of the paper's Table III privilege columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chronopriv/epoch.h"
+
+namespace pa::chronopriv {
+
+struct EpochRow {
+  std::string name;  // e.g. "passwd_priv3"
+  EpochKey key;
+  std::uint64_t instructions = 0;
+  double fraction = 0.0;  // of total instructions
+};
+
+struct ChronoReport {
+  std::string program;
+  std::vector<EpochRow> rows;
+  std::uint64_t total_instructions = 0;
+
+  std::string to_string() const;
+};
+
+/// Build a report from a finished tracker; names rows "<program>_privN" in
+/// order of first appearance, as the paper does.
+ChronoReport make_report(const std::string& program,
+                         const EpochTracker& tracker);
+
+/// Render the tracker's ordered timeline: one line per contiguous privilege
+/// state segment (the unmerged view behind the table rows).
+std::string render_timeline(const EpochTracker& tracker);
+
+}  // namespace pa::chronopriv

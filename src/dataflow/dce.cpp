@@ -1,0 +1,65 @@
+#include "dataflow/dce.h"
+
+namespace pa::dataflow {
+
+bool is_pure(const ir::Instruction& inst) {
+  if (inst.dest == ir::kNoReg) return false;
+  switch (inst.op) {
+    case ir::Opcode::Mov:
+    case ir::Opcode::Add: case ir::Opcode::Sub: case ir::Opcode::Mul:
+    case ir::Opcode::Div:
+    case ir::Opcode::CmpEq: case ir::Opcode::CmpNe: case ir::Opcode::CmpLt:
+    case ir::Opcode::CmpLe: case ir::Opcode::CmpGt: case ir::Opcode::CmpGe:
+    case ir::Opcode::And: case ir::Opcode::Or: case ir::Opcode::Not:
+    case ir::Opcode::FuncAddr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int eliminate_dead_code(ir::Function& f) {
+  int removed_total = 0;
+  for (;;) {
+    Facts<RegSet> facts = live_registers(f);
+    int removed = 0;
+    for (std::size_t b = 0; b < f.blocks().size(); ++b) {
+      ir::BasicBlock& bb = f.blocks()[b];
+      // Walk backwards computing liveness after each instruction.
+      RegSet live = facts.out[b];
+      std::vector<char> keep(bb.instructions.size(), 1);
+      for (int i = static_cast<int>(bb.instructions.size()) - 1; i >= 0; --i) {
+        const ir::Instruction& inst = bb.instructions[static_cast<std::size_t>(i)];
+        const bool dead =
+            is_pure(inst) && !live.contains(inst.dest);
+        if (dead) {
+          keep[static_cast<std::size_t>(i)] = 0;
+          ++removed;
+          continue;  // a dead instruction contributes no uses
+        }
+        if (auto d = def_of(inst)) live.erase(*d);
+        for (int u : uses_of(inst)) live.insert(u);
+      }
+      if (removed) {
+        std::vector<ir::Instruction> kept;
+        kept.reserve(bb.instructions.size());
+        for (std::size_t i = 0; i < bb.instructions.size(); ++i)
+          if (keep[i]) kept.push_back(std::move(bb.instructions[i]));
+        bb.instructions = std::move(kept);
+      }
+    }
+    removed_total += removed;
+    if (removed == 0) break;
+    f.resolve_labels();
+  }
+  return removed_total;
+}
+
+int eliminate_dead_code(ir::Module& m) {
+  int total = 0;
+  for (ir::Function& f : m.functions()) total += eliminate_dead_code(f);
+  if (total) m.recompute_address_taken();
+  return total;
+}
+
+}  // namespace pa::dataflow

@@ -1,0 +1,24 @@
+// Liveness-driven dead-code elimination over PrivIR: removes side-effect-
+// free instructions whose result register is never read. Built on the
+// register-liveness analysis; lives in the dataflow module because it is an
+// analysis-driven transform.
+#pragma once
+
+#include "dataflow/liveness.h"
+#include "ir/module.h"
+
+namespace pa::dataflow {
+
+/// True if `inst` can be deleted when its destination is dead: it produces
+/// a value and has no effect beyond that value. Calls, syscalls, privilege
+/// operations, and terminators are never dead.
+bool is_pure(const ir::Instruction& inst);
+
+/// Remove dead pure instructions from `f`; returns how many were removed.
+/// Runs to a fixpoint (removing one instruction can kill another's last use).
+int eliminate_dead_code(ir::Function& f);
+
+/// Whole-module DCE.
+int eliminate_dead_code(ir::Module& m);
+
+}  // namespace pa::dataflow

@@ -1,0 +1,36 @@
+#include "dataflow/liveness.h"
+
+#include <algorithm>
+
+namespace pa::dataflow {
+
+RegSet uses_of(const ir::Instruction& inst) {
+  RegSet uses;
+  for (const ir::Operand& op : inst.operands)
+    if (op.kind() == ir::Operand::Kind::Reg) uses.insert(op.reg_index());
+  return uses;
+}
+
+std::optional<int> def_of(const ir::Instruction& inst) {
+  if (inst.dest == ir::kNoReg) return std::nullopt;
+  return inst.dest;
+}
+
+Facts<RegSet> live_registers(const ir::Function& f) {
+  auto transfer = [](const ir::Instruction& inst, const RegSet& after) {
+    RegSet before = after;
+    if (auto d = def_of(inst)) before.erase(*d);
+    RegSet uses = uses_of(inst);
+    before.insert(uses.begin(), uses.end());
+    return before;
+  };
+  auto join = [](const RegSet& a, const RegSet& b) {
+    RegSet out = a;
+    out.insert(b.begin(), b.end());
+    return out;
+  };
+  return solve_backward<RegSet>(f, /*boundary=*/{}, /*bottom=*/{}, transfer,
+                                join);
+}
+
+}  // namespace pa::dataflow

@@ -1,0 +1,22 @@
+// Register liveness over PrivIR, built on the generic solver. Used by tests
+// to validate the dataflow engine and available as a utility analysis.
+#pragma once
+
+#include <set>
+
+#include "dataflow/solver.h"
+
+namespace pa::dataflow {
+
+using RegSet = std::set<int>;
+
+/// Live registers at every block boundary of `f`.
+Facts<RegSet> live_registers(const ir::Function& f);
+
+/// Registers read by `inst`.
+RegSet uses_of(const ir::Instruction& inst);
+
+/// Register written by `inst`, or nullopt.
+std::optional<int> def_of(const ir::Instruction& inst);
+
+}  // namespace pa::dataflow

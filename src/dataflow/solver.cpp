@@ -1,0 +1,26 @@
+#include "dataflow/solver.h"
+
+namespace pa::dataflow {
+
+std::vector<std::vector<int>> predecessors(const ir::Function& f) {
+  std::vector<std::vector<int>> preds(f.blocks().size());
+  for (std::size_t b = 0; b < f.blocks().size(); ++b)
+    for (int s : f.blocks()[b].successors())
+      preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(b));
+  return preds;
+}
+
+bool is_exit_block(const ir::BasicBlock& bb) {
+  const ir::Instruction* t = bb.terminator();
+  if (!t) return false;
+  switch (t->op) {
+    case ir::Opcode::Ret:
+    case ir::Opcode::Exit:
+    case ir::Opcode::Unreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pa::dataflow

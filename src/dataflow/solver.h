@@ -1,0 +1,152 @@
+// Generic intraprocedural dataflow solver over a PrivIR function's CFG.
+//
+// The lattice is supplied as a value type L with:
+//   * a join operation (set union for the may-analyses used here),
+//   * equality comparison (for the fixpoint test).
+//
+// Only backward may-analyses are needed by AutoPriv (privilege liveness) and
+// the register-liveness utility, but the solver is direction-parametric so
+// tests can exercise forward problems too.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace pa::dataflow {
+
+/// Predecessor lists for every block of `f` (successors come from the IR).
+std::vector<std::vector<int>> predecessors(const ir::Function& f);
+
+/// True if the block's terminator leaves the function (ret / exit /
+/// unreachable): these blocks take the boundary fact.
+bool is_exit_block(const ir::BasicBlock& bb);
+
+template <typename L>
+struct Facts {
+  std::vector<L> in;   // fact at block entry
+  std::vector<L> out;  // fact at block exit
+};
+
+/// Backward may-analysis:
+///   out[b] = join over successors s of in[s]   (boundary at exit blocks)
+///   in[b]  = transfer over the block's instructions, last to first.
+///
+/// `transfer(instr, after)` returns the fact immediately before `instr`
+/// given the fact immediately after it. `join(a, b)` returns the least
+/// upper bound.
+template <typename L>
+Facts<L> solve_backward(
+    const ir::Function& f, const L& boundary, const L& bottom,
+    const std::function<L(const ir::Instruction&, const L&)>& transfer,
+    const std::function<L(const L&, const L&)>& join) {
+  const int n = static_cast<int>(f.blocks().size());
+  Facts<L> facts{std::vector<L>(static_cast<std::size_t>(n), bottom),
+                 std::vector<L>(static_cast<std::size_t>(n), bottom)};
+
+  auto apply_block = [&](int b) -> L {
+    L fact = facts.out[static_cast<std::size_t>(b)];
+    const auto& insts = f.block(b).instructions;
+    for (auto it = insts.rbegin(); it != insts.rend(); ++it)
+      fact = transfer(*it, fact);
+    return fact;
+  };
+
+  std::vector<bool> in_worklist(static_cast<std::size_t>(n), true);
+  std::vector<int> worklist;
+  for (int b = n - 1; b >= 0; --b) worklist.push_back(b);
+  auto preds = predecessors(f);
+
+  while (!worklist.empty()) {
+    int b = worklist.back();
+    worklist.pop_back();
+    in_worklist[static_cast<std::size_t>(b)] = false;
+
+    L out = is_exit_block(f.block(b)) ? boundary : bottom;
+    for (int s : f.block(b).successors())
+      out = join(out, facts.in[static_cast<std::size_t>(s)]);
+    facts.out[static_cast<std::size_t>(b)] = out;
+
+    L in = apply_block(b);
+    if (!(in == facts.in[static_cast<std::size_t>(b)])) {
+      facts.in[static_cast<std::size_t>(b)] = in;
+      for (int p : preds[static_cast<std::size_t>(b)]) {
+        if (!in_worklist[static_cast<std::size_t>(p)]) {
+          in_worklist[static_cast<std::size_t>(p)] = true;
+          worklist.push_back(p);
+        }
+      }
+    }
+  }
+  return facts;
+}
+
+/// Forward may-analysis:
+///   in[b]  = join over predecessors p of out[p]   (boundary at the entry)
+///   out[b] = transfer over the block's instructions, first to last.
+///
+/// `transfer(instr, before)` returns the fact immediately after `instr`
+/// given the fact immediately before it.
+template <typename L>
+Facts<L> solve_forward(
+    const ir::Function& f, const L& boundary, const L& bottom,
+    const std::function<L(const ir::Instruction&, const L&)>& transfer,
+    const std::function<L(const L&, const L&)>& join) {
+  const int n = static_cast<int>(f.blocks().size());
+  Facts<L> facts{std::vector<L>(static_cast<std::size_t>(n), bottom),
+                 std::vector<L>(static_cast<std::size_t>(n), bottom)};
+  auto preds = predecessors(f);
+
+  auto apply_block = [&](int b) -> L {
+    L fact = facts.in[static_cast<std::size_t>(b)];
+    for (const ir::Instruction& inst : f.block(b).instructions)
+      fact = transfer(inst, fact);
+    return fact;
+  };
+
+  std::vector<bool> in_worklist(static_cast<std::size_t>(n), true);
+  std::vector<int> worklist;
+  for (int b = 0; b < n; ++b) worklist.push_back(n - 1 - b);
+
+  while (!worklist.empty()) {
+    int b = worklist.back();
+    worklist.pop_back();
+    in_worklist[static_cast<std::size_t>(b)] = false;
+
+    L in = b == 0 ? boundary : bottom;
+    for (int p : preds[static_cast<std::size_t>(b)])
+      in = join(in, facts.out[static_cast<std::size_t>(p)]);
+    facts.in[static_cast<std::size_t>(b)] = in;
+
+    L out = apply_block(b);
+    if (!(out == facts.out[static_cast<std::size_t>(b)])) {
+      facts.out[static_cast<std::size_t>(b)] = out;
+      for (int s : f.block(b).successors()) {
+        if (!in_worklist[static_cast<std::size_t>(s)]) {
+          in_worklist[static_cast<std::size_t>(s)] = true;
+          worklist.push_back(s);
+        }
+      }
+    }
+  }
+  return facts;
+}
+
+/// Per-instruction facts within one block, derived from solved block facts:
+/// element i is the fact immediately BEFORE instruction i; element
+/// size() is the block's out fact (== fact after the last instruction).
+template <typename L>
+std::vector<L> instruction_facts_backward(
+    const ir::BasicBlock& bb, const L& block_out,
+    const std::function<L(const ir::Instruction&, const L&)>& transfer) {
+  std::vector<L> before(bb.instructions.size() + 1);
+  before.back() = block_out;
+  for (int i = static_cast<int>(bb.instructions.size()) - 1; i >= 0; --i)
+    before[static_cast<std::size_t>(i)] =
+        transfer(bb.instructions[static_cast<std::size_t>(i)],
+                 before[static_cast<std::size_t>(i) + 1]);
+  return before;
+}
+
+}  // namespace pa::dataflow

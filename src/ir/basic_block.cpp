@@ -1,0 +1,12 @@
+#include "ir/basic_block.h"
+
+namespace pa::ir {
+
+int BasicBlock::countable_instructions() const {
+  int n = 0;
+  for (const Instruction& inst : instructions)
+    if (inst.op != Opcode::Unreachable) ++n;
+  return n;
+}
+
+}  // namespace pa::ir

@@ -1,0 +1,33 @@
+// PrivIR basic block: a labelled run of instructions ending in a terminator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.h"
+
+namespace pa::ir {
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instruction> instructions;
+
+  /// The terminator, if the block is complete.
+  const Instruction* terminator() const {
+    if (instructions.empty() || !instructions.back().is_term()) return nullptr;
+    return &instructions.back();
+  }
+
+  /// Successor block indices (resolved labels of the terminator).
+  std::vector<int> successors() const {
+    const Instruction* t = terminator();
+    return t ? t->targets : std::vector<int>{};
+  }
+
+  /// Static instruction count, excluding `unreachable` (the paper notes
+  /// ChronoPriv omits unreachable instructions since executing one
+  /// terminates the program).
+  int countable_instructions() const;
+};
+
+}  // namespace pa::ir

@@ -1,0 +1,164 @@
+#include "ir/builder.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::ir {
+
+IRBuilder& IRBuilder::begin_function(std::string name, int num_params,
+                                     std::string entry_label) {
+  PA_CHECK(fn_ == nullptr, "begin_function: previous function not ended");
+  fn_ = &module_->add_function(std::move(name), num_params);
+  next_reg_ = num_params;
+  cur_block_ = fn_->add_block(std::move(entry_label));
+  return *this;
+}
+
+IRBuilder& IRBuilder::declare_block(std::string label) {
+  PA_CHECK(fn_ != nullptr, "no active function");
+  fn_->add_block(std::move(label));
+  return *this;
+}
+
+IRBuilder& IRBuilder::at(std::string label) {
+  PA_CHECK(fn_ != nullptr, "no active function");
+  auto idx = fn_->block_index(label);
+  cur_block_ = idx ? *idx : fn_->add_block(std::move(label));
+  return *this;
+}
+
+Function& IRBuilder::end_function() {
+  PA_CHECK(fn_ != nullptr, "no active function");
+  fn_->resolve_labels();
+  Function& done = *fn_;
+  fn_ = nullptr;
+  cur_block_ = -1;
+  return done;
+}
+
+bool IRBuilder::current_block_terminated() const {
+  PA_CHECK(fn_ != nullptr && cur_block_ >= 0, "no insertion point");
+  return fn_->block(cur_block_).terminator() != nullptr;
+}
+
+int IRBuilder::param(int idx) const {
+  PA_CHECK(fn_ != nullptr && idx >= 0 && idx < fn_->num_params(),
+           "bad parameter index");
+  return idx;
+}
+
+BasicBlock& IRBuilder::cur_block() {
+  PA_CHECK(fn_ != nullptr && cur_block_ >= 0, "no insertion point");
+  return fn_->block(cur_block_);
+}
+
+Instruction& IRBuilder::append(Instruction inst) {
+  BasicBlock& bb = cur_block();
+  PA_CHECK(bb.terminator() == nullptr,
+           str::cat("appending to terminated block ", bb.label, " in @",
+                    fn_->name()));
+  bb.instructions.push_back(std::move(inst));
+  return bb.instructions.back();
+}
+
+int IRBuilder::fresh_reg() { return next_reg_++; }
+
+int IRBuilder::mov(Operand v) {
+  int d = fresh_reg();
+  append({.op = Opcode::Mov, .dest = d, .operands = {v}});
+  return d;
+}
+
+void IRBuilder::mov_to(int dst, Operand v) {
+  PA_CHECK(dst >= 0 && dst < next_reg_, "mov_to: register not allocated");
+  append({.op = Opcode::Mov, .dest = dst, .operands = {v}});
+}
+
+int IRBuilder::binop(Opcode op, Operand a, Operand b) {
+  int d = fresh_reg();
+  append({.op = op, .dest = d, .operands = {a, b}});
+  return d;
+}
+
+int IRBuilder::not_(Operand a) {
+  int d = fresh_reg();
+  append({.op = Opcode::Not, .dest = d, .operands = {a}});
+  return d;
+}
+
+void IRBuilder::br(std::string label) {
+  append({.op = Opcode::Br, .target_labels = {std::move(label)}});
+}
+
+void IRBuilder::condbr(Operand cond, std::string if_true,
+                       std::string if_false) {
+  append({.op = Opcode::CondBr,
+          .operands = {cond},
+          .target_labels = {std::move(if_true), std::move(if_false)}});
+}
+
+void IRBuilder::ret() { append({.op = Opcode::Ret}); }
+
+void IRBuilder::ret(Operand v) {
+  append({.op = Opcode::Ret, .operands = {v}});
+}
+
+void IRBuilder::exit(Operand code) {
+  append({.op = Opcode::Exit, .operands = {code}});
+}
+
+void IRBuilder::unreachable() { append({.op = Opcode::Unreachable}); }
+
+int IRBuilder::call(std::string callee, std::vector<Operand> args) {
+  int d = fresh_reg();
+  append({.op = Opcode::Call,
+          .dest = d,
+          .operands = std::move(args),
+          .symbol = std::move(callee)});
+  return d;
+}
+
+int IRBuilder::callind(Operand callee, std::vector<Operand> args) {
+  int d = fresh_reg();
+  std::vector<Operand> ops;
+  ops.reserve(args.size() + 1);
+  ops.push_back(callee);
+  for (Operand& a : args) ops.push_back(std::move(a));
+  append({.op = Opcode::CallInd, .dest = d, .operands = std::move(ops)});
+  return d;
+}
+
+int IRBuilder::funcaddr(std::string name) {
+  int d = fresh_reg();
+  append({.op = Opcode::FuncAddr,
+          .dest = d,
+          .operands = {Operand::func(std::move(name))}});
+  return d;
+}
+
+int IRBuilder::syscall(std::string name, std::vector<Operand> args) {
+  int d = fresh_reg();
+  append({.op = Opcode::Syscall,
+          .dest = d,
+          .operands = std::move(args),
+          .symbol = std::move(name)});
+  return d;
+}
+
+void IRBuilder::priv_raise(caps::CapSet set) {
+  append({.op = Opcode::PrivRaise, .operands = {Operand::capset(set)}});
+}
+
+void IRBuilder::priv_lower(caps::CapSet set) {
+  append({.op = Opcode::PrivLower, .operands = {Operand::capset(set)}});
+}
+
+void IRBuilder::priv_remove(caps::CapSet set) {
+  append({.op = Opcode::PrivRemove, .operands = {Operand::capset(set)}});
+}
+
+void IRBuilder::nop(int count) {
+  for (int k = 0; k < count; ++k) append({.op = Opcode::Nop});
+}
+
+}  // namespace pa::ir

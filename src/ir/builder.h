@@ -1,0 +1,100 @@
+// IRBuilder: the ergonomic construction API used by src/programs/ to define
+// the evaluation programs. Branch targets are written as label strings and
+// resolved when the function is finished.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pa::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(&module) {}
+
+  // -- Function / block lifecycle -------------------------------------------
+  /// Start a function with `num_params` parameters (in %0..%n-1) and create
+  /// its entry block.
+  IRBuilder& begin_function(std::string name, int num_params = 0,
+                            std::string entry_label = "entry");
+  /// Create a block (insertion point unchanged).
+  IRBuilder& declare_block(std::string label);
+  /// Create a block if needed and move the insertion point to its end.
+  IRBuilder& at(std::string label);
+  /// Resolve labels; verifier-ready. Returns the finished function.
+  Function& end_function();
+
+  /// True if the current insertion block already ends in a terminator
+  /// (frontends use this to decide whether a fall-through branch is needed).
+  bool current_block_terminated() const;
+
+  /// Register holding parameter `i`.
+  int param(int i) const;
+
+  // -- Operand shorthands ----------------------------------------------------
+  static Operand r(int reg) { return Operand::reg(reg); }
+  static Operand i(std::int64_t v) { return Operand::imm(v); }
+  static Operand s(std::string v) { return Operand::str(std::move(v)); }
+  static Operand f(std::string v) { return Operand::func(std::move(v)); }
+  static Operand c(caps::CapSet v) { return Operand::capset(v); }
+
+  // -- Instructions ----------------------------------------------------------
+  int mov(Operand v);
+  /// mov into an existing register (loop counters, accumulators).
+  void mov_to(int dst, Operand v);
+  int binop(Opcode op, Operand a, Operand b);
+  int add(Operand a, Operand b) { return binop(Opcode::Add, a, b); }
+  int sub(Operand a, Operand b) { return binop(Opcode::Sub, a, b); }
+  int mul(Operand a, Operand b) { return binop(Opcode::Mul, a, b); }
+  int cmpeq(Operand a, Operand b) { return binop(Opcode::CmpEq, a, b); }
+  int cmpne(Operand a, Operand b) { return binop(Opcode::CmpNe, a, b); }
+  int cmp_lt(Operand a, Operand b) { return binop(Opcode::CmpLt, a, b); }
+  int cmp_le(Operand a, Operand b) { return binop(Opcode::CmpLe, a, b); }
+  int cmp_gt(Operand a, Operand b) { return binop(Opcode::CmpGt, a, b); }
+  int cmp_ge(Operand a, Operand b) { return binop(Opcode::CmpGe, a, b); }
+  int not_(Operand a);
+
+  void br(std::string label);
+  void condbr(Operand cond, std::string if_true, std::string if_false);
+  void ret();
+  void ret(Operand v);
+  void exit(Operand code);
+  void unreachable();
+
+  /// Direct call; returns the result register (always allocated).
+  int call(std::string callee, std::vector<Operand> args = {});
+  /// Call through a register holding a FuncRef.
+  int callind(Operand callee, std::vector<Operand> args = {});
+  /// Take @name's address into a fresh register.
+  int funcaddr(std::string name);
+
+  /// SimOS syscall; returns the result register.
+  int syscall(std::string name, std::vector<Operand> args = {});
+
+  void priv_raise(caps::CapSet set);
+  void priv_lower(caps::CapSet set);
+  void priv_remove(caps::CapSet set);
+
+  void nop(int count = 1);
+
+  /// Emit `count` nops — used by the program models to give a code region
+  /// the dynamic weight its real counterpart has (parsing, crypto, I/O).
+  void work(int count) { nop(count); }
+
+  Module& module() { return *module_; }
+
+ private:
+  Instruction& append(Instruction inst);
+  int fresh_reg();
+  BasicBlock& cur_block();
+
+  Module* module_;
+  Function* fn_ = nullptr;
+  int cur_block_ = -1;
+  int next_reg_ = 0;
+};
+
+}  // namespace pa::ir

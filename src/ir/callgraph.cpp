@@ -1,0 +1,58 @@
+#include "ir/callgraph.h"
+
+namespace pa::ir {
+
+CallGraph CallGraph::build(const Module& module, IndirectCallPolicy policy) {
+  CallGraph cg;
+  for (const Function& f : module.functions())
+    if (f.address_taken()) cg.address_taken_.insert(f.name());
+
+  for (const Function& f : module.functions()) {
+    auto& out = cg.edges_[f.name()];
+    for (const BasicBlock& bb : f.blocks()) {
+      for (const Instruction& inst : bb.instructions) {
+        switch (inst.op) {
+          case Opcode::Call:
+            out.insert(inst.symbol);
+            break;
+          case Opcode::CallInd:
+            cg.indirect_callers_.insert(f.name());
+            if (policy == IndirectCallPolicy::Conservative)
+              out.insert(cg.address_taken_.begin(), cg.address_taken_.end());
+            break;
+          case Opcode::Syscall:
+            // signal(signo, @handler): the handler becomes asynchronously
+            // callable; record it so analyses can treat it as a root.
+            if (inst.symbol == "signal") {
+              for (const Operand& op : inst.operands)
+                if (op.kind() == Operand::Kind::Func)
+                  cg.handlers_.insert(op.str_value());
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+  return cg;
+}
+
+const std::set<std::string>& CallGraph::callees(const std::string& f) const {
+  auto it = edges_.find(f);
+  return it == edges_.end() ? empty_ : it->second;
+}
+
+std::set<std::string> CallGraph::reachable_from(const std::string& root) const {
+  std::set<std::string> seen{root};
+  std::vector<std::string> work{root};
+  while (!work.empty()) {
+    std::string cur = std::move(work.back());
+    work.pop_back();
+    for (const std::string& next : callees(cur))
+      if (seen.insert(next).second) work.push_back(next);
+  }
+  return seen;
+}
+
+}  // namespace pa::ir

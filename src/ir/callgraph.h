@@ -1,0 +1,56 @@
+// Call graph over a PrivIR module, matching AutoPriv's construction: direct
+// calls contribute precise edges; an indirect call contributes edges to
+// EVERY address-taken function (the conservative over-approximation the
+// paper identifies as the reason sshd's privileges stay live).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pa::ir {
+
+/// How indirect calls are resolved.
+enum class IndirectCallPolicy {
+  /// Targets = all address-taken functions (AutoPriv's behaviour; sound).
+  Conservative,
+  /// Targets = none (unsound; used only by the ablation benchmark to show
+  /// what a perfectly precise call graph would buy).
+  AssumeNone,
+};
+
+class CallGraph {
+ public:
+  static CallGraph build(const Module& module,
+                         IndirectCallPolicy policy =
+                             IndirectCallPolicy::Conservative);
+
+  /// Direct + resolved-indirect callees of `fname`.
+  const std::set<std::string>& callees(const std::string& fname) const;
+
+  /// All functions reachable from `root` (including `root`).
+  std::set<std::string> reachable_from(const std::string& root) const;
+
+  /// Functions registered as signal handlers anywhere in the module
+  /// (operands of `syscall signal(signo, @handler)` instructions).
+  const std::set<std::string>& signal_handlers() const { return handlers_; }
+
+  /// Address-taken functions (indirect-call target set).
+  const std::set<std::string>& address_taken() const { return address_taken_; }
+
+  bool has_indirect_call(const std::string& fname) const {
+    return indirect_callers_.contains(fname);
+  }
+
+ private:
+  std::map<std::string, std::set<std::string>> edges_;
+  std::set<std::string> handlers_;
+  std::set<std::string> address_taken_;
+  std::set<std::string> indirect_callers_;
+  std::set<std::string> empty_;
+};
+
+}  // namespace pa::ir

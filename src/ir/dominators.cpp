@@ -1,0 +1,92 @@
+#include "ir/dominators.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace pa::ir {
+namespace {
+
+std::vector<std::vector<int>> predecessors_of(const Function& f) {
+  std::vector<std::vector<int>> preds(f.blocks().size());
+  for (std::size_t b = 0; b < f.blocks().size(); ++b)
+    for (int s : f.blocks()[b].successors())
+      preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(b));
+  return preds;
+}
+
+}  // namespace
+
+DominatorTree::DominatorTree(const Function& f) {
+  const std::size_t n = f.blocks().size();
+  PA_CHECK(n > 0, "dominators of an empty function");
+  idom_.clear();
+  idom_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) idom_.push_back(-1);
+
+  // Reverse post-order over reachable blocks.
+  std::vector<int> post;
+  std::vector<char> seen(n, 0);
+  auto dfs = [&](auto&& self, int b) -> void {
+    seen[static_cast<std::size_t>(b)] = 1;
+    for (int s : f.block(b).successors())
+      if (!seen[static_cast<std::size_t>(s)]) self(self, s);
+    post.push_back(b);
+  };
+  dfs(dfs, 0);
+  rpo_.assign(post.rbegin(), post.rend());
+
+  std::vector<int> rpo_index;
+  rpo_index.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) rpo_index.push_back(-1);
+  for (std::size_t i = 0; i < rpo_.size(); ++i)
+    rpo_index[static_cast<std::size_t>(rpo_[i])] = static_cast<int>(i);
+
+  auto preds = predecessors_of(f);
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpo_index[static_cast<std::size_t>(a)] >
+             rpo_index[static_cast<std::size_t>(b)])
+        a = idom_[static_cast<std::size_t>(a)];
+      while (rpo_index[static_cast<std::size_t>(b)] >
+             rpo_index[static_cast<std::size_t>(a)])
+        b = idom_[static_cast<std::size_t>(b)];
+    }
+    return a;
+  };
+
+  idom_[0] = 0;  // sentinel: entry dominated by itself during iteration
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : rpo_) {
+      if (b == 0) continue;
+      int new_idom = -1;
+      for (int p : preds[static_cast<std::size_t>(b)]) {
+        if (idom_[static_cast<std::size_t>(p)] == -1) continue;  // unprocessed
+        new_idom = new_idom == -1 ? p : intersect(p, new_idom);
+      }
+      if (new_idom != -1 && idom_[static_cast<std::size_t>(b)] != new_idom) {
+        idom_[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom_[0] = -1;  // the entry has no immediate dominator
+}
+
+int DominatorTree::idom(int block) const {
+  PA_CHECK(block >= 0 && block < static_cast<int>(idom_.size()),
+           "block out of range");
+  return idom_[static_cast<std::size_t>(block)];
+}
+
+bool DominatorTree::dominates(int a, int b) const {
+  if (a == 0) return true;  // entry dominates everything reachable
+  for (int cur = b; cur != -1; cur = idom(cur))
+    if (cur == a) return true;
+  return false;
+}
+
+}  // namespace pa::ir

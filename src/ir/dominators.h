@@ -1,0 +1,32 @@
+// Dominator analysis over a PrivIR function's CFG (Cooper/Harvey/Kennedy's
+// iterative algorithm). Available as general compiler infrastructure; used
+// by tests and by the AutoPriv report to describe where removes sit
+// relative to the privilege-using regions.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace pa::ir {
+
+class DominatorTree {
+ public:
+  /// Build for `f` (entry = block 0). Unreachable blocks get idom -1.
+  explicit DominatorTree(const Function& f);
+
+  /// Immediate dominator of `block` (-1 for the entry and unreachables).
+  int idom(int block) const;
+
+  /// True if `a` dominates `b` (reflexive).
+  bool dominates(int a, int b) const;
+
+  /// Blocks in reverse post-order (the iteration order used internally).
+  const std::vector<int>& reverse_post_order() const { return rpo_; }
+
+ private:
+  std::vector<int> idom_;
+  std::vector<int> rpo_;
+};
+
+}  // namespace pa::ir

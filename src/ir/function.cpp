@@ -1,0 +1,68 @@
+#include "ir/function.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::ir {
+
+BasicBlock& Function::block(int i) {
+  PA_CHECK(i >= 0 && i < static_cast<int>(blocks_.size()),
+           str::cat("bad block index ", i, " in @", name_));
+  return blocks_[static_cast<std::size_t>(i)];
+}
+
+const BasicBlock& Function::block(int i) const {
+  PA_CHECK(i >= 0 && i < static_cast<int>(blocks_.size()),
+           str::cat("bad block index ", i, " in @", name_));
+  return blocks_[static_cast<std::size_t>(i)];
+}
+
+std::optional<int> Function::block_index(std::string_view label) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i)
+    if (blocks_[i].label == label) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+int Function::add_block(std::string label) {
+  PA_CHECK(!block_index(label).has_value(),
+           str::cat("duplicate block label ", label, " in @", name_));
+  blocks_.push_back(BasicBlock{.label = std::move(label), .instructions = {}});
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+void Function::resolve_labels() {
+  for (BasicBlock& bb : blocks_) {
+    for (Instruction& inst : bb.instructions) {
+      inst.targets.clear();
+      for (const std::string& label : inst.target_labels) {
+        auto idx = block_index(label);
+        PA_CHECK(idx.has_value(),
+                 str::cat("unknown label ", label, " in @", name_));
+        inst.targets.push_back(*idx);
+      }
+    }
+  }
+}
+
+int Function::num_registers() const {
+  int max_reg = num_params_ - 1;
+  for (const BasicBlock& bb : blocks_) {
+    for (const Instruction& inst : bb.instructions) {
+      max_reg = std::max(max_reg, inst.dest);
+      for (const Operand& op : inst.operands)
+        if (op.kind() == Operand::Kind::Reg)
+          max_reg = std::max(max_reg, op.reg_index());
+    }
+  }
+  return max_reg + 1;
+}
+
+int Function::countable_instructions() const {
+  int n = 0;
+  for (const BasicBlock& bb : blocks_) n += bb.countable_instructions();
+  return n;
+}
+
+}  // namespace pa::ir

@@ -1,0 +1,54 @@
+// PrivIR function: parameters arrive in registers %0..%n-1; block 0 is the
+// entry block.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/basic_block.h"
+
+namespace pa::ir {
+
+class Function {
+ public:
+  Function() = default;
+  Function(std::string name, int num_params)
+      : name_(std::move(name)), num_params_(num_params) {}
+
+  const std::string& name() const { return name_; }
+  int num_params() const { return num_params_; }
+
+  std::vector<BasicBlock>& blocks() { return blocks_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  BasicBlock& block(int i);
+  const BasicBlock& block(int i) const;
+  std::optional<int> block_index(std::string_view label) const;
+
+  /// Append a new block; returns its index.
+  int add_block(std::string label);
+
+  /// Resolve every terminator's target labels into block indices.
+  /// Throws pa::Error on an unknown label. Call after mutation.
+  void resolve_labels();
+
+  /// Highest register index referenced + 1 (the VM's frame size).
+  int num_registers() const;
+
+  /// True if the function's address is taken somewhere in the module; set by
+  /// Module::recompute_address_taken().
+  bool address_taken() const { return address_taken_; }
+  void set_address_taken(bool v) { address_taken_ = v; }
+
+  /// Total countable (non-unreachable) instructions.
+  int countable_instructions() const;
+
+ private:
+  std::string name_;
+  int num_params_ = 0;
+  std::vector<BasicBlock> blocks_;
+  bool address_taken_ = false;
+};
+
+}  // namespace pa::ir

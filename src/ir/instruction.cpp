@@ -1,0 +1,121 @@
+#include "ir/instruction.h"
+
+#include <array>
+#include <utility>
+
+#include "support/str.h"
+
+namespace pa::ir {
+namespace {
+
+constexpr std::array<std::pair<Opcode, std::string_view>, 27> kOpNames = {{
+    {Opcode::Mov, "mov"},
+    {Opcode::Add, "add"},
+    {Opcode::Sub, "sub"},
+    {Opcode::Mul, "mul"},
+    {Opcode::Div, "div"},
+    {Opcode::CmpEq, "cmpeq"},
+    {Opcode::CmpNe, "cmpne"},
+    {Opcode::CmpLt, "cmplt"},
+    {Opcode::CmpLe, "cmple"},
+    {Opcode::CmpGt, "cmpgt"},
+    {Opcode::CmpGe, "cmpge"},
+    {Opcode::And, "and"},
+    {Opcode::Or, "or"},
+    {Opcode::Not, "not"},
+    {Opcode::Br, "br"},
+    {Opcode::CondBr, "condbr"},
+    {Opcode::Ret, "ret"},
+    {Opcode::Exit, "exit"},
+    {Opcode::Unreachable, "unreachable"},
+    {Opcode::Call, "call"},
+    {Opcode::CallInd, "callind"},
+    {Opcode::FuncAddr, "funcaddr"},
+    {Opcode::Syscall, "syscall"},
+    {Opcode::PrivRaise, "priv_raise"},
+    {Opcode::PrivLower, "priv_lower"},
+    {Opcode::PrivRemove, "priv_remove"},
+    {Opcode::Nop, "nop"},
+}};
+
+std::string arg_list(const std::vector<Operand>& ops, std::size_t from) {
+  std::string out = "(";
+  for (std::size_t i = from; i < ops.size(); ++i) {
+    if (i > from) out += ", ";
+    out += ops[i].to_string();
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string_view opcode_name(Opcode op) {
+  for (const auto& [o, n] : kOpNames)
+    if (o == op) return n;
+  return "?";
+}
+
+std::optional<Opcode> parse_opcode(std::string_view s) {
+  for (const auto& [o, n] : kOpNames)
+    if (n == s) return o;
+  return std::nullopt;
+}
+
+bool is_terminator(Opcode op) {
+  switch (op) {
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Exit:
+    case Opcode::Unreachable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Text grammar (one instruction per line):
+//   %d = mov <op>               | %d = add <op>, <op>   (etc.)
+//   br <label>                  | condbr <op>, <l1>, <l2>
+//   ret [<op>]                  | exit <op>             | unreachable
+//   [%d =] call @f(<ops>)       | [%d =] callind <reg>(<ops>)
+//   %d = funcaddr @f            | [%d =] syscall name(<ops>)
+//   priv_raise {Caps,...}       | priv_lower {...}      | priv_remove {...}
+std::string Instruction::to_string() const {
+  std::string out;
+  if (dest != kNoReg) out = str::cat("%", dest, " = ");
+  switch (op) {
+    case Opcode::Call:
+      return out + str::cat("call @", symbol, arg_list(operands, 0));
+    case Opcode::CallInd:
+      return out + str::cat("callind ", operands[0].to_string(),
+                            arg_list(operands, 1));
+    case Opcode::Syscall:
+      return out + str::cat("syscall ", symbol, arg_list(operands, 0));
+    case Opcode::Br:
+      return str::cat("br ", target_labels[0]);
+    case Opcode::CondBr:
+      return str::cat("condbr ", operands[0].to_string(), ", ",
+                      target_labels[0], ", ", target_labels[1]);
+    case Opcode::PrivRaise:
+    case Opcode::PrivLower:
+    case Opcode::PrivRemove:
+      // Malformed operands (caught by the verifier) still need printable
+      // diagnostics, so fall back to the generic form for them.
+      if (operands.size() == 1 &&
+          operands[0].kind() == Operand::Kind::Caps)
+        return out + str::cat(opcode_name(op), " {",
+                              operands[0].caps_value().to_string(), "}");
+      break;
+    case Opcode::FuncAddr:
+      return out + str::cat("funcaddr ", operands[0].to_string());
+    default:
+      break;
+  }
+  out += opcode_name(op);
+  for (std::size_t i = 0; i < operands.size(); ++i)
+    out += str::cat(i == 0 ? " " : ", ", operands[i].to_string());
+  return out;
+}
+
+}  // namespace pa::ir

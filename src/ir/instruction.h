@@ -1,0 +1,58 @@
+// PrivIR instructions. A basic block is a run of non-terminator instructions
+// followed by exactly one terminator (br / condbr / ret / exit / unreachable).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/value.h"
+
+namespace pa::ir {
+
+enum class Opcode {
+  // Data movement / arithmetic / comparison.
+  Mov, Add, Sub, Mul, Div,
+  CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+  And, Or, Not,
+  // Control flow (terminators except Call).
+  Br, CondBr, Ret, Exit, Unreachable,
+  // Calls: Call has a symbolic callee; CallInd takes the callee from a
+  // register holding a FuncRef (targets over-approximated by the call graph).
+  Call, CallInd,
+  // Take a function's address (marks it address-taken for the call graph).
+  FuncAddr,
+  // OS interaction: name identifies a SimOS syscall.
+  Syscall,
+  // libpriv wrappers; the operand is a capability-set immediate.
+  PrivRaise, PrivLower, PrivRemove,
+  Nop,
+};
+
+std::string_view opcode_name(Opcode op);
+std::optional<Opcode> parse_opcode(std::string_view s);
+bool is_terminator(Opcode op);
+
+/// Marker for "no destination register".
+inline constexpr int kNoReg = -1;
+
+struct Instruction {
+  Opcode op = Opcode::Nop;
+  int dest = kNoReg;
+  std::vector<Operand> operands;
+
+  /// Call: callee function name. Syscall: syscall name.
+  std::string symbol;
+
+  /// Br: {target}. CondBr: {if-true, if-false}. Labels are resolved to block
+  /// indices by Function::resolve_labels().
+  std::vector<std::string> target_labels;
+  std::vector<int> targets;
+
+  bool is_term() const { return is_terminator(op); }
+
+  std::string to_string() const;
+};
+
+}  // namespace pa::ir

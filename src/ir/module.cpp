@@ -1,0 +1,54 @@
+#include "ir/module.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::ir {
+
+Function& Module::add_function(std::string fname, int num_params) {
+  PA_CHECK(!index_.contains(fname), str::cat("duplicate function @", fname));
+  index_.emplace(fname, funcs_.size());
+  funcs_.emplace_back(std::move(fname), num_params);
+  return funcs_.back();
+}
+
+bool Module::has_function(std::string_view fname) const {
+  return index_.find(fname) != index_.end();
+}
+
+Function& Module::function(std::string_view fname) {
+  auto it = index_.find(fname);
+  PA_CHECK(it != index_.end(), str::cat("no function @", fname));
+  return funcs_[it->second];
+}
+
+const Function& Module::function(std::string_view fname) const {
+  auto it = index_.find(fname);
+  PA_CHECK(it != index_.end(), str::cat("no function @", fname));
+  return funcs_[it->second];
+}
+
+void Module::recompute_address_taken() {
+  for (Function& f : funcs_) f.set_address_taken(false);
+  for (const Function& f : funcs_) {
+    for (const BasicBlock& bb : f.blocks()) {
+      for (const Instruction& inst : bb.instructions) {
+        if (inst.op != Opcode::FuncAddr) continue;
+        const std::string& target = inst.operands[0].str_value();
+        if (has_function(target)) function(target).set_address_taken(true);
+      }
+    }
+  }
+}
+
+void Module::resolve_labels() {
+  for (Function& f : funcs_) f.resolve_labels();
+}
+
+int Module::countable_instructions() const {
+  int n = 0;
+  for (const Function& f : funcs_) n += f.countable_instructions();
+  return n;
+}
+
+}  // namespace pa::ir

@@ -1,0 +1,43 @@
+// PrivIR module: an ordered collection of functions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace pa::ir {
+
+class Module {
+ public:
+  Module() = default;
+  explicit Module(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Function& add_function(std::string fname, int num_params);
+  bool has_function(std::string_view fname) const;
+  Function& function(std::string_view fname);
+  const Function& function(std::string_view fname) const;
+
+  std::vector<Function>& functions() { return funcs_; }
+  const std::vector<Function>& functions() const { return funcs_; }
+
+  /// Scan for FuncAddr instructions and mark the referenced functions
+  /// address-taken (the call graph's indirect-call target set).
+  void recompute_address_taken();
+
+  /// Resolve labels in every function.
+  void resolve_labels();
+
+  /// Total countable instructions across all functions.
+  int countable_instructions() const;
+
+ private:
+  std::string name_;
+  std::vector<Function> funcs_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace pa::ir

@@ -1,0 +1,27 @@
+// PrivIR text parser (inverse of ir/printer.h).
+//
+// Grammar (';' starts a comment; blank lines ignored):
+//   module   := { function }
+//   function := "func" "@" name "(" int ")" "{" { block } "}"
+//   block    := label ":" { instruction }
+//   operand  := "%" int | int | '"' chars '"' | "@" name | "{" caps "}"
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ir/module.h"
+
+namespace pa::ir {
+
+/// Parse a module; throws pa::Error with a line number on syntax errors.
+/// The returned module has labels resolved and address-taken marks computed,
+/// but is NOT verified — run ir::verify separately.
+Module parse(std::string_view text, std::string module_name = "parsed");
+
+/// Non-throwing variant; fills `error` on failure.
+std::optional<Module> try_parse(std::string_view text, std::string* error,
+                                std::string module_name = "parsed");
+
+}  // namespace pa::ir

@@ -1,0 +1,26 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace pa::ir {
+
+std::string print(const Function& f) {
+  std::ostringstream os;
+  os << "func @" << f.name() << "(" << f.num_params() << ") {\n";
+  for (const BasicBlock& bb : f.blocks()) {
+    os << bb.label << ":\n";
+    for (const Instruction& inst : bb.instructions)
+      os << "  " << inst.to_string() << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print(const Module& m) {
+  std::ostringstream os;
+  os << "; module " << m.name() << "\n";
+  for (const Function& f : m.functions()) os << print(f) << "\n";
+  return os.str();
+}
+
+}  // namespace pa::ir

@@ -1,0 +1,14 @@
+// PrivIR text emission. The output parses back with ir/parser.h
+// (round-tripping is covered by tests/ir_roundtrip_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace pa::ir {
+
+std::string print(const Function& f);
+std::string print(const Module& m);
+
+}  // namespace pa::ir

@@ -1,0 +1,105 @@
+#include "ir/value.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::ir {
+
+std::string rt_to_string(const RtValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  return "@" + std::get<FuncRef>(v).name;
+}
+
+std::int64_t rt_as_int(const RtValue& v) {
+  const auto* i = std::get_if<std::int64_t>(&v);
+  PA_CHECK(i != nullptr, "runtime value is not an integer");
+  return *i;
+}
+
+const std::string& rt_as_str(const RtValue& v) {
+  const auto* s = std::get_if<std::string>(&v);
+  PA_CHECK(s != nullptr, "runtime value is not a string");
+  return *s;
+}
+
+Operand Operand::reg(int r) {
+  Operand o;
+  o.kind_ = Kind::Reg;
+  o.reg_ = r;
+  return o;
+}
+
+Operand Operand::imm(std::int64_t v) {
+  Operand o;
+  o.kind_ = Kind::Int;
+  o.ival_ = v;
+  return o;
+}
+
+Operand Operand::str(std::string s) {
+  Operand o;
+  o.kind_ = Kind::Str;
+  o.sval_ = std::move(s);
+  return o;
+}
+
+Operand Operand::func(std::string name) {
+  Operand o;
+  o.kind_ = Kind::Func;
+  o.sval_ = std::move(name);
+  return o;
+}
+
+Operand Operand::capset(caps::CapSet c) {
+  Operand o;
+  o.kind_ = Kind::Caps;
+  o.caps_ = c;
+  return o;
+}
+
+int Operand::reg_index() const {
+  PA_CHECK(kind_ == Kind::Reg, "operand is not a register");
+  return reg_;
+}
+
+std::int64_t Operand::int_value() const {
+  PA_CHECK(kind_ == Kind::Int, "operand is not an integer");
+  return ival_;
+}
+
+const std::string& Operand::str_value() const {
+  PA_CHECK(kind_ == Kind::Str || kind_ == Kind::Func,
+           "operand is not a string");
+  return sval_;
+}
+
+caps::CapSet Operand::caps_value() const {
+  PA_CHECK(kind_ == Kind::Caps, "operand is not a capability set");
+  return caps_;
+}
+
+std::string Operand::to_string() const {
+  switch (kind_) {
+    case Kind::Reg: return str::cat("%", reg_);
+    case Kind::Int: return std::to_string(ival_);
+    case Kind::Str: {
+      std::string escaped;
+      for (char c : sval_) {
+        switch (c) {
+          case '"': escaped += "\\\""; break;
+          case '\\': escaped += "\\\\"; break;
+          case '\n': escaped += "\\n"; break;
+          case '\t': escaped += "\\t"; break;
+          default: escaped += c;
+        }
+      }
+      return str::cat("\"", escaped, "\"");
+    }
+    case Kind::Func: return str::cat("@", sval_);
+    case Kind::Caps: return str::cat("{", caps_.to_string(), "}");
+  }
+  return "?";
+}
+
+}  // namespace pa::ir

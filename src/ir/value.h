@@ -1,0 +1,59 @@
+// PrivIR operands and runtime values.
+//
+// PrivIR is a small register-machine compiler IR standing in for LLVM IR in
+// this reproduction: enough structure (functions, basic blocks, a CFG, direct
+// and indirect calls, syscall and privilege-operation instructions) for the
+// AutoPriv/ChronoPriv analyses to run exactly as described in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "caps/capability.h"
+
+namespace pa::ir {
+
+/// A value computed at runtime by the VM: an integer, a string, or a
+/// function reference (for indirect calls).
+struct FuncRef {
+  std::string name;
+  bool operator==(const FuncRef&) const = default;
+};
+
+using RtValue = std::variant<std::int64_t, std::string, FuncRef>;
+
+std::string rt_to_string(const RtValue& v);
+std::int64_t rt_as_int(const RtValue& v);
+const std::string& rt_as_str(const RtValue& v);
+
+/// A static operand of an instruction.
+class Operand {
+ public:
+  enum class Kind { Reg, Int, Str, Func, Caps };
+
+  static Operand reg(int r);
+  static Operand imm(std::int64_t v);
+  static Operand str(std::string s);
+  static Operand func(std::string name);
+  static Operand capset(caps::CapSet c);
+
+  Kind kind() const { return kind_; }
+  int reg_index() const;
+  std::int64_t int_value() const;
+  const std::string& str_value() const;   // Str and Func kinds
+  caps::CapSet caps_value() const;
+
+  bool operator==(const Operand&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::Int;
+  int reg_ = -1;
+  std::int64_t ival_ = 0;
+  std::string sval_;
+  caps::CapSet caps_;
+};
+
+}  // namespace pa::ir

@@ -1,0 +1,141 @@
+#include "ir/verifier.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::ir {
+namespace {
+
+struct Checker {
+  const Module& module;
+  std::vector<std::string> problems;
+
+  void problem(const Function& f, const BasicBlock& bb, const std::string& m) {
+    problems.push_back(str::cat("@", f.name(), ":", bb.label, ": ", m));
+  }
+
+  void check_operand_kinds(const Function& f, const BasicBlock& bb,
+                           const Instruction& inst) {
+    auto expect = [&](bool cond, std::string_view what) {
+      if (!cond)
+        problem(f, bb, str::cat(opcode_name(inst.op), ": ", what, " in `",
+                                inst.to_string(), "`"));
+    };
+    const std::size_t n = inst.operands.size();
+    switch (inst.op) {
+      case Opcode::Mov:
+      case Opcode::Not:
+        expect(n == 1, "expects 1 operand");
+        expect(inst.dest != kNoReg, "must produce a value");
+        break;
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul: case Opcode::Div:
+      case Opcode::CmpEq: case Opcode::CmpNe: case Opcode::CmpLt:
+      case Opcode::CmpLe: case Opcode::CmpGt: case Opcode::CmpGe:
+      case Opcode::And: case Opcode::Or:
+        expect(n == 2, "expects 2 operands");
+        expect(inst.dest != kNoReg, "must produce a value");
+        break;
+      case Opcode::Br:
+        expect(inst.target_labels.size() == 1, "expects 1 target");
+        break;
+      case Opcode::CondBr:
+        expect(n == 1, "expects a condition operand");
+        expect(inst.target_labels.size() == 2, "expects 2 targets");
+        break;
+      case Opcode::Ret:
+        expect(n <= 1, "expects at most 1 operand");
+        break;
+      case Opcode::Exit:
+        expect(n == 1, "expects an exit code");
+        break;
+      case Opcode::Call:
+        expect(!inst.symbol.empty(), "missing callee");
+        if (!inst.symbol.empty() && !module.has_function(inst.symbol)) {
+          problem(f, bb, str::cat("call to unknown function @", inst.symbol));
+        } else if (!inst.symbol.empty()) {
+          const int want = module.function(inst.symbol).num_params();
+          if (static_cast<int>(n) != want)
+            problem(f, bb,
+                    str::cat("call to @", inst.symbol, " with ", n,
+                             " args, expects ", want));
+        }
+        break;
+      case Opcode::CallInd:
+        expect(n >= 1 && inst.operands[0].kind() == Operand::Kind::Reg,
+               "callee must be a register");
+        break;
+      case Opcode::FuncAddr:
+        expect(n == 1 && inst.operands[0].kind() == Operand::Kind::Func,
+               "expects a function operand");
+        if (n == 1 && inst.operands[0].kind() == Operand::Kind::Func &&
+            !module.has_function(inst.operands[0].str_value()))
+          problem(f, bb, str::cat("funcaddr of unknown function @",
+                                  inst.operands[0].str_value()));
+        break;
+      case Opcode::Syscall:
+        expect(!inst.symbol.empty(), "missing syscall name");
+        break;
+      case Opcode::PrivRaise:
+      case Opcode::PrivLower:
+      case Opcode::PrivRemove:
+        expect(n == 1 && inst.operands[0].kind() == Operand::Kind::Caps,
+               "expects a capability-set operand");
+        break;
+      case Opcode::Unreachable:
+      case Opcode::Nop:
+        expect(n == 0, "expects no operands");
+        break;
+    }
+    if (is_terminator(inst.op) && inst.dest != kNoReg)
+      problem(f, bb, "terminator must not produce a value");
+  }
+
+  void check_function(const Function& f) {
+    if (f.blocks().empty()) {
+      problems.push_back(str::cat("@", f.name(), ": function has no blocks"));
+      return;
+    }
+    for (const BasicBlock& bb : f.blocks()) {
+      if (bb.instructions.empty()) {
+        problem(f, bb, "empty block");
+        continue;
+      }
+      for (std::size_t i = 0; i < bb.instructions.size(); ++i) {
+        const Instruction& inst = bb.instructions[i];
+        const bool last = i + 1 == bb.instructions.size();
+        if (inst.is_term() && !last)
+          problem(f, bb, str::cat("terminator `", inst.to_string(),
+                                  "` not at end of block"));
+        if (last && !inst.is_term())
+          problem(f, bb, "block does not end with a terminator");
+        if (inst.targets.size() != inst.target_labels.size())
+          problem(f, bb,
+                  str::cat("unresolved labels in `", inst.to_string(),
+                           "` (call resolve_labels)"));
+        for (int t : inst.targets)
+          if (t < 0 || t >= static_cast<int>(f.blocks().size()))
+            problem(f, bb, str::cat("branch target out of range: ", t));
+        check_operand_kinds(f, bb, inst);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& module) {
+  Checker c{module, {}};
+  for (const Function& f : module.functions()) c.check_function(f);
+  return c.problems;
+}
+
+void verify_or_throw(const Module& module) {
+  auto problems = verify(module);
+  if (problems.empty()) return;
+  std::string msg =
+      str::cat("IR verification failed for module '", module.name(), "':");
+  for (const std::string& p : problems) msg += "\n  " + p;
+  fail(std::move(msg));
+}
+
+}  // namespace pa::ir

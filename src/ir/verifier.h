@@ -1,0 +1,18 @@
+// PrivIR structural verifier. Run after construction or parsing and before
+// handing a module to the analyses or the VM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace pa::ir {
+
+/// Returns all structural problems found (empty = well-formed).
+std::vector<std::string> verify(const Module& module);
+
+/// Throws pa::Error listing every problem if the module is malformed.
+void verify_or_throw(const Module& module);
+
+}  // namespace pa::ir

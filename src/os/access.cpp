@@ -1,0 +1,182 @@
+#include "os/access.h"
+
+#include <cctype>
+
+namespace pa::os {
+
+std::string Mode::to_string() const {
+  std::string s(9, '-');
+  if (bits_ & kUserR) s[0] = 'r';
+  if (bits_ & kUserW) s[1] = 'w';
+  if (bits_ & kUserX) s[2] = 'x';
+  if (bits_ & kGroupR) s[3] = 'r';
+  if (bits_ & kGroupW) s[4] = 'w';
+  if (bits_ & kGroupX) s[5] = 'x';
+  if (bits_ & kOtherR) s[6] = 'r';
+  if (bits_ & kOtherW) s[7] = 'w';
+  if (bits_ & kOtherX) s[8] = 'x';
+  if (bits_ & kSetuid) s[2] = (bits_ & kUserX) ? 's' : 'S';
+  if (bits_ & kSetgid) s[5] = (bits_ & kGroupX) ? 's' : 'S';
+  if (bits_ & kSticky) s[8] = (bits_ & kOtherX) ? 't' : 'T';
+  return s;
+}
+
+std::optional<Mode> Mode::parse(std::string_view s) {
+  if (!s.empty() && s[0] == '0') {
+    std::uint16_t bits = 0;
+    for (char c : s.substr(1)) {
+      if (c < '0' || c > '7') return std::nullopt;
+      bits = static_cast<std::uint16_t>(bits * 8 + (c - '0'));
+    }
+    if (bits > 07777) return std::nullopt;
+    return Mode(bits);
+  }
+  if (s.size() != 9) return std::nullopt;
+  std::uint16_t bits = 0;
+  struct Slot {
+    char set;
+    std::uint16_t bit;
+  };
+  const Slot slots[9] = {{'r', Mode::kUserR},  {'w', Mode::kUserW},
+                         {'x', Mode::kUserX},  {'r', Mode::kGroupR},
+                         {'w', Mode::kGroupW}, {'x', Mode::kGroupX},
+                         {'r', Mode::kOtherR}, {'w', Mode::kOtherW},
+                         {'x', Mode::kOtherX}};
+  for (int i = 0; i < 9; ++i) {
+    const char c = s[static_cast<std::size_t>(i)];
+    if (c == '-') continue;
+    if (c == slots[i].set) {
+      bits |= slots[i].bit;
+      continue;
+    }
+    // Special-bit spellings in the x columns.
+    if (i == 2 && (c == 's' || c == 'S')) {
+      bits |= Mode::kSetuid;
+      if (c == 's') bits |= Mode::kUserX;
+      continue;
+    }
+    if (i == 5 && (c == 's' || c == 'S')) {
+      bits |= Mode::kSetgid;
+      if (c == 's') bits |= Mode::kGroupX;
+      continue;
+    }
+    if (i == 8 && (c == 't' || c == 'T')) {
+      bits |= Mode::kSticky;
+      if (c == 't') bits |= Mode::kOtherX;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return Mode(bits);
+}
+
+bool dac_allows(const Credentials& creds, const FileMeta& meta,
+                AccessKind kind) {
+  std::uint16_t r, w, x;
+  if (creds.uid.effective == meta.owner) {
+    r = Mode::kUserR;
+    w = Mode::kUserW;
+    x = Mode::kUserX;
+  } else if (creds.in_group(meta.group)) {
+    r = Mode::kGroupR;
+    w = Mode::kGroupW;
+    x = Mode::kGroupX;
+  } else {
+    r = Mode::kOtherR;
+    w = Mode::kOtherW;
+    x = Mode::kOtherX;
+  }
+  switch (kind) {
+    case AccessKind::Read:
+      return meta.mode.any(r);
+    case AccessKind::Write:
+      return meta.mode.any(w);
+    case AccessKind::Execute:
+      return meta.mode.any(x);
+  }
+  return false;
+}
+
+bool may_access(const Actor& a, const FileMeta& meta, AccessKind kind) {
+  if (dac_allows(a.creds, meta, kind)) return true;
+  switch (kind) {
+    case AccessKind::Read:
+      return a.effective.contains(Capability::DacOverride) ||
+             a.effective.contains(Capability::DacReadSearch);
+    case AccessKind::Write:
+      return a.effective.contains(Capability::DacOverride);
+    case AccessKind::Execute:
+      // CAP_DAC_OVERRIDE grants execute only if some x bit is set.
+      return a.effective.contains(Capability::DacOverride) &&
+             meta.mode.any(Mode::kUserX | Mode::kGroupX | Mode::kOtherX);
+  }
+  return false;
+}
+
+bool may_search(const Actor& a, const FileMeta& dir_meta) {
+  if (dac_allows(a.creds, dir_meta, AccessKind::Execute)) return true;
+  return a.effective.contains(Capability::DacOverride) ||
+         a.effective.contains(Capability::DacReadSearch);
+}
+
+bool may_chmod(const Actor& a, const FileMeta& meta) {
+  return a.creds.uid.effective == meta.owner ||
+         a.effective.contains(Capability::Fowner);
+}
+
+bool may_chown(const Actor& a, const FileMeta& meta, int new_owner,
+               int new_group) {
+  if (a.effective.contains(Capability::Chown)) return true;
+  // Without CAP_CHOWN the owner may never change (to a different uid).
+  if (new_owner != caps::kWildcardId && new_owner != meta.owner) return false;
+  // Group changes: the caller must own the file and the target group must be
+  // one of the caller's groups.
+  if (new_group != caps::kWildcardId && new_group != meta.group) {
+    if (a.creds.uid.effective != meta.owner) return false;
+    if (!a.creds.in_group(new_group)) return false;
+  }
+  // A no-op chown is permitted for the owner.
+  return a.creds.uid.effective == meta.owner ||
+         (new_owner == caps::kWildcardId && new_group == caps::kWildcardId);
+}
+
+bool may_unlink(const Actor& a, const FileMeta& dir_meta,
+                const FileMeta& victim_meta) {
+  if (!may_search(a, dir_meta)) return false;
+  if (!may_access(a, dir_meta, AccessKind::Write)) return false;
+  if (dir_meta.mode.has(Mode::kSticky)) {
+    if (a.creds.uid.effective != victim_meta.owner &&
+        a.creds.uid.effective != dir_meta.owner &&
+        !a.effective.contains(Capability::Fowner))
+      return false;
+  }
+  return true;
+}
+
+bool may_bind_port(const Actor& a, int port) {
+  if (port < 0 || port > 65535) return false;
+  if (port > kPrivilegedPortMax || port == 0) return true;
+  return a.effective.contains(Capability::NetBindService);
+}
+
+bool may_create_raw_socket(const Actor& a) {
+  return a.effective.contains(Capability::NetRaw);
+}
+
+bool may_setsockopt_admin(const Actor& a) {
+  return a.effective.contains(Capability::NetAdmin);
+}
+
+bool may_chroot(const Actor& a) {
+  return a.effective.contains(Capability::SysChroot);
+}
+
+bool may_kill(const Actor& sender, const IdTriple& target_uid) {
+  if (sender.effective.contains(Capability::Kill)) return true;
+  const int se = sender.creds.uid.effective;
+  const int sr = sender.creds.uid.real;
+  return se == target_uid.real || se == target_uid.saved ||
+         sr == target_uid.real || sr == target_uid.saved;
+}
+
+}  // namespace pa::os

@@ -1,0 +1,126 @@
+// The access-control decision library: pure functions implementing Linux's
+// discretionary access control plus the capability overrides, exactly as
+// open(2), chown(2), chmod(2), unlink(2), bind(2), and kill(2) describe them.
+//
+// Both the SimOS runtime kernel (src/os/kernel.*) and the ROSA model
+// checker's transition rules (src/rosa/rules.*) call these functions, so the
+// checker and the simulated kernel can never disagree about what an access
+// decision would be. Property tests in tests/access_consistency_test.cpp
+// exercise this guarantee.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "caps/credentials.h"
+#include "caps/priv_state.h"
+
+namespace pa::os {
+
+using caps::CapSet;
+using caps::Capability;
+using caps::Credentials;
+using caps::Gid;
+using caps::IdTriple;
+using caps::Uid;
+
+/// Unix permission bits (the low 12 bits of st_mode).
+class Mode {
+ public:
+  static constexpr std::uint16_t kSetuid = 04000;
+  static constexpr std::uint16_t kSetgid = 02000;
+  static constexpr std::uint16_t kSticky = 01000;
+  static constexpr std::uint16_t kUserR = 0400, kUserW = 0200, kUserX = 0100;
+  static constexpr std::uint16_t kGroupR = 040, kGroupW = 020, kGroupX = 010;
+  static constexpr std::uint16_t kOtherR = 04, kOtherW = 02, kOtherX = 01;
+
+  constexpr Mode() = default;
+  explicit constexpr Mode(std::uint16_t bits) : bits_(bits & 07777) {}
+
+  constexpr std::uint16_t bits() const { return bits_; }
+  constexpr bool has(std::uint16_t mask) const { return (bits_ & mask) == mask; }
+  constexpr bool any(std::uint16_t mask) const { return (bits_ & mask) != 0; }
+
+  constexpr bool operator==(const Mode&) const = default;
+  auto operator<=>(const Mode&) const = default;
+
+  /// "rwxr-x--x" (9 chars; setuid/setgid/sticky shown as s/S, t/T).
+  std::string to_string() const;
+  /// Parse the 9-char symbolic form or an octal literal like "0644".
+  static std::optional<Mode> parse(std::string_view s);
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Ownership + permissions of a filesystem object — all access decisions
+/// need only this much of an inode.
+struct FileMeta {
+  Uid owner = 0;
+  Gid group = 0;
+  Mode mode;
+
+  bool operator==(const FileMeta&) const = default;
+  auto operator<=>(const FileMeta&) const = default;
+};
+
+enum class AccessKind { Read, Write, Execute };
+
+/// The capability sets an access decision consults. Decisions use the
+/// *effective* set; the attack model additionally lets an attacker raise
+/// anything in the permitted set first, which callers model by passing the
+/// permitted set here.
+struct Actor {
+  Credentials creds;
+  CapSet effective;
+};
+
+/// Plain DAC class selection: owner / group / other permission bits,
+/// ignoring capabilities. Exposed for tests.
+bool dac_allows(const Credentials& creds, const FileMeta& meta,
+                AccessKind kind);
+
+/// Full open(2)-style check on a file: DAC plus CAP_DAC_OVERRIDE (read,
+/// write, and execute-if-any-x-bit) and CAP_DAC_READ_SEARCH (read only).
+bool may_access(const Actor& a, const FileMeta& meta, AccessKind kind);
+
+/// Search (x) permission on a directory during path resolution:
+/// DAC plus CAP_DAC_OVERRIDE or CAP_DAC_READ_SEARCH.
+bool may_search(const Actor& a, const FileMeta& dir_meta);
+
+/// chmod(2)/fchmod(2): effective uid owns the file, or CAP_FOWNER.
+bool may_chmod(const Actor& a, const FileMeta& meta);
+
+/// chown(2)/fchown(2) with `new_owner`/`new_group` (-1 = unchanged).
+/// Changing the owner requires CAP_CHOWN. Changing the group is allowed for
+/// the file's owner if the new group is the caller's effective or
+/// supplementary gid; otherwise CAP_CHOWN is required.
+bool may_chown(const Actor& a, const FileMeta& meta, int new_owner,
+               int new_group);
+
+/// unlink(2)/rename(2) victim check: write+search on the parent directory;
+/// if the directory is sticky, also require owning the file or the directory
+/// (or CAP_FOWNER).
+bool may_unlink(const Actor& a, const FileMeta& dir_meta,
+                const FileMeta& victim_meta);
+
+/// bind(2) on a TCP port: ports below 1024 need CAP_NET_BIND_SERVICE.
+bool may_bind_port(const Actor& a, int port);
+inline constexpr int kPrivilegedPortMax = 1023;
+
+/// socket(2) with SOCK_RAW: needs CAP_NET_RAW.
+bool may_create_raw_socket(const Actor& a);
+
+/// setsockopt(2) SO_DEBUG / SO_MARK: needs CAP_NET_ADMIN.
+bool may_setsockopt_admin(const Actor& a);
+
+/// chroot(2): needs CAP_SYS_CHROOT.
+bool may_chroot(const Actor& a);
+
+/// kill(2): CAP_KILL, or the sender's real/effective uid equals the target's
+/// real or saved uid.
+bool may_kill(const Actor& sender, const IdTriple& target_uid);
+
+}  // namespace pa::os

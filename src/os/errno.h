@@ -1,0 +1,48 @@
+// Simulated errno values and the SysResult type returned by every SimOS
+// syscall. Failures here are *modelled* behaviour (part of the Linux
+// semantics being reproduced), not C++ errors.
+#pragma once
+
+#include <string_view>
+
+namespace pa::os {
+
+enum class Errno {
+  Ok = 0,
+  Eperm,    // operation not permitted
+  Enoent,   // no such file or directory
+  Esrch,    // no such process
+  Ebadf,    // bad file descriptor
+  Eacces,   // permission denied
+  Eexist,   // file exists
+  Enotdir,  // not a directory
+  Eisdir,   // is a directory
+  Einval,   // invalid argument
+  Emfile,   // too many open files
+  Enosys,   // syscall not implemented
+  Eaddrinuse,   // address already in use
+  Eafnosupport, // address family not supported
+  Enotsock,     // not a socket
+  Ebusy,        // device or resource busy
+};
+
+std::string_view errno_name(Errno e);
+
+/// Result of a syscall: a non-negative value, or an errno.
+class SysResult {
+ public:
+  SysResult(long value) : value_(value) {}                  // NOLINT(google-explicit-constructor)
+  SysResult(Errno err) : value_(-1), err_(err) {}           // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return err_ == Errno::Ok; }
+  long value() const { return value_; }
+  Errno error() const { return err_; }
+
+  bool operator==(const SysResult&) const = default;
+
+ private:
+  long value_;
+  Errno err_ = Errno::Ok;
+};
+
+}  // namespace pa::os

@@ -1,0 +1,86 @@
+#include "os/kernel.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::os {
+
+Pid Kernel::spawn(std::string name, caps::Credentials creds,
+                  caps::CapSet permitted) {
+  Pid pid = next_pid_++;
+  Process p;
+  p.pid = pid;
+  p.name = std::move(name);
+  p.creds = std::move(creds);
+  p.privs = caps::PrivState::launched_with(permitted);
+  procs_.emplace(pid, std::move(p));
+  return pid;
+}
+
+Process& Kernel::process(Pid pid) {
+  auto it = procs_.find(pid);
+  PA_CHECK(it != procs_.end(), str::cat("no process ", pid));
+  return it->second;
+}
+
+const Process& Kernel::process(Pid pid) const {
+  auto it = procs_.find(pid);
+  PA_CHECK(it != procs_.end(), str::cat("no process ", pid));
+  return it->second;
+}
+
+std::optional<Pid> Kernel::find_process(std::string_view name) const {
+  for (const auto& [pid, p] : procs_)
+    if (p.name == name) return pid;
+  return std::nullopt;
+}
+
+Actor Kernel::actor_for(Pid pid) const {
+  const Process& p = process(pid);
+  return Actor{p.creds, p.privs.effective()};
+}
+
+OpenFile* Kernel::open_file(Pid pid, Fd fd) {
+  Process& p = process(pid);
+  auto it = p.fds.find(fd);
+  return it == p.fds.end() ? nullptr : &it->second;
+}
+
+SysResult Kernel::priv_raise(Pid pid, caps::CapSet caps) {
+  count("priv_raise");
+  return process(pid).privs.raise(caps) ? SysResult(0) : Errno::Eperm;
+}
+
+SysResult Kernel::priv_lower(Pid pid, caps::CapSet caps) {
+  count("priv_lower");
+  process(pid).privs.lower(caps);
+  return 0;
+}
+
+SysResult Kernel::priv_remove(Pid pid, caps::CapSet caps) {
+  count("priv_remove");
+  process(pid).privs.remove(caps);
+  return 0;
+}
+
+SysResult Kernel::sys_prctl(Pid pid, PrctlOp op) {
+  count("prctl");
+  Process& p = process(pid);
+  switch (op) {
+    case PrctlOp::SetSecurebitsStrict:
+      p.privs.set_securebits(caps::SecureBits{
+          .no_setuid_fixup = true, .noroot = true, .keep_caps = false});
+      return 0;
+  }
+  return Errno::Einval;
+}
+
+SysResult Kernel::sys_exit(Pid pid, int code) {
+  count("exit");
+  Process& p = process(pid);
+  p.state = ProcState::Zombie;
+  p.exit_code = code;
+  return 0;
+}
+
+}  // namespace pa::os

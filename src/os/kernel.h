@@ -1,0 +1,128 @@
+// The SimOS kernel: owns the VFS, the process table, and the network stack,
+// and exposes the syscall layer with Linux errno semantics. Every access
+// decision is delegated to os/access.h, the same library ROSA's transition
+// rules use.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "os/net.h"
+#include "os/process.h"
+#include "os/vfs.h"
+
+namespace pa::os {
+
+/// prctl(2) operations SimOS models.
+enum class PrctlOp {
+  SetSecurebitsStrict,  // disable all uid-transition capability fixups
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+
+  // -- World construction ----------------------------------------------------
+  Vfs& vfs() { return vfs_; }
+  const Vfs& vfs() const { return vfs_; }
+  NetStack& net() { return net_; }
+  const NetStack& net() const { return net_; }
+
+  /// Create a process launched with `permitted` capabilities available but
+  /// none raised (the paper's launch configuration: correct permitted set
+  /// instead of setuid-root).
+  Pid spawn(std::string name, caps::Credentials creds, caps::CapSet permitted);
+
+  Process& process(Pid pid);
+  const Process& process(Pid pid) const;
+  bool process_exists(Pid pid) const { return procs_.contains(pid); }
+  std::optional<Pid> find_process(std::string_view name) const;
+
+  /// The Actor (credentials + effective caps) access checks see for `pid`.
+  Actor actor_for(Pid pid) const;
+
+  // -- Privilege wrappers (libpriv, not raw syscalls) --------------------------
+  /// priv_raise(3): enable caps in the effective set; EPERM if not permitted.
+  SysResult priv_raise(Pid pid, caps::CapSet caps);
+  /// priv_lower(3): disable caps in the effective set.
+  SysResult priv_lower(Pid pid, caps::CapSet caps);
+  /// priv_remove(3): drop caps from effective AND permitted (irreversible).
+  SysResult priv_remove(Pid pid, caps::CapSet caps);
+
+  // -- File syscalls -----------------------------------------------------------
+  SysResult sys_open(Pid pid, std::string_view path, unsigned flags,
+                     Mode create_mode = Mode(0644));
+  SysResult sys_close(Pid pid, Fd fd);
+  /// dup(2): clone a descriptor (shares nothing in this model beyond the
+  /// inode/flags snapshot; offsets are per-descriptor, a documented
+  /// simplification).
+  SysResult sys_dup(Pid pid, Fd fd);
+  /// access(2): permission probe using the REAL uid/gid, as Linux does.
+  /// `mode` bits: 4 = read, 2 = write, 1 = execute; 0 = existence.
+  SysResult sys_access(Pid pid, std::string_view path, int mode);
+  /// umask(2): set the file-creation mask, returning the previous one.
+  SysResult sys_umask(Pid pid, Mode mask);
+  SysResult sys_read(Pid pid, Fd fd, std::string* out, std::size_t n);
+  SysResult sys_write(Pid pid, Fd fd, std::string_view data);
+  SysResult sys_chmod(Pid pid, std::string_view path, Mode mode);
+  SysResult sys_fchmod(Pid pid, Fd fd, Mode mode);
+  SysResult sys_chown(Pid pid, std::string_view path, int owner, int group);
+  SysResult sys_fchown(Pid pid, Fd fd, int owner, int group);
+  SysResult sys_unlink(Pid pid, std::string_view path);
+  SysResult sys_rename(Pid pid, std::string_view from, std::string_view to);
+  /// link(2): new name for an existing inode (nlink++).
+  SysResult sys_link(Pid pid, std::string_view existing, std::string_view neu);
+  /// creat(2) == open(O_CREAT|O_WRONLY|O_TRUNC).
+  SysResult sys_creat(Pid pid, std::string_view path, Mode mode);
+  SysResult sys_stat(Pid pid, std::string_view path, FileMeta* meta);
+  SysResult sys_chroot(Pid pid, std::string_view path);
+
+  // -- Credential syscalls -----------------------------------------------------
+  SysResult sys_setuid(Pid pid, int uid);
+  SysResult sys_seteuid(Pid pid, int uid);
+  SysResult sys_setresuid(Pid pid, int r, int e, int s);
+  SysResult sys_setgid(Pid pid, int gid);
+  SysResult sys_setegid(Pid pid, int gid);
+  SysResult sys_setresgid(Pid pid, int r, int e, int s);
+  SysResult sys_setgroups(Pid pid, std::vector<caps::Gid> groups);
+  SysResult sys_getuid(Pid pid) const;
+  SysResult sys_geteuid(Pid pid) const;
+  SysResult sys_getgid(Pid pid) const;
+
+  // -- Signals ----------------------------------------------------------------
+  /// Register `handler` (an IR function name) for `signo`.
+  SysResult sys_signal(Pid pid, int signo, std::string handler);
+  SysResult sys_kill(Pid pid, Pid target, int signo);
+
+  // -- Sockets ----------------------------------------------------------------
+  SysResult sys_socket(Pid pid, SockType type);
+  SysResult sys_bind(Pid pid, Fd fd, int port);
+  SysResult sys_connect(Pid pid, Fd fd, int port);
+  /// SO_DEBUG / SO_MARK (both require CAP_NET_ADMIN).
+  SysResult sys_setsockopt(Pid pid, Fd fd, std::string_view opt, int value);
+
+  // -- Misc -------------------------------------------------------------------
+  SysResult sys_prctl(Pid pid, PrctlOp op);
+  SysResult sys_exit(Pid pid, int code);
+
+  /// Syscall-count statistics (per syscall name), for reports and tests.
+  const std::map<std::string, long>& syscall_counts() const { return counts_; }
+
+ private:
+  OpenFile* open_file(Pid pid, Fd fd);
+  void count(std::string_view name) { ++counts_[std::string(name)]; }
+  SysResult set_uid_triple(Pid pid, std::string_view sys,
+                           const std::function<caps::CredChange(
+                               caps::IdTriple&, bool)>& apply);
+
+  Vfs vfs_;
+  NetStack net_;
+  std::map<Pid, Process> procs_;
+  Pid next_pid_ = 100;
+  std::map<std::string, long> counts_;
+};
+
+}  // namespace pa::os

@@ -1,0 +1,38 @@
+#include "os/net.h"
+
+#include "support/error.h"
+
+namespace pa::os {
+
+Socket& NetStack::create(SockType type, Pid owner) {
+  int id = next_id_++;
+  Socket s;
+  s.id = id;
+  s.type = type;
+  s.owner = owner;
+  auto [it, inserted] = sockets_.emplace(id, s);
+  PA_CHECK(inserted, "socket id collision");
+  return it->second;
+}
+
+Socket* NetStack::find(int id) {
+  auto it = sockets_.find(id);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+const Socket* NetStack::find(int id) const {
+  auto it = sockets_.find(id);
+  return it == sockets_.end() ? nullptr : &it->second;
+}
+
+void NetStack::destroy(int id) { sockets_.erase(id); }
+
+bool NetStack::port_in_use(int port) const { return port_owner(port) != -1; }
+
+Pid NetStack::port_owner(int port) const {
+  for (const auto& [id, s] : sockets_)
+    if (s.bound_port == port) return s.owner;
+  return -1;
+}
+
+}  // namespace pa::os

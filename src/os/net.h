@@ -1,0 +1,43 @@
+// SimOS networking: TCP and raw sockets with a single port namespace,
+// matching the subset ROSA models (socket / bind / connect / setsockopt).
+#pragma once
+
+#include <map>
+
+#include "os/process.h"
+
+namespace pa::os {
+
+enum class SockType { Stream, Raw };
+
+struct Socket {
+  int id = -1;
+  SockType type = SockType::Stream;
+  Pid owner = 0;
+  int bound_port = -1;   // -1 = unbound
+  int peer_port = -1;    // connect(2) target, -1 = unconnected
+  bool debug = false;    // SO_DEBUG
+  int mark = 0;          // SO_MARK
+};
+
+/// The socket table plus the TCP port namespace.
+class NetStack {
+ public:
+  Socket& create(SockType type, Pid owner);
+  Socket* find(int id);
+  const Socket* find(int id) const;
+  void destroy(int id);
+
+  /// True if some socket is bound to `port`.
+  bool port_in_use(int port) const;
+  /// Pid of the process whose socket is bound to `port`, or -1.
+  Pid port_owner(int port) const;
+
+  std::size_t socket_count() const { return sockets_.size(); }
+
+ private:
+  std::map<int, Socket> sockets_;
+  int next_id_ = 1;
+};
+
+}  // namespace pa::os

@@ -1,0 +1,7 @@
+#include "os/process.h"
+
+// Process is a plain aggregate; behaviour lives in the Kernel syscall layer.
+// This translation unit exists so the header has a home for future non-inline
+// members and to keep the module's .cpp/.h pairing uniform.
+
+namespace pa::os {}  // namespace pa::os

@@ -1,0 +1,70 @@
+// SimOS task state: credentials, capability sets, the file-descriptor table,
+// and signal bookkeeping.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "caps/priv_state.h"
+#include "os/vfs.h"
+
+namespace pa::os {
+
+using Pid = int;
+using Fd = int;
+
+/// open(2) flag bits (subset SimOS models).
+struct OpenFlags {
+  static constexpr unsigned kRead = 1;
+  static constexpr unsigned kWrite = 2;
+  static constexpr unsigned kCreate = 4;
+  static constexpr unsigned kTrunc = 8;
+};
+
+/// An open-file-table entry; either a VFS inode or a socket.
+struct OpenFile {
+  Ino ino = kNoIno;
+  int socket_id = -1;
+  unsigned flags = 0;
+  std::size_t offset = 0;
+
+  bool is_socket() const { return socket_id >= 0; }
+};
+
+enum class ProcState { Running, Zombie };
+
+/// Standard signal numbers SimOS knows about.
+inline constexpr int kSigHup = 1;
+inline constexpr int kSigKill = 9;
+inline constexpr int kSigTerm = 15;
+inline constexpr int kSigChld = 17;
+
+struct Process {
+  Pid pid = 0;
+  std::string name;
+  ProcState state = ProcState::Running;
+  int exit_code = 0;
+
+  caps::Credentials creds;
+  caps::PrivState privs;
+
+  std::map<Fd, OpenFile> fds;
+  Fd next_fd = 3;  // 0-2 reserved for std streams
+
+  /// File-creation mask (umask(2)); applied to modes of created files.
+  Mode umask{0022};
+
+  /// chroot(2) target; path resolution below this is not modelled (SimOS
+  /// records the jail for reporting and capability-check purposes).
+  Ino root = kRootIno;
+
+  /// signo -> handler name (an IR function for VM-run processes).
+  std::map<int, std::string> signal_handlers;
+  /// Signals delivered but not yet consumed by the VM.
+  std::vector<int> pending_signals;
+
+  bool alive() const { return state == ProcState::Running; }
+};
+
+}  // namespace pa::os

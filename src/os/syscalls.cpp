@@ -1,0 +1,412 @@
+// The SimOS syscall layer. Each sys_* method mirrors the corresponding Linux
+// syscall's permission checks (via os/access.h) and errno behaviour.
+#include <algorithm>
+
+#include "os/kernel.h"
+#include "support/error.h"
+
+namespace pa::os {
+
+namespace {
+constexpr Fd kMaxFds = 256;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Files
+// ---------------------------------------------------------------------------
+
+SysResult Kernel::sys_open(Pid pid, std::string_view path, unsigned flags,
+                           Mode create_mode) {
+  count("open");
+  Process& p = process(pid);
+  if (p.fds.size() >= kMaxFds) return Errno::Emfile;
+  const Actor actor = actor_for(pid);
+
+  SysResult res = vfs_.resolve(actor, path);
+  Ino ino = kNoIno;
+  if (res.ok()) {
+    ino = static_cast<Ino>(res.value());
+  } else if (res.error() == Errno::Enoent && (flags & OpenFlags::kCreate)) {
+    const Mode masked(static_cast<std::uint16_t>(create_mode.bits() &
+                                                 ~p.umask.bits()));
+    SysResult created = vfs_.create(actor, path, masked);
+    if (!created.ok()) return created;
+    ino = static_cast<Ino>(created.value());
+  } else {
+    return res;
+  }
+
+  Inode& node = vfs_.inode(ino);
+  if (node.type == InodeType::Directory && (flags & OpenFlags::kWrite))
+    return Errno::Eisdir;
+  if ((flags & OpenFlags::kRead) &&
+      !may_access(actor, node.meta, AccessKind::Read))
+    return Errno::Eacces;
+  if ((flags & OpenFlags::kWrite) &&
+      !may_access(actor, node.meta, AccessKind::Write))
+    return Errno::Eacces;
+  if ((flags & OpenFlags::kTrunc) && node.type == InodeType::Regular)
+    node.data.clear();
+
+  Fd fd = p.next_fd++;
+  p.fds[fd] = OpenFile{.ino = ino, .socket_id = -1, .flags = flags};
+  return fd;
+}
+
+SysResult Kernel::sys_dup(Pid pid, Fd fd) {
+  count("dup");
+  Process& p = process(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Errno::Ebadf;
+  if (p.fds.size() >= kMaxFds) return Errno::Emfile;
+  Fd nfd = p.next_fd++;
+  p.fds[nfd] = it->second;
+  return nfd;
+}
+
+SysResult Kernel::sys_access(Pid pid, std::string_view path, int mode) {
+  count("access");
+  // access(2) checks with the REAL ids (setuid programs probing on behalf
+  // of their invoker); capabilities still apply.
+  const Process& p = process(pid);
+  Actor actor = actor_for(pid);
+  actor.creds.uid.effective = p.creds.uid.real;
+  actor.creds.gid.effective = p.creds.gid.real;
+  SysResult res = vfs_.resolve(actor, path);
+  if (!res.ok()) return res;
+  const Inode& node = vfs_.inode(static_cast<Ino>(res.value()));
+  if ((mode & 4) && !may_access(actor, node.meta, AccessKind::Read))
+    return Errno::Eacces;
+  if ((mode & 2) && !may_access(actor, node.meta, AccessKind::Write))
+    return Errno::Eacces;
+  if ((mode & 1) && !may_access(actor, node.meta, AccessKind::Execute))
+    return Errno::Eacces;
+  return 0;
+}
+
+SysResult Kernel::sys_umask(Pid pid, Mode mask) {
+  count("umask");
+  Process& p = process(pid);
+  Mode old = p.umask;
+  p.umask = Mode(static_cast<std::uint16_t>(mask.bits() & 0777));
+  return old.bits();
+}
+
+SysResult Kernel::sys_close(Pid pid, Fd fd) {
+  count("close");
+  Process& p = process(pid);
+  auto it = p.fds.find(fd);
+  if (it == p.fds.end()) return Errno::Ebadf;
+  if (it->second.is_socket()) net_.destroy(it->second.socket_id);
+  p.fds.erase(it);
+  return 0;
+}
+
+SysResult Kernel::sys_read(Pid pid, Fd fd, std::string* out, std::size_t n) {
+  count("read");
+  OpenFile* of = open_file(pid, fd);
+  if (!of || !(of->flags & OpenFlags::kRead)) return Errno::Ebadf;
+  if (of->is_socket()) {
+    // Socket reads deliver simulated peer data.
+    if (out) out->assign(std::min<std::size_t>(n, 64), 'x');
+    return static_cast<long>(out ? out->size() : 0);
+  }
+  Inode& node = vfs_.inode(of->ino);
+  if (node.type == InodeType::CharDevice) {
+    // Devices yield unbounded zero bytes (e.g. /dev/mem reads memory).
+    if (out) out->assign(n, '\0');
+    return static_cast<long>(n);
+  }
+  const std::size_t avail =
+      of->offset >= node.data.size() ? 0 : node.data.size() - of->offset;
+  const std::size_t len = std::min(n, avail);
+  if (out) *out = node.data.substr(of->offset, len);
+  of->offset += len;
+  return static_cast<long>(len);
+}
+
+SysResult Kernel::sys_write(Pid pid, Fd fd, std::string_view data) {
+  count("write");
+  OpenFile* of = open_file(pid, fd);
+  if (!of || !(of->flags & OpenFlags::kWrite)) return Errno::Ebadf;
+  if (of->is_socket()) return static_cast<long>(data.size());
+  Inode& node = vfs_.inode(of->ino);
+  if (node.type == InodeType::CharDevice) return static_cast<long>(data.size());
+  if (node.data.size() < of->offset + data.size())
+    node.data.resize(of->offset + data.size());
+  node.data.replace(of->offset, data.size(), data);
+  of->offset += data.size();
+  return static_cast<long>(data.size());
+}
+
+SysResult Kernel::sys_chmod(Pid pid, std::string_view path, Mode mode) {
+  count("chmod");
+  const Actor actor = actor_for(pid);
+  SysResult res = vfs_.resolve(actor, path);
+  if (!res.ok()) return res;
+  Inode& node = vfs_.inode(static_cast<Ino>(res.value()));
+  if (!may_chmod(actor, node.meta)) return Errno::Eperm;
+  node.meta.mode = mode;
+  return 0;
+}
+
+SysResult Kernel::sys_fchmod(Pid pid, Fd fd, Mode mode) {
+  count("fchmod");
+  OpenFile* of = open_file(pid, fd);
+  if (!of || of->is_socket()) return Errno::Ebadf;
+  const Actor actor = actor_for(pid);
+  Inode& node = vfs_.inode(of->ino);
+  if (!may_chmod(actor, node.meta)) return Errno::Eperm;
+  node.meta.mode = mode;
+  return 0;
+}
+
+namespace {
+SysResult do_chown(Inode& node, const Actor& actor, int owner, int group) {
+  if (!may_chown(actor, node.meta, owner, group)) return Errno::Eperm;
+  if (owner != caps::kWildcardId) node.meta.owner = owner;
+  if (group != caps::kWildcardId) node.meta.group = group;
+  // chown clears setuid/setgid bits (security measure Linux applies).
+  node.meta.mode =
+      Mode(node.meta.mode.bits() & ~(Mode::kSetuid | Mode::kSetgid));
+  return 0;
+}
+}  // namespace
+
+SysResult Kernel::sys_chown(Pid pid, std::string_view path, int owner,
+                            int group) {
+  count("chown");
+  const Actor actor = actor_for(pid);
+  SysResult res = vfs_.resolve(actor, path);
+  if (!res.ok()) return res;
+  return do_chown(vfs_.inode(static_cast<Ino>(res.value())), actor, owner,
+                  group);
+}
+
+SysResult Kernel::sys_fchown(Pid pid, Fd fd, int owner, int group) {
+  count("fchown");
+  OpenFile* of = open_file(pid, fd);
+  if (!of || of->is_socket()) return Errno::Ebadf;
+  return do_chown(vfs_.inode(of->ino), actor_for(pid), owner, group);
+}
+
+SysResult Kernel::sys_unlink(Pid pid, std::string_view path) {
+  count("unlink");
+  return vfs_.unlink(actor_for(pid), path);
+}
+
+SysResult Kernel::sys_rename(Pid pid, std::string_view from,
+                             std::string_view to) {
+  count("rename");
+  return vfs_.rename(actor_for(pid), from, to);
+}
+
+SysResult Kernel::sys_link(Pid pid, std::string_view existing,
+                           std::string_view neu) {
+  count("link");
+  return vfs_.link(actor_for(pid), existing, neu);
+}
+
+SysResult Kernel::sys_creat(Pid pid, std::string_view path, Mode mode) {
+  count("creat");
+  return sys_open(pid, path,
+                  OpenFlags::kWrite | OpenFlags::kCreate | OpenFlags::kTrunc,
+                  mode);
+}
+
+SysResult Kernel::sys_stat(Pid pid, std::string_view path, FileMeta* meta) {
+  count("stat");
+  const Actor actor = actor_for(pid);
+  SysResult res = vfs_.resolve(actor, path);
+  if (!res.ok()) return res;
+  if (meta) *meta = vfs_.inode(static_cast<Ino>(res.value())).meta;
+  return 0;
+}
+
+SysResult Kernel::sys_chroot(Pid pid, std::string_view path) {
+  count("chroot");
+  const Actor actor = actor_for(pid);
+  if (!may_chroot(actor)) return Errno::Eperm;
+  SysResult res = vfs_.resolve(actor, path);
+  if (!res.ok()) return res;
+  Inode& node = vfs_.inode(static_cast<Ino>(res.value()));
+  if (node.type != InodeType::Directory) return Errno::Enotdir;
+  process(pid).root = node.ino;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Credentials
+// ---------------------------------------------------------------------------
+
+namespace {
+SysResult to_sysresult(caps::CredChange c) {
+  switch (c) {
+    case caps::CredChange::Ok: return 0;
+    case caps::CredChange::Eperm: return Errno::Eperm;
+    case caps::CredChange::Einval: return Errno::Einval;
+  }
+  return Errno::Einval;
+}
+}  // namespace
+
+SysResult Kernel::set_uid_triple(
+    Pid pid, std::string_view sys,
+    const std::function<caps::CredChange(caps::IdTriple&, bool)>& apply) {
+  count(sys);
+  Process& p = process(pid);
+  const bool privileged =
+      p.privs.effective().contains(caps::Capability::Setuid);
+  const caps::IdTriple before = p.creds.uid;
+  SysResult res = to_sysresult(apply(p.creds.uid, privileged));
+  if (res.ok()) p.privs.on_uid_change(before, p.creds.uid);
+  return res;
+}
+
+SysResult Kernel::sys_setuid(Pid pid, int uid) {
+  return set_uid_triple(pid, "setuid",
+                        [uid](caps::IdTriple& t, bool priv) {
+                          return caps::apply_setuid(t, uid, priv);
+                        });
+}
+
+SysResult Kernel::sys_seteuid(Pid pid, int uid) {
+  return set_uid_triple(pid, "seteuid",
+                        [uid](caps::IdTriple& t, bool priv) {
+                          return caps::apply_seteuid(t, uid, priv);
+                        });
+}
+
+SysResult Kernel::sys_setresuid(Pid pid, int r, int e, int s) {
+  return set_uid_triple(pid, "setresuid",
+                        [=](caps::IdTriple& t, bool priv) {
+                          return caps::apply_setresuid(t, r, e, s, priv);
+                        });
+}
+
+SysResult Kernel::sys_setgid(Pid pid, int gid) {
+  count("setgid");
+  Process& p = process(pid);
+  const bool priv = p.privs.effective().contains(caps::Capability::Setgid);
+  return to_sysresult(caps::apply_setuid(p.creds.gid, gid, priv));
+}
+
+SysResult Kernel::sys_setegid(Pid pid, int gid) {
+  count("setegid");
+  Process& p = process(pid);
+  const bool priv = p.privs.effective().contains(caps::Capability::Setgid);
+  return to_sysresult(caps::apply_seteuid(p.creds.gid, gid, priv));
+}
+
+SysResult Kernel::sys_setresgid(Pid pid, int r, int e, int s) {
+  count("setresgid");
+  Process& p = process(pid);
+  const bool priv = p.privs.effective().contains(caps::Capability::Setgid);
+  return to_sysresult(caps::apply_setresuid(p.creds.gid, r, e, s, priv));
+}
+
+SysResult Kernel::sys_setgroups(Pid pid, std::vector<caps::Gid> groups) {
+  count("setgroups");
+  Process& p = process(pid);
+  const bool priv = p.privs.effective().contains(caps::Capability::Setgid);
+  return to_sysresult(caps::apply_setgroups(p.creds, std::move(groups), priv));
+}
+
+SysResult Kernel::sys_getuid(Pid pid) const { return process(pid).creds.uid.real; }
+SysResult Kernel::sys_geteuid(Pid pid) const {
+  return process(pid).creds.uid.effective;
+}
+SysResult Kernel::sys_getgid(Pid pid) const { return process(pid).creds.gid.real; }
+
+// ---------------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------------
+
+SysResult Kernel::sys_signal(Pid pid, int signo, std::string handler) {
+  count("signal");
+  if (signo <= 0 || signo == kSigKill) return Errno::Einval;
+  process(pid).signal_handlers[signo] = std::move(handler);
+  return 0;
+}
+
+SysResult Kernel::sys_kill(Pid pid, Pid target, int signo) {
+  count("kill");
+  if (!process_exists(target)) return Errno::Esrch;
+  Process& victim = process(target);
+  if (!victim.alive()) return Errno::Esrch;
+  const Actor sender = actor_for(pid);
+  if (!may_kill(sender, victim.creds.uid)) return Errno::Eperm;
+  if (signo == 0) return 0;  // existence probe
+  if (signo == kSigKill || !victim.signal_handlers.contains(signo)) {
+    if (signo == kSigKill || signo == kSigTerm || signo == kSigHup) {
+      victim.state = ProcState::Zombie;
+      victim.exit_code = 128 + signo;
+    }
+    return 0;
+  }
+  victim.pending_signals.push_back(signo);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------------
+
+SysResult Kernel::sys_socket(Pid pid, SockType type) {
+  count("socket");
+  Process& p = process(pid);
+  if (p.fds.size() >= kMaxFds) return Errno::Emfile;
+  if (type == SockType::Raw && !may_create_raw_socket(actor_for(pid)))
+    return Errno::Eperm;
+  Socket& s = net_.create(type, pid);
+  Fd fd = p.next_fd++;
+  p.fds[fd] = OpenFile{.ino = kNoIno,
+                       .socket_id = s.id,
+                       .flags = OpenFlags::kRead | OpenFlags::kWrite};
+  return fd;
+}
+
+SysResult Kernel::sys_bind(Pid pid, Fd fd, int port) {
+  count("bind");
+  OpenFile* of = open_file(pid, fd);
+  if (!of) return Errno::Ebadf;
+  if (!of->is_socket()) return Errno::Enotsock;
+  Socket* s = net_.find(of->socket_id);
+  PA_CHECK(s != nullptr, "open socket fd without socket object");
+  if (s->bound_port != -1) return Errno::Einval;
+  if (!may_bind_port(actor_for(pid), port)) return Errno::Eacces;
+  if (net_.port_in_use(port)) return Errno::Eaddrinuse;
+  s->bound_port = port;
+  return 0;
+}
+
+SysResult Kernel::sys_connect(Pid pid, Fd fd, int port) {
+  count("connect");
+  OpenFile* of = open_file(pid, fd);
+  if (!of) return Errno::Ebadf;
+  if (!of->is_socket()) return Errno::Enotsock;
+  Socket* s = net_.find(of->socket_id);
+  PA_CHECK(s != nullptr, "open socket fd without socket object");
+  s->peer_port = port;
+  return 0;
+}
+
+SysResult Kernel::sys_setsockopt(Pid pid, Fd fd, std::string_view opt,
+                                 int value) {
+  count("setsockopt");
+  OpenFile* of = open_file(pid, fd);
+  if (!of) return Errno::Ebadf;
+  if (!of->is_socket()) return Errno::Enotsock;
+  Socket* s = net_.find(of->socket_id);
+  PA_CHECK(s != nullptr, "open socket fd without socket object");
+  if (opt == "SO_DEBUG" || opt == "SO_MARK") {
+    if (!may_setsockopt_admin(actor_for(pid))) return Errno::Eperm;
+    if (opt == "SO_DEBUG") s->debug = value != 0;
+    else s->mark = value;
+    return 0;
+  }
+  if (opt == "SO_REUSEADDR") return 0;  // accepted, no modelled effect
+  return Errno::Einval;
+}
+
+}  // namespace pa::os

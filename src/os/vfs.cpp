@@ -1,0 +1,250 @@
+#include "os/vfs.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::os {
+
+std::string_view errno_name(Errno e) {
+  switch (e) {
+    case Errno::Ok: return "OK";
+    case Errno::Eperm: return "EPERM";
+    case Errno::Enoent: return "ENOENT";
+    case Errno::Esrch: return "ESRCH";
+    case Errno::Ebadf: return "EBADF";
+    case Errno::Eacces: return "EACCES";
+    case Errno::Eexist: return "EEXIST";
+    case Errno::Enotdir: return "ENOTDIR";
+    case Errno::Eisdir: return "EISDIR";
+    case Errno::Einval: return "EINVAL";
+    case Errno::Emfile: return "EMFILE";
+    case Errno::Enosys: return "ENOSYS";
+    case Errno::Eaddrinuse: return "EADDRINUSE";
+    case Errno::Eafnosupport: return "EAFNOSUPPORT";
+    case Errno::Enotsock: return "ENOTSOCK";
+    case Errno::Ebusy: return "EBUSY";
+  }
+  return "E???";
+}
+
+Vfs::Vfs() {
+  Inode root;
+  root.ino = kRootIno;
+  root.type = InodeType::Directory;
+  root.meta = FileMeta{caps::kRootUid, caps::kRootGid, Mode(0755)};
+  inodes_.emplace(kRootIno, std::move(root));
+  next_ino_ = kRootIno + 1;
+}
+
+Inode& Vfs::inode(Ino ino) {
+  auto it = inodes_.find(ino);
+  PA_CHECK(it != inodes_.end(), str::cat("no inode ", ino));
+  return it->second;
+}
+
+const Inode& Vfs::inode(Ino ino) const {
+  auto it = inodes_.find(ino);
+  PA_CHECK(it != inodes_.end(), str::cat("no inode ", ino));
+  return it->second;
+}
+
+std::vector<std::string> Vfs::components(std::string_view path) {
+  PA_CHECK(!path.empty() && path.front() == '/',
+           str::cat("path must be absolute: ", path));
+  return str::split(path, '/');
+}
+
+Ino Vfs::alloc(InodeType type, FileMeta meta) {
+  Ino ino = ++next_ino_;
+  Inode node;
+  node.ino = ino;
+  node.type = type;
+  node.meta = meta;
+  inodes_.emplace(ino, std::move(node));
+  return ino;
+}
+
+Ino Vfs::mkdirs(std::string_view path) {
+  Ino cur = kRootIno;
+  for (const std::string& name : components(path)) {
+    Inode& dir = inode(cur);
+    PA_CHECK(dir.type == InodeType::Directory,
+             str::cat("mkdirs: not a directory on the way to ", path));
+    auto it = dir.entries.find(name);
+    if (it != dir.entries.end()) {
+      cur = it->second;
+      continue;
+    }
+    Ino child =
+        alloc(InodeType::Directory,
+              FileMeta{caps::kRootUid, caps::kRootGid, Mode(0755)});
+    inode(cur).entries.emplace(name, child);
+    cur = child;
+  }
+  return cur;
+}
+
+Ino Vfs::add_file(std::string_view path, FileMeta meta, std::string data) {
+  auto parts = components(path);
+  PA_CHECK(!parts.empty(), "add_file: empty path");
+  std::string leaf = parts.back();
+  parts.pop_back();
+  Ino dir = kRootIno;
+  if (!parts.empty())
+    dir = mkdirs(str::cat("/", str::join(parts, "/")));
+  Ino ino = alloc(InodeType::Regular, meta);
+  inode(ino).data = std::move(data);
+  inode(dir).entries[leaf] = ino;
+  return ino;
+}
+
+Ino Vfs::add_device(std::string_view path, FileMeta meta, std::string tag) {
+  Ino ino = add_file(path, meta);
+  Inode& node = inode(ino);
+  node.type = InodeType::CharDevice;
+  node.device_tag = std::move(tag);
+  return ino;
+}
+
+SysResult Vfs::resolve(const Actor& a, std::string_view path) const {
+  if (path == "/") return kRootIno;
+  auto parts = components(path);
+  Ino cur = kRootIno;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const Inode& dir = inode(cur);
+    if (dir.type != InodeType::Directory) return Errno::Enotdir;
+    if (!may_search(a, dir.meta)) return Errno::Eacces;
+    auto it = dir.entries.find(parts[i]);
+    if (it == dir.entries.end()) return Errno::Enoent;
+    cur = it->second;
+  }
+  return cur;
+}
+
+SysResult Vfs::resolve_parent(const Actor& a, std::string_view path,
+                              std::string* leaf) const {
+  auto parts = components(path);
+  if (parts.empty()) return Errno::Einval;
+  *leaf = parts.back();
+  parts.pop_back();
+  std::string parent_path =
+      parts.empty() ? std::string("/") : str::cat("/", str::join(parts, "/"));
+  return resolve(a, parent_path);
+}
+
+SysResult Vfs::unlink(const Actor& a, std::string_view path) {
+  std::string leaf;
+  SysResult parent = resolve_parent(a, path, &leaf);
+  if (!parent.ok()) return parent;
+  Inode& dir = inode(static_cast<Ino>(parent.value()));
+  if (dir.type != InodeType::Directory) return Errno::Enotdir;
+  auto it = dir.entries.find(leaf);
+  if (it == dir.entries.end()) return Errno::Enoent;
+  Inode& victim = inode(it->second);
+  if (victim.type == InodeType::Directory) return Errno::Eisdir;
+  if (!may_unlink(a, dir.meta, victim.meta)) return Errno::Eacces;
+  if (--victim.nlink <= 0) inodes_.erase(victim.ino);
+  dir.entries.erase(it);
+  return 0;
+}
+
+SysResult Vfs::rename(const Actor& a, std::string_view from,
+                      std::string_view to) {
+  std::string from_leaf;
+  SysResult fp = resolve_parent(a, from, &from_leaf);
+  if (!fp.ok()) return fp;
+  Inode& from_dir = inode(static_cast<Ino>(fp.value()));
+  auto fit = from_dir.entries.find(from_leaf);
+  if (fit == from_dir.entries.end()) return Errno::Enoent;
+  const Ino moved = fit->second;
+  if (!may_unlink(a, from_dir.meta, inode(moved).meta)) return Errno::Eacces;
+
+  std::string to_leaf;
+  SysResult tp = resolve_parent(a, to, &to_leaf);
+  if (!tp.ok()) return tp;
+  Inode& to_dir = inode(static_cast<Ino>(tp.value()));
+  if (to_dir.type != InodeType::Directory) return Errno::Enotdir;
+  if (!may_access(a, to_dir.meta, AccessKind::Write) || !may_search(a, to_dir.meta))
+    return Errno::Eacces;
+  auto tit = to_dir.entries.find(to_leaf);
+  if (tit != to_dir.entries.end()) {
+    Inode& victim = inode(tit->second);
+    if (victim.type == InodeType::Directory) return Errno::Eisdir;
+    if (!may_unlink(a, to_dir.meta, victim.meta)) return Errno::Eacces;
+    if (--victim.nlink <= 0) inodes_.erase(victim.ino);
+    to_dir.entries.erase(tit);
+  }
+  // Re-find: inode() calls above may not invalidate, but entries maps are
+  // stable; erase from source after the destination is prepared.
+  inode(static_cast<Ino>(fp.value())).entries.erase(from_leaf);
+  inode(static_cast<Ino>(tp.value())).entries[to_leaf] = moved;
+  return 0;
+}
+
+SysResult Vfs::create(const Actor& a, std::string_view path, Mode mode) {
+  std::string leaf;
+  SysResult parent = resolve_parent(a, path, &leaf);
+  if (!parent.ok()) return parent;
+  Inode& dir = inode(static_cast<Ino>(parent.value()));
+  if (dir.type != InodeType::Directory) return Errno::Enotdir;
+  if (dir.entries.contains(leaf)) return Errno::Eexist;
+  if (!may_access(a, dir.meta, AccessKind::Write) || !may_search(a, dir.meta))
+    return Errno::Eacces;
+  Ino ino = alloc(InodeType::Regular,
+                  FileMeta{a.creds.uid.effective, a.creds.gid.effective, mode});
+  inode(static_cast<Ino>(parent.value())).entries[leaf] = ino;
+  return ino;
+}
+
+SysResult Vfs::link(const Actor& a, std::string_view existing,
+                    std::string_view neu) {
+  SysResult src = resolve(a, existing);
+  if (!src.ok()) return src;
+  Inode& target = inode(static_cast<Ino>(src.value()));
+  if (target.type == InodeType::Directory) return Errno::Eisdir;
+
+  std::string leaf;
+  SysResult parent = resolve_parent(a, neu, &leaf);
+  if (!parent.ok()) return parent;
+  Inode& dir = inode(static_cast<Ino>(parent.value()));
+  if (dir.type != InodeType::Directory) return Errno::Enotdir;
+  if (dir.entries.contains(leaf)) return Errno::Eexist;
+  if (!may_access(a, dir.meta, AccessKind::Write) || !may_search(a, dir.meta))
+    return Errno::Eacces;
+  dir.entries[leaf] = target.ino;
+  ++target.nlink;
+  return 0;
+}
+
+std::optional<Ino> Vfs::lookup(std::string_view path) const {
+  if (path == "/") return kRootIno;
+  Ino cur = kRootIno;
+  for (const std::string& name : components(path)) {
+    const Inode& dir = inode(cur);
+    if (dir.type != InodeType::Directory) return std::nullopt;
+    auto it = dir.entries.find(name);
+    if (it == dir.entries.end()) return std::nullopt;
+    cur = it->second;
+  }
+  return cur;
+}
+
+std::string Vfs::path_of(Ino target) const {
+  // Depth-first walk from the root; fine for the small trees SimOS hosts.
+  std::string result;
+  auto dfs = [&](auto&& self, Ino cur, const std::string& prefix) -> bool {
+    if (cur == target) {
+      result = prefix.empty() ? "/" : prefix;
+      return true;
+    }
+    const Inode& node = inode(cur);
+    if (node.type != InodeType::Directory) return false;
+    for (const auto& [name, child] : node.entries)
+      if (self(self, child, prefix + "/" + name)) return true;
+    return false;
+  };
+  dfs(dfs, kRootIno, "");
+  return result;
+}
+
+}  // namespace pa::os

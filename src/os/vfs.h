@@ -1,0 +1,95 @@
+// The SimOS virtual filesystem: inodes (regular files, directories, and
+// character devices), a hierarchical namespace, and permission-checked path
+// resolution built on os/access.h.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "os/access.h"
+#include "os/errno.h"
+
+namespace pa::os {
+
+using Ino = int;
+inline constexpr Ino kNoIno = 0;
+inline constexpr Ino kRootIno = 1;
+
+enum class InodeType { Regular, Directory, CharDevice };
+
+/// A filesystem object. Directories carry an entry map; character devices
+/// carry a tag ("mem", "null", ...) that the kernel's read/write paths and
+/// the attack definitions recognise.
+struct Inode {
+  Ino ino = kNoIno;
+  InodeType type = InodeType::Regular;
+  FileMeta meta;
+  std::string data;                   // regular-file contents
+  std::string device_tag;             // char devices only
+  std::map<std::string, Ino> entries; // directories only
+  int nlink = 1;
+};
+
+/// Outcome of resolving a path down to its parent directory + final name.
+struct ResolvedParent {
+  Ino parent;
+  std::string leaf;
+};
+
+class Vfs {
+ public:
+  /// Creates a filesystem containing only "/" (owned by root, mode 0755).
+  Vfs();
+
+  // -- Inode access ---------------------------------------------------------
+  Inode& inode(Ino ino);
+  const Inode& inode(Ino ino) const;
+  bool exists(Ino ino) const { return inodes_.contains(ino); }
+
+  // -- Namespace setup (no permission checks; used by world builders) -------
+  /// mkdir -p: creates intermediate directories as root/0755.
+  Ino mkdirs(std::string_view path);
+  /// Create (or replace) a regular file with the given metadata and data.
+  Ino add_file(std::string_view path, FileMeta meta, std::string data = {});
+  /// Create a character device (e.g. /dev/mem).
+  Ino add_device(std::string_view path, FileMeta meta, std::string tag);
+
+  // -- Permission-checked operations (errno semantics) ----------------------
+  /// Resolve `path` to an inode, checking search permission on every
+  /// directory along the way.
+  SysResult resolve(const Actor& a, std::string_view path) const;
+  /// Resolve everything but the final component.
+  SysResult resolve_parent(const Actor& a, std::string_view path,
+                           std::string* leaf) const;
+
+  /// Unlink `path`: parent write+search plus sticky-bit rules.
+  SysResult unlink(const Actor& a, std::string_view path);
+  /// Rename `from` to `to` (same checks on both parents; replaces target).
+  SysResult rename(const Actor& a, std::string_view from, std::string_view to);
+  /// Create a regular file owned by the actor's euid/egid.
+  SysResult create(const Actor& a, std::string_view path, Mode mode);
+  /// Add a second name for an existing inode (link(2) semantics: write+
+  /// search on the new name's directory; directories cannot be linked).
+  SysResult link(const Actor& a, std::string_view existing,
+                 std::string_view neu);
+
+  /// Lookup ignoring permissions (for stat-style queries and tests).
+  std::optional<Ino> lookup(std::string_view path) const;
+  /// Reconstruct a path for an inode (first match; for diagnostics).
+  std::string path_of(Ino ino) const;
+
+  /// Number of inodes (including the root directory).
+  std::size_t inode_count() const { return inodes_.size(); }
+
+ private:
+  Ino alloc(InodeType type, FileMeta meta);
+  static std::vector<std::string> components(std::string_view path);
+
+  std::map<Ino, Inode> inodes_;
+  Ino next_ino_ = kRootIno;
+};
+
+}  // namespace pa::os

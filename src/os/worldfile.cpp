@@ -1,0 +1,141 @@
+#include "os/worldfile.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::os {
+namespace {
+
+struct LineCursor {
+  std::vector<std::string> words;
+  std::size_t pos = 0;
+  int line_no;
+  std::string_view line;
+
+  [[noreturn]] void err(const std::string& m) const {
+    fail(str::cat("world parse error at line ", line_no, ": ", m, " in `",
+                  line, "`"));
+  }
+
+  bool done() const { return pos >= words.size(); }
+
+  const std::string& word(const char* what) {
+    if (done()) err(str::cat("expected ", what));
+    return words[pos++];
+  }
+
+  int integer(const char* what) {
+    const std::string& w = word(what);
+    try {
+      std::size_t used = 0;
+      int v = std::stoi(w, &used, w.size() > 1 && w[0] == '0' ? 8 : 10);
+      if (used != w.size()) throw std::invalid_argument(w);
+      return v;
+    } catch (const std::exception&) {
+      err(str::cat(what, ": not a number: ", w));
+    }
+  }
+};
+
+/// Split respecting double quotes (for `data "two words"`).
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (char c : line) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      continue;
+    }
+    if (!in_quotes && std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+struct MetaFields {
+  FileMeta meta{0, 0, Mode(0644)};
+  std::string data;
+  std::string tag;
+  int uid = 0, gid = 0;
+  bool saw_uid = false;
+};
+
+MetaFields parse_fields(LineCursor& c) {
+  MetaFields out;
+  while (!c.done()) {
+    const std::string key = c.word("attribute");
+    if (key == "owner") out.meta.owner = c.integer("owner");
+    else if (key == "group") out.meta.group = c.integer("group");
+    else if (key == "mode") {
+      auto m = Mode::parse(c.word("mode"));
+      if (!m) c.err("bad mode");
+      out.meta.mode = *m;
+    } else if (key == "data") out.data = c.word("data");
+    else if (key == "tag") out.tag = c.word("tag");
+    else if (key == "uid") { out.uid = c.integer("uid"); out.saw_uid = true; }
+    else if (key == "gid") out.gid = c.integer("gid");
+    else c.err(str::cat("unknown attribute '", key, "'"));
+  }
+  return out;
+}
+
+}  // namespace
+
+Kernel world_from_text(std::string_view text) {
+  Kernel kernel;
+  int line_no = 0;
+  for (std::string& raw : str::split(text, '\n', /*keep_empty=*/true)) {
+    ++line_no;
+    if (auto pos = raw.find('#'); pos != std::string::npos) raw.resize(pos);
+    std::string_view line = str::trim(raw);
+    if (line.empty()) continue;
+
+    LineCursor c{tokenize(line), 0, line_no, line};
+    const std::string kind = c.word("declaration");
+    if (kind == "dir") {
+      const std::string path = c.word("path");
+      if (path.empty() || path[0] != '/') c.err("path must be absolute");
+      MetaFields f = parse_fields(c);
+      Ino ino = kernel.vfs().mkdirs(path);
+      kernel.vfs().inode(ino).meta = f.meta;
+    } else if (kind == "file") {
+      const std::string path = c.word("path");
+      if (path.empty() || path[0] != '/') c.err("path must be absolute");
+      MetaFields f = parse_fields(c);
+      kernel.vfs().add_file(path, f.meta, f.data);
+    } else if (kind == "device") {
+      const std::string path = c.word("path");
+      if (path.empty() || path[0] != '/') c.err("path must be absolute");
+      MetaFields f = parse_fields(c);
+      if (f.tag.empty()) c.err("device needs a tag");
+      kernel.vfs().add_device(path, f.meta, f.tag);
+    } else if (kind == "process") {
+      const std::string name = c.word("name");
+      MetaFields f = parse_fields(c);
+      if (!f.saw_uid) c.err("process needs a uid");
+      kernel.spawn(name, caps::Credentials::of_user(f.uid, f.gid), {});
+    } else {
+      c.err(str::cat("unknown declaration '", kind, "'"));
+    }
+  }
+  return kernel;
+}
+
+Kernel world_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(str::cat("cannot open ", path));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return world_from_text(buf.str());
+}
+
+}  // namespace pa::os

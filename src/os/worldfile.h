@@ -1,0 +1,28 @@
+// Textual world descriptions: build a SimOS kernel from a `.world` file so
+// the CLI (and tests) can analyze programs against custom filesystems and
+// process tables instead of the built-in Ubuntu-like world.
+//
+//   # comments with '#'
+//   dir     /etc         owner 0   group 42  mode 0755
+//   file    /etc/shadow  owner 0   group 42  mode 0640  data "secret"
+//   device  /dev/mem     owner 0   group 15  mode 0640  tag mem
+//   process criticald    uid 109   gid 109
+//
+// Paths are absolute; intermediate directories are created root/0755 and
+// can be re-declared later to adjust ownership.
+#pragma once
+
+#include <string_view>
+
+#include "os/kernel.h"
+
+namespace pa::os {
+
+/// Parse a world description into a kernel. Throws pa::Error with the
+/// offending line on malformed input.
+Kernel world_from_text(std::string_view text);
+
+/// Read a `.world` file from disk.
+Kernel world_from_file(const std::string& path);
+
+}  // namespace pa::os

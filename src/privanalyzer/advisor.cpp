@@ -1,0 +1,125 @@
+#include "privanalyzer/advisor.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "autopriv/priv_liveness.h"
+#include "chronopriv/exposure.h"
+#include "support/str.h"
+
+namespace pa::privanalyzer {
+namespace {
+
+using caps::Capability;
+
+bool is_dac_bypass(Capability c) {
+  return c == Capability::DacOverride || c == Capability::DacReadSearch ||
+         c == Capability::Chown || c == Capability::Fowner;
+}
+
+bool is_identity_power(Capability c) {
+  return c == Capability::Setuid || c == Capability::Setgid;
+}
+
+}  // namespace
+
+std::string_view advice_kind_name(AdviceKind k) {
+  switch (k) {
+    case AdviceKind::DropEarlier: return "drop-earlier";
+    case AdviceKind::PlantCredentials: return "plant-credentials";
+    case AdviceKind::SpecialFileOwner: return "special-file-owner";
+    case AdviceKind::HandlerPinsPrivilege: return "handler-pins";
+    case AdviceKind::IndirectCallPins: return "indirect-call-pins";
+  }
+  return "?";
+}
+
+std::vector<Advice> advise(const programs::ProgramSpec& spec,
+                           const ProgramAnalysis& analysis,
+                           const AdvisorOptions& options) {
+  std::vector<Advice> out;
+
+  // Static causes first: handler pinning and indirect-call pinning are the
+  // two sshd pathologies §VII-C identifies.
+  autopriv::PrivLiveness liveness(spec.module);
+  caps::CapSet handler_caps = liveness.handler_caps();
+  caps::CapSet indirect_caps;
+  if (!liveness.callgraph().address_taken().empty()) {
+    for (const ir::Function& f : spec.module.functions())
+      if (liveness.callgraph().has_indirect_call(f.name()))
+        for (const std::string& t : liveness.callgraph().address_taken())
+          indirect_caps |= liveness.summary(t);
+  }
+
+  for (const chronopriv::CapabilityExposure& e :
+       chronopriv::capability_exposure(analysis.chrono)) {
+    if (e.fraction < options.exposure_threshold) continue;
+    const Capability c = e.capability;
+
+    if (handler_caps.contains(c)) {
+      out.push_back(Advice{
+          AdviceKind::HandlerPinsPrivilege, c, e.fraction,
+          str::cat(caps::name(c), " is raised inside a signal handler, so "
+                   "AutoPriv must keep it permitted for the program's whole "
+                   "run; move the privileged work out of the handler (e.g. "
+                   "set a flag and act in the main loop)")});
+      continue;
+    }
+    if (indirect_caps.contains(c)) {
+      out.push_back(Advice{
+          AdviceKind::IndirectCallPins, c, e.fraction,
+          str::cat(caps::name(c), " is used by an address-taken function, "
+                   "and an indirect call keeps every such function a "
+                   "possible target; replace the function pointer with a "
+                   "direct call or split the privileged helper out")});
+      continue;
+    }
+    if (is_identity_power(c)) {
+      out.push_back(Advice{
+          AdviceKind::PlantCredentials, c, e.fraction,
+          str::cat(caps::name(c), " stays permitted for ",
+                   str::percent(e.fraction), " of execution; plant the "
+                   "target ids once at startup (setresuid/setresgid with the "
+                   "privilege raised, invoker in the real ids, target in the "
+                   "saved ids) and switch unprivileged later — §VII-E "
+                   "lesson (a)")});
+      continue;
+    }
+    if (is_dac_bypass(c)) {
+      out.push_back(Advice{
+          AdviceKind::SpecialFileOwner, c, e.fraction,
+          str::cat(caps::name(c), " stays permitted for ",
+                   str::percent(e.fraction), " of execution to bypass file "
+                   "permissions; give the files a dedicated owner and run "
+                   "with that effective uid instead — §VII-E lesson (b)")});
+      continue;
+    }
+    out.push_back(Advice{
+        AdviceKind::DropEarlier, c, e.fraction,
+        str::cat(caps::name(c), " stays permitted for ",
+                 str::percent(e.fraction), " of execution; move its last "
+                 "use earlier so AutoPriv can remove it sooner")});
+  }
+
+  std::sort(out.begin(), out.end(), [](const Advice& a, const Advice& b) {
+    return a.exposure > b.exposure;
+  });
+  return out;
+}
+
+std::string render_advice(const std::vector<Advice>& advice) {
+  std::ostringstream os;
+  if (advice.empty()) {
+    os << "No refactoring advice: no capability stays permitted beyond the "
+          "reporting threshold.\n";
+    return os.str();
+  }
+  os << "Refactoring advice (most exposed first):\n";
+  for (const Advice& a : advice)
+    os << "  [" << advice_kind_name(a.kind) << "] "
+       << str::pad_left(str::percent(a.exposure), 7) << "  " << a.message
+       << "\n";
+  return os.str();
+}
+
+}  // namespace pa::privanalyzer

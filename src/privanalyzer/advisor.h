@@ -1,0 +1,53 @@
+// The refactoring advisor: turns pipeline results into the §VII-D/E
+// guidance the paper derives by hand ("the PrivAnalyzer results help
+// identify which privilege increases the exposure to privilege escalation,
+// helping guide the developer on where to focus refactoring efforts").
+//
+// Each finding names the privilege, quantifies its window, and states which
+// of the paper's two lessons applies:
+//   (a) change credentials early — plant ids once with CAP_SETUID/CAP_SETGID
+//       and switch unprivileged later;
+//   (b) create special users for special files — eliminate DAC-bypass
+//       capabilities by giving the files a dedicated owner.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "privanalyzer/pipeline.h"
+
+namespace pa::privanalyzer {
+
+enum class AdviceKind {
+  DropEarlier,          // long-lived powerful capability: restructure to
+                        // finish its last use earlier
+  PlantCredentials,     // §VII-E lesson (a)
+  SpecialFileOwner,     // §VII-E lesson (b)
+  HandlerPinsPrivilege, // a signal handler keeps this capability live forever
+  IndirectCallPins,     // the conservative call graph keeps it live
+};
+
+std::string_view advice_kind_name(AdviceKind k);
+
+struct Advice {
+  AdviceKind kind;
+  caps::Capability capability;
+  /// Fraction of execution during which the capability stays permitted.
+  double exposure = 0.0;
+  std::string message;
+};
+
+struct AdvisorOptions {
+  /// Only report capabilities permitted for more than this fraction.
+  double exposure_threshold = 0.10;
+};
+
+/// Analyze one program's results. `spec` provides the module for the static
+/// checks (handler/indirect-call pinning).
+std::vector<Advice> advise(const programs::ProgramSpec& spec,
+                           const ProgramAnalysis& analysis,
+                           const AdvisorOptions& options = {});
+
+std::string render_advice(const std::vector<Advice>& advice);
+
+}  // namespace pa::privanalyzer

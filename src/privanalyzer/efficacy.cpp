@@ -1,0 +1,35 @@
+#include "privanalyzer/efficacy.h"
+
+namespace pa::privanalyzer {
+
+std::vector<ProgramAnalysis> analyze_baseline(const PipelineOptions& options) {
+  std::vector<ProgramAnalysis> out;
+  for (const programs::ProgramSpec& spec : programs::all_baseline_programs())
+    out.push_back(analyze_program(spec, options));
+  return out;
+}
+
+std::vector<ProgramAnalysis> analyze_refactored(
+    const PipelineOptions& options) {
+  std::vector<ProgramAnalysis> out;
+  out.push_back(analyze_program(programs::make_passwd_refactored(), options));
+  out.push_back(analyze_program(programs::make_su_refactored(), options));
+  return out;
+}
+
+ExposureSummary exposure_of(const ProgramAnalysis& a) {
+  ExposureSummary s;
+  s.program = a.program;
+  s.devmem_read = a.vulnerable_fraction(0);
+  s.devmem_write = a.vulnerable_fraction(1);
+  for (std::size_t i = 0; i < a.verdicts.size() && i < a.chrono.rows.size();
+       ++i) {
+    bool any = false;
+    for (attacks::CellVerdict v : a.verdicts[i].verdicts)
+      any |= v == attacks::CellVerdict::Vulnerable;
+    if (any) s.any_attack += a.chrono.rows[i].fraction;
+  }
+  return s;
+}
+
+}  // namespace pa::privanalyzer

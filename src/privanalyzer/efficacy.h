@@ -1,0 +1,29 @@
+// Whole-evaluation drivers: run the pipeline over program sets and compute
+// the aggregate efficacy metrics quoted in the paper's abstract and §VII.
+#pragma once
+
+#include "privanalyzer/pipeline.h"
+
+namespace pa::privanalyzer {
+
+/// Analyze the five baseline programs (Table III).
+std::vector<ProgramAnalysis> analyze_baseline(
+    const PipelineOptions& options = {});
+
+/// Analyze the refactored passwd and su (Table V).
+std::vector<ProgramAnalysis> analyze_refactored(
+    const PipelineOptions& options = {});
+
+/// Summary of how exposed one program is: the fraction of execution during
+/// which the most damaging attacks (read/write /dev/mem, attacks 1-2) are
+/// feasible — the number the paper's abstract quotes (97%/88% -> 4%/1%).
+struct ExposureSummary {
+  std::string program;
+  double devmem_read = 0.0;
+  double devmem_write = 0.0;
+  double any_attack = 0.0;  // fraction where at least one attack is feasible
+};
+
+ExposureSummary exposure_of(const ProgramAnalysis& analysis);
+
+}  // namespace pa::privanalyzer

@@ -1,0 +1,97 @@
+#include "privanalyzer/export.h"
+
+#include <sstream>
+
+#include "support/str.h"
+
+namespace pa::privanalyzer {
+namespace {
+
+/// CSV-quote a field (the capability lists contain commas).
+std::string q(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string epochs_to_csv(const chronopriv::ChronoReport& report) {
+  std::ostringstream os;
+  os << "program,epoch,permitted,ruid,euid,suid,rgid,egid,sgid,"
+        "instructions,fraction\n";
+  for (const chronopriv::EpochRow& row : report.rows) {
+    const caps::IdTriple& u = row.key.creds.uid;
+    const caps::IdTriple& g = row.key.creds.gid;
+    os << q(report.program) << ',' << q(row.name) << ','
+       << q(row.key.permitted.to_string()) << ',' << u.real << ','
+       << u.effective << ',' << u.saved << ',' << g.real << ','
+       << g.effective << ',' << g.saved << ',' << row.instructions << ','
+       << str::fixed(row.fraction, 6) << '\n';
+  }
+  return os.str();
+}
+
+std::string efficacy_to_csv(const std::vector<ProgramAnalysis>& analyses) {
+  std::ostringstream os;
+  os << "program,epoch,permitted,fraction";
+  for (const attacks::AttackInfo& a : attacks::modeled_attacks())
+    os << ',' << a.name;
+  os << '\n';
+  for (const ProgramAnalysis& a : analyses) {
+    for (std::size_t i = 0; i < a.chrono.rows.size(); ++i) {
+      const chronopriv::EpochRow& row = a.chrono.rows[i];
+      os << q(a.program) << ',' << q(row.name) << ','
+         << q(row.key.permitted.to_string()) << ','
+         << str::fixed(row.fraction, 6);
+      for (std::size_t atk = 0; atk < 4; ++atk) {
+        os << ',';
+        if (i < a.verdicts.size())
+          os << attacks::cell_symbol(a.verdicts[i].verdicts[atk]);
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string efficacy_to_markdown(
+    const std::vector<ProgramAnalysis>& analyses) {
+  std::ostringstream os;
+  os << "| epoch | privileges | uid (r,e,s) | gid (r,e,s) | % |";
+  for (const attacks::AttackInfo& a : attacks::modeled_attacks())
+    os << ' ' << static_cast<int>(a.id) << " |";
+  os << "\n|---|---|---|---|---|";
+  for (std::size_t atk = 0; atk < attacks::modeled_attacks().size(); ++atk)
+    os << "---|";
+  os << '\n';
+  for (const ProgramAnalysis& a : analyses) {
+    for (std::size_t i = 0; i < a.chrono.rows.size(); ++i) {
+      const chronopriv::EpochRow& row = a.chrono.rows[i];
+      os << "| " << row.name << " | `" << row.key.permitted.to_string()
+         << "` | " << row.key.creds.uid.to_string() << " | "
+         << row.key.creds.gid.to_string() << " | "
+         << str::percent(row.fraction) << " |";
+      for (std::size_t atk = 0; atk < 4; ++atk) {
+        os << ' ';
+        if (i < a.verdicts.size()) {
+          switch (a.verdicts[i].verdicts[atk]) {
+            case attacks::CellVerdict::Vulnerable: os << "✓"; break;
+            case attacks::CellVerdict::Safe: os << "✗"; break;
+            case attacks::CellVerdict::Timeout: os << "⏳"; break;
+          }
+        } else {
+          os << "–";
+        }
+        os << " |";
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pa::privanalyzer

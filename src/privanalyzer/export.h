@@ -1,0 +1,24 @@
+// Machine-readable exports of pipeline results: CSV (for plotting the
+// paper's figures) and Markdown (for reports/PRs). Complements the
+// plain-text rendering in privanalyzer/render.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "privanalyzer/efficacy.h"
+
+namespace pa::privanalyzer {
+
+/// Epoch table as CSV:
+/// program,epoch,permitted,ruid,euid,suid,rgid,egid,sgid,instructions,fraction
+std::string epochs_to_csv(const chronopriv::ChronoReport& report);
+
+/// Full efficacy matrix as CSV:
+/// program,epoch,fraction,attack1,attack2,attack3,attack4 (V/x/T cells).
+std::string efficacy_to_csv(const std::vector<ProgramAnalysis>& analyses);
+
+/// Full efficacy matrix as a GitHub-flavoured Markdown table.
+std::string efficacy_to_markdown(const std::vector<ProgramAnalysis>& analyses);
+
+}  // namespace pa::privanalyzer

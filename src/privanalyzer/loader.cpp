@@ -1,0 +1,136 @@
+#include "privanalyzer/loader.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "ir/parser.h"
+#include "privc/codegen.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::privanalyzer {
+namespace {
+
+/// Extract `<prefix>!key: value` directives, where the prefix is the
+/// language's comment marker ("; " for PrivIR, "// " for PrivC); the
+/// language parsers ignore them as comments.
+std::map<std::string, std::string> directives(std::string_view text,
+                                              std::string_view prefix) {
+  std::map<std::string, std::string> out;
+  for (const std::string& raw : str::split(text, '\n')) {
+    std::string_view line = str::trim(raw);
+    if (!str::starts_with(line, prefix)) continue;
+    line.remove_prefix(prefix.size());
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos)
+      fail(str::cat("malformed directive (missing ':'): ; !", line));
+    std::string key(str::trim(line.substr(0, colon)));
+    std::string value(str::trim(line.substr(colon + 1)));
+    if (!out.emplace(key, value).second)
+      fail(str::cat("duplicate directive '", key, "'"));
+  }
+  return out;
+}
+
+int parse_int(const std::string& what, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    int v = std::stoi(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail(str::cat("directive '", what, "': not an integer: ", value));
+  }
+}
+
+programs::ProgramSpec spec_from_directives(
+    const std::map<std::string, std::string>& dirs,
+    std::string_view default_name);
+
+}  // namespace
+
+programs::ProgramSpec load_program(std::string_view text,
+                                   std::string_view default_name) {
+  auto dirs = directives(text, "; !");
+  programs::ProgramSpec spec = spec_from_directives(dirs, default_name);
+  spec.module = ir::parse(text, spec.name);
+  if (!spec.module.has_function("main"))
+    fail("program has no @main function");
+  ir::verify_or_throw(spec.module);
+  return spec;
+}
+
+namespace {
+
+programs::ProgramSpec spec_from_directives(
+    const std::map<std::string, std::string>& dirs,
+    std::string_view default_name) {
+  auto get = [&](const char* key) -> const std::string* {
+    auto it = dirs.find(key);
+    return it == dirs.end() ? nullptr : &it->second;
+  };
+  for (const auto& [key, value] : dirs) {
+    if (key != "name" && key != "description" && key != "permitted" &&
+        key != "uid" && key != "gid" && key != "args" && key != "world")
+      fail(str::cat("unknown directive '", key, "'"));
+  }
+
+  programs::ProgramSpec spec;
+  spec.name = get("name") ? *get("name") : std::string(default_name);
+  if (const auto* d = get("description")) spec.description = *d;
+
+  if (const auto* p = get("permitted")) {
+    auto set = caps::CapSet::parse(*p);
+    if (!set) fail(str::cat("directive 'permitted': bad capability set: ", *p));
+    spec.launch_permitted = *set;
+  }
+
+  int uid = get("uid") ? parse_int("uid", *get("uid")) : 1000;
+  int gid = get("gid") ? parse_int("gid", *get("gid")) : 1000;
+  spec.launch_creds = caps::Credentials::of_user(uid, gid);
+
+  if (const auto* a = get("args"))
+    for (const std::string& field : str::split(*a, ','))
+      spec.args.emplace_back(
+          static_cast<std::int64_t>(parse_int("args", std::string(str::trim(field)))));
+
+  if (const auto* w = get("world")) {
+    if (*w == "refactored") spec.refactored_world = true;
+    else if (*w != "standard")
+      fail(str::cat("directive 'world': expected standard|refactored, got ", *w));
+  }
+  return spec;
+}
+
+}  // namespace
+
+programs::ProgramSpec load_privc_program(std::string_view text,
+                                         std::string_view default_name) {
+  auto dirs = directives(text, "// !");
+  programs::ProgramSpec spec = spec_from_directives(dirs, default_name);
+  spec.module = privc::compile_source(text, spec.name);
+  if (!spec.module.has_function("main"))
+    fail("program has no main function");
+  return spec;
+}
+
+programs::ProgramSpec load_program_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(str::cat("cannot open ", path));
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string base = path;
+  if (auto slash = base.find_last_of('/'); slash != std::string::npos)
+    base = base.substr(slash + 1);
+  std::string ext;
+  if (auto dot = base.find_last_of('.'); dot != std::string::npos) {
+    ext = base.substr(dot + 1);
+    base = base.substr(0, dot);
+  }
+  if (ext == "pc") return load_privc_program(buf.str(), base);
+  return load_program(buf.str(), base);
+}
+
+}  // namespace pa::privanalyzer

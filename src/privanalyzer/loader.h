@@ -1,0 +1,36 @@
+// Loading analyzable programs from PrivIR text files.
+//
+// A .pir file is the ir/parser.h format plus `; !key: value` directives
+// giving the launch configuration PrivAnalyzer needs:
+//
+//   ; !name: tinyd
+//   ; !description: demo daemon
+//   ; !permitted: CapDacReadSearch,CapNetBindService
+//   ; !uid: 1000
+//   ; !gid: 1000
+//   ; !args: 10, 0          (integer argv for @main)
+//   ; !world: standard      (or: refactored)
+//   func @main(2) { ... }
+#pragma once
+
+#include <string_view>
+
+#include "programs/world.h"
+
+namespace pa::privanalyzer {
+
+/// Parse a .pir document (text, not a path) into a runnable ProgramSpec.
+/// Throws pa::Error with a description on malformed input; the module is
+/// verified before return.
+programs::ProgramSpec load_program(std::string_view text,
+                                   std::string_view default_name = "program");
+
+/// Same, for PrivC sources (directives use `// !key: value`).
+programs::ProgramSpec load_privc_program(
+    std::string_view text, std::string_view default_name = "program");
+
+/// Read and load a program file from disk; dispatches on the extension
+/// (.pir = PrivIR text, .pc = PrivC).
+programs::ProgramSpec load_program_file(const std::string& path);
+
+}  // namespace pa::privanalyzer

@@ -1,0 +1,58 @@
+#include "privanalyzer/pipeline.h"
+
+#include "ir/transforms.h"
+
+namespace pa::privanalyzer {
+
+double ProgramAnalysis::vulnerable_fraction(std::size_t attack) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < verdicts.size() && i < chrono.rows.size(); ++i)
+    if (verdicts[i].verdicts[attack] == attacks::CellVerdict::Vulnerable)
+      total += chrono.rows[i].fraction;
+  return total;
+}
+
+ir::Module transformed_module(const programs::ProgramSpec& spec,
+                              const autopriv::Options& options) {
+  // ProgramSpec factories are cheap; rebuilding gives us a fresh module to
+  // transform without copying IR.
+  ir::Module module = spec.module;
+  autopriv::run_autopriv(module, "main", options);
+  return module;
+}
+
+ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
+                                const PipelineOptions& options) {
+  ProgramAnalysis out;
+  out.program = spec.name;
+
+  // Stage 1: AutoPriv.
+  ir::Module module = spec.module;
+  out.autopriv_report = autopriv::run_autopriv(module, "main", options.autopriv);
+  if (options.simplify_after_autopriv) ir::simplify(module);
+
+  // Stage 2: ChronoPriv measured execution in the right world.
+  os::Kernel kernel =
+      options.world_factory
+          ? options.world_factory()
+          : (spec.refactored_world ? programs::make_refactored_world()
+                                   : programs::make_standard_world());
+  os::Pid pid = programs::spawn_program(kernel, spec);
+  out.chrono = chronopriv::run_instrumented(kernel, module, pid, spec.args,
+                                            "main", &out.exit_code);
+
+  // Stage 3: one ROSA query per (epoch x attack).
+  if (options.run_rosa) {
+    const std::vector<std::string> syscalls = spec.syscalls_used();
+    for (const chronopriv::EpochRow& row : out.chrono.rows) {
+      attacks::ScenarioInput input = attacks::scenario_from_epoch(
+          row, syscalls, spec.scenario_extra_users,
+          spec.scenario_extra_groups);
+      out.verdicts.push_back(
+          attacks::analyze_epoch(row, input, options.rosa_limits));
+    }
+  }
+  return out;
+}
+
+}  // namespace pa::privanalyzer

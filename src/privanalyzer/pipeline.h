@@ -1,0 +1,55 @@
+// The end-to-end PrivAnalyzer pipeline (Fig. 1): AutoPriv static analysis +
+// transformation, ChronoPriv measured execution, then one ROSA query per
+// (privilege epoch × modeled attack).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "autopriv/report.h"
+#include "chronopriv/instrument.h"
+#include "programs/world.h"
+
+namespace pa::privanalyzer {
+
+struct PipelineOptions {
+  autopriv::Options autopriv;
+  rosa::SearchLimits rosa_limits;
+  /// Skip the ROSA stage (ChronoPriv-only runs for tests/benches).
+  bool run_rosa = true;
+  /// Custom world builder (e.g. os::world_from_file); when unset the
+  /// standard or refactored world is chosen by the program spec.
+  std::function<os::Kernel()> world_factory;
+  /// Run the IR cleanup passes (ir::simplify) after AutoPriv's transform.
+  /// Off by default so dynamic instruction counts stay comparable to the
+  /// untransformed layout.
+  bool simplify_after_autopriv = false;
+};
+
+/// Everything PrivAnalyzer produces for one program: the static report, the
+/// dynamic epoch table, and the per-epoch vulnerability matrix.
+struct ProgramAnalysis {
+  std::string program;
+  autopriv::StaticReport autopriv_report;
+  chronopriv::ChronoReport chrono;
+  /// Parallel to chrono.rows; empty when run_rosa was false.
+  std::vector<attacks::EpochVerdicts> verdicts;
+  long exit_code = 0;
+
+  /// Fraction of executed instructions during which `attack` (0-based
+  /// index into attacks::modeled_attacks()) was feasible. Timeout epochs are
+  /// excluded (the paper treats them as presumed-invulnerable).
+  double vulnerable_fraction(std::size_t attack) const;
+};
+
+/// Run the full pipeline on one program model.
+ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
+                                const PipelineOptions& options = {});
+
+/// The transformed (post-AutoPriv) module for a spec, without running it.
+ir::Module transformed_module(const programs::ProgramSpec& spec,
+                              const autopriv::Options& options = {});
+
+}  // namespace pa::privanalyzer

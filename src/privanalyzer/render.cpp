@@ -1,0 +1,90 @@
+#include "privanalyzer/render.h"
+
+#include <sstream>
+
+#include "programs/diff.h"
+#include "support/str.h"
+
+namespace pa::privanalyzer {
+
+std::string render_attack_table() {
+  std::ostringstream os;
+  os << "Table I: Modeled Attacks\n";
+  for (const attacks::AttackInfo& a : attacks::modeled_attacks())
+    os << "  " << static_cast<int>(a.id) << ". " << str::pad_right(a.name, 14)
+       << a.description << "\n";
+  return os.str();
+}
+
+std::string render_program_table(
+    const std::vector<programs::ProgramSpec>& specs) {
+  std::ostringstream os;
+  os << "Table II: Programs for Experiments\n";
+  os << "  " << str::pad_right("Program", 10) << str::pad_left("Model-insts", 12)
+     << "  Description\n";
+  for (const programs::ProgramSpec& s : specs)
+    os << "  " << str::pad_right(s.name, 10)
+       << str::pad_left(std::to_string(s.module.countable_instructions()), 12)
+       << "  " << s.description << "\n";
+  return os.str();
+}
+
+std::string render_efficacy_table(const std::vector<ProgramAnalysis>& analyses,
+                                  const std::string& title) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << "  " << str::pad_right("Name", 18) << str::pad_right("UID(r,e,s)", 16)
+     << str::pad_right("GID(r,e,s)", 16)
+     << str::pad_left("Instructions", 16) << "  " << str::pad_left("%", 8)
+     << "  1 2 3 4   Privileges\n";
+  for (const ProgramAnalysis& a : analyses) {
+    for (std::size_t i = 0; i < a.chrono.rows.size(); ++i) {
+      const chronopriv::EpochRow& row = a.chrono.rows[i];
+      os << "  " << str::pad_right(row.name, 18)
+         << str::pad_right(row.key.creds.uid.to_string(), 16)
+         << str::pad_right(row.key.creds.gid.to_string(), 16)
+         << str::pad_left(
+                str::with_commas(static_cast<long long>(row.instructions)), 16)
+         << "  " << str::pad_left(str::percent(row.fraction), 8) << "  ";
+      if (i < a.verdicts.size()) {
+        for (attacks::CellVerdict v : a.verdicts[i].verdicts)
+          os << attacks::cell_symbol(v) << ' ';
+      } else {
+        os << "- - - - ";
+      }
+      os << "  " << row.key.permitted.to_string() << "\n";
+    }
+    ExposureSummary s = exposure_of(a);
+    os << "  -> " << a.program
+       << ": devmem read/write feasible for " << str::percent(s.devmem_read)
+       << " / " << str::percent(s.devmem_write)
+       << " of execution; any attack " << str::percent(s.any_attack) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_refactor_diff_table() {
+  std::ostringstream os;
+  os << "Table IV: Instructions Changed for Refactored Programs\n";
+  os << "  " << str::pad_right("Program", 10) << str::pad_right("Group", 10)
+     << str::pad_left("Added", 8) << str::pad_left("Deleted", 9) << "\n";
+  struct Pair {
+    const char* name;
+    programs::ProgramSpec before, after;
+  };
+  Pair pairs[] = {
+      {"passwd", programs::make_passwd(), programs::make_passwd_refactored()},
+      {"su", programs::make_su(), programs::make_su_refactored()},
+  };
+  for (const Pair& p : pairs) {
+    for (const auto& [group, dc] :
+         programs::diff_programs(p.before.module, p.after.module)) {
+      os << "  " << str::pad_right(p.name, 10) << str::pad_right(group, 10)
+         << str::pad_left(std::to_string(dc.added), 8)
+         << str::pad_left(std::to_string(dc.deleted), 9) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pa::privanalyzer

@@ -1,0 +1,27 @@
+// Plain-text rendering of the paper's tables from pipeline results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "privanalyzer/efficacy.h"
+
+namespace pa::privanalyzer {
+
+/// Table I: the modeled attacks.
+std::string render_attack_table();
+
+/// Table II: the evaluation programs (model sizes instead of SLOC).
+std::string render_program_table(
+    const std::vector<programs::ProgramSpec>& specs);
+
+/// Tables III / V: one block per program with privilege set, uids, gids,
+/// dynamic instruction count + share, and the four-attack verdict columns
+/// (V = vulnerable, x = invulnerable, T = resource limit / timeout).
+std::string render_efficacy_table(
+    const std::vector<ProgramAnalysis>& analyses, const std::string& title);
+
+/// Table IV: instruction churn between stock and refactored models.
+std::string render_refactor_diff_table();
+
+}  // namespace pa::privanalyzer

@@ -1,0 +1,75 @@
+// PrivC abstract syntax tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "caps/capability.h"
+#include "privc/lexer.h"
+
+namespace pa::privc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  Number,   // number
+  String,   // "text"
+  Var,      // identifier
+  Funcref,  // funcref(name)
+  Call,     // callee(args...) — user fn, syscall builtin, or indirect var
+  Unary,    // ! expr, - expr
+  Binary,   // lhs op rhs
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  std::int64_t number = 0;          // Number
+  std::string text;                 // String body / Var & Call & Funcref name
+  Tok op = Tok::Eof;                // Unary / Binary operator
+  ExprPtr lhs, rhs;                 // Binary (Unary uses lhs)
+  std::vector<ExprPtr> args;        // Call
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+  VarDecl,   // var name = expr;
+  Assign,    // name = expr;
+  ExprStmt,  // expr;
+  If,        // if (cond) {..} [else {..}]
+  While,     // while (cond) {..}
+  Return,    // return [expr];
+  Exit,      // exit(expr);
+  WithPriv,  // with_priv (CapA, CapB) {..}
+  PrivOp,    // priv_raise/lower/remove(CapA, ...);
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  std::string name;              // VarDecl / Assign target
+  ExprPtr expr;                  // initializer / condition / value
+  std::vector<StmtPtr> body;     // If-then / While / WithPriv
+  std::vector<StmtPtr> else_body;
+  caps::CapSet caps;             // WithPriv / PrivOp
+  Tok priv_op = Tok::Eof;        // which priv_* keyword
+};
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<Function> functions;
+};
+
+}  // namespace pa::privc

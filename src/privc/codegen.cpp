@@ -1,0 +1,244 @@
+#include "privc/codegen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "privc/parser.h"
+#include "support/error.h"
+#include "support/str.h"
+#include "vm/syscall_bridge.h"
+
+namespace pa::privc {
+namespace {
+
+using ir::IRBuilder;
+using B = IRBuilder;
+
+class Codegen {
+ public:
+  Codegen(const Program& prog, std::string module_name)
+      : prog_(&prog), module_(std::move(module_name)), b_(module_) {
+    for (const Function& f : prog.functions) {
+      if (!user_fns_.emplace(f.name, f.params.size()).second)
+        fail(str::cat("PrivC: duplicate function '", f.name, "' (line ",
+                      f.line, ")"));
+    }
+    auto names = vm::known_syscalls();
+    syscalls_.insert(names.begin(), names.end());
+  }
+
+  ir::Module run() {
+    for (const Function& f : prog_->functions) emit_function(f);
+    module_.recompute_address_taken();
+    ir::verify_or_throw(module_);
+    return std::move(module_);
+  }
+
+ private:
+  [[noreturn]] void err(int line, const std::string& m) const {
+    fail(str::cat("PrivC codegen error at line ", line, ": ", m));
+  }
+
+  std::string fresh_label(const std::string& base) {
+    return str::cat(base, next_label_++);
+  }
+
+  /// If the current block is already terminated (return/exit), start a
+  /// fresh (unreachable) block so later statements still have a home.
+  void ensure_open_block() {
+    if (b_.current_block_terminated()) b_.at(fresh_label("dead"));
+  }
+
+  void emit_function(const Function& f) {
+    b_.begin_function(f.name, static_cast<int>(f.params.size()));
+    vars_.clear();
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      if (vars_.contains(f.params[i]))
+        err(f.line, str::cat("duplicate parameter '", f.params[i], "'"));
+      vars_[f.params[i]] = static_cast<int>(i);
+    }
+    emit_stmts(f.body);
+    if (!b_.current_block_terminated()) b_.ret(B::i(0));
+    b_.end_function();
+  }
+
+  void emit_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) {
+      ensure_open_block();
+      emit_stmt(*s);
+    }
+  }
+
+  void emit_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::VarDecl: {
+        if (vars_.contains(s.name))
+          err(s.line, str::cat("variable '", s.name, "' already declared"));
+        int r = eval(*s.expr);
+        vars_[s.name] = r;
+        break;
+      }
+      case StmtKind::Assign: {
+        auto it = vars_.find(s.name);
+        if (it == vars_.end())
+          err(s.line, str::cat("assignment to undeclared variable '",
+                               s.name, "'"));
+        int v = eval(*s.expr);
+        b_.mov_to(it->second, B::r(v));
+        break;
+      }
+      case StmtKind::ExprStmt:
+        eval(*s.expr);
+        break;
+      case StmtKind::If: {
+        int cond = eval(*s.expr);
+        std::string then_l = fresh_label("then");
+        std::string else_l = fresh_label("else");
+        std::string merge_l = fresh_label("merge");
+        b_.condbr(B::r(cond), then_l,
+                  s.else_body.empty() ? merge_l : else_l);
+        b_.at(then_l);
+        emit_stmts(s.body);
+        if (!b_.current_block_terminated()) b_.br(merge_l);
+        if (!s.else_body.empty()) {
+          b_.at(else_l);
+          emit_stmts(s.else_body);
+          if (!b_.current_block_terminated()) b_.br(merge_l);
+        }
+        b_.at(merge_l);
+        break;
+      }
+      case StmtKind::While: {
+        std::string head_l = fresh_label("while_head");
+        std::string body_l = fresh_label("while_body");
+        std::string done_l = fresh_label("while_done");
+        b_.br(head_l);
+        b_.at(head_l);
+        int cond = eval(*s.expr);
+        b_.condbr(B::r(cond), body_l, done_l);
+        b_.at(body_l);
+        emit_stmts(s.body);
+        if (!b_.current_block_terminated()) b_.br(head_l);
+        b_.at(done_l);
+        break;
+      }
+      case StmtKind::Return:
+        if (s.expr) {
+          int v = eval(*s.expr);
+          b_.ret(B::r(v));
+        } else {
+          b_.ret(B::i(0));
+        }
+        break;
+      case StmtKind::Exit: {
+        int v = eval(*s.expr);
+        b_.exit(B::r(v));
+        break;
+      }
+      case StmtKind::WithPriv:
+        b_.priv_raise(s.caps);
+        emit_stmts(s.body);
+        if (b_.current_block_terminated())
+          err(s.line, "with_priv body must fall through (no return/exit), "
+                      "or the privilege would never be lowered");
+        b_.priv_lower(s.caps);
+        break;
+      case StmtKind::PrivOp:
+        switch (s.priv_op) {
+          case Tok::KwPrivRaise: b_.priv_raise(s.caps); break;
+          case Tok::KwPrivLower: b_.priv_lower(s.caps); break;
+          case Tok::KwPrivRemove: b_.priv_remove(s.caps); break;
+          default: err(s.line, "bad priv operation");
+        }
+        break;
+    }
+  }
+
+  /// Evaluate an expression into a fresh register; returns its index.
+  int eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Number:
+        return b_.mov(B::i(e.number));
+      case ExprKind::String:
+        return b_.mov(B::s(e.text));
+      case ExprKind::Var: {
+        auto it = vars_.find(e.text);
+        if (it == vars_.end())
+          err(e.line, str::cat("unknown variable '", e.text, "'"));
+        return it->second;
+      }
+      case ExprKind::Funcref:
+        if (!user_fns_.contains(e.text))
+          err(e.line, str::cat("funcref of unknown function '", e.text, "'"));
+        return b_.funcaddr(e.text);
+      case ExprKind::Call: {
+        std::vector<ir::Operand> args;
+        args.reserve(e.args.size());
+        for (const ExprPtr& a : e.args) args.push_back(B::r(eval(*a)));
+        auto fn = user_fns_.find(e.text);
+        if (fn != user_fns_.end()) {
+          if (args.size() != fn->second)
+            err(e.line, str::cat("call to '", e.text, "' with ", args.size(),
+                                 " args, expects ", fn->second));
+          return b_.call(e.text, std::move(args));
+        }
+        if (syscalls_.contains(e.text))
+          return b_.syscall(e.text, std::move(args));
+        if (auto var = vars_.find(e.text); var != vars_.end())
+          return b_.callind(B::r(var->second), std::move(args));
+        err(e.line, str::cat("unknown function or syscall '", e.text, "'"));
+      }
+      case ExprKind::Unary: {
+        int v = eval(*e.lhs);
+        if (e.op == Tok::Not) return b_.not_(B::r(v));
+        if (e.op == Tok::Minus) return b_.sub(B::i(0), B::r(v));
+        err(e.line, "bad unary operator");
+      }
+      case ExprKind::Binary: {
+        int a = eval(*e.lhs);
+        int c = eval(*e.rhs);
+        ir::Opcode op;
+        switch (e.op) {
+          case Tok::Plus: op = ir::Opcode::Add; break;
+          case Tok::Minus: op = ir::Opcode::Sub; break;
+          case Tok::Star: op = ir::Opcode::Mul; break;
+          case Tok::Slash: op = ir::Opcode::Div; break;
+          case Tok::EqEq: op = ir::Opcode::CmpEq; break;
+          case Tok::NotEq: op = ir::Opcode::CmpNe; break;
+          case Tok::Lt: op = ir::Opcode::CmpLt; break;
+          case Tok::Le: op = ir::Opcode::CmpLe; break;
+          case Tok::Gt: op = ir::Opcode::CmpGt; break;
+          case Tok::Ge: op = ir::Opcode::CmpGe; break;
+          case Tok::AndAnd: op = ir::Opcode::And; break;
+          case Tok::OrOr: op = ir::Opcode::Or; break;
+          default: err(e.line, "bad binary operator");
+        }
+        return b_.binop(op, B::r(a), B::r(c));
+      }
+    }
+    PA_UNREACHABLE("expression kind");
+  }
+
+  const Program* prog_;
+  ir::Module module_;
+  IRBuilder b_;
+  std::map<std::string, std::size_t> user_fns_;  // name -> arity
+  std::set<std::string> syscalls_;
+  std::map<std::string, int> vars_;  // name -> register
+  int next_label_ = 0;
+};
+
+}  // namespace
+
+ir::Module compile(const Program& program, std::string module_name) {
+  return Codegen(program, std::move(module_name)).run();
+}
+
+ir::Module compile_source(std::string_view source, std::string module_name) {
+  return compile(parse(source), std::move(module_name));
+}
+
+}  // namespace pa::privc

@@ -1,0 +1,21 @@
+// PrivC -> PrivIR code generation.
+#pragma once
+
+#include "ir/module.h"
+#include "privc/ast.h"
+
+namespace pa::privc {
+
+/// Lower an AST to a verified PrivIR module. Name resolution rules:
+///  * a call to a defined `fn` becomes a direct call,
+///  * a call whose name the VM syscall bridge knows becomes a `syscall`,
+///  * a call through a variable holding `funcref(...)` becomes `callind`,
+///  * anything else is an error.
+/// `&&` / `||` evaluate both sides (no short-circuiting) — PrivC is a
+/// modelling language, not a systems language.
+ir::Module compile(const Program& program, std::string module_name);
+
+/// Convenience: parse + compile.
+ir::Module compile_source(std::string_view source, std::string module_name);
+
+}  // namespace pa::privc

@@ -1,0 +1,40 @@
+// PrivC lexer. PrivC is the small C-like surface language that compiles to
+// PrivIR — the analogue of the C sources the paper's LLVM-based toolchain
+// consumed. See docs/formats.md for the grammar.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pa::privc {
+
+enum class Tok {
+  // literals / identifiers
+  Ident, Number, String, CapName,
+  // keywords
+  KwFn, KwVar, KwIf, KwElse, KwWhile, KwReturn, KwExit, KwWithPriv,
+  KwPrivRaise, KwPrivLower, KwPrivRemove, KwFuncref,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, Comma, Semi, Assign,
+  // operators
+  Plus, Minus, Star, Slash,
+  EqEq, NotEq, Lt, Le, Gt, Ge, AndAnd, OrOr, Not,
+  Eof,
+};
+
+std::string_view tok_name(Tok t);
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;        // identifier / capability name / string body
+  std::int64_t number = 0; // Number tokens
+  int line = 1;
+};
+
+/// Tokenize a PrivC source; throws pa::Error with a line number on bad
+/// input. `//` comments run to end of line.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace pa::privc

@@ -1,0 +1,262 @@
+#include "privc/parser.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::privc {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Program parse_program() {
+    Program prog;
+    while (peek().kind != Tok::Eof) prog.functions.push_back(parse_function());
+    return prog;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& advance() { return toks_[pos_++]; }
+  bool check(Tok k) const { return peek().kind == k; }
+  bool match(Tok k) {
+    if (!check(k)) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(Tok k, const char* context) {
+    if (!check(k))
+      err(str::cat("expected ", tok_name(k), " ", context, ", found ",
+                   tok_name(peek().kind)));
+    return advance();
+  }
+  [[noreturn]] void err(const std::string& m) const {
+    fail(str::cat("PrivC parse error at line ", peek().line, ": ", m));
+  }
+
+  Function parse_function() {
+    Function fn;
+    fn.line = peek().line;
+    expect(Tok::KwFn, "to start a function");
+    fn.name = expect(Tok::Ident, "after 'fn'").text;
+    expect(Tok::LParen, "after the function name");
+    if (!check(Tok::RParen)) {
+      fn.params.push_back(expect(Tok::Ident, "as a parameter").text);
+      while (match(Tok::Comma))
+        fn.params.push_back(expect(Tok::Ident, "as a parameter").text);
+    }
+    expect(Tok::RParen, "after the parameters");
+    fn.body = parse_block();
+    return fn;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    expect(Tok::LBrace, "to open a block");
+    std::vector<StmtPtr> body;
+    while (!check(Tok::RBrace) && !check(Tok::Eof))
+      body.push_back(parse_stmt());
+    expect(Tok::RBrace, "to close the block");
+    return body;
+  }
+
+  caps::CapSet parse_cap_list() {
+    caps::CapSet set;
+    do {
+      const Token& t = expect(Tok::CapName, "in the capability list");
+      set = set.with(*caps::parse_capability(t.text));
+    } while (match(Tok::Comma));
+    return set;
+  }
+
+  StmtPtr parse_stmt() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = peek().line;
+
+    if (match(Tok::KwVar)) {
+      stmt->kind = StmtKind::VarDecl;
+      stmt->name = expect(Tok::Ident, "after 'var'").text;
+      expect(Tok::Assign, "after the variable name");
+      stmt->expr = parse_expr();
+      expect(Tok::Semi, "after the declaration");
+      return stmt;
+    }
+    if (match(Tok::KwIf)) {
+      stmt->kind = StmtKind::If;
+      expect(Tok::LParen, "after 'if'");
+      stmt->expr = parse_expr();
+      expect(Tok::RParen, "after the condition");
+      stmt->body = parse_block();
+      if (match(Tok::KwElse)) stmt->else_body = parse_block();
+      return stmt;
+    }
+    if (match(Tok::KwWhile)) {
+      stmt->kind = StmtKind::While;
+      expect(Tok::LParen, "after 'while'");
+      stmt->expr = parse_expr();
+      expect(Tok::RParen, "after the condition");
+      stmt->body = parse_block();
+      return stmt;
+    }
+    if (match(Tok::KwReturn)) {
+      stmt->kind = StmtKind::Return;
+      if (!check(Tok::Semi)) stmt->expr = parse_expr();
+      expect(Tok::Semi, "after 'return'");
+      return stmt;
+    }
+    if (match(Tok::KwExit)) {
+      stmt->kind = StmtKind::Exit;
+      expect(Tok::LParen, "after 'exit'");
+      stmt->expr = parse_expr();
+      expect(Tok::RParen, "after the exit code");
+      expect(Tok::Semi, "after 'exit(...)'");
+      return stmt;
+    }
+    if (match(Tok::KwWithPriv)) {
+      stmt->kind = StmtKind::WithPriv;
+      expect(Tok::LParen, "after 'with_priv'");
+      stmt->caps = parse_cap_list();
+      expect(Tok::RParen, "after the capability list");
+      stmt->body = parse_block();
+      return stmt;
+    }
+    if (check(Tok::KwPrivRaise) || check(Tok::KwPrivLower) ||
+        check(Tok::KwPrivRemove)) {
+      stmt->kind = StmtKind::PrivOp;
+      stmt->priv_op = advance().kind;
+      expect(Tok::LParen, "after the priv operation");
+      stmt->caps = parse_cap_list();
+      expect(Tok::RParen, "after the capability list");
+      expect(Tok::Semi, "after the priv operation");
+      return stmt;
+    }
+    // Assignment or expression statement.
+    if (check(Tok::Ident) && peek(1).kind == Tok::Assign) {
+      stmt->kind = StmtKind::Assign;
+      stmt->name = advance().text;
+      advance();  // '='
+      stmt->expr = parse_expr();
+      expect(Tok::Semi, "after the assignment");
+      return stmt;
+    }
+    stmt->kind = StmtKind::ExprStmt;
+    stmt->expr = parse_expr();
+    expect(Tok::Semi, "after the expression");
+    return stmt;
+  }
+
+  // Precedence climbing: || < && < comparisons < +- < */ < unary < primary.
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_binary_level(ExprPtr (Parser::*next)(),
+                             std::initializer_list<Tok> ops) {
+    ExprPtr lhs = (this->*next)();
+    for (;;) {
+      bool matched = false;
+      for (Tok op : ops) {
+        if (check(op)) {
+          int line = peek().line;
+          advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::Binary;
+          e->line = line;
+          e->op = op;
+          e->lhs = std::move(lhs);
+          e->rhs = (this->*next)();
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr parse_or() {
+    return parse_binary_level(&Parser::parse_and, {Tok::OrOr});
+  }
+  ExprPtr parse_and() {
+    return parse_binary_level(&Parser::parse_cmp, {Tok::AndAnd});
+  }
+  ExprPtr parse_cmp() {
+    return parse_binary_level(&Parser::parse_add,
+                              {Tok::EqEq, Tok::NotEq, Tok::Lt, Tok::Le,
+                               Tok::Gt, Tok::Ge});
+  }
+  ExprPtr parse_add() {
+    return parse_binary_level(&Parser::parse_mul, {Tok::Plus, Tok::Minus});
+  }
+  ExprPtr parse_mul() {
+    return parse_binary_level(&Parser::parse_unary, {Tok::Star, Tok::Slash});
+  }
+
+  ExprPtr parse_unary() {
+    if (check(Tok::Not) || check(Tok::Minus)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Unary;
+      e->line = peek().line;
+      e->op = advance().kind;
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = peek().line;
+    if (check(Tok::Number)) {
+      e->kind = ExprKind::Number;
+      e->number = advance().number;
+      return e;
+    }
+    if (check(Tok::String)) {
+      e->kind = ExprKind::String;
+      e->text = advance().text;
+      return e;
+    }
+    if (match(Tok::KwFuncref)) {
+      expect(Tok::LParen, "after 'funcref'");
+      e->kind = ExprKind::Funcref;
+      e->text = expect(Tok::Ident, "as the function name").text;
+      expect(Tok::RParen, "after the function name");
+      return e;
+    }
+    if (match(Tok::LParen)) {
+      ExprPtr inner = parse_expr();
+      expect(Tok::RParen, "to close the parenthesis");
+      return inner;
+    }
+    if (check(Tok::Ident)) {
+      std::string name = advance().text;
+      if (match(Tok::LParen)) {
+        e->kind = ExprKind::Call;
+        e->text = std::move(name);
+        if (!check(Tok::RParen)) {
+          e->args.push_back(parse_expr());
+          while (match(Tok::Comma)) e->args.push_back(parse_expr());
+        }
+        expect(Tok::RParen, "after the call arguments");
+        return e;
+      }
+      e->kind = ExprKind::Var;
+      e->text = std::move(name);
+      return e;
+    }
+    err(str::cat("expected an expression, found ", tok_name(peek().kind)));
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  return Parser(lex(source)).parse_program();
+}
+
+}  // namespace pa::privc

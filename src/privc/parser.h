@@ -1,0 +1,12 @@
+// PrivC recursive-descent parser.
+#pragma once
+
+#include "privc/ast.h"
+
+namespace pa::privc {
+
+/// Parse a PrivC source into an AST; throws pa::Error with line info on
+/// syntax errors.
+Program parse(std::string_view source);
+
+}  // namespace pa::privc

@@ -1,0 +1,114 @@
+#include "privmodels/capsicum.h"
+
+#include <array>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::privmodels {
+namespace {
+
+constexpr std::array<std::string_view, kNumCapsicumRights> kNames = {
+    "CAP_READ", "CAP_WRITE", "CAP_FCHMOD", "CAP_FCHOWN",
+    "CAP_BIND", "CAP_CONNECT", "CAP_PDKILL",
+};
+
+}  // namespace
+
+std::string_view capsicum_right_name(CapsicumRight r) {
+  int i = static_cast<int>(r);
+  PA_CHECK(i >= 0 && i < kNumCapsicumRights, "capsicum right out of range");
+  return kNames[static_cast<std::size_t>(i)];
+}
+
+RightSet rights(std::initializer_list<CapsicumRight> rs) {
+  std::uint64_t bits = 0;
+  for (CapsicumRight r : rs) bits |= std::uint64_t{1} << static_cast<int>(r);
+  return RightSet::from_raw(bits);
+}
+
+bool has_right(RightSet set, CapsicumRight r) {
+  return (set.raw() >> static_cast<int>(r)) & 1;
+}
+
+std::string rights_to_string(RightSet set) {
+  if (set.empty()) return "(none)";
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumCapsicumRights; ++i)
+    if ((set.raw() >> i) & 1)
+      names.emplace_back(kNames[static_cast<std::size_t>(i)]);
+  return str::join(names, ",");
+}
+
+// In capability mode, DAC is irrelevant: the descriptor either carries the
+// right or it does not. file_access is consulted for open(2)-style checks;
+// opens happen via openat on directory capabilities, which the modeled
+// sandboxes do not hold, so path-based access never succeeds — but the
+// rules layer already vetoes those via path_lookup_allowed, and fd-based
+// operations (fchmod/fchown) consult can_chmod/can_chown below.
+bool CapsicumChecker::file_access(const caps::Credentials&, caps::CapSet privs,
+                                  const os::FileMeta&,
+                                  os::AccessKind kind) const {
+  switch (kind) {
+    case os::AccessKind::Read: return has_right(privs, CapsicumRight::Read);
+    case os::AccessKind::Write: return has_right(privs, CapsicumRight::Write);
+    case os::AccessKind::Execute: return false;
+  }
+  return false;
+}
+
+bool CapsicumChecker::dir_search(const caps::Credentials&, caps::CapSet,
+                                 const os::FileMeta&) const {
+  return false;  // no directory capabilities in the modeled sandbox
+}
+
+bool CapsicumChecker::can_chmod(const caps::Credentials&, caps::CapSet privs,
+                                const os::FileMeta&) const {
+  return has_right(privs, CapsicumRight::Fchmod);
+}
+
+bool CapsicumChecker::can_chown(const caps::Credentials&, caps::CapSet privs,
+                                const os::FileMeta&, int, int) const {
+  return has_right(privs, CapsicumRight::Fchown);
+}
+
+bool CapsicumChecker::can_unlink(const caps::Credentials&, caps::CapSet,
+                                 const os::FileMeta&,
+                                 const os::FileMeta&) const {
+  return false;  // unlinkat needs a directory capability; not held
+}
+
+bool CapsicumChecker::can_kill(const caps::Credentials&, caps::CapSet privs,
+                               const caps::IdTriple&) const {
+  // The global pid namespace is unreachable; only a held process
+  // descriptor with CAP_PDKILL can signal.
+  return has_right(privs, CapsicumRight::PdKill);
+}
+
+bool CapsicumChecker::can_bind(const caps::Credentials&, caps::CapSet privs,
+                               int port) const {
+  if (port < 0 || port > 65535) return false;
+  return has_right(privs, CapsicumRight::Bind);
+}
+
+bool CapsicumChecker::can_raw_socket(const caps::Credentials&,
+                                     caps::CapSet) const {
+  return false;  // socket(2) for new protocol families is unavailable
+}
+
+bool CapsicumChecker::setid_privileged(const caps::Credentials&, caps::CapSet,
+                                       bool) const {
+  return false;  // process identities are a global namespace
+}
+
+bool CapsicumChecker::path_lookup_allowed(const caps::Credentials&,
+                                          caps::CapSet) const {
+  return false;  // cap_enter() cuts off the filesystem namespace
+}
+
+const CapsicumChecker& capsicum_checker() {
+  static const CapsicumChecker instance;
+  return instance;
+}
+
+}  // namespace pa::privmodels

@@ -1,0 +1,72 @@
+#include "privmodels/compare.h"
+
+#include "support/error.h"
+
+namespace pa::privmodels {
+
+std::string_view model_name(Model m) {
+  switch (m) {
+    case Model::LinuxCaps: return "linux-caps";
+    case Model::SolarisTranslated: return "solaris-translated";
+    case Model::SolarisMinimized: return "solaris-minimized";
+    case Model::Capsicum: return "capsicum";
+  }
+  return "?";
+}
+
+ModelRow evaluate_model(const attacks::ScenarioInput& input, Model model,
+                        SolarisNeeds needs, RightSet capsicum_rights) {
+  ModelRow row;
+  row.model = model;
+
+  attacks::ScenarioInput in = input;
+  const rosa::AccessChecker* checker = nullptr;
+  switch (model) {
+    case Model::LinuxCaps:
+      row.privileges = input.permitted.to_string();
+      break;
+    case Model::SolarisTranslated:
+      in.permitted = from_linux(input.permitted);
+      row.privileges = solaris_to_string(in.permitted);
+      checker = &solaris_checker();
+      break;
+    case Model::SolarisMinimized:
+      in.permitted = from_linux_minimized(input.permitted, needs);
+      row.privileges = solaris_to_string(in.permitted);
+      checker = &solaris_checker();
+      break;
+    case Model::Capsicum:
+      in.permitted = capsicum_rights;
+      row.privileges = rights_to_string(in.permitted);
+      checker = &capsicum_checker();
+      break;
+  }
+
+  for (std::size_t i = 0; i < attacks::modeled_attacks().size(); ++i) {
+    rosa::Query q = attacks::build_attack_query(
+        attacks::modeled_attacks()[i].id, in);
+    q.checker = checker;  // nullptr = Linux default
+    rosa::SearchResult r = rosa::search(q);
+    switch (r.verdict) {
+      case rosa::Verdict::Reachable:
+        row.verdicts[i] = attacks::CellVerdict::Vulnerable;
+        break;
+      case rosa::Verdict::Unreachable:
+        row.verdicts[i] = attacks::CellVerdict::Safe;
+        break;
+      case rosa::Verdict::ResourceLimit:
+        row.verdicts[i] = attacks::CellVerdict::Timeout;
+        break;
+    }
+  }
+  return row;
+}
+
+std::vector<ModelRow> compare_models(const attacks::ScenarioInput& input,
+                                     SolarisNeeds needs) {
+  std::vector<ModelRow> rows;
+  for (Model m : kAllModels) rows.push_back(evaluate_model(input, m, needs));
+  return rows;
+}
+
+}  // namespace pa::privmodels

@@ -1,0 +1,47 @@
+// Cross-model efficacy comparison (§X): take a privilege epoch observed on
+// the Linux program and ask what the same program, ported naively or
+// carefully to another privilege model, would expose to an attacker.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "attacks/scenario.h"
+#include "privmodels/capsicum.h"
+#include "privmodels/solaris.h"
+
+namespace pa::privmodels {
+
+enum class Model {
+  LinuxCaps,         // the paper's baseline
+  SolarisTranslated, // each Linux cap replaced by its Solaris equivalents
+  SolarisMinimized,  // plus dropping the halves the program never needed
+  Capsicum,          // sandboxed with a typical worker's fd rights
+};
+
+inline constexpr std::array<Model, 4> kAllModels = {
+    Model::LinuxCaps, Model::SolarisTranslated, Model::SolarisMinimized,
+    Model::Capsicum};
+
+std::string_view model_name(Model m);
+
+struct ModelRow {
+  Model model;
+  std::string privileges;  // rendered privilege/right set under that model
+  std::array<attacks::CellVerdict, 4> verdicts{};
+};
+
+/// Evaluate all four Table I attacks for `input`'s epoch under `model`.
+/// For Capsicum, `capsicum_rights` are the descriptor rights the sandboxed
+/// worker holds (defaults to a read/write worker).
+ModelRow evaluate_model(const attacks::ScenarioInput& input, Model model,
+                        SolarisNeeds needs = {},
+                        RightSet capsicum_rights = rights(
+                            {CapsicumRight::Read, CapsicumRight::Write}));
+
+/// Evaluate every model for one epoch.
+std::vector<ModelRow> compare_models(const attacks::ScenarioInput& input,
+                                     SolarisNeeds needs = {});
+
+}  // namespace pa::privmodels

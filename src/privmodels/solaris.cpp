@@ -1,0 +1,189 @@
+#include "privmodels/solaris.h"
+
+#include <array>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::privmodels {
+namespace {
+
+constexpr std::array<std::string_view, kNumSolarisPrivs> kNames = {
+    "file_dac_read",  "file_dac_write", "file_dac_search", "file_chown",
+    "file_chown_self", "file_owner",    "file_setid",      "proc_setid",
+    "proc_owner",      "proc_session",  "net_privaddr",    "net_rawaccess",
+    "proc_chroot",     "sys_mount",
+};
+
+caps::CapSet bit(SolarisPriv p) {
+  return caps::CapSet::from_raw(std::uint64_t{1} << static_cast<int>(p));
+}
+
+}  // namespace
+
+std::string_view solaris_priv_name(SolarisPriv p) {
+  int i = static_cast<int>(p);
+  PA_CHECK(i >= 0 && i < kNumSolarisPrivs, "solaris privilege out of range");
+  return kNames[static_cast<std::size_t>(i)];
+}
+
+std::optional<SolarisPriv> parse_solaris_priv(std::string_view name) {
+  for (int i = 0; i < kNumSolarisPrivs; ++i)
+    if (kNames[static_cast<std::size_t>(i)] == name)
+      return static_cast<SolarisPriv>(i);
+  return std::nullopt;
+}
+
+SolarisSet solaris_set(std::initializer_list<SolarisPriv> privs) {
+  SolarisSet out;
+  for (SolarisPriv p : privs) out |= bit(p);
+  return out;
+}
+
+bool solaris_has(SolarisSet set, SolarisPriv p) {
+  return (set.raw() >> static_cast<int>(p)) & 1;
+}
+
+std::string solaris_to_string(SolarisSet set) {
+  if (set.empty()) return "(none)";
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumSolarisPrivs; ++i)
+    if ((set.raw() >> i) & 1)
+      names.emplace_back(kNames[static_cast<std::size_t>(i)]);
+  return str::join(names, ",");
+}
+
+SolarisSet from_linux(caps::CapSet linux_caps) {
+  using caps::Capability;
+  SolarisSet out;
+  auto map = [&](Capability c, std::initializer_list<SolarisPriv> privs) {
+    if (linux_caps.contains(c)) out |= solaris_set(privs);
+  };
+  map(Capability::DacOverride, {SolarisPriv::FileDacRead,
+                                SolarisPriv::FileDacWrite,
+                                SolarisPriv::FileDacSearch});
+  map(Capability::DacReadSearch,
+      {SolarisPriv::FileDacRead, SolarisPriv::FileDacSearch});
+  map(Capability::Chown, {SolarisPriv::FileChown});
+  map(Capability::Fowner, {SolarisPriv::FileOwner});
+  map(Capability::Fsetid, {SolarisPriv::FileSetid});
+  map(Capability::Setuid, {SolarisPriv::ProcSetid});
+  map(Capability::Setgid, {SolarisPriv::ProcSetid});
+  map(Capability::Kill, {SolarisPriv::ProcOwner, SolarisPriv::ProcSession});
+  map(Capability::NetBindService, {SolarisPriv::NetPrivaddr});
+  map(Capability::NetRaw, {SolarisPriv::NetRawaccess});
+  map(Capability::SysChroot, {SolarisPriv::ProcChroot});
+  return out;
+}
+
+SolarisSet from_linux_minimized(caps::CapSet linux_caps, SolarisNeeds needs) {
+  SolarisSet out = from_linux(linux_caps);
+  if (!needs.dac_override_needs_read &&
+      linux_caps.contains(caps::Capability::DacOverride) &&
+      !linux_caps.contains(caps::Capability::DacReadSearch)) {
+    // The program only writes via its override privilege (passwd updating
+    // the shadow database): drop the read half Linux forced on it.
+    out -= solaris_set({SolarisPriv::FileDacRead});
+  }
+  return out;
+}
+
+bool SolarisChecker::file_access(const caps::Credentials& creds,
+                                 caps::CapSet privs, const os::FileMeta& meta,
+                                 os::AccessKind kind) const {
+  if (os::dac_allows(creds, meta, kind)) return true;
+  switch (kind) {
+    case os::AccessKind::Read:
+      return solaris_has(privs, SolarisPriv::FileDacRead);
+    case os::AccessKind::Write:
+      return solaris_has(privs, SolarisPriv::FileDacWrite);
+    case os::AccessKind::Execute:
+      // PRIV_FILE_DAC_EXECUTE is not modelled; no execute override.
+      return false;
+  }
+  return false;
+}
+
+bool SolarisChecker::dir_search(const caps::Credentials& creds,
+                                caps::CapSet privs,
+                                const os::FileMeta& dir) const {
+  return os::dac_allows(creds, dir, os::AccessKind::Execute) ||
+         solaris_has(privs, SolarisPriv::FileDacSearch);
+}
+
+bool SolarisChecker::can_chmod(const caps::Credentials& creds,
+                               caps::CapSet privs,
+                               const os::FileMeta& meta) const {
+  return creds.uid.effective == meta.owner ||
+         solaris_has(privs, SolarisPriv::FileOwner);
+}
+
+bool SolarisChecker::can_chown(const caps::Credentials& creds,
+                               caps::CapSet privs, const os::FileMeta& meta,
+                               int owner, int group) const {
+  if (solaris_has(privs, SolarisPriv::FileChown)) return true;
+  const bool is_owner = creds.uid.effective == meta.owner;
+  // rstchown-style semantics: without FILE_CHOWN, the owner may only give
+  // the file away when holding FILE_CHOWN_SELF, and may only move the group
+  // within their own group list.
+  if (!is_owner) return false;
+  if (owner != caps::kWildcardId && owner != meta.owner &&
+      !solaris_has(privs, SolarisPriv::FileChownSelf))
+    return false;
+  if (group != caps::kWildcardId && group != meta.group &&
+      !creds.in_group(group))
+    return false;
+  return true;
+}
+
+bool SolarisChecker::can_unlink(const caps::Credentials& creds,
+                                caps::CapSet privs, const os::FileMeta& dir,
+                                const os::FileMeta& victim) const {
+  if (!dir_search(creds, privs, dir)) return false;
+  if (!file_access(creds, privs, dir, os::AccessKind::Write)) return false;
+  if (dir.mode.has(os::Mode::kSticky)) {
+    if (creds.uid.effective != victim.owner &&
+        creds.uid.effective != dir.owner &&
+        !solaris_has(privs, SolarisPriv::FileOwner))
+      return false;
+  }
+  return true;
+}
+
+bool SolarisChecker::can_kill(const caps::Credentials& creds,
+                              caps::CapSet privs,
+                              const caps::IdTriple& victim_uid) const {
+  if (solaris_has(privs, SolarisPriv::ProcOwner)) return true;
+  return creds.uid.effective == victim_uid.real ||
+         creds.uid.effective == victim_uid.saved ||
+         creds.uid.real == victim_uid.real ||
+         creds.uid.real == victim_uid.saved;
+}
+
+bool SolarisChecker::can_bind(const caps::Credentials& creds,
+                              caps::CapSet privs, int port) const {
+  (void)creds;
+  if (port < 0 || port > 65535) return false;
+  if (port > os::kPrivilegedPortMax || port == 0) return true;
+  return solaris_has(privs, SolarisPriv::NetPrivaddr);
+}
+
+bool SolarisChecker::can_raw_socket(const caps::Credentials& creds,
+                                    caps::CapSet privs) const {
+  (void)creds;
+  return solaris_has(privs, SolarisPriv::NetRawaccess);
+}
+
+bool SolarisChecker::setid_privileged(const caps::Credentials& creds,
+                                      caps::CapSet privs, bool is_uid) const {
+  (void)creds;
+  (void)is_uid;
+  return solaris_has(privs, SolarisPriv::ProcSetid);
+}
+
+const SolarisChecker& solaris_checker() {
+  static const SolarisChecker instance;
+  return instance;
+}
+
+}  // namespace pa::privmodels

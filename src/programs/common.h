@@ -1,0 +1,70 @@
+// Internal helpers shared by the program models.
+#pragma once
+
+#include <string>
+
+#include "ir/builder.h"
+#include "programs/world.h"
+#include "vm/syscall_bridge.h"
+
+namespace pa::programs::detail {
+
+using ir::IRBuilder;
+using B = ir::IRBuilder;  // operand shorthands: B::i, B::s, B::r, B::c
+using caps::CapSet;
+using caps::Capability;
+using vm::SyscallEncoding;
+
+/// Emit a getspnam(3)-style function: read /etc/shadow, raising
+/// CAP_DAC_READ_SEARCH around the access when `privileged` (the stock
+/// programs) or relying on plain DAC when not (the refactored programs run
+/// with euid = the shadow owner).
+inline void emit_getspnam(IRBuilder& b, const std::string& name,
+                          bool privileged) {
+  b.begin_function(name, 0);
+  if (privileged) b.priv_raise({Capability::DacReadSearch});
+  int fd =
+      b.syscall("open", {B::s("/etc/shadow"), B::i(SyscallEncoding::kRead)});
+  b.syscall("read", {B::r(fd), B::i(256)});
+  b.syscall("close", {B::r(fd)});
+  if (privileged) b.priv_lower({Capability::DacReadSearch});
+  b.ret(B::i(0));
+  b.end_function();
+}
+
+/// Emit a counted loop:  for (i = 0; i < n; ++i) { body(i); }
+/// `body` receives the loop-counter register; the helper owns the back edge.
+/// Block labels derive from `tag` and must be unique within the function.
+template <typename BodyFn>
+void emit_loop(IRBuilder& b, const std::string& tag, long n, BodyFn body) {
+  int i = b.mov(B::i(0));
+  b.br(tag + "_head");
+  b.at(tag + "_head");
+  int cond = b.cmp_lt(B::r(i), B::i(n));
+  b.condbr(B::r(cond), tag + "_body", tag + "_done");
+  b.at(tag + "_body");
+  body(i);
+  int next = b.add(B::r(i), B::i(1));
+  b.mov_to(i, B::r(next));
+  b.br(tag + "_head");
+  b.at(tag + "_done");
+}
+
+/// Emit code that executes ~`total` dynamic instructions while keeping the
+/// static footprint small: short stretches become straight-line nops, long
+/// ones a loop. Models the real programs' parsing / crypto / I/O work that
+/// dominates their dynamic instruction counts.
+inline void emit_work(IRBuilder& b, const std::string& tag, long total) {
+  if (total <= 0) return;
+  if (total <= 256) {
+    b.work(static_cast<int>(total));
+    return;
+  }
+  constexpr long kBody = 27;             // nops per iteration
+  constexpr long kPerIter = kBody + 5;   // + cmp, condbr, add, mov, br
+  const long iters = total / kPerIter;
+  emit_loop(b, tag, iters, [&](int) { b.work(static_cast<int>(kBody)); });
+  b.work(static_cast<int>(total % kPerIter));
+}
+
+}  // namespace pa::programs::detail

@@ -1,0 +1,66 @@
+#include "programs/diff.h"
+
+#include <set>
+
+#include "support/str.h"
+
+namespace pa::programs {
+namespace {
+
+std::string group_of(const std::string& fname) {
+  return str::starts_with(fname, "lib_") ? "library" : "program";
+}
+
+/// Multiset of rendered instructions for one function (rendering abstracts
+/// register numbers poorly, but the models are small and the measure is a
+/// churn count, not a patch).
+std::multiset<std::string> lines_of(const ir::Function& f) {
+  std::multiset<std::string> out;
+  for (const ir::BasicBlock& bb : f.blocks())
+    for (const ir::Instruction& inst : bb.instructions)
+      out.insert(inst.to_string());
+  return out;
+}
+
+/// |a \ b| with multiset semantics.
+int multiset_minus(const std::multiset<std::string>& a,
+                   const std::multiset<std::string>& b) {
+  int count = 0;
+  for (auto it = a.begin(); it != a.end(); it = a.upper_bound(*it)) {
+    const int ca = static_cast<int>(a.count(*it));
+    const int cb = static_cast<int>(b.count(*it));
+    if (ca > cb) count += ca - cb;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::map<std::string, DiffCounts> diff_programs(const ir::Module& before,
+                                                const ir::Module& after) {
+  std::map<std::string, DiffCounts> out;
+  std::set<std::string> names;
+  for (const ir::Function& f : before.functions()) names.insert(f.name());
+  for (const ir::Function& f : after.functions()) names.insert(f.name());
+
+  for (const std::string& name : names) {
+    std::multiset<std::string> a, b;
+    if (before.has_function(name)) a = lines_of(before.function(name));
+    if (after.has_function(name)) b = lines_of(after.function(name));
+    DiffCounts& dc = out[group_of(name)];
+    dc.added += multiset_minus(b, a);
+    dc.deleted += multiset_minus(a, b);
+  }
+  return out;
+}
+
+DiffCounts total_diff(const ir::Module& before, const ir::Module& after) {
+  DiffCounts total;
+  for (const auto& [group, dc] : diff_programs(before, after)) {
+    total.added += dc.added;
+    total.deleted += dc.deleted;
+  }
+  return total;
+}
+
+}  // namespace pa::programs

@@ -1,0 +1,28 @@
+// Instruction-level diff between two program models — the analogue of the
+// paper's Table IV ("lines of code changed for refactored programs"),
+// counting added/deleted instructions per function group.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/module.h"
+
+namespace pa::programs {
+
+struct DiffCounts {
+  int added = 0;
+  int deleted = 0;
+};
+
+/// Per-function-group added/deleted instruction counts between `before` and
+/// `after`. Functions whose names start with "lib_" are grouped under
+/// "library", everything else under "program" (matching Table IV's split
+/// into shadow-library code vs. passwd.c / su.c).
+std::map<std::string, DiffCounts> diff_programs(const ir::Module& before,
+                                                const ir::Module& after);
+
+/// Total added/deleted across all groups.
+DiffCounts total_diff(const ir::Module& before, const ir::Module& after);
+
+}  // namespace pa::programs

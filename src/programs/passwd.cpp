@@ -1,0 +1,173 @@
+// Model of shadow-utils passwd 4.1.5.1 (Table II), privilege-annotated in
+// the AutoPriv style, plus the §VII-D.1 security-refactored variant.
+//
+// Privilege lifecycle of the stock program (§VII-C):
+//   1. startup / argument parsing                       (all 5 caps live)
+//   2. getspnam(): CAP_DAC_READ_SEARCH around /etc/shadow read
+//   3. password dialogue + hashing — the bulk of execution
+//   4. setuid(0) via CAP_SETUID (ignore unexpected signals)
+//   5. shadow-database update: CAP_DAC_OVERRIDE (lock file + replace
+//      database), stat()+chown() via CAP_CHOWN to preserve the owner,
+//      chmod() via CAP_FOWNER, then rename into place
+//
+// The refactored variant (Table V) instead moves its credentials to the
+// special `etc` user immediately (setresuid while CAP_SETUID is live,
+// setegid(shadow) while CAP_SETGID is live) and then needs no privilege at
+// all for the database update, since `etc` owns /etc and /etc/shadow.
+#include "programs/common.h"
+
+namespace pa::programs {
+
+using namespace detail;
+
+namespace {
+
+// Epoch weights chosen so the per-epoch percentages match Table III
+// (total ~69.7k dynamic instructions, as in the paper).
+constexpr int kStartupWork = 2600;    // passwd_priv1  ~3.8%
+constexpr int kDialogueWork = 41100;  // passwd_priv3 ~59.2%
+constexpr int kPostRootWork = 36;     // passwd_priv2 ~0.06%
+constexpr int kUpdateWork = 25400;    // passwd_priv4 ~36.8%
+constexpr int kCleanupWork = 150;     // passwd_priv5 ~0.23%
+
+void emit_become_root(IRBuilder& b) {
+  b.begin_function("become_root", 0);
+  b.priv_raise({Capability::Setuid});
+  b.syscall("setuid", {B::i(caps::kRootUid)});
+  b.work(kPostRootWork);  // the paper's brief passwd_priv2 window
+  b.priv_lower({Capability::Setuid});
+  b.ret(B::i(0));
+  b.end_function();
+}
+
+void emit_update_shadow(IRBuilder& b) {
+  b.begin_function("update_shadow", 0);
+  // Lock out concurrent passwd runs, then build the replacement database.
+  b.priv_raise({Capability::DacOverride});
+  int lock = b.syscall("open", {B::s("/etc/.pwd.lock"),
+                                B::i(SyscallEncoding::kWrite |
+                                     SyscallEncoding::kCreate)});
+  emit_work(b, "upd1", kUpdateWork / 2);
+  int nfd = b.syscall("open", {B::s("/etc/nshadow"),
+                               B::i(SyscallEncoding::kWrite |
+                                    SyscallEncoding::kCreate |
+                                    SyscallEncoding::kTrunc)});
+  b.syscall("write", {B::r(nfd), B::s("root:$6$hash0\nuser:$6$newhash\n")});
+  b.syscall("close", {B::r(nfd)});
+  emit_work(b, "upd2", kUpdateWork / 2);
+  // passwd makes no assumption about who owns the shadow database: it
+  // stat()s the old file and chown()s the new one to match (§VII-C).
+  int owner = b.syscall("stat_owner", {B::s("/etc/shadow")});
+  int group = b.syscall("stat_group", {B::s("/etc/shadow")});
+  b.priv_raise({Capability::Chown});
+  b.syscall("chown", {B::s("/etc/nshadow"), B::r(owner), B::r(group)});
+  b.priv_lower({Capability::Chown});
+  b.priv_raise({Capability::Fowner});
+  b.syscall("chmod", {B::s("/etc/nshadow"), B::i(0640)});
+  b.priv_lower({Capability::Fowner});
+  b.syscall("rename", {B::s("/etc/nshadow"), B::s("/etc/shadow")});
+  b.syscall("close", {B::r(lock)});
+  b.syscall("unlink", {B::s("/etc/.pwd.lock")});
+  b.priv_lower({Capability::DacOverride});
+  b.ret(B::i(0));
+  b.end_function();
+}
+
+}  // namespace
+
+ProgramSpec make_passwd() {
+  ProgramSpec spec;
+  spec.name = "passwd";
+  spec.description = "Utility to change user passwords";
+  spec.launch_permitted = {Capability::DacReadSearch, Capability::DacOverride,
+                           Capability::Setuid, Capability::Chown,
+                           Capability::Fowner};
+  spec.launch_creds = caps::Credentials::of_user(kUser, kUserGid);
+  spec.module = ir::Module("passwd");
+
+  IRBuilder b(spec.module);
+  emit_getspnam(b, "lib_getspnam", /*privileged=*/true);
+  emit_become_root(b);
+  emit_update_shadow(b);
+
+  b.begin_function("main", 0);
+  b.syscall("getuid", {});
+  // Signal bookkeeping ("ignore unexpected signals"): probe the session
+  // leader. Puts kill(2) in the program's syscall surface, as in the paper.
+  b.syscall("kill", {B::i(99999), B::i(0)});
+  emit_work(b, "startup", kStartupWork);
+  b.call("lib_getspnam");
+  // CAP_DAC_READ_SEARCH is dead here; AutoPriv removes it.
+  emit_work(b, "dialogue", kDialogueWork);
+  b.call("become_root");
+  // CAP_SETUID dead -> removed right after the call (priv4 begins).
+  b.call("update_shadow");
+  // All remaining caps dead -> removed.
+  b.work(kCleanupWork);
+  b.exit(B::i(0));
+  b.end_function();
+
+  spec.module.recompute_address_taken();
+  return spec;
+}
+
+ProgramSpec make_passwd_refactored() {
+  ProgramSpec spec;
+  spec.name = "passwdRef";
+  spec.description = "passwd refactored to change credentials early (§VII-D.1)";
+  spec.launch_permitted = {Capability::Setuid, Capability::Setgid};
+  spec.launch_creds = caps::Credentials::of_user(kUser, kUserGid);
+  spec.scenario_extra_users = {kEtcUser};
+  spec.scenario_extra_groups = {kShadowGid};
+  spec.refactored_world = true;
+  spec.module = ir::Module("passwdRef");
+
+  IRBuilder b(spec.module);
+  emit_getspnam(b, "lib_getspnam", /*privileged=*/false);
+
+  // Epoch weights per Table V (total ~68.9k).
+  constexpr int kRefStartupWork = 2620;  // priv1 ~3.8%
+  constexpr int kRefSwitchWork = 36;     // priv2/priv3/priv4: tiny windows
+  constexpr int kRefBulkWork = 66100;    // priv5 ~96%
+
+  b.begin_function("main", 0);
+  b.syscall("getuid", {});
+  // Signal bookkeeping ("ignore unexpected signals"): probe the session
+  // leader. Puts kill(2) in the program's syscall surface, as in the paper.
+  b.syscall("kill", {B::i(99999), B::i(0)});
+  emit_work(b, "startup", kRefStartupWork);
+  // Change credentials early: real+effective uid -> etc, saved keeps the
+  // invoker so identification-by-ruid still works.
+  b.priv_raise({Capability::Setuid});
+  b.syscall("setresuid", {B::i(kEtcUser), B::i(kEtcUser), B::i(-1)});
+  b.priv_lower({Capability::Setuid});
+  b.work(kRefSwitchWork);  // priv3: CAP_SETGID only
+  b.priv_raise({Capability::Setgid});
+  b.syscall("setegid", {B::i(kShadowGid)});
+  b.work(kRefSwitchWork);  // priv4: egid shadow, CAP_SETGID still permitted
+  b.priv_lower({Capability::Setgid});
+  // Both caps dead -> removed; everything below runs with empty permitted.
+  b.call("lib_getspnam");
+  emit_work(b, "bulk", kRefBulkWork);
+  // Database update needs no privilege: euid `etc` owns /etc and the files.
+  int lock = b.syscall("open", {B::s("/etc/.pwd.lock"),
+                                B::i(SyscallEncoding::kWrite |
+                                     SyscallEncoding::kCreate)});
+  int nfd = b.syscall("open", {B::s("/etc/nshadow"),
+                               B::i(SyscallEncoding::kWrite |
+                                    SyscallEncoding::kCreate |
+                                    SyscallEncoding::kTrunc)});
+  b.syscall("write", {B::r(nfd), B::s("root:$6$hash0\nuser:$6$newhash\n")});
+  b.syscall("close", {B::r(nfd)});
+  b.syscall("chmod", {B::s("/etc/nshadow"), B::i(0640)});
+  b.syscall("rename", {B::s("/etc/nshadow"), B::s("/etc/shadow")});
+  b.syscall("close", {B::r(lock)});
+  b.syscall("unlink", {B::s("/etc/.pwd.lock")});
+  b.exit(B::i(0));
+  b.end_function();
+
+  spec.module.recompute_address_taken();
+  return spec;
+}
+
+}  // namespace pa::programs

@@ -1,0 +1,78 @@
+// Model of iputils ping s20121221 (Table II), privilege-annotated in the
+// AutoPriv style.
+//
+// ping is the paper's best-case program (§VII-C): it needs CAP_NET_RAW only
+// to create its raw socket, once, at the very beginning, and CAP_NET_ADMIN
+// only for the SO_DEBUG / SO_MARK setsockopt calls behind the -d / -m flags
+// in a setup function that also runs early. Both privileges are dead before
+// the main send/receive loop, so ping is invulnerable to every modeled
+// attack for its whole execution.
+#include "programs/common.h"
+
+namespace pa::programs {
+
+using namespace detail;
+
+namespace {
+
+// Weights per Table III (total ~14.2k dynamic instructions):
+constexpr int kRawWindowWork = 170;   // ping_priv1 ~1.4%
+constexpr int kSetupWork = 180;       // ping_priv2 ~1.4%
+constexpr int kPerPingWork = 1350;    // ping_priv3 ~97.2% over 10 pings
+
+}  // namespace
+
+ProgramSpec make_ping() {
+  ProgramSpec spec;
+  spec.name = "ping";
+  spec.description = "Test reachability of remote hosts";
+  spec.launch_permitted = {Capability::NetRaw, Capability::NetAdmin};
+  spec.launch_creds = caps::Credentials::of_user(kUser, kUserGid);
+  // `ping -c 10 localhost`: args = (count, debug flag, mark flag).
+  spec.args = {std::int64_t{10}, std::int64_t{0}, std::int64_t{0}};
+  spec.module = ir::Module("ping");
+
+  IRBuilder b(spec.module);
+  b.begin_function("main", 3);  // %0 = count, %1 = -d flag, %2 = -m flag
+
+  // Raw socket first, then drop CAP_NET_RAW for good.
+  b.priv_raise({Capability::NetRaw});
+  int sock = b.syscall("socket", {B::i(SyscallEncoding::kSockRaw)});
+  b.work(kRawWindowWork);  // ping_priv1: socket options sized, etc.
+  b.priv_lower({Capability::NetRaw});
+  // CAP_NET_RAW dead -> removed (ping_priv2 begins).
+
+  // Socket-option setup: CAP_NET_ADMIN is only raised when -d/-m was given;
+  // on the plain run the raise never executes, but the privilege stays live
+  // (statically) until the branch join, where AutoPriv removes it.
+  b.work(kSetupWork);
+  b.condbr(B::r(1), "set_debug", "after_debug");
+  b.at("set_debug");
+  b.priv_raise({Capability::NetAdmin});
+  b.syscall("setsockopt", {B::r(sock), B::s("SO_DEBUG"), B::i(1)});
+  b.priv_lower({Capability::NetAdmin});
+  b.br("after_debug");
+  b.at("after_debug");
+  b.condbr(B::r(2), "set_mark", "after_mark");
+  b.at("set_mark");
+  b.priv_raise({Capability::NetAdmin});
+  b.syscall("setsockopt", {B::r(sock), B::s("SO_MARK"), B::i(1)});
+  b.priv_lower({Capability::NetAdmin});
+  b.br("after_mark");
+  b.at("after_mark");
+  // CAP_NET_ADMIN dead -> removed (ping_priv3: the echo loop, unprivileged).
+
+  emit_loop(b, "ping", /*n=*/10, [&](int) {
+    b.syscall("write", {B::r(sock), B::s("icmp-echo-request")});
+    b.syscall("read", {B::r(sock), B::i(64)});
+    emit_work(b, "rtt", kPerPingWork);
+  });
+  b.syscall("close", {B::r(sock)});
+  b.exit(B::i(0));
+  b.end_function();
+
+  spec.module.recompute_address_taken();
+  return spec;
+}
+
+}  // namespace pa::programs

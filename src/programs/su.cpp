@@ -1,0 +1,147 @@
+// Model of shadow-utils su 4.1.5.1 (Table II), privilege-annotated in the
+// AutoPriv style, plus the §VII-D.2 security-refactored variant.
+//
+// Stock lifecycle (§VII-C): the bulk of execution (argument handling,
+// authentication via getspnam with CAP_DAC_READ_SEARCH, password prompt)
+// runs while all three capabilities are live; only very late does su use
+// CAP_SETGID (supplementary groups + gid switch) and CAP_SETUID (uid
+// switch) before running the target command — hence vulnerable for ~88%.
+//
+// Refactored lifecycle (Table V): immediately after startup su uses
+// CAP_SETUID/CAP_SETGID once to plant *two* credential sets — the invoker in
+// the real ids, the shadow owner in the effective ids, the target user in
+// the saved ids — then drops both capabilities. Every later switch
+// (authenticate as `etc`, become the target user) is an unprivileged
+// setres[ug]id between those planted ids.
+#include "programs/common.h"
+
+namespace pa::programs {
+
+using namespace detail;
+
+namespace {
+
+// Weights per Table III (total ~47.4k dynamic instructions).
+constexpr int kAuthWork = 38600;     // su_priv1 ~82.1%
+constexpr int kVerifyWork = 2400;    // su_priv2 ~5.2%
+constexpr int kGidWindowWork = 120;  // su_priv3 ~0.28%
+constexpr int kPreUidWork = 70;      // su_priv4 ~0.17%
+constexpr int kUidWindowWork = 34;   // su_priv5 ~0.09%
+constexpr int kShellWork = 5600;     // su_priv6 ~12.2%
+
+void emit_run_shell(IRBuilder& b) {
+  // Models executing `ls` as the target user.
+  b.begin_function("run_shell", 0);
+  int fd = b.syscall("open",
+                     {B::s("/home/other/data.bin"), B::i(SyscallEncoding::kRead)});
+  b.syscall("read", {B::r(fd), B::i(512)});
+  b.syscall("close", {B::r(fd)});
+  emit_work(b, "shell", kShellWork);
+  b.ret(B::i(0));
+  b.end_function();
+}
+
+}  // namespace
+
+ProgramSpec make_su() {
+  ProgramSpec spec;
+  spec.name = "su";
+  spec.description = "Utility to log in as another user";
+  spec.launch_permitted = {Capability::DacReadSearch, Capability::Setgid,
+                           Capability::Setuid};
+  spec.launch_creds = caps::Credentials::of_user(kUser, kUserGid);
+  spec.args = {std::int64_t{kOtherUser}};  // `su other -c ls`
+  spec.module = ir::Module("su");
+
+  IRBuilder b(spec.module);
+  emit_getspnam(b, "lib_getspnam", /*privileged=*/true);
+  emit_run_shell(b);
+
+  b.begin_function("main", 1);  // %0 = target uid
+  b.syscall("getuid", {});
+  // Session bookkeeping probe; puts kill(2) in the syscall surface.
+  b.syscall("kill", {B::i(99999), B::i(0)});
+  emit_work(b, "auth", kAuthWork);
+  b.call("lib_getspnam");
+  // CAP_DAC_READ_SEARCH dead -> removed (su_priv2 begins).
+  emit_work(b, "verify", kVerifyWork);
+  // Switch groups to the target user (CAP_SETGID).
+  b.priv_raise({Capability::Setgid});
+  b.syscall("setgroups", {B::r(0)});
+  b.syscall("setgid", {B::r(0)});
+  b.work(kGidWindowWork);  // su_priv3: gids switched, CAP_SETGID still live
+  b.priv_lower({Capability::Setgid});
+  // CAP_SETGID dead -> removed (su_priv4).
+  b.work(kPreUidWork);
+  // Switch uids to the target user (CAP_SETUID).
+  b.priv_raise({Capability::Setuid});
+  b.syscall("setuid", {B::r(0)});
+  b.work(kUidWindowWork);  // su_priv5
+  b.priv_lower({Capability::Setuid});
+  // CAP_SETUID dead -> removed (su_priv6: run the command unprivileged).
+  b.call("run_shell");
+  b.exit(B::i(0));
+  b.end_function();
+
+  spec.module.recompute_address_taken();
+  return spec;
+}
+
+ProgramSpec make_su_refactored() {
+  ProgramSpec spec;
+  spec.name = "suRef";
+  spec.description = "su refactored to plant credentials early (§VII-D.2)";
+  spec.launch_permitted = {Capability::Setuid, Capability::Setgid};
+  spec.launch_creds = caps::Credentials::of_user(kUser, kUserGid);
+  spec.args = {std::int64_t{kOtherUser}};
+  spec.scenario_extra_users = {kEtcUser, kOtherUser};
+  spec.scenario_extra_groups = {kShadowGid, kOtherGid};
+  spec.refactored_world = true;
+  spec.module = ir::Module("suRef");
+
+  IRBuilder b(spec.module);
+  emit_getspnam(b, "lib_getspnam", /*privileged=*/false);
+  emit_run_shell(b);
+
+  // Weights per Table V (total ~47.2k).
+  constexpr int kRefStartupWork = 250;   // priv1 ~0.56%
+  constexpr int kRefWindowWork = 36;     // priv2/priv3: tiny windows
+  constexpr int kRefGidWork = 120;       // priv4 ~0.27%
+  constexpr int kRefBulkWork = 40800;    // priv6 ~86.7%
+  constexpr int kRefSwapWork = 36;       // priv7 ~0.09%
+
+  b.begin_function("main", 1);  // %0 = target uid
+  b.syscall("getuid", {});
+  b.syscall("kill", {B::i(99999), B::i(0)});
+  emit_work(b, "startup", kRefStartupWork);
+  // Plant credentials: ruid = invoker (identification), euid = etc (can
+  // read the shadow db as its owner), suid = target user.
+  b.priv_raise({Capability::Setuid});
+  b.syscall("setresuid", {B::i(kUser), B::i(kEtcUser), B::r(0)});
+  b.work(kRefWindowWork);  // priv2
+  b.priv_lower({Capability::Setuid});
+  // CAP_SETUID dead -> removed (priv3: CAP_SETGID only).
+  b.work(kRefWindowWork);
+  b.priv_raise({Capability::Setgid});
+  b.syscall("setgroups", {B::i(kOtherGid)});
+  b.syscall("setresgid", {B::i(kUserGid), B::i(kEtcUser), B::i(kOtherGid)});
+  b.work(kRefGidWork);  // priv4: planted gids, CAP_SETGID still live
+  b.priv_lower({Capability::Setgid});
+  // CAP_SETGID dead -> removed (priv6: the long unprivileged bulk).
+  b.call("lib_getspnam");
+  emit_work(b, "bulk", kRefBulkWork);
+  // Become the target user WITHOUT privilege: every id below is one of the
+  // current real/effective/saved ids.
+  b.syscall("setresgid", {B::r(0), B::r(0), B::r(0)});
+  b.work(kRefSwapWork);  // priv7: gid switched, uid still planted
+  b.syscall("setresuid", {B::r(0), B::r(0), B::r(0)});
+  // priv5: fully the target user, empty permitted set.
+  b.call("run_shell");
+  b.exit(B::i(0));
+  b.end_function();
+
+  spec.module.recompute_address_taken();
+  return spec;
+}
+
+}  // namespace pa::programs

@@ -1,0 +1,96 @@
+// Model of thttpd 2.26 (Table II), privilege-annotated in the AutoPriv
+// style.
+//
+// Like ping, thttpd concentrates privilege use in startup (§VII-C): it
+// chowns its log to the run user (CAP_CHOWN), performs its uid bookkeeping
+// (CAP_SETUID), parses configuration, sets the server root with chroot
+// (CAP_SYS_CHROOT), binds the HTTP port (CAP_NET_BIND_SERVICE), fixes its
+// groups (CAP_SETGID), and then serves requests with an empty permitted set
+// for >90% of its execution. The workload is ApacheBench fetching one 1 MB
+// file (modelled at 1:10 dynamic-instruction scale).
+#include "programs/common.h"
+
+namespace pa::programs {
+
+using namespace detail;
+
+namespace {
+
+// Weights per Table III at 1:10 scale (paper total ~47.7M -> ~4.77M):
+constexpr int kStartupWork = 280;       // thttpd_priv1 ~0.00%
+constexpr long kConfigWork = 468000;    // thttpd_priv2 ~9.8%
+constexpr int kPostChrootWork = 330;    // thttpd_priv3 ~0.00%
+constexpr int kGroupWork = 680;         // thttpd_priv4 ~0.02%
+constexpr long kServeChunks = 1024;     // 1 MB at 1 KB chunks
+constexpr int kPerChunkWork = 4180;     // thttpd_priv5 ~90.2%
+
+}  // namespace
+
+ProgramSpec make_thttpd() {
+  ProgramSpec spec;
+  spec.name = "thttpd";
+  spec.description = "Small single-process web server";
+  spec.launch_permitted = {Capability::Chown, Capability::Setgid,
+                           Capability::Setuid, Capability::NetBindService,
+                           Capability::SysChroot};
+  spec.launch_creds = caps::Credentials::of_user(kUser, kUserGid);
+  spec.module = ir::Module("thttpd");
+
+  IRBuilder b(spec.module);
+  b.begin_function("main", 0);
+
+  // --- thttpd_priv1: log setup + uid bookkeeping (all five caps live) ---
+  b.work(kStartupWork);
+  // Stale-pid cleanup probe; puts kill(2) in the syscall surface.
+  b.syscall("kill", {B::i(99999), B::i(0)});
+  int log = b.syscall("open", {B::s("/var/log/thttpd/access.log"),
+                               B::i(SyscallEncoding::kWrite |
+                                    SyscallEncoding::kCreate)});
+  b.priv_raise({Capability::Chown, Capability::Setuid});
+  b.syscall("chown",
+            {B::s("/var/log/thttpd/access.log"), B::i(kUser), B::i(kUserGid)});
+  b.syscall("setuid", {B::i(kUser)});  // already the run user: bookkeeping
+  b.priv_lower({Capability::Chown, Capability::Setuid});
+  // CAP_CHOWN and CAP_SETUID dead -> removed (thttpd_priv2 begins).
+
+  // --- thttpd_priv2: configuration parsing, then chroot to the web root ---
+  emit_work(b, "config", kConfigWork);
+  b.priv_raise({Capability::SysChroot});
+  b.syscall("chroot", {B::s("/var/www")});
+  b.priv_lower({Capability::SysChroot});
+  // CAP_SYS_CHROOT dead -> removed (thttpd_priv3).
+
+  b.work(kPostChrootWork);
+  int sock = b.syscall("socket", {B::i(SyscallEncoding::kSockStream)});
+  b.priv_raise({Capability::NetBindService});
+  b.syscall("bind", {B::r(sock), B::i(80)});
+  b.priv_lower({Capability::NetBindService});
+  // CAP_NET_BIND_SERVICE dead -> removed (thttpd_priv4).
+
+  // --- thttpd_priv4: group bookkeeping ---
+  b.priv_raise({Capability::Setgid});
+  b.syscall("setgroups", {B::i(kUserGid)});
+  b.syscall("setgid", {B::i(kUserGid)});
+  b.work(kGroupWork);
+  b.priv_lower({Capability::Setgid});
+  // CAP_SETGID dead -> removed (thttpd_priv5: the serve loop, unprivileged).
+
+  // --- thttpd_priv5: serve one 1 MB request ---
+  int file = b.syscall("open", {B::s("/var/www/index.html"),
+                                B::i(SyscallEncoding::kRead)});
+  emit_loop(b, "serve", kServeChunks, [&](int) {
+    b.syscall("read", {B::r(file), B::i(1024)});
+    b.syscall("write", {B::r(sock), B::i(1024)});
+    emit_work(b, "chunk", kPerChunkWork);
+  });
+  b.syscall("close", {B::r(file)});
+  b.syscall("close", {B::r(sock)});
+  b.syscall("close", {B::r(log)});
+  b.exit(B::i(0));
+  b.end_function();
+
+  spec.module.recompute_address_taken();
+  return spec;
+}
+
+}  // namespace pa::programs

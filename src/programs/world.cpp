@@ -1,0 +1,99 @@
+#include "programs/world.h"
+
+#include <set>
+
+namespace pa::programs {
+
+std::vector<std::string> ProgramSpec::syscalls_used() const {
+  std::set<std::string> names;
+  for (const ir::Function& f : module.functions())
+    for (const ir::BasicBlock& bb : f.blocks())
+      for (const ir::Instruction& inst : bb.instructions)
+        if (inst.op == ir::Opcode::Syscall) names.insert(inst.symbol);
+  return {names.begin(), names.end()};
+}
+
+namespace {
+
+void populate_common(os::Kernel& k, caps::Uid etc_owner) {
+  os::Vfs& vfs = k.vfs();
+  using os::FileMeta;
+  using os::Mode;
+
+  // /etc: owned by root on stock Ubuntu, by the `etc` user after the
+  // refactoring's "special users for special files" change.
+  os::Ino etc = vfs.mkdirs("/etc");
+  vfs.inode(etc).meta = FileMeta{etc_owner, kShadowGid, Mode(0755)};
+
+  vfs.add_file("/etc/passwd",
+               FileMeta{caps::kRootUid, caps::kRootGid, Mode(0644)},
+               "root:x:0:0\nuser:x:1000:1000\nother:x:1001:1001\n");
+  vfs.add_file("/etc/shadow", FileMeta{etc_owner, kShadowGid, Mode(0640)},
+               "root:$6$hash0\nuser:$6$hash1000\nother:$6$hash1001\n");
+
+  // /dev/mem: root:kmem 0640, the target of attacks 1 and 2.
+  vfs.add_device("/dev/mem",
+                 FileMeta{caps::kRootUid, kKmemGid, Mode(0640)}, "mem");
+  vfs.add_device("/dev/null",
+                 FileMeta{caps::kRootUid, caps::kRootGid, Mode(0666)}, "null");
+
+  // su's sulog: group utmp writable.
+  vfs.mkdirs("/var/log");
+  vfs.add_file("/var/log/sulog",
+               FileMeta{etc_owner, kUtmpGid, Mode(0620)}, "");
+
+  // thttpd's web root and log.
+  os::Ino www = vfs.mkdirs("/var/www");
+  vfs.inode(www).meta = FileMeta{caps::kRootUid, caps::kRootGid, Mode(0755)};
+  vfs.add_file("/var/www/index.html",
+               FileMeta{caps::kRootUid, caps::kRootGid, Mode(0644)},
+               std::string(1024, 'a'));
+  os::Ino tlog = vfs.mkdirs("/var/log/thttpd");
+  vfs.inode(tlog).meta = FileMeta{kUser, kUserGid, Mode(0755)};
+
+  // sshd host keys and the scp'd user file.
+  vfs.mkdirs("/etc/ssh");
+  vfs.add_file("/etc/ssh/ssh_host_key",
+               FileMeta{caps::kRootUid, caps::kRootGid, Mode(0600)},
+               "hostkey");
+  os::Ino home = vfs.mkdirs("/home/other");
+  vfs.inode(home).meta = FileMeta{kOtherUser, kOtherGid, Mode(0755)};
+  vfs.add_file("/home/other/data.bin",
+               FileMeta{kOtherUser, kOtherGid, Mode(0644)},
+               std::string(4096, 'd'));
+
+  // A critical server process (attack 4's victim lives in ROSA's model, but
+  // SimOS carries one too so runtime kill() paths are exercisable).
+  k.spawn("criticald",
+          caps::Credentials::of_user(kServerUid, kServerUid), {});
+}
+
+}  // namespace
+
+os::Kernel make_standard_world() {
+  os::Kernel k;
+  populate_common(k, caps::kRootUid);
+  return k;
+}
+
+os::Kernel make_refactored_world() {
+  os::Kernel k;
+  populate_common(k, kEtcUser);
+  return k;
+}
+
+os::Pid spawn_program(os::Kernel& kernel, const ProgramSpec& spec) {
+  return kernel.spawn(spec.name, spec.launch_creds, spec.launch_permitted);
+}
+
+std::vector<ProgramSpec> all_baseline_programs() {
+  std::vector<ProgramSpec> out;
+  out.push_back(make_thttpd());
+  out.push_back(make_passwd());
+  out.push_back(make_su());
+  out.push_back(make_ping());
+  out.push_back(make_sshd());
+  return out;
+}
+
+}  // namespace pa::programs

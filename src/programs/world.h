@@ -1,0 +1,88 @@
+// The evaluation programs (paper Table II) as PrivIR models, plus the
+// Ubuntu-like SimOS world they run in.
+//
+// Each model reproduces its real counterpart's *privilege lifecycle*: the
+// same syscalls, the same priv_raise/priv_lower sites (the Hu et al.
+// modifications), the same credential transitions, with work() padding sized
+// so the dynamic-instruction proportions of each privilege epoch mirror the
+// paper's Table III / Table V. See DESIGN.md for the substitution argument.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/module.h"
+#include "os/kernel.h"
+
+namespace pa::programs {
+
+// Well-known ids in the simulated world (Ubuntu-16.04-like).
+inline constexpr caps::Uid kUser = 1000;       // invoking user
+inline constexpr caps::Uid kOtherUser = 1001;  // su/scp target user
+inline constexpr caps::Uid kEtcUser = 998;     // the refactor's special user
+inline constexpr caps::Gid kUserGid = 1000;
+inline constexpr caps::Gid kOtherGid = 1001;
+inline constexpr caps::Gid kShadowGid = 42;    // group "shadow"
+inline constexpr caps::Gid kKmemGid = 15;      // group "kmem" (/dev/mem)
+inline constexpr caps::Gid kUtmpGid = 43;      // group "utmp" (sulog)
+inline constexpr caps::Uid kServerUid = 109;   // critical-daemon user
+
+/// A runnable evaluation program: the module (pre-AutoPriv), its launch
+/// configuration, and the workload arguments described in §VII-B.
+struct ProgramSpec {
+  std::string name;
+  ir::Module module;
+  caps::CapSet launch_permitted;
+  caps::Credentials launch_creds;
+  std::vector<ir::RtValue> args;
+  std::string description;  // Table II description
+
+  /// Names of every syscall the module can execute (the attack model's
+  /// constraint on ROSA messages). Computed from the module.
+  std::vector<std::string> syscalls_used() const;
+
+  /// Extra uid/gid values this program's attack scenarios should allow as
+  /// wildcard candidates (the refactored programs' special users).
+  std::vector<int> scenario_extra_users;
+  std::vector<int> scenario_extra_groups;
+
+  /// True for the §VII-D variants, which need the world where the `etc`
+  /// user owns /etc and the shadow files.
+  bool refactored_world = false;
+};
+
+/// Build the standard world: users 1000/1001, /etc/shadow (root:shadow
+/// 0640), /etc/passwd, /dev/mem (root:kmem 0640), /var/log/sulog, a web
+/// root, and sshd host keys.
+os::Kernel make_standard_world();
+
+/// The refactored world (§VII-D): /etc and the shadow files are owned by the
+/// special `etc` user (998) instead of root.
+os::Kernel make_refactored_world();
+
+/// Spawn `spec`'s process in `kernel` (launched with the correct permitted
+/// set rather than as setuid-root, as §VII-B describes).
+os::Pid spawn_program(os::Kernel& kernel, const ProgramSpec& spec);
+
+// The five evaluation programs (Table II).
+ProgramSpec make_passwd();
+ProgramSpec make_su();
+ProgramSpec make_ping();
+ProgramSpec make_thttpd();
+ProgramSpec make_sshd();
+
+// The security-refactored variants (§VII-D, Table V).
+ProgramSpec make_passwd_refactored();
+ProgramSpec make_su_refactored();
+
+/// Extension (this reproduction, not the paper): sshd restructured along the
+/// paper's §VII-E lessons + a privilege-separation-style design, fixing the
+/// two problems §VII-C identifies (privileged signal handlers and the
+/// indirect call in the connection loop).
+ProgramSpec make_sshd_refactored();
+
+/// All five baseline programs, in Table II/III order.
+std::vector<ProgramSpec> all_baseline_programs();
+
+}  // namespace pa::programs

@@ -1,0 +1,70 @@
+#include "rosa/checker.h"
+
+namespace pa::rosa {
+namespace {
+
+os::Actor actor(const caps::Credentials& creds, caps::CapSet privs) {
+  return os::Actor{creds, privs};
+}
+
+}  // namespace
+
+bool LinuxChecker::file_access(const caps::Credentials& creds,
+                               caps::CapSet privs, const os::FileMeta& meta,
+                               os::AccessKind kind) const {
+  return os::may_access(actor(creds, privs), meta, kind);
+}
+
+bool LinuxChecker::dir_search(const caps::Credentials& creds,
+                              caps::CapSet privs,
+                              const os::FileMeta& dir) const {
+  return os::may_search(actor(creds, privs), dir);
+}
+
+bool LinuxChecker::can_chmod(const caps::Credentials& creds,
+                             caps::CapSet privs,
+                             const os::FileMeta& meta) const {
+  return os::may_chmod(actor(creds, privs), meta);
+}
+
+bool LinuxChecker::can_chown(const caps::Credentials& creds,
+                             caps::CapSet privs, const os::FileMeta& meta,
+                             int owner, int group) const {
+  return os::may_chown(actor(creds, privs), meta, owner, group);
+}
+
+bool LinuxChecker::can_unlink(const caps::Credentials& creds,
+                              caps::CapSet privs, const os::FileMeta& dir,
+                              const os::FileMeta& victim) const {
+  return os::may_unlink(actor(creds, privs), dir, victim);
+}
+
+bool LinuxChecker::can_kill(const caps::Credentials& creds,
+                            caps::CapSet privs,
+                            const caps::IdTriple& victim_uid) const {
+  return os::may_kill(actor(creds, privs), victim_uid);
+}
+
+bool LinuxChecker::can_bind(const caps::Credentials& creds,
+                            caps::CapSet privs, int port) const {
+  return os::may_bind_port(actor(creds, privs), port);
+}
+
+bool LinuxChecker::can_raw_socket(const caps::Credentials& creds,
+                                  caps::CapSet privs) const {
+  return os::may_create_raw_socket(actor(creds, privs));
+}
+
+bool LinuxChecker::setid_privileged(const caps::Credentials& creds,
+                                    caps::CapSet privs, bool is_uid) const {
+  (void)creds;
+  return privs.contains(is_uid ? caps::Capability::Setuid
+                               : caps::Capability::Setgid);
+}
+
+const AccessChecker& linux_checker() {
+  static const LinuxChecker instance;
+  return instance;
+}
+
+}  // namespace pa::rosa

@@ -1,0 +1,52 @@
+#include "rosa/query.h"
+
+#include "os/access.h"
+
+namespace pa::rosa {
+
+std::function<bool(const State&)> goal_file_in_rdfset(int proc, int file) {
+  return [proc, file](const State& st) {
+    const ProcObj* p = st.find_proc(proc);
+    return p && p->rdfset.contains(file);
+  };
+}
+
+std::function<bool(const State&)> goal_file_in_wrfset(int proc, int file) {
+  return [proc, file](const State& st) {
+    const ProcObj* p = st.find_proc(proc);
+    return p && p->wrfset.contains(file);
+  };
+}
+
+std::function<bool(const State&)> goal_privileged_port_bound(int proc) {
+  return [proc](const State& st) {
+    for (const SockObj& s : st.socks)
+      if (s.owner_proc == proc && s.port != -1 &&
+          s.port <= os::kPrivilegedPortMax)
+        return true;
+    return false;
+  };
+}
+
+std::function<bool(const State&)> goal_proc_terminated(int victim) {
+  return [victim](const State& st) {
+    const ProcObj* p = st.find_proc(victim);
+    return p && !p->running;
+  };
+}
+
+std::function<bool(const State&)> goal_and(
+    std::function<bool(const State&)> a, std::function<bool(const State&)> b) {
+  return [a = std::move(a), b = std::move(b)](const State& st) {
+    return a(st) && b(st);
+  };
+}
+
+std::function<bool(const State&)> goal_or(
+    std::function<bool(const State&)> a, std::function<bool(const State&)> b) {
+  return [a = std::move(a), b = std::move(b)](const State& st) {
+    return a(st) || b(st);
+  };
+}
+
+}  // namespace pa::rosa

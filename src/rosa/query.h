@@ -1,0 +1,28 @@
+// Goal-predicate builders: the "compromised system state" patterns of the
+// paper's queries, expressed as reusable predicates on ROSA states.
+#pragma once
+
+#include "rosa/search.h"
+
+namespace pa::rosa {
+
+/// Process `proc` holds `file` open for reading (Fig. 4's pattern, and the
+/// read-/dev/mem attack goal).
+std::function<bool(const State&)> goal_file_in_rdfset(int proc, int file);
+
+/// Process `proc` holds `file` open for writing.
+std::function<bool(const State&)> goal_file_in_wrfset(int proc, int file);
+
+/// Some socket owned by `proc` is bound to a privileged port (< 1024).
+std::function<bool(const State&)> goal_privileged_port_bound(int proc);
+
+/// Process `victim` has been terminated.
+std::function<bool(const State&)> goal_proc_terminated(int victim);
+
+/// Conjunction / disjunction combinators for composite goals.
+std::function<bool(const State&)> goal_and(
+    std::function<bool(const State&)> a, std::function<bool(const State&)> b);
+std::function<bool(const State&)> goal_or(
+    std::function<bool(const State&)> a, std::function<bool(const State&)> b);
+
+}  // namespace pa::rosa

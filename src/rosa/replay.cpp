@@ -1,0 +1,277 @@
+#include "rosa/replay.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::rosa {
+namespace {
+
+/// Open flags for an Action's access-mode bits.
+unsigned flags_for(int accmode) {
+  unsigned flags = 0;
+  if (accmode & kAccRead) flags |= os::OpenFlags::kRead;
+  if (accmode & kAccWrite) flags |= os::OpenFlags::kWrite;
+  return flags;
+}
+
+}  // namespace
+
+Materialized::Materialized(const State& state) {
+  next_object_id_ = state.next_object_id();
+
+  // Files first: each file lives under its directory entry's directory
+  // (named after the dir object), or under "/" when pathless.
+  for (const FileObj& f : state.files) {
+    const DirObj* dir = state.parent_dir_of(f.id);
+    std::string path;
+    if (dir) {
+      std::string dpath = str::cat("/dir", dir->id);
+      os::Ino dino = kernel_.vfs().mkdirs(dpath);
+      kernel_.vfs().inode(dino).meta = dir->meta;
+      path = str::cat(dpath, "/file", f.id);
+    } else {
+      path = str::cat("/file", f.id);
+    }
+    kernel_.vfs().add_file(path, f.meta, "content");
+    file_paths_[f.id] = path;
+  }
+
+  // Dangling directory entries (unlink victims / creat+link targets) still
+  // need their directory to exist for replayed creat()/link() calls.
+  for (const DirObj& d : state.dirs) {
+    if (d.inode != -1) continue;
+    os::Ino dino = kernel_.vfs().mkdirs(str::cat("/dir", d.id));
+    kernel_.vfs().inode(dino).meta = d.meta;
+  }
+
+  for (const ProcObj& p : state.procs) {
+    caps::Credentials creds{p.uid, p.gid, p.supplementary};
+    creds.set_supplementary(p.supplementary);
+    os::Pid pid =
+        kernel_.spawn(str::cat("rosa_proc", p.id), creds, caps::CapSet::full());
+    kernel_.sys_prctl(pid, os::PrctlOp::SetSecurebitsStrict);
+    // Start with nothing raised; perform() raises per-action privileges.
+    kernel_.process(pid).privs = caps::PrivState::launched_with(
+        caps::CapSet::full());
+    kernel_.process(pid).privs.set_securebits(caps::SecureBits{
+        .no_setuid_fixup = true, .noroot = true, .keep_caps = false});
+    if (!p.running) kernel_.sys_exit(pid, 0);
+    procs_[p.id] = pid;
+
+    // Pre-opened files (rdfset/wrfset in the initial state).
+    for (int fid : p.rdfset) {
+      auto it = file_paths_.find(fid);
+      PA_CHECK(it != file_paths_.end(), "rdfset names unknown file");
+      // Open bypassing permission checks is not modelled; materialization
+      // grants a temporary full effective set to honour the declared state.
+      apply_privs(pid, caps::CapSet::full());
+      os::SysResult fd = kernel_.sys_open(pid, it->second,
+                                          os::OpenFlags::kRead);
+      PA_CHECK(fd.ok(), "cannot materialize rdfset entry");
+      open_fds_[{p.id, fid}] = static_cast<os::Fd>(fd.value());
+      apply_privs(pid, {});
+    }
+    for (int fid : p.wrfset) {
+      auto it = file_paths_.find(fid);
+      PA_CHECK(it != file_paths_.end(), "wrfset names unknown file");
+      apply_privs(pid, caps::CapSet::full());
+      unsigned flags = os::OpenFlags::kWrite;
+      if (p.rdfset.contains(fid)) flags |= os::OpenFlags::kRead;
+      os::SysResult fd = kernel_.sys_open(pid, it->second, flags);
+      PA_CHECK(fd.ok(), "cannot materialize wrfset entry");
+      open_fds_[{p.id, fid}] = static_cast<os::Fd>(fd.value());
+      apply_privs(pid, {});
+    }
+  }
+
+  for (const SockObj& s : state.socks) {
+    auto pit = procs_.find(s.owner_proc);
+    if (pit == procs_.end()) continue;
+    apply_privs(pit->second, caps::CapSet::full());
+    os::SysResult fd = kernel_.sys_socket(pit->second, os::SockType::Stream);
+    PA_CHECK(fd.ok(), "cannot materialize socket");
+    if (s.port != -1) {
+      os::SysResult r = kernel_.sys_bind(
+          pit->second, static_cast<os::Fd>(fd.value()), s.port);
+      PA_CHECK(r.ok(), "cannot materialize bound socket");
+    }
+    apply_privs(pit->second, {});
+    sock_fds_[s.id] = {pit->second, static_cast<os::Fd>(fd.value())};
+  }
+}
+
+os::Pid Materialized::pid_of(int proc_id) const {
+  auto it = procs_.find(proc_id);
+  PA_CHECK(it != procs_.end(), str::cat("unknown ROSA process ", proc_id));
+  return it->second;
+}
+
+const std::string& Materialized::path_of(int file_id) const {
+  auto it = file_paths_.find(file_id);
+  PA_CHECK(it != file_paths_.end(), str::cat("unknown ROSA file ", file_id));
+  return it->second;
+}
+
+void Materialized::apply_privs(os::Pid pid, caps::CapSet privs) {
+  // The attack model gives each syscall its own usable privilege set; the
+  // kernel models that as raising exactly those capabilities.
+  os::Process& p = kernel_.process(pid);
+  p.privs.lower(caps::CapSet::full());
+  bool ok = p.privs.raise(privs);
+  PA_CHECK(ok, "replay: privilege no longer permitted");
+}
+
+os::SysResult Materialized::perform(const Action& a) {
+  const os::Pid pid = pid_of(a.proc);
+  apply_privs(pid, a.privs);
+  const auto& args = a.args;
+  auto arg = [&](std::size_t i) {
+    PA_CHECK(i < args.size(), "replay: missing action argument");
+    return args[i];
+  };
+
+  os::SysResult result = os::Errno::Enosys;
+  switch (a.sys) {
+    case Sys::Open: {
+      os::SysResult fd =
+          kernel_.sys_open(pid, path_of(arg(0)), flags_for(arg(1)));
+      if (fd.ok()) open_fds_[{a.proc, arg(0)}] = static_cast<os::Fd>(fd.value());
+      result = fd;
+      break;
+    }
+    case Sys::Chmod:
+      result = kernel_.sys_chmod(pid, path_of(arg(0)),
+                                 os::Mode(static_cast<std::uint16_t>(arg(1))));
+      break;
+    case Sys::Fchmod: {
+      auto it = open_fds_.find({a.proc, arg(0)});
+      result = it == open_fds_.end()
+                   ? os::SysResult(os::Errno::Ebadf)
+                   : kernel_.sys_fchmod(
+                         pid, it->second,
+                         os::Mode(static_cast<std::uint16_t>(arg(1))));
+      break;
+    }
+    case Sys::Chown:
+      result = kernel_.sys_chown(pid, path_of(arg(0)), arg(1), arg(2));
+      break;
+    case Sys::Fchown: {
+      auto it = open_fds_.find({a.proc, arg(0)});
+      result = it == open_fds_.end()
+                   ? os::SysResult(os::Errno::Ebadf)
+                   : kernel_.sys_fchown(pid, it->second, arg(1), arg(2));
+      break;
+    }
+    case Sys::Unlink:
+      result = kernel_.sys_unlink(pid, path_of(arg(0)));
+      break;
+    case Sys::Rename:
+      result = kernel_.sys_rename(pid, path_of(arg(0)), path_of(arg(1)));
+      break;
+    case Sys::Creat: {
+      // A dangling ROSA dir entry corresponds to a fresh name inside that
+      // entry's directory.
+      std::string path = str::cat("/dir", arg(0), "/created", arg(0));
+      os::SysResult fd = kernel_.sys_creat(
+          pid, path, os::Mode(static_cast<std::uint16_t>(arg(1))));
+      if (fd.ok()) {
+        file_paths_[next_object_id_] = path;
+        open_fds_[{a.proc, next_object_id_}] = static_cast<os::Fd>(fd.value());
+        ++next_object_id_;
+      }
+      result = fd;
+      break;
+    }
+    case Sys::Link: {
+      std::string neu = str::cat("/dir", arg(1), "/linked", arg(1));
+      result = kernel_.sys_link(pid, path_of(arg(0)), neu);
+      if (result.ok()) file_paths_[arg(0)] = neu;  // additional name
+      break;
+    }
+    case Sys::Setuid:
+      result = kernel_.sys_setuid(pid, arg(0));
+      break;
+    case Sys::Seteuid:
+      result = kernel_.sys_seteuid(pid, arg(0));
+      break;
+    case Sys::Setresuid:
+      result = kernel_.sys_setresuid(pid, arg(0), arg(1), arg(2));
+      break;
+    case Sys::Setgid:
+      result = kernel_.sys_setgid(pid, arg(0));
+      break;
+    case Sys::Setegid:
+      result = kernel_.sys_setegid(pid, arg(0));
+      break;
+    case Sys::Setresgid:
+      result = kernel_.sys_setresgid(pid, arg(0), arg(1), arg(2));
+      break;
+    case Sys::Kill:
+      result = kernel_.sys_kill(pid, pid_of(arg(0)), arg(1));
+      break;
+    case Sys::Socket: {
+      os::SysResult fd = kernel_.sys_socket(
+          pid, arg(0) == 1 ? os::SockType::Raw : os::SockType::Stream);
+      if (fd.ok())
+        sock_fds_[next_object_id_++] = {pid, static_cast<os::Fd>(fd.value())};
+      result = fd;
+      break;
+    }
+    case Sys::Bind: {
+      auto it = sock_fds_.find(arg(0));
+      result = it == sock_fds_.end()
+                   ? os::SysResult(os::Errno::Ebadf)
+                   : kernel_.sys_bind(pid, it->second.second, arg(1));
+      break;
+    }
+    case Sys::Connect: {
+      auto it = sock_fds_.find(arg(0));
+      result = it == sock_fds_.end()
+                   ? os::SysResult(os::Errno::Ebadf)
+                   : kernel_.sys_connect(pid, it->second.second, arg(1));
+      break;
+    }
+  }
+  apply_privs(pid, {});
+  return result;
+}
+
+bool Materialized::replay(const std::vector<Action>& witness,
+                          std::string* diag) {
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    os::SysResult r = perform(witness[i]);
+    if (!r.ok()) {
+      if (diag)
+        *diag = str::cat("step ", i + 1, " `", witness[i].to_string(),
+                         "` failed with ", os::errno_name(r.error()));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Materialized::holds_open(int proc, int file, bool for_write) const {
+  auto it = open_fds_.find({proc, file});
+  if (it == open_fds_.end()) return false;
+  const os::Process& p = kernel_.process(pid_of(proc));
+  auto fit = p.fds.find(it->second);
+  if (fit == p.fds.end()) return false;
+  const unsigned need =
+      for_write ? os::OpenFlags::kWrite : os::OpenFlags::kRead;
+  return (fit->second.flags & need) != 0;
+}
+
+bool Materialized::is_terminated(int proc) const {
+  return !kernel_.process(pid_of(proc)).alive();
+}
+
+bool Materialized::has_privileged_bind(int proc) const {
+  const os::Pid pid = pid_of(proc);
+  for (int port = 1; port <= os::kPrivilegedPortMax; ++port)
+    if (kernel_.net().port_owner(port) == pid) return true;
+  return false;
+}
+
+}  // namespace pa::rosa

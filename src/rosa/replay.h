@@ -1,0 +1,64 @@
+// Witness replay: materialize a ROSA configuration as a live SimOS kernel
+// and re-execute a search witness syscall-by-syscall.
+//
+// This is the bridge that keeps the model checker honest: every Reachable
+// verdict comes with a witness, and the witness must actually execute
+// successfully on the simulated kernel (which shares only the access-check
+// library with ROSA, not the transition rules). Tests replay every witness
+// the attack suite produces; users can replay their own query results to
+// turn a model-level finding into a runnable proof of concept.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "os/kernel.h"
+#include "rosa/search.h"
+
+namespace pa::rosa {
+
+/// A ROSA state materialized into a SimOS kernel, with the id mappings
+/// needed to interpret Actions.
+class Materialized {
+ public:
+  /// Build a kernel mirroring `state`: one process per ProcObj (strict
+  /// securebits, full permitted set — per-action effective sets are applied
+  /// during replay), one file per FileObj placed under its DirObj's
+  /// directory, sockets pre-created and bound.
+  explicit Materialized(const State& state);
+
+  /// Execute one instantiated syscall. Returns the kernel's result.
+  os::SysResult perform(const Action& action);
+
+  /// Replay a whole witness; stops at the first failing step.
+  /// Returns true if every step succeeded; `diag` explains a failure.
+  bool replay(const std::vector<Action>& witness, std::string* diag = nullptr);
+
+  /// True if the materialized process for `proc` currently holds an open
+  /// read (resp. write) descriptor for file object `file` — the kernel-side
+  /// meaning of ROSA's rdfset/wrfset goals.
+  bool holds_open(int proc, int file, bool for_write) const;
+
+  /// True if the process for `proc` has been terminated.
+  bool is_terminated(int proc) const;
+
+  /// True if some socket owned by `proc` is bound to a privileged port.
+  bool has_privileged_bind(int proc) const;
+
+  os::Kernel& kernel() { return kernel_; }
+  const std::string& path_of(int file_id) const;
+
+ private:
+  os::Pid pid_of(int proc_id) const;
+  void apply_privs(os::Pid pid, caps::CapSet privs);
+
+  os::Kernel kernel_;
+  std::map<int, os::Pid> procs_;           // ROSA proc id -> pid
+  std::map<int, std::string> file_paths_;  // ROSA file id -> absolute path
+  std::map<std::pair<int, int>, os::Fd> open_fds_;  // (proc, file) -> fd
+  std::map<int, std::pair<os::Pid, os::Fd>> sock_fds_;  // sock id -> owner
+  int next_object_id_ = 0;  // mirrors State::next_object_id for Socket
+};
+
+}  // namespace pa::rosa

@@ -1,0 +1,145 @@
+#include "rosa/search.h"
+
+#include "rosa/rules.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_map>
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::rosa {
+
+std::string_view verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Reachable: return "REACHABLE";
+    case Verdict::Unreachable: return "UNREACHABLE";
+    case Verdict::ResourceLimit: return "RESOURCE-LIMIT";
+  }
+  return "?";
+}
+
+std::string SearchResult::to_string() const {
+  std::string out =
+      str::cat(verdict_name(verdict), " states=", states_explored,
+               " transitions=", transitions, " time=",
+               str::fixed(seconds, 3), "s");
+  if (!witness.empty()) {
+    out += "\n  solution:";
+    for (const Action& step : witness) out += "\n    " + step.to_string();
+  }
+  return out;
+}
+
+SearchResult search(const Query& query, const SearchLimits& limits) {
+  PA_CHECK(query.messages.size() <= 64,
+           "ROSA tracks at most 64 one-shot messages");
+  PA_CHECK(static_cast<bool>(query.goal), "query has no goal predicate");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  SearchResult result;
+
+  struct Node {
+    State state;
+    std::int64_t parent;
+    Action action;
+  };
+  std::vector<Node> nodes;
+  std::unordered_map<std::string, std::size_t> seen;
+  std::deque<std::size_t> frontier;
+
+  State init = query.initial;
+  init.normalize();
+  init.msgs_remaining =
+      query.messages.empty()
+          ? 0
+          : (query.messages.size() == 64
+                 ? ~std::uint64_t{0}
+                 : (std::uint64_t{1} << query.messages.size()) - 1);
+
+  auto finish = [&](Verdict v, std::int64_t goal_node) {
+    result.verdict = v;
+    result.seconds = elapsed();
+    if (goal_node >= 0) {
+      std::vector<Action> steps;
+      for (std::int64_t n = goal_node; n > 0;
+           n = nodes[static_cast<std::size_t>(n)].parent)
+        steps.push_back(nodes[static_cast<std::size_t>(n)].action);
+      result.witness.assign(steps.rbegin(), steps.rend());
+    }
+    return result;
+  };
+
+  nodes.push_back(Node{init, -1, Action{}});
+  seen.emplace(init.canonical(), 0);
+  frontier.push_back(0);
+  result.states_explored = 1;
+  if (query.goal(init)) return finish(Verdict::Reachable, 0);
+
+  std::size_t since_clock_check = 0;
+  while (!frontier.empty()) {
+    const std::size_t cur = frontier.front();
+    frontier.pop_front();
+    // Copy what we need: `nodes` may reallocate as successors are added.
+    const State cur_state = nodes[cur].state;
+
+    for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
+      const std::uint64_t bit = std::uint64_t{1} << mi;
+      if (!(cur_state.msgs_remaining & bit)) continue;
+
+      // CFI-ordered attackers must issue syscalls in program order: message
+      // i is usable only while every later message is still unconsumed
+      // (skipping forward is allowed, going back is not).
+      if (query.attacker == AttackerModel::CfiOrdered) {
+        const std::uint64_t later = ~((bit << 1) - 1);
+        const std::uint64_t later_in_range =
+            later & (query.messages.size() == 64
+                         ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << query.messages.size()) - 1);
+        if ((cur_state.msgs_remaining & later_in_range) != later_in_range)
+          continue;
+      }
+
+      const AccessChecker& ck =
+          query.checker ? *query.checker : linux_checker();
+      for (Transition& tr :
+           apply_message(cur_state, query.messages[mi], query.attacker, ck)) {
+        ++result.transitions;
+        tr.next.msgs_remaining = cur_state.msgs_remaining & ~bit;
+
+        std::string key = tr.next.canonical();
+        if (!limits.no_dedup) {
+          auto [it, inserted] = seen.emplace(std::move(key), nodes.size());
+          if (!inserted) continue;
+        }
+        nodes.push_back(Node{std::move(tr.next), static_cast<std::int64_t>(cur),
+                             std::move(tr.action)});
+        ++result.states_explored;
+        const std::size_t ni = nodes.size() - 1;
+
+        if (query.goal(nodes[ni].state))
+          return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
+
+        if (limits.max_states && result.states_explored >= limits.max_states)
+          return finish(Verdict::ResourceLimit, -1);
+        frontier.push_back(ni);
+      }
+
+      if (limits.max_seconds > 0 && ++since_clock_check >= 64) {
+        since_clock_check = 0;
+        if (elapsed() > limits.max_seconds)
+          return finish(Verdict::ResourceLimit, -1);
+      }
+    }
+  }
+  return finish(Verdict::Unreachable, -1);
+}
+
+}  // namespace pa::rosa

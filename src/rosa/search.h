@@ -1,0 +1,70 @@
+// ROSA's bounded search — the C++ analogue of Maude's `search` command:
+// breadth-first exploration of every configuration reachable from the
+// initial state by consuming syscall messages, with duplicate states pruned
+// via canonical serialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rosa/message.h"
+#include "rosa/rules.h"
+#include "rosa/state.h"
+
+namespace pa::rosa {
+
+/// A search problem: initial configuration, one-shot messages, and the
+/// pattern (goal predicate) describing the compromised system state.
+struct Query {
+  State initial;
+  /// At most 64 messages (bitmask-tracked). Under AttackerModel::CfiOrdered
+  /// the list order IS the program order the attacker must respect.
+  std::vector<Message> messages;
+  std::function<bool(const State&)> goal;
+  std::string description;
+  /// Attacker strength (§X: modelling defenses like CFI / data-flow
+  /// integrity weakens the attacker).
+  AttackerModel attacker = AttackerModel::Full;
+  /// Access-control model the rules evaluate against (§X: comparing the
+  /// efficacy of different OS privilege models). Non-owning; defaults to
+  /// Linux capabilities.
+  const AccessChecker* checker = nullptr;
+};
+
+struct SearchLimits {
+  /// Stop after exploring this many distinct states (0 = unlimited). This is
+  /// the bound that produces the paper's "timed out" verdicts.
+  std::size_t max_states = 2'000'000;
+  /// Wall-clock budget in seconds (0 = unlimited).
+  double max_seconds = 0.0;
+  /// Disable duplicate-state detection (ablation only; exponential blowup).
+  bool no_dedup = false;
+};
+
+enum class Verdict {
+  Reachable,      // the compromised state can be reached (vulnerable)
+  Unreachable,    // the full reachable space contains no such state
+  ResourceLimit,  // limits hit before the space was exhausted (the paper's hourglass)
+};
+
+std::string_view verdict_name(Verdict v);
+
+struct SearchResult {
+  Verdict verdict = Verdict::Unreachable;
+  std::size_t states_explored = 0;
+  std::size_t transitions = 0;
+  double seconds = 0.0;
+  /// When Reachable: the instantiated syscall sequence that compromises the
+  /// system (the paper's "solution"). Machine-readable Actions; replayable
+  /// against the SimOS kernel (tests/witness_replay_test.cpp).
+  std::vector<Action> witness;
+
+  std::string to_string() const;
+};
+
+/// Run the bounded search.
+SearchResult search(const Query& query, const SearchLimits& limits = {});
+
+}  // namespace pa::rosa

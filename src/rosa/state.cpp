@@ -1,0 +1,144 @@
+#include "rosa/state.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/str.h"
+
+namespace pa::rosa {
+namespace {
+
+template <typename T>
+T* find_by_id(std::vector<T>& v, int id) {
+  for (T& x : v)
+    if (x.id == id) return &x;
+  return nullptr;
+}
+
+template <typename T>
+const T* find_by_id(const std::vector<T>& v, int id) {
+  for (const T& x : v)
+    if (x.id == id) return &x;
+  return nullptr;
+}
+
+}  // namespace
+
+ProcObj* State::find_proc(int id) { return find_by_id(procs, id); }
+const ProcObj* State::find_proc(int id) const { return find_by_id(procs, id); }
+FileObj* State::find_file(int id) { return find_by_id(files, id); }
+const FileObj* State::find_file(int id) const { return find_by_id(files, id); }
+DirObj* State::find_dir(int id) { return find_by_id(dirs, id); }
+const DirObj* State::find_dir(int id) const { return find_by_id(dirs, id); }
+SockObj* State::find_sock(int id) { return find_by_id(socks, id); }
+const SockObj* State::find_sock(int id) const { return find_by_id(socks, id); }
+
+const DirObj* State::parent_dir_of(int file_id) const {
+  for (const DirObj& d : dirs)
+    if (d.inode == file_id) return &d;
+  return nullptr;
+}
+
+bool State::port_in_use(int port) const {
+  for (const SockObj& s : socks)
+    if (s.port == port) return true;
+  return false;
+}
+
+int State::next_object_id() const {
+  int max_id = 0;
+  for (const auto& p : procs) max_id = std::max(max_id, p.id);
+  for (const auto& f : files) max_id = std::max(max_id, f.id);
+  for (const auto& d : dirs) max_id = std::max(max_id, d.id);
+  for (const auto& s : socks) max_id = std::max(max_id, s.id);
+  return max_id + 1;
+}
+
+void State::normalize() {
+  auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
+  std::sort(procs.begin(), procs.end(), by_id);
+  std::sort(files.begin(), files.end(), by_id);
+  std::sort(dirs.begin(), dirs.end(), by_id);
+  std::sort(socks.begin(), socks.end(), by_id);
+  std::sort(users.begin(), users.end());
+  std::sort(groups.begin(), groups.end());
+  for (ProcObj& p : procs) {
+    std::sort(p.supplementary.begin(), p.supplementary.end());
+    p.supplementary.erase(
+        std::unique(p.supplementary.begin(), p.supplementary.end()),
+        p.supplementary.end());
+  }
+}
+
+std::string State::canonical() const {
+  // Object vectors are sorted by id (normalize()); serialize compactly.
+  std::string out;
+  out.reserve(128);
+  auto num = [&out](long long v) {
+    out += std::to_string(v);
+    out += ',';
+  };
+  out += 'M';
+  num(static_cast<long long>(msgs_remaining));
+  for (const ProcObj& p : procs) {
+    out += 'P';
+    num(p.id);
+    num(p.uid.real); num(p.uid.effective); num(p.uid.saved);
+    num(p.gid.real); num(p.gid.effective); num(p.gid.saved);
+    out += p.running ? 'r' : 'z';
+    for (int g : p.supplementary) num(g);
+    out += 'R';
+    for (int f : p.rdfset) num(f);
+    out += 'W';
+    for (int f : p.wrfset) num(f);
+  }
+  for (const FileObj& f : files) {
+    out += 'F';
+    num(f.id); num(f.meta.owner); num(f.meta.group); num(f.meta.mode.bits());
+  }
+  for (const DirObj& d : dirs) {
+    out += 'D';
+    num(d.id); num(d.meta.owner); num(d.meta.group); num(d.meta.mode.bits());
+    num(d.inode);
+  }
+  for (const SockObj& s : socks) {
+    out += 'S';
+    num(s.id); num(s.owner_proc); num(s.port);
+  }
+  // users/groups are immutable during search; excluded from the key.
+  return out;
+}
+
+std::string State::to_string() const {
+  std::ostringstream os;
+  for (const ProcObj& p : procs) {
+    os << "< " << p.id << " : Process | euid : " << p.uid.effective
+       << " , ruid : " << p.uid.real << " , suid : " << p.uid.saved
+       << " , egid : " << p.gid.effective << " , rgid : " << p.gid.real
+       << " , sgid : " << p.gid.saved << " , state : "
+       << (p.running ? "run" : "terminated") << " , rdfset : ";
+    if (p.rdfset.empty()) os << "empty";
+    else for (int f : p.rdfset) os << f << " ";
+    os << ", wrfset : ";
+    if (p.wrfset.empty()) os << "empty";
+    else for (int f : p.wrfset) os << f << " ";
+    os << ">\n";
+  }
+  for (const DirObj& d : dirs)
+    os << "< " << d.id << " : Dir | name : \"" << d.name << "\" , perms : "
+       << d.meta.mode.to_string() << " , inode : " << d.inode
+       << " , owner : " << d.meta.owner << " , group : " << d.meta.group
+       << " >\n";
+  for (const FileObj& f : files)
+    os << "< " << f.id << " : File | name : \"" << f.name << "\" , perms : "
+       << f.meta.mode.to_string() << " , owner : " << f.meta.owner
+       << " , group : " << f.meta.group << " >\n";
+  for (const SockObj& s : socks)
+    os << "< " << s.id << " : Socket | owner : " << s.owner_proc
+       << " , port : " << s.port << " >\n";
+  for (int u : users) os << "< User | uid : " << u << " >\n";
+  for (int g : groups) os << "< Group | gid : " << g << " >\n";
+  return os.str();
+}
+
+}  // namespace pa::rosa

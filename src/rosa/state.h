@@ -1,0 +1,117 @@
+// ROSA (Rewrite of Objects for Syscall Analysis) — system state.
+//
+// Exactly the paper's object model: a Linux system is a set of objects —
+// processes, files, directory entries, TCP sockets, plus user and group
+// objects that bound the values wildcard uid/gid arguments may take. The
+// original is written in Object Maude; here the same configuration is a C++
+// value type explored by an explicit-state search (rosa/search.h), with
+// syscall messages carried as a consumed-once bitmask.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "caps/credentials.h"
+#include "os/access.h"
+
+namespace pa::rosa {
+
+/// Process object: credentials, run state, and the sets of object ids the
+/// process has opened for reading (rdfset) and writing (wrfset).
+struct ProcObj {
+  int id = 0;
+  caps::IdTriple uid;
+  caps::IdTriple gid;
+  std::vector<caps::Gid> supplementary;
+  bool running = true;
+  std::set<int> rdfset;
+  std::set<int> wrfset;
+
+  bool operator==(const ProcObj&) const = default;
+
+  caps::Credentials creds() const {
+    caps::Credentials c{uid, gid, supplementary};
+    c.set_supplementary(supplementary);
+    return c;
+  }
+};
+
+/// File object: ownership and permissions; `name` is human-readable only
+/// (rewrite rules never consult it), exactly as in the paper.
+struct FileObj {
+  int id = 0;
+  std::string name;
+  os::FileMeta meta;
+
+  bool operator==(const FileObj&) const = default;
+};
+
+/// Directory-entry object: like a file plus an `inode` attribute naming the
+/// file object the entry refers to (-1 = dangling/removed). ROSA models
+/// pathname lookup on a single parent directory.
+struct DirObj {
+  int id = 0;
+  std::string name;
+  os::FileMeta meta;
+  int inode = -1;
+
+  bool operator==(const DirObj&) const = default;
+};
+
+/// TCP socket object.
+struct SockObj {
+  int id = 0;
+  int owner_proc = -1;
+  int port = -1;  // -1 = unbound
+
+  bool operator==(const SockObj&) const = default;
+};
+
+/// A ROSA configuration. Object vectors are kept sorted by id so that equal
+/// configurations serialize identically (canonical form for search dedup).
+struct State {
+  std::vector<ProcObj> procs;
+  std::vector<FileObj> files;
+  std::vector<DirObj> dirs;
+  std::vector<SockObj> socks;
+  /// User / group objects: the uid and gid pools wildcard arguments draw
+  /// from (constraining these bounds the search space, §V-B).
+  std::vector<int> users;
+  std::vector<int> groups;
+  /// Bitmask over the query's message list: 1 = still consumable.
+  std::uint64_t msgs_remaining = 0;
+
+  bool operator==(const State&) const = default;
+
+  ProcObj* find_proc(int id);
+  const ProcObj* find_proc(int id) const;
+  FileObj* find_file(int id);
+  const FileObj* find_file(int id) const;
+  DirObj* find_dir(int id);
+  const DirObj* find_dir(int id) const;
+  SockObj* find_sock(int id);
+  const SockObj* find_sock(int id) const;
+
+  /// The directory entry whose inode refers to `file_id`, or nullptr.
+  const DirObj* parent_dir_of(int file_id) const;
+
+  /// True if some socket is bound to `port`.
+  bool port_in_use(int port) const;
+
+  /// Smallest object id not in use (for socket creation).
+  int next_object_id() const;
+
+  /// Keep object vectors sorted by id; call after construction.
+  void normalize();
+
+  /// Deterministic serialization — the dedup key for search.
+  std::string canonical() const;
+
+  /// Multi-line rendering in a Maude-like object syntax (for reports and
+  /// the worked example).
+  std::string to_string() const;
+};
+
+}  // namespace pa::rosa

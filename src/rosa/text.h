@@ -1,0 +1,41 @@
+// Textual query format for ROSA, mirroring the role of the paper's Maude
+// input files (Figs. 2 and 4). One declaration per line; '#' starts a
+// comment; '*' is the wildcard argument.
+//
+//   process 1 uid 10 11 12 gid 10 11 12
+//   dir     2 "/etc"        perms rwxrwxrwx owner 40 group 41 inode 3
+//   file    3 "/etc/passwd" perms --------- owner 40 group 41
+//   socket  5 owner 1
+//   user  10
+//   group 41
+//   msg open(1, 3, r, {})
+//   msg setuid(1, *, {CapSetuid})
+//   msg chown(1, *, *, 41, {CapChown})
+//   msg chmod(1, *, 0777, {})
+//   goal rdfset 1 contains 3
+//
+// Goals: "rdfset P contains F", "wrfset P contains F",
+//        "privport P", "terminated P".
+// Optional: "attacker full|cfi-ordered|fixed-args" (default full).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rosa/search.h"
+
+namespace pa::rosa {
+
+/// Parse a query; throws pa::Error with the offending line on bad input.
+Query parse_query(std::string_view text);
+
+/// Non-throwing variant.
+std::optional<Query> try_parse_query(std::string_view text,
+                                     std::string* error);
+
+/// Render the initial configuration + messages of a query in the Maude-like
+/// object syntax used for reports.
+std::string print_query(const Query& q);
+
+}  // namespace pa::rosa

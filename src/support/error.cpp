@@ -1,0 +1,16 @@
+#include "support/error.h"
+
+namespace pa {
+
+void fail(std::string message) { throw Error(std::move(message)); }
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": check failed: `" + expr + "`: " + message);
+}
+
+}  // namespace detail
+}  // namespace pa

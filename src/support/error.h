@@ -1,0 +1,39 @@
+// Lightweight error-handling primitives shared by every PrivAnalyzer module.
+//
+// Two idioms are used across the codebase:
+//  * `pa::Error` exceptions for programmer errors / violated invariants
+//    (malformed IR, bad queries). These indicate bugs in the caller.
+//  * `Expected<T, E>`-style results for *modelled* failures (syscall errno,
+//    parse diagnostics), which are part of the simulated semantics.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pa {
+
+/// Exception thrown on violated invariants and misuse of library APIs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+[[noreturn]] void fail(std::string message);
+
+namespace detail {
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message);
+}  // namespace detail
+
+}  // namespace pa
+
+/// Assert `cond`; throws pa::Error with location info otherwise.
+/// Active in all build types: the checks guard simulated-OS and model-checker
+/// invariants whose violation would silently corrupt experiment results.
+#define PA_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) ::pa::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define PA_UNREACHABLE(msg) ::pa::fail(std::string("unreachable: ") + (msg))

@@ -1,0 +1,83 @@
+// PrivIR interpreter: executes a module's code as one SimOS process,
+// dispatching Syscall instructions to the kernel and priv_* instructions to
+// the process's privilege state. ChronoPriv observes execution through the
+// Tracer interface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+#include "os/kernel.h"
+
+namespace pa::vm {
+
+/// Execution observer. on_instruction fires once per executed instruction,
+/// BEFORE the instruction's effects, so the instruction is attributed to the
+/// privilege state in force while it executes. `fn` is the function whose
+/// instruction is executing.
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+  virtual void on_instruction(const os::Process& p, const ir::Function& fn) = 0;
+};
+
+struct RunLimits {
+  std::uint64_t max_instructions = 2'000'000'000;
+};
+
+class Interpreter {
+ public:
+  Interpreter(os::Kernel& kernel, const ir::Module& module, os::Pid pid);
+
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  void set_limits(RunLimits limits) { limits_ = limits; }
+
+  /// Run `entry` with integer/string arguments; returns the program's exit
+  /// code (the value of Exit, or the entry function's return value).
+  /// Throws pa::Error on runtime faults (bad IR, executed unreachable,
+  /// instruction budget exhausted).
+  long run(const std::string& entry = "main",
+           std::vector<ir::RtValue> args = {});
+
+  // -- Stepping API (used by vm::Scheduler for multi-process runs) ----------
+  /// Prepare to execute `entry`; the program runs via step().
+  void start(const std::string& entry = "main",
+             std::vector<ir::RtValue> args = {});
+  /// Execute one instruction. Returns false once the program has finished
+  /// (returned from the entry frame, executed exit, or been killed); the
+  /// process is marked zombie at that point.
+  bool step();
+  bool finished() const;
+  long exit_code() const { return exit_code_; }
+
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Frame {
+    const ir::Function* fn;
+    int block = 0;
+    std::size_t ip = 0;
+    std::vector<ir::RtValue> regs;
+    int dest_in_caller = ir::kNoReg;
+  };
+
+  ir::RtValue eval(const Frame& frame, const ir::Operand& op) const;
+  void push_frame(const std::string& fname, std::vector<ir::RtValue> args,
+                  int dest_in_caller);
+  void deliver_pending_signal();
+
+  os::Kernel* kernel_;
+  const ir::Module* module_;
+  os::Pid pid_;
+  Tracer* tracer_ = nullptr;
+  RunLimits limits_;
+
+  std::vector<Frame> stack_;
+  std::uint64_t executed_ = 0;
+  bool exited_ = false;
+  long exit_code_ = 0;
+};
+
+}  // namespace pa::vm

@@ -1,0 +1,170 @@
+#include "vm/syscall_bridge.h"
+
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa::vm {
+namespace {
+
+std::int64_t result_of(os::SysResult r) {
+  return r.ok() ? r.value() : -static_cast<std::int64_t>(r.error());
+}
+
+std::int64_t as_int(std::span<const ir::RtValue> args, std::size_t i) {
+  PA_CHECK(i < args.size(), "syscall: missing integer argument");
+  return ir::rt_as_int(args[i]);
+}
+
+const std::string& as_str(std::span<const ir::RtValue> args, std::size_t i) {
+  PA_CHECK(i < args.size(), "syscall: missing string argument");
+  return ir::rt_as_str(args[i]);
+}
+
+}  // namespace
+
+std::int64_t dispatch_syscall(os::Kernel& k, os::Pid pid,
+                              const std::string& name,
+                              std::span<const ir::RtValue> args) {
+  using os::Mode;
+
+  if (name == "open") {
+    unsigned flags = static_cast<unsigned>(as_int(args, 1));
+    Mode mode = args.size() > 2
+                    ? Mode(static_cast<std::uint16_t>(as_int(args, 2)))
+                    : Mode(0644);
+    return result_of(k.sys_open(pid, as_str(args, 0), flags, mode));
+  }
+  if (name == "close") return result_of(k.sys_close(pid, static_cast<int>(as_int(args, 0))));
+  if (name == "dup") return result_of(k.sys_dup(pid, static_cast<int>(as_int(args, 0))));
+  if (name == "access")
+    return result_of(k.sys_access(pid, as_str(args, 0),
+                                  static_cast<int>(as_int(args, 1))));
+  if (name == "umask")
+    return result_of(k.sys_umask(
+        pid, Mode(static_cast<std::uint16_t>(as_int(args, 0)))));
+  if (name == "read") {
+    std::string sink;
+    return result_of(k.sys_read(pid, static_cast<int>(as_int(args, 0)), &sink,
+                                static_cast<std::size_t>(as_int(args, 1))));
+  }
+  if (name == "write") {
+    // write(fd, "data") or write(fd, nbytes) for bulk writes.
+    if (args.size() > 1 && std::holds_alternative<std::int64_t>(args[1])) {
+      std::string data(static_cast<std::size_t>(as_int(args, 1)), 'x');
+      return result_of(k.sys_write(pid, static_cast<int>(as_int(args, 0)), data));
+    }
+    return result_of(
+        k.sys_write(pid, static_cast<int>(as_int(args, 0)), as_str(args, 1)));
+  }
+  if (name == "chmod")
+    return result_of(k.sys_chmod(pid, as_str(args, 0),
+                                 Mode(static_cast<std::uint16_t>(as_int(args, 1)))));
+  if (name == "fchmod")
+    return result_of(k.sys_fchmod(pid, static_cast<int>(as_int(args, 0)),
+                                  Mode(static_cast<std::uint16_t>(as_int(args, 1)))));
+  if (name == "chown")
+    return result_of(k.sys_chown(pid, as_str(args, 0),
+                                 static_cast<int>(as_int(args, 1)),
+                                 static_cast<int>(as_int(args, 2))));
+  if (name == "fchown")
+    return result_of(k.sys_fchown(pid, static_cast<int>(as_int(args, 0)),
+                                  static_cast<int>(as_int(args, 1)),
+                                  static_cast<int>(as_int(args, 2))));
+  if (name == "unlink") return result_of(k.sys_unlink(pid, as_str(args, 0)));
+  if (name == "link")
+    return result_of(k.sys_link(pid, as_str(args, 0), as_str(args, 1)));
+  if (name == "creat")
+    return result_of(k.sys_creat(pid, as_str(args, 0),
+                                 Mode(static_cast<std::uint16_t>(
+                                     args.size() > 1 ? as_int(args, 1) : 0644))));
+  if (name == "rename")
+    return result_of(k.sys_rename(pid, as_str(args, 0), as_str(args, 1)));
+  if (name == "stat") {
+    os::FileMeta meta;
+    return result_of(k.sys_stat(pid, as_str(args, 0), &meta));
+  }
+  if (name == "stat_owner") {
+    os::FileMeta meta;
+    os::SysResult r = k.sys_stat(pid, as_str(args, 0), &meta);
+    return r.ok() ? meta.owner : result_of(r);
+  }
+  if (name == "stat_group") {
+    os::FileMeta meta;
+    os::SysResult r = k.sys_stat(pid, as_str(args, 0), &meta);
+    return r.ok() ? meta.group : result_of(r);
+  }
+  if (name == "chroot") return result_of(k.sys_chroot(pid, as_str(args, 0)));
+
+  if (name == "setuid") return result_of(k.sys_setuid(pid, static_cast<int>(as_int(args, 0))));
+  if (name == "seteuid") return result_of(k.sys_seteuid(pid, static_cast<int>(as_int(args, 0))));
+  if (name == "setresuid")
+    return result_of(k.sys_setresuid(pid, static_cast<int>(as_int(args, 0)),
+                                     static_cast<int>(as_int(args, 1)),
+                                     static_cast<int>(as_int(args, 2))));
+  if (name == "setgid") return result_of(k.sys_setgid(pid, static_cast<int>(as_int(args, 0))));
+  if (name == "setegid") return result_of(k.sys_setegid(pid, static_cast<int>(as_int(args, 0))));
+  if (name == "setresgid")
+    return result_of(k.sys_setresgid(pid, static_cast<int>(as_int(args, 0)),
+                                     static_cast<int>(as_int(args, 1)),
+                                     static_cast<int>(as_int(args, 2))));
+  if (name == "setgroups") {
+    std::vector<caps::Gid> groups;
+    for (std::size_t i = 0; i < args.size(); ++i)
+      groups.push_back(static_cast<caps::Gid>(as_int(args, i)));
+    return result_of(k.sys_setgroups(pid, std::move(groups)));
+  }
+  if (name == "getuid") return result_of(k.sys_getuid(pid));
+  if (name == "geteuid") return result_of(k.sys_geteuid(pid));
+  if (name == "getgid") return result_of(k.sys_getgid(pid));
+  if (name == "getpid") return pid;
+
+  if (name == "signal") {
+    PA_CHECK(args.size() == 2, "signal(signo, @handler)");
+    const auto* f = std::get_if<ir::FuncRef>(&args[1]);
+    PA_CHECK(f != nullptr, "signal: handler must be a function reference");
+    return result_of(
+        k.sys_signal(pid, static_cast<int>(as_int(args, 0)), f->name));
+  }
+  if (name == "kill")
+    return result_of(k.sys_kill(pid, static_cast<int>(as_int(args, 0)),
+                                static_cast<int>(as_int(args, 1))));
+
+  if (name == "socket") {
+    auto type = as_int(args, 0) == SyscallEncoding::kSockRaw
+                    ? os::SockType::Raw
+                    : os::SockType::Stream;
+    return result_of(k.sys_socket(pid, type));
+  }
+  if (name == "bind")
+    return result_of(k.sys_bind(pid, static_cast<int>(as_int(args, 0)),
+                                static_cast<int>(as_int(args, 1))));
+  if (name == "connect")
+    return result_of(k.sys_connect(pid, static_cast<int>(as_int(args, 0)),
+                                   static_cast<int>(as_int(args, 1))));
+  if (name == "setsockopt")
+    return result_of(k.sys_setsockopt(pid, static_cast<int>(as_int(args, 0)),
+                                      as_str(args, 1),
+                                      static_cast<int>(as_int(args, 2))));
+
+  if (name == "prctl") {
+    if (as_int(args, 0) == SyscallEncoding::kPrctlStrictSecurebits)
+      return result_of(k.sys_prctl(pid, os::PrctlOp::SetSecurebitsStrict));
+    return -static_cast<std::int64_t>(os::Errno::Einval);
+  }
+
+  return -static_cast<std::int64_t>(os::Errno::Enosys);
+}
+
+std::vector<std::string> known_syscalls() {
+  return {"open",      "close",     "dup",       "access",    "umask",
+          "read",      "write",     "chmod",
+          "fchmod",    "chown",     "fchown",    "unlink",    "rename",
+          "link",      "creat",
+          "stat",      "stat_owner", "stat_group", "chroot",
+          "setuid",    "seteuid",   "setresuid", "setgid",    "setegid",
+          "setresgid", "setgroups", "getuid",    "geteuid",   "getgid",
+          "getpid",    "signal",    "kill",      "socket",    "bind",
+          "connect",   "setsockopt", "prctl"};
+}
+
+}  // namespace pa::vm

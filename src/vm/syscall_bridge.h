@@ -1,0 +1,39 @@
+// Maps PrivIR `syscall` instructions onto the SimOS kernel. The returned
+// value follows the Linux convention the evaluation programs check:
+// non-negative on success, -errno on failure.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/value.h"
+#include "os/kernel.h"
+
+namespace pa::vm {
+
+/// Integer encodings used by IR code.
+struct SyscallEncoding {
+  // open() flag bits (match os::OpenFlags).
+  static constexpr std::int64_t kRead = 1;
+  static constexpr std::int64_t kWrite = 2;
+  static constexpr std::int64_t kCreate = 4;
+  static constexpr std::int64_t kTrunc = 8;
+  // socket() types.
+  static constexpr std::int64_t kSockStream = 0;
+  static constexpr std::int64_t kSockRaw = 1;
+  // prctl() ops.
+  static constexpr std::int64_t kPrctlStrictSecurebits = 1;
+};
+
+/// Execute syscall `name` for `pid`. Unknown names fail with -ENOSYS.
+/// Throws pa::Error on arity/type misuse (bad IR, not modelled behaviour).
+std::int64_t dispatch_syscall(os::Kernel& kernel, os::Pid pid,
+                              const std::string& name,
+                              std::span<const ir::RtValue> args);
+
+/// All syscall names the bridge understands (for the verifier-style checks
+/// in tests and for ROSA scenario assembly).
+std::vector<std::string> known_syscalls();
+
+}  // namespace pa::vm

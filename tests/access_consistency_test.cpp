@@ -1,0 +1,177 @@
+// Property tests: the SimOS kernel and ROSA's transition rules must agree,
+// because both delegate to os/access.h. For randomly generated worlds and
+// actors, a syscall succeeds in the kernel iff the corresponding ROSA
+// message produces a transition.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "os/kernel.h"
+#include "rosa/rules.h"
+
+namespace pa {
+namespace {
+
+using caps::Capability;
+using caps::CapSet;
+using caps::Credentials;
+
+struct RandomWorld {
+  // Mirrored representations of one (actor, file-with-parent) configuration.
+  Credentials creds;
+  CapSet effective;
+  os::FileMeta dir_meta;
+  os::FileMeta file_meta;
+};
+
+class ConsistencyTest : public ::testing::TestWithParam<unsigned> {};
+
+RandomWorld make_world(unsigned seed) {
+  std::mt19937 rng(seed);
+  auto pick = [&](std::initializer_list<int> xs) {
+    std::vector<int> v(xs);
+    return v[rng() % v.size()];
+  };
+  RandomWorld w;
+  w.creds = Credentials::of_user(pick({0, 998, 1000, 1001}),
+                                 pick({0, 15, 42, 1000}));
+  CapSet caps;
+  const Capability pool[] = {Capability::DacOverride,
+                             Capability::DacReadSearch, Capability::Fowner,
+                             Capability::Chown, Capability::Setuid};
+  for (Capability c : pool)
+    if (rng() % 2) caps = caps.with(c);
+  w.effective = caps;
+  w.dir_meta = os::FileMeta{pick({0, 1000}), pick({0, 1000}),
+                            os::Mode(static_cast<std::uint16_t>(
+                                pick({0700, 0755, 0711, 0770})))};
+  w.file_meta = os::FileMeta{pick({0, 998, 1000}), pick({0, 15, 42, 1000}),
+                             os::Mode(static_cast<std::uint16_t>(
+                                 pick({0600, 0640, 0644, 0000, 0666})))};
+  return w;
+}
+
+/// Build the SimOS side: a kernel with /d/f, a process with the actor's
+/// credentials, every capability in `effective` raised.
+struct KernelSide {
+  os::Kernel k;
+  os::Pid pid;
+};
+
+KernelSide make_kernel(const RandomWorld& w) {
+  KernelSide ks;
+  ks.k.vfs().mkdirs("/d");
+  ks.k.vfs().inode(*ks.k.vfs().lookup("/d")).meta = w.dir_meta;
+  ks.k.vfs().add_file("/d/f", w.file_meta, "data");
+  ks.pid = ks.k.spawn("p", w.creds, w.effective);
+  ks.k.priv_raise(ks.pid, w.effective);
+  return ks;
+}
+
+/// Build the ROSA side: the same configuration as objects.
+rosa::State make_rosa(const RandomWorld& w) {
+  rosa::State st;
+  rosa::ProcObj p;
+  p.id = 1;
+  p.uid = w.creds.uid;
+  p.gid = w.creds.gid;
+  st.procs.push_back(p);
+  st.files.push_back(rosa::FileObj{2, "/d/f", w.file_meta});
+  st.dirs.push_back(rosa::DirObj{3, "/d", w.dir_meta, 2});
+  st.users = {0, 998, 1000, 1001};
+  st.groups = {0, 15, 42, 1000};
+  st.normalize();
+  return st;
+}
+
+TEST_P(ConsistencyTest, OpenReadAgrees) {
+  RandomWorld w = make_world(GetParam());
+  KernelSide ks = make_kernel(w);
+  bool kernel_ok =
+      ks.k.sys_open(ks.pid, "/d/f", os::OpenFlags::kRead).ok();
+  rosa::State st = make_rosa(w);
+  bool rosa_ok =
+      !rosa::apply_message(st, rosa::msg_open(1, 2, rosa::kAccRead,
+                                              w.effective))
+           .empty();
+  EXPECT_EQ(kernel_ok, rosa_ok) << "creds=" << w.creds.to_string()
+                                << " caps=" << w.effective.to_string()
+                                << " file mode=" << w.file_meta.mode.to_string()
+                                << " dir mode=" << w.dir_meta.mode.to_string();
+}
+
+TEST_P(ConsistencyTest, OpenWriteAgrees) {
+  RandomWorld w = make_world(GetParam());
+  KernelSide ks = make_kernel(w);
+  bool kernel_ok =
+      ks.k.sys_open(ks.pid, "/d/f", os::OpenFlags::kWrite).ok();
+  rosa::State st = make_rosa(w);
+  bool rosa_ok =
+      !rosa::apply_message(st, rosa::msg_open(1, 2, rosa::kAccWrite,
+                                              w.effective))
+           .empty();
+  EXPECT_EQ(kernel_ok, rosa_ok);
+}
+
+TEST_P(ConsistencyTest, ChmodAgrees) {
+  RandomWorld w = make_world(GetParam());
+  KernelSide ks = make_kernel(w);
+  bool kernel_ok = ks.k.sys_chmod(ks.pid, "/d/f", os::Mode(0777)).ok();
+  rosa::State st = make_rosa(w);
+  bool rosa_ok =
+      !rosa::apply_message(st, rosa::msg_chmod(1, 2, 0777, w.effective))
+           .empty();
+  // SimOS chmod also needs path resolution; ROSA checks the same parent.
+  // A no-op chmod (mode already 0777) yields no ROSA transition but
+  // succeeds in the kernel; exclude that case.
+  if (w.file_meta.mode == os::Mode(0777)) return;
+  EXPECT_EQ(kernel_ok, rosa_ok);
+}
+
+TEST_P(ConsistencyTest, ChownToSelfAgrees) {
+  RandomWorld w = make_world(GetParam());
+  if (w.file_meta.owner == 1001 ||
+      (w.file_meta.owner == w.creds.uid.effective &&
+       w.file_meta.group == w.creds.gid.effective))
+    return;  // skip no-op case (no ROSA transition by design)
+  KernelSide ks = make_kernel(w);
+  bool kernel_ok = ks.k.sys_chown(ks.pid, "/d/f", w.creds.uid.effective,
+                                  w.creds.gid.effective)
+                       .ok();
+  rosa::State st = make_rosa(w);
+  bool rosa_ok = !rosa::apply_message(
+                      st, rosa::msg_chown(1, 2, w.creds.uid.effective,
+                                          w.creds.gid.effective, w.effective))
+                      .empty();
+  EXPECT_EQ(kernel_ok, rosa_ok)
+      << " creds=" << w.creds.to_string()
+      << " caps=" << w.effective.to_string();
+}
+
+TEST_P(ConsistencyTest, UnlinkAgrees) {
+  RandomWorld w = make_world(GetParam());
+  KernelSide ks = make_kernel(w);
+  bool kernel_ok = ks.k.sys_unlink(ks.pid, "/d/f").ok();
+  rosa::State st = make_rosa(w);
+  bool rosa_ok =
+      !rosa::apply_message(st, rosa::msg_unlink(1, 2, w.effective)).empty();
+  EXPECT_EQ(kernel_ok, rosa_ok);
+}
+
+TEST_P(ConsistencyTest, SetuidAgrees) {
+  RandomWorld w = make_world(GetParam());
+  // Try switching to uid 0.
+  KernelSide ks = make_kernel(w);
+  bool kernel_ok = ks.k.sys_setuid(ks.pid, 0).ok() &&
+                   ks.k.process(ks.pid).creds.uid != w.creds.uid;
+  rosa::State st = make_rosa(w);
+  bool rosa_ok =
+      !rosa::apply_message(st, rosa::msg_setuid(1, 0, w.effective)).empty();
+  EXPECT_EQ(kernel_ok, rosa_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyTest,
+                         ::testing::Range(0u, 60u));
+
+}  // namespace
+}  // namespace pa

@@ -1,0 +1,101 @@
+// Tests for the refactoring advisor: it must rediscover the paper's own
+// §VII-C diagnoses and §VII-E prescriptions from the pipeline results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "privanalyzer/advisor.h"
+
+namespace pa::privanalyzer {
+namespace {
+
+using caps::Capability;
+
+std::vector<Advice> advice_for(programs::ProgramSpec spec) {
+  PipelineOptions opts;
+  opts.run_rosa = false;
+  ProgramAnalysis a = analyze_program(spec, opts);
+  return advise(spec, a);
+}
+
+const Advice* find(const std::vector<Advice>& advice, Capability c) {
+  for (const Advice& a : advice)
+    if (a.capability == c) return &a;
+  return nullptr;
+}
+
+TEST(AdvisorTest, PasswdGetsBothLessons) {
+  auto advice = advice_for(programs::make_passwd());
+  // CAP_SETUID ~63%: plant credentials (lesson a).
+  const Advice* setuid = find(advice, Capability::Setuid);
+  ASSERT_NE(setuid, nullptr);
+  EXPECT_EQ(setuid->kind, AdviceKind::PlantCredentials);
+  EXPECT_NEAR(setuid->exposure, 0.63, 0.05);
+  // CAP_DAC_OVERRIDE / CAP_CHOWN / CAP_FOWNER ~100%: special owner (b).
+  for (Capability c : {Capability::DacOverride, Capability::Chown,
+                       Capability::Fowner}) {
+    const Advice* a = find(advice, c);
+    ASSERT_NE(a, nullptr) << caps::name(c);
+    EXPECT_EQ(a->kind, AdviceKind::SpecialFileOwner);
+    EXPECT_GT(a->exposure, 0.9);
+  }
+  // The most exposed capability leads the list.
+  ASSERT_FALSE(advice.empty());
+  EXPECT_GT(advice.front().exposure, 0.9);
+}
+
+TEST(AdvisorTest, SshdDiagnosesMatchSectionVIIC) {
+  auto advice = advice_for(programs::make_sshd());
+  // CAP_KILL is pinned by the SIGCHLD handler.
+  const Advice* kill = find(advice, Capability::Kill);
+  ASSERT_NE(kill, nullptr);
+  EXPECT_EQ(kill->kind, AdviceKind::HandlerPinsPrivilege);
+  // The capabilities raised inside the address-taken dispatch helper are
+  // pinned by the indirect call.
+  const Advice* setuid = find(advice, Capability::Setuid);
+  ASSERT_NE(setuid, nullptr);
+  EXPECT_EQ(setuid->kind, AdviceKind::IndirectCallPins);
+  const Advice* chroot = find(advice, Capability::SysChroot);
+  ASSERT_NE(chroot, nullptr);
+  EXPECT_EQ(chroot->kind, AdviceKind::IndirectCallPins);
+}
+
+TEST(AdvisorTest, WellBehavedProgramsGetNoAdvice) {
+  EXPECT_TRUE(advice_for(programs::make_ping()).empty());
+  // The refactored programs were the paper's success stories.
+  EXPECT_TRUE(advice_for(programs::make_passwd_refactored()).empty());
+  EXPECT_TRUE(advice_for(programs::make_su_refactored()).empty());
+  EXPECT_TRUE(advice_for(programs::make_sshd_refactored()).empty());
+}
+
+TEST(AdvisorTest, ThresholdFilters) {
+  programs::ProgramSpec spec = programs::make_su();
+  PipelineOptions opts;
+  opts.run_rosa = false;
+  ProgramAnalysis a = analyze_program(spec, opts);
+
+  AdvisorOptions strict;
+  strict.exposure_threshold = 0.95;
+  EXPECT_TRUE(advise(spec, a, strict).empty());
+
+  AdvisorOptions lax;
+  lax.exposure_threshold = 0.01;
+  EXPECT_GE(advise(spec, a, lax).size(), 3u);
+}
+
+TEST(AdvisorTest, RenderingReadable) {
+  auto advice = advice_for(programs::make_su());
+  std::string text = render_advice(advice);
+  EXPECT_NE(text.find("plant-credentials"), std::string::npos);
+  EXPECT_NE(text.find("CapSetuid"), std::string::npos);
+  EXPECT_EQ(render_advice({}).find("No refactoring advice"), 0u);
+}
+
+TEST(AdvisorTest, KindNamesStable) {
+  EXPECT_EQ(advice_kind_name(AdviceKind::DropEarlier), "drop-earlier");
+  EXPECT_EQ(advice_kind_name(AdviceKind::SpecialFileOwner),
+            "special-file-owner");
+}
+
+}  // namespace
+}  // namespace pa::privanalyzer

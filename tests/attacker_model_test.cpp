@@ -1,0 +1,160 @@
+// Tests for the weakened attacker models (§X future work): CFI-ordered
+// syscalls and data-flow-protected (fixed-argument) programs.
+#include <gtest/gtest.h>
+
+#include "attacks/scenario.h"
+#include "rosa/query.h"
+#include "rosa/search.h"
+
+namespace pa::rosa {
+namespace {
+
+using caps::Capability;
+using caps::CapSet;
+
+/// A file the process cannot touch without first chown-ing it to itself.
+Query chain_query(std::vector<Message> messages) {
+  Query q;
+  ProcObj p;
+  p.id = 1;
+  p.uid = {10, 10, 10};
+  p.gid = {10, 10, 10};
+  q.initial.procs.push_back(p);
+  q.initial.files.push_back(FileObj{3, "target", {40, 41, os::Mode(0000)}});
+  q.initial.users = {10};
+  q.initial.groups = {41};
+  q.initial.normalize();
+  q.messages = std::move(messages);
+  q.goal = goal_file_in_rdfset(1, 3);
+  return q;
+}
+
+TEST(AttackerModelTest, Names) {
+  EXPECT_EQ(attacker_model_name(AttackerModel::Full), "full");
+  EXPECT_EQ(attacker_model_name(AttackerModel::CfiOrdered), "cfi-ordered");
+  EXPECT_EQ(attacker_model_name(AttackerModel::FixedArgs), "fixed-args");
+}
+
+TEST(CfiOrderedTest, ProgramOrderAttackStillWorks) {
+  // Program order happens to be exactly the attack order.
+  Query q = chain_query({
+      msg_chown(1, 3, 10, 41, {Capability::Chown}),
+      msg_chmod(1, 3, 0777, {}),
+      msg_open(1, 3, kAccRead, {}),
+  });
+  q.attacker = AttackerModel::CfiOrdered;
+  EXPECT_EQ(search(q).verdict, Verdict::Reachable);
+}
+
+TEST(CfiOrderedTest, ReorderingRequiredMeansSafe) {
+  // The program opens BEFORE it chowns/chmods; a CFI-protected program
+  // cannot be made to issue the calls in attack order.
+  Query q = chain_query({
+      msg_open(1, 3, kAccRead, {}),
+      msg_chown(1, 3, 10, 41, {Capability::Chown}),
+      msg_chmod(1, 3, 0777, {}),
+  });
+  EXPECT_EQ(search(q).verdict, Verdict::Reachable);  // full attacker: fine
+  q.attacker = AttackerModel::CfiOrdered;
+  EXPECT_EQ(search(q).verdict, Verdict::Unreachable);
+}
+
+TEST(CfiOrderedTest, SkippingForwardIsAllowed) {
+  // Irrelevant calls interleaved in program order can be skipped.
+  Query q = chain_query({
+      msg_setuid(1, 10, {}),  // no-op; skippable
+      msg_chown(1, 3, 10, 41, {Capability::Chown}),
+      msg_setgid(1, 41, {}),  // fails anyway; skippable
+      msg_chmod(1, 3, 0777, {}),
+      msg_open(1, 3, kAccRead, {}),
+  });
+  q.attacker = AttackerModel::CfiOrdered;
+  EXPECT_EQ(search(q).verdict, Verdict::Reachable);
+}
+
+TEST(FixedArgsTest, WildcardArgumentsUnusable) {
+  // The chown's file/owner arguments are wildcards (attacker-corrupted);
+  // a data-flow-protected program cannot have them corrupted.
+  Query q = chain_query({
+      msg_chown(1, kWild, kWild, 41, {Capability::Chown}),
+      msg_chmod(1, kWild, 0777, {}),
+      msg_open(1, 3, kAccRead, {}),
+  });
+  EXPECT_EQ(search(q).verdict, Verdict::Reachable);
+  q.attacker = AttackerModel::FixedArgs;
+  EXPECT_EQ(search(q).verdict, Verdict::Unreachable);
+}
+
+TEST(FixedArgsTest, ConcreteDangerousArgumentsStillWork) {
+  // If the program itself passes the dangerous arguments, data-flow
+  // integrity does not help.
+  Query q = chain_query({
+      msg_chown(1, 3, 10, 41, {Capability::Chown}),
+      msg_chmod(1, 3, 0777, {}),
+      msg_open(1, 3, kAccRead, {}),
+  });
+  q.attacker = AttackerModel::FixedArgs;
+  EXPECT_EQ(search(q).verdict, Verdict::Reachable);
+}
+
+TEST(FixedArgsTest, WildcardKillAndSocketBlocked) {
+  State st;
+  ProcObj p;
+  p.id = 1;
+  p.uid = {10, 10, 10};
+  p.gid = {10, 10, 10};
+  st.procs.push_back(p);
+  ProcObj victim;
+  victim.id = 2;
+  victim.uid = {99, 99, 99};
+  st.procs.push_back(victim);
+  st.normalize();
+
+  auto kill_wild = msg_kill(1, kWild, kWild, {Capability::Kill});
+  EXPECT_FALSE(apply_message(st, kill_wild, AttackerModel::Full).empty());
+  EXPECT_TRUE(apply_message(st, kill_wild, AttackerModel::FixedArgs).empty());
+
+  auto kill_fixed = msg_kill(1, 2, 9, {Capability::Kill});
+  EXPECT_FALSE(
+      apply_message(st, kill_fixed, AttackerModel::FixedArgs).empty());
+}
+
+TEST(AttackScenarioTest, DevMemAttackWeakensAcrossModels) {
+  // The standard /dev/mem attack relies on argument corruption (the open
+  // is pointed at /dev/mem instead of the program's own files), so a
+  // fixed-args attacker with the same privileges is safe.
+  attacks::ScenarioInput in;
+  in.permitted = {Capability::Setuid};
+  in.creds = caps::Credentials::of_user(1000, 1000);
+  in.syscalls = {"open", "chmod", "chown", "setuid"};
+
+  in.attacker = AttackerModel::Full;
+  EXPECT_EQ(attacks::run_attack(attacks::AttackId::ReadDevMem, in, {}),
+            attacks::CellVerdict::Vulnerable);
+
+  in.attacker = AttackerModel::FixedArgs;
+  EXPECT_EQ(attacks::run_attack(attacks::AttackId::ReadDevMem, in, {}),
+            attacks::CellVerdict::Safe);
+}
+
+TEST(AttackScenarioTest, CfiOrderingMattersForScenarios) {
+  // Attack messages are emitted in the program's syscall order; the
+  // /dev/mem chain needs set*id before open. In the scenario builder the
+  // ordering follows ScenarioInput::syscalls, so a program that opens
+  // first is protected under CFI.
+  attacks::ScenarioInput in;
+  in.permitted = {Capability::Setuid};
+  in.creds = caps::Credentials::of_user(1000, 1000);
+  in.attacker = AttackerModel::CfiOrdered;
+
+  in.syscalls = {"setuid", "open"};  // set*id first: attack order possible
+  EXPECT_EQ(attacks::run_attack(attacks::AttackId::ReadDevMem, in, {}),
+            attacks::CellVerdict::Vulnerable);
+
+  in.syscalls = {"open", "setuid"};  // open first: chain broken
+  EXPECT_EQ(attacks::run_attack(attacks::AttackId::ReadDevMem, in, {}),
+            attacks::CellVerdict::Safe);
+}
+
+}  // namespace
+}  // namespace pa::rosa

@@ -1,0 +1,168 @@
+// Unit tests for the capability model (caps/capability.h, caps/priv_state.h).
+#include <gtest/gtest.h>
+
+#include "caps/capability.h"
+#include "caps/priv_state.h"
+
+namespace pa::caps {
+namespace {
+
+TEST(CapSetTest, EmptyByDefault) {
+  CapSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_EQ(s.to_string(), "(empty)");
+}
+
+TEST(CapSetTest, InitializerListAndContains) {
+  CapSet s{Capability::Setuid, Capability::Chown};
+  EXPECT_TRUE(s.contains(Capability::Setuid));
+  EXPECT_TRUE(s.contains(Capability::Chown));
+  EXPECT_FALSE(s.contains(Capability::Kill));
+  EXPECT_EQ(s.size(), 2);
+}
+
+TEST(CapSetTest, SetAlgebra) {
+  CapSet a{Capability::Setuid, Capability::Chown};
+  CapSet b{Capability::Chown, Capability::Kill};
+  EXPECT_EQ((a | b).size(), 3);
+  EXPECT_EQ((a & b), CapSet{Capability::Chown});
+  EXPECT_EQ((a - b), CapSet{Capability::Setuid});
+  EXPECT_TRUE((a & b).subset_of(a));
+  EXPECT_TRUE((a & b).subset_of(b));
+  EXPECT_FALSE(a.subset_of(b));
+  EXPECT_TRUE(CapSet{}.subset_of(a));
+}
+
+TEST(CapSetTest, WithWithout) {
+  CapSet s;
+  s = s.with(Capability::NetRaw);
+  EXPECT_TRUE(s.contains(Capability::NetRaw));
+  s = s.without(Capability::NetRaw);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(CapSetTest, FullContainsEverything) {
+  CapSet full = CapSet::full();
+  EXPECT_EQ(full.size(), kNumCapabilities);
+  for (int i = 0; i < kNumCapabilities; ++i)
+    EXPECT_TRUE(full.contains(static_cast<Capability>(i)));
+}
+
+TEST(CapSetTest, ToStringUsesPaperNames) {
+  CapSet s{Capability::DacReadSearch, Capability::Setuid};
+  EXPECT_EQ(s.to_string(), "CapDacReadSearch,CapSetuid");
+}
+
+TEST(CapSetTest, ParseCamelAndKernelNames) {
+  auto a = CapSet::parse("CapSetuid,CapChown");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->contains(Capability::Setuid));
+  EXPECT_TRUE(a->contains(Capability::Chown));
+
+  auto b = CapSet::parse("CAP_SETUID, CAP_CHOWN");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+
+  EXPECT_TRUE(CapSet::parse("(empty)")->empty());
+  EXPECT_TRUE(CapSet::parse("")->empty());
+  EXPECT_FALSE(CapSet::parse("CapBogus").has_value());
+}
+
+TEST(CapSetTest, RoundTripAllSingletons) {
+  for (int i = 0; i < kNumCapabilities; ++i) {
+    auto c = static_cast<Capability>(i);
+    CapSet s{c};
+    auto parsed = CapSet::parse(s.to_string());
+    ASSERT_TRUE(parsed.has_value()) << s.to_string();
+    EXPECT_EQ(*parsed, s);
+    EXPECT_EQ(parse_capability(kernel_name(c)), c);
+    EXPECT_EQ(parse_capability(name(c)), c);
+  }
+}
+
+TEST(CapSetTest, MembersInNumericOrder) {
+  CapSet s{Capability::Setuid, Capability::Chown, Capability::Kill};
+  auto m = s.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], Capability::Chown);  // 0
+  EXPECT_EQ(m[1], Capability::Kill);   // 5
+  EXPECT_EQ(m[2], Capability::Setuid); // 7
+}
+
+TEST(PrivStateTest, LaunchedWithHasNothingRaised) {
+  PrivState p = PrivState::launched_with({Capability::Setuid});
+  EXPECT_TRUE(p.effective().empty());
+  EXPECT_EQ(p.permitted(), CapSet{Capability::Setuid});
+}
+
+TEST(PrivStateTest, RaiseRequiresPermitted) {
+  PrivState p = PrivState::launched_with({Capability::Setuid});
+  EXPECT_TRUE(p.raise({Capability::Setuid}));
+  EXPECT_TRUE(p.effective().contains(Capability::Setuid));
+  EXPECT_FALSE(p.raise({Capability::Chown}));
+  EXPECT_FALSE(p.effective().contains(Capability::Chown));
+}
+
+TEST(PrivStateTest, LowerDisablesEffectiveOnly) {
+  PrivState p = PrivState::launched_with({Capability::Setuid});
+  ASSERT_TRUE(p.raise({Capability::Setuid}));
+  p.lower({Capability::Setuid});
+  EXPECT_TRUE(p.effective().empty());
+  EXPECT_TRUE(p.permitted().contains(Capability::Setuid));
+  // Can raise again after a lower.
+  EXPECT_TRUE(p.raise({Capability::Setuid}));
+}
+
+TEST(PrivStateTest, RemoveIsIrreversible) {
+  PrivState p = PrivState::launched_with({Capability::Setuid});
+  p.remove({Capability::Setuid});
+  EXPECT_TRUE(p.permitted().empty());
+  EXPECT_FALSE(p.raise({Capability::Setuid}));
+}
+
+TEST(PrivStateTest, RemoveOfUnheldCapIsNoop) {
+  PrivState p = PrivState::launched_with({Capability::Setuid});
+  p.remove({Capability::Chown});
+  EXPECT_EQ(p.permitted(), CapSet{Capability::Setuid});
+}
+
+TEST(PrivStateTest, CapsetCannotGrowPermitted) {
+  PrivState p = PrivState::launched_with({Capability::Setuid});
+  EXPECT_FALSE(p.capset({}, {Capability::Setuid, Capability::Chown}));
+  EXPECT_FALSE(p.capset({Capability::Chown}, {Capability::Setuid}));
+  EXPECT_TRUE(p.capset({Capability::Setuid}, {Capability::Setuid}));
+  EXPECT_TRUE(p.effective().contains(Capability::Setuid));
+}
+
+TEST(PrivStateTest, UidFixupDropsCapsWhenLeavingRoot) {
+  PrivState p({Capability::Chown}, {Capability::Chown, Capability::Setuid});
+  p.on_uid_change(IdTriple{0, 0, 0}, IdTriple{1000, 1000, 1000});
+  EXPECT_TRUE(p.effective().empty());
+  EXPECT_TRUE(p.permitted().empty());
+}
+
+TEST(PrivStateTest, UidFixupGainsEffectiveWhenBecomingRoot) {
+  PrivState p({}, {Capability::Chown});
+  p.on_uid_change(IdTriple{1000, 1000, 1000}, IdTriple{1000, 0, 1000});
+  EXPECT_EQ(p.effective(), p.permitted());
+}
+
+TEST(PrivStateTest, StrictSecurebitsDisableFixup) {
+  PrivState p({Capability::Chown}, {Capability::Chown});
+  p.set_securebits(SecureBits{.no_setuid_fixup = true});
+  p.on_uid_change(IdTriple{0, 0, 0}, IdTriple{1000, 1000, 1000});
+  EXPECT_TRUE(p.effective().contains(Capability::Chown));
+  EXPECT_TRUE(p.permitted().contains(Capability::Chown));
+}
+
+TEST(PrivStateTest, KeepCapsRetainsPermittedOnly) {
+  PrivState p({Capability::Chown}, {Capability::Chown});
+  p.set_securebits(SecureBits{.keep_caps = true});
+  p.on_uid_change(IdTriple{0, 0, 0}, IdTriple{1000, 1000, 1000});
+  EXPECT_TRUE(p.effective().empty());
+  EXPECT_TRUE(p.permitted().contains(Capability::Chown));
+}
+
+}  // namespace
+}  // namespace pa::caps

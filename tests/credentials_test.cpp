@@ -1,0 +1,110 @@
+// Unit tests for the Linux credential-changing rules (caps/credentials.h):
+// setuid / seteuid / setresuid semantics with and without privilege.
+#include <gtest/gtest.h>
+
+#include "caps/credentials.h"
+
+namespace pa::caps {
+namespace {
+
+TEST(SetuidTest, PrivilegedSetsAllThree) {
+  IdTriple t{1000, 1000, 1000};
+  EXPECT_EQ(apply_setuid(t, 0, /*privileged=*/true), CredChange::Ok);
+  EXPECT_EQ(t, (IdTriple{0, 0, 0}));
+}
+
+TEST(SetuidTest, UnprivilegedOnlyRealOrSaved) {
+  IdTriple t{1000, 999, 1001};
+  EXPECT_EQ(apply_setuid(t, 1000, false), CredChange::Ok);
+  EXPECT_EQ(t.effective, 1000);
+  EXPECT_EQ(t.real, 1000);  // real and saved untouched
+  EXPECT_EQ(t.saved, 1001);
+
+  EXPECT_EQ(apply_setuid(t, 1001, false), CredChange::Ok);
+  EXPECT_EQ(t.effective, 1001);
+
+  EXPECT_EQ(apply_setuid(t, 0, false), CredChange::Eperm);
+}
+
+TEST(SetuidTest, NegativeIdIsEinval) {
+  IdTriple t{1000, 1000, 1000};
+  EXPECT_EQ(apply_setuid(t, -5, true), CredChange::Einval);
+  EXPECT_EQ(t, (IdTriple{1000, 1000, 1000}));
+}
+
+TEST(SeteuidTest, PrivilegedSetsOnlyEffective) {
+  IdTriple t{1000, 1000, 1000};
+  EXPECT_EQ(apply_seteuid(t, 0, true), CredChange::Ok);
+  EXPECT_EQ(t, (IdTriple{1000, 0, 1000}));
+}
+
+TEST(SeteuidTest, UnprivilegedToRealOrSaved) {
+  IdTriple t{1000, 998, 1001};
+  EXPECT_EQ(apply_seteuid(t, 1001, false), CredChange::Ok);
+  EXPECT_EQ(t.effective, 1001);
+  EXPECT_EQ(apply_seteuid(t, 998, false), CredChange::Eperm);  // 998 left e
+}
+
+TEST(SetresuidTest, MinusOneKeepsField) {
+  IdTriple t{1000, 998, 1001};
+  EXPECT_EQ(apply_setresuid(t, -1, 1001, -1, false), CredChange::Ok);
+  EXPECT_EQ(t, (IdTriple{1000, 1001, 1001}));
+}
+
+TEST(SetresuidTest, UnprivilegedFieldsMustComeFromCurrentIds) {
+  IdTriple t{1000, 998, 1001};
+  // Every value in {1000, 998, 1001} is allowed in any slot.
+  EXPECT_EQ(apply_setresuid(t, 1001, 1001, 1001, false), CredChange::Ok);
+  EXPECT_EQ(t, (IdTriple{1001, 1001, 1001}));
+  // After the switch, 998 is gone for good without privilege.
+  EXPECT_EQ(apply_setresuid(t, -1, 998, -1, false), CredChange::Eperm);
+}
+
+TEST(SetresuidTest, PrivilegedIsUnconstrained) {
+  IdTriple t{1000, 1000, 1000};
+  EXPECT_EQ(apply_setresuid(t, 1, 2, 3, true), CredChange::Ok);
+  EXPECT_EQ(t, (IdTriple{1, 2, 3}));
+}
+
+TEST(SetresuidTest, FailureLeavesTripleUntouched) {
+  IdTriple t{1000, 998, 1001};
+  EXPECT_EQ(apply_setresuid(t, 0, -1, -1, false), CredChange::Eperm);
+  EXPECT_EQ(t, (IdTriple{1000, 998, 1001}));
+}
+
+TEST(SetgroupsTest, RequiresPrivilege) {
+  Credentials c = Credentials::of_user(1000, 1000);
+  EXPECT_EQ(apply_setgroups(c, {4, 24, 27}, false), CredChange::Eperm);
+  EXPECT_EQ(apply_setgroups(c, {4, 24, 27}, true), CredChange::Ok);
+  EXPECT_TRUE(c.in_group(24));
+}
+
+TEST(SetgroupsTest, SortedAndDeduplicated) {
+  Credentials c = Credentials::of_user(1000, 1000);
+  ASSERT_EQ(apply_setgroups(c, {9, 4, 9, 4}, true), CredChange::Ok);
+  EXPECT_EQ(c.supplementary, (std::vector<Gid>{4, 9}));
+}
+
+TEST(CredentialsTest, InGroupChecksEffectiveAndSupplementary) {
+  Credentials c = Credentials::of_user(1000, 1000);
+  EXPECT_TRUE(c.in_group(1000));
+  EXPECT_FALSE(c.in_group(15));
+  c.set_supplementary({15});
+  EXPECT_TRUE(c.in_group(15));
+}
+
+TEST(CredentialsTest, TripleMatchesAnyOfThree) {
+  IdTriple t{1, 2, 3};
+  EXPECT_TRUE(t.matches(1));
+  EXPECT_TRUE(t.matches(2));
+  EXPECT_TRUE(t.matches(3));
+  EXPECT_FALSE(t.matches(4));
+}
+
+TEST(CredentialsTest, ToStringFormat) {
+  IdTriple t{1000, 998, 1001};
+  EXPECT_EQ(t.to_string(), "1000,998,1001");
+}
+
+}  // namespace
+}  // namespace pa::caps

@@ -1,0 +1,180 @@
+// Tests for the generic dataflow solver and the register-liveness analysis.
+#include <gtest/gtest.h>
+
+#include "dataflow/liveness.h"
+#include "ir/builder.h"
+
+namespace pa::dataflow {
+namespace {
+
+using ir::IRBuilder;
+using B = IRBuilder;
+
+TEST(PredecessorsTest, Computed) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 1);
+  b.condbr(B::r(0), "a", "c");
+  b.at("a");
+  b.br("c");
+  b.at("c");
+  b.ret(B::i(0));
+  b.end_function();
+
+  auto preds = predecessors(m.function("f"));
+  EXPECT_TRUE(preds[0].empty());
+  EXPECT_EQ(preds[1], (std::vector<int>{0}));
+  EXPECT_EQ(preds[2], (std::vector<int>{0, 1}));
+}
+
+TEST(ExitBlockTest, Classification) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  b.br("done");
+  b.at("done");
+  b.exit(B::i(0));
+  b.end_function();
+  const ir::Function& f = m.function("f");
+  EXPECT_FALSE(is_exit_block(f.block(0)));
+  EXPECT_TRUE(is_exit_block(f.block(1)));
+}
+
+TEST(RegLivenessTest, StraightLine) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 1);
+  int x = b.mov(B::i(1));
+  int y = b.add(B::r(x), B::r(0));
+  b.ret(B::r(y));
+  b.end_function();
+
+  auto facts = live_registers(m.function("f"));
+  // Parameter %0 is live at entry; nothing is live at exit.
+  EXPECT_TRUE(facts.in[0].contains(0));
+  EXPECT_TRUE(facts.out[0].empty());
+}
+
+TEST(RegLivenessTest, LiveThroughBranch) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 2);
+  b.condbr(B::r(0), "use", "skip");
+  b.at("use");
+  b.ret(B::r(1));
+  b.at("skip");
+  b.ret(B::i(0));
+  b.end_function();
+
+  auto facts = live_registers(m.function("f"));
+  EXPECT_TRUE(facts.in[0].contains(1));   // %1 live at entry (used in `use`)
+  EXPECT_TRUE(facts.in[1].contains(1));
+  EXPECT_FALSE(facts.in[2].contains(1));  // dead on the skip path
+}
+
+TEST(RegLivenessTest, LoopKeepsCounterLive) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  int i = b.mov(B::i(0));
+  b.br("head");
+  b.at("head");
+  int c = b.cmp_lt(B::r(i), B::i(10));
+  b.condbr(B::r(c), "body", "done");
+  b.at("body");
+  int n = b.add(B::r(i), B::i(1));
+  b.mov_to(i, B::r(n));
+  b.br("head");
+  b.at("done");
+  b.ret(B::i(0));
+  b.end_function();
+
+  auto facts = live_registers(m.function("f"));
+  int head = *m.function("f").block_index("head");
+  int body = *m.function("f").block_index("body");
+  EXPECT_TRUE(facts.in[static_cast<std::size_t>(head)].contains(i));
+  EXPECT_TRUE(facts.in[static_cast<std::size_t>(body)].contains(i));
+}
+
+TEST(RegLivenessTest, DefKillsLiveness) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  int x = b.mov(B::i(1));  // def of x — nothing above uses it
+  b.ret(B::r(x));
+  b.end_function();
+  auto facts = live_registers(m.function("f"));
+  EXPECT_FALSE(facts.in[0].contains(x));
+}
+
+TEST(ForwardSolverTest, MayBeRaisedAnalysis) {
+  // Forward may-analysis: which capabilities may have been raised (and not
+  // yet lowered) when a block is entered?
+  ir::Module m("t");
+  IRBuilder b(m);
+  using caps::Capability;
+  b.begin_function("f", 1);
+  b.condbr(B::r(0), "raiser", "plain");   // 0
+  b.at("raiser");
+  b.priv_raise({Capability::Setuid});
+  b.br("join");                            // 1
+  b.at("plain");
+  b.br("join");                            // 2
+  b.at("join");
+  b.syscall("setuid", {B::i(0)});
+  b.priv_lower({Capability::Setuid});
+  b.br("after");                           // 3
+  b.at("after");
+  b.ret(B::i(0));                          // 4
+  b.end_function();
+
+  using L = caps::CapSet;
+  std::function<L(const ir::Instruction&, const L&)> transfer =
+      [](const ir::Instruction& inst, const L& before) {
+        if (inst.op == ir::Opcode::PrivRaise)
+          return before | inst.operands[0].caps_value();
+        if (inst.op == ir::Opcode::PrivLower)
+          return before - inst.operands[0].caps_value();
+        return before;
+      };
+  std::function<L(const L&, const L&)> join = [](const L& a, const L& c) {
+    return a | c;
+  };
+  auto facts = dataflow::solve_forward<L>(m.function("f"), {}, {}, transfer,
+                                          join);
+  EXPECT_TRUE(facts.in[0].empty());
+  EXPECT_TRUE(facts.out[1].contains(Capability::Setuid));
+  EXPECT_TRUE(facts.out[2].empty());
+  // join's entry may have it (from the raiser path)...
+  EXPECT_TRUE(facts.in[3].contains(Capability::Setuid));
+  // ...but the lower kills it before `after`.
+  EXPECT_TRUE(facts.in[4].empty());
+}
+
+TEST(InstructionFactsTest, PerInstructionBackward) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  int x = b.mov(B::i(1));
+  int y = b.mov(B::i(2));
+  b.add(B::r(x), B::r(y));
+  b.ret(B::i(0));
+  b.end_function();
+
+  const ir::BasicBlock& bb = m.function("f").block(0);
+  std::function<RegSet(const ir::Instruction&, const RegSet&)> transfer =
+      [](const ir::Instruction& inst, const RegSet& after) {
+        RegSet before = after;
+        if (auto d = def_of(inst)) before.erase(*d);
+        for (int u : uses_of(inst)) before.insert(u);
+        return before;
+      };
+  auto before = instruction_facts_backward<RegSet>(bb, {}, transfer);
+  ASSERT_EQ(before.size(), bb.instructions.size() + 1);
+  EXPECT_TRUE(before[0].empty());           // nothing live before first def
+  EXPECT_EQ(before[2], (RegSet{0, 1}));     // both live before the add
+  EXPECT_TRUE(before[3].empty());           // nothing live after the add
+}
+
+}  // namespace
+}  // namespace pa::dataflow

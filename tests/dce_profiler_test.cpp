@@ -1,0 +1,154 @@
+// Tests for liveness-driven DCE and the VM function profiler.
+#include <gtest/gtest.h>
+
+#include "dataflow/dce.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+#include "programs/world.h"
+#include "vm/profiler.h"
+
+namespace pa {
+namespace {
+
+using ir::IRBuilder;
+using B = IRBuilder;
+using caps::Capability;
+
+TEST(DceTest, RemovesDeadChains) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  int dead1 = b.mov(B::i(1));
+  int dead2 = b.add(B::r(dead1), B::i(2));  // only feeds dead3
+  b.mul(B::r(dead2), B::i(3));              // dead3: never used
+  int live = b.mov(B::i(42));
+  b.ret(B::r(live));
+  b.end_function();
+
+  int removed = dataflow::eliminate_dead_code(m);
+  EXPECT_EQ(removed, 3);  // the whole dead chain, via the fixpoint
+  EXPECT_TRUE(ir::verify(m).empty());
+  EXPECT_EQ(m.function("main").block(0).instructions.size(), 2u);
+}
+
+TEST(DceTest, SideEffectsAreNeverDead) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("callee", 0);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("main", 0);
+  b.syscall("getuid", {});          // result unused, but a syscall
+  b.call("callee", {});             // result unused, but a call
+  b.priv_raise({Capability::Setuid});
+  b.priv_lower({Capability::Setuid});
+  b.ret(B::i(0));
+  b.end_function();
+
+  EXPECT_EQ(dataflow::eliminate_dead_code(m), 0);
+}
+
+TEST(DceTest, LivenessThroughBranchesRespected) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 1);
+  int x = b.mov(B::i(5));  // live only on one path
+  b.condbr(B::r(0), "use", "skip");
+  b.at("use");
+  b.ret(B::r(x));
+  b.at("skip");
+  b.ret(B::i(0));
+  b.end_function();
+
+  EXPECT_EQ(dataflow::eliminate_dead_code(m), 0);  // x is (partially) live
+}
+
+TEST(DceTest, PureOpsClassified) {
+  ir::Instruction mov{.op = ir::Opcode::Mov, .dest = 0,
+                      .operands = {ir::Operand::imm(1)}};
+  EXPECT_TRUE(dataflow::is_pure(mov));
+  ir::Instruction sys{.op = ir::Opcode::Syscall, .dest = 0, .symbol = "open"};
+  EXPECT_FALSE(dataflow::is_pure(sys));
+  ir::Instruction nodest{.op = ir::Opcode::Nop};
+  EXPECT_FALSE(dataflow::is_pure(nodest));
+}
+
+TEST(ProfilerTest, AttributesInstructionsToFunctions) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("helper", 0);
+  b.nop(9);
+  b.ret(B::i(0));  // 10 instructions per call
+  b.end_function();
+  b.begin_function("main", 0);
+  b.call("helper", {});
+  b.call("helper", {});
+  b.ret(B::i(0));  // 3 instructions in main
+  b.end_function();
+
+  os::Kernel k;
+  os::Pid p = k.spawn("p", caps::Credentials::of_user(1000, 1000), {});
+  vm::FunctionProfiler prof;
+  vm::Interpreter interp(k, m, p);
+  interp.set_tracer(&prof);
+  interp.run("main");
+
+  auto entries = prof.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].function, "helper");
+  EXPECT_EQ(entries[0].instructions, 20u);
+  EXPECT_EQ(entries[1].function, "main");
+  EXPECT_EQ(entries[1].instructions, 3u);
+  EXPECT_EQ(prof.total(), 23u);
+  EXPECT_NEAR(entries[0].fraction + entries[1].fraction, 1.0, 1e-9);
+  EXPECT_NE(prof.to_string().find("@helper"), std::string::npos);
+}
+
+TEST(ProfilerTest, MultiTracerFansOut) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.nop(4);
+  b.ret(B::i(0));
+  b.end_function();
+
+  os::Kernel k;
+  os::Pid p = k.spawn("p", caps::Credentials::of_user(1000, 1000), {});
+  vm::FunctionProfiler prof1, prof2;
+  vm::MultiTracer multi({&prof1, &prof2});
+  vm::Interpreter interp(k, m, p);
+  interp.set_tracer(&multi);
+  interp.run("main");
+  EXPECT_EQ(prof1.total(), 5u);
+  EXPECT_EQ(prof2.total(), 5u);
+}
+
+TEST(ProfilerTest, ProgramModelsSpendTimeWhereExpected) {
+  // sshd's dynamic instructions overwhelmingly belong to @main (the
+  // connection loop); the handler never runs, the dispatch is tiny.
+  programs::ProgramSpec spec = programs::make_ping();
+  os::Kernel k = programs::make_standard_world();
+  os::Pid pid = programs::spawn_program(k, spec);
+  vm::FunctionProfiler prof;
+  vm::Interpreter interp(k, spec.module, pid);
+  interp.set_tracer(&prof);
+  interp.run("main", spec.args);
+  auto entries = prof.entries();
+  ASSERT_FALSE(entries.empty());
+  EXPECT_EQ(entries[0].function, "main");
+  EXPECT_GT(entries[0].fraction, 0.99);
+}
+
+TEST(ProfilerTest, ResetClears) {
+  vm::FunctionProfiler prof;
+  ir::Function f("x", 0);
+  os::Kernel k;
+  os::Pid p = k.spawn("p", caps::Credentials::of_user(1000, 1000), {});
+  prof.on_instruction(k.process(p), f);
+  prof.reset();
+  EXPECT_EQ(prof.total(), 0u);
+  EXPECT_TRUE(prof.entries().empty());
+}
+
+}  // namespace
+}  // namespace pa

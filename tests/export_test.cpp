@@ -1,0 +1,134 @@
+// Tests for the CSV / Markdown exporters plus full-pipeline integration for
+// the two Table III programs not already covered end-to-end (thttpd, sshd).
+#include <gtest/gtest.h>
+
+#include "privanalyzer/export.h"
+#include "support/str.h"
+
+namespace pa::privanalyzer {
+namespace {
+
+using attacks::CellVerdict;
+using caps::Capability;
+
+ProgramAnalysis tiny_analysis() {
+  ProgramAnalysis a;
+  a.program = "demo";
+  a.chrono.program = "demo";
+  a.chrono.total_instructions = 100;
+  chronopriv::EpochRow r1;
+  r1.name = "demo_priv1";
+  r1.key.permitted = {Capability::Setuid, Capability::Chown};
+  r1.key.creds = caps::Credentials::of_user(1000, 1000);
+  r1.instructions = 60;
+  r1.fraction = 0.6;
+  chronopriv::EpochRow r2;
+  r2.name = "demo_priv2";
+  r2.key.creds = caps::Credentials::of_user(0, 1000);
+  r2.instructions = 40;
+  r2.fraction = 0.4;
+  a.chrono.rows = {r1, r2};
+  attacks::EpochVerdicts v1;
+  v1.epoch_name = r1.name;
+  v1.verdicts = {CellVerdict::Vulnerable, CellVerdict::Safe,
+                 CellVerdict::Safe, CellVerdict::Timeout};
+  attacks::EpochVerdicts v2;
+  v2.epoch_name = r2.name;
+  v2.verdicts = {CellVerdict::Safe, CellVerdict::Safe, CellVerdict::Safe,
+                 CellVerdict::Safe};
+  a.verdicts = {v1, v2};
+  return a;
+}
+
+TEST(ExportTest, EpochCsvShape) {
+  ProgramAnalysis a = tiny_analysis();
+  std::string csv = epochs_to_csv(a.chrono);
+  auto lines = str::split(csv, '\n');
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 rows
+  EXPECT_TRUE(str::starts_with(lines[0], "program,epoch,permitted"));
+  // Capability lists are quoted (they contain commas).
+  EXPECT_NE(lines[1].find("\"CapChown,CapSetuid\""), std::string::npos);
+  EXPECT_NE(lines[1].find(",60,"), std::string::npos);
+  EXPECT_NE(lines[2].find(",0,"), std::string::npos);  // euid 0
+}
+
+TEST(ExportTest, EfficacyCsvCells) {
+  std::string csv = efficacy_to_csv({tiny_analysis()});
+  auto lines = str::split(csv, '\n');
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_TRUE(lines[1].ends_with("V,x,x,T"));
+  EXPECT_TRUE(lines[2].ends_with("x,x,x,x"));
+}
+
+TEST(ExportTest, MarkdownTable) {
+  std::string md = efficacy_to_markdown({tiny_analysis()});
+  EXPECT_NE(md.find("| demo_priv1 |"), std::string::npos);
+  EXPECT_NE(md.find("✓"), std::string::npos);
+  EXPECT_NE(md.find("✗"), std::string::npos);
+  EXPECT_NE(md.find("⏳"), std::string::npos);
+  // Header separator row present.
+  EXPECT_NE(md.find("|---|"), std::string::npos);
+}
+
+TEST(ExportTest, CsvQuotesEmbeddedQuotes) {
+  ProgramAnalysis a = tiny_analysis();
+  a.chrono.rows[0].name = "odd\"name";
+  std::string csv = epochs_to_csv(a.chrono);
+  EXPECT_NE(csv.find("\"odd\"\"name\""), std::string::npos);
+}
+
+// --- Full-pipeline integration for the remaining Table III programs -------
+
+TEST(TableIIIRemaining, ThttpdVerdictsMatchPaper) {
+  PipelineOptions opts;
+  opts.rosa_limits.max_states = 500'000;
+  ProgramAnalysis a = analyze_program(programs::make_thttpd(), opts);
+  ASSERT_EQ(a.chrono.rows.size(), 5u);
+  ASSERT_EQ(a.verdicts.size(), 5u);
+  // priv1 (all 5 caps): everything feasible.
+  for (CellVerdict v : a.verdicts[0].verdicts)
+    EXPECT_EQ(v, CellVerdict::Vulnerable);
+  // priv2 (Setgid,NetBind,SysChroot): V x V x — the kmem-group read plus
+  // the privileged bind, nothing else.
+  EXPECT_EQ(a.verdicts[1].verdicts[0], CellVerdict::Vulnerable);
+  EXPECT_EQ(a.verdicts[1].verdicts[1], CellVerdict::Safe);
+  EXPECT_EQ(a.verdicts[1].verdicts[2], CellVerdict::Vulnerable);
+  EXPECT_EQ(a.verdicts[1].verdicts[3], CellVerdict::Safe);
+  // priv5 (empty): all safe, >85% of execution.
+  for (CellVerdict v : a.verdicts[4].verdicts)
+    EXPECT_EQ(v, CellVerdict::Safe);
+  EXPECT_GT(a.chrono.rows[4].fraction, 0.85);
+  // Aggregate: safe for ~90% (paper: 90.16%).
+  ExposureSummary s = exposure_of(a);
+  EXPECT_NEAR(s.any_attack, 0.10, 0.03);
+}
+
+TEST(TableIIIRemaining, SshdRemainsVulnerableThroughout) {
+  PipelineOptions opts;
+  opts.rosa_limits.max_states = 500'000;
+  ProgramAnalysis a = analyze_program(programs::make_sshd(), opts);
+  ExposureSummary s = exposure_of(a);
+  EXPECT_GT(s.devmem_read, 0.99);
+  EXPECT_GT(s.devmem_write, 0.99);
+  // Attack 3 (bind) only while CAP_NET_BIND_SERVICE is still permitted.
+  double bind_fraction = a.vulnerable_fraction(2);
+  EXPECT_GT(bind_fraction, 0.0);
+  EXPECT_LT(bind_fraction, 0.01);
+  // The big epoch (7 caps) is vulnerable to 1, 2, 4 but not 3.
+  const auto& big = a.verdicts[1];
+  EXPECT_EQ(big.verdicts[0], CellVerdict::Vulnerable);
+  EXPECT_EQ(big.verdicts[1], CellVerdict::Vulnerable);
+  EXPECT_EQ(big.verdicts[2], CellVerdict::Safe);
+  EXPECT_EQ(big.verdicts[3], CellVerdict::Vulnerable);
+}
+
+TEST(TableIIIRemaining, RefactoredSshdExtensionIsClean) {
+  PipelineOptions opts;
+  opts.rosa_limits.max_states = 500'000;
+  ProgramAnalysis a = analyze_program(programs::make_sshd_refactored(), opts);
+  ExposureSummary s = exposure_of(a);
+  EXPECT_LT(s.any_attack, 0.001);
+}
+
+}  // namespace
+}  // namespace pa::privanalyzer

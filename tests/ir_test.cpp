@@ -1,0 +1,194 @@
+// Unit tests for PrivIR construction, the verifier, and the call graph.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/callgraph.h"
+#include "ir/verifier.h"
+#include "support/error.h"
+
+namespace pa::ir {
+namespace {
+
+using B = IRBuilder;
+using caps::Capability;
+
+TEST(BuilderTest, SimpleFunctionVerifies) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  int x = b.mov(B::i(5));
+  int y = b.add(B::r(x), B::i(1));
+  b.ret(B::r(y));
+  b.end_function();
+  EXPECT_TRUE(verify(m).empty());
+  EXPECT_EQ(m.function("main").num_registers(), 2);
+}
+
+TEST(BuilderTest, BranchesResolveLabels) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 1);
+  int c = b.cmpeq(B::r(0), B::i(0));
+  b.condbr(B::r(c), "yes", "no");
+  b.at("yes");
+  b.ret(B::i(1));
+  b.at("no");
+  b.ret(B::i(0));
+  b.end_function();
+  ASSERT_TRUE(verify(m).empty());
+  const Function& f = m.function("main");
+  auto succs = f.block(0).successors();
+  EXPECT_EQ(succs, (std::vector<int>{1, 2}));
+}
+
+TEST(BuilderTest, UnknownLabelThrows) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.br("nowhere");
+  EXPECT_THROW(b.end_function(), Error);
+}
+
+TEST(BuilderTest, AppendAfterTerminatorThrows) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.ret(B::i(0));
+  EXPECT_THROW(b.nop(), Error);
+}
+
+TEST(BuilderTest, DuplicateFunctionThrows) {
+  Module m("t");
+  m.add_function("f", 0);
+  EXPECT_THROW(m.add_function("f", 0), Error);
+}
+
+TEST(VerifierTest, CatchesMissingTerminator) {
+  Module m("t");
+  Function& f = m.add_function("main", 0);
+  f.add_block("entry");
+  f.block(0).instructions.push_back({.op = Opcode::Nop});
+  auto problems = verify(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesEmptyBlockAndFunction) {
+  Module m("t");
+  Function& f = m.add_function("main", 0);
+  f.add_block("entry");
+  EXPECT_FALSE(verify(m).empty());
+
+  Module m2("t2");
+  m2.add_function("empty_fn", 0);
+  EXPECT_FALSE(verify(m2).empty());
+}
+
+TEST(VerifierTest, CatchesCallToUnknownFunction) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.call("ghost");
+  b.ret(B::i(0));
+  b.end_function();
+  auto problems = verify(m);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("ghost"), std::string::npos);
+}
+
+TEST(VerifierTest, CatchesMidBlockTerminator) {
+  Module m("t");
+  Function& f = m.add_function("main", 0);
+  f.add_block("entry");
+  f.block(0).instructions.push_back(
+      {.op = Opcode::Ret, .operands = {Operand::imm(0)}});
+  f.block(0).instructions.push_back(
+      {.op = Opcode::Ret, .operands = {Operand::imm(0)}});
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(VerifierTest, CatchesBadPrivOperand) {
+  Module m("t");
+  Function& f = m.add_function("main", 0);
+  f.add_block("entry");
+  f.block(0).instructions.push_back(
+      {.op = Opcode::PrivRaise, .operands = {Operand::imm(7)}});
+  f.block(0).instructions.push_back(
+      {.op = Opcode::Ret, .operands = {Operand::imm(0)}});
+  EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(CountableTest, UnreachableExcluded) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.nop(3);
+  b.unreachable();
+  b.end_function();
+  EXPECT_EQ(m.function("main").countable_instructions(), 3);
+}
+
+TEST(CallGraphTest, DirectEdges) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("leaf", 0);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("mid", 0);
+  b.call("leaf");
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("main", 0);
+  b.call("mid");
+  b.ret(B::i(0));
+  b.end_function();
+
+  CallGraph cg = CallGraph::build(m);
+  EXPECT_TRUE(cg.callees("main").contains("mid"));
+  EXPECT_TRUE(cg.reachable_from("main").contains("leaf"));
+  EXPECT_FALSE(cg.reachable_from("mid").contains("main"));
+}
+
+TEST(CallGraphTest, IndirectCallsTargetAllAddressTaken) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("taken", 0);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("not_taken", 0);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("main", 0);
+  int fp = b.funcaddr("taken");
+  b.callind(B::r(fp));
+  b.ret(B::i(0));
+  b.end_function();
+  m.recompute_address_taken();
+
+  CallGraph cg = CallGraph::build(m);
+  EXPECT_TRUE(cg.callees("main").contains("taken"));
+  EXPECT_FALSE(cg.callees("main").contains("not_taken"));
+  EXPECT_TRUE(cg.has_indirect_call("main"));
+  EXPECT_EQ(cg.address_taken(), std::set<std::string>{"taken"});
+
+  CallGraph none = CallGraph::build(m, IndirectCallPolicy::AssumeNone);
+  EXPECT_FALSE(none.callees("main").contains("taken"));
+}
+
+TEST(CallGraphTest, SignalHandlersRecorded) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("handler", 1);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("main", 0);
+  b.syscall("signal", {B::i(17), B::f("handler")});
+  b.ret(B::i(0));
+  b.end_function();
+
+  CallGraph cg = CallGraph::build(m);
+  EXPECT_EQ(cg.signal_handlers(), std::set<std::string>{"handler"});
+}
+
+}  // namespace
+}  // namespace pa::ir

@@ -1,0 +1,266 @@
+// Tests for the PrivIR cleanup transformations and the dominator analysis.
+#include <gtest/gtest.h>
+
+#include "autopriv/report.h"
+#include "chronopriv/instrument.h"
+#include "ir/builder.h"
+#include "ir/dominators.h"
+#include "ir/transforms.h"
+#include "ir/verifier.h"
+#include "programs/world.h"
+#include "vm/interpreter.h"
+
+namespace pa::ir {
+namespace {
+
+using B = IRBuilder;
+
+TEST(FoldConstantsTest, ArithmeticAndComparisons) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  int x = b.add(B::i(2), B::i(3));
+  int y = b.mul(B::r(x), B::i(10));  // not constant: operand is a register
+  b.cmp_lt(B::i(1), B::i(2));
+  b.not_(B::i(0));
+  b.ret(B::r(y));
+  b.end_function();
+
+  TransformCounts c = fold_constants(m.function("main"));
+  EXPECT_EQ(c.folded_instructions, 3);  // add, cmplt, not — mul stays
+  const auto& insts = m.function("main").block(0).instructions;
+  EXPECT_EQ(insts[0].op, Opcode::Mov);
+  EXPECT_EQ(insts[0].operands[0].int_value(), 5);
+  EXPECT_EQ(insts[1].op, Opcode::Mul);
+  EXPECT_EQ(insts[2].operands[0].int_value(), 1);
+  EXPECT_EQ(insts[3].operands[0].int_value(), 1);  // !0
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(FoldConstantsTest, DivByZeroNotFolded) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  int x = b.binop(Opcode::Div, B::i(4), B::i(0));
+  b.ret(B::r(x));
+  b.end_function();
+  EXPECT_EQ(fold_constants(m.function("main")).folded_instructions, 0);
+}
+
+TEST(FoldConstantsTest, ConstantCondBrBecomesBr) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.condbr(B::i(1), "yes", "no");
+  b.at("yes");
+  b.ret(B::i(1));
+  b.at("no");
+  b.ret(B::i(0));
+  b.end_function();
+
+  fold_constants(m.function("main"));
+  const Instruction& term = m.function("main").block(0).instructions.back();
+  EXPECT_EQ(term.op, Opcode::Br);
+  EXPECT_EQ(term.target_labels[0], "yes");
+}
+
+TEST(UnreachableBlocksTest, RemovedAfterFolding) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.condbr(B::i(1), "yes", "no");
+  b.at("yes");
+  b.ret(B::i(1));
+  b.at("no");
+  b.ret(B::i(0));
+  b.end_function();
+
+  Function& f = m.function("main");
+  fold_constants(f);
+  TransformCounts c = remove_unreachable_blocks(f);
+  EXPECT_EQ(c.removed_blocks, 1);
+  EXPECT_EQ(f.blocks().size(), 2u);
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(MergeBlocksTest, StraightLineChainsCollapse) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.nop(1);
+  b.br("mid");
+  b.at("mid");
+  b.nop(1);
+  b.br("end");
+  b.at("end");
+  b.ret(B::i(0));
+  b.end_function();
+
+  TransformCounts c = merge_straightline_blocks(m.function("main"));
+  EXPECT_EQ(c.merged_blocks, 2);
+  EXPECT_EQ(m.function("main").blocks().size(), 1u);
+  EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(MergeBlocksTest, MultiplePredecessorsNotMerged) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 1);
+  b.condbr(B::r(0), "a", "b");
+  b.at("a");
+  b.br("join");
+  b.at("b");
+  b.br("join");
+  b.at("join");
+  b.ret(B::i(0));
+  b.end_function();
+
+  TransformCounts c = merge_straightline_blocks(m.function("main"));
+  EXPECT_EQ(c.merged_blocks, 0);
+}
+
+TEST(SimplifyTest, SemanticsPreserved) {
+  // A program with foldable branches must compute the same result before
+  // and after simplification.
+  auto build = [] {
+    Module m("t");
+    IRBuilder b(m);
+    b.begin_function("main", 0);
+    int flag = b.cmpeq(B::i(3), B::i(3));
+    b.condbr(B::r(flag), "taken", "nottaken");
+    b.at("taken");
+    int v = b.add(B::i(40), B::i(2));
+    b.ret(B::r(v));
+    b.at("nottaken");
+    b.ret(B::i(0));
+    b.end_function();
+    return m;
+  };
+
+  Module before = build();
+  Module after = build();
+  // Fold the flag's register use too: run fold + propagate manually by
+  // re-running simplify (register operands are not propagated, so the
+  // condbr stays — simplify still must not change behaviour).
+  simplify(after);
+  EXPECT_TRUE(verify(after).empty());
+
+  os::Kernel k1, k2;
+  os::Pid p1 = k1.spawn("p", caps::Credentials::of_user(1000, 1000), {});
+  os::Pid p2 = k2.spawn("p", caps::Credentials::of_user(1000, 1000), {});
+  vm::Interpreter i1(k1, before, p1), i2(k2, after, p2);
+  EXPECT_EQ(i1.run("main"), i2.run("main"));
+}
+
+TEST(SimplifyTest, CleansUpAfterAutoPrivStyleEdits) {
+  // Simulate an edge-split forwarding block and check it merges away.
+  Module m = [] {
+    Module mm("t");
+    IRBuilder b(mm);
+    b.begin_function("main", 0);
+    b.nop(2);
+    b.br("split");
+    b.at("split");
+    b.priv_remove({caps::Capability::Setuid});
+    b.br("cont");
+    b.at("cont");
+    b.exit(B::i(0));
+    b.end_function();
+    return mm;
+  }();
+  TransformCounts c = simplify(m);
+  EXPECT_GE(c.merged_blocks, 2);
+  EXPECT_EQ(m.function("main").blocks().size(), 1u);
+}
+
+TEST(DominatorsTest, Diamond) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 1);
+  b.condbr(B::r(0), "left", "right");   // 0
+  b.at("left");
+  b.br("join");                          // 1
+  b.at("right");
+  b.br("join");                          // 2
+  b.at("join");
+  b.ret(B::i(0));                        // 3
+  b.end_function();
+
+  DominatorTree dt(m.function("main"));
+  EXPECT_EQ(dt.idom(0), -1);
+  EXPECT_EQ(dt.idom(1), 0);
+  EXPECT_EQ(dt.idom(2), 0);
+  EXPECT_EQ(dt.idom(3), 0);  // join's idom is the branch, not a side
+  EXPECT_TRUE(dt.dominates(0, 3));
+  EXPECT_FALSE(dt.dominates(1, 3));
+  EXPECT_TRUE(dt.dominates(3, 3));
+}
+
+TEST(DominatorsTest, LoopBackEdge) {
+  Module m("t");
+  IRBuilder b(m);
+  b.begin_function("main", 0);
+  b.br("head");          // 0
+  b.at("head");
+  int c = b.cmp_lt(B::i(0), B::i(1));
+  b.condbr(B::r(c), "body", "done");  // 1
+  b.at("body");
+  b.br("head");          // 2
+  b.at("done");
+  b.ret(B::i(0));        // 3
+  b.end_function();
+
+  DominatorTree dt(m.function("main"));
+  EXPECT_EQ(dt.idom(1), 0);
+  EXPECT_EQ(dt.idom(2), 1);
+  EXPECT_EQ(dt.idom(3), 1);
+  EXPECT_TRUE(dt.dominates(1, 2));
+  EXPECT_FALSE(dt.dominates(2, 1));
+}
+
+TEST(DominatorsTest, RPOCoversReachableOnly) {
+  Module m("t");
+  Function& f = m.add_function("main", 0);
+  f.add_block("entry");
+  f.block(0).instructions.push_back(
+      {.op = Opcode::Ret, .operands = {Operand::imm(0)}});
+  f.add_block("orphan");
+  f.block(1).instructions.push_back(
+      {.op = Opcode::Ret, .operands = {Operand::imm(0)}});
+  f.resolve_labels();
+
+  DominatorTree dt(f);
+  EXPECT_EQ(dt.reverse_post_order().size(), 1u);
+  EXPECT_EQ(dt.idom(1), -1);
+}
+
+TEST(SimplifyTest, TransformedProgramsStillMeasureTheSame) {
+  // AutoPriv output -> simplify -> ChronoPriv must give identical epoch
+  // structure (simplification never moves a priv instruction across an
+  // epoch boundary; it only merges forwarding blocks).
+  programs::ProgramSpec spec = programs::make_ping();
+  ir::Module module = spec.module;
+  autopriv::run_autopriv(module);
+
+  ir::Module simplified = spec.module;  // rebuild & retransform
+  autopriv::run_autopriv(simplified);
+  simplify(simplified);
+  verify_or_throw(simplified);
+
+  auto run = [&](const ir::Module& mod) {
+    os::Kernel k = programs::make_standard_world();
+    os::Pid pid = programs::spawn_program(k, spec);
+    return chronopriv::run_instrumented(k, mod, pid, spec.args);
+  };
+  chronopriv::ChronoReport r1 = run(module);
+  chronopriv::ChronoReport r2 = run(simplified);
+  ASSERT_EQ(r1.rows.size(), r2.rows.size());
+  for (std::size_t i = 0; i < r1.rows.size(); ++i) {
+    EXPECT_EQ(r1.rows[i].key.permitted, r2.rows[i].key.permitted);
+    // Counts may differ slightly (merged branches), fractions barely.
+    EXPECT_NEAR(r1.rows[i].fraction, r2.rows[i].fraction, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace pa::ir

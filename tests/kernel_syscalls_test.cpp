@@ -1,0 +1,260 @@
+// Unit tests for the SimOS kernel syscall layer (os/kernel.h): errno
+// semantics, capability gating, credential transitions, signals, sockets.
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+
+namespace pa::os {
+namespace {
+
+using caps::Capability;
+using caps::CapSet;
+using caps::Credentials;
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    k.vfs().add_file("/etc/shadow", FileMeta{0, 42, Mode(0640)}, "secret");
+    k.vfs().add_device("/dev/mem", FileMeta{0, 15, Mode(0640)}, "mem");
+    k.vfs().add_file("/tmp/mine", FileMeta{1000, 1000, Mode(0644)}, "hello");
+    Ino tmp = *k.vfs().lookup("/tmp");
+    k.vfs().inode(tmp).meta = FileMeta{0, 0, Mode(01777)};
+  }
+
+  Pid spawn_user(CapSet permitted = {}) {
+    return k.spawn("proc", Credentials::of_user(1000, 1000), permitted);
+  }
+
+  Kernel k;
+};
+
+TEST_F(KernelTest, OpenReadOwnFile) {
+  Pid p = spawn_user();
+  SysResult fd = k.sys_open(p, "/tmp/mine", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  std::string buf;
+  SysResult n = k.sys_read(p, static_cast<Fd>(fd.value()), &buf, 5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, "hello");
+  EXPECT_TRUE(k.sys_close(p, static_cast<Fd>(fd.value())).ok());
+}
+
+TEST_F(KernelTest, OpenShadowDeniedThenGrantedByRaise) {
+  Pid p = spawn_user({Capability::DacReadSearch});
+  EXPECT_EQ(k.sys_open(p, "/etc/shadow", OpenFlags::kRead).error(),
+            Errno::Eacces);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::DacReadSearch}).ok());
+  EXPECT_TRUE(k.sys_open(p, "/etc/shadow", OpenFlags::kRead).ok());
+  k.priv_lower(p, {Capability::DacReadSearch});
+  EXPECT_EQ(k.sys_open(p, "/etc/shadow", OpenFlags::kRead).error(),
+            Errno::Eacces);
+}
+
+TEST_F(KernelTest, PrivRaiseOutsidePermittedIsEperm) {
+  Pid p = spawn_user({Capability::DacReadSearch});
+  EXPECT_EQ(k.priv_raise(p, {Capability::Chown}).error(), Errno::Eperm);
+}
+
+TEST_F(KernelTest, PrivRemoveBlocksFutureRaise) {
+  Pid p = spawn_user({Capability::DacReadSearch});
+  ASSERT_TRUE(k.priv_remove(p, {Capability::DacReadSearch}).ok());
+  EXPECT_EQ(k.priv_raise(p, {Capability::DacReadSearch}).error(),
+            Errno::Eperm);
+}
+
+TEST_F(KernelTest, ReadRequiresReadFlag) {
+  Pid p = spawn_user();
+  SysResult fd = k.sys_open(p, "/tmp/mine", OpenFlags::kWrite);
+  ASSERT_TRUE(fd.ok());
+  std::string buf;
+  EXPECT_EQ(k.sys_read(p, static_cast<Fd>(fd.value()), &buf, 5).error(),
+            Errno::Ebadf);
+}
+
+TEST_F(KernelTest, WriteAppendsAtOffset) {
+  Pid p = spawn_user();
+  SysResult fd =
+      k.sys_open(p, "/tmp/mine", OpenFlags::kWrite | OpenFlags::kTrunc);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(k.sys_write(p, static_cast<Fd>(fd.value()), "ab").ok());
+  ASSERT_TRUE(k.sys_write(p, static_cast<Fd>(fd.value()), "cd").ok());
+  EXPECT_EQ(k.vfs().inode(*k.vfs().lookup("/tmp/mine")).data, "abcd");
+}
+
+TEST_F(KernelTest, DeviceReadsAreBottomless) {
+  Pid p = spawn_user({Capability::DacOverride});
+  ASSERT_TRUE(k.priv_raise(p, {Capability::DacOverride}).ok());
+  SysResult fd = k.sys_open(p, "/dev/mem", OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  std::string buf;
+  EXPECT_EQ(k.sys_read(p, static_cast<Fd>(fd.value()), &buf, 4096).value(),
+            4096);
+}
+
+TEST_F(KernelTest, ChmodOwnerOnly) {
+  Pid p = spawn_user();
+  EXPECT_TRUE(k.sys_chmod(p, "/tmp/mine", Mode(0600)).ok());
+  EXPECT_EQ(k.sys_chmod(p, "/etc/shadow", Mode(0666)).error(), Errno::Eperm);
+}
+
+TEST_F(KernelTest, ChownClearsSetuidBits) {
+  Pid p = spawn_user({Capability::Chown});
+  ASSERT_TRUE(k.sys_chmod(p, "/tmp/mine", Mode(04755)).ok());
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Chown}).ok());
+  ASSERT_TRUE(k.sys_chown(p, "/tmp/mine", 0, 0).ok());
+  const FileMeta& meta = k.vfs().inode(*k.vfs().lookup("/tmp/mine")).meta;
+  EXPECT_EQ(meta.owner, 0);
+  EXPECT_FALSE(meta.mode.has(Mode::kSetuid));
+}
+
+TEST_F(KernelTest, SetuidPrivilegedViaCapability) {
+  Pid p = spawn_user({Capability::Setuid});
+  EXPECT_EQ(k.sys_setuid(p, 0).error(), Errno::Eperm);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Setuid}).ok());
+  ASSERT_TRUE(k.sys_setuid(p, 0).ok());
+  EXPECT_EQ(k.process(p).creds.uid, (caps::IdTriple{0, 0, 0}));
+}
+
+TEST_F(KernelTest, UidFixupAppliesWithoutStrictSecurebits) {
+  // Without the prctl, gaining euid 0 floods the effective set (the kernel
+  // backward-compatibility behaviour PrivAnalyzer disables).
+  Pid p = spawn_user({Capability::Setuid, Capability::Chown});
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Setuid}).ok());
+  ASSERT_TRUE(k.sys_setuid(p, 0).ok());
+  EXPECT_TRUE(
+      k.process(p).privs.effective().contains(Capability::Chown));
+}
+
+TEST_F(KernelTest, StrictSecurebitsStopUidFixup) {
+  Pid p = spawn_user({Capability::Setuid, Capability::Chown});
+  ASSERT_TRUE(k.sys_prctl(p, PrctlOp::SetSecurebitsStrict).ok());
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Setuid}).ok());
+  ASSERT_TRUE(k.sys_setuid(p, 0).ok());
+  EXPECT_FALSE(
+      k.process(p).privs.effective().contains(Capability::Chown));
+  EXPECT_TRUE(
+      k.process(p).privs.permitted().contains(Capability::Chown));
+}
+
+TEST_F(KernelTest, SetresuidPlantsSavedCredentials) {
+  Pid p = spawn_user({Capability::Setuid});
+  ASSERT_TRUE(k.sys_prctl(p, PrctlOp::SetSecurebitsStrict).ok());
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Setuid}).ok());
+  ASSERT_TRUE(k.sys_setresuid(p, 1000, 998, 1001).ok());
+  k.priv_lower(p, {Capability::Setuid});
+  k.priv_remove(p, {Capability::Setuid});
+  // Unprivileged swap among the planted ids still works.
+  ASSERT_TRUE(k.sys_setresuid(p, 1001, 1001, 1001).ok());
+  EXPECT_EQ(k.process(p).creds.uid, (caps::IdTriple{1001, 1001, 1001}));
+  // But nothing outside the planted set.
+  EXPECT_EQ(k.sys_setresuid(p, 0, -1, -1).error(), Errno::Eperm);
+}
+
+TEST_F(KernelTest, SetgroupsNeedsSetgid) {
+  Pid p = spawn_user({Capability::Setgid});
+  EXPECT_EQ(k.sys_setgroups(p, {15}).error(), Errno::Eperm);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Setgid}).ok());
+  ASSERT_TRUE(k.sys_setgroups(p, {15}).ok());
+  EXPECT_TRUE(k.process(p).creds.in_group(15));
+}
+
+TEST_F(KernelTest, KillPermissionAndDelivery) {
+  Pid victim = k.spawn("victim", Credentials::of_user(109, 109), {});
+  Pid p = spawn_user({Capability::Kill});
+  EXPECT_EQ(k.sys_kill(p, victim, kSigKill).error(), Errno::Eperm);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::Kill}).ok());
+  ASSERT_TRUE(k.sys_kill(p, victim, kSigKill).ok());
+  EXPECT_FALSE(k.process(victim).alive());
+  // Killing a zombie is ESRCH.
+  EXPECT_EQ(k.sys_kill(p, victim, kSigKill).error(), Errno::Esrch);
+}
+
+TEST_F(KernelTest, SignalZeroProbes) {
+  Pid victim = k.spawn("victim", Credentials::of_user(1000, 1000), {});
+  Pid p = spawn_user();
+  EXPECT_TRUE(k.sys_kill(p, victim, 0).ok());
+  EXPECT_TRUE(k.process(victim).alive());
+}
+
+TEST_F(KernelTest, HandledSignalQueuesInsteadOfKilling) {
+  Pid victim = k.spawn("victim", Credentials::of_user(1000, 1000), {});
+  ASSERT_TRUE(k.sys_signal(victim, kSigTerm, "on_term").ok());
+  Pid p = spawn_user();
+  ASSERT_TRUE(k.sys_kill(p, victim, kSigTerm).ok());
+  EXPECT_TRUE(k.process(victim).alive());
+  ASSERT_EQ(k.process(victim).pending_signals.size(), 1u);
+  EXPECT_EQ(k.process(victim).pending_signals[0], kSigTerm);
+}
+
+TEST_F(KernelTest, SigkillCannotBeHandled) {
+  Pid victim = k.spawn("victim", Credentials::of_user(1000, 1000), {});
+  EXPECT_EQ(k.sys_signal(victim, kSigKill, "nope").error(), Errno::Einval);
+}
+
+TEST_F(KernelTest, RawSocketGatedByNetRaw) {
+  Pid p = spawn_user({Capability::NetRaw});
+  EXPECT_EQ(k.sys_socket(p, SockType::Raw).error(), Errno::Eperm);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::NetRaw}).ok());
+  EXPECT_TRUE(k.sys_socket(p, SockType::Raw).ok());
+}
+
+TEST_F(KernelTest, BindPrivilegedPortGatedAndExclusive) {
+  Pid p = spawn_user({Capability::NetBindService});
+  SysResult s = k.sys_socket(p, SockType::Stream);
+  ASSERT_TRUE(s.ok());
+  Fd fd = static_cast<Fd>(s.value());
+  EXPECT_EQ(k.sys_bind(p, fd, 80).error(), Errno::Eacces);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::NetBindService}).ok());
+  ASSERT_TRUE(k.sys_bind(p, fd, 80).ok());
+  // Second bind on the same socket fails; same port elsewhere is in use.
+  EXPECT_EQ(k.sys_bind(p, fd, 81).error(), Errno::Einval);
+  SysResult s2 = k.sys_socket(p, SockType::Stream);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(k.sys_bind(p, static_cast<Fd>(s2.value()), 80).error(),
+            Errno::Eaddrinuse);
+  EXPECT_EQ(k.net().port_owner(80), p);
+}
+
+TEST_F(KernelTest, SetsockoptAdminGated) {
+  Pid p = spawn_user({Capability::NetAdmin});
+  SysResult s = k.sys_socket(p, SockType::Stream);
+  ASSERT_TRUE(s.ok());
+  Fd fd = static_cast<Fd>(s.value());
+  EXPECT_EQ(k.sys_setsockopt(p, fd, "SO_DEBUG", 1).error(), Errno::Eperm);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::NetAdmin}).ok());
+  EXPECT_TRUE(k.sys_setsockopt(p, fd, "SO_DEBUG", 1).ok());
+  EXPECT_TRUE(k.sys_setsockopt(p, fd, "SO_REUSEADDR", 1).ok());
+  EXPECT_EQ(k.sys_setsockopt(p, fd, "SO_BOGUS", 1).error(), Errno::Einval);
+}
+
+TEST_F(KernelTest, ChrootGated) {
+  Pid p = spawn_user({Capability::SysChroot});
+  k.vfs().mkdirs("/jail");
+  EXPECT_EQ(k.sys_chroot(p, "/jail").error(), Errno::Eperm);
+  ASSERT_TRUE(k.priv_raise(p, {Capability::SysChroot}).ok());
+  ASSERT_TRUE(k.sys_chroot(p, "/jail").ok());
+  EXPECT_EQ(k.process(p).root, *k.vfs().lookup("/jail"));
+}
+
+TEST_F(KernelTest, StatReportsMeta) {
+  Pid p = spawn_user();
+  FileMeta meta;
+  ASSERT_TRUE(k.sys_stat(p, "/etc/shadow", &meta).ok());
+  EXPECT_EQ(meta.owner, 0);
+  EXPECT_EQ(meta.group, 42);
+}
+
+TEST_F(KernelTest, CloseOfBadFd) {
+  Pid p = spawn_user();
+  EXPECT_EQ(k.sys_close(p, 42).error(), Errno::Ebadf);
+}
+
+TEST_F(KernelTest, SyscallCountsAccumulate) {
+  Pid p = spawn_user();
+  k.sys_open(p, "/tmp/mine", OpenFlags::kRead);
+  k.sys_open(p, "/tmp/mine", OpenFlags::kRead);
+  EXPECT_EQ(k.syscall_counts().at("open"), 2);
+}
+
+}  // namespace
+}  // namespace pa::os

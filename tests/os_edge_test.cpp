@@ -1,0 +1,134 @@
+// Edge-case coverage for SimOS corners not exercised elsewhere: descriptor
+// exhaustion, socket lifecycle, read offsets, chroot bookkeeping, signal
+// queues, and PrivState rendering.
+#include <gtest/gtest.h>
+
+#include "os/kernel.h"
+
+namespace pa::os {
+namespace {
+
+using caps::Capability;
+using caps::Credentials;
+
+TEST(OsEdgeTest, ClosingSocketReleasesPort) {
+  Kernel k;
+  Pid p = k.spawn("p", Credentials::of_user(1000, 1000), {});
+  SysResult s = k.sys_socket(p, SockType::Stream);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(k.sys_bind(p, static_cast<Fd>(s.value()), 8080).ok());
+  EXPECT_TRUE(k.net().port_in_use(8080));
+  ASSERT_TRUE(k.sys_close(p, static_cast<Fd>(s.value())).ok());
+  EXPECT_FALSE(k.net().port_in_use(8080));
+  // Port is reusable afterwards.
+  SysResult s2 = k.sys_socket(p, SockType::Stream);
+  EXPECT_TRUE(k.sys_bind(p, static_cast<Fd>(s2.value()), 8080).ok());
+}
+
+TEST(OsEdgeTest, DescriptorExhaustion) {
+  Kernel k;
+  k.vfs().add_file("/f", FileMeta{1000, 1000, Mode(0644)}, "x");
+  Pid p = k.spawn("p", Credentials::of_user(1000, 1000), {});
+  SysResult last = 0;
+  for (int i = 0; i < 300; ++i) {
+    last = k.sys_open(p, "/f", OpenFlags::kRead);
+    if (!last.ok()) break;
+  }
+  EXPECT_EQ(last.error(), Errno::Emfile);
+  // Sockets hit the same table limit.
+  EXPECT_EQ(k.sys_socket(p, SockType::Stream).error(), Errno::Emfile);
+}
+
+TEST(OsEdgeTest, ReadAdvancesOffsetToEof) {
+  Kernel k;
+  k.vfs().add_file("/f", FileMeta{1000, 1000, Mode(0644)}, "abcdef");
+  Pid p = k.spawn("p", Credentials::of_user(1000, 1000), {});
+  Fd fd = static_cast<Fd>(k.sys_open(p, "/f", OpenFlags::kRead).value());
+  std::string buf;
+  EXPECT_EQ(k.sys_read(p, fd, &buf, 4).value(), 4);
+  EXPECT_EQ(buf, "abcd");
+  EXPECT_EQ(k.sys_read(p, fd, &buf, 4).value(), 2);
+  EXPECT_EQ(buf, "ef");
+  EXPECT_EQ(k.sys_read(p, fd, &buf, 4).value(), 0);  // EOF
+}
+
+TEST(OsEdgeTest, WriteThenReadThroughSeparateFds) {
+  Kernel k;
+  os::Ino home = k.vfs().mkdirs("/home");
+  k.vfs().inode(home).meta = FileMeta{1000, 1000, Mode(0755)};
+  Pid p = k.spawn("p", Credentials::of_user(1000, 1000), {});
+  Fd w = static_cast<Fd>(
+      k.sys_open(p, "/home/f", OpenFlags::kWrite | OpenFlags::kCreate)
+          .value());
+  ASSERT_TRUE(k.sys_write(p, w, "hello").ok());
+  Fd r = static_cast<Fd>(k.sys_open(p, "/home/f", OpenFlags::kRead).value());
+  std::string buf;
+  EXPECT_EQ(k.sys_read(p, r, &buf, 10).value(), 5);
+  EXPECT_EQ(buf, "hello");
+}
+
+TEST(OsEdgeTest, TruncRequiresWriteToHaveEffect) {
+  Kernel k;
+  k.vfs().add_file("/f", FileMeta{1000, 1000, Mode(0644)}, "data");
+  Pid p = k.spawn("p", Credentials::of_user(1000, 1000), {});
+  ASSERT_TRUE(
+      k.sys_open(p, "/f", OpenFlags::kWrite | OpenFlags::kTrunc).ok());
+  EXPECT_TRUE(k.vfs().inode(*k.vfs().lookup("/f")).data.empty());
+}
+
+TEST(OsEdgeTest, SignalQueueOrderPreserved) {
+  Kernel k;
+  Pid victim = k.spawn("v", Credentials::of_user(1000, 1000), {});
+  ASSERT_TRUE(k.sys_signal(victim, kSigTerm, "on_term").ok());
+  ASSERT_TRUE(k.sys_signal(victim, kSigHup, "on_hup").ok());
+  Pid sender = k.spawn("s", Credentials::of_user(1000, 1000), {});
+  ASSERT_TRUE(k.sys_kill(sender, victim, kSigHup).ok());
+  ASSERT_TRUE(k.sys_kill(sender, victim, kSigTerm).ok());
+  ASSERT_EQ(k.process(victim).pending_signals.size(), 2u);
+  EXPECT_EQ(k.process(victim).pending_signals[0], kSigHup);
+  EXPECT_EQ(k.process(victim).pending_signals[1], kSigTerm);
+}
+
+TEST(OsEdgeTest, KillZeroProbeRespectsPermissions) {
+  Kernel k;
+  Pid victim = k.spawn("v", Credentials::of_user(109, 109), {});
+  Pid sender = k.spawn("s", Credentials::of_user(1000, 1000), {});
+  EXPECT_EQ(k.sys_kill(sender, victim, 0).error(), Errno::Eperm);
+}
+
+TEST(OsEdgeTest, ChrootRecordsJail) {
+  Kernel k;
+  k.vfs().mkdirs("/jail/www");
+  Pid p = k.spawn("p", Credentials::of_user(1000, 1000),
+                  {Capability::SysChroot});
+  ASSERT_TRUE(k.priv_raise(p, {Capability::SysChroot}).ok());
+  ASSERT_TRUE(k.sys_chroot(p, "/jail").ok());
+  EXPECT_EQ(k.process(p).root, *k.vfs().lookup("/jail"));
+  // chroot to a file fails.
+  k.vfs().add_file("/plain", FileMeta{0, 0, Mode(0644)});
+  EXPECT_EQ(k.sys_chroot(p, "/plain").error(), Errno::Enotdir);
+}
+
+TEST(OsEdgeTest, PrivStateToStringAndIdTripleHelpers) {
+  caps::PrivState ps({Capability::Setuid},
+                     {Capability::Setuid, Capability::Chown});
+  std::string s = ps.to_string();
+  EXPECT_NE(s.find("eff={CapSetuid}"), std::string::npos);
+  EXPECT_NE(s.find("CapChown"), std::string::npos);
+
+  Credentials c = Credentials::of_user(5, 6);
+  c.set_supplementary({9, 7});
+  EXPECT_EQ(c.to_string(), "uid=5,5,5 gid=6,6,6 groups=7,9");
+}
+
+TEST(OsEdgeTest, SpawnedProcessesGetDistinctPids) {
+  Kernel k;
+  Pid a = k.spawn("a", Credentials::of_user(1, 1), {});
+  Pid b = k.spawn("b", Credentials::of_user(1, 1), {});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(k.find_process("b"), b);
+  EXPECT_EQ(k.find_process("zzz"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace pa::os

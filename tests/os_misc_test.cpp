@@ -1,0 +1,134 @@
+// Tests for dup(2), access(2), umask(2), and the richer AutoPriv report
+// (remove-site listing) plus the textual attacker directive.
+#include <gtest/gtest.h>
+
+#include "autopriv/report.h"
+#include "ir/builder.h"
+#include "os/kernel.h"
+#include "rosa/text.h"
+
+namespace pa {
+namespace {
+
+using caps::Capability;
+using caps::Credentials;
+
+class OsMiscTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    os::Ino home = k.vfs().mkdirs("/home");
+    k.vfs().inode(home).meta = os::FileMeta{1000, 1000, os::Mode(0755)};
+    k.vfs().add_file("/home/f", os::FileMeta{1000, 1000, os::Mode(0640)},
+                     "data");
+    pid = k.spawn("p", Credentials::of_user(1000, 1000), {});
+  }
+  os::Kernel k;
+  os::Pid pid = 0;
+};
+
+TEST_F(OsMiscTest, DupClonesDescriptor) {
+  os::SysResult fd = k.sys_open(pid, "/home/f", os::OpenFlags::kRead);
+  ASSERT_TRUE(fd.ok());
+  os::SysResult dup = k.sys_dup(pid, static_cast<os::Fd>(fd.value()));
+  ASSERT_TRUE(dup.ok());
+  EXPECT_NE(dup.value(), fd.value());
+  std::string buf;
+  EXPECT_TRUE(k.sys_read(pid, static_cast<os::Fd>(dup.value()), &buf, 4).ok());
+  EXPECT_EQ(buf, "data");
+  // Closing the original leaves the dup usable.
+  ASSERT_TRUE(k.sys_close(pid, static_cast<os::Fd>(fd.value())).ok());
+  EXPECT_TRUE(k.sys_read(pid, static_cast<os::Fd>(dup.value()), &buf, 1).ok());
+  EXPECT_EQ(k.sys_dup(pid, 99).error(), os::Errno::Ebadf);
+}
+
+TEST_F(OsMiscTest, AccessUsesRealIds) {
+  // A "setuid" process whose euid can read /home/f but whose REAL uid (the
+  // invoker) cannot: access(2) must deny.
+  k.process(pid).creds.uid = {2000, 1000, 1000};  // real 2000, effective 1000
+  k.process(pid).creds.gid = {2000, 2000, 2000};
+  EXPECT_EQ(k.sys_access(pid, "/home/f", 4).error(), os::Errno::Eacces);
+  // open(2) with the effective uid still works.
+  EXPECT_TRUE(k.sys_open(pid, "/home/f", os::OpenFlags::kRead).ok());
+  // Existence probe (mode 0) succeeds either way.
+  EXPECT_TRUE(k.sys_access(pid, "/home/f", 0).ok());
+  EXPECT_EQ(k.sys_access(pid, "/home/nope", 0).error(), os::Errno::Enoent);
+}
+
+TEST_F(OsMiscTest, AccessChecksEachRequestedBit) {
+  EXPECT_TRUE(k.sys_access(pid, "/home/f", 4).ok());   // owner r
+  EXPECT_TRUE(k.sys_access(pid, "/home/f", 6).ok());   // owner rw
+  EXPECT_EQ(k.sys_access(pid, "/home/f", 1).error(),   // no x bit
+            os::Errno::Eacces);
+}
+
+TEST_F(OsMiscTest, UmaskMasksCreatedModes) {
+  // Default umask 022.
+  os::SysResult fd = k.sys_open(pid, "/home/new1",
+                                os::OpenFlags::kWrite | os::OpenFlags::kCreate,
+                                os::Mode(0666));
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(k.vfs().inode(*k.vfs().lookup("/home/new1")).meta.mode,
+            os::Mode(0644));
+
+  os::SysResult old = k.sys_umask(pid, os::Mode(0077));
+  ASSERT_TRUE(old.ok());
+  EXPECT_EQ(old.value(), 0022);
+  fd = k.sys_open(pid, "/home/new2",
+                  os::OpenFlags::kWrite | os::OpenFlags::kCreate,
+                  os::Mode(0666));
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(k.vfs().inode(*k.vfs().lookup("/home/new2")).meta.mode,
+            os::Mode(0600));
+}
+
+TEST(RemoveSitesTest, ReportListsDeadPoints) {
+  ir::Module m("t");
+  ir::IRBuilder b(m);
+  using B = ir::IRBuilder;
+  b.begin_function("main", 0);
+  b.priv_raise({Capability::Setuid});
+  b.syscall("setuid", {B::i(0)});
+  b.priv_lower({Capability::Setuid});
+  b.nop(3);
+  b.exit(B::i(0));
+  b.end_function();
+
+  autopriv::StaticReport report = autopriv::run_autopriv(m);
+  ASSERT_FALSE(report.stats.sites.empty());
+  bool found = false;
+  for (const autopriv::RemoveSite& s : report.stats.sites)
+    found |= s.caps.contains(Capability::Setuid);
+  EXPECT_TRUE(found);
+  EXPECT_NE(report.to_string().find("dead points"), std::string::npos);
+}
+
+TEST(TextAttackerTest, DirectiveParsed) {
+  const char* base =
+      "process 1 uid 10 10 10 gid 10 10 10\n"
+      "file 3 \"f\" perms --------- owner 40 group 41\n"
+      "msg chown(1, 3, 10, 41, {CapChown})\n"
+      "msg chmod(1, 3, 0777, {})\n"
+      "msg open(1, 3, r, {})\n"
+      "goal rdfset 1 contains 3\n";
+
+  rosa::Query plain = rosa::parse_query(base);
+  EXPECT_EQ(plain.attacker, rosa::AttackerModel::Full);
+
+  rosa::Query cfi = rosa::parse_query(std::string(base) +
+                                      "attacker cfi-ordered\n");
+  EXPECT_EQ(cfi.attacker, rosa::AttackerModel::CfiOrdered);
+  // Program order == attack order, so still reachable.
+  EXPECT_EQ(rosa::search(cfi).verdict, rosa::Verdict::Reachable);
+
+  rosa::Query fixed = rosa::parse_query(std::string(base) +
+                                        "attacker fixed-args\n");
+  EXPECT_EQ(fixed.attacker, rosa::AttackerModel::FixedArgs);
+
+  std::string err;
+  EXPECT_FALSE(rosa::try_parse_query(
+      std::string(base) + "attacker quantum\n", &err));
+  EXPECT_NE(err.find("quantum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pa

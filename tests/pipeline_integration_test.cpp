@@ -1,0 +1,165 @@
+// End-to-end integration tests: the full AutoPriv -> ChronoPriv -> ROSA
+// pipeline must reproduce the qualitative structure of the paper's
+// Table III (baseline programs) and Table V (refactored programs).
+#include <gtest/gtest.h>
+
+#include "privanalyzer/render.h"
+
+namespace pa::privanalyzer {
+namespace {
+
+using attacks::CellVerdict;
+using caps::Capability;
+
+const PipelineOptions& fast_options() {
+  static PipelineOptions opts = [] {
+    PipelineOptions o;
+    o.rosa_limits.max_states = 500'000;
+    return o;
+  }();
+  return opts;
+}
+
+/// Shared analyses (each program runs once per test binary).
+const ProgramAnalysis& passwd_analysis() {
+  static ProgramAnalysis a =
+      analyze_program(programs::make_passwd(), fast_options());
+  return a;
+}
+const ProgramAnalysis& su_analysis() {
+  static ProgramAnalysis a =
+      analyze_program(programs::make_su(), fast_options());
+  return a;
+}
+const ProgramAnalysis& ping_analysis() {
+  static ProgramAnalysis a =
+      analyze_program(programs::make_ping(), fast_options());
+  return a;
+}
+const ProgramAnalysis& passwd_ref_analysis() {
+  static ProgramAnalysis a =
+      analyze_program(programs::make_passwd_refactored(), fast_options());
+  return a;
+}
+const ProgramAnalysis& su_ref_analysis() {
+  static ProgramAnalysis a =
+      analyze_program(programs::make_su_refactored(), fast_options());
+  return a;
+}
+
+TEST(TableIII, PingInvulnerableEverywhere) {
+  const ProgramAnalysis& a = ping_analysis();
+  ASSERT_EQ(a.verdicts.size(), a.chrono.rows.size());
+  for (const attacks::EpochVerdicts& v : a.verdicts)
+    for (CellVerdict cv : v.verdicts)
+      EXPECT_EQ(cv, CellVerdict::Safe) << v.epoch_name;
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(a.vulnerable_fraction(i), 0.0);
+}
+
+TEST(TableIII, PasswdVulnerableForMostOfExecution) {
+  const ProgramAnalysis& a = passwd_analysis();
+  // Attacks 1, 2, 4 feasible during the big Setuid epoch (paper: >= 63%).
+  EXPECT_GT(a.vulnerable_fraction(0), 0.6);
+  EXPECT_GT(a.vulnerable_fraction(1), 0.6);
+  EXPECT_GT(a.vulnerable_fraction(3), 0.6);
+  // Attack 3 (bind privileged port) never: passwd has no socket syscalls.
+  EXPECT_DOUBLE_EQ(a.vulnerable_fraction(2), 0.0);
+}
+
+TEST(TableIII, PasswdPerEpochVerdicts) {
+  const ProgramAnalysis& a = passwd_analysis();
+  ASSERT_EQ(a.verdicts.size(), 5u);
+  // Epoch 1 (all caps, user creds): attacks 1, 2, 4 feasible; 3 never.
+  EXPECT_EQ(a.verdicts[0].verdicts[0], CellVerdict::Vulnerable);
+  EXPECT_EQ(a.verdicts[0].verdicts[1], CellVerdict::Vulnerable);
+  EXPECT_EQ(a.verdicts[0].verdicts[2], CellVerdict::Safe);
+  EXPECT_EQ(a.verdicts[0].verdicts[3], CellVerdict::Vulnerable);
+  // Epoch 4 (Chown,Fowner,DacOverride @ root): 1, 2 yes, 4 no (no Setuid,
+  // no Kill — the victim daemon has a different uid).
+  EXPECT_EQ(a.verdicts[3].verdicts[0], CellVerdict::Vulnerable);
+  EXPECT_EQ(a.verdicts[3].verdicts[1], CellVerdict::Vulnerable);
+  EXPECT_EQ(a.verdicts[3].verdicts[3], CellVerdict::Safe);
+}
+
+TEST(TableIII, SuVulnerableUntilPrivilegesDropped) {
+  const ProgramAnalysis& a = su_analysis();
+  // Paper: vulnerable to 1, 2, 4 for ~88% of execution.
+  EXPECT_GT(a.vulnerable_fraction(0), 0.8);
+  EXPECT_GT(a.vulnerable_fraction(1), 0.8);
+  EXPECT_GT(a.vulnerable_fraction(3), 0.8);
+  EXPECT_DOUBLE_EQ(a.vulnerable_fraction(2), 0.0);
+  // Final epoch (empty set, target user): safe everywhere.
+  const attacks::EpochVerdicts& last = a.verdicts.back();
+  for (CellVerdict cv : last.verdicts) EXPECT_EQ(cv, CellVerdict::Safe);
+}
+
+TEST(TableV, RefactoredPasswdMostlySafe) {
+  const ProgramAnalysis& a = passwd_ref_analysis();
+  // Paper: invulnerable to all modeled attacks for ~96% of execution.
+  ExposureSummary s = exposure_of(a);
+  EXPECT_LT(s.any_attack, 0.05);
+  // The final (dominant) epoch is fully safe.
+  const attacks::EpochVerdicts& last = a.verdicts.back();
+  for (CellVerdict cv : last.verdicts) EXPECT_EQ(cv, CellVerdict::Safe);
+  // Attack 3 never feasible.
+  EXPECT_DOUBLE_EQ(a.vulnerable_fraction(2), 0.0);
+}
+
+TEST(TableV, RefactoredSuMostlySafe) {
+  const ProgramAnalysis& a = su_ref_analysis();
+  ExposureSummary s = exposure_of(a);
+  // Paper: vulnerable windows total ~1% (the brief planting windows).
+  EXPECT_LT(s.any_attack, 0.05);
+  EXPECT_DOUBLE_EQ(a.vulnerable_fraction(2), 0.0);
+}
+
+TEST(TableV, RefactoringShrinksExposureDramatically) {
+  // The paper's headline: 97%/88% -> 4%/1%.
+  ExposureSummary before_p = exposure_of(passwd_analysis());
+  ExposureSummary after_p = exposure_of(passwd_ref_analysis());
+  EXPECT_GT(before_p.any_attack, 0.6);
+  EXPECT_LT(after_p.any_attack, 0.1);
+
+  ExposureSummary before_s = exposure_of(su_analysis());
+  ExposureSummary after_s = exposure_of(su_ref_analysis());
+  EXPECT_GT(before_s.any_attack, 0.8);
+  EXPECT_LT(after_s.any_attack, 0.1);
+}
+
+TEST(Pipeline, AutoPrivReportsRemovals) {
+  const ProgramAnalysis& a = passwd_analysis();
+  EXPECT_TRUE(a.autopriv_report.stats.prctl_inserted);
+  EXPECT_GT(a.autopriv_report.stats.removes_inserted, 2);
+  EXPECT_FALSE(
+      a.autopriv_report.stats.removed_at_entry.contains(Capability::Setuid));
+  EXPECT_TRUE(
+      a.autopriv_report.stats.removed_at_entry.contains(Capability::SysAdmin));
+}
+
+TEST(Pipeline, RendersTables) {
+  std::string t1 = render_attack_table();
+  EXPECT_NE(t1.find("/dev/mem"), std::string::npos);
+
+  std::vector<ProgramAnalysis> analyses = {passwd_analysis()};
+  std::string t3 = render_efficacy_table(analyses, "Table III (excerpt)");
+  EXPECT_NE(t3.find("passwd_priv1"), std::string::npos);
+  EXPECT_NE(t3.find("CapSetuid"), std::string::npos);
+
+  std::string t4 = render_refactor_diff_table();
+  EXPECT_NE(t4.find("passwd"), std::string::npos);
+
+  std::string t2 = render_program_table({programs::make_ping()});
+  EXPECT_NE(t2.find("ping"), std::string::npos);
+}
+
+TEST(Pipeline, ChronoOnlySkipsRosa) {
+  PipelineOptions opts;
+  opts.run_rosa = false;
+  ProgramAnalysis a = analyze_program(programs::make_ping(), opts);
+  EXPECT_TRUE(a.verdicts.empty());
+  EXPECT_FALSE(a.chrono.rows.empty());
+}
+
+}  // namespace
+}  // namespace pa::privanalyzer

@@ -1,0 +1,269 @@
+// Tests for ROSA's transition rules: per-syscall privileged and
+// unprivileged behaviour (the C++ analogue of the paper's Maude test suite,
+// which "verifies that a subset of the system calls ... exhibit the expected
+// behavior for privileged and unprivileged operation").
+#include <gtest/gtest.h>
+
+#include "rosa/rules.h"
+
+namespace pa::rosa {
+namespace {
+
+using caps::Capability;
+using caps::CapSet;
+
+constexpr int kProc = 1;
+constexpr int kMem = 3;
+constexpr int kDir = 4;
+
+State base_state() {
+  State st;
+  ProcObj p;
+  p.id = kProc;
+  p.uid = {1000, 1000, 1000};
+  p.gid = {1000, 1000, 1000};
+  st.procs.push_back(p);
+  st.files.push_back(FileObj{kMem, "/dev/mem", {0, 15, os::Mode(0640)}});
+  st.dirs.push_back(DirObj{kDir, "/dev", {0, 0, os::Mode(0755)}, kMem});
+  st.users = {0, 1000};
+  st.groups = {0, 15, 1000};
+  st.normalize();
+  return st;
+}
+
+TEST(OpenRule, UnprivilegedDenied) {
+  State st = base_state();
+  auto ts = apply_message(st, msg_open(kProc, kMem, kAccRead, {}));
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(OpenRule, DacReadSearchGrantsReadNotWrite) {
+  State st = base_state();
+  auto r = apply_message(
+      st, msg_open(kProc, kMem, kAccRead, {Capability::DacReadSearch}));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r[0].next.find_proc(kProc)->rdfset.contains(kMem));
+  auto w = apply_message(
+      st, msg_open(kProc, kMem, kAccWrite, {Capability::DacReadSearch}));
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(OpenRule, WildcardFileAndMode) {
+  State st = base_state();
+  st.files.push_back(FileObj{5, "/pub", {1000, 1000, os::Mode(0644)}});
+  st.dirs.push_back(DirObj{6, "/", {0, 0, os::Mode(0755)}, 5});
+  st.normalize();
+  auto ts = apply_message(st, msg_open(kProc, kWild, kWild, {}));
+  // Only the owned file opens, in r, w and rw modes (3 distinct successors).
+  EXPECT_EQ(ts.size(), 3u);
+  for (const Transition& t : ts)
+    EXPECT_FALSE(t.next.find_proc(kProc)->rdfset.contains(kMem));
+}
+
+TEST(OpenRule, OwnerOpensOwnFile) {
+  State st = base_state();
+  st.find_file(kMem)->meta = {1000, 1000, os::Mode(0600)};
+  auto ts = apply_message(st, msg_open(kProc, kMem, kAccRead, {}));
+  ASSERT_EQ(ts.size(), 1u);
+}
+
+TEST(OpenRule, UnlinkedFileIsUnreachable) {
+  State st = base_state();
+  st.find_file(kMem)->meta = {1000, 1000, os::Mode(0644)};
+  st.find_dir(kDir)->inode = -1;  // entry removed
+  EXPECT_TRUE(apply_message(st, msg_open(kProc, kMem, kAccRead, {})).empty());
+}
+
+TEST(OpenRule, SearchPermissionOnParentRequired) {
+  State st = base_state();
+  st.find_file(kMem)->meta = {1000, 1000, os::Mode(0644)};
+  st.find_dir(kDir)->meta = {0, 0, os::Mode(0700)};  // no search for users
+  EXPECT_TRUE(apply_message(st, msg_open(kProc, kMem, kAccRead, {})).empty());
+  auto ts = apply_message(
+      st, msg_open(kProc, kMem, kAccRead, {Capability::DacReadSearch}));
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(ChmodRule, NeedsOwnershipOrFowner) {
+  State st = base_state();
+  EXPECT_TRUE(apply_message(st, msg_chmod(kProc, kMem, 0777, {})).empty());
+  auto ts =
+      apply_message(st, msg_chmod(kProc, kMem, 0777, {Capability::Fowner}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.find_file(kMem)->meta.mode, os::Mode(0777));
+}
+
+TEST(ChmodRule, NoopModeChangeYieldsNoTransition) {
+  State st = base_state();
+  auto ts =
+      apply_message(st, msg_chmod(kProc, kMem, 0640, {Capability::Fowner}));
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(FchmodRule, RequiresOpenFile) {
+  State st = base_state();
+  EXPECT_TRUE(
+      apply_message(st, msg_fchmod(kProc, kMem, 0777, {Capability::Fowner}))
+          .empty());
+  st.find_proc(kProc)->rdfset.insert(kMem);
+  EXPECT_EQ(apply_message(st, msg_fchmod(kProc, kMem, 0777,
+                                         {Capability::Fowner}))
+                .size(),
+            1u);
+}
+
+TEST(ChownRule, CapChownWildcardsOverUsersAndGroups) {
+  State st = base_state();
+  auto ts = apply_message(
+      st, msg_chown(kProc, kMem, kWild, kWild, {Capability::Chown}));
+  // 2 users x 3 groups minus the no-op (0,15) = 5 successors.
+  EXPECT_EQ(ts.size(), 5u);
+}
+
+TEST(ChownRule, UnprivilegedDenied) {
+  State st = base_state();
+  EXPECT_TRUE(
+      apply_message(st, msg_chown(kProc, kMem, 1000, 1000, {})).empty());
+}
+
+TEST(ChownRule, ClearsSetuidBit) {
+  State st = base_state();
+  st.find_file(kMem)->meta.mode = os::Mode(04755);
+  auto ts = apply_message(
+      st, msg_chown(kProc, kMem, 1000, 15, {Capability::Chown}));
+  ASSERT_FALSE(ts.empty());
+  EXPECT_FALSE(ts[0].next.find_file(kMem)->meta.mode.has(os::Mode::kSetuid));
+}
+
+TEST(UnlinkRule, RemovesDirectoryEntry) {
+  State st = base_state();
+  auto ts =
+      apply_message(st, msg_unlink(kProc, kMem, {Capability::DacOverride}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.find_dir(kDir)->inode, -1);
+  EXPECT_TRUE(apply_message(st, msg_unlink(kProc, kMem, {})).empty());
+}
+
+TEST(RenameRule, RedirectsTargetEntry) {
+  State st = base_state();
+  st.files.push_back(FileObj{5, "/dev/fake", {1000, 1000, os::Mode(0644)}});
+  st.dirs.push_back(DirObj{6, "/devB", {1000, 1000, os::Mode(0755)}, 5});
+  st.normalize();
+  // Unprivileged rename of mem over fake fails (no write perm on /dev).
+  EXPECT_TRUE(apply_message(st, msg_rename(kProc, kMem, 5, {})).empty());
+  auto ts = apply_message(
+      st, msg_rename(kProc, kMem, 5, {Capability::DacOverride}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.find_dir(6)->inode, kMem);
+  EXPECT_EQ(ts[0].next.find_dir(kDir)->inode, -1);
+}
+
+TEST(SetuidRule, PrivilegedReachesAnyUser) {
+  State st = base_state();
+  auto ts = apply_message(st, msg_setuid(kProc, kWild, {Capability::Setuid}));
+  // users pool {0, 1000}: only 0 changes state.
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.find_proc(kProc)->uid, (caps::IdTriple{0, 0, 0}));
+}
+
+TEST(SetuidRule, UnprivilegedOnlyRealOrSaved) {
+  State st = base_state();
+  st.find_proc(kProc)->uid = {1000, 998, 1001};
+  st.users = {0, 998, 1000, 1001};
+  auto ts = apply_message(st, msg_setuid(kProc, kWild, {}));
+  // seteuid-style effective moves to 1000 or 1001 (998 is already e).
+  EXPECT_EQ(ts.size(), 2u);
+  for (const auto& t : ts)
+    EXPECT_NE(t.next.find_proc(kProc)->uid.effective, 0);
+}
+
+TEST(SetresgidRule, KeepsViaPoolValues) {
+  State st = base_state();
+  auto ts = apply_message(
+      st, msg_setresgid(kProc, 15, 15, 15, {Capability::Setgid}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.find_proc(kProc)->gid, (caps::IdTriple{15, 15, 15}));
+  EXPECT_TRUE(
+      apply_message(st, msg_setresgid(kProc, 15, 15, 15, {})).empty());
+}
+
+TEST(KillRule, CapKillOrUidMatch) {
+  State st = base_state();
+  ProcObj victim;
+  victim.id = 2;
+  victim.uid = {109, 109, 109};
+  victim.gid = {109, 109, 109};
+  st.procs.push_back(victim);
+  st.normalize();
+
+  EXPECT_TRUE(apply_message(st, msg_kill(kProc, 2, 9, {})).empty());
+  auto ts = apply_message(st, msg_kill(kProc, 2, 9, {Capability::Kill}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_FALSE(ts[0].next.find_proc(2)->running);
+
+  // uid match without capability.
+  State st2 = st;
+  st2.find_proc(kProc)->uid = {109, 109, 109};
+  EXPECT_EQ(apply_message(st2, msg_kill(kProc, 2, 9, {})).size(), 1u);
+}
+
+TEST(KillRule, NonKillSignalsDoNotChangeState) {
+  State st = base_state();
+  ProcObj victim;
+  victim.id = 2;
+  victim.uid = {1000, 1000, 1000};
+  st.procs.push_back(victim);
+  st.normalize();
+  EXPECT_TRUE(apply_message(st, msg_kill(kProc, 2, 15, {})).empty());
+}
+
+TEST(SocketRule, RawNeedsNetRaw) {
+  State st = base_state();
+  EXPECT_TRUE(apply_message(st, msg_socket(kProc, 1, {})).empty());
+  auto ts = apply_message(st, msg_socket(kProc, 1, {Capability::NetRaw}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.socks.size(), 1u);
+  // Stream sockets are unprivileged.
+  EXPECT_EQ(apply_message(st, msg_socket(kProc, 0, {})).size(), 1u);
+}
+
+TEST(BindRule, PrivilegedPortGated) {
+  State st = base_state();
+  st.socks.push_back(SockObj{7, kProc, -1});
+  st.normalize();
+  EXPECT_TRUE(apply_message(st, msg_bind(kProc, 7, 22, {})).empty());
+  auto ts = apply_message(
+      st, msg_bind(kProc, 7, 22, {Capability::NetBindService}));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].next.find_sock(7)->port, 22);
+  // Unprivileged high port works.
+  EXPECT_EQ(apply_message(st, msg_bind(kProc, 7, 8080, {})).size(), 1u);
+}
+
+TEST(BindRule, PortCollisionAndForeignSocketRejected) {
+  State st = base_state();
+  st.socks.push_back(SockObj{7, kProc, -1});
+  st.socks.push_back(SockObj{8, 99, -1});   // someone else's socket
+  st.socks.push_back(SockObj{9, kProc, 8080});
+  st.normalize();
+  EXPECT_TRUE(apply_message(st, msg_bind(kProc, 8, 8081, {})).empty());
+  EXPECT_TRUE(apply_message(st, msg_bind(kProc, 7, 8080, {})).empty());
+}
+
+TEST(ConnectRule, NoModelledEffect) {
+  State st = base_state();
+  st.socks.push_back(SockObj{7, kProc, -1});
+  st.normalize();
+  EXPECT_TRUE(apply_message(st, msg_connect(kProc, 7, 80, {})).empty());
+}
+
+TEST(Rules, DeadProcessDoesNothing) {
+  State st = base_state();
+  st.find_proc(kProc)->running = false;
+  EXPECT_TRUE(
+      apply_message(st, msg_open(kProc, kMem, kAccRead, CapSet::full()))
+          .empty());
+}
+
+}  // namespace
+}  // namespace pa::rosa

@@ -1,0 +1,114 @@
+// Tests for ROSA state objects, canonicalization, and helpers.
+#include <gtest/gtest.h>
+
+#include "rosa/message.h"
+#include "rosa/state.h"
+
+namespace pa::rosa {
+namespace {
+
+State tiny_state() {
+  State st;
+  ProcObj p;
+  p.id = 1;
+  p.uid = {1000, 1000, 1000};
+  p.gid = {1000, 1000, 1000};
+  st.procs.push_back(p);
+  st.files.push_back(FileObj{3, "/dev/mem", {0, 15, os::Mode(0640)}});
+  st.dirs.push_back(DirObj{4, "/dev", {0, 0, os::Mode(0755)}, 3});
+  st.users = {0, 1000};
+  st.groups = {0, 15};
+  st.normalize();
+  return st;
+}
+
+TEST(StateTest, Finders) {
+  State st = tiny_state();
+  EXPECT_NE(st.find_proc(1), nullptr);
+  EXPECT_EQ(st.find_proc(2), nullptr);
+  EXPECT_NE(st.find_file(3), nullptr);
+  EXPECT_NE(st.find_dir(4), nullptr);
+  EXPECT_EQ(st.find_sock(9), nullptr);
+}
+
+TEST(StateTest, ParentDirLookup) {
+  State st = tiny_state();
+  const DirObj* d = st.parent_dir_of(3);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->id, 4);
+  EXPECT_EQ(st.parent_dir_of(99), nullptr);
+}
+
+TEST(StateTest, NextObjectId) {
+  State st = tiny_state();
+  EXPECT_EQ(st.next_object_id(), 5);
+}
+
+TEST(StateTest, PortInUse) {
+  State st = tiny_state();
+  EXPECT_FALSE(st.port_in_use(22));
+  st.socks.push_back(SockObj{5, 1, 22});
+  EXPECT_TRUE(st.port_in_use(22));
+}
+
+TEST(CanonicalTest, EqualStatesSerializeEqually) {
+  State a = tiny_state();
+  State b = tiny_state();
+  // Insert objects in a different order; normalize must fix it.
+  std::swap(b.files, b.files);
+  State c;
+  c.files.push_back(b.files[0]);
+  c.dirs = b.dirs;
+  c.procs = b.procs;
+  c.users = {1000, 0};
+  c.groups = {15, 0};
+  c.normalize();
+  EXPECT_EQ(a.canonical(), c.canonical());
+}
+
+TEST(CanonicalTest, DifferencesShowUp) {
+  State a = tiny_state();
+  State b = tiny_state();
+  b.find_proc(1)->rdfset.insert(3);
+  EXPECT_NE(a.canonical(), b.canonical());
+
+  State c = tiny_state();
+  c.find_file(3)->meta.mode = os::Mode(0666);
+  EXPECT_NE(a.canonical(), c.canonical());
+
+  State d = tiny_state();
+  d.msgs_remaining = 5;
+  EXPECT_NE(a.canonical(), d.canonical());
+
+  State e = tiny_state();
+  e.find_proc(1)->running = false;
+  EXPECT_NE(a.canonical(), e.canonical());
+}
+
+TEST(CanonicalTest, FileNameIsCosmetic) {
+  // Names are human-readable only; rules and canonical form ignore them.
+  State a = tiny_state();
+  State b = tiny_state();
+  b.find_file(3)->name = "renamed";
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(StateTest, ToStringMaudeLike) {
+  std::string s = tiny_state().to_string();
+  EXPECT_NE(s.find("Process"), std::string::npos);
+  EXPECT_NE(s.find("rdfset : empty"), std::string::npos);
+  EXPECT_NE(s.find("/dev/mem"), std::string::npos);
+  EXPECT_NE(s.find("User | uid : 1000"), std::string::npos);
+}
+
+TEST(MessageTest, ToStringAndParseNames) {
+  Message m = msg_chown(1, kWild, kWild, 41, {caps::Capability::Chown});
+  EXPECT_EQ(m.to_string(), "chown(1,-1,-1,41,{CapChown})");
+  EXPECT_EQ(parse_sys("chown"), Sys::Chown);
+  EXPECT_EQ(parse_sys("nonsense"), std::nullopt);
+  for (auto s : {Sys::Open, Sys::Kill, Sys::Bind, Sys::Setresgid})
+    EXPECT_EQ(parse_sys(std::string(sys_name(s))), s);
+}
+
+}  // namespace
+}  // namespace pa::rosa

@@ -1,0 +1,152 @@
+// Tests for the support utilities (error handling, string helpers) and the
+// new epoch timeline / multi-process ROSA behaviours.
+#include <gtest/gtest.h>
+
+#include "chronopriv/epoch.h"
+#include "rosa/query.h"
+#include "support/error.h"
+#include "support/str.h"
+
+namespace pa {
+namespace {
+
+TEST(ErrorTest, FailThrowsWithMessage) {
+  try {
+    fail("boom");
+    FAIL() << "fail() returned";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ErrorTest, CheckMacroCarriesLocation) {
+  try {
+    PA_CHECK(1 == 2, "math broke");
+    FAIL() << "check passed";
+  } catch (const Error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(StrTest, Split) {
+  EXPECT_EQ(str::split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(str::split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(str::split("a,,c", ',', /*keep_empty=*/true),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_TRUE(str::split("", ',').empty());
+  EXPECT_EQ(str::split(",", ',', true), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrTest, TrimAndStartsWith) {
+  EXPECT_EQ(str::trim("  x  "), "x");
+  EXPECT_EQ(str::trim("\t\n"), "");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_TRUE(str::starts_with("hello", "he"));
+  EXPECT_FALSE(str::starts_with("he", "hello"));
+}
+
+TEST(StrTest, JoinAndCat) {
+  EXPECT_EQ(str::join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(str::join({}, ", "), "");
+  EXPECT_EQ(str::cat("x=", 42, ", y=", 3.0), "x=42, y=3");
+}
+
+TEST(StrTest, WithCommas) {
+  EXPECT_EQ(str::with_commas(0), "0");
+  EXPECT_EQ(str::with_commas(999), "999");
+  EXPECT_EQ(str::with_commas(1000), "1,000");
+  EXPECT_EQ(str::with_commas(62374249), "62,374,249");
+  EXPECT_EQ(str::with_commas(-1234567), "-1,234,567");
+}
+
+TEST(StrTest, PercentAndFixed) {
+  EXPECT_EQ(str::percent(0.9894), "98.94%");
+  EXPECT_EQ(str::percent(0.0), "0.00%");
+  EXPECT_EQ(str::fixed(3.14159, 3), "3.142");
+}
+
+TEST(StrTest, Padding) {
+  EXPECT_EQ(str::pad_left("x", 3), "  x");
+  EXPECT_EQ(str::pad_right("x", 3), "x  ");
+  EXPECT_EQ(str::pad_left("long", 2), "long");
+}
+
+TEST(TimelineTest, SegmentsRecordOrderedRuns) {
+  os::Kernel k;
+  os::Pid p = k.spawn("p", caps::Credentials::of_user(1000, 1000),
+                      {caps::Capability::Setuid});
+  ir::Function dummy("d", 0);
+  chronopriv::EpochTracker t;
+  // 3 instrs in state A, 2 in B, 1 back in A.
+  for (int i = 0; i < 3; ++i) t.on_instruction(k.process(p), dummy);
+  k.process(p).creds.uid = {0, 0, 0};
+  for (int i = 0; i < 2; ++i) t.on_instruction(k.process(p), dummy);
+  k.process(p).creds.uid = {1000, 1000, 1000};
+  t.on_instruction(k.process(p), dummy);
+
+  // Aggregated rows merge the A-state (4 instructions in 2 rows total).
+  ASSERT_EQ(t.epochs().size(), 2u);
+  EXPECT_EQ(t.epochs()[0].instructions, 4u);
+
+  // The timeline keeps all three runs in order.
+  ASSERT_EQ(t.timeline().size(), 3u);
+  EXPECT_EQ(t.timeline()[0].start, 0u);
+  EXPECT_EQ(t.timeline()[0].length, 3u);
+  EXPECT_EQ(t.timeline()[1].start, 3u);
+  EXPECT_EQ(t.timeline()[1].length, 2u);
+  EXPECT_EQ(t.timeline()[2].start, 5u);
+  EXPECT_EQ(t.timeline()[2].length, 1u);
+  EXPECT_EQ(t.timeline()[0].key, t.timeline()[2].key);
+  // Segments tile the run exactly.
+  std::uint64_t covered = 0;
+  for (const auto& seg : t.timeline()) covered += seg.length;
+  EXPECT_EQ(covered, t.total_instructions());
+}
+
+TEST(MultiProcessRosa, ColludingProcessesCooperate) {
+  // The Object-Maude heritage: ROSA configurations can hold several
+  // processes whose messages interleave. Process 1 holds CAP_CHOWN (but
+  // cannot open); process 2 can open (but has no privileges). Only their
+  // cooperation reaches the goal: 1 chowns the file to 2, then 2 opens it.
+  rosa::State st;
+  rosa::ProcObj p1;
+  p1.id = 1;
+  p1.uid = {500, 500, 500};
+  p1.gid = {500, 500, 500};
+  rosa::ProcObj p2;
+  p2.id = 2;
+  p2.uid = {600, 600, 600};
+  p2.gid = {600, 600, 600};
+  st.procs = {p1, p2};
+  st.files.push_back(rosa::FileObj{3, "loot", {0, 0, os::Mode(0600)}});
+  st.users = {500, 600};
+  st.groups = {500, 600};
+  st.normalize();
+
+  rosa::Query q;
+  q.initial = st;
+  q.messages = {
+      rosa::msg_chown(1, 3, 600, 600, {caps::Capability::Chown}),
+      rosa::msg_open(2, 3, rosa::kAccRead, {}),
+  };
+  q.goal = rosa::goal_file_in_rdfset(2, 3);
+  rosa::SearchResult r = rosa::search(q);
+  ASSERT_EQ(r.verdict, rosa::Verdict::Reachable);
+  ASSERT_EQ(r.witness.size(), 2u);
+  EXPECT_EQ(r.witness[0].proc, 1);
+  EXPECT_EQ(r.witness[1].proc, 2);
+
+  // Either process alone fails.
+  rosa::Query solo1 = q;
+  solo1.messages = {q.messages[0]};
+  EXPECT_EQ(rosa::search(solo1).verdict, rosa::Verdict::Unreachable);
+  rosa::Query solo2 = q;
+  solo2.messages = {q.messages[1]};
+  EXPECT_EQ(rosa::search(solo2).verdict, rosa::Verdict::Unreachable);
+}
+
+}  // namespace
+}  // namespace pa

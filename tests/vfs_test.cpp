@@ -1,0 +1,136 @@
+// Unit tests for the SimOS virtual filesystem (os/vfs.h).
+#include <gtest/gtest.h>
+
+#include "os/vfs.h"
+
+namespace pa::os {
+namespace {
+
+using caps::Capability;
+using caps::Credentials;
+
+Actor root_actor() { return Actor{Credentials::of_user(0, 0), {}}; }
+Actor user_actor(int uid = 1000, int gid = 1000, caps::CapSet eff = {}) {
+  return Actor{Credentials::of_user(uid, gid), eff};
+}
+
+TEST(VfsTest, RootExists) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.lookup("/"), kRootIno);
+  EXPECT_EQ(vfs.inode(kRootIno).type, InodeType::Directory);
+}
+
+TEST(VfsTest, MkdirsCreatesChain) {
+  Vfs vfs;
+  Ino deep = vfs.mkdirs("/a/b/c");
+  EXPECT_EQ(vfs.lookup("/a/b/c"), deep);
+  EXPECT_TRUE(vfs.lookup("/a/b").has_value());
+  // Idempotent.
+  EXPECT_EQ(vfs.mkdirs("/a/b/c"), deep);
+}
+
+TEST(VfsTest, AddFileAndResolve) {
+  Vfs vfs;
+  Ino f = vfs.add_file("/etc/passwd", FileMeta{0, 0, Mode(0644)}, "data");
+  SysResult r = vfs.resolve(user_actor(), "/etc/passwd");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(static_cast<Ino>(r.value()), f);
+  EXPECT_EQ(vfs.inode(f).data, "data");
+}
+
+TEST(VfsTest, ResolveChecksSearchPermissionOnPath) {
+  Vfs vfs;
+  vfs.add_file("/secret/key", FileMeta{0, 0, Mode(0644)});
+  Ino dir = *vfs.lookup("/secret");
+  vfs.inode(dir).meta = FileMeta{0, 0, Mode(0700)};  // root only
+
+  EXPECT_EQ(vfs.resolve(user_actor(), "/secret/key").error(), Errno::Eacces);
+  EXPECT_TRUE(vfs.resolve(root_actor(), "/secret/key").ok());
+  EXPECT_TRUE(vfs.resolve(user_actor(1000, 1000, {Capability::DacReadSearch}),
+                          "/secret/key")
+                  .ok());
+}
+
+TEST(VfsTest, ResolveMissingIsEnoent) {
+  Vfs vfs;
+  EXPECT_EQ(vfs.resolve(root_actor(), "/nope").error(), Errno::Enoent);
+}
+
+TEST(VfsTest, ResolveThroughFileIsEnotdir) {
+  Vfs vfs;
+  vfs.add_file("/plain", FileMeta{0, 0, Mode(0644)});
+  EXPECT_EQ(vfs.resolve(root_actor(), "/plain/sub").error(), Errno::Enotdir);
+}
+
+TEST(VfsTest, CreateSetsOwnershipFromActor) {
+  Vfs vfs;
+  Ino dir = vfs.mkdirs("/home/u");
+  vfs.inode(dir).meta = FileMeta{1000, 1000, Mode(0755)};
+  SysResult r = vfs.create(user_actor(), "/home/u/f.txt", Mode(0644));
+  ASSERT_TRUE(r.ok());
+  const Inode& f = vfs.inode(static_cast<Ino>(r.value()));
+  EXPECT_EQ(f.meta.owner, 1000);
+  EXPECT_EQ(f.meta.group, 1000);
+}
+
+TEST(VfsTest, CreateDeniedWithoutDirWrite) {
+  Vfs vfs;
+  vfs.mkdirs("/etc");  // root 0755
+  EXPECT_EQ(vfs.create(user_actor(), "/etc/evil", Mode(0644)).error(),
+            Errno::Eacces);
+}
+
+TEST(VfsTest, CreateExistingIsEexist) {
+  Vfs vfs;
+  vfs.add_file("/f", FileMeta{0, 0, Mode(0644)});
+  EXPECT_EQ(vfs.create(root_actor(), "/f", Mode(0644)).error(), Errno::Eexist);
+}
+
+TEST(VfsTest, UnlinkRemovesEntryAndInode) {
+  Vfs vfs;
+  Ino f = vfs.add_file("/f", FileMeta{0, 0, Mode(0644)});
+  ASSERT_TRUE(vfs.unlink(root_actor(), "/f").ok());
+  EXPECT_FALSE(vfs.lookup("/f").has_value());
+  EXPECT_FALSE(vfs.exists(f));
+}
+
+TEST(VfsTest, UnlinkDirectoryIsEisdir) {
+  Vfs vfs;
+  vfs.mkdirs("/d");
+  EXPECT_EQ(vfs.unlink(root_actor(), "/d").error(), Errno::Eisdir);
+}
+
+TEST(VfsTest, RenameReplacesTarget) {
+  Vfs vfs;
+  Ino a = vfs.add_file("/a", FileMeta{0, 0, Mode(0644)}, "new");
+  vfs.add_file("/b", FileMeta{0, 0, Mode(0644)}, "old");
+  ASSERT_TRUE(vfs.rename(root_actor(), "/a", "/b").ok());
+  EXPECT_FALSE(vfs.lookup("/a").has_value());
+  EXPECT_EQ(vfs.lookup("/b"), a);
+  EXPECT_EQ(vfs.inode(a).data, "new");
+}
+
+TEST(VfsTest, RenameDeniedWithoutPermissions) {
+  Vfs vfs;
+  vfs.add_file("/etc/shadow", FileMeta{0, 42, Mode(0640)});
+  vfs.add_file("/etc/nshadow", FileMeta{1000, 1000, Mode(0644)});
+  EXPECT_EQ(vfs.rename(user_actor(), "/etc/nshadow", "/etc/shadow").error(),
+            Errno::Eacces);
+}
+
+TEST(VfsTest, PathOfReconstructsPath) {
+  Vfs vfs;
+  Ino f = vfs.add_file("/var/log/x", FileMeta{0, 0, Mode(0644)});
+  EXPECT_EQ(vfs.path_of(f), "/var/log/x");
+  EXPECT_EQ(vfs.path_of(kRootIno), "/");
+}
+
+TEST(VfsTest, DeviceFilesCarryTags) {
+  Vfs vfs;
+  Ino dev = vfs.add_device("/dev/mem", FileMeta{0, 15, Mode(0640)}, "mem");
+  EXPECT_EQ(vfs.inode(dev).type, InodeType::CharDevice);
+  EXPECT_EQ(vfs.inode(dev).device_tag, "mem");
+}
+
+}  // namespace
+}  // namespace pa::os

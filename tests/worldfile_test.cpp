@@ -1,0 +1,96 @@
+// Tests for the textual world-description format (os/worldfile.h).
+#include <gtest/gtest.h>
+
+#include "os/worldfile.h"
+#include "privanalyzer/loader.h"
+#include "privanalyzer/pipeline.h"
+#include "support/error.h"
+
+namespace pa::os {
+namespace {
+
+const char* kWorld = R"(
+# A minimal hardened world.
+dir     /etc          owner 998 group 42  mode 0755
+file    /etc/shadow   owner 998 group 42  mode 0640  data "hash"
+device  /dev/mem      owner 0   group 15  mode 0640  tag mem
+dir     /srv          owner 33  group 33  mode 0750
+process webd          uid 33    gid 33
+)";
+
+TEST(WorldFileTest, BuildsObjects) {
+  Kernel k = world_from_text(kWorld);
+  auto shadow = k.vfs().lookup("/etc/shadow");
+  ASSERT_TRUE(shadow.has_value());
+  EXPECT_EQ(k.vfs().inode(*shadow).meta.owner, 998);
+  EXPECT_EQ(k.vfs().inode(*shadow).meta.group, 42);
+  EXPECT_EQ(k.vfs().inode(*shadow).meta.mode, Mode(0640));
+  EXPECT_EQ(k.vfs().inode(*shadow).data, "hash");
+
+  auto etc = k.vfs().lookup("/etc");
+  EXPECT_EQ(k.vfs().inode(*etc).meta.owner, 998);
+
+  auto mem = k.vfs().lookup("/dev/mem");
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_EQ(k.vfs().inode(*mem).type, InodeType::CharDevice);
+  EXPECT_EQ(k.vfs().inode(*mem).device_tag, "mem");
+
+  auto pid = k.find_process("webd");
+  ASSERT_TRUE(pid.has_value());
+  EXPECT_EQ(k.process(*pid).creds.uid.real, 33);
+}
+
+TEST(WorldFileTest, QuotedDataKeepsSpaces) {
+  Kernel k = world_from_text(
+      "file /f owner 0 group 0 mode 0644 data \"two words\"\n");
+  EXPECT_EQ(k.vfs().inode(*k.vfs().lookup("/f")).data, "two words");
+}
+
+TEST(WorldFileTest, Errors) {
+  EXPECT_THROW(world_from_text("banana /x\n"), Error);
+  EXPECT_THROW(world_from_text("file relative owner 0\n"), Error);
+  EXPECT_THROW(world_from_text("device /d owner 0 group 0 mode 0640\n"),
+               Error);  // no tag
+  EXPECT_THROW(world_from_text("process d gid 5\n"), Error);  // no uid
+  EXPECT_THROW(world_from_text("file /f owner banana\n"), Error);
+  EXPECT_THROW(world_from_text("file /f mode 99z9\n"), Error);
+}
+
+TEST(WorldFileTest, DrivesThePipeline) {
+  // A program that reads /etc/shadow unprivileged succeeds in a world where
+  // its euid owns the file, and fails in one where root does.
+  const char* prog = R"(
+; !permitted:
+; !uid: 998
+; !gid: 42
+func @main(0) {
+entry:
+  %0 = syscall open("/etc/shadow", 1)
+  %1 = cmplt %0, 0
+  condbr %1, bad, good
+good:
+  exit 0
+bad:
+  exit 1
+}
+)";
+  programs::ProgramSpec spec = privanalyzer::load_program(prog, "reader");
+
+  privanalyzer::PipelineOptions opts;
+  opts.run_rosa = false;
+  opts.world_factory = [] { return world_from_text(kWorld); };
+  privanalyzer::ProgramAnalysis ok = privanalyzer::analyze_program(spec, opts);
+  EXPECT_EQ(ok.exit_code, 0);
+
+  opts.world_factory = [] {
+    return world_from_text(
+        "dir /etc owner 0 group 0 mode 0755\n"
+        "file /etc/shadow owner 0 group 0 mode 0600\n");
+  };
+  privanalyzer::ProgramAnalysis denied =
+      privanalyzer::analyze_program(spec, opts);
+  EXPECT_EQ(denied.exit_code, 1);
+}
+
+}  // namespace
+}  // namespace pa::os

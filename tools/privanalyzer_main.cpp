@@ -1,0 +1,126 @@
+// The `privanalyzer` command-line tool: run the full pipeline on a PrivIR
+// program file.
+//
+//   privanalyzer prog.pir [options]
+//     --no-rosa            ChronoPriv epochs only (skip attack analysis)
+//     --max-states N       ROSA search budget per query (default 1000000)
+//     --attacker MODEL     full | cfi-ordered | fixed-args
+//     --print-ir           dump the transformed (post-AutoPriv) program
+//     --assume-no-indirect treat indirect calls as having no targets
+//                          (unsound; shows what a precise call graph buys)
+#include <cstring>
+#include <iostream>
+
+#include "ir/printer.h"
+#include "chronopriv/exposure.h"
+#include "privanalyzer/advisor.h"
+#include "os/worldfile.h"
+#include "privanalyzer/loader.h"
+#include "privanalyzer/render.h"
+#include "support/error.h"
+
+using namespace pa;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <prog.pir> [--no-rosa] [--max-states N]\n"
+               "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
+               "       [--assume-no-indirect] [--world-file world.world]\n"
+               "       [--simplify]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string path;
+  privanalyzer::PipelineOptions opts;
+  rosa::AttackerModel attacker = rosa::AttackerModel::Full;
+  bool print_ir = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--no-rosa") {
+      opts.run_rosa = false;
+    } else if (arg == "--simplify") {
+      opts.simplify_after_autopriv = true;
+    } else if (arg == "--print-ir") {
+      print_ir = true;
+    } else if (arg == "--assume-no-indirect") {
+      opts.autopriv.indirect_calls = ir::IndirectCallPolicy::AssumeNone;
+    } else if (arg == "--world-file" && i + 1 < argc) {
+      std::string wpath = argv[++i];
+      opts.world_factory = [wpath] { return os::world_from_file(wpath); };
+    } else if (arg == "--max-states" && i + 1 < argc) {
+      opts.rosa_limits.max_states =
+          static_cast<std::size_t>(std::stoll(argv[++i]));
+    } else if (arg == "--attacker" && i + 1 < argc) {
+      std::string m = argv[++i];
+      if (m == "full") attacker = rosa::AttackerModel::Full;
+      else if (m == "cfi-ordered") attacker = rosa::AttackerModel::CfiOrdered;
+      else if (m == "fixed-args") attacker = rosa::AttackerModel::FixedArgs;
+      else return usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  try {
+    programs::ProgramSpec spec = privanalyzer::load_program_file(path);
+    std::cout << "Loaded " << spec.name << " ("
+              << spec.module.countable_instructions()
+              << " static instructions), launch permitted {"
+              << spec.launch_permitted.to_string() << "}\n\n";
+
+    privanalyzer::ProgramAnalysis analysis;
+    {
+      // Thread the attacker model through the scenarios by analyzing
+      // manually when a non-default model is requested.
+      analysis = privanalyzer::analyze_program(spec, opts);
+      if (attacker != rosa::AttackerModel::Full && opts.run_rosa) {
+        analysis.verdicts.clear();
+        auto syscalls = spec.syscalls_used();
+        for (const chronopriv::EpochRow& row : analysis.chrono.rows) {
+          attacks::ScenarioInput in = attacks::scenario_from_epoch(
+              row, syscalls, spec.scenario_extra_users,
+              spec.scenario_extra_groups);
+          in.attacker = attacker;
+          analysis.verdicts.push_back(
+              attacks::analyze_epoch(row, in, opts.rosa_limits));
+        }
+      }
+    }
+
+    std::cout << analysis.autopriv_report.to_string() << "\n";
+    if (print_ir)
+      std::cout << "=== transformed IR ===\n"
+                << ir::print(privanalyzer::transformed_module(
+                       spec, opts.autopriv))
+                << "\n";
+    std::cout << analysis.chrono.to_string() << "\n";
+    std::cout << chronopriv::render_exposure(analysis.chrono) << "\n";
+    std::cout << privanalyzer::render_advice(
+                     privanalyzer::advise(spec, analysis))
+              << "\n";
+    if (opts.run_rosa) {
+      std::cout << privanalyzer::render_attack_table() << "\n"
+                << privanalyzer::render_efficacy_table(
+                       {analysis},
+                       std::string("Efficacy (attacker: ") +
+                           std::string(rosa::attacker_model_name(attacker)) +
+                           ")");
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
