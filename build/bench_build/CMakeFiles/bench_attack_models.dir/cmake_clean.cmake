@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_attack_models"
+  "../bench/bench_attack_models.pdb"
+  "CMakeFiles/bench_attack_models.dir/bench_attack_models.cpp.o"
+  "CMakeFiles/bench_attack_models.dir/bench_attack_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attack_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

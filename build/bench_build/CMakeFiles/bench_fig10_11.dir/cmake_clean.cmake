@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_11"
+  "../bench/bench_fig10_11.pdb"
+  "CMakeFiles/bench_fig10_11.dir/bench_fig10_11.cpp.o"
+  "CMakeFiles/bench_fig10_11.dir/bench_fig10_11.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_privmodels"
+  "../bench/bench_privmodels.pdb"
+  "CMakeFiles/bench_privmodels.dir/bench_privmodels.cpp.o"
+  "CMakeFiles/bench_privmodels.dir/bench_privmodels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

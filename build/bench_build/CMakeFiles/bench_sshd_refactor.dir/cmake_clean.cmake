@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sshd_refactor"
+  "../bench/bench_sshd_refactor.pdb"
+  "CMakeFiles/bench_sshd_refactor.dir/bench_sshd_refactor.cpp.o"
+  "CMakeFiles/bench_sshd_refactor.dir/bench_sshd_refactor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sshd_refactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/container_policy"
+  "../examples/container_policy.pdb"
+  "CMakeFiles/container_policy.dir/container_policy.cpp.o"
+  "CMakeFiles/container_policy.dir/container_policy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

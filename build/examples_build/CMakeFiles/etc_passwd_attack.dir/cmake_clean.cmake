@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/etc_passwd_attack"
+  "../examples/etc_passwd_attack.pdb"
+  "CMakeFiles/etc_passwd_attack.dir/etc_passwd_attack.cpp.o"
+  "CMakeFiles/etc_passwd_attack.dir/etc_passwd_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etc_passwd_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/privsep_demo"
+  "../examples/privsep_demo.pdb"
+  "CMakeFiles/privsep_demo.dir/privsep_demo.cpp.o"
+  "CMakeFiles/privsep_demo.dir/privsep_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privsep_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

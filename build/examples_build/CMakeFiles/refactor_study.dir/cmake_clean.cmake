@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/refactor_study"
+  "../examples/refactor_study.pdb"
+  "CMakeFiles/refactor_study.dir/refactor_study.cpp.o"
+  "CMakeFiles/refactor_study.dir/refactor_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refactor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_attacks.dir/attacks/attacks.cpp.o"
+  "CMakeFiles/pa_attacks.dir/attacks/attacks.cpp.o.d"
+  "CMakeFiles/pa_attacks.dir/attacks/scenario.cpp.o"
+  "CMakeFiles/pa_attacks.dir/attacks/scenario.cpp.o.d"
+  "libpa_attacks.a"
+  "libpa_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

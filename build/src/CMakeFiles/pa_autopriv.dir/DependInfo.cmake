@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autopriv/priv_liveness.cpp" "src/CMakeFiles/pa_autopriv.dir/autopriv/priv_liveness.cpp.o" "gcc" "src/CMakeFiles/pa_autopriv.dir/autopriv/priv_liveness.cpp.o.d"
+  "/root/repo/src/autopriv/remove_insertion.cpp" "src/CMakeFiles/pa_autopriv.dir/autopriv/remove_insertion.cpp.o" "gcc" "src/CMakeFiles/pa_autopriv.dir/autopriv/remove_insertion.cpp.o.d"
+  "/root/repo/src/autopriv/report.cpp" "src/CMakeFiles/pa_autopriv.dir/autopriv/report.cpp.o" "gcc" "src/CMakeFiles/pa_autopriv.dir/autopriv/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

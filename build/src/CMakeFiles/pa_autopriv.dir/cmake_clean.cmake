@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_autopriv.dir/autopriv/priv_liveness.cpp.o"
+  "CMakeFiles/pa_autopriv.dir/autopriv/priv_liveness.cpp.o.d"
+  "CMakeFiles/pa_autopriv.dir/autopriv/remove_insertion.cpp.o"
+  "CMakeFiles/pa_autopriv.dir/autopriv/remove_insertion.cpp.o.d"
+  "CMakeFiles/pa_autopriv.dir/autopriv/report.cpp.o"
+  "CMakeFiles/pa_autopriv.dir/autopriv/report.cpp.o.d"
+  "libpa_autopriv.a"
+  "libpa_autopriv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_autopriv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/caps/capability.cpp" "src/CMakeFiles/pa_caps.dir/caps/capability.cpp.o" "gcc" "src/CMakeFiles/pa_caps.dir/caps/capability.cpp.o.d"
+  "/root/repo/src/caps/credentials.cpp" "src/CMakeFiles/pa_caps.dir/caps/credentials.cpp.o" "gcc" "src/CMakeFiles/pa_caps.dir/caps/credentials.cpp.o.d"
+  "/root/repo/src/caps/priv_state.cpp" "src/CMakeFiles/pa_caps.dir/caps/priv_state.cpp.o" "gcc" "src/CMakeFiles/pa_caps.dir/caps/priv_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_caps.dir/caps/capability.cpp.o"
+  "CMakeFiles/pa_caps.dir/caps/capability.cpp.o.d"
+  "CMakeFiles/pa_caps.dir/caps/credentials.cpp.o"
+  "CMakeFiles/pa_caps.dir/caps/credentials.cpp.o.d"
+  "CMakeFiles/pa_caps.dir/caps/priv_state.cpp.o"
+  "CMakeFiles/pa_caps.dir/caps/priv_state.cpp.o.d"
+  "libpa_caps.a"
+  "libpa_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chronopriv/epoch.cpp" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/epoch.cpp.o" "gcc" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/epoch.cpp.o.d"
+  "/root/repo/src/chronopriv/exposure.cpp" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/exposure.cpp.o" "gcc" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/exposure.cpp.o.d"
+  "/root/repo/src/chronopriv/instrument.cpp" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/instrument.cpp.o" "gcc" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/instrument.cpp.o.d"
+  "/root/repo/src/chronopriv/report.cpp" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/report.cpp.o" "gcc" "src/CMakeFiles/pa_chronopriv.dir/chronopriv/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/epoch.cpp.o"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/epoch.cpp.o.d"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/exposure.cpp.o"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/exposure.cpp.o.d"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/instrument.cpp.o"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/instrument.cpp.o.d"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/report.cpp.o"
+  "CMakeFiles/pa_chronopriv.dir/chronopriv/report.cpp.o.d"
+  "libpa_chronopriv.a"
+  "libpa_chronopriv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_chronopriv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

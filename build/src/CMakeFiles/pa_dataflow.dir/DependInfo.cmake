@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/dce.cpp" "src/CMakeFiles/pa_dataflow.dir/dataflow/dce.cpp.o" "gcc" "src/CMakeFiles/pa_dataflow.dir/dataflow/dce.cpp.o.d"
+  "/root/repo/src/dataflow/liveness.cpp" "src/CMakeFiles/pa_dataflow.dir/dataflow/liveness.cpp.o" "gcc" "src/CMakeFiles/pa_dataflow.dir/dataflow/liveness.cpp.o.d"
+  "/root/repo/src/dataflow/solver.cpp" "src/CMakeFiles/pa_dataflow.dir/dataflow/solver.cpp.o" "gcc" "src/CMakeFiles/pa_dataflow.dir/dataflow/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

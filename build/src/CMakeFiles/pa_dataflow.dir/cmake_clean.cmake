@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_dataflow.dir/dataflow/dce.cpp.o"
+  "CMakeFiles/pa_dataflow.dir/dataflow/dce.cpp.o.d"
+  "CMakeFiles/pa_dataflow.dir/dataflow/liveness.cpp.o"
+  "CMakeFiles/pa_dataflow.dir/dataflow/liveness.cpp.o.d"
+  "CMakeFiles/pa_dataflow.dir/dataflow/solver.cpp.o"
+  "CMakeFiles/pa_dataflow.dir/dataflow/solver.cpp.o.d"
+  "libpa_dataflow.a"
+  "libpa_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

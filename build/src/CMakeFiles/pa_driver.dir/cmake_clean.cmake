@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_driver.dir/privanalyzer/advisor.cpp.o"
+  "CMakeFiles/pa_driver.dir/privanalyzer/advisor.cpp.o.d"
+  "CMakeFiles/pa_driver.dir/privanalyzer/efficacy.cpp.o"
+  "CMakeFiles/pa_driver.dir/privanalyzer/efficacy.cpp.o.d"
+  "CMakeFiles/pa_driver.dir/privanalyzer/export.cpp.o"
+  "CMakeFiles/pa_driver.dir/privanalyzer/export.cpp.o.d"
+  "CMakeFiles/pa_driver.dir/privanalyzer/loader.cpp.o"
+  "CMakeFiles/pa_driver.dir/privanalyzer/loader.cpp.o.d"
+  "CMakeFiles/pa_driver.dir/privanalyzer/pipeline.cpp.o"
+  "CMakeFiles/pa_driver.dir/privanalyzer/pipeline.cpp.o.d"
+  "CMakeFiles/pa_driver.dir/privanalyzer/render.cpp.o"
+  "CMakeFiles/pa_driver.dir/privanalyzer/render.cpp.o.d"
+  "libpa_driver.a"
+  "libpa_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/basic_block.cpp" "src/CMakeFiles/pa_ir.dir/ir/basic_block.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/basic_block.cpp.o.d"
+  "/root/repo/src/ir/builder.cpp" "src/CMakeFiles/pa_ir.dir/ir/builder.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/builder.cpp.o.d"
+  "/root/repo/src/ir/callgraph.cpp" "src/CMakeFiles/pa_ir.dir/ir/callgraph.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/callgraph.cpp.o.d"
+  "/root/repo/src/ir/dominators.cpp" "src/CMakeFiles/pa_ir.dir/ir/dominators.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/dominators.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/CMakeFiles/pa_ir.dir/ir/function.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/function.cpp.o.d"
+  "/root/repo/src/ir/instruction.cpp" "src/CMakeFiles/pa_ir.dir/ir/instruction.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/instruction.cpp.o.d"
+  "/root/repo/src/ir/module.cpp" "src/CMakeFiles/pa_ir.dir/ir/module.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/module.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/pa_ir.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/CMakeFiles/pa_ir.dir/ir/printer.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/printer.cpp.o.d"
+  "/root/repo/src/ir/transforms.cpp" "src/CMakeFiles/pa_ir.dir/ir/transforms.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/transforms.cpp.o.d"
+  "/root/repo/src/ir/value.cpp" "src/CMakeFiles/pa_ir.dir/ir/value.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/value.cpp.o.d"
+  "/root/repo/src/ir/verifier.cpp" "src/CMakeFiles/pa_ir.dir/ir/verifier.cpp.o" "gcc" "src/CMakeFiles/pa_ir.dir/ir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

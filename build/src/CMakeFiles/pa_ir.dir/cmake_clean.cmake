@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_ir.dir/ir/basic_block.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/basic_block.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/builder.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/builder.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/callgraph.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/callgraph.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/dominators.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/dominators.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/function.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/function.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/instruction.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/instruction.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/module.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/module.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/parser.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/parser.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/printer.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/printer.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/transforms.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/transforms.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/value.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/value.cpp.o.d"
+  "CMakeFiles/pa_ir.dir/ir/verifier.cpp.o"
+  "CMakeFiles/pa_ir.dir/ir/verifier.cpp.o.d"
+  "libpa_ir.a"
+  "libpa_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/access.cpp" "src/CMakeFiles/pa_os.dir/os/access.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/access.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/CMakeFiles/pa_os.dir/os/kernel.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/kernel.cpp.o.d"
+  "/root/repo/src/os/net.cpp" "src/CMakeFiles/pa_os.dir/os/net.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/net.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/CMakeFiles/pa_os.dir/os/process.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/process.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/CMakeFiles/pa_os.dir/os/syscalls.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/syscalls.cpp.o.d"
+  "/root/repo/src/os/vfs.cpp" "src/CMakeFiles/pa_os.dir/os/vfs.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/vfs.cpp.o.d"
+  "/root/repo/src/os/worldfile.cpp" "src/CMakeFiles/pa_os.dir/os/worldfile.cpp.o" "gcc" "src/CMakeFiles/pa_os.dir/os/worldfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_os.dir/os/access.cpp.o"
+  "CMakeFiles/pa_os.dir/os/access.cpp.o.d"
+  "CMakeFiles/pa_os.dir/os/kernel.cpp.o"
+  "CMakeFiles/pa_os.dir/os/kernel.cpp.o.d"
+  "CMakeFiles/pa_os.dir/os/net.cpp.o"
+  "CMakeFiles/pa_os.dir/os/net.cpp.o.d"
+  "CMakeFiles/pa_os.dir/os/process.cpp.o"
+  "CMakeFiles/pa_os.dir/os/process.cpp.o.d"
+  "CMakeFiles/pa_os.dir/os/syscalls.cpp.o"
+  "CMakeFiles/pa_os.dir/os/syscalls.cpp.o.d"
+  "CMakeFiles/pa_os.dir/os/vfs.cpp.o"
+  "CMakeFiles/pa_os.dir/os/vfs.cpp.o.d"
+  "CMakeFiles/pa_os.dir/os/worldfile.cpp.o"
+  "CMakeFiles/pa_os.dir/os/worldfile.cpp.o.d"
+  "libpa_os.a"
+  "libpa_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

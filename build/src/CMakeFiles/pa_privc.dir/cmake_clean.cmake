@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_privc.dir/privc/codegen.cpp.o"
+  "CMakeFiles/pa_privc.dir/privc/codegen.cpp.o.d"
+  "CMakeFiles/pa_privc.dir/privc/lexer.cpp.o"
+  "CMakeFiles/pa_privc.dir/privc/lexer.cpp.o.d"
+  "CMakeFiles/pa_privc.dir/privc/parser.cpp.o"
+  "CMakeFiles/pa_privc.dir/privc/parser.cpp.o.d"
+  "libpa_privc.a"
+  "libpa_privc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_privc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

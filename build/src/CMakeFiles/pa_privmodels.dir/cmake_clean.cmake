@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_privmodels.dir/privmodels/capsicum.cpp.o"
+  "CMakeFiles/pa_privmodels.dir/privmodels/capsicum.cpp.o.d"
+  "CMakeFiles/pa_privmodels.dir/privmodels/compare.cpp.o"
+  "CMakeFiles/pa_privmodels.dir/privmodels/compare.cpp.o.d"
+  "CMakeFiles/pa_privmodels.dir/privmodels/solaris.cpp.o"
+  "CMakeFiles/pa_privmodels.dir/privmodels/solaris.cpp.o.d"
+  "libpa_privmodels.a"
+  "libpa_privmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_privmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

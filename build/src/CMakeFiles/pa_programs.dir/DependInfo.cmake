@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/diff.cpp" "src/CMakeFiles/pa_programs.dir/programs/diff.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/diff.cpp.o.d"
+  "/root/repo/src/programs/passwd.cpp" "src/CMakeFiles/pa_programs.dir/programs/passwd.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/passwd.cpp.o.d"
+  "/root/repo/src/programs/ping.cpp" "src/CMakeFiles/pa_programs.dir/programs/ping.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/ping.cpp.o.d"
+  "/root/repo/src/programs/sshd.cpp" "src/CMakeFiles/pa_programs.dir/programs/sshd.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/sshd.cpp.o.d"
+  "/root/repo/src/programs/su.cpp" "src/CMakeFiles/pa_programs.dir/programs/su.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/su.cpp.o.d"
+  "/root/repo/src/programs/thttpd.cpp" "src/CMakeFiles/pa_programs.dir/programs/thttpd.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/thttpd.cpp.o.d"
+  "/root/repo/src/programs/world.cpp" "src/CMakeFiles/pa_programs.dir/programs/world.cpp.o" "gcc" "src/CMakeFiles/pa_programs.dir/programs/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_programs.dir/programs/diff.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/diff.cpp.o.d"
+  "CMakeFiles/pa_programs.dir/programs/passwd.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/passwd.cpp.o.d"
+  "CMakeFiles/pa_programs.dir/programs/ping.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/ping.cpp.o.d"
+  "CMakeFiles/pa_programs.dir/programs/sshd.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/sshd.cpp.o.d"
+  "CMakeFiles/pa_programs.dir/programs/su.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/su.cpp.o.d"
+  "CMakeFiles/pa_programs.dir/programs/thttpd.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/thttpd.cpp.o.d"
+  "CMakeFiles/pa_programs.dir/programs/world.cpp.o"
+  "CMakeFiles/pa_programs.dir/programs/world.cpp.o.d"
+  "libpa_programs.a"
+  "libpa_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

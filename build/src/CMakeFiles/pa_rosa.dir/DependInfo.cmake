@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rosa/checker.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/checker.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/checker.cpp.o.d"
+  "/root/repo/src/rosa/graph.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/graph.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/graph.cpp.o.d"
+  "/root/repo/src/rosa/message.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/message.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/message.cpp.o.d"
+  "/root/repo/src/rosa/query.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/query.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/query.cpp.o.d"
+  "/root/repo/src/rosa/replay.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/replay.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/replay.cpp.o.d"
+  "/root/repo/src/rosa/rules.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/rules.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/rules.cpp.o.d"
+  "/root/repo/src/rosa/search.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/search.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/search.cpp.o.d"
+  "/root/repo/src/rosa/state.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/state.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/state.cpp.o.d"
+  "/root/repo/src/rosa/text.cpp" "src/CMakeFiles/pa_rosa.dir/rosa/text.cpp.o" "gcc" "src/CMakeFiles/pa_rosa.dir/rosa/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

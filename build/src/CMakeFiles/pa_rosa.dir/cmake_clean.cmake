@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_rosa.dir/rosa/checker.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/checker.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/graph.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/graph.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/message.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/message.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/query.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/query.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/replay.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/replay.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/rules.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/rules.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/search.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/search.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/state.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/state.cpp.o.d"
+  "CMakeFiles/pa_rosa.dir/rosa/text.cpp.o"
+  "CMakeFiles/pa_rosa.dir/rosa/text.cpp.o.d"
+  "libpa_rosa.a"
+  "libpa_rosa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_rosa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

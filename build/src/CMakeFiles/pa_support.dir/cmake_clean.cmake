@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_support.dir/support/error.cpp.o"
+  "CMakeFiles/pa_support.dir/support/error.cpp.o.d"
+  "CMakeFiles/pa_support.dir/support/str.cpp.o"
+  "CMakeFiles/pa_support.dir/support/str.cpp.o.d"
+  "libpa_support.a"
+  "libpa_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/interpreter.cpp" "src/CMakeFiles/pa_vm.dir/vm/interpreter.cpp.o" "gcc" "src/CMakeFiles/pa_vm.dir/vm/interpreter.cpp.o.d"
+  "/root/repo/src/vm/profiler.cpp" "src/CMakeFiles/pa_vm.dir/vm/profiler.cpp.o" "gcc" "src/CMakeFiles/pa_vm.dir/vm/profiler.cpp.o.d"
+  "/root/repo/src/vm/scheduler.cpp" "src/CMakeFiles/pa_vm.dir/vm/scheduler.cpp.o" "gcc" "src/CMakeFiles/pa_vm.dir/vm/scheduler.cpp.o.d"
+  "/root/repo/src/vm/syscall_bridge.cpp" "src/CMakeFiles/pa_vm.dir/vm/syscall_bridge.cpp.o" "gcc" "src/CMakeFiles/pa_vm.dir/vm/syscall_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

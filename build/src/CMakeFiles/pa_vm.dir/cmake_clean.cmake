@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pa_vm.dir/vm/interpreter.cpp.o"
+  "CMakeFiles/pa_vm.dir/vm/interpreter.cpp.o.d"
+  "CMakeFiles/pa_vm.dir/vm/profiler.cpp.o"
+  "CMakeFiles/pa_vm.dir/vm/profiler.cpp.o.d"
+  "CMakeFiles/pa_vm.dir/vm/scheduler.cpp.o"
+  "CMakeFiles/pa_vm.dir/vm/scheduler.cpp.o.d"
+  "CMakeFiles/pa_vm.dir/vm/syscall_bridge.cpp.o"
+  "CMakeFiles/pa_vm.dir/vm/syscall_bridge.cpp.o.d"
+  "libpa_vm.a"
+  "libpa_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pa_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_consistency_test.dir/access_consistency_test.cpp.o"
+  "CMakeFiles/access_consistency_test.dir/access_consistency_test.cpp.o.d"
+  "access_consistency_test"
+  "access_consistency_test.pdb"
+  "access_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attacker_model_test.dir/attacker_model_test.cpp.o"
+  "CMakeFiles/attacker_model_test.dir/attacker_model_test.cpp.o.d"
+  "attacker_model_test"
+  "attacker_model_test.pdb"
+  "attacker_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attacker_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autopriv_test.dir/autopriv_test.cpp.o"
+  "CMakeFiles/autopriv_test.dir/autopriv_test.cpp.o.d"
+  "autopriv_test"
+  "autopriv_test.pdb"
+  "autopriv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autopriv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

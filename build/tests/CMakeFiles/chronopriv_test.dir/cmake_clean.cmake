@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronopriv_test.dir/chronopriv_test.cpp.o"
+  "CMakeFiles/chronopriv_test.dir/chronopriv_test.cpp.o.d"
+  "chronopriv_test"
+  "chronopriv_test.pdb"
+  "chronopriv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronopriv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dce_profiler_test.dir/dce_profiler_test.cpp.o"
+  "CMakeFiles/dce_profiler_test.dir/dce_profiler_test.cpp.o.d"
+  "dce_profiler_test"
+  "dce_profiler_test.pdb"
+  "dce_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dce_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exposure_graph_test.dir/exposure_graph_test.cpp.o"
+  "CMakeFiles/exposure_graph_test.dir/exposure_graph_test.cpp.o.d"
+  "exposure_graph_test"
+  "exposure_graph_test.pdb"
+  "exposure_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exposure_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

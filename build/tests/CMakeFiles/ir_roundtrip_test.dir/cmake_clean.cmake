@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_roundtrip_test.dir/ir_roundtrip_test.cpp.o"
+  "CMakeFiles/ir_roundtrip_test.dir/ir_roundtrip_test.cpp.o.d"
+  "ir_roundtrip_test"
+  "ir_roundtrip_test.pdb"
+  "ir_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_syscalls_test.dir/kernel_syscalls_test.cpp.o"
+  "CMakeFiles/kernel_syscalls_test.dir/kernel_syscalls_test.cpp.o.d"
+  "kernel_syscalls_test"
+  "kernel_syscalls_test.pdb"
+  "kernel_syscalls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_syscalls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_misc_test.dir/os_misc_test.cpp.o"
+  "CMakeFiles/os_misc_test.dir/os_misc_test.cpp.o.d"
+  "os_misc_test"
+  "os_misc_test.pdb"
+  "os_misc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privc_test.dir/privc_test.cpp.o"
+  "CMakeFiles/privc_test.dir/privc_test.cpp.o.d"
+  "privc_test"
+  "privc_test.pdb"
+  "privc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privmodels_test.dir/privmodels_test.cpp.o"
+  "CMakeFiles/privmodels_test.dir/privmodels_test.cpp.o.d"
+  "privmodels_test"
+  "privmodels_test.pdb"
+  "privmodels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privmodels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosa_creat_link_test.dir/rosa_creat_link_test.cpp.o"
+  "CMakeFiles/rosa_creat_link_test.dir/rosa_creat_link_test.cpp.o.d"
+  "rosa_creat_link_test"
+  "rosa_creat_link_test.pdb"
+  "rosa_creat_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosa_creat_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosa_rules_test.dir/rosa_rules_test.cpp.o"
+  "CMakeFiles/rosa_rules_test.dir/rosa_rules_test.cpp.o.d"
+  "rosa_rules_test"
+  "rosa_rules_test.pdb"
+  "rosa_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosa_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

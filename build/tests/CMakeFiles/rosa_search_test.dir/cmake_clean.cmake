@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosa_search_test.dir/rosa_search_test.cpp.o"
+  "CMakeFiles/rosa_search_test.dir/rosa_search_test.cpp.o.d"
+  "rosa_search_test"
+  "rosa_search_test.pdb"
+  "rosa_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosa_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosa_state_test.dir/rosa_state_test.cpp.o"
+  "CMakeFiles/rosa_state_test.dir/rosa_state_test.cpp.o.d"
+  "rosa_state_test"
+  "rosa_state_test.pdb"
+  "rosa_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosa_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

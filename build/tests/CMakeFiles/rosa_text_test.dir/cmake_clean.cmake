@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rosa_text_test.dir/rosa_text_test.cpp.o"
+  "CMakeFiles/rosa_text_test.dir/rosa_text_test.cpp.o.d"
+  "rosa_text_test"
+  "rosa_text_test.pdb"
+  "rosa_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosa_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

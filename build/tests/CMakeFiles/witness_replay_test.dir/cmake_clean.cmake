@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_replay_test.dir/witness_replay_test.cpp.o"
+  "CMakeFiles/witness_replay_test.dir/witness_replay_test.cpp.o.d"
+  "witness_replay_test"
+  "witness_replay_test.pdb"
+  "witness_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

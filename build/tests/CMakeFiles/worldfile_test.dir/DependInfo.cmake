@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/worldfile_test.cpp" "tests/CMakeFiles/worldfile_test.dir/worldfile_test.cpp.o" "gcc" "tests/CMakeFiles/worldfile_test.dir/worldfile_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pa_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_autopriv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_privmodels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_chronopriv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_rosa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_privc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_programs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_caps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pa_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

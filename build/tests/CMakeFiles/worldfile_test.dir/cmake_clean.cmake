@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worldfile_test.dir/worldfile_test.cpp.o"
+  "CMakeFiles/worldfile_test.dir/worldfile_test.cpp.o.d"
+  "worldfile_test"
+  "worldfile_test.pdb"
+  "worldfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worldfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

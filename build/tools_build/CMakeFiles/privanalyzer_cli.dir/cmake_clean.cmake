@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/privanalyzer"
+  "../tools/privanalyzer.pdb"
+  "CMakeFiles/privanalyzer_cli.dir/privanalyzer_main.cpp.o"
+  "CMakeFiles/privanalyzer_cli.dir/privanalyzer_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privanalyzer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../tools/rosa_check"
+  "../tools/rosa_check.pdb"
+  "CMakeFiles/rosa_check.dir/rosa_check_main.cpp.o"
+  "CMakeFiles/rosa_check.dir/rosa_check_main.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rosa_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
