@@ -1,0 +1,109 @@
+// Serial vs. parallel ROSA on the Table-3 query set: build the full
+// (epoch × attack) matrix for the five baseline programs, then run it with
+// rosa::run_queries at 1 / 2 / 4 / 8 threads and report wall-clock speedup.
+// Also reports the aggregate SearchStats, making the hashed-dedup savings
+// (dedup hits vs. string-keyed rebuilds) visible alongside the fan-out win.
+//
+// Expected: >= 2x at 4 threads on the Table-3 set when the host has >= 4
+// hardware threads (the queries are fully independent and the per-query
+// skew is small — the largest single search is <10% of total work, so
+// scaling is essentially linear in physical cores). On hosts with fewer
+// cores the sweep degenerates into an engine-overhead measurement, and the
+// bench says so explicitly rather than reporting a meaningless "speedup".
+#include <chrono>
+#include <iostream>
+
+#include "privanalyzer/efficacy.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+using namespace pa;
+
+namespace {
+
+double run_once(const std::vector<rosa::Query>& queries,
+                const rosa::SearchLimits& limits, unsigned n_threads,
+                rosa::SearchStats* stats_out) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<rosa::SearchResult> results =
+      rosa::run_queries(queries, limits, n_threads);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (stats_out) {
+    *stats_out = {};
+    for (const rosa::SearchResult& r : results) stats_out->merge(r.stats);
+  }
+  return wall;
+}
+
+}  // namespace
+
+int main() {
+  // Stage 1+2 (AutoPriv + ChronoPriv) once, serially: this bench measures
+  // only the ROSA stage, which dominates the pipeline.
+  privanalyzer::PipelineOptions chrono_only;
+  chrono_only.run_rosa = false;
+  std::vector<privanalyzer::ProgramAnalysis> analyses =
+      privanalyzer::analyze_baseline(chrono_only);
+  std::vector<programs::ProgramSpec> specs = programs::all_baseline_programs();
+
+  rosa::SearchLimits limits;
+  limits.max_states = 1'000'000;
+
+  std::vector<rosa::Query> queries;
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    const auto syscalls = specs[p].syscalls_used();
+    for (const chronopriv::EpochRow& row : analyses[p].chrono.rows) {
+      attacks::ScenarioInput in = attacks::scenario_from_epoch(
+          row, syscalls, specs[p].scenario_extra_users,
+          specs[p].scenario_extra_groups);
+      // Widen the wildcard uid/gid pools to the paper's production scale
+      // (the Figs. 10-11 methodology): the seed program models are small,
+      // and without this the exhaustive (Safe-verdict) searches finish in
+      // microseconds, leaving nothing for the fan-out to amortize.
+      for (int i = 0; i < 24; ++i) {
+        in.extra_users.push_back(5000 + i);
+        in.extra_groups.push_back(6000 + i);
+      }
+      for (const attacks::AttackInfo& a : attacks::modeled_attacks())
+        queries.push_back(attacks::build_attack_query(a.id, in));
+    }
+  }
+  const unsigned cores = support::ThreadPool::hardware_threads();
+  std::cout << "Table-3 query set: " << queries.size()
+            << " queries (epoch x attack over 5 baseline programs,\n"
+               "wildcard pools widened to paper scale); host has "
+            << cores << " hardware thread(s)\n\n";
+
+  rosa::SearchStats stats;
+  // Warm-up pass so the serial baseline is not penalized by cold caches /
+  // first-touch page faults.
+  run_once(queries, limits, 1, nullptr);
+  const double serial = run_once(queries, limits, 1, &stats);
+  std::cout << "  aggregate: " << stats.to_string() << "\n\n";
+  std::cout << "  " << str::pad_right("threads", 10)
+            << str::pad_left("wall", 12) << str::pad_left("speedup", 10)
+            << str::pad_left("ideal", 8) << "\n";
+  std::cout << "  " << str::pad_right("1", 10)
+            << str::pad_left(str::cat(str::fixed(serial * 1000, 1), " ms"), 12)
+            << str::pad_left("1.00x", 10) << str::pad_left("1.00x", 8)
+            << "\n";
+  for (unsigned n : {2u, 4u, 8u}) {
+    const double wall = run_once(queries, limits, n, nullptr);
+    // Independent queries fan out perfectly, but never beyond the physical
+    // core count.
+    const double ideal = static_cast<double>(std::min(n, cores));
+    std::cout << "  " << str::pad_right(std::to_string(n), 10)
+              << str::pad_left(str::cat(str::fixed(wall * 1000, 1), " ms"), 12)
+              << str::pad_left(str::cat(str::fixed(serial / wall, 2), "x"), 10)
+              << str::pad_left(str::cat(str::fixed(ideal, 2), "x"), 8)
+              << "\n";
+  }
+  if (cores < 4)
+    std::cout << "\n  NOTE: this host cannot run 4 workers in parallel; the "
+                 "sweep above measures\n  engine overhead only (expect "
+                 "~1.0x). On a >=4-core host the independent,\n  low-skew "
+                 "query set yields >=2x at 4 threads.\n";
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "attacks/scenario.h"
 
+#include "support/error.h"
+
 namespace pa::attacks {
 
 char cell_symbol(CellVerdict v) {
@@ -9,6 +11,15 @@ char cell_symbol(CellVerdict v) {
     case CellVerdict::Timeout: return 'T';
   }
   return '?';
+}
+
+CellVerdict cell_from_verdict(rosa::Verdict v) {
+  switch (v) {
+    case rosa::Verdict::Reachable: return CellVerdict::Vulnerable;
+    case rosa::Verdict::Unreachable: return CellVerdict::Safe;
+    case rosa::Verdict::ResourceLimit: return CellVerdict::Timeout;
+  }
+  return CellVerdict::Timeout;
 }
 
 ScenarioInput scenario_from_epoch(const chronopriv::EpochRow& row,
@@ -29,21 +40,7 @@ CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
                        rosa::SearchResult* result) {
   rosa::Query q = build_attack_query(attack, input);
   rosa::SearchResult r = rosa::search(q, limits);
-  CellVerdict verdict;
-  switch (r.verdict) {
-    case rosa::Verdict::Reachable:
-      verdict = CellVerdict::Vulnerable;
-      break;
-    case rosa::Verdict::Unreachable:
-      verdict = CellVerdict::Safe;
-      break;
-    case rosa::Verdict::ResourceLimit:
-      verdict = CellVerdict::Timeout;
-      break;
-    default:
-      verdict = CellVerdict::Timeout;
-      break;
-  }
+  CellVerdict verdict = cell_from_verdict(r.verdict);
   if (result) *result = std::move(r);
   return verdict;
 }
@@ -56,6 +53,48 @@ EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
   for (std::size_t i = 0; i < modeled_attacks().size(); ++i) {
     const AttackId id = modeled_attacks()[i].id;
     out.verdicts[i] = run_attack(id, input, limits, &out.results[i]);
+  }
+  return out;
+}
+
+std::vector<EpochVerdicts> analyze_epochs(
+    const std::vector<chronopriv::EpochRow>& rows,
+    const std::vector<ScenarioInput>& inputs,
+    const rosa::SearchLimits& limits, unsigned n_threads) {
+  PA_CHECK(rows.size() == inputs.size(),
+           "analyze_epochs: rows and inputs must be parallel vectors");
+  std::vector<EpochVerdicts> out;
+  out.reserve(rows.size());
+
+  if (n_threads == 1) {
+    // The pre-parallel engine, preserved byte-for-byte.
+    for (std::size_t i = 0; i < rows.size(); ++i)
+      out.push_back(analyze_epoch(rows[i], inputs[i], limits));
+    return out;
+  }
+
+  // Flatten the (epoch × attack) matrix into one query batch; run_queries
+  // guarantees input-ordered results, so row i's verdicts live at
+  // [i * n_attacks, (i + 1) * n_attacks).
+  const std::size_t n_attacks = modeled_attacks().size();
+  std::vector<rosa::Query> queries;
+  queries.reserve(rows.size() * n_attacks);
+  for (const ScenarioInput& input : inputs)
+    for (std::size_t a = 0; a < n_attacks; ++a)
+      queries.push_back(build_attack_query(modeled_attacks()[a].id, input));
+
+  std::vector<rosa::SearchResult> results =
+      rosa::run_queries(queries, limits, n_threads);
+
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EpochVerdicts ev;
+    ev.epoch_name = rows[i].name;
+    for (std::size_t a = 0; a < n_attacks; ++a) {
+      rosa::SearchResult& r = results[i * n_attacks + a];
+      ev.verdicts[a] = cell_from_verdict(r.verdict);
+      ev.results[a] = std::move(r);
+    }
+    out.push_back(std::move(ev));
   }
   return out;
 }

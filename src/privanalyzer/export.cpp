@@ -94,4 +94,26 @@ std::string efficacy_to_markdown(
   return os.str();
 }
 
+std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
+  std::ostringstream os;
+  os << "program,epoch,attack,verdict,states,transitions,dedup_hits,"
+        "hash_collisions,peak_frontier,seconds\n";
+  for (const ProgramAnalysis& a : analyses) {
+    for (const attacks::EpochVerdicts& ev : a.verdicts) {
+      for (std::size_t atk = 0; atk < attacks::modeled_attacks().size();
+           ++atk) {
+        const rosa::SearchResult& r = ev.results[atk];
+        os << q(a.program) << ',' << q(ev.epoch_name) << ','
+           << q(attacks::modeled_attacks()[atk].name) << ','
+           << attacks::cell_symbol(ev.verdicts[atk]) << ','
+           << r.stats.states << ',' << r.stats.transitions << ','
+           << r.stats.dedup_hits << ',' << r.stats.hash_collisions << ','
+           << r.stats.peak_frontier << ',' << str::fixed(r.stats.seconds, 6)
+           << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
 }  // namespace pa::privanalyzer

@@ -21,4 +21,9 @@ std::string efficacy_to_csv(const std::vector<ProgramAnalysis>& analyses);
 /// Full efficacy matrix as a GitHub-flavoured Markdown table.
 std::string efficacy_to_markdown(const std::vector<ProgramAnalysis>& analyses);
 
+/// Per-query ROSA search statistics as CSV:
+/// program,epoch,attack,verdict,states,transitions,dedup_hits,
+/// hash_collisions,peak_frontier,seconds
+std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses);
+
 }  // namespace pa::privanalyzer

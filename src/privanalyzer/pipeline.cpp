@@ -12,6 +12,13 @@ double ProgramAnalysis::vulnerable_fraction(std::size_t attack) const {
   return total;
 }
 
+rosa::SearchStats ProgramAnalysis::search_stats() const {
+  rosa::SearchStats total;
+  for (const attacks::EpochVerdicts& ev : verdicts)
+    for (const rosa::SearchResult& r : ev.results) total.merge(r.stats);
+  return total;
+}
+
 ir::Module transformed_module(const programs::ProgramSpec& spec,
                               const autopriv::Options& options) {
   // ProgramSpec factories are cheap; rebuilding gives us a fresh module to
@@ -41,16 +48,20 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
   out.chrono = chronopriv::run_instrumented(kernel, module, pid, spec.args,
                                             "main", &out.exit_code);
 
-  // Stage 3: one ROSA query per (epoch x attack).
+  // Stage 3: one ROSA query per (epoch x attack), fanned out across
+  // options.rosa_threads workers (the queries are independent; results are
+  // deterministic and identical to the serial order).
   if (options.run_rosa) {
     const std::vector<std::string> syscalls = spec.syscalls_used();
-    for (const chronopriv::EpochRow& row : out.chrono.rows) {
-      attacks::ScenarioInput input = attacks::scenario_from_epoch(
+    std::vector<attacks::ScenarioInput> inputs;
+    inputs.reserve(out.chrono.rows.size());
+    for (const chronopriv::EpochRow& row : out.chrono.rows)
+      inputs.push_back(attacks::scenario_from_epoch(
           row, syscalls, spec.scenario_extra_users,
-          spec.scenario_extra_groups);
-      out.verdicts.push_back(
-          attacks::analyze_epoch(row, input, options.rosa_limits));
-    }
+          spec.scenario_extra_groups));
+    out.verdicts = attacks::analyze_epochs(out.chrono.rows, inputs,
+                                           options.rosa_limits,
+                                           options.rosa_threads);
   }
   return out;
 }

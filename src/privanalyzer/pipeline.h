@@ -19,6 +19,12 @@ struct PipelineOptions {
   rosa::SearchLimits rosa_limits;
   /// Skip the ROSA stage (ChronoPriv-only runs for tests/benches).
   bool run_rosa = true;
+  /// Worker threads for the ROSA stage's (epoch × attack) query matrix:
+  /// 0 = hardware_concurrency, 1 = the original serial path. Every thread
+  /// count yields bit-identical verdicts, witnesses, and fractions (the
+  /// queries are independent and each search is single-threaded); enforced
+  /// by tests/rosa_parallel_diff_test.cpp.
+  unsigned rosa_threads = 0;
   /// Custom world builder (e.g. os::world_from_file); when unset the
   /// standard or refactored world is chosen by the program spec.
   std::function<os::Kernel()> world_factory;
@@ -42,6 +48,10 @@ struct ProgramAnalysis {
   /// index into attacks::modeled_attacks()) was feasible. Timeout epochs are
   /// excluded (the paper treats them as presumed-invulnerable).
   double vulnerable_fraction(std::size_t attack) const;
+
+  /// Aggregate ROSA counters over every (epoch × attack) query this
+  /// analysis ran (rendered by `privanalyzer --stats`).
+  rosa::SearchStats search_stats() const;
 };
 
 /// Run the full pipeline on one program model.

@@ -87,4 +87,31 @@ std::string render_refactor_diff_table() {
   return os.str();
 }
 
+std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses) {
+  std::ostringstream os;
+  os << "ROSA search statistics (per program, summed over epoch x attack "
+        "queries)\n";
+  os << "  " << str::pad_right("Program", 14) << str::pad_left("Queries", 9)
+     << str::pad_left("States", 12) << str::pad_left("Transitions", 13)
+     << str::pad_left("Dedup", 10) << str::pad_left("Collisions", 12)
+     << str::pad_left("PeakFront", 11) << str::pad_left("Time", 10) << "\n";
+  for (const ProgramAnalysis& a : analyses) {
+    const rosa::SearchStats s = a.search_stats();
+    const std::size_t queries =
+        a.verdicts.size() * attacks::modeled_attacks().size();
+    os << "  " << str::pad_right(a.program, 14)
+       << str::pad_left(std::to_string(queries), 9)
+       << str::pad_left(str::with_commas(static_cast<long long>(s.states)), 12)
+       << str::pad_left(
+              str::with_commas(static_cast<long long>(s.transitions)), 13)
+       << str::pad_left(
+              str::with_commas(static_cast<long long>(s.dedup_hits)), 10)
+       << str::pad_left(std::to_string(s.hash_collisions), 12)
+       << str::pad_left(
+              str::with_commas(static_cast<long long>(s.peak_frontier)), 11)
+       << str::pad_left(str::cat(str::fixed(s.seconds, 3), "s"), 10) << "\n";
+  }
+  return os.str();
+}
+
 }  // namespace pa::privanalyzer

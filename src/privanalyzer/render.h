@@ -24,4 +24,9 @@ std::string render_efficacy_table(
 /// Table IV: instruction churn between stock and refactored models.
 std::string render_refactor_diff_table();
 
+/// Per-program ROSA search statistics (states, transitions, dedup hits,
+/// hash collisions, peak frontier, wall time) summed over the whole
+/// (epoch × attack) matrix — the `privanalyzer --stats` block.
+std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses);
+
 }  // namespace pa::privanalyzer

@@ -17,6 +17,9 @@
 
 namespace pa::rosa {
 
+/// Implementations must be stateless (or internally synchronized): one
+/// checker instance is shared by every worker of the parallel query engine
+/// (rosa::run_queries), which calls these predicates concurrently.
 class AccessChecker {
  public:
   virtual ~AccessChecker() = default;

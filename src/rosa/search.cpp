@@ -8,6 +8,7 @@
 
 #include "support/error.h"
 #include "support/str.h"
+#include "support/thread_pool.h"
 
 namespace pa::rosa {
 
@@ -18,6 +19,23 @@ std::string_view verdict_name(Verdict v) {
     case Verdict::ResourceLimit: return "RESOURCE-LIMIT";
   }
   return "?";
+}
+
+void SearchStats::merge(const SearchStats& other) {
+  states += other.states;
+  transitions += other.transitions;
+  dedup_hits += other.dedup_hits;
+  hash_collisions += other.hash_collisions;
+  peak_frontier = std::max(peak_frontier, other.peak_frontier);
+  seconds += other.seconds;
+}
+
+std::string SearchStats::to_string() const {
+  return str::cat("states=", states, " transitions=", transitions,
+                  " dedup-hits=", dedup_hits,
+                  " hash-collisions=", hash_collisions,
+                  " peak-frontier=", peak_frontier, " time=",
+                  str::fixed(seconds, 3), "s");
 }
 
 std::string SearchResult::to_string() const {
@@ -50,10 +68,31 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
     State state;
     std::int64_t parent;
     Action action;
+    /// Next node with the same 64-bit state hash (-1 = end of chain). The
+    /// seen-map stores one head index per hash; genuine collisions extend
+    /// this intrusive chain instead of allocating per-key buckets.
+    std::int64_t hash_next = -1;
   };
   std::vector<Node> nodes;
-  std::unordered_map<std::string, std::size_t> seen;
+  // Hash of canonical form -> head of the Node chain with that hash. Keying
+  // on 8-byte digests instead of full canonical() strings removes one string
+  // build + hash per generated successor; exactness is restored by
+  // canonical_equal() along the (almost always length-1) chain.
+  std::unordered_map<std::uint64_t, std::size_t> seen;
   std::deque<std::size_t> frontier;
+
+  // Size the node arena and seen-set for the typical attack query up front
+  // so early growth never reallocates; both still grow for the huge
+  // exhaustive searches.
+  const std::size_t reserve_hint =
+      limits.max_states ? std::min<std::size_t>(limits.max_states, 4096)
+                        : 4096;
+  nodes.reserve(reserve_hint);
+  seen.reserve(reserve_hint);
+
+  auto state_key = [&limits](const State& st) {
+    return limits.hash_override ? limits.hash_override(st) : st.hash();
+  };
 
   State init = query.initial;
   init.normalize();
@@ -74,17 +113,26 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
         steps.push_back(nodes[static_cast<std::size_t>(n)].action);
       result.witness.assign(steps.rbegin(), steps.rend());
     }
+    result.stats.states = result.states_explored;
+    result.stats.transitions = result.transitions;
+    result.stats.seconds = result.seconds;
     return result;
   };
 
-  nodes.push_back(Node{init, -1, Action{}});
-  seen.emplace(init.canonical(), 0);
+  nodes.push_back(Node{init, -1, Action{}, -1});
+  seen.emplace(state_key(init), 0);
   frontier.push_back(0);
   result.states_explored = 1;
+  result.stats.peak_frontier = 1;
   if (query.goal(init)) return finish(Verdict::Reachable, 0);
 
-  std::size_t since_clock_check = 0;
   while (!frontier.empty()) {
+    // The wall-clock budget is enforced here, once per frontier pop: a
+    // per-message-loop check alone is blind to searches whose per-state
+    // fanout is tiny but whose frontier is enormous.
+    if (limits.max_seconds > 0 && elapsed() > limits.max_seconds)
+      return finish(Verdict::ResourceLimit, -1);
+
     const std::size_t cur = frontier.front();
     frontier.pop_front();
     // Copy what we need: `nodes` may reallocate as successors are added.
@@ -114,15 +162,34 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
         ++result.transitions;
         tr.next.msgs_remaining = cur_state.msgs_remaining & ~bit;
 
-        std::string key = tr.next.canonical();
+        const std::size_t ni = nodes.size();
         if (!limits.no_dedup) {
-          auto [it, inserted] = seen.emplace(std::move(key), nodes.size());
-          if (!inserted) continue;
+          auto [it, inserted] = seen.try_emplace(state_key(tr.next), ni);
+          if (!inserted) {
+            // Hash already present: walk the chain; exact match = duplicate,
+            // otherwise it is a genuine 64-bit collision and the new state
+            // joins the chain.
+            std::size_t idx = it->second;
+            bool duplicate = false;
+            for (;;) {
+              if (canonical_equal(nodes[idx].state, tr.next)) {
+                duplicate = true;
+                break;
+              }
+              if (nodes[idx].hash_next < 0) break;
+              idx = static_cast<std::size_t>(nodes[idx].hash_next);
+            }
+            if (duplicate) {
+              ++result.stats.dedup_hits;
+              continue;
+            }
+            ++result.stats.hash_collisions;
+            nodes[idx].hash_next = static_cast<std::int64_t>(ni);
+          }
         }
         nodes.push_back(Node{std::move(tr.next), static_cast<std::int64_t>(cur),
-                             std::move(tr.action)});
+                             std::move(tr.action), -1});
         ++result.states_explored;
-        const std::size_t ni = nodes.size() - 1;
 
         if (query.goal(nodes[ni].state))
           return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
@@ -130,16 +197,32 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
         if (limits.max_states && result.states_explored >= limits.max_states)
           return finish(Verdict::ResourceLimit, -1);
         frontier.push_back(ni);
-      }
-
-      if (limits.max_seconds > 0 && ++since_clock_check >= 64) {
-        since_clock_check = 0;
-        if (elapsed() > limits.max_seconds)
-          return finish(Verdict::ResourceLimit, -1);
+        result.stats.peak_frontier =
+            std::max(result.stats.peak_frontier, frontier.size());
       }
     }
   }
   return finish(Verdict::Unreachable, -1);
+}
+
+std::vector<SearchResult> run_queries(std::span<const Query> queries,
+                                      const SearchLimits& limits,
+                                      unsigned n_threads) {
+  std::vector<SearchResult> results(queries.size());
+  if (n_threads == 0) n_threads = support::ThreadPool::hardware_threads();
+  if (n_threads <= 1 || queries.size() <= 1) {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      results[i] = search(queries[i], limits);
+    return results;
+  }
+  support::ThreadPool pool(
+      static_cast<unsigned>(std::min<std::size_t>(n_threads, queries.size())));
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    pool.submit([&queries, &limits, &results, i] {
+      results[i] = search(queries[i], limits);
+    });
+  pool.wait_idle();
+  return results;
 }
 
 }  // namespace pa::rosa

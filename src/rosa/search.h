@@ -1,11 +1,17 @@
 // ROSA's bounded search — the C++ analogue of Maude's `search` command:
 // breadth-first exploration of every configuration reachable from the
 // initial state by consuming syscall messages, with duplicate states pruned
-// via canonical serialization.
+// via a 64-bit hash of the canonical form (collisions resolved by exact
+// comparison, so dedup semantics are identical to full canonical keying).
+//
+// Single queries run on the calling thread; run_queries() fans a batch of
+// independent queries out across a thread pool with deterministic,
+// input-ordered results (the engine behind PipelineOptions::rosa_threads).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +23,11 @@ namespace pa::rosa {
 
 /// A search problem: initial configuration, one-shot messages, and the
 /// pattern (goal predicate) describing the compromised system state.
+///
+/// Thread-safety contract for run_queries(): a Query is only ever read
+/// during search, but `goal` and `checker` are *shared* by whichever worker
+/// picks the query up — goal predicates must be pure functions of the State
+/// and checkers stateless, as every implementation in this repo is.
 struct Query {
   State initial;
   /// At most 64 messages (bitmask-tracked). Under AttackerModel::CfiOrdered
@@ -37,10 +48,15 @@ struct SearchLimits {
   /// Stop after exploring this many distinct states (0 = unlimited). This is
   /// the bound that produces the paper's "timed out" verdicts.
   std::size_t max_states = 2'000'000;
-  /// Wall-clock budget in seconds (0 = unlimited).
+  /// Wall-clock budget in seconds (0 = unlimited). Checked once per frontier
+  /// pop, so even huge-frontier/tiny-fanout searches respect the budget.
   double max_seconds = 0.0;
   /// Disable duplicate-state detection (ablation only; exponential blowup).
   bool no_dedup = false;
+  /// Test hook: replace State::hash() as the dedup key (e.g. a constant to
+  /// force every insert through the collision-fallback path). Verdicts must
+  /// not change under any override (tests/rosa_hash_test.cpp).
+  std::function<std::uint64_t(const State&)> hash_override;
 };
 
 enum class Verdict {
@@ -51,11 +67,29 @@ enum class Verdict {
 
 std::string_view verdict_name(Verdict v);
 
+/// Per-query observability counters, aggregated across the pipeline's
+/// (epoch × attack) matrix and printed by `privanalyzer --stats`.
+struct SearchStats {
+  std::size_t states = 0;           // distinct states explored
+  std::size_t transitions = 0;      // rule applications attempted
+  std::size_t dedup_hits = 0;       // successors pruned as already seen
+  std::size_t hash_collisions = 0;  // distinct states sharing a 64-bit key
+  std::size_t peak_frontier = 0;    // high-water mark of the BFS queue
+  double seconds = 0.0;             // wall time
+
+  /// Accumulate another query's counters (peak_frontier takes the max).
+  void merge(const SearchStats& other);
+
+  std::string to_string() const;
+};
+
 struct SearchResult {
   Verdict verdict = Verdict::Unreachable;
   std::size_t states_explored = 0;
   std::size_t transitions = 0;
   double seconds = 0.0;
+  /// Extended counters; states/transitions/seconds mirror the fields above.
+  SearchStats stats;
   /// When Reachable: the instantiated syscall sequence that compromises the
   /// system (the paper's "solution"). Machine-readable Actions; replayable
   /// against the SimOS kernel (tests/witness_replay_test.cpp).
@@ -66,5 +100,15 @@ struct SearchResult {
 
 /// Run the bounded search.
 SearchResult search(const Query& query, const SearchLimits& limits = {});
+
+/// Run a batch of independent queries, fanned out across `n_threads`
+/// workers (0 = hardware_concurrency). results[i] always corresponds to
+/// queries[i] regardless of completion order, and each individual search is
+/// single-threaded, so every result is bit-identical to a serial run —
+/// n_threads == 1 literally executes the serial loop. Exceptions from any
+/// query propagate to the caller.
+std::vector<SearchResult> run_queries(std::span<const Query> queries,
+                                      const SearchLimits& limits = {},
+                                      unsigned n_threads = 0);
 
 }  // namespace pa::rosa

@@ -109,6 +109,94 @@ std::string State::canonical() const {
   return out;
 }
 
+std::uint64_t State::hash() const {
+  // FNV-1a 64 over the canonical() projection. Object-kind tags and
+  // per-object field counts are mixed in so that, like canonical()'s
+  // 'P'/'F'/'D'/'S' markers and separators, shifting a value between
+  // adjacent variable-length fields changes the digest.
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(msgs_remaining);
+  for (const ProcObj& p : procs) {
+    mix(0x50);  // 'P'
+    mix(static_cast<std::uint64_t>(p.id));
+    mix(static_cast<std::uint64_t>(p.uid.real));
+    mix(static_cast<std::uint64_t>(p.uid.effective));
+    mix(static_cast<std::uint64_t>(p.uid.saved));
+    mix(static_cast<std::uint64_t>(p.gid.real));
+    mix(static_cast<std::uint64_t>(p.gid.effective));
+    mix(static_cast<std::uint64_t>(p.gid.saved));
+    mix(p.running ? 1 : 0);
+    mix(p.supplementary.size());
+    for (int g : p.supplementary) mix(static_cast<std::uint64_t>(g));
+    mix(p.rdfset.size());
+    for (int f : p.rdfset) mix(static_cast<std::uint64_t>(f));
+    mix(p.wrfset.size());
+    for (int f : p.wrfset) mix(static_cast<std::uint64_t>(f));
+  }
+  for (const FileObj& f : files) {
+    mix(0x46);  // 'F'
+    mix(static_cast<std::uint64_t>(f.id));
+    mix(static_cast<std::uint64_t>(f.meta.owner));
+    mix(static_cast<std::uint64_t>(f.meta.group));
+    mix(f.meta.mode.bits());
+  }
+  for (const DirObj& d : dirs) {
+    mix(0x44);  // 'D'
+    mix(static_cast<std::uint64_t>(d.id));
+    mix(static_cast<std::uint64_t>(d.meta.owner));
+    mix(static_cast<std::uint64_t>(d.meta.group));
+    mix(d.meta.mode.bits());
+    mix(static_cast<std::uint64_t>(d.inode));
+  }
+  for (const SockObj& s : socks) {
+    mix(0x53);  // 'S'
+    mix(static_cast<std::uint64_t>(s.id));
+    mix(static_cast<std::uint64_t>(s.owner_proc));
+    mix(static_cast<std::uint64_t>(s.port));
+  }
+  // users/groups are immutable during search; excluded, as in canonical().
+  return h;
+}
+
+bool canonical_equal(const State& a, const State& b) {
+  if (a.msgs_remaining != b.msgs_remaining) return false;
+  if (a.procs.size() != b.procs.size() || a.files.size() != b.files.size() ||
+      a.dirs.size() != b.dirs.size() || a.socks.size() != b.socks.size())
+    return false;
+  for (std::size_t i = 0; i < a.procs.size(); ++i) {
+    const ProcObj& p = a.procs[i];
+    const ProcObj& q = b.procs[i];
+    if (p.id != q.id || p.uid != q.uid || p.gid != q.gid ||
+        p.running != q.running || p.supplementary != q.supplementary ||
+        p.rdfset != q.rdfset || p.wrfset != q.wrfset)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    const FileObj& f = a.files[i];
+    const FileObj& g = b.files[i];
+    if (f.id != g.id || f.meta.owner != g.meta.owner ||
+        f.meta.group != g.meta.group || f.meta.mode.bits() != g.meta.mode.bits())
+      return false;
+  }
+  for (std::size_t i = 0; i < a.dirs.size(); ++i) {
+    const DirObj& d = a.dirs[i];
+    const DirObj& e = b.dirs[i];
+    if (d.id != e.id || d.meta.owner != e.meta.owner ||
+        d.meta.group != e.meta.group ||
+        d.meta.mode.bits() != e.meta.mode.bits() || d.inode != e.inode)
+      return false;
+  }
+  for (std::size_t i = 0; i < a.socks.size(); ++i)
+    if (!(a.socks[i] == b.socks[i])) return false;
+  return true;
+}
+
 std::string State::to_string() const {
   std::ostringstream os;
   for (const ProcObj& p : procs) {

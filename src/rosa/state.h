@@ -106,12 +106,27 @@ struct State {
   /// Keep object vectors sorted by id; call after construction.
   void normalize();
 
-  /// Deterministic serialization — the dedup key for search.
+  /// Deterministic serialization — the reference dedup key. The search now
+  /// keys its seen-set on hash() and falls back to canonical_equal() on
+  /// collisions; canonical() remains the ground truth those two must match
+  /// (tests/rosa_hash_test.cpp).
   std::string canonical() const;
+
+  /// 64-bit FNV-1a over exactly the fields canonical() serializes, without
+  /// materializing the string. Guarantees: canonical()-equal states hash
+  /// equal; distinct canonical forms collide only by hash accident, which
+  /// the search resolves via canonical_equal().
+  std::uint64_t hash() const;
 
   /// Multi-line rendering in a Maude-like object syntax (for reports and
   /// the worked example).
   std::string to_string() const;
 };
+
+/// Field-by-field comparison of exactly the canonical() projection:
+/// equivalent to a.canonical() == b.canonical() but with no allocation.
+/// (Unlike operator==, ignores display names and the immutable user/group
+/// pools, just as canonical() does.)
+bool canonical_equal(const State& a, const State& b);
 
 }  // namespace pa::rosa

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "privanalyzer/export.h"
+#include "privanalyzer/render.h"
 #include "support/str.h"
 
 namespace pa::privanalyzer {
@@ -75,6 +76,35 @@ TEST(ExportTest, CsvQuotesEmbeddedQuotes) {
   a.chrono.rows[0].name = "odd\"name";
   std::string csv = epochs_to_csv(a.chrono);
   EXPECT_NE(csv.find("\"odd\"\"name\""), std::string::npos);
+}
+
+TEST(ExportTest, SearchStatsCsvAndTableShape) {
+  PipelineOptions opts;
+  opts.rosa_limits.max_states = 500'000;
+  ProgramAnalysis a = analyze_program(programs::make_ping(), opts);
+  ASSERT_FALSE(a.verdicts.empty());
+  ASSERT_EQ(a.verdicts[0].results.size(), attacks::modeled_attacks().size());
+
+  std::string csv = search_stats_to_csv({a});
+  auto lines = str::split(csv, '\n');
+  // header + one row per (epoch, attack) cell.
+  ASSERT_EQ(lines.size(),
+            1 + a.verdicts.size() * attacks::modeled_attacks().size());
+  EXPECT_TRUE(str::starts_with(lines[0], "program,epoch,attack,verdict"));
+  EXPECT_TRUE(str::starts_with(lines[1], "\"ping\",\"ping_priv1\","));
+
+  // The aggregate must mirror the per-cell legacy counters.
+  rosa::SearchStats agg = a.search_stats();
+  std::size_t states = 0;
+  for (const auto& ev : a.verdicts)
+    for (const auto& r : ev.results) states += r.states_explored;
+  EXPECT_EQ(agg.states, states);
+  EXPECT_GT(agg.states, 0u);
+
+  std::string table = render_search_stats({a});
+  EXPECT_NE(table.find("ping"), std::string::npos);
+  EXPECT_NE(table.find("Dedup"), std::string::npos);
+  EXPECT_NE(table.find("PeakFront"), std::string::npos);
 }
 
 // --- Full-pipeline integration for the remaining Table III programs -------

@@ -2,6 +2,8 @@
 // (Figs. 2-4): chown + chmod + open reaches /etc/passwd despite mode 000.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "rosa/query.h"
 #include "rosa/search.h"
 
@@ -106,6 +108,35 @@ TEST(SearchTest, TimeLimitYieldsResourceLimit) {
   EXPECT_EQ(r.verdict, Verdict::ResourceLimit);
 }
 
+TEST(SearchTest, TimeLimitRespectedWithHugeFrontierAndTinyFanout) {
+  // Regression for the clock blind spot: the time check used to fire only
+  // every 64 message applications inside the per-state loop, so a search
+  // whose frontier is enormous but whose per-state fanout is tiny could
+  // blow past max_seconds unboundedly. The check now runs on every
+  // frontier pop.
+  Query q = paper_example();
+  q.goal = [](const State&) { return false; };
+  // Widen the wildcard pools massively: setuid/chown instantiate against
+  // every user, creating a frontier of thousands of states where each state
+  // has few remaining messages (small fanout per pop).
+  for (int u = 100; u < 400; ++u) q.initial.users.push_back(u);
+  for (int g = 500; g < 700; ++g) q.initial.groups.push_back(g);
+  q.initial.normalize();
+
+  SearchLimits limits;
+  limits.max_states = 0;      // unlimited states: only the clock can stop us
+  limits.max_seconds = 0.05;
+  const auto t0 = std::chrono::steady_clock::now();
+  SearchResult r = search(q, limits);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(r.verdict, Verdict::ResourceLimit);
+  // One frontier pop past the budget is the permitted overshoot; a second
+  // of slack keeps slow CI honest while still catching the unbounded case.
+  EXPECT_LT(wall, 1.0);
+}
+
 TEST(SearchTest, DedupCollapsesPermutations) {
   // Two commuting messages: with dedup the diamond closes (3 distinct
   // non-initial states), without it both orders are explored (4).
@@ -131,6 +162,15 @@ TEST(SearchTest, DedupCollapsesPermutations) {
   no_dedup.no_dedup = true;
   SearchResult without = search(q, no_dedup);
   EXPECT_EQ(without.states_explored, 5u);  // ab counted twice
+
+  // The diamond closure is exactly one dedup hit, and the stats mirror the
+  // legacy counters.
+  EXPECT_EQ(with_dedup.stats.dedup_hits, 1u);
+  EXPECT_EQ(with_dedup.stats.hash_collisions, 0u);
+  EXPECT_EQ(with_dedup.stats.states, with_dedup.states_explored);
+  EXPECT_EQ(with_dedup.stats.transitions, with_dedup.transitions);
+  EXPECT_GE(with_dedup.stats.peak_frontier, 2u);
+  EXPECT_EQ(without.stats.dedup_hits, 0u);
 }
 
 TEST(SearchTest, WitnessReplaysToGoal) {

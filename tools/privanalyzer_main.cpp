@@ -4,6 +4,12 @@
 //   privanalyzer prog.pir [options]
 //     --no-rosa            ChronoPriv epochs only (skip attack analysis)
 //     --max-states N       ROSA search budget per query (default 1000000)
+//     --rosa-threads N     worker threads for the (epoch x attack) query
+//                          matrix (0 = hardware_concurrency, 1 = serial;
+//                          verdicts are identical for every N)
+//     --stats              print per-program ROSA search statistics
+//                          (states, transitions, dedup hits, hash
+//                          collisions, peak frontier, wall time)
 //     --attacker MODEL     full | cfi-ordered | fixed-args
 //     --print-ir           dump the transformed (post-AutoPriv) program
 //     --assume-no-indirect treat indirect calls as having no targets
@@ -25,11 +31,23 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <prog.pir> [--no-rosa] [--max-states N]\n"
+            << " <prog.pir> [--no-rosa] [--max-states N] [--rosa-threads N]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
                "       [--assume-no-indirect] [--world-file world.world]\n"
-               "       [--simplify]\n";
+               "       [--simplify] [--stats]\n";
   return 2;
+}
+
+// Parse a non-negative integer flag value. Returns false (caller prints
+// usage) on garbage instead of letting std::stoull terminate the process.
+bool parse_count(const std::string& s, unsigned long long* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(s, &pos);
+    return !s.empty() && pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -40,11 +58,18 @@ int main(int argc, char** argv) {
   privanalyzer::PipelineOptions opts;
   rosa::AttackerModel attacker = rosa::AttackerModel::Full;
   bool print_ir = false;
+  bool print_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--no-rosa") {
       opts.run_rosa = false;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--rosa-threads" && i + 1 < argc) {
+      unsigned long long n = 0;
+      if (!parse_count(argv[++i], &n)) return usage(argv[0]);
+      opts.rosa_threads = static_cast<unsigned>(n);
     } else if (arg == "--simplify") {
       opts.simplify_after_autopriv = true;
     } else if (arg == "--print-ir") {
@@ -55,8 +80,9 @@ int main(int argc, char** argv) {
       std::string wpath = argv[++i];
       opts.world_factory = [wpath] { return os::world_from_file(wpath); };
     } else if (arg == "--max-states" && i + 1 < argc) {
-      opts.rosa_limits.max_states =
-          static_cast<std::size_t>(std::stoll(argv[++i]));
+      unsigned long long n = 0;
+      if (!parse_count(argv[++i], &n)) return usage(argv[0]);
+      opts.rosa_limits.max_states = static_cast<std::size_t>(n);
     } else if (arg == "--attacker" && i + 1 < argc) {
       std::string m = argv[++i];
       if (m == "full") attacker = rosa::AttackerModel::Full;
@@ -86,16 +112,18 @@ int main(int argc, char** argv) {
       // manually when a non-default model is requested.
       analysis = privanalyzer::analyze_program(spec, opts);
       if (attacker != rosa::AttackerModel::Full && opts.run_rosa) {
-        analysis.verdicts.clear();
         auto syscalls = spec.syscalls_used();
+        std::vector<attacks::ScenarioInput> inputs;
         for (const chronopriv::EpochRow& row : analysis.chrono.rows) {
           attacks::ScenarioInput in = attacks::scenario_from_epoch(
               row, syscalls, spec.scenario_extra_users,
               spec.scenario_extra_groups);
           in.attacker = attacker;
-          analysis.verdicts.push_back(
-              attacks::analyze_epoch(row, in, opts.rosa_limits));
+          inputs.push_back(std::move(in));
         }
+        analysis.verdicts = attacks::analyze_epochs(
+            analysis.chrono.rows, inputs, opts.rosa_limits,
+            opts.rosa_threads);
       }
     }
 
@@ -117,6 +145,8 @@ int main(int argc, char** argv) {
                        std::string("Efficacy (attacker: ") +
                            std::string(rosa::attacker_model_name(attacker)) +
                            ")");
+      if (print_stats)
+        std::cout << "\n" << privanalyzer::render_search_stats({analysis});
     }
     return 0;
   } catch (const Error& e) {
