@@ -37,9 +37,10 @@ ScenarioInput scenario_from_epoch(const chronopriv::EpochRow& row,
 
 CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
                        const rosa::SearchLimits& limits,
-                       rosa::SearchResult* result) {
+                       rosa::SearchResult* result,
+                       const rosa::EscalationPolicy& escalation) {
   rosa::Query q = build_attack_query(attack, input);
-  rosa::SearchResult r = rosa::search(q, limits);
+  rosa::SearchResult r = rosa::search_escalating(q, limits, escalation);
   CellVerdict verdict = cell_from_verdict(r.verdict);
   if (result) *result = std::move(r);
   return verdict;
@@ -47,12 +48,14 @@ CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
 
 EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
                             const ScenarioInput& input,
-                            const rosa::SearchLimits& limits) {
+                            const rosa::SearchLimits& limits,
+                            const rosa::EscalationPolicy& escalation) {
   EpochVerdicts out;
   out.epoch_name = row.name;
   for (std::size_t i = 0; i < modeled_attacks().size(); ++i) {
     const AttackId id = modeled_attacks()[i].id;
-    out.verdicts[i] = run_attack(id, input, limits, &out.results[i]);
+    out.verdicts[i] =
+        run_attack(id, input, limits, &out.results[i], escalation);
   }
   return out;
 }
@@ -60,16 +63,31 @@ EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
 std::vector<EpochVerdicts> analyze_epochs(
     const std::vector<chronopriv::EpochRow>& rows,
     const std::vector<ScenarioInput>& inputs,
-    const rosa::SearchLimits& limits, unsigned n_threads) {
+    const rosa::SearchLimits& limits, unsigned n_threads,
+    const rosa::EscalationPolicy& escalation) {
   PA_CHECK(rows.size() == inputs.size(),
            "analyze_epochs: rows and inputs must be parallel vectors");
   std::vector<EpochVerdicts> out;
   out.reserve(rows.size());
 
   if (n_threads == 1) {
-    // The pre-parallel engine, preserved byte-for-byte.
-    for (std::size_t i = 0; i < rows.size(); ++i)
-      out.push_back(analyze_epoch(rows[i], inputs[i], limits));
+    // The pre-parallel engine, preserved byte-for-byte (modulo the same
+    // per-query escalation ladder the parallel path runs).
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (limits.expired()) {
+        // Batch deadline: remaining epochs get hourglass cells, matching
+        // run_queries' cancelled stubs.
+        EpochVerdicts ev;
+        ev.epoch_name = rows[i].name;
+        for (std::size_t a = 0; a < modeled_attacks().size(); ++a) {
+          ev.verdicts[a] = CellVerdict::Timeout;
+          ev.results[a].verdict = rosa::Verdict::ResourceLimit;
+        }
+        out.push_back(std::move(ev));
+        continue;
+      }
+      out.push_back(analyze_epoch(rows[i], inputs[i], limits, escalation));
+    }
     return out;
   }
 
@@ -84,7 +102,7 @@ std::vector<EpochVerdicts> analyze_epochs(
       queries.push_back(build_attack_query(modeled_attacks()[a].id, input));
 
   std::vector<rosa::SearchResult> results =
-      rosa::run_queries(queries, limits, n_threads);
+      rosa::run_queries(queries, limits, n_threads, escalation);
 
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EpochVerdicts ev;

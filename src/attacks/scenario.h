@@ -40,24 +40,31 @@ ScenarioInput scenario_from_epoch(const chronopriv::EpochRow& row,
 /// Map a search verdict to the matrix cell it renders as.
 CellVerdict cell_from_verdict(rosa::Verdict v);
 
-/// Run all four attacks against one epoch.
+/// Run all four attacks against one epoch. `escalation` retries
+/// ResourceLimit queries with geometrically grown budgets
+/// (rosa::search_escalating), shrinking the presumed-invulnerable bucket.
 EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
                             const ScenarioInput& input,
-                            const rosa::SearchLimits& limits = {});
+                            const rosa::SearchLimits& limits = {},
+                            const rosa::EscalationPolicy& escalation = {});
 
 /// Run the whole (epoch × attack) matrix as one batch, fanned out across
 /// `n_threads` ROSA workers (0 = hardware_concurrency). rows and inputs are
 /// parallel vectors; the result is ordered like rows. n_threads == 1 takes
 /// the serial analyze_epoch path; every other thread count produces
-/// bit-identical verdicts and witnesses (tests/rosa_parallel_diff_test.cpp).
+/// bit-identical verdicts and witnesses — including escalated ones, since
+/// both paths run the same per-query escalation ladder
+/// (tests/rosa_parallel_diff_test.cpp, tests/pipeline_robustness_test.cpp).
 std::vector<EpochVerdicts> analyze_epochs(
     const std::vector<chronopriv::EpochRow>& rows,
     const std::vector<ScenarioInput>& inputs,
-    const rosa::SearchLimits& limits = {}, unsigned n_threads = 1);
+    const rosa::SearchLimits& limits = {}, unsigned n_threads = 1,
+    const rosa::EscalationPolicy& escalation = {});
 
 /// Run one attack; maps the search verdict to a cell verdict.
 CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
                        const rosa::SearchLimits& limits,
-                       rosa::SearchResult* result = nullptr);
+                       rosa::SearchResult* result = nullptr,
+                       const rosa::EscalationPolicy& escalation = {});
 
 }  // namespace pa::attacks

@@ -1,6 +1,8 @@
 #include "ir/verifier.h"
 
+#include "support/diagnostics.h"
 #include "support/error.h"
+#include "support/faultpoint.h"
 #include "support/str.h"
 
 namespace pa::ir {
@@ -130,12 +132,16 @@ std::vector<std::string> verify(const Module& module) {
 }
 
 void verify_or_throw(const Module& module) {
+  PA_FAULTPOINT("verifier.verify");
   auto problems = verify(module);
   if (problems.empty()) return;
   std::string msg =
       str::cat("IR verification failed for module '", module.name(), "':");
   for (const std::string& p : problems) msg += "\n  " + p;
-  fail(std::move(msg));
+  // Structured so batch drivers can attribute the failure to the verifier
+  // stage and the offending module without string matching.
+  support::fail_stage(support::Stage::Verifier, support::DiagCode::VerifyFailed,
+                      module.name(), std::move(msg));
 }
 
 }  // namespace pa::ir

@@ -97,7 +97,7 @@ std::string efficacy_to_markdown(
 std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
   std::ostringstream os;
   os << "program,epoch,attack,verdict,states,transitions,dedup_hits,"
-        "hash_collisions,peak_frontier,seconds\n";
+        "hash_collisions,peak_frontier,escalations,seconds\n";
   for (const ProgramAnalysis& a : analyses) {
     for (const attacks::EpochVerdicts& ev : a.verdicts) {
       for (std::size_t atk = 0; atk < attacks::modeled_attacks().size();
@@ -108,8 +108,8 @@ std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
            << attacks::cell_symbol(ev.verdicts[atk]) << ','
            << r.stats.states << ',' << r.stats.transitions << ','
            << r.stats.dedup_hits << ',' << r.stats.hash_collisions << ','
-           << r.stats.peak_frontier << ',' << str::fixed(r.stats.seconds, 6)
-           << '\n';
+           << r.stats.peak_frontier << ',' << r.stats.escalations << ','
+           << str::fixed(r.stats.seconds, 6) << '\n';
       }
     }
   }

@@ -7,17 +7,31 @@
 #include "ir/parser.h"
 #include "privc/codegen.h"
 #include "ir/verifier.h"
+#include "support/diagnostics.h"
 #include "support/error.h"
+#include "support/faultpoint.h"
 #include "support/str.h"
 
 namespace pa::privanalyzer {
 namespace {
 
+using support::DiagCode;
+using support::Stage;
+
+[[noreturn]] void fail_load(DiagCode code, std::string_view program,
+                            std::string message) {
+  support::fail_stage(Stage::Loader, code, std::string(program),
+                      std::move(message));
+}
+
 /// Extract `<prefix>!key: value` directives, where the prefix is the
 /// language's comment marker ("; " for PrivIR, "// " for PrivC); the
-/// language parsers ignore them as comments.
+/// language parsers ignore them as comments. `program` is the best name
+/// known so far (the file/default name — directives run before !name is
+/// parsed) and only labels diagnostics.
 std::map<std::string, std::string> directives(std::string_view text,
-                                              std::string_view prefix) {
+                                              std::string_view prefix,
+                                              std::string_view program) {
   std::map<std::string, std::string> out;
   for (const std::string& raw : str::split(text, '\n')) {
     std::string_view line = str::trim(raw);
@@ -25,40 +39,66 @@ std::map<std::string, std::string> directives(std::string_view text,
     line.remove_prefix(prefix.size());
     auto colon = line.find(':');
     if (colon == std::string_view::npos)
-      fail(str::cat("malformed directive (missing ':'): ; !", line));
+      fail_load(DiagCode::MalformedDirective, program,
+                str::cat("malformed directive (missing ':'): ; !", line));
     std::string key(str::trim(line.substr(0, colon)));
     std::string value(str::trim(line.substr(colon + 1)));
     if (!out.emplace(key, value).second)
-      fail(str::cat("duplicate directive '", key, "'"));
+      fail_load(DiagCode::DuplicateDirective, program,
+                str::cat("duplicate directive '", key, "'"));
   }
   return out;
 }
 
-int parse_int(const std::string& what, const std::string& value) {
+/// Parse one integer directive value. Carries the field name and the
+/// offending text in the diagnostic instead of throwing a bare
+/// std::invalid_argument (which lost both).
+int parse_int(const std::string& field, const std::string& value,
+              std::string_view program) {
+  std::size_t used = 0;
+  int v = 0;
   try {
-    std::size_t used = 0;
-    int v = std::stoi(value, &used);
-    if (used != value.size()) throw std::invalid_argument(value);
-    return v;
+    v = std::stoi(value, &used);
   } catch (const std::exception&) {
-    fail(str::cat("directive '", what, "': not an integer: ", value));
+    used = std::string::npos;  // flows into the structured failure below
   }
+  if (value.empty() || used != value.size())
+    fail_load(DiagCode::BadFieldValue, program,
+              str::cat("directive '", field, "': not an integer: '", value,
+                       "'"));
+  return v;
 }
 
 programs::ProgramSpec spec_from_directives(
     const std::map<std::string, std::string>& dirs,
     std::string_view default_name);
 
+/// Run the PrivIR verifier on a freshly loaded module, rewrapping failures
+/// with the verifier stage and the program's name so batch drivers can
+/// attribute them.
+void verify_loaded_module(const ir::Module& module, std::string_view program) {
+  try {
+    ir::verify_or_throw(module);
+  } catch (const support::StageError&) {
+    throw;  // already structured (carries the verifier stage)
+  } catch (const Error& e) {
+    support::fail_stage(Stage::Verifier, DiagCode::VerifyFailed,
+                        std::string(program), e.what());
+  }
+}
+
 }  // namespace
 
 programs::ProgramSpec load_program(std::string_view text,
                                    std::string_view default_name) {
-  auto dirs = directives(text, "; !");
+  PA_FAULTPOINT("loader.load_program");
+  auto dirs = directives(text, "; !", default_name);
   programs::ProgramSpec spec = spec_from_directives(dirs, default_name);
   spec.module = ir::parse(text, spec.name);
   if (!spec.module.has_function("main"))
-    fail("program has no @main function");
-  ir::verify_or_throw(spec.module);
+    fail_load(DiagCode::MissingMain, spec.name,
+              "program has no @main function");
+  verify_loaded_module(spec.module, spec.name);
   return spec;
 }
 
@@ -74,7 +114,8 @@ programs::ProgramSpec spec_from_directives(
   for (const auto& [key, value] : dirs) {
     if (key != "name" && key != "description" && key != "permitted" &&
         key != "uid" && key != "gid" && key != "args" && key != "world")
-      fail(str::cat("unknown directive '", key, "'"));
+      fail_load(DiagCode::UnknownDirective, default_name,
+                str::cat("unknown directive '", key, "'"));
   }
 
   programs::ProgramSpec spec;
@@ -83,23 +124,27 @@ programs::ProgramSpec spec_from_directives(
 
   if (const auto* p = get("permitted")) {
     auto set = caps::CapSet::parse(*p);
-    if (!set) fail(str::cat("directive 'permitted': bad capability set: ", *p));
+    if (!set)
+      fail_load(DiagCode::BadFieldValue, spec.name,
+                str::cat("directive 'permitted': bad capability set: ", *p));
     spec.launch_permitted = *set;
   }
 
-  int uid = get("uid") ? parse_int("uid", *get("uid")) : 1000;
-  int gid = get("gid") ? parse_int("gid", *get("gid")) : 1000;
+  int uid = get("uid") ? parse_int("uid", *get("uid"), spec.name) : 1000;
+  int gid = get("gid") ? parse_int("gid", *get("gid"), spec.name) : 1000;
   spec.launch_creds = caps::Credentials::of_user(uid, gid);
 
   if (const auto* a = get("args"))
     for (const std::string& field : str::split(*a, ','))
-      spec.args.emplace_back(
-          static_cast<std::int64_t>(parse_int("args", std::string(str::trim(field)))));
+      spec.args.emplace_back(static_cast<std::int64_t>(
+          parse_int("args", std::string(str::trim(field)), spec.name)));
 
   if (const auto* w = get("world")) {
     if (*w == "refactored") spec.refactored_world = true;
     else if (*w != "standard")
-      fail(str::cat("directive 'world': expected standard|refactored, got ", *w));
+      fail_load(DiagCode::BadFieldValue, spec.name,
+                str::cat("directive 'world': expected standard|refactored, got ",
+                         *w));
   }
   return spec;
 }
@@ -108,17 +153,19 @@ programs::ProgramSpec spec_from_directives(
 
 programs::ProgramSpec load_privc_program(std::string_view text,
                                          std::string_view default_name) {
-  auto dirs = directives(text, "// !");
+  PA_FAULTPOINT("loader.load_program");
+  auto dirs = directives(text, "// !", default_name);
   programs::ProgramSpec spec = spec_from_directives(dirs, default_name);
   spec.module = privc::compile_source(text, spec.name);
   if (!spec.module.has_function("main"))
-    fail("program has no main function");
+    fail_load(DiagCode::MissingMain, spec.name, "program has no main function");
   return spec;
 }
 
 programs::ProgramSpec load_program_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail(str::cat("cannot open ", path));
+  if (!in)
+    fail_load(DiagCode::FileNotFound, "", str::cat("cannot open ", path));
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string base = path;

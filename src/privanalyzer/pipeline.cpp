@@ -1,8 +1,20 @@
 #include "privanalyzer/pipeline.h"
 
+#include <chrono>
+
 #include "ir/transforms.h"
+#include "privanalyzer/loader.h"
+#include "support/str.h"
 
 namespace pa::privanalyzer {
+
+std::string_view analysis_status_name(AnalysisStatus s) {
+  switch (s) {
+    case AnalysisStatus::Ok: return "ok";
+    case AnalysisStatus::Failed: return "failed";
+  }
+  return "?";
+}
 
 double ProgramAnalysis::vulnerable_fraction(std::size_t attack) const {
   double total = 0.0;
@@ -50,8 +62,19 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
 
   // Stage 3: one ROSA query per (epoch x attack), fanned out across
   // options.rosa_threads workers (the queries are independent; results are
-  // deterministic and identical to the serial order).
+  // deterministic and identical to the serial order). A pipeline-wide
+  // deadline and per-query budget escalation apply here — the matrix is the
+  // runaway-cost stage.
   if (options.run_rosa) {
+    rosa::SearchLimits limits = options.rosa_limits;
+    if (options.max_total_seconds > 0)
+      limits.deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                options.max_total_seconds));
+    rosa::EscalationPolicy escalation{options.rosa_escalation_rounds, 2.0};
+
     const std::vector<std::string> syscalls = spec.syscalls_used();
     std::vector<attacks::ScenarioInput> inputs;
     inputs.reserve(out.chrono.rows.size());
@@ -59,11 +82,86 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
       inputs.push_back(attacks::scenario_from_epoch(
           row, syscalls, spec.scenario_extra_users,
           spec.scenario_extra_groups));
-    out.verdicts = attacks::analyze_epochs(out.chrono.rows, inputs,
-                                           options.rosa_limits,
-                                           options.rosa_threads);
+    out.verdicts =
+        attacks::analyze_epochs(out.chrono.rows, inputs, limits,
+                                options.rosa_threads, escalation);
+
+    if (limits.has_deadline() &&
+        std::chrono::steady_clock::now() >= limits.deadline)
+      out.diagnostics.push_back(support::Diagnostic{
+          support::Stage::Rosa, support::Severity::Warning,
+          support::DiagCode::DeadlineExceeded, spec.name,
+          str::cat("pipeline deadline of ", str::fixed(options.max_total_seconds, 3),
+                   "s expired during the query matrix; unfinished cells "
+                   "report as Timeout (presumed invulnerable)")});
   }
   return out;
+}
+
+namespace {
+
+/// Shared failure path: convert the in-flight exception into a Failed
+/// analysis carrying a structured diagnostic.
+ProgramAnalysis failed_analysis(std::string program, const std::exception& e,
+                                support::Stage fallback_stage) {
+  ProgramAnalysis out;
+  out.status = AnalysisStatus::Failed;
+  out.diagnostics.push_back(
+      support::diagnostic_from_exception(e, fallback_stage, program));
+  // Prefer the diagnostic's program attribution (e.g. the !name directive
+  // parsed before the failure) over the caller's guess.
+  out.program = out.diagnostics.back().program.empty()
+                    ? std::move(program)
+                    : out.diagnostics.back().program;
+  return out;
+}
+
+}  // namespace
+
+ProgramAnalysis try_analyze_program(const programs::ProgramSpec& spec,
+                                    const PipelineOptions& options) {
+  try {
+    return analyze_program(spec, options);
+  } catch (const std::exception& e) {
+    return failed_analysis(spec.name, e, support::Stage::Pipeline);
+  }
+}
+
+ProgramAnalysis try_analyze_file(const std::string& path,
+                                 const PipelineOptions& options) {
+  programs::ProgramSpec spec;
+  try {
+    spec = load_program_file(path);
+  } catch (const std::exception& e) {
+    // Attribute load failures to the file's basename (the loader's default
+    // program name) so batch reports stay readable.
+    std::string base = path;
+    if (auto slash = base.find_last_of('/'); slash != std::string::npos)
+      base = base.substr(slash + 1);
+    return failed_analysis(std::move(base), e, support::Stage::Loader);
+  }
+  return try_analyze_program(spec, options);
+}
+
+std::vector<ProgramAnalysis> analyze_programs(
+    const std::vector<programs::ProgramSpec>& specs,
+    const PipelineOptions& options) {
+  std::vector<ProgramAnalysis> out;
+  out.reserve(specs.size());
+  for (const programs::ProgramSpec& spec : specs)
+    out.push_back(try_analyze_program(spec, options));
+  return out;
+}
+
+int batch_exit_code(const std::vector<ProgramAnalysis>& analyses,
+                    bool empty_is_failure) {
+  if (analyses.empty()) return empty_is_failure ? kExitAllFailed : kExitOk;
+  std::size_t failed = 0;
+  for (const ProgramAnalysis& a : analyses)
+    if (!a.ok()) ++failed;
+  if (failed == 0) return kExitOk;
+  if (failed == analyses.size()) return kExitAllFailed;
+  return kExitPartialFailure;
 }
 
 }  // namespace pa::privanalyzer

@@ -11,6 +11,7 @@
 #include "autopriv/report.h"
 #include "chronopriv/instrument.h"
 #include "programs/world.h"
+#include "support/diagnostics.h"
 
 namespace pa::privanalyzer {
 
@@ -25,6 +26,21 @@ struct PipelineOptions {
   /// queries are independent and each search is single-threaded); enforced
   /// by tests/rosa_parallel_diff_test.cpp.
   unsigned rosa_threads = 0;
+  /// Adaptive budget escalation for the ROSA stage: a query that returns
+  /// Verdict::ResourceLimit is retried with its SearchLimits (max_states and
+  /// max_seconds) geometrically doubled, up to this many extra rounds.
+  /// 0 = off (the timed-out cell stays presumed-invulnerable, as the paper
+  /// treats it). Escalation is per-query and identical on the serial and
+  /// parallel paths, so verdicts stay bit-identical at every thread count;
+  /// round counts surface in SearchStats::escalations (`--stats`).
+  unsigned rosa_escalation_rounds = 0;
+  /// Pipeline-wide wall-clock budget in seconds for the ROSA stage
+  /// (0 = none). When it expires, in-flight searches stop at their next
+  /// frontier pop, queued queries are cancelled through the thread pool's
+  /// cooperative token, remaining cells become Timeout, and the analysis
+  /// completes with a DeadlineExceeded warning diagnostic — a runaway query
+  /// matrix can degrade results but never hang a batch.
+  double max_total_seconds = 0.0;
   /// Custom world builder (e.g. os::world_from_file); when unset the
   /// standard or refactored world is chosen by the program spec.
   std::function<os::Kernel()> world_factory;
@@ -33,6 +49,22 @@ struct PipelineOptions {
   /// untransformed layout.
   bool simplify_after_autopriv = false;
 };
+
+/// Outcome of one program's trip through the pipeline.
+enum class AnalysisStatus {
+  Ok,      // every stage completed (possibly with warning diagnostics)
+  Failed,  // a stage threw; diagnostics say which and why
+};
+
+std::string_view analysis_status_name(AnalysisStatus s);
+
+/// Process exit codes for batch drivers (tools/privanalyzer_main.cpp):
+/// partial failure is distinct so scripts can tell "some programs failed
+/// but the rest analyzed" from a total loss.
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitAllFailed = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitPartialFailure = 3;
 
 /// Everything PrivAnalyzer produces for one program: the static report, the
 /// dynamic epoch table, and the per-epoch vulnerability matrix.
@@ -43,6 +75,13 @@ struct ProgramAnalysis {
   /// Parallel to chrono.rows; empty when run_rosa was false.
   std::vector<attacks::EpochVerdicts> verdicts;
   long exit_code = 0;
+  /// Failed analyses (status != Ok) carry the failure in `diagnostics` and
+  /// whatever partial results the stages produced before throwing; batch
+  /// drivers keep going past them (try_analyze_program / analyze_programs).
+  AnalysisStatus status = AnalysisStatus::Ok;
+  std::vector<support::Diagnostic> diagnostics;
+
+  bool ok() const { return status == AnalysisStatus::Ok; }
 
   /// Fraction of executed instructions during which `attack` (0-based
   /// index into attacks::modeled_attacks()) was feasible. Timeout epochs are
@@ -54,9 +93,35 @@ struct ProgramAnalysis {
   rosa::SearchStats search_stats() const;
 };
 
-/// Run the full pipeline on one program model.
+/// Run the full pipeline on one program model. Throws (pa::Error /
+/// support::StageError) on stage failure — use the try_* variants for
+/// exception-isolated batch runs.
 ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
                                 const PipelineOptions& options = {});
+
+/// Exception-isolated analyze_program: never throws. A stage failure yields
+/// status == Failed with the structured diagnostic recorded, so one bad
+/// program cannot abort a batch.
+ProgramAnalysis try_analyze_program(const programs::ProgramSpec& spec,
+                                    const PipelineOptions& options = {});
+
+/// Load a program file (loader + verifier) and analyze it, with the same
+/// isolation guarantee: loader/verifier failures come back as a Failed
+/// analysis named after the file, never as an exception.
+ProgramAnalysis try_analyze_file(const std::string& path,
+                                 const PipelineOptions& options = {});
+
+/// Batch driver: one isolated analysis per spec, in order. Failures are
+/// recorded and skipped over; the batch always returns specs.size() entries.
+std::vector<ProgramAnalysis> analyze_programs(
+    const std::vector<programs::ProgramSpec>& specs,
+    const PipelineOptions& options = {});
+
+/// The exit code a batch run should report: kExitOk when every analysis
+/// succeeded, kExitPartialFailure when some did, kExitAllFailed when none
+/// did (or the batch was empty and `empty_is_failure`).
+int batch_exit_code(const std::vector<ProgramAnalysis>& analyses,
+                    bool empty_is_failure = false);
 
 /// The transformed (post-AutoPriv) module for a spec, without running it.
 ir::Module transformed_module(const programs::ProgramSpec& spec,

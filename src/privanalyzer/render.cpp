@@ -94,7 +94,8 @@ std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses) {
   os << "  " << str::pad_right("Program", 14) << str::pad_left("Queries", 9)
      << str::pad_left("States", 12) << str::pad_left("Transitions", 13)
      << str::pad_left("Dedup", 10) << str::pad_left("Collisions", 12)
-     << str::pad_left("PeakFront", 11) << str::pad_left("Time", 10) << "\n";
+     << str::pad_left("PeakFront", 11) << str::pad_left("Escal", 7)
+     << str::pad_left("Time", 10) << "\n";
   for (const ProgramAnalysis& a : analyses) {
     const rosa::SearchStats s = a.search_stats();
     const std::size_t queries =
@@ -109,8 +110,19 @@ std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses) {
        << str::pad_left(std::to_string(s.hash_collisions), 12)
        << str::pad_left(
               str::with_commas(static_cast<long long>(s.peak_frontier)), 11)
+       << str::pad_left(std::to_string(s.escalations), 7)
        << str::pad_left(str::cat(str::fixed(s.seconds, 3), "s"), 10) << "\n";
   }
+  return os.str();
+}
+
+std::string render_analysis_diagnostics(const ProgramAnalysis& analysis) {
+  std::ostringstream os;
+  if (analysis.ok() && analysis.diagnostics.empty()) return "";
+  os << analysis.program << ": analysis "
+     << analysis_status_name(analysis.status) << "\n";
+  for (const support::Diagnostic& d : analysis.diagnostics)
+    os << "  " << d.to_string() << "\n";
   return os.str();
 }
 

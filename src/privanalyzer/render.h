@@ -25,8 +25,13 @@ std::string render_efficacy_table(
 std::string render_refactor_diff_table();
 
 /// Per-program ROSA search statistics (states, transitions, dedup hits,
-/// hash collisions, peak frontier, wall time) summed over the whole
-/// (epoch × attack) matrix — the `privanalyzer --stats` block.
+/// hash collisions, peak frontier, escalation rounds, wall time) summed
+/// over the whole (epoch × attack) matrix — the `privanalyzer --stats`
+/// block.
 std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses);
+
+/// One program's status line + structured diagnostics, for batch runs with
+/// failed or degraded analyses. Empty string when the analysis is clean.
+std::string render_analysis_diagnostics(const ProgramAnalysis& analysis);
 
 }  // namespace pa::privanalyzer

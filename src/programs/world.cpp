@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "support/faultpoint.h"
+
 namespace pa::programs {
 
 std::vector<std::string> ProgramSpec::syscalls_used() const {
@@ -71,12 +73,14 @@ void populate_common(os::Kernel& k, caps::Uid etc_owner) {
 }  // namespace
 
 os::Kernel make_standard_world() {
+  PA_FAULTPOINT("world.make");
   os::Kernel k;
   populate_common(k, caps::kRootUid);
   return k;
 }
 
 os::Kernel make_refactored_world() {
+  PA_FAULTPOINT("world.make");
   os::Kernel k;
   populate_common(k, kEtcUser);
   return k;

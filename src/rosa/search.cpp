@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "support/error.h"
+#include "support/faultpoint.h"
 #include "support/str.h"
 #include "support/thread_pool.h"
 
@@ -27,6 +28,7 @@ void SearchStats::merge(const SearchStats& other) {
   dedup_hits += other.dedup_hits;
   hash_collisions += other.hash_collisions;
   peak_frontier = std::max(peak_frontier, other.peak_frontier);
+  escalations += other.escalations;
   seconds += other.seconds;
 }
 
@@ -34,7 +36,8 @@ std::string SearchStats::to_string() const {
   return str::cat("states=", states, " transitions=", transitions,
                   " dedup-hits=", dedup_hits,
                   " hash-collisions=", hash_collisions,
-                  " peak-frontier=", peak_frontier, " time=",
+                  " peak-frontier=", peak_frontier,
+                  " escalations=", escalations, " time=",
                   str::fixed(seconds, 3), "s");
 }
 
@@ -51,6 +54,7 @@ std::string SearchResult::to_string() const {
 }
 
 SearchResult search(const Query& query, const SearchLimits& limits) {
+  PA_FAULTPOINT("rosa.search");
   PA_CHECK(query.messages.size() <= 64,
            "ROSA tracks at most 64 one-shot messages");
   PA_CHECK(static_cast<bool>(query.goal), "query has no goal predicate");
@@ -127,11 +131,13 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
   if (query.goal(init)) return finish(Verdict::Reachable, 0);
 
   while (!frontier.empty()) {
-    // The wall-clock budget is enforced here, once per frontier pop: a
+    // The wall-clock budget, the batch-wide deadline, and the cooperative
+    // cancel flag are all enforced here, once per frontier pop: a
     // per-message-loop check alone is blind to searches whose per-state
     // fanout is tiny but whose frontier is enormous.
     if (limits.max_seconds > 0 && elapsed() > limits.max_seconds)
       return finish(Verdict::ResourceLimit, -1);
+    if (limits.expired()) return finish(Verdict::ResourceLimit, -1);
 
     const std::size_t cur = frontier.front();
     frontier.pop_front();
@@ -205,21 +211,82 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
   return finish(Verdict::Unreachable, -1);
 }
 
+SearchResult search_escalating(const Query& query, const SearchLimits& limits,
+                               const EscalationPolicy& policy) {
+  SearchResult result = search(query, limits);
+  if (!policy.enabled()) return result;
+
+  SearchStats accumulated = result.stats;
+  SearchLimits grown = limits;
+  for (unsigned round = 0; round < policy.rounds; ++round) {
+    if (result.verdict != Verdict::ResourceLimit) break;
+    // A batch deadline or cancellation caused (or would immediately re-cause)
+    // the ResourceLimit; retrying past it is wasted work.
+    if (grown.expired()) break;
+    if (grown.max_states)
+      grown.max_states = static_cast<std::size_t>(
+          static_cast<double>(grown.max_states) * policy.factor);
+    if (grown.max_seconds > 0) grown.max_seconds *= policy.factor;
+    result = search(query, grown);
+    accumulated.escalations += 1;
+    accumulated.states += result.stats.states;
+    accumulated.transitions += result.stats.transitions;
+    accumulated.dedup_hits += result.stats.dedup_hits;
+    accumulated.hash_collisions += result.stats.hash_collisions;
+    accumulated.peak_frontier =
+        std::max(accumulated.peak_frontier, result.stats.peak_frontier);
+    accumulated.seconds += result.stats.seconds;
+  }
+  // The decisive attempt's verdict/witness with whole-query work accounting.
+  result.stats = accumulated;
+  return result;
+}
+
+namespace {
+
+/// Stub for a query the batch deadline cancelled before it started: the
+/// paper's hourglass verdict with zero work recorded.
+SearchResult cancelled_result() {
+  SearchResult r;
+  r.verdict = Verdict::ResourceLimit;
+  return r;
+}
+
+}  // namespace
+
 std::vector<SearchResult> run_queries(std::span<const Query> queries,
                                       const SearchLimits& limits,
-                                      unsigned n_threads) {
+                                      unsigned n_threads,
+                                      const EscalationPolicy& escalation) {
   std::vector<SearchResult> results(queries.size());
   if (n_threads == 0) n_threads = support::ThreadPool::hardware_threads();
   if (n_threads <= 1 || queries.size() <= 1) {
-    for (std::size_t i = 0; i < queries.size(); ++i)
-      results[i] = search(queries[i], limits);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (limits.expired()) {
+        results[i] = cancelled_result();
+        continue;
+      }
+      results[i] = search_escalating(queries[i], limits, escalation);
+    }
     return results;
   }
   support::ThreadPool pool(
       static_cast<unsigned>(std::min<std::size_t>(n_threads, queries.size())));
+  // Thread the pool's cancel token through each search so the first worker
+  // to observe the deadline stops the whole matrix (unless the caller wired
+  // in a flag of their own, which then governs).
+  SearchLimits task_limits = limits;
+  if (!task_limits.cancel) task_limits.cancel = pool.cancel_token();
   for (std::size_t i = 0; i < queries.size(); ++i)
-    pool.submit([&queries, &limits, &results, i] {
-      results[i] = search(queries[i], limits);
+    pool.submit([&queries, &task_limits, &escalation, &results, &pool, i] {
+      if (task_limits.expired()) {
+        results[i] = cancelled_result();
+        return;
+      }
+      results[i] = search_escalating(queries[i], task_limits, escalation);
+      if (task_limits.has_deadline() &&
+          std::chrono::steady_clock::now() >= task_limits.deadline)
+        pool.request_cancel();
     });
   pool.wait_idle();
   return results;

@@ -9,6 +9,8 @@
 // input-ordered results (the engine behind PipelineOptions::rosa_threads).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -57,6 +59,37 @@ struct SearchLimits {
   /// force every insert through the collision-fallback path). Verdicts must
   /// not change under any override (tests/rosa_hash_test.cpp).
   std::function<std::uint64_t(const State&)> hash_override;
+  /// Absolute batch-wide deadline (default-constructed = none). Checked once
+  /// per frontier pop like max_seconds; past-deadline searches return
+  /// ResourceLimit. The pipeline derives this from
+  /// PipelineOptions::max_total_seconds so a runaway (epoch × attack) matrix
+  /// cannot hang a batch.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancellation (non-owning; e.g. ThreadPool::cancel_token()).
+  /// When set and *cancel is true, the search stops at the next frontier pop
+  /// with ResourceLimit. run_queries wires this up automatically for its
+  /// deadline handling; callers can also supply their own flag.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  bool expired() const {
+    return (cancel && cancel->load(std::memory_order_relaxed)) ||
+           (has_deadline() && std::chrono::steady_clock::now() >= deadline);
+  }
+};
+
+/// Geometric budget escalation for queries that hit Outcome
+/// Verdict::ResourceLimit: retry with max_states and max_seconds multiplied
+/// by `factor` each round, up to `rounds` extra attempts. Escalation shrinks
+/// the paper's presumed-invulnerable (timed-out) bucket; the retries are
+/// deterministic whenever the limits are (states-based limits always are).
+struct EscalationPolicy {
+  unsigned rounds = 0;   // extra attempts after the base search (0 = off)
+  double factor = 2.0;   // budget multiplier per round
+
+  bool enabled() const { return rounds > 0; }
 };
 
 enum class Verdict {
@@ -75,6 +108,7 @@ struct SearchStats {
   std::size_t dedup_hits = 0;       // successors pruned as already seen
   std::size_t hash_collisions = 0;  // distinct states sharing a 64-bit key
   std::size_t peak_frontier = 0;    // high-water mark of the BFS queue
+  std::size_t escalations = 0;      // budget-doubled retries after ResourceLimit
   double seconds = 0.0;             // wall time
 
   /// Accumulate another query's counters (peak_frontier takes the max).
@@ -101,14 +135,29 @@ struct SearchResult {
 /// Run the bounded search.
 SearchResult search(const Query& query, const SearchLimits& limits = {});
 
+/// search() with adaptive budget escalation: on ResourceLimit, retry with
+/// geometrically grown limits per `policy` until a definite verdict, the
+/// round cap, or the batch deadline/cancel flag. The returned result is the
+/// decisive attempt's, except stats, which accumulate work across every
+/// attempt and record the retry count in stats.escalations.
+SearchResult search_escalating(const Query& query, const SearchLimits& limits,
+                               const EscalationPolicy& policy);
+
 /// Run a batch of independent queries, fanned out across `n_threads`
 /// workers (0 = hardware_concurrency). results[i] always corresponds to
 /// queries[i] regardless of completion order, and each individual search is
 /// single-threaded, so every result is bit-identical to a serial run —
 /// n_threads == 1 literally executes the serial loop. Exceptions from any
 /// query propagate to the caller.
+///
+/// `escalation` applies search_escalating() per query. When limits carries a
+/// deadline, the first worker to observe it expiring cancels the rest
+/// through the pool's cancel token; not-yet-started queries return stub
+/// ResourceLimit results (0 states), so the batch always completes and
+/// results stay position-complete.
 std::vector<SearchResult> run_queries(std::span<const Query> queries,
                                       const SearchLimits& limits = {},
-                                      unsigned n_threads = 0);
+                                      unsigned n_threads = 0,
+                                      const EscalationPolicy& escalation = {});
 
 }  // namespace pa::rosa

@@ -1,0 +1,82 @@
+#include "support/diagnostics.h"
+
+#include "support/str.h"
+
+namespace pa::support {
+
+std::string_view stage_name(Stage s) {
+  switch (s) {
+    case Stage::Loader: return "loader";
+    case Stage::Verifier: return "verifier";
+    case Stage::AutoPriv: return "autopriv";
+    case Stage::ChronoPriv: return "chronopriv";
+    case Stage::World: return "world";
+    case Stage::Rosa: return "rosa";
+    case Stage::Pipeline: return "pipeline";
+    case Stage::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string_view diag_code_name(DiagCode c) {
+  switch (c) {
+    case DiagCode::None: return "none";
+    case DiagCode::MalformedDirective: return "malformed-directive";
+    case DiagCode::UnknownDirective: return "unknown-directive";
+    case DiagCode::DuplicateDirective: return "duplicate-directive";
+    case DiagCode::BadFieldValue: return "bad-field-value";
+    case DiagCode::MissingMain: return "missing-main";
+    case DiagCode::VerifyFailed: return "verify-failed";
+    case DiagCode::FileNotFound: return "file-not-found";
+    case DiagCode::FaultInjected: return "fault-injected";
+    case DiagCode::DeadlineExceeded: return "deadline-exceeded";
+    case DiagCode::InternalError: return "internal-error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = str::cat(severity_name(severity), " [", stage_name(stage),
+                             "/", diag_code_name(code), "]");
+  if (!program.empty()) out += str::cat(" ", program, ":");
+  return str::cat(out, " ", message);
+}
+
+StageError::StageError(Diagnostic d) : Error(d.to_string()), diag_(std::move(d)) {}
+
+void fail_stage(Stage stage, DiagCode code, std::string program,
+                std::string message) {
+  throw StageError(Diagnostic{stage, Severity::Error, code, std::move(program),
+                              std::move(message)});
+}
+
+Diagnostic diagnostic_from_exception(const std::exception& e,
+                                     Stage fallback_stage,
+                                     std::string program) {
+  if (const auto* se = dynamic_cast<const StageError*>(&e)) {
+    Diagnostic d = se->diagnostic();
+    if (d.program.empty()) d.program = std::move(program);
+    return d;
+  }
+  return Diagnostic{fallback_stage, Severity::Error, DiagCode::InternalError,
+                    std::move(program), e.what()};
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pa::support

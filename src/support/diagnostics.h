@@ -1,0 +1,95 @@
+// Structured diagnostics for the PrivAnalyzer pipeline.
+//
+// A Diagnostic records *where* a failure happened (pipeline stage), *how bad*
+// it is, *what kind* it is (a stable machine-readable code), *which program*
+// was being analyzed, and a human-readable message. The loader, verifier, and
+// pipeline paths raise StageError — a pa::Error subclass carrying a
+// Diagnostic — so batch drivers can isolate a failing program, record its
+// diagnostics on the ProgramAnalysis, and keep going instead of aborting the
+// whole run (see privanalyzer::try_analyze_program).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace pa::support {
+
+/// The pipeline stage a diagnostic originates from.
+enum class Stage {
+  Loader,      // .pir/.pc text -> ProgramSpec
+  Verifier,    // PrivIR structural verification
+  AutoPriv,    // static analysis + transform
+  ChronoPriv,  // measured execution
+  World,       // SimOS world construction
+  Rosa,        // bounded search / query matrix
+  Pipeline,    // driver-level (batching, deadlines)
+  Unknown,
+};
+
+enum class Severity {
+  Warning,  // analysis completed but degraded (e.g. deadline truncation)
+  Error,    // the program's analysis failed
+};
+
+/// Stable machine-readable failure codes (rendered in kebab-case).
+enum class DiagCode {
+  None,
+  MalformedDirective,
+  UnknownDirective,
+  DuplicateDirective,
+  BadFieldValue,
+  MissingMain,
+  VerifyFailed,
+  FileNotFound,
+  FaultInjected,       // a support::faultpoint fired
+  DeadlineExceeded,    // PipelineOptions::max_total_seconds hit
+  InternalError,       // any exception without a structured payload
+};
+
+std::string_view stage_name(Stage s);
+std::string_view severity_name(Severity s);
+std::string_view diag_code_name(DiagCode c);
+
+struct Diagnostic {
+  Stage stage = Stage::Unknown;
+  Severity severity = Severity::Error;
+  DiagCode code = DiagCode::InternalError;
+  /// Program being analyzed when the failure happened; empty when unknown
+  /// (e.g. the loader failed before the !name directive was seen).
+  std::string program;
+  std::string message;
+
+  /// "error [loader/bad-field-value] demo: directive 'uid': ..."
+  std::string to_string() const;
+};
+
+/// Exception carrying a structured Diagnostic. Derives pa::Error so every
+/// existing `catch (const Error&)` / EXPECT_THROW(..., Error) site keeps
+/// working; new code can catch StageError to recover the payload.
+class StageError : public Error {
+ public:
+  explicit StageError(Diagnostic d);
+  const Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// Throw a StageError (the structured analogue of pa::fail).
+[[noreturn]] void fail_stage(Stage stage, DiagCode code, std::string program,
+                             std::string message);
+
+/// Build a Diagnostic from a caught exception: StageError keeps its payload
+/// (the program field is filled in if empty), anything else maps to
+/// InternalError at `fallback_stage`.
+Diagnostic diagnostic_from_exception(const std::exception& e,
+                                     Stage fallback_stage,
+                                     std::string program);
+
+/// Render a diagnostic list one per line (empty string for none).
+std::string render_diagnostics(const std::vector<Diagnostic>& diags);
+
+}  // namespace pa::support

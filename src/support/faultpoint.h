@@ -1,0 +1,74 @@
+// Deterministic fault injection for robustness testing (the discipline
+// libnorsim applies to syscalls, applied to PrivAnalyzer's own stages).
+//
+// Named fault points are compiled into the production paths — the loader,
+// the IR verifier, the world factories, the thread-pool task boundary, and
+// the ROSA search entry — as `PA_FAULTPOINT("stage.site")` calls. A point is
+// inert (one relaxed atomic load) until armed; an armed point throws
+// FaultInjected (a StageError, so the pipeline's isolation layer converts it
+// into a per-program diagnostic) on its Nth hit and then disarms itself, so
+// each arming injects exactly one fault.
+//
+// Arming is programmatic (faultpoint::arm) or via the PA_FAULTPOINTS
+// environment variable — a comma-separated list of `name` or `name:N`
+// entries parsed at static-initialization time, e.g.:
+//
+//   PA_FAULTPOINTS="rosa.search:3,world.make" privanalyzer prog.pir
+//
+// tests/faultpoint_soak_test.cpp arms every registered point one at a time
+// and asserts the full pipeline never crashes, never hangs, and always
+// surfaces a diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace pa::support {
+
+/// Thrown when an armed fault point fires. The Diagnostic's stage is derived
+/// from the point name's prefix ("loader." -> Stage::Loader, ...).
+class FaultInjected : public StageError {
+ public:
+  explicit FaultInjected(const std::string& point);
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+namespace faultpoint {
+
+/// Check the named point; throws FaultInjected iff it is armed and this is
+/// the hit it is armed for. Thread-safe; near-free when nothing is armed.
+void hit(const char* name);
+
+/// Arm `name` to fire on its `nth` upcoming hit (1 = the next hit). Hit
+/// counting starts at arming time; firing disarms the point. Unknown names
+/// are registered on the fly (so tests can use private points).
+void arm(const std::string& name, std::uint64_t nth = 1);
+
+/// Disarm one point / every point (resets hit counters).
+void disarm(const std::string& name);
+void disarm_all();
+
+/// True if `name` is currently armed.
+bool armed(const std::string& name);
+
+/// Every compiled-in fault point, sorted — enumerable without first hitting
+/// them (the soak test's iteration set). Ad-hoc names armed for tests are
+/// armable/hittable like any point but are not listed here.
+std::vector<std::string> registered_points();
+
+/// Parse PA_FAULTPOINTS ("name[:N],name[:N],...") and arm accordingly.
+/// Called automatically once at static-initialization time; safe to call
+/// again (re-arms). Returns the number of points armed.
+int arm_from_env();
+
+}  // namespace faultpoint
+}  // namespace pa::support
+
+/// A named fault point. Expands to one registry check; inert unless armed.
+#define PA_FAULTPOINT(name) ::pa::support::faultpoint::hit(name)

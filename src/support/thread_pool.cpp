@@ -1,5 +1,7 @@
 #include "support/thread_pool.h"
 
+#include "support/faultpoint.h"
+
 namespace pa::support {
 
 unsigned ThreadPool::hardware_threads() {
@@ -56,6 +58,10 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
     }
     try {
+      // Task boundary fault point: an injected failure here takes the same
+      // capture/rethrow path as a task's own exception (never terminate()s
+      // the worker), which the soak test relies on.
+      PA_FAULTPOINT("thread_pool.task");
       task();
     } catch (...) {
       std::unique_lock<std::mutex> lock(mu_);

@@ -1,0 +1,158 @@
+// The fault-injection harness (support/faultpoint.h) and the soak test the
+// robustness layer is built around: arm every registered fault point, one at
+// a time, run the full load -> AutoPriv -> ChronoPriv -> ROSA pipeline, and
+// require that it never crashes, never hangs, and always surfaces a
+// structured diagnostic on the failed ProgramAnalysis.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "privanalyzer/pipeline.h"
+#include "support/faultpoint.h"
+#include "support/thread_pool.h"
+
+namespace pa {
+namespace {
+
+using support::FaultInjected;
+namespace fp = support::faultpoint;
+
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fp::disarm_all(); }
+  void TearDown() override { fp::disarm_all(); }
+};
+
+TEST_F(FaultPointTest, InertWhenUnarmed) {
+  EXPECT_NO_THROW(fp::hit("rosa.search"));
+  EXPECT_NO_THROW(fp::hit("never.registered"));
+}
+
+TEST_F(FaultPointTest, FiresOnceThenDisarms) {
+  fp::arm("test.point");
+  EXPECT_TRUE(fp::armed("test.point"));
+  EXPECT_THROW(fp::hit("test.point"), FaultInjected);
+  EXPECT_FALSE(fp::armed("test.point"));
+  EXPECT_NO_THROW(fp::hit("test.point"));
+}
+
+TEST_F(FaultPointTest, FiresOnNthHitDeterministically) {
+  fp::arm("test.nth", 3);
+  EXPECT_NO_THROW(fp::hit("test.nth"));
+  EXPECT_NO_THROW(fp::hit("test.nth"));
+  EXPECT_THROW(fp::hit("test.nth"), FaultInjected);
+}
+
+TEST_F(FaultPointTest, CarriesStructuredDiagnostic) {
+  fp::arm("rosa.search");
+  try {
+    fp::hit("rosa.search");
+    FAIL() << "armed point did not fire";
+  } catch (const FaultInjected& e) {
+    EXPECT_EQ(e.point(), "rosa.search");
+    EXPECT_EQ(e.diagnostic().stage, support::Stage::Rosa);
+    EXPECT_EQ(e.diagnostic().code, support::DiagCode::FaultInjected);
+    EXPECT_NE(std::string(e.what()).find("rosa.search"), std::string::npos);
+  }
+}
+
+TEST_F(FaultPointTest, RegistryListsEveryCompiledInPoint) {
+  std::vector<std::string> points = fp::registered_points();
+  for (const char* expected :
+       {"loader.load_program", "verifier.verify", "world.make",
+        "thread_pool.task", "rosa.search"})
+    EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
+        << expected;
+}
+
+TEST_F(FaultPointTest, ArmsFromEnvironment) {
+  ASSERT_EQ(setenv("PA_FAULTPOINTS", "test.env:2, test.other", 1), 0);
+  EXPECT_EQ(fp::arm_from_env(), 2);
+  EXPECT_TRUE(fp::armed("test.env"));
+  EXPECT_TRUE(fp::armed("test.other"));
+  EXPECT_NO_THROW(fp::hit("test.env"));  // armed for the 2nd hit
+  EXPECT_THROW(fp::hit("test.env"), FaultInjected);
+  EXPECT_THROW(fp::hit("test.other"), FaultInjected);
+  unsetenv("PA_FAULTPOINTS");
+}
+
+TEST_F(FaultPointTest, RejectsMalformedEnvCounts) {
+  ASSERT_EQ(setenv("PA_FAULTPOINTS", "test.bad:banana", 1), 0);
+  EXPECT_THROW(fp::arm_from_env(), Error);
+  unsetenv("PA_FAULTPOINTS");
+}
+
+// --- The soak test ---------------------------------------------------------
+
+const char* kProgram = R"(
+; !name: soakdemo
+; !permitted: CapSetuid
+; !args: 3, 4
+func @main(2) {
+entry:
+  %2 = add %0, %1
+  ret %2
+}
+)";
+
+std::string write_soak_program() {
+  std::string path = ::testing::TempDir() + "/soakdemo.pir";
+  std::ofstream out(path);
+  out << kProgram;
+  return path;
+}
+
+TEST_F(FaultPointTest, SoakEveryPointIsolatedAndDiagnosed) {
+  const std::string path = write_soak_program();
+  privanalyzer::PipelineOptions opts;
+  opts.rosa_limits.max_states = 10'000;
+  // Force the thread-pool path so the task-boundary point is exercised (the
+  // pool is only spun up for multi-threaded matrices).
+  opts.rosa_threads = 2;
+
+  for (const std::string& point : fp::registered_points()) {
+    SCOPED_TRACE(point);
+    fp::arm(point);
+    privanalyzer::ProgramAnalysis a =
+        privanalyzer::try_analyze_file(path, opts);
+    // No crash (we are here), no hang (ctest would time out), and the
+    // failure surfaced as a structured diagnostic naming the point.
+    EXPECT_EQ(a.status, privanalyzer::AnalysisStatus::Failed);
+    ASSERT_FALSE(a.diagnostics.empty());
+    EXPECT_EQ(a.diagnostics[0].code, support::DiagCode::FaultInjected);
+    EXPECT_NE(a.diagnostics[0].message.find(point), std::string::npos);
+    // The armed point actually fired (single-shot arming disarms on fire).
+    EXPECT_FALSE(fp::armed(point)) << "point never reached by the pipeline";
+    fp::disarm_all();
+  }
+
+  // Sanity: with nothing armed the same pipeline succeeds.
+  privanalyzer::ProgramAnalysis clean =
+      privanalyzer::try_analyze_file(path, opts);
+  EXPECT_EQ(clean.status, privanalyzer::AnalysisStatus::Ok);
+  EXPECT_TRUE(clean.diagnostics.empty());
+  EXPECT_EQ(clean.exit_code, 7);
+}
+
+// A worker-thread fault must be captured by the pool and surface on the
+// caller, exactly like a task's own exception — never std::terminate.
+TEST_F(FaultPointTest, ThreadPoolTaskFaultSurfacesOnCaller) {
+  fp::arm("thread_pool.task");
+  support::ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  EXPECT_THROW(pool.wait_idle(), FaultInjected);
+  // The pool stays usable afterwards.
+  int ran = 0;
+  std::mutex mu;
+  for (int i = 0; i < 4; ++i)
+    pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ++ran;
+    });
+  pool.wait_idle();
+  EXPECT_EQ(ran, 4);
+}
+
+}  // namespace
+}  // namespace pa

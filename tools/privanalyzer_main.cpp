@@ -1,19 +1,31 @@
-// The `privanalyzer` command-line tool: run the full pipeline on a PrivIR
-// program file.
+// The `privanalyzer` command-line tool: run the full pipeline on one or more
+// PrivIR/PrivC program files.
 //
-//   privanalyzer prog.pir [options]
+//   privanalyzer prog.pir [more.pir ...] [options]
 //     --no-rosa            ChronoPriv epochs only (skip attack analysis)
 //     --max-states N       ROSA search budget per query (default 1000000)
 //     --rosa-threads N     worker threads for the (epoch x attack) query
 //                          matrix (0 = hardware_concurrency, 1 = serial;
 //                          verdicts are identical for every N)
+//     --escalate-rounds N  retry ResourceLimit queries with geometrically
+//                          doubled budgets, up to N extra rounds (default 0;
+//                          shrinks the presumed-invulnerable bucket)
+//     --deadline SECS      pipeline-wide wall-clock budget for each
+//                          program's query matrix; expired cells report as
+//                          Timeout and a warning diagnostic is attached
 //     --stats              print per-program ROSA search statistics
 //                          (states, transitions, dedup hits, hash
-//                          collisions, peak frontier, wall time)
+//                          collisions, peak frontier, escalations, wall time)
 //     --attacker MODEL     full | cfi-ordered | fixed-args
 //     --print-ir           dump the transformed (post-AutoPriv) program
 //     --assume-no-indirect treat indirect calls as having no targets
 //                          (unsound; shows what a precise call graph buys)
+//
+// Batch runs are fault-isolated: a program that fails to load, verify, or
+// analyze is reported on stderr with its structured diagnostics and the
+// remaining programs still run. Exit codes: 0 = every program analyzed,
+// 1 = every program failed, 2 = usage error, 3 = partial failure (some
+// programs analyzed, some failed).
 #include <cstring>
 #include <iostream>
 
@@ -23,6 +35,7 @@
 #include "os/worldfile.h"
 #include "privanalyzer/loader.h"
 #include "privanalyzer/render.h"
+#include "support/diagnostics.h"
 #include "support/error.h"
 
 using namespace pa;
@@ -31,30 +44,120 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " <prog.pir> [--no-rosa] [--max-states N] [--rosa-threads N]\n"
+            << " <prog.pir> [more programs...] [--no-rosa] [--max-states N]\n"
+               "       [--rosa-threads N] [--escalate-rounds N] [--deadline SECS]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
                "       [--assume-no-indirect] [--world-file world.world]\n"
-               "       [--simplify] [--stats]\n";
-  return 2;
+               "       [--simplify] [--stats]\n"
+               "exit codes: 0 ok, 1 all programs failed, 2 usage, 3 partial "
+               "failure\n";
+  return privanalyzer::kExitUsage;
 }
 
 // Parse a non-negative integer flag value. Returns false (caller prints
-// usage) on garbage instead of letting std::stoull terminate the process.
+// usage) on garbage instead of letting std::stoull terminate the process;
+// the parse failure itself is reported so the user sees *why* the flag was
+// rejected, not just the usage text.
 bool parse_count(const std::string& s, unsigned long long* out) {
   try {
     std::size_t pos = 0;
     *out = std::stoull(s, &pos);
     return !s.empty() && pos == s.size();
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
+    std::cerr << "error: bad count '" << s << "': " << e.what() << "\n";
     return false;
   }
+}
+
+bool parse_seconds(const std::string& s, double* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return !s.empty() && pos == s.size() && *out >= 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: bad duration '" << s << "': " << e.what() << "\n";
+    return false;
+  }
+}
+
+/// Run + render one program; load/analyze failures are folded into the
+/// returned analysis (never thrown) so the batch loop keeps going.
+privanalyzer::ProgramAnalysis run_one(
+    const std::string& path, const privanalyzer::PipelineOptions& opts,
+    rosa::AttackerModel attacker, bool print_ir, bool print_stats) {
+  programs::ProgramSpec spec;
+  try {
+    spec = privanalyzer::load_program_file(path);
+  } catch (const std::exception& e) {
+    privanalyzer::ProgramAnalysis failed;
+    failed.status = privanalyzer::AnalysisStatus::Failed;
+    std::string base = path;
+    if (auto slash = base.find_last_of('/'); slash != std::string::npos)
+      base = base.substr(slash + 1);
+    failed.diagnostics.push_back(support::diagnostic_from_exception(
+        e, support::Stage::Loader, base));
+    failed.program = failed.diagnostics.back().program;
+    std::cerr << privanalyzer::render_analysis_diagnostics(failed);
+    return failed;
+  }
+
+  privanalyzer::ProgramAnalysis analysis =
+      privanalyzer::try_analyze_program(spec, opts);
+  if (!analysis.ok()) {
+    std::cerr << privanalyzer::render_analysis_diagnostics(analysis);
+    return analysis;
+  }
+
+  // Re-run the scenarios manually when a non-default attacker model is
+  // requested (the model is threaded through the ScenarioInputs).
+  if (attacker != rosa::AttackerModel::Full && opts.run_rosa) {
+    auto syscalls = spec.syscalls_used();
+    std::vector<attacks::ScenarioInput> inputs;
+    for (const chronopriv::EpochRow& row : analysis.chrono.rows) {
+      attacks::ScenarioInput in = attacks::scenario_from_epoch(
+          row, syscalls, spec.scenario_extra_users,
+          spec.scenario_extra_groups);
+      in.attacker = attacker;
+      inputs.push_back(std::move(in));
+    }
+    analysis.verdicts = attacks::analyze_epochs(
+        analysis.chrono.rows, inputs, opts.rosa_limits, opts.rosa_threads,
+        rosa::EscalationPolicy{opts.rosa_escalation_rounds, 2.0});
+  }
+
+  std::cout << "Loaded " << spec.name << " ("
+            << spec.module.countable_instructions()
+            << " static instructions), launch permitted {"
+            << spec.launch_permitted.to_string() << "}\n\n";
+  std::cout << analysis.autopriv_report.to_string() << "\n";
+  if (print_ir)
+    std::cout << "=== transformed IR ===\n"
+              << ir::print(privanalyzer::transformed_module(spec, opts.autopriv))
+              << "\n";
+  std::cout << analysis.chrono.to_string() << "\n";
+  std::cout << chronopriv::render_exposure(analysis.chrono) << "\n";
+  std::cout << privanalyzer::render_advice(privanalyzer::advise(spec, analysis))
+            << "\n";
+  if (opts.run_rosa) {
+    std::cout << privanalyzer::render_attack_table() << "\n"
+              << privanalyzer::render_efficacy_table(
+                     {analysis},
+                     std::string("Efficacy (attacker: ") +
+                         std::string(rosa::attacker_model_name(attacker)) +
+                         ")");
+    if (print_stats)
+      std::cout << "\n" << privanalyzer::render_search_stats({analysis});
+  }
+  // Degraded-but-ok analyses (e.g. deadline warnings) report on stderr too.
+  std::cerr << privanalyzer::render_analysis_diagnostics(analysis);
+  return analysis;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  std::string path;
+  std::vector<std::string> paths;
   privanalyzer::PipelineOptions opts;
   rosa::AttackerModel attacker = rosa::AttackerModel::Full;
   bool print_ir = false;
@@ -70,6 +173,14 @@ int main(int argc, char** argv) {
       unsigned long long n = 0;
       if (!parse_count(argv[++i], &n)) return usage(argv[0]);
       opts.rosa_threads = static_cast<unsigned>(n);
+    } else if (arg == "--escalate-rounds" && i + 1 < argc) {
+      unsigned long long n = 0;
+      if (!parse_count(argv[++i], &n)) return usage(argv[0]);
+      opts.rosa_escalation_rounds = static_cast<unsigned>(n);
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      double secs = 0;
+      if (!parse_seconds(argv[++i], &secs)) return usage(argv[0]);
+      opts.max_total_seconds = secs;
     } else if (arg == "--simplify") {
       opts.simplify_after_autopriv = true;
     } else if (arg == "--print-ir") {
@@ -91,66 +202,25 @@ int main(int argc, char** argv) {
       else return usage(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
       return usage(argv[0]);
-    } else if (path.empty()) {
-      path = arg;
     } else {
-      return usage(argv[0]);
+      paths.push_back(arg);
     }
   }
-  if (path.empty()) return usage(argv[0]);
+  if (paths.empty()) return usage(argv[0]);
 
-  try {
-    programs::ProgramSpec spec = privanalyzer::load_program_file(path);
-    std::cout << "Loaded " << spec.name << " ("
-              << spec.module.countable_instructions()
-              << " static instructions), launch permitted {"
-              << spec.launch_permitted.to_string() << "}\n\n";
-
-    privanalyzer::ProgramAnalysis analysis;
-    {
-      // Thread the attacker model through the scenarios by analyzing
-      // manually when a non-default model is requested.
-      analysis = privanalyzer::analyze_program(spec, opts);
-      if (attacker != rosa::AttackerModel::Full && opts.run_rosa) {
-        auto syscalls = spec.syscalls_used();
-        std::vector<attacks::ScenarioInput> inputs;
-        for (const chronopriv::EpochRow& row : analysis.chrono.rows) {
-          attacks::ScenarioInput in = attacks::scenario_from_epoch(
-              row, syscalls, spec.scenario_extra_users,
-              spec.scenario_extra_groups);
-          in.attacker = attacker;
-          inputs.push_back(std::move(in));
-        }
-        analysis.verdicts = attacks::analyze_epochs(
-            analysis.chrono.rows, inputs, opts.rosa_limits,
-            opts.rosa_threads);
-      }
-    }
-
-    std::cout << analysis.autopriv_report.to_string() << "\n";
-    if (print_ir)
-      std::cout << "=== transformed IR ===\n"
-                << ir::print(privanalyzer::transformed_module(
-                       spec, opts.autopriv))
-                << "\n";
-    std::cout << analysis.chrono.to_string() << "\n";
-    std::cout << chronopriv::render_exposure(analysis.chrono) << "\n";
-    std::cout << privanalyzer::render_advice(
-                     privanalyzer::advise(spec, analysis))
-              << "\n";
-    if (opts.run_rosa) {
-      std::cout << privanalyzer::render_attack_table() << "\n"
-                << privanalyzer::render_efficacy_table(
-                       {analysis},
-                       std::string("Efficacy (attacker: ") +
-                           std::string(rosa::attacker_model_name(attacker)) +
-                           ")");
-      if (print_stats)
-        std::cout << "\n" << privanalyzer::render_search_stats({analysis});
-    }
-    return 0;
-  } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+  // Per-program isolation: one bad file reports its diagnostics and the
+  // rest of the batch still runs; the exit code distinguishes partial from
+  // total failure.
+  std::vector<privanalyzer::ProgramAnalysis> analyses;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (i > 0) std::cout << "\n" << std::string(72, '=') << "\n\n";
+    analyses.push_back(
+        run_one(paths[i], opts, attacker, print_ir, print_stats));
   }
+  const int code =
+      privanalyzer::batch_exit_code(analyses, /*empty_is_failure=*/true);
+  if (code == privanalyzer::kExitPartialFailure)
+    std::cerr << "warning: some programs failed; see diagnostics above "
+                 "(exit code " << code << ")\n";
+  return code;
 }
