@@ -38,9 +38,12 @@ ScenarioInput scenario_from_epoch(const chronopriv::EpochRow& row,
 CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
                        const rosa::SearchLimits& limits,
                        rosa::SearchResult* result,
-                       const rosa::EscalationPolicy& escalation) {
+                       const rosa::EscalationPolicy& escalation,
+                       rosa::QueryCache* cache) {
   rosa::Query q = build_attack_query(attack, input);
-  rosa::SearchResult r = rosa::search_escalating(q, limits, escalation);
+  rosa::SearchResult r = cache
+                             ? cache->run_cached(q, limits, escalation)
+                             : rosa::search_escalating(q, limits, escalation);
   CellVerdict verdict = cell_from_verdict(r.verdict);
   if (result) *result = std::move(r);
   return verdict;
@@ -49,13 +52,14 @@ CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
 EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
                             const ScenarioInput& input,
                             const rosa::SearchLimits& limits,
-                            const rosa::EscalationPolicy& escalation) {
+                            const rosa::EscalationPolicy& escalation,
+                            rosa::QueryCache* cache) {
   EpochVerdicts out;
   out.epoch_name = row.name;
   for (std::size_t i = 0; i < modeled_attacks().size(); ++i) {
     const AttackId id = modeled_attacks()[i].id;
     out.verdicts[i] =
-        run_attack(id, input, limits, &out.results[i], escalation);
+        run_attack(id, input, limits, &out.results[i], escalation, cache);
   }
   return out;
 }
@@ -64,7 +68,7 @@ std::vector<EpochVerdicts> analyze_epochs(
     const std::vector<chronopriv::EpochRow>& rows,
     const std::vector<ScenarioInput>& inputs,
     const rosa::SearchLimits& limits, unsigned n_threads,
-    const rosa::EscalationPolicy& escalation) {
+    const rosa::EscalationPolicy& escalation, rosa::QueryCache* cache) {
   PA_CHECK(rows.size() == inputs.size(),
            "analyze_epochs: rows and inputs must be parallel vectors");
   std::vector<EpochVerdicts> out;
@@ -86,7 +90,8 @@ std::vector<EpochVerdicts> analyze_epochs(
         out.push_back(std::move(ev));
         continue;
       }
-      out.push_back(analyze_epoch(rows[i], inputs[i], limits, escalation));
+      out.push_back(
+          analyze_epoch(rows[i], inputs[i], limits, escalation, cache));
     }
     return out;
   }
@@ -102,7 +107,7 @@ std::vector<EpochVerdicts> analyze_epochs(
       queries.push_back(build_attack_query(modeled_attacks()[a].id, input));
 
   std::vector<rosa::SearchResult> results =
-      rosa::run_queries(queries, limits, n_threads, escalation);
+      rosa::run_queries(queries, limits, n_threads, escalation, cache);
 
   for (std::size_t i = 0; i < rows.size(); ++i) {
     EpochVerdicts ev;

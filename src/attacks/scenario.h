@@ -8,6 +8,7 @@
 
 #include "attacks/attacks.h"
 #include "chronopriv/report.h"
+#include "rosa/cache.h"
 #include "rosa/search.h"
 
 namespace pa::attacks {
@@ -43,10 +44,14 @@ CellVerdict cell_from_verdict(rosa::Verdict v);
 /// Run all four attacks against one epoch. `escalation` retries
 /// ResourceLimit queries with geometrically grown budgets
 /// (rosa::search_escalating), shrinking the presumed-invulnerable bucket.
+/// `cache` (optional, non-owning) memoizes results by content fingerprint
+/// (rosa/cache.h) — epochs posing the same reachability question are
+/// searched once.
 EpochVerdicts analyze_epoch(const chronopriv::EpochRow& row,
                             const ScenarioInput& input,
                             const rosa::SearchLimits& limits = {},
-                            const rosa::EscalationPolicy& escalation = {});
+                            const rosa::EscalationPolicy& escalation = {},
+                            rosa::QueryCache* cache = nullptr);
 
 /// Run the whole (epoch × attack) matrix as one batch, fanned out across
 /// `n_threads` ROSA workers (0 = hardware_concurrency). rows and inputs are
@@ -59,12 +64,14 @@ std::vector<EpochVerdicts> analyze_epochs(
     const std::vector<chronopriv::EpochRow>& rows,
     const std::vector<ScenarioInput>& inputs,
     const rosa::SearchLimits& limits = {}, unsigned n_threads = 1,
-    const rosa::EscalationPolicy& escalation = {});
+    const rosa::EscalationPolicy& escalation = {},
+    rosa::QueryCache* cache = nullptr);
 
 /// Run one attack; maps the search verdict to a cell verdict.
 CellVerdict run_attack(AttackId attack, const ScenarioInput& input,
                        const rosa::SearchLimits& limits,
                        rosa::SearchResult* result = nullptr,
-                       const rosa::EscalationPolicy& escalation = {});
+                       const rosa::EscalationPolicy& escalation = {},
+                       rosa::QueryCache* cache = nullptr);
 
 }  // namespace pa::attacks

@@ -4,6 +4,7 @@
 
 #include "ir/transforms.h"
 #include "privanalyzer/loader.h"
+#include "support/faultpoint.h"
 #include "support/str.h"
 
 namespace pa::privanalyzer {
@@ -75,6 +76,23 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
                                 options.max_total_seconds));
     rosa::EscalationPolicy escalation{options.rosa_escalation_rounds, 2.0};
 
+    // Verdict cache: an explicit shared instance wins (batch-wide reuse);
+    // otherwise a private per-program cache still collapses the duplicate
+    // epochs within this matrix. The persistent file is loaded up front —
+    // a bad file degrades to a cold cache with a warning, never a failure —
+    // and rewritten after the matrix completes.
+    std::shared_ptr<rosa::QueryCache> cache = options.rosa_cache_instance;
+    if (!cache && options.rosa_cache)
+      cache = std::make_shared<rosa::QueryCache>();
+    if (cache && !options.rosa_cache_file.empty()) {
+      PA_FAULTPOINT("rosa.cache_load");
+      std::string warn;
+      if (!cache->load_file(options.rosa_cache_file, &warn))
+        out.diagnostics.push_back(support::Diagnostic{
+            support::Stage::Rosa, support::Severity::Warning,
+            support::DiagCode::CacheLoadFailed, spec.name, warn});
+    }
+
     const std::vector<std::string> syscalls = spec.syscalls_used();
     std::vector<attacks::ScenarioInput> inputs;
     inputs.reserve(out.chrono.rows.size());
@@ -84,7 +102,15 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
           spec.scenario_extra_groups));
     out.verdicts =
         attacks::analyze_epochs(out.chrono.rows, inputs, limits,
-                                options.rosa_threads, escalation);
+                                options.rosa_threads, escalation, cache.get());
+
+    if (cache && !options.rosa_cache_file.empty()) {
+      std::string warn;
+      if (!cache->save_file(options.rosa_cache_file, &warn))
+        out.diagnostics.push_back(support::Diagnostic{
+            support::Stage::Rosa, support::Severity::Warning,
+            support::DiagCode::CacheSaveFailed, spec.name, warn});
+    }
 
     if (limits.has_deadline() &&
         std::chrono::steady_clock::now() >= limits.deadline)

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,23 @@ struct PipelineOptions {
   /// completes with a DeadlineExceeded warning diagnostic — a runaway query
   /// matrix can degrade results but never hang a batch.
   double max_total_seconds = 0.0;
+  /// Memoize ROSA searches by content fingerprint (rosa/cache.h): each
+  /// distinct (state, messages, attacker, goal, checker) combination in the
+  /// (epoch × attack) matrix is searched once and the result fanned out to
+  /// every duplicate cell. On by default — cached verdicts, fractions, and
+  /// witnesses are bit-identical to uncached runs (the cache only ever
+  /// reuses results the direct path would have recomputed verbatim);
+  /// hit/miss counters surface in `--stats`. Set false for A/B measurement.
+  bool rosa_cache = true;
+  /// Share one verdict cache across a batch of programs (the CLI wires this
+  /// up so program N+1 reuses program N's searches). When unset and
+  /// rosa_cache is true, analyze_program uses a private per-program cache.
+  std::shared_ptr<rosa::QueryCache> rosa_cache_instance;
+  /// Persistent verdict cache (--rosa-cache FILE): loaded before the ROSA
+  /// stage (corrupt or stale files are ignored with a CacheLoadFailed
+  /// warning — never an error) and atomically rewritten afterwards, so
+  /// repeat batch runs skip unchanged programs entirely.
+  std::string rosa_cache_file;
   /// Custom world builder (e.g. os::world_from_file); when unset the
   /// standard or refactored world is chosen by the program spec.
   std::function<os::Kernel()> world_factory;

@@ -95,7 +95,8 @@ std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses) {
      << str::pad_left("States", 12) << str::pad_left("Transitions", 13)
      << str::pad_left("Dedup", 10) << str::pad_left("Collisions", 12)
      << str::pad_left("PeakFront", 11) << str::pad_left("Escal", 7)
-     << str::pad_left("Time", 10) << "\n";
+     << str::pad_left("Hits", 7) << str::pad_left("Miss", 7)
+     << str::pad_left("Joins", 7) << str::pad_left("Time", 10) << "\n";
   for (const ProgramAnalysis& a : analyses) {
     const rosa::SearchStats s = a.search_stats();
     const std::size_t queries =
@@ -111,6 +112,9 @@ std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses) {
        << str::pad_left(
               str::with_commas(static_cast<long long>(s.peak_frontier)), 11)
        << str::pad_left(std::to_string(s.escalations), 7)
+       << str::pad_left(std::to_string(s.cache_hits), 7)
+       << str::pad_left(std::to_string(s.cache_misses), 7)
+       << str::pad_left(std::to_string(s.cache_joins), 7)
        << str::pad_left(str::cat(str::fixed(s.seconds, 3), "s"), 10) << "\n";
   }
   return os.str();

@@ -72,6 +72,7 @@ class CapsicumChecker final : public rosa::AccessChecker {
   bool path_lookup_allowed(const caps::Credentials& creds,
                            caps::CapSet privs) const override;
   std::string_view name() const override { return "capsicum"; }
+  std::string_view cache_key() const override { return "capsicum"; }
 };
 
 const CapsicumChecker& capsicum_checker();

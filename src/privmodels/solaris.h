@@ -89,6 +89,7 @@ class SolarisChecker final : public rosa::AccessChecker {
   bool setid_privileged(const caps::Credentials& creds, caps::CapSet privs,
                         bool is_uid) const override;
   std::string_view name() const override { return "solaris-privileges"; }
+  std::string_view cache_key() const override { return "solaris-privileges"; }
 };
 
 const SolarisChecker& solaris_checker();

@@ -58,6 +58,13 @@ class AccessChecker {
   }
 
   virtual std::string_view name() const = 0;
+
+  /// Stable identity for the verdict cache (rosa/fingerprint.h). Two
+  /// checkers returning the same non-empty key MUST make identical access
+  /// decisions for all inputs. The empty default marks an implementation as
+  /// uncacheable — queries evaluated against it bypass the cache entirely,
+  /// which is always safe.
+  virtual std::string_view cache_key() const { return {}; }
 };
 
 /// Linux DAC + capabilities — the paper's model and the default.
@@ -84,6 +91,7 @@ class LinuxChecker final : public AccessChecker {
   bool setid_privileged(const caps::Credentials& creds, caps::CapSet privs,
                         bool is_uid) const override;
   std::string_view name() const override { return "linux-capabilities"; }
+  std::string_view cache_key() const override { return "linux-capabilities"; }
 };
 
 /// The process-wide default checker instance.

@@ -1,52 +1,75 @@
 #include "rosa/query.h"
 
 #include "os/access.h"
+#include "support/str.h"
 
 namespace pa::rosa {
 
-std::function<bool(const State&)> goal_file_in_rdfset(int proc, int file) {
-  return [proc, file](const State& st) {
-    const ProcObj* p = st.find_proc(proc);
-    return p && p->rdfset.contains(file);
-  };
+Goal goal_file_in_rdfset(int proc, int file) {
+  return Goal(
+      [proc, file](const State& st) {
+        const ProcObj* p = st.find_proc(proc);
+        return p && p->rdfset.contains(file);
+      },
+      str::cat("rdfset:", proc, ":", file));
 }
 
-std::function<bool(const State&)> goal_file_in_wrfset(int proc, int file) {
-  return [proc, file](const State& st) {
-    const ProcObj* p = st.find_proc(proc);
-    return p && p->wrfset.contains(file);
-  };
+Goal goal_file_in_wrfset(int proc, int file) {
+  return Goal(
+      [proc, file](const State& st) {
+        const ProcObj* p = st.find_proc(proc);
+        return p && p->wrfset.contains(file);
+      },
+      str::cat("wrfset:", proc, ":", file));
 }
 
-std::function<bool(const State&)> goal_privileged_port_bound(int proc) {
-  return [proc](const State& st) {
-    for (const SockObj& s : st.socks)
-      if (s.owner_proc == proc && s.port != -1 &&
-          s.port <= os::kPrivilegedPortMax)
-        return true;
-    return false;
-  };
+Goal goal_privileged_port_bound(int proc) {
+  return Goal(
+      [proc](const State& st) {
+        for (const SockObj& s : st.socks)
+          if (s.owner_proc == proc && s.port != -1 &&
+              s.port <= os::kPrivilegedPortMax)
+            return true;
+        return false;
+      },
+      str::cat("privport:", proc));
 }
 
-std::function<bool(const State&)> goal_proc_terminated(int victim) {
-  return [victim](const State& st) {
-    const ProcObj* p = st.find_proc(victim);
-    return p && !p->running;
-  };
+Goal goal_proc_terminated(int victim) {
+  return Goal(
+      [victim](const State& st) {
+        const ProcObj* p = st.find_proc(victim);
+        return p && !p->running;
+      },
+      str::cat("terminated:", victim));
 }
 
-std::function<bool(const State&)> goal_and(
-    std::function<bool(const State&)> a, std::function<bool(const State&)> b) {
-  return [a = std::move(a), b = std::move(b)](const State& st) {
-    return a(st) && b(st);
-  };
+namespace {
+
+/// Composite key, or "" (uncacheable) when either operand is unkeyed.
+std::string compose_key(std::string_view op, const Goal& a, const Goal& b) {
+  if (a.cache_key().empty() || b.cache_key().empty()) return {};
+  return str::cat(op, "(", a.cache_key(), ",", b.cache_key(), ")");
 }
 
-std::function<bool(const State&)> goal_or(
-    std::function<bool(const State&)> a, std::function<bool(const State&)> b) {
-  return [a = std::move(a), b = std::move(b)](const State& st) {
-    return a(st) || b(st);
-  };
+}  // namespace
+
+Goal goal_and(Goal a, Goal b) {
+  std::string key = compose_key("and", a, b);
+  return Goal(
+      [a = std::move(a), b = std::move(b)](const State& st) {
+        return a(st) && b(st);
+      },
+      std::move(key));
+}
+
+Goal goal_or(Goal a, Goal b) {
+  std::string key = compose_key("or", a, b);
+  return Goal(
+      [a = std::move(a), b = std::move(b)](const State& st) {
+        return a(st) || b(st);
+      },
+      std::move(key));
 }
 
 }  // namespace pa::rosa

@@ -1,5 +1,10 @@
 // Goal-predicate builders: the "compromised system state" patterns of the
 // paper's queries, expressed as reusable predicates on ROSA states.
+//
+// Every builder returns a keyed Goal: the predicate the search evaluates
+// plus a stable cache identity (Goal::cache_key) the verdict cache
+// (rosa/cache.h) fingerprints. The key encodes the builder and its
+// arguments, so equal keys mean equal predicates by construction.
 #pragma once
 
 #include "rosa/search.h"
@@ -7,22 +12,22 @@
 namespace pa::rosa {
 
 /// Process `proc` holds `file` open for reading (Fig. 4's pattern, and the
-/// read-/dev/mem attack goal).
-std::function<bool(const State&)> goal_file_in_rdfset(int proc, int file);
+/// read-/dev/mem attack goal). Cache key: "rdfset:<proc>:<file>".
+Goal goal_file_in_rdfset(int proc, int file);
 
-/// Process `proc` holds `file` open for writing.
-std::function<bool(const State&)> goal_file_in_wrfset(int proc, int file);
+/// Process `proc` holds `file` open for writing. Key: "wrfset:<proc>:<file>".
+Goal goal_file_in_wrfset(int proc, int file);
 
 /// Some socket owned by `proc` is bound to a privileged port (< 1024).
-std::function<bool(const State&)> goal_privileged_port_bound(int proc);
+/// Cache key: "privport:<proc>".
+Goal goal_privileged_port_bound(int proc);
 
-/// Process `victim` has been terminated.
-std::function<bool(const State&)> goal_proc_terminated(int victim);
+/// Process `victim` has been terminated. Cache key: "terminated:<victim>".
+Goal goal_proc_terminated(int victim);
 
-/// Conjunction / disjunction combinators for composite goals.
-std::function<bool(const State&)> goal_and(
-    std::function<bool(const State&)> a, std::function<bool(const State&)> b);
-std::function<bool(const State&)> goal_or(
-    std::function<bool(const State&)> a, std::function<bool(const State&)> b);
+/// Conjunction / disjunction combinators for composite goals. The composite
+/// is keyed (cacheable) only when both operands are.
+Goal goal_and(Goal a, Goal b);
+Goal goal_or(Goal a, Goal b);
 
 }  // namespace pa::rosa

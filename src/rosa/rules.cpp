@@ -73,10 +73,10 @@ void rule_open(const State& st, const Message& m, const ProcObj& p,
     modes = {m.args[1]};
   else if (model != AttackerModel::FixedArgs)
     modes = {kAccRead, kAccWrite, kAccRead | kAccWrite};
+  const caps::Credentials creds = p.creds();
   for (int fid : expand(m.args[0], file_ids(st), model)) {
     const FileObj* f = st.find_file(fid);
     if (!f) continue;
-    const caps::Credentials creds = p.creds();
     if (!path_ok(st, creds, m.privs, fid, ck)) continue;
     for (int mode : modes) {
       if ((mode & kAccRead) &&
@@ -102,10 +102,10 @@ void rule_chmod(const State& st, const Message& m, const ProcObj& p,
                 bool through_fd, std::vector<Transition>& out) {
   if (m.args[1] == kWild && model == AttackerModel::FixedArgs) return;
   const int mode_bits = m.args[1] == kWild ? 0777 : m.args[1];
+  const caps::Credentials creds = p.creds();
   for (int fid : expand(m.args[0], file_ids(st), model)) {
     const FileObj* f = st.find_file(fid);
     if (!f) continue;
-    const caps::Credentials creds = p.creds();
     if (through_fd) {
       // fchmod needs the file already open in this process.
       if (!p.rdfset.contains(fid) && !p.wrfset.contains(fid)) continue;
@@ -126,10 +126,10 @@ void rule_chmod(const State& st, const Message& m, const ProcObj& p,
 void rule_chown(const State& st, const Message& m, const ProcObj& p,
                 AttackerModel model, const AccessChecker& ck,
                 bool through_fd, std::vector<Transition>& out) {
+  const caps::Credentials creds = p.creds();
   for (int fid : expand(m.args[0], file_ids(st), model)) {
     const FileObj* f = st.find_file(fid);
     if (!f) continue;
-    const caps::Credentials creds = p.creds();
     if (through_fd) {
       if (!p.rdfset.contains(fid) && !p.wrfset.contains(fid)) continue;
     } else {
@@ -157,13 +157,13 @@ void rule_chown(const State& st, const Message& m, const ProcObj& p,
 void rule_unlink(const State& st, const Message& m, const ProcObj& p,
                  AttackerModel model, const AccessChecker& ck,
                  std::vector<Transition>& out) {
+  const caps::Credentials creds = p.creds();
+  if (!ck.path_lookup_allowed(creds, m.privs)) return;
   for (int fid : expand(m.args[0], file_ids(st), model)) {
     const FileObj* f = st.find_file(fid);
     if (!f) continue;
     const DirObj* dir = st.parent_dir_of(fid);
     if (!dir) continue;
-    const caps::Credentials creds = p.creds();
-    if (!ck.path_lookup_allowed(creds, m.privs)) continue;
     if (!ck.can_unlink(creds, m.privs, dir->meta, f->meta)) continue;
     State next = st;
     next.find_dir(dir->id)->inode = -1;
@@ -174,6 +174,8 @@ void rule_unlink(const State& st, const Message& m, const ProcObj& p,
 void rule_rename(const State& st, const Message& m, const ProcObj& p,
                  AttackerModel model, const AccessChecker& ck,
                  std::vector<Transition>& out) {
+  const caps::Credentials creds = p.creds();
+  if (!ck.path_lookup_allowed(creds, m.privs)) return;
   for (int from : expand(m.args[0], file_ids(st), model)) {
     const FileObj* ff = st.find_file(from);
     const DirObj* fd = st.parent_dir_of(from);
@@ -183,8 +185,6 @@ void rule_rename(const State& st, const Message& m, const ProcObj& p,
       const FileObj* tf = st.find_file(to);
       const DirObj* td = st.parent_dir_of(to);
       if (!tf || !td) continue;
-      const caps::Credentials creds = p.creds();
-      if (!ck.path_lookup_allowed(creds, m.privs)) continue;
       if (!ck.can_unlink(creds, m.privs, fd->meta, ff->meta)) continue;
       if (!ck.can_unlink(creds, m.privs, td->meta, tf->meta)) continue;
       State next = st;
@@ -291,10 +291,11 @@ void rule_kill(const State& st, const Message& m, const ProcObj& p,
   }
   if (m.args[1] == kWild && model == AttackerModel::FixedArgs) return;
   const int signo = m.args[1] == kWild ? 9 : m.args[1];
+  const caps::Credentials creds = p.creds();
   for (int tid : targets) {
     const ProcObj* t = st.find_proc(tid);
     if (!t || !t->running) continue;
-    if (!ck.can_kill(p.creds(), m.privs, t->uid)) continue;
+    if (!ck.can_kill(creds, m.privs, t->uid)) continue;
     if (signo != 9) continue;  // only SIGKILL changes modelled state
     State next = st;
     next.find_proc(tid)->running = false;
@@ -329,11 +330,12 @@ void rule_bind(const State& st, const Message& m, const ProcObj& p,
     for (const SockObj& s : st.socks)
       if (s.owner_proc == p.id) socks.push_back(s.id);
   }
+  const caps::Credentials creds = p.creds();
   for (int sid : socks) {
     const SockObj* s = st.find_sock(sid);
     if (!s || s->owner_proc != p.id || s->port != -1) continue;
     for (int port : expand(m.args[1], wildcard_port_pool(), model)) {
-      if (!ck.can_bind(p.creds(), m.privs, port)) continue;
+      if (!ck.can_bind(creds, m.privs, port)) continue;
       if (st.port_in_use(port)) continue;
       State next = st;
       next.find_sock(sid)->port = port;
@@ -370,8 +372,15 @@ std::vector<Transition> apply_message(const State& st, const Message& m,
                                       AttackerModel model,
                                       const AccessChecker& ck) {
   std::vector<Transition> out;
+  apply_message(st, m, model, ck, out);
+  return out;
+}
+
+void apply_message(const State& st, const Message& m, AttackerModel model,
+                   const AccessChecker& ck, std::vector<Transition>& out) {
+  out.clear();
   const ProcObj* p = st.find_proc(m.proc);
-  if (!p || !p->running) return out;
+  if (!p || !p->running) return;
 
   switch (m.sys) {
     case Sys::Open:
@@ -456,7 +465,6 @@ std::vector<Transition> apply_message(const State& st, const Message& m,
       // connect(2) has no effect on any modelled security state.
       break;
   }
-  return out;
 }
 
 }  // namespace pa::rosa

@@ -64,6 +64,12 @@ std::vector<Transition> apply_message(
     AttackerModel model = AttackerModel::Full,
     const AccessChecker& checker = linux_checker());
 
+/// As above, but filling a caller-owned vector (cleared first) so the
+/// search hot loop can reuse one scratch buffer's capacity across every
+/// (state, message) pair instead of allocating per call.
+void apply_message(const State& state, const Message& msg, AttackerModel model,
+                   const AccessChecker& checker, std::vector<Transition>& out);
+
 /// Ports tried when a Bind message's port argument is a wildcard.
 const std::vector<int>& wildcard_port_pool();
 

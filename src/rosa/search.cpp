@@ -1,5 +1,6 @@
 #include "rosa/search.h"
 
+#include "rosa/cache.h"
 #include "rosa/rules.h"
 
 #include <chrono>
@@ -22,6 +23,13 @@ std::string_view verdict_name(Verdict v) {
   return "?";
 }
 
+std::optional<Verdict> parse_verdict(std::string_view name) {
+  if (name == "REACHABLE") return Verdict::Reachable;
+  if (name == "UNREACHABLE") return Verdict::Unreachable;
+  if (name == "RESOURCE-LIMIT") return Verdict::ResourceLimit;
+  return std::nullopt;
+}
+
 void SearchStats::merge(const SearchStats& other) {
   states += other.states;
   transitions += other.transitions;
@@ -30,6 +38,9 @@ void SearchStats::merge(const SearchStats& other) {
   peak_frontier = std::max(peak_frontier, other.peak_frontier);
   escalations += other.escalations;
   seconds += other.seconds;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_joins += other.cache_joins;
 }
 
 std::string SearchStats::to_string() const {
@@ -37,8 +48,9 @@ std::string SearchStats::to_string() const {
                   " dedup-hits=", dedup_hits,
                   " hash-collisions=", hash_collisions,
                   " peak-frontier=", peak_frontier,
-                  " escalations=", escalations, " time=",
-                  str::fixed(seconds, 3), "s");
+                  " escalations=", escalations, " cache-hits=", cache_hits,
+                  " cache-misses=", cache_misses, " cache-joins=", cache_joins,
+                  " time=", str::fixed(seconds, 3), "s");
 }
 
 std::string SearchResult::to_string() const {
@@ -130,6 +142,13 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
   result.stats.peak_frontier = 1;
   if (query.goal(init)) return finish(Verdict::Reachable, 0);
 
+  // Hoisted out of the pop loop: the checker never changes mid-search, and
+  // the successor scratch vector keeps its capacity across every
+  // apply_message call instead of allocating a fresh vector per (state,
+  // message) pair.
+  const AccessChecker& ck = query.checker ? *query.checker : linux_checker();
+  std::vector<Transition> scratch;
+
   while (!frontier.empty()) {
     // The wall-clock budget, the batch-wide deadline, and the cooperative
     // cancel flag are all enforced here, once per frontier pop: a
@@ -141,12 +160,14 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
 
     const std::size_t cur = frontier.front();
     frontier.pop_front();
-    // Copy what we need: `nodes` may reallocate as successors are added.
-    const State cur_state = nodes[cur].state;
+    // `nodes` may reallocate as successors are appended, so the popped
+    // state is re-fetched by index where needed; only its (cheap) message
+    // mask is kept across the whole pop instead of deep-copying the State.
+    const std::uint64_t cur_msgs = nodes[cur].state.msgs_remaining;
 
     for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
       const std::uint64_t bit = std::uint64_t{1} << mi;
-      if (!(cur_state.msgs_remaining & bit)) continue;
+      if (!(cur_msgs & bit)) continue;
 
       // CFI-ordered attackers must issue syscalls in program order: message
       // i is usable only while every later message is still unconsumed
@@ -157,16 +178,17 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
             later & (query.messages.size() == 64
                          ? ~std::uint64_t{0}
                          : (std::uint64_t{1} << query.messages.size()) - 1);
-        if ((cur_state.msgs_remaining & later_in_range) != later_in_range)
+        if ((cur_msgs & later_in_range) != later_in_range)
           continue;
       }
 
-      const AccessChecker& ck =
-          query.checker ? *query.checker : linux_checker();
-      for (Transition& tr :
-           apply_message(cur_state, query.messages[mi], query.attacker, ck)) {
+      // apply_message reads the state before any push_back below can
+      // invalidate the reference.
+      apply_message(nodes[cur].state, query.messages[mi], query.attacker, ck,
+                    scratch);
+      for (Transition& tr : scratch) {
         ++result.transitions;
-        tr.next.msgs_remaining = cur_state.msgs_remaining & ~bit;
+        tr.next.msgs_remaining = cur_msgs & ~bit;
 
         const std::size_t ni = nodes.size();
         if (!limits.no_dedup) {
@@ -257,8 +279,15 @@ SearchResult cancelled_result() {
 std::vector<SearchResult> run_queries(std::span<const Query> queries,
                                       const SearchLimits& limits,
                                       unsigned n_threads,
-                                      const EscalationPolicy& escalation) {
+                                      const EscalationPolicy& escalation,
+                                      QueryCache* cache) {
   std::vector<SearchResult> results(queries.size());
+  // Memoized or direct execution of one query; rosa/cache.h guarantees the
+  // cached path returns what the direct path would have computed.
+  auto run_one = [&escalation, cache](const Query& q, const SearchLimits& lim) {
+    return cache ? cache->run_cached(q, lim, escalation)
+                 : search_escalating(q, lim, escalation);
+  };
   if (n_threads == 0) n_threads = support::ThreadPool::hardware_threads();
   if (n_threads <= 1 || queries.size() <= 1) {
     for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -266,7 +295,7 @@ std::vector<SearchResult> run_queries(std::span<const Query> queries,
         results[i] = cancelled_result();
         continue;
       }
-      results[i] = search_escalating(queries[i], limits, escalation);
+      results[i] = run_one(queries[i], limits);
     }
     return results;
   }
@@ -278,12 +307,12 @@ std::vector<SearchResult> run_queries(std::span<const Query> queries,
   SearchLimits task_limits = limits;
   if (!task_limits.cancel) task_limits.cancel = pool.cancel_token();
   for (std::size_t i = 0; i < queries.size(); ++i)
-    pool.submit([&queries, &task_limits, &escalation, &results, &pool, i] {
+    pool.submit([&queries, &task_limits, &results, &pool, &run_one, i] {
       if (task_limits.expired()) {
         results[i] = cancelled_result();
         return;
       }
-      results[i] = search_escalating(queries[i], task_limits, escalation);
+      results[i] = run_one(queries[i], task_limits);
       if (task_limits.has_deadline() &&
           std::chrono::steady_clock::now() >= task_limits.deadline)
         pool.request_cancel();

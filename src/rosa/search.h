@@ -13,8 +13,11 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "rosa/message.h"
@@ -22,6 +25,38 @@
 #include "rosa/state.h"
 
 namespace pa::rosa {
+
+class QueryCache;  // rosa/cache.h
+
+/// A goal predicate plus an optional stable cache identity. The predicate is
+/// what the search evaluates; the cache key is what the verdict cache
+/// (rosa/cache.h) fingerprints — two goals with the same key MUST accept
+/// exactly the same states. Ad-hoc lambdas convert implicitly and carry no
+/// key, which simply makes their queries uncacheable; the builders in
+/// rosa/query.h all return keyed goals.
+class Goal {
+ public:
+  Goal() = default;
+  /// Keyed (cacheable) goal. The key must determine the predicate.
+  Goal(std::function<bool(const State&)> fn, std::string key)
+      : fn_(std::move(fn)), key_(std::move(key)) {}
+  /// Unkeyed goal from any predicate callable (uncacheable).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Goal> &&
+                std::is_invocable_r_v<bool, F, const State&>>>
+  Goal(F fn) : fn_(std::move(fn)) {}
+
+  bool operator()(const State& st) const { return fn_(st); }
+  explicit operator bool() const { return static_cast<bool>(fn_); }
+
+  /// Stable identity for fingerprinting; empty = uncacheable.
+  const std::string& cache_key() const { return key_; }
+
+ private:
+  std::function<bool(const State&)> fn_;
+  std::string key_;
+};
 
 /// A search problem: initial configuration, one-shot messages, and the
 /// pattern (goal predicate) describing the compromised system state.
@@ -35,7 +70,7 @@ struct Query {
   /// At most 64 messages (bitmask-tracked). Under AttackerModel::CfiOrdered
   /// the list order IS the program order the attacker must respect.
   std::vector<Message> messages;
-  std::function<bool(const State&)> goal;
+  Goal goal;
   std::string description;
   /// Attacker strength (§X: modelling defenses like CFI / data-flow
   /// integrity weakens the attacker).
@@ -99,6 +134,8 @@ enum class Verdict {
 };
 
 std::string_view verdict_name(Verdict v);
+/// Inverse of verdict_name (for the persistent cache loader).
+std::optional<Verdict> parse_verdict(std::string_view name);
 
 /// Per-query observability counters, aggregated across the pipeline's
 /// (epoch × attack) matrix and printed by `privanalyzer --stats`.
@@ -110,6 +147,15 @@ struct SearchStats {
   std::size_t peak_frontier = 0;    // high-water mark of the BFS queue
   std::size_t escalations = 0;      // budget-doubled retries after ResourceLimit
   double seconds = 0.0;             // wall time
+  /// Verdict-cache counters (rosa/cache.h). For a memoized query exactly one
+  /// of cache_hits / cache_misses is 1 (uncacheable queries leave both 0);
+  /// cache_joins marks a worker that blocked on another worker already
+  /// computing the same fingerprint. In a parallel batch, *which* duplicate
+  /// cell records the miss is scheduling-dependent, but the aggregate over
+  /// the batch is deterministic: one miss per distinct fingerprint.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_joins = 0;
 
   /// Accumulate another query's counters (peak_frontier takes the max).
   void merge(const SearchStats& other);
@@ -155,9 +201,17 @@ SearchResult search_escalating(const Query& query, const SearchLimits& limits,
 /// through the pool's cancel token; not-yet-started queries return stub
 /// ResourceLimit results (0 states), so the batch always completes and
 /// results stay position-complete.
+///
+/// `cache` (optional) memoizes whole-query results by content fingerprint:
+/// each distinct fingerprint is searched once and its result fanned out to
+/// every duplicate, with in-flight deduplication across workers. Cached and
+/// uncached batches are bit-identical in verdicts, witnesses, and work
+/// counters because identical fingerprints imply identical deterministic
+/// searches (rosa/cache.h spells out the reuse rules).
 std::vector<SearchResult> run_queries(std::span<const Query> queries,
                                       const SearchLimits& limits = {},
                                       unsigned n_threads = 0,
-                                      const EscalationPolicy& escalation = {});
+                                      const EscalationPolicy& escalation = {},
+                                      QueryCache* cache = nullptr);
 
 }  // namespace pa::rosa

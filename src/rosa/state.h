@@ -32,7 +32,9 @@ struct ProcObj {
   bool operator==(const ProcObj&) const = default;
 
   caps::Credentials creds() const {
-    caps::Credentials c{uid, gid, supplementary};
+    // set_supplementary() sorts and dedups, so the groups must not also be
+    // passed to the constructor (which would copy + normalize them twice).
+    caps::Credentials c{uid, gid, {}};
     c.set_supplementary(supplementary);
     return c;
   }

@@ -38,6 +38,8 @@ std::string_view diag_code_name(DiagCode c) {
     case DiagCode::FileNotFound: return "file-not-found";
     case DiagCode::FaultInjected: return "fault-injected";
     case DiagCode::DeadlineExceeded: return "deadline-exceeded";
+    case DiagCode::CacheLoadFailed: return "cache-load-failed";
+    case DiagCode::CacheSaveFailed: return "cache-save-failed";
     case DiagCode::InternalError: return "internal-error";
   }
   return "?";

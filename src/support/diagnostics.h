@@ -46,6 +46,8 @@ enum class DiagCode {
   FileNotFound,
   FaultInjected,       // a support::faultpoint fired
   DeadlineExceeded,    // PipelineOptions::max_total_seconds hit
+  CacheLoadFailed,     // --rosa-cache file corrupt/stale; ignored, ran cold
+  CacheSaveFailed,     // --rosa-cache file could not be (re)written
   InternalError,       // any exception without a structured payload
 };
 

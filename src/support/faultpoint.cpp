@@ -20,6 +20,7 @@ constexpr const char* kCompiledInPoints[] = {
     "world.make",           // programs/world.cpp: both world factories
     "thread_pool.task",     // support/thread_pool.cpp: task boundary
     "rosa.search",          // rosa/search.cpp: search() entry
+    "rosa.cache_load",      // privanalyzer/pipeline.cpp: --rosa-cache load
 };
 
 struct PointState {

@@ -2,6 +2,8 @@
 // the two Table III programs not already covered end-to-end (thttpd, sshd).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "privanalyzer/export.h"
 #include "privanalyzer/render.h"
 #include "support/str.h"
@@ -91,7 +93,14 @@ TEST(ExportTest, SearchStatsCsvAndTableShape) {
   ASSERT_EQ(lines.size(),
             1 + a.verdicts.size() * attacks::modeled_attacks().size());
   EXPECT_TRUE(str::starts_with(lines[0], "program,epoch,attack,verdict"));
+  // The verdict-cache counters ride along in the export.
+  EXPECT_NE(lines[0].find("escalations,cache_hits,cache_misses,cache_joins,"
+                          "seconds"),
+            std::string::npos);
   EXPECT_TRUE(str::starts_with(lines[1], "\"ping\",\"ping_priv1\","));
+  // Each row carries the full column count (header commas == row commas).
+  EXPECT_EQ(std::count(lines[1].begin(), lines[1].end(), ','),
+            std::count(lines[0].begin(), lines[0].end(), ','));
 
   // The aggregate must mirror the per-cell legacy counters.
   rosa::SearchStats agg = a.search_stats();
@@ -101,10 +110,17 @@ TEST(ExportTest, SearchStatsCsvAndTableShape) {
   EXPECT_EQ(agg.states, states);
   EXPECT_GT(agg.states, 0u);
 
+  // The pipeline runs with the cache on by default, so the matrix records
+  // at least one miss (and the CSV mirrors the aggregate counters).
+  EXPECT_GT(agg.cache_hits + agg.cache_misses, 0u);
+
   std::string table = render_search_stats({a});
   EXPECT_NE(table.find("ping"), std::string::npos);
   EXPECT_NE(table.find("Dedup"), std::string::npos);
   EXPECT_NE(table.find("PeakFront"), std::string::npos);
+  EXPECT_NE(table.find("Hits"), std::string::npos);
+  EXPECT_NE(table.find("Miss"), std::string::npos);
+  EXPECT_NE(table.find("Joins"), std::string::npos);
 }
 
 // --- Full-pipeline integration for the remaining Table III programs -------

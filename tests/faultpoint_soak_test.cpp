@@ -5,6 +5,7 @@
 // structured diagnostic on the failed ProgramAnalysis.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -61,7 +62,7 @@ TEST_F(FaultPointTest, RegistryListsEveryCompiledInPoint) {
   std::vector<std::string> points = fp::registered_points();
   for (const char* expected :
        {"loader.load_program", "verifier.verify", "world.make",
-        "thread_pool.task", "rosa.search"})
+        "thread_pool.task", "rosa.search", "rosa.cache_load"})
     EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
         << expected;
 }
@@ -110,6 +111,12 @@ TEST_F(FaultPointTest, SoakEveryPointIsolatedAndDiagnosed) {
   // Force the thread-pool path so the task-boundary point is exercised (the
   // pool is only spun up for multi-threaded matrices).
   opts.rosa_threads = 2;
+  // A persistent cache file makes the pipeline reach rosa.cache_load (a
+  // missing file is a clean cold start, so the unarmed runs stay warning-free).
+  // Remove any leftover from a previous run first: a warm cache would satisfy
+  // the whole query matrix without ever reaching the armed rosa.search point.
+  opts.rosa_cache_file = ::testing::TempDir() + "/soakdemo.rosa-cache";
+  std::remove(opts.rosa_cache_file.c_str());
 
   for (const std::string& point : fp::registered_points()) {
     SCOPED_TRACE(point);

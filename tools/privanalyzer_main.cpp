@@ -15,7 +15,15 @@
 //                          Timeout and a warning diagnostic is attached
 //     --stats              print per-program ROSA search statistics
 //                          (states, transitions, dedup hits, hash
-//                          collisions, peak frontier, escalations, wall time)
+//                          collisions, peak frontier, escalations, cache
+//                          hits/misses/joins, wall time)
+//     --rosa-cache FILE    persistent ROSA verdict cache: load FILE before
+//                          the query matrix (corrupt/stale files are ignored
+//                          with a warning) and atomically rewrite it after,
+//                          so repeat runs skip unchanged searches entirely
+//     --no-rosa-cache      disable ROSA verdict memoization (on by default;
+//                          cached runs are bit-identical, this is for A/B
+//                          measurement)
 //     --attacker MODEL     full | cfi-ordered | fixed-args
 //     --print-ir           dump the transformed (post-AutoPriv) program
 //     --assume-no-indirect treat indirect calls as having no targets
@@ -28,6 +36,7 @@
 // programs analyzed, some failed).
 #include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "ir/printer.h"
 #include "chronopriv/exposure.h"
@@ -48,7 +57,8 @@ int usage(const char* argv0) {
                "       [--rosa-threads N] [--escalate-rounds N] [--deadline SECS]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
                "       [--assume-no-indirect] [--world-file world.world]\n"
-               "       [--simplify] [--stats]\n"
+               "       [--simplify] [--stats] [--rosa-cache FILE]\n"
+               "       [--no-rosa-cache]\n"
                "exit codes: 0 ok, 1 all programs failed, 2 usage, 3 partial "
                "failure\n";
   return privanalyzer::kExitUsage;
@@ -122,7 +132,8 @@ privanalyzer::ProgramAnalysis run_one(
     }
     analysis.verdicts = attacks::analyze_epochs(
         analysis.chrono.rows, inputs, opts.rosa_limits, opts.rosa_threads,
-        rosa::EscalationPolicy{opts.rosa_escalation_rounds, 2.0});
+        rosa::EscalationPolicy{opts.rosa_escalation_rounds, 2.0},
+        opts.rosa_cache_instance.get());
   }
 
   std::cout << "Loaded " << spec.name << " ("
@@ -181,6 +192,10 @@ int main(int argc, char** argv) {
       double secs = 0;
       if (!parse_seconds(argv[++i], &secs)) return usage(argv[0]);
       opts.max_total_seconds = secs;
+    } else if (arg == "--rosa-cache" && i + 1 < argc) {
+      opts.rosa_cache_file = argv[++i];
+    } else if (arg == "--no-rosa-cache") {
+      opts.rosa_cache = false;
     } else if (arg == "--simplify") {
       opts.simplify_after_autopriv = true;
     } else if (arg == "--print-ir") {
@@ -207,6 +222,14 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return usage(argv[0]);
+  if (!opts.rosa_cache && !opts.rosa_cache_file.empty()) {
+    std::cerr << "error: --rosa-cache and --no-rosa-cache conflict\n";
+    return usage(argv[0]);
+  }
+  // One verdict cache for the whole batch, so program N+1 reuses program
+  // N's searches (and the persistent file, when given, is shared).
+  if (opts.rosa_cache)
+    opts.rosa_cache_instance = std::make_shared<rosa::QueryCache>();
 
   // Per-program isolation: one bad file reports its diagnostics and the
   // rest of the batch still runs; the exit code distinguishes partial from
