@@ -1,0 +1,22 @@
+; PrivLint fixture: seeded empty-indirect-targets defect (and nothing else).
+; The pointer in %0 only ever holds @handler, which takes 2 parameters, but
+; the callind passes 0 arguments — after arity filtering the refined target
+; set is empty, so executing the call would abort the VM.
+;
+; !name: empty_targets
+; !description: lint fixture - indirect call with no feasible target
+; !uid: 1000
+; !gid: 1000
+
+func @handler(2) {
+entry:
+  %2 = add %0, %1
+  ret %2
+}
+
+func @main(0) {
+entry:
+  %0 = funcaddr @handler
+  %1 = callind %0()
+  exit 0
+}

@@ -1,0 +1,19 @@
+; PrivLint fixture: seeded never-raised-privilege defect (and nothing else).
+; CapChown is permitted at launch but no priv_raise anywhere names it: the
+; grant is pure attack surface.
+;
+; !name: never_raised
+; !description: lint fixture - permitted capability that is never raised
+; !permitted: CapNetBindService,CapChown
+; !uid: 1000
+; !gid: 1000
+
+func @main(0) {
+entry:
+  %0 = syscall socket(0)
+  priv_raise {CapNetBindService}
+  %1 = syscall bind(%0, 80)
+  priv_lower {CapNetBindService}
+  %2 = syscall close(%0)
+  exit 0
+}

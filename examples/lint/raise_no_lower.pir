@@ -1,0 +1,25 @@
+; PrivLint fixture: seeded raise-without-lower defect (and nothing else).
+; @serve returns to its caller with CapNetBindService still raised on the
+; fallthrough path — the raise/lower bracket leaks.
+;
+; !name: raise_no_lower
+; !description: lint fixture - function returns with a privilege raised
+; !permitted: CapNetBindService
+; !uid: 1000
+; !gid: 1000
+
+func @serve(1) {
+entry:
+  priv_raise {CapNetBindService}
+  %1 = syscall bind(%0, 8080)
+  ret %1
+}
+
+func @main(0) {
+entry:
+  %0 = syscall socket(0)
+  %1 = call @serve(%0)
+  priv_lower {CapNetBindService}
+  %2 = syscall close(%0)
+  exit 0
+}

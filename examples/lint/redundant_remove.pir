@@ -1,0 +1,21 @@
+; PrivLint fixture: seeded redundant-priv-remove defect (and nothing else).
+; The second priv_remove drops CapSysAdmin, which the launch configuration
+; never granted — the program's mental model of its privileges has drifted.
+;
+; !name: redundant_remove
+; !description: lint fixture - priv_remove of a never-permitted capability
+; !permitted: CapNetBindService
+; !uid: 1000
+; !gid: 1000
+
+func @main(0) {
+entry:
+  %0 = syscall socket(0)
+  priv_raise {CapNetBindService}
+  %1 = syscall bind(%0, 443)
+  priv_lower {CapNetBindService}
+  priv_remove {CapNetBindService}
+  priv_remove {CapSysAdmin}
+  %2 = syscall close(%0)
+  exit 0
+}

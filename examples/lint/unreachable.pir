@@ -1,0 +1,22 @@
+; PrivLint fixture: seeded unreachable-block defect (and nothing else).
+; Block `stale` holds real instructions but no branch ever reaches it —
+; typically a forgotten feature path or a mis-edited condbr.
+;
+; !name: unreachable
+; !description: lint fixture - basic block unreachable from the entry
+; !uid: 1000
+; !gid: 1000
+
+func @main(0) {
+entry:
+  %0 = mov 1
+  condbr %0, work, done
+work:
+  %1 = syscall write(0, 16)
+  br done
+stale:
+  %2 = syscall write(0, 32)
+  br done
+done:
+  exit 0
+}

@@ -1,0 +1,21 @@
+; PrivLint fixture: seeded unused-privilege-epoch defect (and nothing else).
+; The epoch raises CapChown but only reads and writes between the raise and
+; the lower — no syscall in the region consults CapChown, so the raise is
+; pure exposure (the static analogue of ROSA marking a privilege unused).
+;
+; !name: unused_epoch
+; !description: lint fixture - epoch raises a capability nothing can use
+; !permitted: CapChown
+; !uid: 1000
+; !gid: 1000
+
+func @main(0) {
+entry:
+  %0 = syscall open("/tmp/scratch", 2)
+  priv_raise {CapChown}
+  %1 = syscall read(%0, 64)
+  %2 = syscall write(%0, 64)
+  priv_lower {CapChown}
+  %3 = syscall close(%0)
+  exit 0
+}

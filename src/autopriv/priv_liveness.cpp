@@ -45,7 +45,8 @@ caps::CapSet PrivLiveness::summary(const std::string& fname) const {
   return it == summaries_.end() ? caps::CapSet{} : it->second;
 }
 
-caps::CapSet PrivLiveness::gen(const ir::Instruction& inst) const {
+caps::CapSet PrivLiveness::gen(const std::string& fname,
+                               const ir::Instruction& inst) const {
   switch (inst.op) {
     case ir::Opcode::PrivRaise:
     case ir::Opcode::PrivLower:
@@ -54,8 +55,24 @@ caps::CapSet PrivLiveness::gen(const ir::Instruction& inst) const {
       return summary(inst.symbol);
     case ir::Opcode::CallInd: {
       caps::CapSet sum;
-      if (options_.indirect_calls == ir::IndirectCallPolicy::Conservative)
-        for (const std::string& t : cg_.address_taken()) sum |= summary(t);
+      switch (options_.indirect_calls) {
+        case ir::IndirectCallPolicy::Conservative:
+          for (const std::string& t : cg_.address_taken()) sum |= summary(t);
+          break;
+        case ir::IndirectCallPolicy::Refined:
+          if (fname.empty()) {
+            // No function context: the per-site lookup is impossible, so
+            // over-approximate with the Conservative set (still sound).
+            for (const std::string& t : cg_.address_taken()) sum |= summary(t);
+          } else {
+            for (const std::string& t : cg_.refined_targets(
+                     fname, inst.operands[0].reg_index()))
+              sum |= summary(t);
+          }
+          break;
+        case ir::IndirectCallPolicy::AssumeNone:
+          break;
+      }
       return sum;
     }
     case ir::Opcode::Syscall:
@@ -75,8 +92,9 @@ dataflow::Facts<caps::CapSet> PrivLiveness::analyze(
     const std::string& fname, caps::CapSet boundary) const {
   const ir::Function& f = module_->function(fname);
   std::function<caps::CapSet(const ir::Instruction&, const caps::CapSet&)>
-      transfer = [this](const ir::Instruction& inst, const caps::CapSet& after) {
-        return after | gen(inst);
+      transfer = [this, &fname](const ir::Instruction& inst,
+                                const caps::CapSet& after) {
+        return after | gen(fname, inst);
       };
   std::function<caps::CapSet(const caps::CapSet&, const caps::CapSet&)> join =
       [](const caps::CapSet& a, const caps::CapSet& b) { return a | b; };
@@ -88,8 +106,9 @@ std::vector<caps::CapSet> PrivLiveness::instruction_facts(
     const std::string& fname, int block, caps::CapSet block_out) const {
   const ir::Function& f = module_->function(fname);
   std::function<caps::CapSet(const ir::Instruction&, const caps::CapSet&)>
-      transfer = [this](const ir::Instruction& inst, const caps::CapSet& after) {
-        return after | gen(inst);
+      transfer = [this, &fname](const ir::Instruction& inst,
+                                const caps::CapSet& after) {
+        return after | gen(fname, inst);
       };
   return dataflow::instruction_facts_backward<caps::CapSet>(
       f.block(block), block_out, transfer);

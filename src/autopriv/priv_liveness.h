@@ -9,9 +9,12 @@
 //    privilege live through the bracketed region),
 //  * a direct call generates the callee's interprocedural summary
 //    (capabilities used by the callee or anything it may transitively call),
-//  * an indirect call generates the union of the summaries of every
-//    address-taken function — AutoPriv's conservative call graph, which the
-//    paper identifies as the reason sshd retains its privileges,
+//  * an indirect call generates, under the Conservative policy, the union
+//    of the summaries of every address-taken function — AutoPriv's call
+//    graph, which the paper identifies as the reason sshd retains its
+//    privileges — and under the Refined policy only the summaries of the
+//    site's function-pointer-propagated targets (always a subset, so
+//    liveness only shrinks and inserted priv_removes only move earlier),
 //  * registering a signal handler keeps the handler's summary live for the
 //    rest of execution ("signal handlers can be called at any time").
 #pragma once
@@ -43,8 +46,14 @@ class PrivLiveness {
   /// handler_roots is off).
   caps::CapSet handler_caps() const { return handler_caps_; }
 
-  /// Capabilities `inst` may use (the dataflow gen set).
-  caps::CapSet gen(const ir::Instruction& inst) const;
+  /// Capabilities `inst` may use (the dataflow gen set). `fname` is the
+  /// enclosing function — needed under the Refined policy to look up the
+  /// site's indirect-call targets.
+  caps::CapSet gen(const std::string& fname, const ir::Instruction& inst) const;
+
+  /// Function-context-free variant. Under Refined, indirect calls fall back
+  /// to the Conservative target set (sound: Refined ⊆ Conservative).
+  caps::CapSet gen(const ir::Instruction& inst) const { return gen("", inst); }
 
   /// Per-block liveness facts for `fname`. `boundary` is the fact at
   /// function exits; PrivAnalyzer passes handler_caps() for the entry

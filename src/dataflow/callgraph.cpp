@@ -1,11 +1,30 @@
+// CallGraph construction. Lives in pa_dataflow (not pa_ir) because the
+// Refined policy runs the function-pointer propagation, and pa_ir must not
+// depend upward on the dataflow engine. See ir/callgraph.h.
 #include "ir/callgraph.h"
+
+#include "dataflow/funcptr.h"
 
 namespace pa::ir {
 
+std::string_view indirect_call_policy_name(IndirectCallPolicy p) {
+  switch (p) {
+    case IndirectCallPolicy::Conservative: return "conservative";
+    case IndirectCallPolicy::Refined: return "refined";
+    case IndirectCallPolicy::AssumeNone: return "assume-none";
+  }
+  return "?";
+}
+
 CallGraph CallGraph::build(const Module& module, IndirectCallPolicy policy) {
   CallGraph cg;
+  cg.policy_ = policy;
   for (const Function& f : module.functions())
     if (f.address_taken()) cg.address_taken_.insert(f.name());
+
+  dataflow::FuncPtrResult funcptrs;
+  if (policy == IndirectCallPolicy::Refined)
+    funcptrs = dataflow::analyze_func_ptrs(module);
 
   for (const Function& f : module.functions()) {
     auto& out = cg.edges_[f.name()];
@@ -17,8 +36,18 @@ CallGraph CallGraph::build(const Module& module, IndirectCallPolicy policy) {
             break;
           case Opcode::CallInd:
             cg.indirect_callers_.insert(f.name());
-            if (policy == IndirectCallPolicy::Conservative)
+            if (policy == IndirectCallPolicy::Conservative) {
               out.insert(cg.address_taken_.begin(), cg.address_taken_.end());
+            } else if (policy == IndirectCallPolicy::Refined) {
+              const int reg = inst.operands[0].reg_index();
+              const std::set<std::string>& targets =
+                  funcptrs.targets(f.name(), reg);
+              out.insert(targets.begin(), targets.end());
+              // Record the per-site set even when empty: lint's
+              // empty-indirect-targets check distinguishes "site exists,
+              // no feasible target" from "no such site".
+              cg.refined_[f.name()][reg] = targets;
+            }
             break;
           case Opcode::Syscall:
             // signal(signo, @handler): the handler becomes asynchronously
@@ -41,6 +70,14 @@ CallGraph CallGraph::build(const Module& module, IndirectCallPolicy policy) {
 const std::set<std::string>& CallGraph::callees(const std::string& f) const {
   auto it = edges_.find(f);
   return it == edges_.end() ? empty_ : it->second;
+}
+
+const std::set<std::string>& CallGraph::refined_targets(const std::string& f,
+                                                        int reg) const {
+  auto fit = refined_.find(f);
+  if (fit == refined_.end()) return empty_;
+  auto rit = fit->second.find(reg);
+  return rit == fit->second.end() ? empty_ : rit->second;
 }
 
 std::set<std::string> CallGraph::reachable_from(const std::string& root) const {

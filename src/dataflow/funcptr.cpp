@@ -1,0 +1,160 @@
+#include "dataflow/funcptr.h"
+
+#include <functional>
+
+#include "dataflow/solver.h"
+
+namespace pa::dataflow {
+namespace {
+
+/// The intraprocedural lattice: register -> set of possible FuncRef
+/// targets. Absent registers hold no FuncRef. Join is pointwise union.
+using Env = std::map<int, std::set<std::string>>;
+
+Env join_env(const Env& a, const Env& b) {
+  Env out = a;
+  for (const auto& [reg, funcs] : b) out[reg].insert(funcs.begin(), funcs.end());
+  return out;
+}
+
+/// Interprocedural facts accumulated across rounds. All sets only ever
+/// grow, so the analysis is monotone and the fixpoint test is a simple
+/// equality snapshot.
+struct Global {
+  // Pointees flowing into each function's parameters (param index keyed).
+  std::map<std::string, Env> param_in;
+  // Pointees flowing out of each function's `ret`.
+  std::map<std::string, std::set<std::string>> ret_out;
+  FuncPtrResult result;
+
+  bool operator==(const Global& o) const {
+    return param_in == o.param_in && ret_out == o.ret_out &&
+           result.callind_targets == o.result.callind_targets;
+  }
+};
+
+/// Pointees an operand can contribute: a register's current environment
+/// entry, or a literal @func (the VM evaluates either to a FuncRef).
+std::set<std::string> eval_operand(const Env& env, const ir::Operand& op) {
+  switch (op.kind()) {
+    case ir::Operand::Kind::Reg: {
+      auto it = env.find(op.reg_index());
+      return it == env.end() ? std::set<std::string>{} : it->second;
+    }
+    case ir::Operand::Kind::Func:
+      return {op.str_value()};
+    default:
+      return {};
+  }
+}
+
+void flow_args_into(Global& g, const ir::Module& module,
+                    const std::string& callee, const Env& env,
+                    const ir::Instruction& inst, std::size_t first_arg) {
+  if (!module.has_function(callee)) return;
+  Env& params = g.param_in[callee];
+  for (std::size_t i = first_arg; i < inst.operands.size(); ++i) {
+    std::set<std::string> in = eval_operand(env, inst.operands[i]);
+    if (!in.empty())
+      params[static_cast<int>(i - first_arg)].insert(in.begin(), in.end());
+  }
+}
+
+void solve_function(Global& g, const ir::Module& module,
+                    const ir::Function& f) {
+  const std::string& fname = f.name();
+
+  std::function<Env(const ir::Instruction&, const Env&)> transfer =
+      [&](const ir::Instruction& inst, const Env& before) -> Env {
+    Env env = before;
+    auto set_dest = [&](std::set<std::string> pts) {
+      if (inst.dest == ir::kNoReg) return;
+      if (pts.empty()) env.erase(inst.dest);
+      else env[inst.dest] = std::move(pts);
+    };
+    switch (inst.op) {
+      case ir::Opcode::FuncAddr:
+        set_dest({inst.operands[0].str_value()});
+        break;
+      case ir::Opcode::Mov:
+        set_dest(eval_operand(env, inst.operands[0]));
+        break;
+      case ir::Opcode::Call: {
+        flow_args_into(g, module, inst.symbol, env, inst, /*first_arg=*/0);
+        auto it = g.ret_out.find(inst.symbol);
+        set_dest(it == g.ret_out.end() ? std::set<std::string>{} : it->second);
+        break;
+      }
+      case ir::Opcode::CallInd: {
+        const int callee_reg = inst.operands[0].reg_index();
+        const int argc = static_cast<int>(inst.operands.size()) - 1;
+        std::set<std::string> rets;
+        std::set<std::string>& site =
+            g.result.callind_targets[fname][callee_reg];
+        for (const std::string& t : eval_operand(env, inst.operands[0])) {
+          // Arity filter: the VM aborts mismatched calls, so a target with
+          // the wrong parameter count is never feasible.
+          if (!module.has_function(t) ||
+              module.function(t).num_params() != argc)
+            continue;
+          site.insert(t);
+          flow_args_into(g, module, t, env, inst, /*first_arg=*/1);
+          auto it = g.ret_out.find(t);
+          if (it != g.ret_out.end())
+            rets.insert(it->second.begin(), it->second.end());
+        }
+        set_dest(std::move(rets));
+        break;
+      }
+      case ir::Opcode::Ret:
+        if (!inst.operands.empty()) {
+          std::set<std::string> out = eval_operand(env, inst.operands[0]);
+          g.ret_out[fname].insert(out.begin(), out.end());
+        }
+        break;
+      default:
+        // Arithmetic, comparisons, syscalls, privops: the destination (if
+        // any) is an integer, never a FuncRef.
+        if (inst.dest != ir::kNoReg) env.erase(inst.dest);
+        break;
+    }
+    return env;
+  };
+  std::function<Env(const Env&, const Env&)> join = join_env;
+
+  // Entry boundary: whatever flows into the parameters from call sites.
+  Env boundary;
+  auto pit = g.param_in.find(fname);
+  if (pit != g.param_in.end()) {
+    for (const auto& [idx, funcs] : pit->second)
+      if (idx < f.num_params()) boundary[idx] = funcs;
+  }
+  solve_forward<Env>(f, boundary, Env{}, transfer, join);
+}
+
+}  // namespace
+
+const std::set<std::string>& FuncPtrResult::targets(const std::string& fname,
+                                                    int reg) const {
+  static const std::set<std::string> empty;
+  auto fit = callind_targets.find(fname);
+  if (fit == callind_targets.end()) return empty;
+  auto rit = fit->second.find(reg);
+  return rit == fit->second.end() ? empty : rit->second;
+}
+
+FuncPtrResult analyze_func_ptrs(const ir::Module& module) {
+  // Every transfer only accumulates into `g`, so per-function solves are
+  // monotone in the interprocedural facts; iterating them until a whole
+  // round changes nothing reaches the least fixpoint. The lattice is
+  // finite (functions × registers × function names), so this terminates.
+  Global g;
+  while (true) {
+    Global before = g;
+    for (const ir::Function& f : module.functions()) solve_function(g, module, f);
+    if (g == before) break;
+  }
+  return std::move(g.result);
+}
+
+}  // namespace pa::dataflow

@@ -1,0 +1,51 @@
+// Flow-insensitive function-pointer propagation (Andersen-lite) over a
+// PrivIR module: which functions can each register hold a FuncRef to?
+//
+// FuncRefs enter the dataflow at `funcaddr` instructions (and at literal
+// @func operands of mov/call/ret, which the VM also evaluates to FuncRefs)
+// and propagate through register copies, call arguments, and return values
+// — including through indirect calls, whose own target sets grow as the
+// analysis runs (the Andersen-style mutual fixpoint). Intraprocedural
+// propagation reuses dataflow::solve_forward with a register→pointee-set
+// environment as the lattice; an interprocedural worklist iterates the
+// per-function solves until call-argument, return, and indirect-target
+// sets stop growing.
+//
+// The exported per-site target sets are arity-filtered against
+// Function::num_params — sound because the VM aborts any call whose
+// argument count mismatches the callee (vm/interpreter.cpp push_frame), so
+// a wrong-arity target can never be a feasible runtime behaviour.
+//
+// This is the refinement behind ir::IndirectCallPolicy::Refined: the paper
+// attributes AutoPriv's weak sshd results to resolving every indirect call
+// to EVERY address-taken function; these sets are always subsets of that
+// (tests/funcptr_refinement_test.cpp proves the differential on every
+// evaluation program).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/module.h"
+
+namespace pa::dataflow {
+
+/// Result of the module-wide propagation.
+struct FuncPtrResult {
+  /// Arity-filtered `callind` targets, keyed (function name, callee
+  /// register). Sites in the same function calling through the same
+  /// register share an entry (their target sets are unioned).
+  std::map<std::string, std::map<int, std::set<std::string>>> callind_targets;
+
+  /// Targets for a `callind` through `reg` in `fname` (empty set if the
+  /// register never holds a FuncRef of matching arity — a lint finding).
+  const std::set<std::string>& targets(const std::string& fname,
+                                       int reg) const;
+};
+
+/// Run the propagation to fixpoint. Cost is tiny on the evaluation
+/// programs (a handful of interprocedural rounds over module text).
+FuncPtrResult analyze_func_ptrs(const ir::Module& module);
+
+}  // namespace pa::dataflow

@@ -1,7 +1,19 @@
-// Call graph over a PrivIR module, matching AutoPriv's construction: direct
-// calls contribute precise edges; an indirect call contributes edges to
-// EVERY address-taken function (the conservative over-approximation the
-// paper identifies as the reason sshd's privileges stay live).
+// Call graph over a PrivIR module. Direct calls contribute precise edges;
+// how an indirect call resolves is the IndirectCallPolicy:
+//
+//  * Conservative reproduces AutoPriv's construction — every `callind`
+//    targets EVERY address-taken function, the over-approximation the paper
+//    identifies as the reason sshd's privileges stay live;
+//  * Refined resolves each `callind` site with the Andersen-lite
+//    function-pointer propagation (dataflow/funcptr.h) plus arity
+//    filtering. Refined target sets are always subsets of the Conservative
+//    ones (enforced by tests/funcptr_refinement_test.cpp), so every
+//    consumer's results tighten monotonically and AutoPriv's inserted
+//    priv_removes move earlier, never later.
+//
+// Construction lives in dataflow/callgraph.cpp: the Refined policy needs
+// the dataflow engine, which layers above ir/, so the implementation sits
+// with it (pa_dataflow) while this header keeps the ir-level vocabulary.
 #pragma once
 
 #include <map>
@@ -17,10 +29,15 @@ namespace pa::ir {
 enum class IndirectCallPolicy {
   /// Targets = all address-taken functions (AutoPriv's behaviour; sound).
   Conservative,
+  /// Targets = the function-pointer propagation's per-site sets, arity
+  /// filtered (sound, and always ⊆ Conservative).
+  Refined,
   /// Targets = none (unsound; used only by the ablation benchmark to show
   /// what a perfectly precise call graph would buy).
   AssumeNone,
 };
+
+std::string_view indirect_call_policy_name(IndirectCallPolicy p);
 
 class CallGraph {
  public:
@@ -38,18 +55,29 @@ class CallGraph {
   /// (operands of `syscall signal(signo, @handler)` instructions).
   const std::set<std::string>& signal_handlers() const { return handlers_; }
 
-  /// Address-taken functions (indirect-call target set).
+  /// Address-taken functions (the Conservative indirect-call target set).
   const std::set<std::string>& address_taken() const { return address_taken_; }
 
   bool has_indirect_call(const std::string& fname) const {
     return indirect_callers_.contains(fname);
   }
 
+  /// Refined targets of a `callind` through register `reg` of `fname`.
+  /// Meaningful only for a Refined-policy graph; empty otherwise (and for
+  /// sites whose pointer can never hold a matching-arity FuncRef).
+  const std::set<std::string>& refined_targets(const std::string& fname,
+                                               int reg) const;
+
+  IndirectCallPolicy policy() const { return policy_; }
+
  private:
+  IndirectCallPolicy policy_ = IndirectCallPolicy::Conservative;
   std::map<std::string, std::set<std::string>> edges_;
   std::set<std::string> handlers_;
   std::set<std::string> address_taken_;
   std::set<std::string> indirect_callers_;
+  /// (function, callee register) -> targets, from dataflow::FuncPtrResult.
+  std::map<std::string, std::map<int, std::set<std::string>>> refined_;
   std::set<std::string> empty_;
 };
 

@@ -33,9 +33,22 @@ void Module::recompute_address_taken() {
   for (const Function& f : funcs_) {
     for (const BasicBlock& bb : f.blocks()) {
       for (const Instruction& inst : bb.instructions) {
-        if (inst.op != Opcode::FuncAddr) continue;
-        const std::string& target = inst.operands[0].str_value();
-        if (has_function(target)) function(target).set_address_taken(true);
+        // Besides `funcaddr`, a @func operand anywhere the VM evaluates
+        // operands (mov, call/callind arguments, ret) yields a FuncRef at
+        // runtime, so those functions are indirect-call targets too. Syscall
+        // operands are excluded: `syscall signal(n, @handler)` registers a
+        // handler (tracked separately by CallGraph::signal_handlers), it
+        // does not put the address in the program's dataflow.
+        if (inst.op == Opcode::Syscall) continue;
+        if (inst.op != Opcode::FuncAddr &&
+            !(inst.op == Opcode::Mov || inst.op == Opcode::Call ||
+              inst.op == Opcode::CallInd || inst.op == Opcode::Ret))
+          continue;
+        for (const Operand& op : inst.operands) {
+          if (op.kind() != Operand::Kind::Func) continue;
+          const std::string& target = op.str_value();
+          if (has_function(target)) function(target).set_address_taken(true);
+        }
       }
     }
   }

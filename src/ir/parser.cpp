@@ -89,8 +89,9 @@ class Cursor {
   }
 
   [[noreturn]] void err(std::string message) {
-    fail(str::cat("parse error at line ", line_, ": ", message, " near `",
-                  s_.substr(pos_), "`"));
+    throw ParseError(line_,
+                     str::cat("parse error at line ", line_, ": ", message,
+                              " near `", s_.substr(pos_), "`"));
   }
 
   int line() const { return line_; }
@@ -218,6 +219,9 @@ Instruction parse_instruction(Cursor& c) {
 
 }  // namespace
 
+ParseError::ParseError(int line, std::string message)
+    : Error(std::move(message)), line_(line) {}
+
 Module parse(std::string_view text, std::string module_name) {
   Module module(std::move(module_name));
   Function* fn = nullptr;
@@ -260,7 +264,10 @@ Module parse(std::string_view text, std::string module_name) {
     if (cur_block < 0) c.err("instruction before first label");
     fn->block(cur_block).instructions.push_back(parse_instruction(c));
   }
-  if (fn) fail("parse error: unterminated function at end of input");
+  if (fn)
+    throw ParseError(line_no,
+                     str::cat("parse error at line ", line_no,
+                              ": unterminated function at end of input"));
 
   module.resolve_labels();
   module.recompute_address_taken();

@@ -12,12 +12,26 @@
 #include <string_view>
 
 #include "ir/module.h"
+#include "support/error.h"
 
 namespace pa::ir {
 
-/// Parse a module; throws pa::Error with a line number on syntax errors.
-/// The returned module has labels resolved and address-taken marks computed,
-/// but is NOT verified — run ir::verify separately.
+/// Syntax error from the text parser. Derives pa::Error (the message still
+/// names the line) but additionally carries the 1-based line number as a
+/// field, so the loader can thread it into a structured
+/// support::Diagnostic instead of burying the location in prose.
+class ParseError : public Error {
+ public:
+  ParseError(int line, std::string message);
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parse a module; throws ir::ParseError with a line number on syntax
+/// errors. The returned module has labels resolved and address-taken marks
+/// computed, but is NOT verified — run ir::verify separately.
 Module parse(std::string_view text, std::string module_name = "parsed");
 
 /// Non-throwing variant; fills `error` on failure.

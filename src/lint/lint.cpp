@@ -1,0 +1,128 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+
+#include "lint/passes.h"
+#include "support/str.h"
+
+namespace pa::lint {
+
+std::string Finding::location() const {
+  if (function.empty()) return "<program>";
+  std::string loc = str::cat("@", function);
+  if (block >= 0) {
+    loc = str::cat(loc, ".bb", block);
+    if (instr >= 0) loc = str::cat(loc, "[", instr, "]");
+  }
+  return loc;
+}
+
+std::string Finding::to_string() const {
+  std::string out =
+      str::cat(support::severity_name(severity), " [lint/",
+               support::diag_code_name(code), "] ", location(), ": ", message);
+  if (!hint.empty()) out = str::cat(out, " (hint: ", hint, ")");
+  return out;
+}
+
+support::Diagnostic Finding::to_diagnostic(const std::string& program) const {
+  std::string msg = str::cat(location(), ": ", message);
+  if (!hint.empty()) msg = str::cat(msg, " (hint: ", hint, ")");
+  return {support::Stage::Lint, severity, code, program, std::move(msg)};
+}
+
+int LintReport::errors() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const Finding& f) {
+        return f.severity == support::Severity::Error;
+      }));
+}
+
+int LintReport::warnings() const {
+  return static_cast<int>(findings.size()) - errors();
+}
+
+std::string LintReport::to_string() const {
+  std::string out = str::cat("lint ", program, ": ");
+  if (clean()) {
+    out += "clean";
+    if (!suppressed.empty())
+      out = str::cat(out, " (", suppressed.size(), " allowed by !lint-allow)");
+    return out + "\n";
+  }
+  out = str::cat(out, errors(), " error(s), ", warnings(), " warning(s)\n");
+  for (const Finding& f : findings) out = str::cat(out, "  ", f.to_string(), "\n");
+  for (const Finding& f : suppressed)
+    out = str::cat(out, "  allowed: ", f.to_string(), "\n");
+  return out;
+}
+
+std::vector<support::Diagnostic> LintReport::to_diagnostics() const {
+  std::vector<support::Diagnostic> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.push_back(f.to_diagnostic(program));
+  return out;
+}
+
+const std::vector<LintPassInfo>& lint_passes() {
+  static const std::vector<LintPassInfo> kPasses = {
+      {support::DiagCode::RedundantPrivRemove, "redundant-priv-remove",
+       "priv_remove of capabilities provably absent from the permitted set",
+       support::Severity::Warning},
+      {support::DiagCode::NeverRaisedPrivilege, "never-raised-privilege",
+       "capability permitted at launch but never raised on any path",
+       support::Severity::Warning},
+      {support::DiagCode::RaiseWithoutLower, "raise-without-lower",
+       "a path from priv_raise to function return with no matching lower",
+       support::Severity::Error},
+      {support::DiagCode::UnreachableBlock, "unreachable-block",
+       "basic block unreachable from the function entry",
+       support::Severity::Warning},
+      {support::DiagCode::EmptyIndirectTargets, "empty-indirect-targets",
+       "indirect call whose refined target set is empty",
+       support::Severity::Error},
+      {support::DiagCode::UnusedPrivilegeEpoch, "unused-privilege-epoch",
+       "raise..lower region in which nothing can use the raised capability",
+       support::Severity::Warning},
+  };
+  return kPasses;
+}
+
+LintReport run_lints(const programs::ProgramSpec& spec,
+                     const LintOptions& options) {
+  // One liveness (and call-graph) build shared by all passes.
+  autopriv::Options ap;
+  ap.indirect_calls = options.indirect_calls;
+  autopriv::PrivLiveness liveness(spec.module, ap);
+  detail::PassContext ctx{spec, liveness, options};
+
+  using PassFn = void (*)(const detail::PassContext&, std::vector<Finding>&);
+  static const std::pair<support::DiagCode, PassFn> kImpls[] = {
+      {support::DiagCode::RedundantPrivRemove,
+       detail::check_redundant_priv_remove},
+      {support::DiagCode::NeverRaisedPrivilege,
+       detail::check_never_raised_privilege},
+      {support::DiagCode::RaiseWithoutLower, detail::check_raise_without_lower},
+      {support::DiagCode::UnreachableBlock, detail::check_unreachable_block},
+      {support::DiagCode::EmptyIndirectTargets,
+       detail::check_empty_indirect_targets},
+      {support::DiagCode::UnusedPrivilegeEpoch,
+       detail::check_unused_privilege_epoch},
+  };
+
+  LintReport report;
+  report.program = spec.name;
+  std::vector<Finding> all;
+  for (const auto& [code, fn] : kImpls) {
+    if (options.disabled.contains(code)) continue;
+    fn(ctx, all);
+  }
+  for (Finding& f : all) {
+    const bool allowed =
+        options.honor_allow_directive && spec.lint_allow.contains(f.code);
+    (allowed ? report.suppressed : report.findings).push_back(std::move(f));
+  }
+  return report;
+}
+
+}  // namespace pa::lint

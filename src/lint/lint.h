@@ -1,0 +1,103 @@
+// PrivLint: a suite of static lint passes over PrivIR programs.
+//
+// Where AutoPriv answers "where can this privilege be removed?", PrivLint
+// answers "is this program's privilege structure *sensible*?" — flagging the
+// defect patterns the paper's measurements surface (privileges granted but
+// unusable, raise/lower brackets that leak, epochs that hold a capability
+// nothing inside them can exercise) plus plain IR hygiene (unreachable
+// blocks, indirect calls with no feasible target).
+//
+// Each pass owns one support::DiagCode; the code's kebab-case name is the
+// pass name, the `--lint` report label, and the `!lint-allow:` directive
+// spelling, so there is exactly one vocabulary across the CLI, JSON export,
+// and program annotations. Findings convert to support::Diagnostic
+// (Stage::Lint) so the batch pipeline can carry them alongside loader and
+// analysis diagnostics.
+//
+// Passes default to the Refined indirect-call policy (dataflow/funcptr.h):
+// the refinement is what makes empty-indirect-targets meaningful and keeps
+// unused-privilege-epoch from drowning in conservative call-graph noise.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "caps/capability.h"
+#include "ir/callgraph.h"
+#include "programs/world.h"
+#include "support/diagnostics.h"
+
+namespace pa::lint {
+
+/// One lint finding, anchored to a function (and optionally a block /
+/// instruction index within it).
+struct Finding {
+  support::DiagCode code = support::DiagCode::None;
+  support::Severity severity = support::Severity::Warning;
+  /// Enclosing function; empty for whole-program findings
+  /// (never-raised-privilege anchors to the launch configuration).
+  std::string function;
+  int block = -1;  // block index within `function`, -1 = whole function
+  int instr = -1;  // instruction index within `block`, -1 = whole block
+  /// Capabilities the finding is about (empty when not capability-shaped).
+  caps::CapSet caps;
+  std::string message;
+  /// Actionable fix-it, e.g. "drop CapChown from the permitted set".
+  std::string hint;
+
+  /// "@main.bb2[4]" / "@main.bb2" / "@main" / "<program>" location label.
+  std::string location() const;
+
+  /// Render as "warning [lint/<code>] <location>: <message> (hint: ...)".
+  std::string to_string() const;
+
+  /// Convert to a pipeline diagnostic for `program`.
+  support::Diagnostic to_diagnostic(const std::string& program) const;
+};
+
+struct LintOptions {
+  /// Indirect-call resolution used by capability-flow passes.
+  ir::IndirectCallPolicy indirect_calls = ir::IndirectCallPolicy::Refined;
+  /// Pass codes to skip entirely.
+  std::set<support::DiagCode> disabled;
+  /// Honor the program's `!lint-allow:` directives (ProgramSpec::lint_allow):
+  /// matching findings land in LintReport::suppressed instead of findings.
+  bool honor_allow_directive = true;
+};
+
+/// Result of linting one program.
+struct LintReport {
+  std::string program;
+  std::vector<Finding> findings;
+  /// Findings acknowledged by a `!lint-allow:` directive.
+  std::vector<Finding> suppressed;
+
+  bool clean() const { return findings.empty(); }
+  int errors() const;
+  int warnings() const;
+
+  /// Multi-line human rendering (one line per finding; notes suppressions).
+  std::string to_string() const;
+
+  /// All findings as Stage::Lint diagnostics (suppressed ones excluded).
+  std::vector<support::Diagnostic> to_diagnostics() const;
+};
+
+/// Registry entry for one pass.
+struct LintPassInfo {
+  support::DiagCode code;
+  std::string_view name;  // == diag_code_name(code)
+  std::string_view description;
+  support::Severity severity;
+};
+
+/// All registered passes, in the order they run.
+const std::vector<LintPassInfo>& lint_passes();
+
+/// Run every enabled pass over `spec` and collect findings.
+LintReport run_lints(const programs::ProgramSpec& spec,
+                     const LintOptions& options = {});
+
+}  // namespace pa::lint

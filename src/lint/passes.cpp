@@ -1,0 +1,399 @@
+// PrivLint pass implementations. Each pass is a small static analysis over
+// one ProgramSpec; shared machinery (the privilege-liveness summaries and
+// the refined call graph) comes in through the PassContext.
+#include "lint/passes.h"
+
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "dataflow/solver.h"
+#include "support/str.h"
+
+namespace pa::lint::detail {
+namespace {
+
+using caps::CapSet;
+using caps::Capability;
+
+/// Capabilities SimOS consults when executing `symbol` (mirrors the gates
+/// in os/access.cpp and os/syscalls.cpp). A syscall absent from this table
+/// never checks a capability, so holding one across it is no use of it.
+CapSet syscall_relevant_caps(const std::string& symbol) {
+  // Path resolution + read/exec checks.
+  if (symbol == "open" || symbol == "access" || symbol == "stat" ||
+      symbol == "stat_owner" || symbol == "stat_group")
+    return {Capability::DacOverride, Capability::DacReadSearch};
+  // Directory writes (plus sticky-bit deletion, which checks Fowner).
+  if (symbol == "creat" || symbol == "unlink" || symbol == "link" ||
+      symbol == "rename")
+    return {Capability::DacOverride, Capability::DacReadSearch,
+            Capability::Fowner};
+  if (symbol == "chmod" || symbol == "fchmod") return {Capability::Fowner};
+  if (symbol == "chown" || symbol == "fchown")
+    return {Capability::Chown, Capability::Fowner};
+  if (symbol == "chroot") return {Capability::SysChroot};
+  if (symbol == "bind") return {Capability::NetBindService};
+  if (symbol == "setsockopt") return {Capability::NetAdmin};
+  if (symbol == "socket") return {Capability::NetRaw};
+  if (symbol == "kill") return {Capability::Kill};
+  if (symbol == "setuid" || symbol == "seteuid" || symbol == "setresuid")
+    return {Capability::Setuid};
+  if (symbol == "setgid" || symbol == "setegid" || symbol == "setresgid" ||
+      symbol == "setgroups")
+    return {Capability::Setgid};
+  return {};
+}
+
+/// Transitive closure of syscall_relevant_caps over everything reachable
+/// from each function (via the context's — possibly refined — call graph).
+std::map<std::string, CapSet> relevant_caps_summaries(const PassContext& ctx) {
+  const ir::Module& m = ctx.spec.module;
+  std::map<std::string, CapSet> local;
+  for (const ir::Function& f : m.functions()) {
+    CapSet used;
+    for (const ir::BasicBlock& bb : f.blocks())
+      for (const ir::Instruction& inst : bb.instructions)
+        if (inst.op == ir::Opcode::Syscall)
+          used |= syscall_relevant_caps(inst.symbol);
+    local[f.name()] = used;
+  }
+  const ir::CallGraph& cg = ctx.liveness.callgraph();
+  std::map<std::string, CapSet> out;
+  for (const ir::Function& f : m.functions()) {
+    CapSet sum;
+    for (const std::string& g : cg.reachable_from(f.name())) {
+      auto it = local.find(g);
+      if (it != local.end()) sum |= it->second;
+    }
+    out[f.name()] = sum;
+  }
+  return out;
+}
+
+std::string cap_list(CapSet caps) { return caps.to_string(); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// redundant-priv-remove: a priv_remove names capabilities that a forward
+// may-be-permitted analysis proves cannot be in the permitted set there —
+// either the launch configuration never granted them or an earlier remove
+// already dropped them. Harmless at runtime but a sign the program's mental
+// model of its own privileges has drifted.
+void check_redundant_priv_remove(const PassContext& ctx,
+                                 std::vector<Finding>& out) {
+  for (const ir::Function& f : ctx.spec.module.functions()) {
+    // Boundary: main starts from the actual launch set; any other function
+    // may be called in an unknown context, so assume everything.
+    const CapSet boundary =
+        f.name() == "main" ? ctx.spec.launch_permitted : CapSet::full();
+    std::function<CapSet(const ir::Instruction&, const CapSet&)> transfer =
+        [](const ir::Instruction& inst, const CapSet& before) {
+          if (inst.op == ir::Opcode::PrivRemove)
+            return before - inst.operands[0].caps_value();
+          return before;
+        };
+    std::function<CapSet(const CapSet&, const CapSet&)> join =
+        [](const CapSet& a, const CapSet& b) { return a | b; };
+    auto facts = dataflow::solve_forward<CapSet>(f, boundary, CapSet{},
+                                                 transfer, join);
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); ++b) {
+      CapSet before = facts.in[static_cast<std::size_t>(b)];
+      const auto& insts = f.block(b).instructions;
+      for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+        const ir::Instruction& inst = insts[static_cast<std::size_t>(i)];
+        if (inst.op == ir::Opcode::PrivRemove) {
+          const CapSet removed = inst.operands[0].caps_value();
+          const CapSet excess = removed - before;
+          if (!excess.empty()) {
+            const bool fully = (removed & before).empty();
+            Finding finding;
+            finding.code = support::DiagCode::RedundantPrivRemove;
+            finding.severity = support::Severity::Warning;
+            finding.function = f.name();
+            finding.block = b;
+            finding.instr = i;
+            finding.caps = excess;
+            finding.message = str::cat(
+                fully ? "priv_remove is fully redundant: {"
+                      : "priv_remove names capabilities already absent: {",
+                cap_list(excess), "} cannot be in the permitted set here");
+            finding.hint =
+                fully ? "delete this priv_remove"
+                      : str::cat("drop {", cap_list(excess),
+                                 "} from this priv_remove's operand");
+            out.push_back(std::move(finding));
+          }
+        }
+        before = transfer(inst, before);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// never-raised-privilege: the launch configuration grants a capability that
+// no raise (reachable from main or from a registered signal handler) ever
+// names. The paper's core "permitted but unusable" smell: the grant only
+// widens the attack surface.
+void check_never_raised_privilege(const PassContext& ctx,
+                                  std::vector<Finding>& out) {
+  if (!ctx.spec.module.has_function("main")) return;
+  CapSet raisable = ctx.liveness.summary("main") | ctx.liveness.handler_caps();
+  const CapSet unraised = ctx.spec.launch_permitted - raisable;
+  if (unraised.empty()) return;
+  Finding finding;
+  finding.code = support::DiagCode::NeverRaisedPrivilege;
+  finding.severity = support::Severity::Warning;
+  finding.caps = unraised;
+  finding.message =
+      str::cat("permitted capabilities {", cap_list(unraised),
+               "} are never raised on any path from main or a signal handler");
+  finding.hint = str::cat("drop {", cap_list(unraised),
+                          "} from the !permitted launch set");
+  out.push_back(std::move(finding));
+}
+
+// ---------------------------------------------------------------------------
+// raise-without-lower: forward analysis of the may-be-raised set (gen at
+// priv_raise, kill at priv_lower / priv_remove); a non-empty set at a `ret`
+// means some path returns to an unknown caller with the privilege still
+// effective — the bracket discipline leaked. `exit` terminators are fine:
+// the process is gone, nothing can use the privilege afterwards.
+void check_raise_without_lower(const PassContext& ctx,
+                               std::vector<Finding>& out) {
+  for (const ir::Function& f : ctx.spec.module.functions()) {
+    std::function<CapSet(const ir::Instruction&, const CapSet&)> transfer =
+        [](const ir::Instruction& inst, const CapSet& before) {
+          switch (inst.op) {
+            case ir::Opcode::PrivRaise:
+              return before | inst.operands[0].caps_value();
+            case ir::Opcode::PrivLower:
+            case ir::Opcode::PrivRemove:
+              return before - inst.operands[0].caps_value();
+            default:
+              return before;
+          }
+        };
+    std::function<CapSet(const CapSet&, const CapSet&)> join =
+        [](const CapSet& a, const CapSet& b) { return a | b; };
+    auto facts = dataflow::solve_forward<CapSet>(f, CapSet{}, CapSet{},
+                                                 transfer, join);
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); ++b) {
+      CapSet before = facts.in[static_cast<std::size_t>(b)];
+      const auto& insts = f.block(b).instructions;
+      for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+        const ir::Instruction& inst = insts[static_cast<std::size_t>(i)];
+        if (inst.op == ir::Opcode::Ret && !before.empty()) {
+          Finding finding;
+          finding.code = support::DiagCode::RaiseWithoutLower;
+          finding.severity = support::Severity::Error;
+          finding.function = f.name();
+          finding.block = b;
+          finding.instr = i;
+          finding.caps = before;
+          finding.message =
+              str::cat("returns with {", cap_list(before),
+                       "} possibly still raised (no priv_lower on some path)");
+          finding.hint = "insert priv_lower before the ret";
+          out.push_back(std::move(finding));
+        }
+        before = transfer(inst, before);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unreachable-block: plain CFG reachability from the entry block. An
+// `unreachable`-only block is idiomatic filler (codegen emits them as trap
+// targets), so only blocks containing real instructions are flagged.
+void check_unreachable_block(const PassContext& ctx,
+                             std::vector<Finding>& out) {
+  for (const ir::Function& f : ctx.spec.module.functions()) {
+    const int n = static_cast<int>(f.blocks().size());
+    if (n == 0) continue;
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<int> work{0};
+    seen[0] = true;
+    while (!work.empty()) {
+      int b = work.back();
+      work.pop_back();
+      for (int s : f.block(b).successors()) {
+        if (!seen[static_cast<std::size_t>(s)]) {
+          seen[static_cast<std::size_t>(s)] = true;
+          work.push_back(s);
+        }
+      }
+    }
+    for (int b = 0; b < n; ++b) {
+      if (seen[static_cast<std::size_t>(b)]) continue;
+      const auto& insts = f.block(b).instructions;
+      const bool only_trap =
+          insts.size() == 1 && insts[0].op == ir::Opcode::Unreachable;
+      if (insts.empty() || only_trap) continue;
+      Finding finding;
+      finding.code = support::DiagCode::UnreachableBlock;
+      finding.severity = support::Severity::Warning;
+      finding.function = f.name();
+      finding.block = b;
+      finding.message = str::cat("block '", f.block(b).label,
+                                 "' is unreachable from the entry block");
+      finding.hint = "delete the block or fix the branch that should reach it";
+      out.push_back(std::move(finding));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// empty-indirect-targets: a callind whose refined target set is empty — the
+// pointer register can never hold a FuncRef of matching arity, so the call
+// aborts at runtime if ever executed. Only meaningful under the Refined
+// policy (Conservative has no per-site sets).
+void check_empty_indirect_targets(const PassContext& ctx,
+                                  std::vector<Finding>& out) {
+  const ir::CallGraph& cg = ctx.liveness.callgraph();
+  if (cg.policy() != ir::IndirectCallPolicy::Refined) return;
+  for (const ir::Function& f : ctx.spec.module.functions()) {
+    for (int b = 0; b < static_cast<int>(f.blocks().size()); ++b) {
+      const auto& insts = f.block(b).instructions;
+      for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+        const ir::Instruction& inst = insts[static_cast<std::size_t>(i)];
+        if (inst.op != ir::Opcode::CallInd) continue;
+        const int reg = inst.operands[0].reg_index();
+        if (!cg.refined_targets(f.name(), reg).empty()) continue;
+        Finding finding;
+        finding.code = support::DiagCode::EmptyIndirectTargets;
+        finding.severity = support::Severity::Error;
+        finding.function = f.name();
+        finding.block = b;
+        finding.instr = i;
+        finding.message = str::cat(
+            "indirect call through %", reg,
+            " has no feasible target (no matching-arity function address "
+            "ever flows here); executing it would abort");
+        finding.hint = "fix the function-pointer dataflow or the arity";
+        out.push_back(std::move(finding));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// unused-privilege-epoch: for every priv_raise and every capability it
+// names, walk forward until a lower/remove covering that capability; if no
+// instruction in the walked region can consult the capability (a syscall
+// whose SimOS gate checks it, directly or through a call's transitive
+// summary), the epoch raises a privilege for nothing — pure exposure. This
+// is the static analogue of ROSA marking a privilege unused in an epoch.
+void check_unused_privilege_epoch(const PassContext& ctx,
+                                  std::vector<Finding>& out) {
+  const auto relevant = relevant_caps_summaries(ctx);
+  const ir::CallGraph& cg = ctx.liveness.callgraph();
+
+  auto instr_uses = [&](const ir::Instruction& inst, Capability c) -> bool {
+    switch (inst.op) {
+      case ir::Opcode::Syscall:
+        if (syscall_relevant_caps(inst.symbol).contains(c)) return true;
+        // signal(n, @h): the handler may run inside this epoch.
+        if (inst.symbol == "signal") {
+          for (const ir::Operand& op : inst.operands)
+            if (op.kind() == ir::Operand::Kind::Func) {
+              auto it = relevant.find(op.str_value());
+              if (it != relevant.end() && it->second.contains(c)) return true;
+            }
+        }
+        return false;
+      case ir::Opcode::Call: {
+        auto it = relevant.find(inst.symbol);
+        return it != relevant.end() && it->second.contains(c);
+      }
+      default:
+        // CallInd is handled per-function below (the refined target lookup
+        // needs the enclosing function's name).
+        return false;
+    }
+  };
+
+  for (const ir::Function& f : ctx.spec.module.functions()) {
+    auto callind_uses = [&](const ir::Instruction& inst, Capability c) {
+      const auto& targets =
+          cg.policy() == ir::IndirectCallPolicy::Refined
+              ? cg.refined_targets(f.name(), inst.operands[0].reg_index())
+              : cg.address_taken();
+      for (const std::string& t : targets) {
+        auto it = relevant.find(t);
+        if (it != relevant.end() && it->second.contains(c)) return true;
+      }
+      return false;
+    };
+    auto uses = [&](const ir::Instruction& inst, Capability c) {
+      if (inst.op == ir::Opcode::CallInd) return callind_uses(inst, c);
+      return instr_uses(inst, c);
+    };
+    auto covers = [](const ir::Instruction& inst, Capability c) {
+      return (inst.op == ir::Opcode::PrivLower ||
+              inst.op == ir::Opcode::PrivRemove) &&
+             inst.operands[0].caps_value().contains(c);
+    };
+
+    for (int rb = 0; rb < static_cast<int>(f.blocks().size()); ++rb) {
+      const auto& rinsts = f.block(rb).instructions;
+      for (int ri = 0; ri < static_cast<int>(rinsts.size()); ++ri) {
+        const ir::Instruction& raise = rinsts[static_cast<std::size_t>(ri)];
+        if (raise.op != ir::Opcode::PrivRaise) continue;
+        CapSet unused;
+        for (Capability c : raise.operands[0].caps_value().members()) {
+          // Walk the epoch: instructions after the raise, across the CFG,
+          // pruning paths at a covering lower/remove.
+          bool used = false;
+          std::vector<std::pair<int, int>> work{{rb, ri + 1}};
+          std::vector<bool> visited(f.blocks().size(), false);
+          while (!work.empty() && !used) {
+            auto [b, start] = work.back();
+            work.pop_back();
+            const auto& insts = f.block(b).instructions;
+            bool fell_through = true;
+            for (int i = start; i < static_cast<int>(insts.size()); ++i) {
+              const ir::Instruction& inst = insts[static_cast<std::size_t>(i)];
+              if (uses(inst, c)) {
+                used = true;
+                fell_through = false;
+                break;
+              }
+              if (covers(inst, c)) {
+                fell_through = false;
+                break;
+              }
+            }
+            if (used || !fell_through) continue;
+            for (int s : f.block(b).successors()) {
+              if (!visited[static_cast<std::size_t>(s)]) {
+                visited[static_cast<std::size_t>(s)] = true;
+                work.push_back({s, 0});
+              }
+            }
+          }
+          if (!used) unused = unused.with(c);
+        }
+        if (unused.empty()) continue;
+        Finding finding;
+        finding.code = support::DiagCode::UnusedPrivilegeEpoch;
+        finding.severity = support::Severity::Warning;
+        finding.function = f.name();
+        finding.block = rb;
+        finding.instr = ri;
+        finding.caps = unused;
+        finding.message = str::cat(
+            "epoch raises {", cap_list(unused),
+            "} but nothing before the matching lower can use it");
+        finding.hint = str::cat("drop {", cap_list(unused),
+                                "} from this priv_raise");
+        out.push_back(std::move(finding));
+      }
+    }
+  }
+}
+
+}  // namespace pa::lint::detail

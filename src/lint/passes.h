@@ -1,0 +1,29 @@
+// Internal interface between the PrivLint driver (lint.cpp) and the pass
+// implementations (passes.cpp). Not part of the public lint API.
+#pragma once
+
+#include <vector>
+
+#include "autopriv/priv_liveness.h"
+#include "lint/lint.h"
+
+namespace pa::lint::detail {
+
+/// Shared inputs every pass sees. The liveness analysis (and its call
+/// graph, built with LintOptions::indirect_calls) is computed once by the
+/// driver and reused by every capability-flow pass.
+struct PassContext {
+  const programs::ProgramSpec& spec;
+  const autopriv::PrivLiveness& liveness;
+  const LintOptions& options;
+};
+
+// One function per DiagCode-owning pass; each appends its findings.
+void check_redundant_priv_remove(const PassContext&, std::vector<Finding>&);
+void check_never_raised_privilege(const PassContext&, std::vector<Finding>&);
+void check_raise_without_lower(const PassContext&, std::vector<Finding>&);
+void check_unreachable_block(const PassContext&, std::vector<Finding>&);
+void check_empty_indirect_targets(const PassContext&, std::vector<Finding>&);
+void check_unused_privilege_epoch(const PassContext&, std::vector<Finding>&);
+
+}  // namespace pa::lint::detail

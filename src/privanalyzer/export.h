@@ -6,9 +6,14 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.h"
 #include "privanalyzer/efficacy.h"
 
 namespace pa::privanalyzer {
+
+/// PrivLint reports as a JSON array, one object per program with its
+/// findings and !lint-allow-suppressed findings (`privanalyzer --lint-json`).
+std::string lint_reports_to_json(const std::vector<lint::LintReport>& reports);
 
 /// Epoch table as CSV:
 /// program,epoch,permitted,ruid,euid,suid,rgid,egid,sgid,instructions,fraction

@@ -94,7 +94,13 @@ programs::ProgramSpec load_program(std::string_view text,
   PA_FAULTPOINT("loader.load_program");
   auto dirs = directives(text, "; !", default_name);
   programs::ProgramSpec spec = spec_from_directives(dirs, default_name);
-  spec.module = ir::parse(text, spec.name);
+  try {
+    spec.module = ir::parse(text, spec.name);
+  } catch (const ir::ParseError& e) {
+    // Re-raise with the source line so diagnostics render "name:line:".
+    support::fail_stage_at(Stage::Loader, DiagCode::ParseFailed, spec.name,
+                           e.line(), e.what());
+  }
   if (!spec.module.has_function("main"))
     fail_load(DiagCode::MissingMain, spec.name,
               "program has no @main function");
@@ -113,7 +119,8 @@ programs::ProgramSpec spec_from_directives(
   };
   for (const auto& [key, value] : dirs) {
     if (key != "name" && key != "description" && key != "permitted" &&
-        key != "uid" && key != "gid" && key != "args" && key != "world")
+        key != "uid" && key != "gid" && key != "args" && key != "world" &&
+        key != "lint-allow")
       fail_load(DiagCode::UnknownDirective, default_name,
                 str::cat("unknown directive '", key, "'"));
   }
@@ -139,6 +146,20 @@ programs::ProgramSpec spec_from_directives(
       spec.args.emplace_back(static_cast<std::int64_t>(
           parse_int("args", std::string(str::trim(field)), spec.name)));
 
+  // `!lint-allow: code[, code...]` — acknowledge intentional lint findings
+  // (the codes are the kebab-case pass names; see lint/lint.h).
+  if (const auto* la = get("lint-allow")) {
+    for (const std::string& field : str::split(*la, ',')) {
+      std::string_view code_name = str::trim(field);
+      auto code = support::parse_diag_code(code_name);
+      if (!code)
+        fail_load(DiagCode::BadFieldValue, spec.name,
+                  str::cat("directive 'lint-allow': unknown lint code '",
+                           code_name, "'"));
+      spec.lint_allow.insert(*code);
+    }
+  }
+
   if (const auto* w = get("world")) {
     if (*w == "refactored") spec.refactored_world = true;
     else if (*w != "standard")
@@ -156,7 +177,19 @@ programs::ProgramSpec load_privc_program(std::string_view text,
   PA_FAULTPOINT("loader.load_program");
   auto dirs = directives(text, "// !", default_name);
   programs::ProgramSpec spec = spec_from_directives(dirs, default_name);
-  spec.module = privc::compile_source(text, spec.name);
+  try {
+    spec.module = privc::compile_source(text, spec.name);
+  } catch (const support::StageError&) {
+    throw;  // already structured
+  } catch (const ir::ParseError& e) {
+    support::fail_stage_at(Stage::Loader, DiagCode::ParseFailed, spec.name,
+                           e.line(), e.what());
+  } catch (const Error& e) {
+    // PrivC front-end errors don't carry line numbers (yet); still map them
+    // to the structured parse-failure code.
+    support::fail_stage(Stage::Loader, DiagCode::ParseFailed, spec.name,
+                        e.what());
+  }
   if (!spec.module.has_function("main"))
     fail_load(DiagCode::MissingMain, spec.name, "program has no main function");
   return spec;

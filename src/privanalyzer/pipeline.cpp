@@ -46,6 +46,14 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
   ProgramAnalysis out;
   out.program = spec.name;
 
+  // Stage 0 (optional): PrivLint over the untransformed program. Findings
+  // ride along as diagnostics; they never abort the analysis.
+  if (options.run_lint) {
+    lint::LintReport report = lint::run_lints(spec, options.lint);
+    for (support::Diagnostic& d : report.to_diagnostics())
+      out.diagnostics.push_back(std::move(d));
+  }
+
   // Stage 1: AutoPriv.
   ir::Module module = spec.module;
   out.autopriv_report = autopriv::run_autopriv(module, "main", options.autopriv);

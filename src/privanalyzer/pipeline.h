@@ -11,6 +11,7 @@
 #include "attacks/scenario.h"
 #include "autopriv/report.h"
 #include "chronopriv/instrument.h"
+#include "lint/lint.h"
 #include "programs/world.h"
 #include "support/diagnostics.h"
 
@@ -66,6 +67,12 @@ struct PipelineOptions {
   /// Off by default so dynamic instruction counts stay comparable to the
   /// untransformed layout.
   bool simplify_after_autopriv = false;
+  /// Run the PrivLint passes (lint/lint.h) before AutoPriv, attaching any
+  /// findings to the analysis as Stage::Lint diagnostics. Findings never
+  /// flip the analysis to Failed — lint verdicts gate via the dedicated
+  /// `privanalyzer --lint` mode's exit code, not the pipeline's.
+  bool run_lint = false;
+  lint::LintOptions lint;
 };
 
 /// Outcome of one program's trip through the pipeline.

@@ -120,6 +120,22 @@ std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses) {
   return os.str();
 }
 
+std::string render_lint_reports(const std::vector<lint::LintReport>& reports) {
+  std::ostringstream os;
+  int errors = 0;
+  int warnings = 0;
+  std::size_t clean = 0;
+  for (const lint::LintReport& r : reports) {
+    os << r.to_string();
+    errors += r.errors();
+    warnings += r.warnings();
+    if (r.clean()) ++clean;
+  }
+  os << reports.size() << " program(s): " << clean << " clean, " << errors
+     << " error(s), " << warnings << " warning(s)\n";
+  return os.str();
+}
+
 std::string render_analysis_diagnostics(const ProgramAnalysis& analysis) {
   std::ostringstream os;
   if (analysis.ok() && analysis.diagnostics.empty()) return "";

@@ -4,9 +4,14 @@
 #include <string>
 #include <vector>
 
+#include "lint/lint.h"
 #include "privanalyzer/efficacy.h"
 
 namespace pa::privanalyzer {
+
+/// PrivLint reports, one block per program, with a batch summary line
+/// (the `privanalyzer --lint` output).
+std::string render_lint_reports(const std::vector<lint::LintReport>& reports);
 
 /// Table I: the modeled attacks.
 std::string render_attack_table();

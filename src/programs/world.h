@@ -8,12 +8,14 @@
 // paper's Table III / Table V. See DESIGN.md for the substitution argument.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include "ir/builder.h"
 #include "ir/module.h"
 #include "os/kernel.h"
+#include "support/diagnostics.h"
 
 namespace pa::programs {
 
@@ -50,6 +52,11 @@ struct ProgramSpec {
   /// True for the §VII-D variants, which need the world where the `etc`
   /// user owns /etc and the shadow files.
   bool refactored_world = false;
+
+  /// Lint findings this program acknowledges as intentional (the
+  /// `; !lint-allow: <code>` directive). PrivLint reports matching findings
+  /// as suppressed rather than failing on them.
+  std::set<support::DiagCode> lint_allow;
 };
 
 /// Build the standard world: users 1000/1001, /etc/shadow (root:shadow

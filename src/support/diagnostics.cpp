@@ -13,6 +13,7 @@ std::string_view stage_name(Stage s) {
     case Stage::World: return "world";
     case Stage::Rosa: return "rosa";
     case Stage::Pipeline: return "pipeline";
+    case Stage::Lint: return "lint";
     case Stage::Unknown: return "unknown";
   }
   return "?";
@@ -34,6 +35,7 @@ std::string_view diag_code_name(DiagCode c) {
     case DiagCode::DuplicateDirective: return "duplicate-directive";
     case DiagCode::BadFieldValue: return "bad-field-value";
     case DiagCode::MissingMain: return "missing-main";
+    case DiagCode::ParseFailed: return "parse-failed";
     case DiagCode::VerifyFailed: return "verify-failed";
     case DiagCode::FileNotFound: return "file-not-found";
     case DiagCode::FaultInjected: return "fault-injected";
@@ -41,14 +43,42 @@ std::string_view diag_code_name(DiagCode c) {
     case DiagCode::CacheLoadFailed: return "cache-load-failed";
     case DiagCode::CacheSaveFailed: return "cache-save-failed";
     case DiagCode::InternalError: return "internal-error";
+    case DiagCode::RedundantPrivRemove: return "redundant-priv-remove";
+    case DiagCode::NeverRaisedPrivilege: return "never-raised-privilege";
+    case DiagCode::RaiseWithoutLower: return "raise-without-lower";
+    case DiagCode::UnreachableBlock: return "unreachable-block";
+    case DiagCode::EmptyIndirectTargets: return "empty-indirect-targets";
+    case DiagCode::UnusedPrivilegeEpoch: return "unused-privilege-epoch";
   }
   return "?";
+}
+
+std::optional<DiagCode> parse_diag_code(std::string_view name) {
+  static constexpr DiagCode kAll[] = {
+      DiagCode::None,           DiagCode::MalformedDirective,
+      DiagCode::UnknownDirective, DiagCode::DuplicateDirective,
+      DiagCode::BadFieldValue,  DiagCode::MissingMain,
+      DiagCode::ParseFailed,    DiagCode::VerifyFailed,
+      DiagCode::FileNotFound,   DiagCode::FaultInjected,
+      DiagCode::DeadlineExceeded, DiagCode::CacheLoadFailed,
+      DiagCode::CacheSaveFailed, DiagCode::InternalError,
+      DiagCode::RedundantPrivRemove, DiagCode::NeverRaisedPrivilege,
+      DiagCode::RaiseWithoutLower, DiagCode::UnreachableBlock,
+      DiagCode::EmptyIndirectTargets, DiagCode::UnusedPrivilegeEpoch,
+  };
+  for (DiagCode c : kAll)
+    if (diag_code_name(c) == name) return c;
+  return std::nullopt;
 }
 
 std::string Diagnostic::to_string() const {
   std::string out = str::cat(severity_name(severity), " [", stage_name(stage),
                              "/", diag_code_name(code), "]");
-  if (!program.empty()) out += str::cat(" ", program, ":");
+  if (!program.empty()) {
+    out += str::cat(" ", program);
+    if (line > 0) out += str::cat(":", line);
+    out += ":";
+  }
   return str::cat(out, " ", message);
 }
 
@@ -58,6 +88,12 @@ void fail_stage(Stage stage, DiagCode code, std::string program,
                 std::string message) {
   throw StageError(Diagnostic{stage, Severity::Error, code, std::move(program),
                               std::move(message)});
+}
+
+void fail_stage_at(Stage stage, DiagCode code, std::string program, int line,
+                   std::string message) {
+  throw StageError(Diagnostic{stage, Severity::Error, code, std::move(program),
+                              std::move(message), line});
 }
 
 Diagnostic diagnostic_from_exception(const std::exception& e,

@@ -9,6 +9,7 @@
 // whole run (see privanalyzer::try_analyze_program).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,7 @@ enum class Stage {
   World,       // SimOS world construction
   Rosa,        // bounded search / query matrix
   Pipeline,    // driver-level (batching, deadlines)
+  Lint,        // PrivLint findings (src/lint/)
   Unknown,
 };
 
@@ -42,6 +44,7 @@ enum class DiagCode {
   DuplicateDirective,
   BadFieldValue,
   MissingMain,
+  ParseFailed,         // IR/PrivC text did not parse (carries the line)
   VerifyFailed,
   FileNotFound,
   FaultInjected,       // a support::faultpoint fired
@@ -49,11 +52,22 @@ enum class DiagCode {
   CacheLoadFailed,     // --rosa-cache file corrupt/stale; ignored, ran cold
   CacheSaveFailed,     // --rosa-cache file could not be (re)written
   InternalError,       // any exception without a structured payload
+  // PrivLint check codes (src/lint/). One code per pass; the kebab-case
+  // names below double as the pass names and the `!lint-allow:` spellings.
+  RedundantPrivRemove,   // priv_remove of caps provably not permitted there
+  NeverRaisedPrivilege,  // permitted at launch but never raised on any path
+  RaiseWithoutLower,     // a path from priv_raise to `ret` with no lower
+  UnreachableBlock,      // basic block unreachable from the entry block
+  EmptyIndirectTargets,  // callind whose refined target set is empty
+  UnusedPrivilegeEpoch,  // raise..lower region where nothing can use the cap
 };
 
 std::string_view stage_name(Stage s);
 std::string_view severity_name(Severity s);
 std::string_view diag_code_name(DiagCode c);
+
+/// Inverse of diag_code_name (exact kebab-case match); nullopt on unknown.
+std::optional<DiagCode> parse_diag_code(std::string_view name);
 
 struct Diagnostic {
   Stage stage = Stage::Unknown;
@@ -63,8 +77,14 @@ struct Diagnostic {
   /// (e.g. the loader failed before the !name directive was seen).
   std::string program;
   std::string message;
+  /// 1-based source line the diagnostic points at; 0 = no location (the
+  /// loader fills this from ir::ParseError for parse failures). Last field
+  /// so existing {stage, severity, code, program, message} aggregate
+  /// initializers stay valid.
+  int line = 0;
 
   /// "error [loader/bad-field-value] demo: directive 'uid': ..."
+  /// (with a location: "error [loader/parse-failed] demo:12: ...").
   std::string to_string() const;
 };
 
@@ -83,6 +103,11 @@ class StageError : public Error {
 /// Throw a StageError (the structured analogue of pa::fail).
 [[noreturn]] void fail_stage(Stage stage, DiagCode code, std::string program,
                              std::string message);
+
+/// As fail_stage, with a 1-based source line attached (parse failures).
+[[noreturn]] void fail_stage_at(Stage stage, DiagCode code,
+                                std::string program, int line,
+                                std::string message);
 
 /// Build a Diagnostic from a caught exception: StageError keeps its payload
 /// (the program field is filled in if empty), anything else maps to

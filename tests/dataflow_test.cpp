@@ -151,6 +151,129 @@ TEST(ForwardSolverTest, MayBeRaisedAnalysis) {
   EXPECT_TRUE(facts.in[4].empty());
 }
 
+TEST(SolverConvergenceTest, IrreducibleCfgReachesFixpoint) {
+  // Irreducible region: two loop headers (`h1`, `h2`) entered from the
+  // outside on different paths and branching into each other — no single
+  // header dominates. The worklist solver must still converge, and a
+  // register used in both headers stays live around the whole region.
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 2);
+  int x = b.mov(B::i(40));
+  b.condbr(B::r(0), "h1", "h2");
+  b.at("h1");
+  int c1 = b.cmp_lt(B::r(x), B::r(1));
+  b.condbr(B::r(c1), "h2", "done");  // jumps into the other header
+  b.at("h2");
+  int c2 = b.cmp_lt(B::r(1), B::r(x));
+  b.condbr(B::r(c2), "h1", "done");  // ...and back
+  b.at("done");
+  b.ret(B::r(x));
+  b.end_function();
+
+  auto facts = live_registers(m.function("f"));
+  const ir::Function& f = m.function("f");
+  int h1 = *f.block_index("h1");
+  int h2 = *f.block_index("h2");
+  // %x and the parameter %1 feed both headers, so both cycle paths keep
+  // them live; the facts at the two headers must agree on that regardless
+  // of which header the solver visited first.
+  for (int blk : {h1, h2}) {
+    EXPECT_TRUE(facts.in[static_cast<std::size_t>(blk)].contains(x));
+    EXPECT_TRUE(facts.in[static_cast<std::size_t>(blk)].contains(1));
+  }
+  EXPECT_TRUE(facts.in[0].contains(1));
+}
+
+TEST(SolverConvergenceTest, NestedLoopsForwardAndBackward) {
+  // Three nested loops with a priv_raise in the innermost body. The
+  // forward may-be-raised analysis must propagate the capability out
+  // through every loop exit, and the backward register liveness must keep
+  // all three counters live through their loop headers.
+  ir::Module m("t");
+  IRBuilder b(m);
+  using caps::Capability;
+  b.begin_function("f", 0);
+  int i = b.mov(B::i(0));
+  b.br("ihead");
+  b.at("ihead");
+  int ci = b.cmp_lt(B::r(i), B::i(3));
+  b.condbr(B::r(ci), "jinit", "done");
+  b.at("jinit");
+  int j = b.mov(B::i(0));
+  b.br("jhead");
+  b.at("jhead");
+  int cj = b.cmp_lt(B::r(j), B::i(3));
+  b.condbr(B::r(cj), "kinit", "iinc");
+  b.at("kinit");
+  int k = b.mov(B::i(0));
+  b.br("khead");
+  b.at("khead");
+  int ck = b.cmp_lt(B::r(k), B::i(3));
+  b.condbr(B::r(ck), "kbody", "jinc");
+  b.at("kbody");
+  b.priv_raise({Capability::Kill});
+  b.syscall("kill", {B::i(1), B::i(9)});
+  b.priv_lower({Capability::Kill});
+  int kn = b.add(B::r(k), B::i(1));
+  b.mov_to(k, B::r(kn));
+  b.br("khead");
+  b.at("jinc");
+  int jn = b.add(B::r(j), B::i(1));
+  b.mov_to(j, B::r(jn));
+  b.br("jhead");
+  b.at("iinc");
+  int in = b.add(B::r(i), B::i(1));
+  b.mov_to(i, B::r(in));
+  b.br("ihead");
+  b.at("done");
+  b.ret(B::i(0));
+  b.end_function();
+  const ir::Function& f = m.function("f");
+
+  // Backward: each counter is live at its own loop head.
+  auto live = live_registers(f);
+  EXPECT_TRUE(live.in[static_cast<std::size_t>(*f.block_index("ihead"))]
+                  .contains(i));
+  EXPECT_TRUE(live.in[static_cast<std::size_t>(*f.block_index("jhead"))]
+                  .contains(j));
+  EXPECT_TRUE(live.in[static_cast<std::size_t>(*f.block_index("khead"))]
+                  .contains(k));
+
+  // Forward: the raise inside kbody is lowered in the same block, so the
+  // may-be-raised set is empty at every block entry — but only after the
+  // solver has propagated around all three back edges.
+  using L = caps::CapSet;
+  std::function<L(const ir::Instruction&, const L&)> transfer =
+      [](const ir::Instruction& inst, const L& before) {
+        if (inst.op == ir::Opcode::PrivRaise)
+          return before | inst.operands[0].caps_value();
+        if (inst.op == ir::Opcode::PrivLower)
+          return before - inst.operands[0].caps_value();
+        return before;
+      };
+  std::function<L(const L&, const L&)> join = [](const L& a, const L& c) {
+    return a | c;
+  };
+  auto raised = dataflow::solve_forward<L>(f, {}, {}, transfer, join);
+  for (std::size_t blk = 0; blk < f.blocks().size(); ++blk)
+    EXPECT_TRUE(raised.in[blk].empty()) << "block " << blk;
+
+  // And with the lower deleted the capability escapes every loop level —
+  // same CFG, dirtier program — exercising the growing direction too.
+  ir::Module m2 = m;
+  ir::Function& f2 = m2.function("f");
+  auto& kbody = f2.block(*f2.block_index("kbody")).instructions;
+  std::erase_if(kbody, [](const ir::Instruction& inst) {
+    return inst.op == ir::Opcode::PrivLower;
+  });
+  auto leaked = dataflow::solve_forward<L>(f2, {}, {}, transfer, join);
+  EXPECT_TRUE(leaked.in[static_cast<std::size_t>(*f2.block_index("done"))]
+                  .contains(Capability::Kill));
+  EXPECT_TRUE(leaked.in[static_cast<std::size_t>(*f2.block_index("ihead"))]
+                  .contains(Capability::Kill));
+}
+
 TEST(InstructionFactsTest, PerInstructionBackward) {
   ir::Module m("t");
   IRBuilder b(m);

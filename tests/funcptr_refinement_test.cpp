@@ -1,0 +1,314 @@
+// Tests for the function-pointer propagation (dataflow/funcptr.h) and the
+// Refined indirect-call policy it backs — including the differential
+// guarantees the refinement rests on: Refined call-graph edges are subsets
+// of Conservative edges on every evaluation program, privilege liveness
+// under Refined is pointwise contained in Conservative liveness (so
+// AutoPriv's removes move earlier, never later), and the transformed
+// programs still execute cleanly (the VM aborts any priv_raise of a removed
+// capability, so a full ChronoPriv run is an end-to-end soundness check).
+#include <gtest/gtest.h>
+
+#include "autopriv/remove_insertion.h"
+#include "dataflow/funcptr.h"
+#include "ir/builder.h"
+#include "ir/callgraph.h"
+#include "privanalyzer/loader.h"
+#include "privanalyzer/pipeline.h"
+#include "programs/world.h"
+
+namespace pa {
+namespace {
+
+using caps::CapSet;
+using caps::Capability;
+using ir::IRBuilder;
+using B = IRBuilder;
+
+bool subset(const CapSet& a, const CapSet& b) { return (a - b).empty(); }
+
+bool subset(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const std::string& x : a)
+    if (!b.contains(x)) return false;
+  return true;
+}
+
+/// Every spec the repo ships: the Table-II set, the refactored variants,
+/// and the loaded example files (including the seeded lint fixtures).
+std::vector<programs::ProgramSpec> all_fixture_specs() {
+  std::vector<programs::ProgramSpec> specs = programs::all_baseline_programs();
+  specs.push_back(programs::make_passwd_refactored());
+  specs.push_back(programs::make_su_refactored());
+  specs.push_back(programs::make_sshd_refactored());
+  const std::string root = std::string(PA_SOURCE_DIR);
+  for (const char* rel :
+       {"/examples/programs/tinyd.pir", "/examples/programs/filesrv.pc",
+        "/examples/programs/su.pc", "/examples/lint/empty_targets.pir",
+        "/examples/lint/never_raised.pir", "/examples/lint/raise_no_lower.pir",
+        "/examples/lint/redundant_remove.pir",
+        "/examples/lint/unreachable.pir", "/examples/lint/unused_epoch.pir"})
+    specs.push_back(privanalyzer::load_program_file(root + rel));
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// The propagation itself.
+
+TEST(FuncPtrTest, PropagatesThroughMovAndCallArguments) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  b.ret(B::i(1));
+  b.end_function();
+  b.begin_function("g", 0);
+  b.ret(B::i(2));
+  b.end_function();
+  // apply(%0) calls through its parameter.
+  b.begin_function("apply", 1);
+  int r = b.callind(B::r(0));
+  b.ret(B::r(r));
+  b.end_function();
+  b.begin_function("main", 0);
+  int fp = b.funcaddr("f");
+  int cp = b.mov(B::r(fp));  // copy chain
+  b.call("apply", {B::r(cp)});
+  b.funcaddr("g");  // @g is address-taken but never flows to the callind
+  b.exit(B::i(0));
+  b.end_function();
+  m.recompute_address_taken();
+
+  auto result = dataflow::analyze_func_ptrs(m);
+  EXPECT_EQ(result.targets("apply", 0), (std::set<std::string>{"f"}));
+
+  // The refined call graph sees exactly that; the conservative one resolves
+  // the same site to every address-taken function.
+  auto refined = ir::CallGraph::build(m, ir::IndirectCallPolicy::Refined);
+  auto cons = ir::CallGraph::build(m, ir::IndirectCallPolicy::Conservative);
+  EXPECT_EQ(refined.refined_targets("apply", 0), (std::set<std::string>{"f"}));
+  EXPECT_TRUE(refined.callees("apply").contains("f"));
+  EXPECT_FALSE(refined.callees("apply").contains("g"));
+  EXPECT_TRUE(cons.callees("apply").contains("g"));
+}
+
+TEST(FuncPtrTest, PropagatesThroughReturnValues) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  b.ret(B::i(7));
+  b.end_function();
+  b.begin_function("pick", 0);
+  int fp = b.funcaddr("f");
+  b.ret(B::r(fp));
+  b.end_function();
+  b.begin_function("main", 0);
+  int p = b.call("pick");
+  b.callind(B::r(p));
+  b.exit(B::i(0));
+  b.end_function();
+  m.recompute_address_taken();
+
+  auto result = dataflow::analyze_func_ptrs(m);
+  EXPECT_EQ(result.targets("main", p), (std::set<std::string>{"f"}));
+}
+
+TEST(FuncPtrTest, ArityFilterExcludesMismatchedTargets) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("zero", 0);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("one", 1);
+  b.ret(B::r(0));
+  b.end_function();
+  b.begin_function("main", 1);
+  // Both functions flow into %p along different paths; the 0-argument
+  // callind can only feasibly reach @zero (the VM aborts a mismatched
+  // call, so @one is filtered).
+  int p = b.mov(B::i(0));
+  b.condbr(B::r(0), "a", "c");
+  b.at("a");
+  b.mov_to(p, B::f("zero"));
+  b.br("j");
+  b.at("c");
+  b.mov_to(p, B::f("one"));
+  b.br("j");
+  b.at("j");
+  b.callind(B::r(p));
+  b.exit(B::i(0));
+  b.end_function();
+  m.recompute_address_taken();
+
+  auto result = dataflow::analyze_func_ptrs(m);
+  EXPECT_EQ(result.targets("main", p), (std::set<std::string>{"zero"}));
+}
+
+TEST(FuncPtrTest, OverwriteKillsPointees) {
+  ir::Module m("t");
+  IRBuilder b(m);
+  b.begin_function("f", 0);
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("main", 0);
+  int p = b.funcaddr("f");
+  b.mov_to(p, B::i(3));  // integer overwrite: no longer a function pointer
+  b.callind(B::r(p));
+  b.exit(B::i(0));
+  b.end_function();
+  m.recompute_address_taken();
+
+  auto result = dataflow::analyze_func_ptrs(m);
+  EXPECT_TRUE(result.targets("main", p).empty());
+}
+
+// ---------------------------------------------------------------------------
+// The differential guarantee: Refined ⊆ Conservative, everywhere.
+
+TEST(RefinementDifferentialTest, RefinedEdgesSubsetOnEveryFixture) {
+  for (const programs::ProgramSpec& spec : all_fixture_specs()) {
+    SCOPED_TRACE(spec.name);
+    auto cons =
+        ir::CallGraph::build(spec.module, ir::IndirectCallPolicy::Conservative);
+    auto refined =
+        ir::CallGraph::build(spec.module, ir::IndirectCallPolicy::Refined);
+    EXPECT_EQ(cons.address_taken(), refined.address_taken());
+    for (const ir::Function& f : spec.module.functions()) {
+      SCOPED_TRACE(f.name());
+      EXPECT_TRUE(subset(refined.callees(f.name()), cons.callees(f.name())));
+      // Per-site refined targets are drawn from the address-taken pool.
+      for (const ir::BasicBlock& bb : f.blocks())
+        for (const ir::Instruction& inst : bb.instructions)
+          if (inst.op == ir::Opcode::CallInd) {
+            EXPECT_TRUE(subset(
+                refined.refined_targets(f.name(), inst.operands[0].reg_index()),
+                cons.address_taken()));
+          }
+    }
+  }
+}
+
+TEST(RefinementDifferentialTest, LivenessShrinksPointwiseOnEveryFixture) {
+  for (const programs::ProgramSpec& spec : all_fixture_specs()) {
+    SCOPED_TRACE(spec.name);
+    autopriv::PrivLiveness cons(spec.module);
+    autopriv::PrivLiveness refined(
+        spec.module, {.indirect_calls = ir::IndirectCallPolicy::Refined});
+    // Handler caps are unions of summaries, so they shrink too.
+    EXPECT_TRUE(subset(refined.handler_caps(), cons.handler_caps()));
+    for (const ir::Function& f : spec.module.functions()) {
+      SCOPED_TRACE(f.name());
+      EXPECT_TRUE(subset(refined.summary(f.name()), cons.summary(f.name())));
+      auto cf = cons.analyze(f.name(), cons.handler_caps());
+      auto rf = refined.analyze(f.name(), refined.handler_caps());
+      for (std::size_t bi = 0; bi < f.blocks().size(); ++bi) {
+        // A capability dead at a point under Conservative is dead there
+        // under Refined too: AutoPriv's removes never move later.
+        EXPECT_TRUE(subset(rf.in[bi], cf.in[bi]));
+        EXPECT_TRUE(subset(rf.out[bi], cf.out[bi]));
+        auto ci = cons.instruction_facts(f.name(), static_cast<int>(bi),
+                                         cf.out[bi]);
+        auto ri = refined.instruction_facts(f.name(), static_cast<int>(bi),
+                                            rf.out[bi]);
+        ASSERT_EQ(ci.size(), ri.size());
+        for (std::size_t k = 0; k < ci.size(); ++k)
+          EXPECT_TRUE(subset(ri[k], ci[k]));
+      }
+    }
+  }
+}
+
+TEST(RefinementDifferentialTest, EntryRemovesOnlyGrowOnEveryFixture) {
+  for (const programs::ProgramSpec& spec : all_fixture_specs()) {
+    if (!spec.module.has_function("main")) continue;
+    SCOPED_TRACE(spec.name);
+    ir::Module mc = spec.module;
+    ir::Module mr = spec.module;
+    auto cons = autopriv::insert_removes(mc, "main");
+    auto refined = autopriv::insert_removes(
+        mr, "main", {.indirect_calls = ir::IndirectCallPolicy::Refined});
+    // Everything Conservative proves never-used stays never-used under the
+    // tighter call graph; Refined may prove strictly more.
+    EXPECT_TRUE(subset(cons.removed_at_entry, refined.removed_at_entry));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The sshd pathology in miniature: an indirect call whose conservative
+// resolution drags in a privileged function the pointer can never reach.
+
+/// Two address-taken handlers; the dispatch pointer only ever holds the
+/// harmless one, but Conservative resolution includes @privileged, keeping
+/// CapChown live across main. The shape of the paper's sshd finding.
+ir::Module sshd_like_module() {
+  ir::Module m("sshd_like");
+  IRBuilder b(m);
+  b.begin_function("privileged", 1);
+  b.priv_raise({Capability::Chown});
+  b.syscall("chown", {B::r(0), B::i(0), B::i(0)});
+  b.priv_lower({Capability::Chown});
+  b.ret(B::i(0));
+  b.end_function();
+  b.begin_function("harmless", 1);
+  int r = b.add(B::r(0), B::i(1));
+  b.ret(B::r(r));
+  b.end_function();
+  b.begin_function("main", 0);
+  int table = b.funcaddr("privileged");  // address taken, never dispatched
+  b.mov(B::r(table));
+  int fp = b.funcaddr("harmless");
+  b.callind(B::r(fp), {B::i(5)});
+  b.exit(B::i(0));
+  b.end_function();
+  m.recompute_address_taken();
+  return m;
+}
+
+TEST(SshdLikeFixtureTest, RefinedTightensTheDeadPrivPoint) {
+  ir::Module m = sshd_like_module();
+
+  // Conservative: the callind may reach @privileged, so Chown stays live
+  // into main and cannot be removed at entry.
+  ir::Module mc = m;
+  auto cons = autopriv::insert_removes(mc, "main");
+  EXPECT_FALSE(cons.removed_at_entry.contains(Capability::Chown));
+
+  // Refined: the pointer provably holds only @harmless; Chown is dead from
+  // the start and the entry prelude removes it.
+  ir::Module mr = m;
+  auto refined = autopriv::insert_removes(
+      mr, "main", {.indirect_calls = ir::IndirectCallPolicy::Refined});
+  EXPECT_TRUE(refined.removed_at_entry.contains(Capability::Chown));
+
+  // The underlying facts: Conservative keeps Chown live at main's entry,
+  // Refined does not.
+  autopriv::PrivLiveness pc(m);
+  autopriv::PrivLiveness pr(
+      m, {.indirect_calls = ir::IndirectCallPolicy::Refined});
+  EXPECT_TRUE(pc.analyze("main", {}).in[0].contains(Capability::Chown));
+  EXPECT_FALSE(pr.analyze("main", {}).in[0].contains(Capability::Chown));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end soundness: the VM PA_CHECKs every priv_raise against the
+// process's permitted set, so if AutoPriv under Refined ever removed a
+// capability some feasible path still raises, the ChronoPriv run would
+// abort. Running the full (no-ROSA) pipeline under both policies on every
+// evaluation program is therefore a soundness differential.
+
+TEST(RefinementSoundnessTest, PipelineRunsCleanUnderBothPolicies) {
+  for (const programs::ProgramSpec& spec : programs::all_baseline_programs()) {
+    SCOPED_TRACE(spec.name);
+    privanalyzer::PipelineOptions opts;
+    opts.run_rosa = false;
+    opts.autopriv.indirect_calls = ir::IndirectCallPolicy::Conservative;
+    auto cons = privanalyzer::try_analyze_program(spec, opts);
+    opts.autopriv.indirect_calls = ir::IndirectCallPolicy::Refined;
+    auto refined = privanalyzer::try_analyze_program(spec, opts);
+    EXPECT_TRUE(cons.ok());
+    EXPECT_TRUE(refined.ok());
+    // Refined only ever proves more capabilities dead at entry.
+    EXPECT_TRUE(subset(cons.autopriv_report.stats.removed_at_entry,
+                       refined.autopriv_report.stats.removed_at_entry));
+  }
+}
+
+}  // namespace
+}  // namespace pa

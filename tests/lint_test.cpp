@@ -1,0 +1,269 @@
+// Tests for the PrivLint pass suite (lint/lint.h): every seeded-defect
+// fixture in examples/lint/ fires exactly its own check, the shipped clean
+// examples produce zero findings, `!lint-allow:` suppression works end to
+// end through the loader, and the render/JSON surfaces agree with the
+// reports. Also covers the parse-failure line-number satellite (ir parser →
+// loader → Diagnostic).
+#include <gtest/gtest.h>
+
+#include "ir/parser.h"
+#include "lint/lint.h"
+#include "privanalyzer/export.h"
+#include "privanalyzer/loader.h"
+#include "privanalyzer/pipeline.h"
+#include "privanalyzer/render.h"
+#include "programs/world.h"
+
+namespace pa {
+namespace {
+
+using support::DiagCode;
+
+programs::ProgramSpec load_example(const std::string& rel) {
+  return privanalyzer::load_program_file(std::string(PA_SOURCE_DIR) + rel);
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: each seeded defect fires its own check and nothing else.
+
+struct FixtureCase {
+  const char* file;
+  DiagCode code;
+  support::Severity severity;
+};
+
+TEST(LintFixturesTest, EachFiresExactlyItsOwnCheck) {
+  const FixtureCase cases[] = {
+      {"/examples/lint/redundant_remove.pir", DiagCode::RedundantPrivRemove,
+       support::Severity::Warning},
+      {"/examples/lint/never_raised.pir", DiagCode::NeverRaisedPrivilege,
+       support::Severity::Warning},
+      {"/examples/lint/raise_no_lower.pir", DiagCode::RaiseWithoutLower,
+       support::Severity::Error},
+      {"/examples/lint/unreachable.pir", DiagCode::UnreachableBlock,
+       support::Severity::Warning},
+      {"/examples/lint/empty_targets.pir", DiagCode::EmptyIndirectTargets,
+       support::Severity::Error},
+      {"/examples/lint/unused_epoch.pir", DiagCode::UnusedPrivilegeEpoch,
+       support::Severity::Warning},
+  };
+  for (const FixtureCase& c : cases) {
+    SCOPED_TRACE(c.file);
+    lint::LintReport report = lint::run_lints(load_example(c.file));
+    ASSERT_EQ(report.findings.size(), 1u);
+    EXPECT_EQ(report.findings[0].code, c.code);
+    EXPECT_EQ(report.findings[0].severity, c.severity);
+    EXPECT_TRUE(report.suppressed.empty());
+    EXPECT_FALSE(report.clean());
+    EXPECT_EQ(report.errors() + report.warnings(), 1);
+  }
+}
+
+TEST(LintFixturesTest, CleanExamplesHaveZeroFindings) {
+  for (const char* rel :
+       {"/examples/programs/tinyd.pir", "/examples/programs/filesrv.pc",
+        "/examples/programs/su.pc"}) {
+    SCOPED_TRACE(rel);
+    lint::LintReport report = lint::run_lints(load_example(rel));
+    EXPECT_TRUE(report.clean()) << report.to_string();
+    EXPECT_TRUE(report.suppressed.empty());
+  }
+}
+
+TEST(LintFixturesTest, RunsOnEveryEvaluationProgram) {
+  // The Table-II programs deliberately model the paper's privilege-hygiene
+  // defects, so findings are expected — the passes just must not crash or
+  // contradict themselves on real program shapes.
+  for (const programs::ProgramSpec& spec : programs::all_baseline_programs()) {
+    SCOPED_TRACE(spec.name);
+    lint::LintReport report = lint::run_lints(spec);
+    EXPECT_EQ(report.program, spec.name);
+    EXPECT_EQ(static_cast<int>(report.findings.size()),
+              report.errors() + report.warnings());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppression and pass selection.
+
+TEST(LintOptionsTest, AllowDirectiveSuppresses) {
+  programs::ProgramSpec spec =
+      load_example("/examples/lint/redundant_remove.pir");
+  spec.lint_allow.insert(DiagCode::RedundantPrivRemove);
+
+  lint::LintReport report = lint::run_lints(spec);
+  EXPECT_TRUE(report.clean());
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].code, DiagCode::RedundantPrivRemove);
+  EXPECT_NE(report.to_string().find("allowed"), std::string::npos);
+
+  // With the directive ignored, the finding comes back.
+  lint::LintOptions raw;
+  raw.honor_allow_directive = false;
+  lint::LintReport unsuppressed = lint::run_lints(spec, raw);
+  ASSERT_EQ(unsuppressed.findings.size(), 1u);
+  EXPECT_TRUE(unsuppressed.suppressed.empty());
+}
+
+TEST(LintOptionsTest, DisabledPassDoesNotRun) {
+  programs::ProgramSpec spec =
+      load_example("/examples/lint/redundant_remove.pir");
+  lint::LintOptions opts;
+  opts.disabled.insert(DiagCode::RedundantPrivRemove);
+  EXPECT_TRUE(lint::run_lints(spec, opts).clean());
+}
+
+TEST(LintOptionsTest, LoaderParsesAllowDirective) {
+  programs::ProgramSpec spec = privanalyzer::load_program(
+      "; !name: allowed\n"
+      "; !permitted: CapChown\n"
+      "; !lint-allow: never-raised-privilege, unused-privilege-epoch\n"
+      "func @main(0) {\n"
+      "entry:\n"
+      "  exit 0\n"
+      "}\n");
+  EXPECT_TRUE(spec.lint_allow.contains(DiagCode::NeverRaisedPrivilege));
+  EXPECT_TRUE(spec.lint_allow.contains(DiagCode::UnusedPrivilegeEpoch));
+  // CapChown is never raised, but the program acknowledges it.
+  lint::LintReport report = lint::run_lints(spec);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.suppressed.size(), 1u);
+}
+
+TEST(LintOptionsTest, LoaderRejectsUnknownAllowCode) {
+  try {
+    privanalyzer::load_program(
+        "; !lint-allow: not-a-pass\n"
+        "func @main(0) {\nentry:\n  exit 0\n}\n");
+    FAIL() << "expected StageError";
+  } catch (const support::StageError& e) {
+    EXPECT_EQ(e.diagnostic().code, DiagCode::BadFieldValue);
+    EXPECT_NE(std::string(e.what()).find("not-a-pass"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The pass registry and the shared diag-code vocabulary.
+
+TEST(LintRegistryTest, PassNamesRoundTripThroughDiagCodes) {
+  EXPECT_EQ(lint::lint_passes().size(), 6u);
+  for (const lint::LintPassInfo& pass : lint::lint_passes()) {
+    EXPECT_EQ(pass.name, support::diag_code_name(pass.code));
+    auto parsed = support::parse_diag_code(pass.name);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, pass.code);
+  }
+  EXPECT_FALSE(support::parse_diag_code("no-such-code").has_value());
+}
+
+TEST(LintFindingTest, LocationFormatting) {
+  lint::Finding f;
+  f.code = DiagCode::RaiseWithoutLower;
+  f.severity = support::Severity::Error;
+  EXPECT_EQ(f.location(), "<program>");
+  f.function = "serve";
+  EXPECT_EQ(f.location(), "@serve");
+  f.block = 2;
+  EXPECT_EQ(f.location(), "@serve.bb2");
+  f.instr = 4;
+  EXPECT_EQ(f.location(), "@serve.bb2[4]");
+  f.message = "leaks";
+  f.hint = "lower it";
+  EXPECT_EQ(f.to_string(),
+            "error [lint/raise-without-lower] @serve.bb2[4]: leaks "
+            "(hint: lower it)");
+  support::Diagnostic d = f.to_diagnostic("demo");
+  EXPECT_EQ(d.stage, support::Stage::Lint);
+  EXPECT_EQ(d.code, DiagCode::RaiseWithoutLower);
+  EXPECT_EQ(d.program, "demo");
+}
+
+// ---------------------------------------------------------------------------
+// Render + JSON surfaces.
+
+TEST(LintRenderTest, SummaryLineCountsCleanAndFindings) {
+  std::vector<lint::LintReport> reports = {
+      lint::run_lints(load_example("/examples/programs/tinyd.pir")),
+      lint::run_lints(load_example("/examples/lint/raise_no_lower.pir")),
+  };
+  std::string text = privanalyzer::render_lint_reports(reports);
+  EXPECT_NE(text.find("lint tinyd: clean"), std::string::npos);
+  EXPECT_NE(text.find("[lint/raise-without-lower]"), std::string::npos);
+  EXPECT_NE(text.find("2 program(s): 1 clean, 1 error(s), 0 warning(s)"),
+            std::string::npos);
+}
+
+TEST(LintExportTest, JsonCarriesFindingsAndSuppressions) {
+  programs::ProgramSpec defect =
+      load_example("/examples/lint/redundant_remove.pir");
+  programs::ProgramSpec allowed = defect;
+  allowed.name = "acknowledged";
+  allowed.lint_allow.insert(DiagCode::RedundantPrivRemove);
+  std::vector<lint::LintReport> reports = {lint::run_lints(defect),
+                                           lint::run_lints(allowed)};
+  std::string json = privanalyzer::lint_reports_to_json(reports);
+  EXPECT_NE(json.find("\"program\":\"redundant_remove\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"redundant-priv-remove\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"program\":\"acknowledged\""), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":true"), std::string::npos);
+  // The acknowledged program's finding rides in "suppressed", not findings.
+  std::size_t ack = json.find("\"program\":\"acknowledged\"");
+  EXPECT_NE(json.find("\"findings\":[]", ack), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline integration: lint findings ride along as diagnostics.
+
+TEST(LintPipelineTest, FindingsAttachAsDiagnosticsWithoutFailing) {
+  programs::ProgramSpec spec =
+      load_example("/examples/lint/redundant_remove.pir");
+  privanalyzer::PipelineOptions opts;
+  opts.run_rosa = false;
+  opts.run_lint = true;
+  auto analysis = privanalyzer::try_analyze_program(spec, opts);
+  EXPECT_TRUE(analysis.ok());
+  bool saw_lint = false;
+  for (const support::Diagnostic& d : analysis.diagnostics)
+    if (d.stage == support::Stage::Lint &&
+        d.code == DiagCode::RedundantPrivRemove)
+      saw_lint = true;
+  EXPECT_TRUE(saw_lint);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: parse failures carry their source line to the diagnostic.
+
+TEST(ParseLineTest, ParserThrowsWithLineNumber) {
+  try {
+    ir::parse(
+        "func @main(0) {\n"
+        "entry:\n"
+        "  %0 = frobnicate 3\n"
+        "}\n");
+    FAIL() << "expected ParseError";
+  } catch (const ir::ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ParseLineTest, LoaderDiagnosticRendersProgramAndLine) {
+  try {
+    privanalyzer::load_program(
+        "; !name: broken\n"
+        "func @main(0) {\n"
+        "entry:\n"
+        "  %0 = frobnicate 3\n"
+        "}\n");
+    FAIL() << "expected StageError";
+  } catch (const support::StageError& e) {
+    EXPECT_EQ(e.diagnostic().code, DiagCode::ParseFailed);
+    EXPECT_EQ(e.diagnostic().stage, support::Stage::Loader);
+    EXPECT_EQ(e.diagnostic().line, 4);
+    EXPECT_NE(e.diagnostic().to_string().find("broken:4:"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pa

@@ -26,8 +26,18 @@
 //                          measurement)
 //     --attacker MODEL     full | cfi-ordered | fixed-args
 //     --print-ir           dump the transformed (post-AutoPriv) program
-//     --assume-no-indirect treat indirect calls as having no targets
-//                          (unsound; shows what a precise call graph buys)
+//     --indirect-calls M   indirect-call resolution for AutoPriv (and
+//                          --lint): conservative (every address-taken
+//                          function, the paper's AutoPriv), refined
+//                          (function-pointer propagation + arity filter;
+//                          always a subset), assume-none (unsound ablation)
+//     --assume-no-indirect alias for --indirect-calls assume-none
+//     --lint               run the PrivLint passes instead of the pipeline;
+//                          prints one report per program. Exit codes: 0 all
+//                          programs clean, 1 none clean, 3 some clean.
+//                          Lint defaults to refined indirect calls unless
+//                          --indirect-calls says otherwise.
+//     --lint-json          as --lint, but emit a JSON array on stdout
 //
 // Batch runs are fault-isolated: a program that fails to load, verify, or
 // analyze is reported on stderr with its structured diagnostics and the
@@ -38,10 +48,14 @@
 #include <iostream>
 #include <memory>
 
+#include <optional>
+
 #include "ir/printer.h"
 #include "chronopriv/exposure.h"
+#include "lint/lint.h"
 #include "privanalyzer/advisor.h"
 #include "os/worldfile.h"
+#include "privanalyzer/export.h"
 #include "privanalyzer/loader.h"
 #include "privanalyzer/render.h"
 #include "support/diagnostics.h"
@@ -56,9 +70,10 @@ int usage(const char* argv0) {
             << " <prog.pir> [more programs...] [--no-rosa] [--max-states N]\n"
                "       [--rosa-threads N] [--escalate-rounds N] [--deadline SECS]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
+               "       [--indirect-calls conservative|refined|assume-none]\n"
                "       [--assume-no-indirect] [--world-file world.world]\n"
                "       [--simplify] [--stats] [--rosa-cache FILE]\n"
-               "       [--no-rosa-cache]\n"
+               "       [--no-rosa-cache] [--lint] [--lint-json]\n"
                "exit codes: 0 ok, 1 all programs failed, 2 usage, 3 partial "
                "failure\n";
   return privanalyzer::kExitUsage;
@@ -88,6 +103,41 @@ bool parse_seconds(const std::string& s, double* out) {
     std::cerr << "error: bad duration '" << s << "': " << e.what() << "\n";
     return false;
   }
+}
+
+std::optional<ir::IndirectCallPolicy> parse_policy(const std::string& m) {
+  if (m == "conservative") return ir::IndirectCallPolicy::Conservative;
+  if (m == "refined") return ir::IndirectCallPolicy::Refined;
+  if (m == "assume-none") return ir::IndirectCallPolicy::AssumeNone;
+  std::cerr << "error: bad indirect-call policy '" << m
+            << "' (want conservative|refined|assume-none)\n";
+  return std::nullopt;
+}
+
+/// `--lint` / `--lint-json` mode: load + lint each program, no pipeline.
+/// A program counts as failed if it does not load or has any finding.
+int run_lint_batch(const std::vector<std::string>& paths,
+                   const lint::LintOptions& lopts, bool json) {
+  std::vector<lint::LintReport> reports;
+  std::size_t failed = 0;
+  for (const std::string& path : paths) {
+    try {
+      programs::ProgramSpec spec = privanalyzer::load_program_file(path);
+      reports.push_back(lint::run_lints(spec, lopts));
+      if (!reports.back().clean()) ++failed;
+    } catch (const std::exception& e) {
+      ++failed;
+      std::cerr << support::diagnostic_from_exception(
+                       e, support::Stage::Loader, path)
+                       .to_string()
+                << "\n";
+    }
+  }
+  if (json) std::cout << privanalyzer::lint_reports_to_json(reports);
+  else std::cout << privanalyzer::render_lint_reports(reports);
+  if (failed == 0) return privanalyzer::kExitOk;
+  if (failed == paths.size()) return privanalyzer::kExitAllFailed;
+  return privanalyzer::kExitPartialFailure;
 }
 
 /// Run + render one program; load/analyze failures are folded into the
@@ -173,6 +223,9 @@ int main(int argc, char** argv) {
   rosa::AttackerModel attacker = rosa::AttackerModel::Full;
   bool print_ir = false;
   bool print_stats = false;
+  bool lint_mode = false;
+  bool lint_json = false;
+  std::optional<ir::IndirectCallPolicy> indirect_override;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -201,7 +254,18 @@ int main(int argc, char** argv) {
     } else if (arg == "--print-ir") {
       print_ir = true;
     } else if (arg == "--assume-no-indirect") {
-      opts.autopriv.indirect_calls = ir::IndirectCallPolicy::AssumeNone;
+      indirect_override = ir::IndirectCallPolicy::AssumeNone;
+    } else if (arg == "--indirect-calls" && i + 1 < argc) {
+      indirect_override = parse_policy(argv[++i]);
+      if (!indirect_override) return usage(argv[0]);
+    } else if (arg.rfind("--indirect-calls=", 0) == 0) {
+      indirect_override = parse_policy(arg.substr(strlen("--indirect-calls=")));
+      if (!indirect_override) return usage(argv[0]);
+    } else if (arg == "--lint") {
+      lint_mode = true;
+    } else if (arg == "--lint-json") {
+      lint_mode = true;
+      lint_json = true;
     } else if (arg == "--world-file" && i + 1 < argc) {
       std::string wpath = argv[++i];
       opts.world_factory = [wpath] { return os::world_from_file(wpath); };
@@ -222,6 +286,13 @@ int main(int argc, char** argv) {
     }
   }
   if (paths.empty()) return usage(argv[0]);
+  if (indirect_override)
+    opts.autopriv.indirect_calls = *indirect_override;
+  if (lint_mode) {
+    lint::LintOptions lopts;  // defaults to refined indirect calls
+    if (indirect_override) lopts.indirect_calls = *indirect_override;
+    return run_lint_batch(paths, lopts, lint_json);
+  }
   if (!opts.rosa_cache && !opts.rosa_cache_file.empty()) {
     std::cerr << "error: --rosa-cache and --no-rosa-cache conflict\n";
     return usage(argv[0]);
