@@ -8,7 +8,11 @@
 // ReadDevMem under CAP_SETUID, which stops at the first witness.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "attacks/scenario.h"
+#include "bench_util.h"
 #include "rosa/query.h"
 
 using namespace pa;
@@ -38,8 +42,9 @@ rosa::Query impossible_query(int extra_ids, int n_syscalls = 7) {
 }
 
 void report(benchmark::State& state, const rosa::SearchResult& r) {
-  state.counters["states"] = static_cast<double>(r.states_explored);
-  state.counters["transitions"] = static_cast<double>(r.transitions);
+  state.counters["states"] = static_cast<double>(r.states_explored());
+  state.counters["transitions"] = static_cast<double>(r.transitions());
+  state.counters["bytes_per_state"] = r.stats.bytes_per_state();
 }
 
 }  // namespace
@@ -51,7 +56,7 @@ static void BM_PoolScaling(benchmark::State& state) {
   rosa::SearchResult last;
   for (auto _ : state) {
     last = rosa::search(q);
-    benchmark::DoNotOptimize(last.states_explored);
+    benchmark::DoNotOptimize(last.stats.states);
   }
   report(state, last);
 }
@@ -63,7 +68,7 @@ static void BM_MessageCountScaling(benchmark::State& state) {
   rosa::SearchResult last;
   for (auto _ : state) {
     last = rosa::search(q);
-    benchmark::DoNotOptimize(last.states_explored);
+    benchmark::DoNotOptimize(last.stats.states);
   }
   report(state, last);
 }
@@ -105,7 +110,7 @@ static void BM_DedupOn(benchmark::State& state) {
   rosa::SearchResult last;
   for (auto _ : state) {
     last = rosa::search(q);
-    benchmark::DoNotOptimize(last.states_explored);
+    benchmark::DoNotOptimize(last.stats.states);
   }
   report(state, last);
 }
@@ -119,10 +124,64 @@ static void BM_DedupOff(benchmark::State& state) {
   rosa::SearchResult last;
   for (auto _ : state) {
     last = rosa::search(q, limits);
-    benchmark::DoNotOptimize(last.states_explored);
+    benchmark::DoNotOptimize(last.stats.states);
   }
   report(state, last);
 }
 BENCHMARK(BM_DedupOff);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// The headline throughput/compactness measurement behind BENCH_rosa.json:
+/// best-of-3 wall time for the impossible-attack space at two pool sizes,
+/// reported as states/sec and arena bytes/state. These two workloads are
+/// the fixed reference configs that perf changes are judged against.
+void write_perf_json(const std::string& path) {
+  std::vector<std::pair<std::string, double>> metrics;
+  for (int extra : {6, 8}) {
+    const rosa::Query q = impossible_query(extra);
+    rosa::SearchResult last;
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      last = rosa::search(q);
+      best = std::min(
+          best, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+    }
+    const std::string prefix = "pool_extra" + std::to_string(extra) + "_";
+    metrics.emplace_back(prefix + "states",
+                         static_cast<double>(last.stats.states));
+    metrics.emplace_back(prefix + "seconds", best);
+    metrics.emplace_back(prefix + "states_per_sec",
+                         static_cast<double>(last.stats.states) / best);
+    metrics.emplace_back(prefix + "bytes_per_state",
+                         last.stats.bytes_per_state());
+    // Representation-only footprint (sizeof(State) + per-state heap),
+    // excluding search bookkeeping — directly comparable to the seed
+    // build's ~760 B/state std::set-based representation.
+    metrics.emplace_back(
+        prefix + "state_bytes_per_state",
+        last.stats.states ? static_cast<double>(last.stats.state_bytes) /
+                                static_cast<double>(last.stats.states)
+                          : 0.0);
+  }
+  if (!pa::bench::write_json_metrics(path, metrics)) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = pa::bench::take_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_perf_json(json_path);
+  return 0;
+}

@@ -59,8 +59,8 @@ int main() {
     attacks::CellVerdict v =
         attacks::run_attack(attacks::AttackId::WriteDevMem, in, tiny, &r);
     std::cout << "  " << str::pad_right(row.name, 16) << " write-devmem: "
-              << attacks::cell_symbol(v) << " (" << r.states_explored
-              << " states, " << str::fixed(r.seconds * 1000, 2) << " ms)\n";
+              << attacks::cell_symbol(v) << " (" << r.states_explored()
+              << " states, " << str::fixed(r.seconds() * 1000, 2) << " ms)\n";
   }
   std::cout << "\nCSV (for plotting):\n"
             << privanalyzer::efficacy_to_csv(analyses);

@@ -3,9 +3,11 @@
 
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "privanalyzer/render.h"
@@ -73,12 +75,53 @@ inline void print_search_time_figure(
           : last.verdict == rosa::Verdict::Unreachable ? 'x' : 'T';
       std::cout << str::pad_right(
           str::cat(fmt_timing(t), " [", std::string(1, verdict), " ",
-                   last.states_explored, "st]"),
+                   last.states_explored(), "st]"),
           32);
     }
     std::cout << "\n";
   }
   std::cout << "\n";
+}
+
+/// Strip a `--json FILE` (or `--json=FILE`) flag from argv before handing
+/// it to google-benchmark or any other parser. Returns the path, or ""
+/// when the flag is absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    int consumed = 0;
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[i + 1];
+      consumed = 2;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(7);
+      consumed = 1;
+    }
+    if (consumed) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      return path;
+    }
+  }
+  return "";
+}
+
+/// Write a flat JSON object of numeric metrics, insertion order preserved —
+/// the machine-readable side channel the CI perf-smoke leg parses.
+inline bool write_json_metrics(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out.precision(17);
+  out << "{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i) out << ",";
+    out << "\n  \"" << metrics[i].first << "\": " << metrics[i].second;
+  }
+  out << "\n}\n";
+  return static_cast<bool>(out);
 }
 
 }  // namespace pa::bench

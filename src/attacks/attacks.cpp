@@ -112,8 +112,8 @@ void add_pools(State& st, const ScenarioInput& in, AttackId attack) {
   if (attack == AttackId::KillServer) users.insert(kServerUid);
   for (int u : in.extra_users) users.insert(u);
   for (int g : in.extra_groups) groups.insert(g);
-  st.users.assign(users.begin(), users.end());
-  st.groups.assign(groups.begin(), groups.end());
+  st.set_users(std::vector<int>(users.begin(), users.end()));
+  st.set_groups(std::vector<int>(groups.begin(), groups.end()));
 }
 
 }  // namespace
@@ -147,28 +147,34 @@ rosa::Query build_attack_query(AttackId attack, const ScenarioInput& in) {
     case AttackId::WriteDevMem: {
       // /dev (root:root 0755) containing /dev/mem (root:kmem 0640).
       q.initial.dirs.push_back(rosa::DirObj{
-          kDevDir, "/dev",
+          kDevDir,
           os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
           kDevMemFile});
       q.initial.files.push_back(rosa::FileObj{
-          kDevMemFile, "/dev/mem",
+          kDevMemFile,
           os::FileMeta{caps::kRootUid, kKmemGid, os::Mode(0640)}});
       // The /etc files every evaluated program touches; wildcard file
       // arguments range over these too, as in the paper's input files.
       q.initial.files.push_back(rosa::FileObj{
-          kShadowFile, "/etc/shadow",
+          kShadowFile,
           os::FileMeta{caps::kRootUid, 42, os::Mode(0640)}});
       q.initial.files.push_back(rosa::FileObj{
-          kPasswdFile, "/etc/passwd",
+          kPasswdFile,
           os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0644)}});
       q.initial.dirs.push_back(rosa::DirObj{
-          kEtcDir, "/etc",
+          kEtcDir,
           os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
           kShadowFile});
       q.initial.dirs.push_back(rosa::DirObj{
-          kEtcDir2, "/etc",
+          kEtcDir2,
           os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
           kPasswdFile});
+      q.initial.set_name(kDevDir, "/dev");
+      q.initial.set_name(kDevMemFile, "/dev/mem");
+      q.initial.set_name(kShadowFile, "/etc/shadow");
+      q.initial.set_name(kPasswdFile, "/etc/passwd");
+      q.initial.set_name(kEtcDir, "/etc");
+      q.initial.set_name(kEtcDir2, "/etc");
       q.goal = attack == AttackId::ReadDevMem
                    ? rosa::goal_file_in_rdfset(kVictimProc, kDevMemFile)
                    : rosa::goal_file_in_wrfset(kVictimProc, kDevMemFile);

@@ -153,8 +153,8 @@ std::string efficacy_to_markdown(
 std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
   std::ostringstream os;
   os << "program,epoch,attack,verdict,states,transitions,dedup_hits,"
-        "hash_collisions,peak_frontier,escalations,cache_hits,cache_misses,"
-        "cache_joins,seconds\n";
+        "hash_collisions,peak_frontier,peak_bytes,bytes_per_state,"
+        "escalations,cache_hits,cache_misses,cache_joins,seconds\n";
   for (const ProgramAnalysis& a : analyses) {
     for (const attacks::EpochVerdicts& ev : a.verdicts) {
       for (std::size_t atk = 0; atk < attacks::modeled_attacks().size();
@@ -165,7 +165,9 @@ std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
            << attacks::cell_symbol(ev.verdicts[atk]) << ','
            << r.stats.states << ',' << r.stats.transitions << ','
            << r.stats.dedup_hits << ',' << r.stats.hash_collisions << ','
-           << r.stats.peak_frontier << ',' << r.stats.escalations << ','
+           << r.stats.peak_frontier << ',' << r.stats.peak_bytes << ','
+           << str::fixed(r.stats.bytes_per_state(), 1) << ','
+           << r.stats.escalations << ','
            << r.stats.cache_hits << ',' << r.stats.cache_misses << ','
            << r.stats.cache_joins << ',' << str::fixed(r.stats.seconds, 6)
            << '\n';

@@ -66,14 +66,12 @@ std::string fmt_double(double v) {
 
 struct QueryCache::Entry {
   Verdict verdict = Verdict::Unreachable;
-  std::size_t states_explored = 0;
-  std::size_t transitions = 0;
-  double seconds = 0.0;
   SearchStats stats;  // cache_* fields always zero in storage
   std::vector<Action> witness;
   /// Budget signature of the run that produced the entry (rule 1).
   std::size_t sig_max_states = 0;
   double sig_max_seconds = 0.0;
+  std::size_t sig_max_bytes = 0;
   unsigned sig_rounds = 0;
   double sig_factor = 2.0;
   /// ResourceLimit entries: the decisive attempt's max_states (rule 3).
@@ -95,6 +93,7 @@ bool sig_matches(const QueryCache::Entry& e, const SearchLimits& limits,
                  const EscalationPolicy& esc) {
   return e.sig_max_states == limits.max_states &&
          e.sig_max_seconds == limits.max_seconds &&
+         e.sig_max_bytes == limits.max_bytes &&
          e.sig_rounds == (esc.enabled() ? esc.rounds : 0) &&
          (!esc.enabled() || e.sig_factor == esc.factor);
 }
@@ -103,19 +102,23 @@ bool sig_matches(const QueryCache::Entry& e, const SearchLimits& limits,
 bool reusable(const QueryCache::Entry& e, const SearchLimits& limits,
               const EscalationPolicy& esc) {
   if (sig_matches(e, limits, esc)) return true;  // rule 1
+  // Rules 2–3 reason purely in explored-state counts, so they require the
+  // request to be states-bounded only: a byte budget could trip before the
+  // state budget at a point these rules cannot predict.
+  if (limits.max_seconds != 0 || limits.max_bytes != 0) return false;
   const std::size_t bmax = max_escalated_budget(limits, esc);
   if (e.verdict == Verdict::ResourceLimit) {
     // Rule 3: equal-or-smaller pure states-bounded budgets only.
-    return limits.max_seconds == 0 && e.decisive_budget != 0 && bmax != 0 &&
-           bmax <= e.decisive_budget;
+    return e.decisive_budget != 0 && bmax != 0 && bmax <= e.decisive_budget;
   }
   // Rule 2: definite verdicts at pure states-bounded requests. A definite
   // verdict is a budget-independent fact of the fingerprint; the budget
-  // check only decides whether THIS request would have reached it.
-  if (limits.max_seconds != 0) return false;
+  // check only decides whether THIS request would have reached it — which
+  // is a question about the decisive attempt's work, not the cumulative
+  // total across escalation retries.
   if (bmax == 0) return true;
-  return e.verdict == Verdict::Reachable ? e.states_explored <= bmax
-                                         : e.states_explored < bmax;
+  return e.verdict == Verdict::Reachable ? e.stats.decisive_states <= bmax
+                                         : e.stats.decisive_states < bmax;
 }
 
 /// Build the entry for a freshly computed result, or nullopt when the
@@ -129,19 +132,20 @@ std::optional<QueryCache::Entry> make_entry(const SearchResult& r,
   if (r.verdict == Verdict::ResourceLimit) {
     e.decisive_budget =
         grow_budget(limits.max_states, esc.factor, r.stats.escalations);
-    // states_explored can only reach max_states at the in-search budget
-    // check itself, so >= proves genuine exhaustion.
-    if (e.decisive_budget == 0 || r.states_explored < e.decisive_budget)
+    // The decisive attempt's state count can only reach max_states at the
+    // in-search budget check itself, so >= proves genuine exhaustion. A
+    // ResourceLimit caused by a deadline, cancellation, or the byte budget
+    // stops short of max_states and is rejected here.
+    if (e.decisive_budget == 0 ||
+        r.stats.decisive_states < e.decisive_budget)
       return std::nullopt;
   }
-  e.states_explored = r.states_explored;
-  e.transitions = r.transitions;
-  e.seconds = r.seconds;
   e.stats = r.stats;
   e.stats.cache_hits = e.stats.cache_misses = e.stats.cache_joins = 0;
   e.witness = r.witness;
   e.sig_max_states = limits.max_states;
   e.sig_max_seconds = limits.max_seconds;
+  e.sig_max_bytes = limits.max_bytes;
   e.sig_rounds = esc.enabled() ? esc.rounds : 0;
   e.sig_factor = esc.factor;
   return e;
@@ -161,9 +165,6 @@ bool should_replace(const QueryCache::Entry& old_e,
 SearchResult result_from_entry(const QueryCache::Entry& e) {
   SearchResult r;
   r.verdict = e.verdict;
-  r.states_explored = e.states_explored;
-  r.transitions = e.transitions;
-  r.seconds = e.seconds;
   r.stats = e.stats;
   r.witness = e.witness;
   return r;
@@ -282,22 +283,28 @@ std::size_t QueryCache::size() const {
 // ---------------------------------------------------------------------------
 // Persistence. Versioned text format, all-or-nothing load:
 //
-//   privanalyzer-rosa-cache v1 model=<kRosaModelVersion>
+//   privanalyzer-rosa-cache v2 model=<kRosaModelVersion>
 //   e <fp> <verdict> <states> <transitions> <seconds> <dedup> <collisions>
-//     <peak> <escalations> <sig-max-states> <sig-max-seconds> <sig-rounds>
-//     <sig-factor> <decisive-budget> <n-witness>        (one line)
+//     <peak-frontier> <peak-bytes> <state-bytes> <escalations>
+//     <decisive-states> <sig-max-states> <sig-max-seconds> <sig-max-bytes>
+//     <sig-rounds> <sig-factor> <decisive-budget> <n-witness>  (one line)
 //   w <sys> <proc> <privs> <n-args> <args...>           (n-witness lines)
 //   end
 //
-// Any deviation — wrong version, wrong model salt, malformed line, missing
-// `end` sentinel (truncation) — rejects the whole file: a cache may always
-// be discarded, never trusted partially.
+// v2 added peak-bytes, state-bytes, sig-max-bytes, and decisive-states
+// (the final attempt's state count, which the reuse rules reason over;
+// <states> stays the cumulative across-retries total); v1 files are
+// rejected by the
+// version header like any other stale cache. Any deviation — wrong version,
+// wrong model salt, malformed line, missing `end` sentinel (truncation) —
+// rejects the whole file: a cache may always be discarded, never trusted
+// partially.
 // ---------------------------------------------------------------------------
 
 namespace {
 
 std::string header_line() {
-  return str::cat("privanalyzer-rosa-cache v1 model=", kRosaModelVersion);
+  return str::cat("privanalyzer-rosa-cache v2 model=", kRosaModelVersion);
 }
 
 std::vector<std::string_view> fields(std::string_view line) {
@@ -350,7 +357,7 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
       continue;
     }
     const std::vector<std::string_view> f = fields(line);
-    if (f.size() != 16 || f[0] != "e") return fail("malformed entry line");
+    if (f.size() != 20 || f[0] != "e") return fail("malformed entry line");
     const std::optional<Fingerprint> fp = Fingerprint::from_hex(f[1]);
     const std::optional<Verdict> verdict = parse_verdict(f[2]);
     const auto states = parse_u64(f[3]);
@@ -359,38 +366,47 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
     const auto dedup = parse_u64(f[6]);
     const auto collisions = parse_u64(f[7]);
     const auto peak = parse_u64(f[8]);
-    const auto escalations = parse_u64(f[9]);
-    const auto sig_states = parse_u64(f[10]);
-    const auto sig_seconds = parse_double(f[11]);
-    const auto sig_rounds = parse_u64(f[12]);
-    const auto sig_factor = parse_double(f[13]);
-    const auto decisive = parse_u64(f[14]);
-    const auto n_witness = parse_u64(f[15]);
+    const auto peak_bytes = parse_u64(f[9]);
+    const auto state_bytes = parse_u64(f[10]);
+    const auto escalations = parse_u64(f[11]);
+    const auto decisive_states = parse_u64(f[12]);
+    const auto sig_states = parse_u64(f[13]);
+    const auto sig_seconds = parse_double(f[14]);
+    const auto sig_bytes = parse_u64(f[15]);
+    const auto sig_rounds = parse_u64(f[16]);
+    const auto sig_factor = parse_double(f[17]);
+    const auto decisive = parse_u64(f[18]);
+    const auto n_witness = parse_u64(f[19]);
     if (!fp || !verdict || !states || !transitions || !seconds || !dedup ||
-        !collisions || !peak || !escalations || !sig_states || !sig_seconds ||
-        !sig_rounds || !sig_factor || !decisive || !n_witness ||
-        *n_witness > 4096)
+        !collisions || !peak || !peak_bytes || !state_bytes ||
+        !escalations || !decisive_states || !sig_states || !sig_seconds ||
+        !sig_bytes || !sig_rounds || !sig_factor || !decisive ||
+        !n_witness || *n_witness > 4096)
       return fail("malformed entry line");
 
     Entry e;
     e.verdict = *verdict;
-    e.states_explored = *states;
-    e.transitions = *transitions;
-    e.seconds = *seconds;
     e.stats.states = *states;
     e.stats.transitions = *transitions;
     e.stats.seconds = *seconds;
     e.stats.dedup_hits = *dedup;
     e.stats.hash_collisions = *collisions;
     e.stats.peak_frontier = *peak;
+    e.stats.peak_bytes = *peak_bytes;
+    e.stats.state_bytes = *state_bytes;
     e.stats.escalations = *escalations;
+    e.stats.decisive_states = *decisive_states;
     e.sig_max_states = *sig_states;
     e.sig_max_seconds = *sig_seconds;
+    e.sig_max_bytes = *sig_bytes;
     e.sig_rounds = static_cast<unsigned>(*sig_rounds);
     e.sig_factor = *sig_factor;
     e.decisive_budget = *decisive;
+    if (e.stats.decisive_states > e.stats.states)
+      return fail("inconsistent entry (decisive > cumulative states)");
     if (e.verdict == Verdict::ResourceLimit &&
-        (e.decisive_budget == 0 || e.states_explored < e.decisive_budget))
+        (e.decisive_budget == 0 ||
+         e.stats.decisive_states < e.decisive_budget))
       return fail("inconsistent resource-limit entry");
 
     for (std::uint64_t w = 0; w < *n_witness; ++w) {
@@ -458,12 +474,14 @@ bool QueryCache::save_file(const std::string& path,
       const Entry& e = slot->entry;
       std::string block = str::cat(
           "e ", fp.to_hex(), " ", verdict_name(e.verdict), " ",
-          e.states_explored, " ", e.transitions, " ", fmt_double(e.seconds),
-          " ", e.stats.dedup_hits, " ", e.stats.hash_collisions, " ",
-          e.stats.peak_frontier, " ", e.stats.escalations, " ",
+          e.stats.states, " ", e.stats.transitions, " ",
+          fmt_double(e.stats.seconds), " ", e.stats.dedup_hits, " ",
+          e.stats.hash_collisions, " ", e.stats.peak_frontier, " ",
+          e.stats.peak_bytes, " ", e.stats.state_bytes, " ",
+          e.stats.escalations, " ", e.stats.decisive_states, " ",
           e.sig_max_states, " ", fmt_double(e.sig_max_seconds), " ",
-          e.sig_rounds, " ", fmt_double(e.sig_factor), " ",
-          e.decisive_budget, " ", e.witness.size(), "\n");
+          e.sig_max_bytes, " ", e.sig_rounds, " ", fmt_double(e.sig_factor),
+          " ", e.decisive_budget, " ", e.witness.size(), "\n");
       for (const Action& a : e.witness) {
         block += str::cat("w ", sys_name(a.sys), " ", a.proc, " ",
                           a.privs.raw(), " ", a.args.size());

@@ -11,17 +11,18 @@
 // ## Correctness model
 //
 // A search is a deterministic function of its fingerprint plus its budget
-// signature (max_states, max_seconds, escalation rounds/factor), except
-// where wall-clock limits, batch deadlines, or cancellation intervene. The
-// reuse rules below never return a verdict the uncached path could not have
-// produced:
+// signature (max_states, max_seconds, max_bytes, escalation rounds/factor),
+// except where wall-clock limits, batch deadlines, or cancellation
+// intervene (the byte budget is capacity-accounted and thus deterministic).
+// The reuse rules below never return a verdict the uncached path could not
+// have produced:
 //
 //  1. Exact signature match → the stored result is reused verbatim and is
 //     bit-identical to what the duplicate cell would have computed
 //     (verdict, witness, and every work counter). This is the in-batch
 //     case: all cells of one run share one signature.
-//  2. Definite verdicts (Reachable/Unreachable) proved by a pure
-//     states-bounded search transfer to other pure states-bounded budgets:
+//  2. Definite verdicts (Reachable/Unreachable) transfer to pure
+//     states-bounded requests (no wall-clock or byte budget):
 //     Reachable decided at G explored states is reusable iff the request's
 //     largest escalated budget Bmax is unlimited or >= G; Unreachable
 //     decided after exhausting U states is reusable iff Bmax is unlimited

@@ -94,10 +94,10 @@ std::optional<Fingerprint> fingerprint_query(const Query& query,
   // shape the search — wildcard set*id arguments range over them — so they
   // are mixed in explicitly here.
   h.str(query.initial.canonical());
-  h.u64(query.initial.users.size());
-  for (int u : query.initial.users) h.i64(u);
-  h.u64(query.initial.groups.size());
-  for (int g : query.initial.groups) h.i64(g);
+  h.u64(query.initial.users().size());
+  for (int u : query.initial.users()) h.i64(u);
+  h.u64(query.initial.groups().size());
+  for (int g : query.initial.groups()) h.i64(g);
 
   h.u64(query.messages.size());
   for (const Message& m : query.messages) {

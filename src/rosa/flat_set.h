@@ -1,0 +1,169 @@
+// Sorted flat set of ints with a small inline buffer — the fd-set
+// representation for ROSA process objects (rdfset/wrfset).
+//
+// A process in an attack query holds at most a handful of open file ids, so
+// std::set's per-element rb-tree node (~48 heap bytes each, pointer-chasing
+// iteration) is pure overhead on the search hot path: every explored state
+// deep-copies both fd-sets, and canonical()/hash()/canonical_equal() walk
+// them. This container keeps elements sorted and unique in a contiguous
+// array, inline up to kInline elements (no allocation at all for virtually
+// every reachable state) and heap-backed beyond that. Iteration yields
+// ascending order, exactly like std::set<int>, so canonical forms are
+// unchanged (tests/rosa_flat_set_test.cpp holds it to the std::set
+// reference semantics under randomized operation sequences).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace pa::rosa {
+
+class FlatIntSet {
+ public:
+  using value_type = int;
+  using const_iterator = const int*;
+
+  /// Elements stored inline before the first heap allocation. Attack-query
+  /// states open at most a couple of files (messages are one-shot), so four
+  /// slots cover virtually every reachable state while keeping the whole
+  /// container to 32 bytes — two of them fit in a cache line per process.
+  static constexpr std::size_t kInline = 4;
+
+  FlatIntSet() = default;
+
+  FlatIntSet(std::initializer_list<int> xs) {
+    for (int x : xs) insert(x);
+  }
+
+  FlatIntSet(const FlatIntSet& other) { copy_from(other); }
+
+  FlatIntSet(FlatIntSet&& other) noexcept { steal_from(other); }
+
+  FlatIntSet& operator=(const FlatIntSet& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  FlatIntSet& operator=(FlatIntSet&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~FlatIntSet() { release(); }
+
+  /// Insert keeping sorted order; true if the element was new.
+  bool insert(int v) {
+    int* d = data();
+    int* pos = std::lower_bound(d, d + size_, v);
+    if (pos != d + size_ && *pos == v) return false;
+    const std::size_t idx = static_cast<std::size_t>(pos - d);
+    if (size_ == cap_) {
+      grow();
+      d = data();
+    }
+    std::memmove(d + idx + 1, d + idx, (size_ - idx) * sizeof(int));
+    d[idx] = v;
+    ++size_;
+    return true;
+  }
+
+  /// Remove an element; true if it was present.
+  bool erase(int v) {
+    int* d = data();
+    int* pos = std::lower_bound(d, d + size_, v);
+    if (pos == d + size_ || *pos != v) return false;
+    const std::size_t idx = static_cast<std::size_t>(pos - d);
+    std::memmove(d + idx, d + idx + 1, (size_ - idx - 1) * sizeof(int));
+    --size_;
+    return true;
+  }
+
+  bool contains(int v) const {
+    const int* d = data();
+    return std::binary_search(d, d + size_, v);
+  }
+
+  /// std::set-compatible count(): 0 or 1.
+  std::size_t count(int v) const { return contains(v) ? 1 : 0; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    release();
+    size_ = 0;
+    cap_ = kInline;
+  }
+
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  bool operator==(const FlatIntSet& other) const {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+  /// Heap bytes owned beyond the object itself (memory accounting for the
+  /// search arena; zero while the inline buffer suffices).
+  std::size_t heap_bytes() const {
+    return heap_ ? cap_ * sizeof(int) : 0;
+  }
+
+ private:
+  int* data() { return heap_ ? heap_ : small_; }
+  const int* data() const { return heap_ ? heap_ : small_; }
+
+  void grow() {
+    const std::size_t new_cap = cap_ * 2;
+    int* n = new int[new_cap];
+    std::memcpy(n, data(), size_ * sizeof(int));
+    release();
+    heap_ = n;
+    cap_ = static_cast<std::uint32_t>(new_cap);
+  }
+
+  void copy_from(const FlatIntSet& other) {
+    size_ = other.size_;
+    if (other.heap_) {
+      // Tight allocation: copies made per explored state should not inherit
+      // the source's growth slack.
+      cap_ = std::max<std::uint32_t>(size_, 1);
+      heap_ = new int[cap_];
+      std::memcpy(heap_, other.heap_, size_ * sizeof(int));
+    } else {
+      heap_ = nullptr;
+      cap_ = kInline;
+      std::memcpy(small_, other.small_, size_ * sizeof(int));
+    }
+  }
+
+  void steal_from(FlatIntSet& other) noexcept {
+    size_ = other.size_;
+    cap_ = other.cap_;
+    heap_ = other.heap_;
+    if (!other.heap_) std::memcpy(small_, other.small_, size_ * sizeof(int));
+    other.heap_ = nullptr;
+    other.size_ = 0;
+    other.cap_ = kInline;
+  }
+
+  void release() {
+    delete[] heap_;
+    heap_ = nullptr;
+  }
+
+  int small_[kInline] = {};
+  int* heap_ = nullptr;  // nullptr = inline storage in use
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = kInline;
+};
+
+}  // namespace pa::rosa

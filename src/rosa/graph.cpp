@@ -75,12 +75,12 @@ StateGraph explore_graph(const Query& query, std::size_t max_states) {
 
   State init = query.initial;
   init.normalize();
-  init.msgs_remaining =
+  init.set_msgs_remaining(
       query.messages.empty()
           ? 0
           : (query.messages.size() == 64
                  ? ~std::uint64_t{0}
-                 : (std::uint64_t{1} << query.messages.size()) - 1);
+                 : (std::uint64_t{1} << query.messages.size()) - 1));
 
   std::vector<State> states{init};
   std::unordered_map<std::string, std::size_t> seen{{init.canonical(), 0}};
@@ -96,7 +96,7 @@ StateGraph explore_graph(const Query& query, std::size_t max_states) {
 
     for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
       const std::uint64_t bit = std::uint64_t{1} << mi;
-      if (!(cur_state.msgs_remaining & bit)) continue;
+      if (!(cur_state.msgs_remaining() & bit)) continue;
       // Mirror search(): CFI-ordered attackers consume messages in program
       // order only.
       if (query.attacker == AttackerModel::CfiOrdered) {
@@ -105,11 +105,11 @@ StateGraph explore_graph(const Query& query, std::size_t max_states) {
             later & (query.messages.size() == 64
                          ? ~std::uint64_t{0}
                          : (std::uint64_t{1} << query.messages.size()) - 1);
-        if ((cur_state.msgs_remaining & in_range) != in_range) continue;
+        if ((cur_state.msgs_remaining() & in_range) != in_range) continue;
       }
       for (Transition& tr :
            apply_message(cur_state, query.messages[mi], query.attacker, ck)) {
-        tr.next.msgs_remaining = cur_state.msgs_remaining & ~bit;
+        tr.next.set_msgs_remaining(cur_state.msgs_remaining() & ~bit);
         std::string key = tr.next.canonical();
         auto [it, inserted] = seen.emplace(std::move(key), states.size());
         if (inserted) {

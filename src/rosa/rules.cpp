@@ -1,5 +1,7 @@
 #include "rosa/rules.h"
 
+#include <cassert>
+
 #include "rosa/checker.h"
 
 #include "support/error.h"
@@ -59,7 +61,11 @@ std::vector<int> dangling_dir_ids(const State& st) {
 }
 
 void emit(std::vector<Transition>& out, State next, Action action) {
-  next.normalize();
+  // Successors are normalized by construction: the rules mutate objects in
+  // place (id order untouched) and new objects take next_object_id(), which
+  // exceeds every existing id. Re-sorting here would discard the
+  // incrementally maintained digest, so verify instead of normalize.
+  assert(next.is_normalized());
   out.push_back(Transition{std::move(next), std::move(action)});
 }
 
@@ -86,10 +92,12 @@ void rule_open(const State& st, const Message& m, const ProcObj& p,
           !ck.file_access(creds, m.privs, f->meta, AccessKind::Write))
         continue;
       State next = st;
-      ProcObj* np = next.find_proc(p.id);
-      bool changed = false;
-      if (mode & kAccRead) changed |= np->rdfset.insert(fid).second;
-      if (mode & kAccWrite) changed |= np->wrfset.insert(fid).second;
+      const bool changed = next.mutate_proc(p.id, [&](ProcObj& np) {
+        bool c = false;
+        if (mode & kAccRead) c |= np.rdfset.insert(fid);
+        if (mode & kAccWrite) c |= np.wrfset.insert(fid);
+        return c;
+      });
       if (!changed) continue;
       emit(out, std::move(next),
            Action{Sys::Open, p.id, {fid, mode}, m.privs});
@@ -116,7 +124,7 @@ void rule_chmod(const State& st, const Message& m, const ProcObj& p,
     os::Mode new_mode(static_cast<std::uint16_t>(mode_bits));
     if (f->meta.mode == new_mode) continue;
     State next = st;
-    next.find_file(fid)->meta.mode = new_mode;
+    next.mutate_file(fid, [&](FileObj& nf) { nf.meta.mode = new_mode; });
     emit(out, std::move(next),
          Action{through_fd ? Sys::Fchmod : Sys::Chmod, p.id,
                 {fid, mode_bits}, m.privs});
@@ -135,17 +143,18 @@ void rule_chown(const State& st, const Message& m, const ProcObj& p,
     } else {
       if (!path_ok(st, creds, m.privs, fid, ck)) continue;
     }
-    for (int owner : expand(m.args[1], st.users, model)) {
-      for (int group : expand(m.args[2], st.groups, model)) {
+    for (int owner : expand(m.args[1], st.users(), model)) {
+      for (int group : expand(m.args[2], st.groups(), model)) {
         if (!ck.can_chown(creds, m.privs, f->meta, owner, group)) continue;
         if (owner == f->meta.owner && group == f->meta.group) continue;
         State next = st;
-        FileObj* nf = next.find_file(fid);
-        nf->meta.owner = owner;
-        nf->meta.group = group;
-        // chown clears setuid/setgid, as in the kernel.
-        nf->meta.mode = os::Mode(
-            nf->meta.mode.bits() & ~(os::Mode::kSetuid | os::Mode::kSetgid));
+        next.mutate_file(fid, [&](FileObj& nf) {
+          nf.meta.owner = owner;
+          nf.meta.group = group;
+          // chown clears setuid/setgid, as in the kernel.
+          nf.meta.mode = os::Mode(
+              nf.meta.mode.bits() & ~(os::Mode::kSetuid | os::Mode::kSetgid));
+        });
         emit(out, std::move(next),
              Action{through_fd ? Sys::Fchown : Sys::Chown, p.id,
                     {fid, owner, group}, m.privs});
@@ -166,7 +175,7 @@ void rule_unlink(const State& st, const Message& m, const ProcObj& p,
     if (!dir) continue;
     if (!ck.can_unlink(creds, m.privs, dir->meta, f->meta)) continue;
     State next = st;
-    next.find_dir(dir->id)->inode = -1;
+    next.mutate_dir(dir->id, [](DirObj& nd) { nd.inode = -1; });
     emit(out, std::move(next), Action{Sys::Unlink, p.id, {fid}, m.privs});
   }
 }
@@ -188,8 +197,9 @@ void rule_rename(const State& st, const Message& m, const ProcObj& p,
       if (!ck.can_unlink(creds, m.privs, fd->meta, ff->meta)) continue;
       if (!ck.can_unlink(creds, m.privs, td->meta, tf->meta)) continue;
       State next = st;
-      next.find_dir(td->id)->inode = from;  // target entry now names `from`
-      next.find_dir(fd->id)->inode = -1;    // source entry is gone
+      // Target entry now names `from`; the source entry is gone.
+      next.mutate_dir(td->id, [&](DirObj& nd) { nd.inode = from; });
+      next.mutate_dir(fd->id, [](DirObj& nd) { nd.inode = -1; });
       emit(out, std::move(next),
            Action{Sys::Rename, p.id, {from, to}, m.privs});
     }
@@ -212,11 +222,11 @@ void rule_creat(const State& st, const Message& m, const ProcObj& p,
     State next = st;
     FileObj nf;
     nf.id = next.next_object_id();
-    nf.name = "(created)";
     nf.meta = os::FileMeta{creds.uid.effective, creds.gid.effective,
                            os::Mode(static_cast<std::uint16_t>(mode_bits))};
-    next.files.push_back(nf);
-    next.find_dir(did)->inode = nf.id;
+    const int new_id = nf.id;
+    next.add_file(std::move(nf));
+    next.mutate_dir(did, [&](DirObj& nd) { nd.inode = new_id; });
     emit(out, std::move(next),
          Action{Sys::Creat, p.id, {did, mode_bits}, m.privs});
   }
@@ -239,7 +249,7 @@ void rule_link(const State& st, const Message& m, const ProcObj& p,
       if (!ck.file_access(creds, m.privs, dir->meta, AccessKind::Write))
         continue;
       State next = st;
-      next.find_dir(did)->inode = fid;
+      next.mutate_dir(did, [&](DirObj& nd) { nd.inode = fid; });
       emit(out, std::move(next),
            Action{Sys::Link, p.id, {fid, did}, m.privs});
     }
@@ -251,7 +261,7 @@ void rule_set_id(const State& st, const Message& m, const ProcObj& p,
                  AttackerModel model, const AccessChecker& ck,
                  bool is_uid, ApplyFn apply,
                  std::vector<Transition>& out) {
-  const std::vector<int>& pool = is_uid ? st.users : st.groups;
+  const std::vector<int>& pool = is_uid ? st.users() : st.groups();
   const bool privileged = ck.setid_privileged(p.creds(), m.privs, is_uid);
   // Wildcards range over the declared user/group objects; -1 additionally
   // means "keep" for the setres* forms (tried via the pool, which always
@@ -266,8 +276,8 @@ void rule_set_id(const State& st, const Message& m, const ProcObj& p,
       if (apply(t, pick, privileged) != caps::CredChange::Ok) return;
       if (t == (is_uid ? p.uid : p.gid)) return;
       State next = st;
-      ProcObj* np = next.find_proc(p.id);
-      (is_uid ? np->uid : np->gid) = t;
+      next.mutate_proc(p.id,
+                       [&](ProcObj& np) { (is_uid ? np.uid : np.gid) = t; });
       emit(out, std::move(next), Action{m.sys, p.id, pick, m.privs});
       return;
     }
@@ -298,7 +308,7 @@ void rule_kill(const State& st, const Message& m, const ProcObj& p,
     if (!ck.can_kill(creds, m.privs, t->uid)) continue;
     if (signo != 9) continue;  // only SIGKILL changes modelled state
     State next = st;
-    next.find_proc(tid)->running = false;
+    next.mutate_proc(tid, [](ProcObj& np) { np.running = false; });
     emit(out, std::move(next),
          Action{Sys::Kill, p.id, {tid, signo}, m.privs});
   }
@@ -314,7 +324,7 @@ void rule_socket(const State& st, const Message& m, const ProcObj& p,
   SockObj s;
   s.id = next.next_object_id();
   s.owner_proc = p.id;
-  next.socks.push_back(s);
+  next.add_sock(s);
   emit(out, std::move(next), Action{Sys::Socket, p.id, {type}, m.privs});
 }
 
@@ -338,7 +348,7 @@ void rule_bind(const State& st, const Message& m, const ProcObj& p,
       if (!ck.can_bind(creds, m.privs, port)) continue;
       if (st.port_in_use(port)) continue;
       State next = st;
-      next.find_sock(sid)->port = port;
+      next.mutate_sock(sid, [&](SockObj& ns) { ns.port = port; });
       emit(out, std::move(next),
            Action{Sys::Bind, p.id, {sid, port}, m.privs});
     }

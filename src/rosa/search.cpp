@@ -1,5 +1,6 @@
 #include "rosa/search.h"
 
+#include "rosa/arena.h"
 #include "rosa/cache.h"
 #include "rosa/rules.h"
 
@@ -36,7 +37,10 @@ void SearchStats::merge(const SearchStats& other) {
   dedup_hits += other.dedup_hits;
   hash_collisions += other.hash_collisions;
   peak_frontier = std::max(peak_frontier, other.peak_frontier);
+  peak_bytes = std::max(peak_bytes, other.peak_bytes);
+  state_bytes += other.state_bytes;
   escalations += other.escalations;
+  decisive_states += other.decisive_states;
   seconds += other.seconds;
   cache_hits += other.cache_hits;
   cache_misses += other.cache_misses;
@@ -48,6 +52,7 @@ std::string SearchStats::to_string() const {
                   " dedup-hits=", dedup_hits,
                   " hash-collisions=", hash_collisions,
                   " peak-frontier=", peak_frontier,
+                  " peak-bytes=", peak_bytes,
                   " escalations=", escalations, " cache-hits=", cache_hits,
                   " cache-misses=", cache_misses, " cache-joins=", cache_joins,
                   " time=", str::fixed(seconds, 3), "s");
@@ -55,9 +60,9 @@ std::string SearchStats::to_string() const {
 
 std::string SearchResult::to_string() const {
   std::string out =
-      str::cat(verdict_name(verdict), " states=", states_explored,
-               " transitions=", transitions, " time=",
-               str::fixed(seconds, 3), "s");
+      str::cat(verdict_name(verdict), " states=", stats.states,
+               " transitions=", stats.transitions, " time=",
+               str::fixed(stats.seconds, 3), "s");
   if (!witness.empty()) {
     out += "\n  solution:";
     for (const Action& step : witness) out += "\n    " + step.to_string();
@@ -89,7 +94,10 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
     /// this intrusive chain instead of allocating per-key buckets.
     std::int64_t hash_next = -1;
   };
-  std::vector<Node> nodes;
+  // Chunked arena: node addresses are stable across appends (no whole-array
+  // reallocation), and bytes() gives the footprint SearchLimits::max_bytes
+  // bounds and SearchStats::peak_bytes reports.
+  Arena<Node> nodes;
   // Hash of canonical form -> head of the Node chain with that hash. Keying
   // on 8-byte digests instead of full canonical() strings removes one string
   // build + hash per generated successor; exactness is restored by
@@ -97,31 +105,52 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
   std::unordered_map<std::uint64_t, std::size_t> seen;
   std::deque<std::size_t> frontier;
 
-  // Size the node arena and seen-set for the typical attack query up front
-  // so early growth never reallocates; both still grow for the huge
-  // exhaustive searches.
+  // Size the seen-set for the typical attack query up front so early growth
+  // never rehashes; it still grows for the huge exhaustive searches.
   const std::size_t reserve_hint =
       limits.max_states ? std::min<std::size_t>(limits.max_states, 4096)
                         : 4096;
-  nodes.reserve(reserve_hint);
   seen.reserve(reserve_hint);
 
   auto state_key = [&limits](const State& st) {
+    if (limits.check_hashes)
+      PA_CHECK(st.hash() == st.full_hash(),
+               "incremental state digest diverged from full rehash");
     return limits.hash_override ? limits.hash_override(st) : st.hash();
   };
 
-  State init = query.initial;
-  init.normalize();
-  init.msgs_remaining =
+  const std::uint64_t full_msg_mask =
       query.messages.empty()
           ? 0
           : (query.messages.size() == 64
                  ? ~std::uint64_t{0}
                  : (std::uint64_t{1} << query.messages.size()) - 1);
 
+  State init = query.initial;
+  init.normalize();
+  init.set_msgs_remaining(full_msg_mask);
+
+  // Byte accounting: the shared world skeleton is charged once per search
+  // (every node references the same instance), each node's own heap
+  // allocations are registered with the arena as it is appended. The
+  // accounting is capacity-based and allocator-independent, so max_bytes
+  // exhaustion is deterministic.
+  std::size_t skeleton_bytes = 0;
+  if (const auto& world = init.world()) {
+    skeleton_bytes = sizeof(WorldSkeleton) +
+                     world->names.capacity() *
+                         sizeof(std::pair<int, std::string>) +
+                     (world->users.capacity() + world->groups.capacity()) *
+                         sizeof(int);
+    for (const auto& [id, name] : world->names)
+      skeleton_bytes += name.capacity() > 15 ? name.capacity() + 1 : 0;
+  }
+  auto arena_bytes = [&] { return skeleton_bytes + nodes.bytes(); };
+
   auto finish = [&](Verdict v, std::int64_t goal_node) {
     result.verdict = v;
-    result.seconds = elapsed();
+    result.stats.seconds = elapsed();
+    result.stats.decisive_states = result.stats.states;
     if (goal_node >= 0) {
       std::vector<Action> steps;
       for (std::int64_t n = goal_node; n > 0;
@@ -129,18 +158,21 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
         steps.push_back(nodes[static_cast<std::size_t>(n)].action);
       result.witness.assign(steps.rbegin(), steps.rend());
     }
-    result.stats.states = result.states_explored;
-    result.stats.transitions = result.transitions;
-    result.stats.seconds = result.seconds;
     return result;
   };
 
-  nodes.push_back(Node{init, -1, Action{}, -1});
-  seen.emplace(state_key(init), 0);
-  frontier.push_back(0);
-  result.states_explored = 1;
-  result.stats.peak_frontier = 1;
-  if (query.goal(init)) return finish(Verdict::Reachable, 0);
+  {
+    const std::uint64_t init_key = state_key(init);
+    Node& root = nodes.push_back(Node{std::move(init), -1, Action{}, -1});
+    nodes.add_bytes(root.state.heap_bytes());
+    result.stats.state_bytes = sizeof(State) + root.state.heap_bytes();
+    seen.emplace(init_key, 0);
+    frontier.push_back(0);
+    result.stats.states = 1;
+    result.stats.peak_frontier = 1;
+    result.stats.peak_bytes = arena_bytes();
+    if (query.goal(root.state)) return finish(Verdict::Reachable, 0);
+  }
 
   // Hoisted out of the pop loop: the checker never changes mid-search, and
   // the successor scratch vector keeps its capacity across every
@@ -160,10 +192,10 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
 
     const std::size_t cur = frontier.front();
     frontier.pop_front();
-    // `nodes` may reallocate as successors are appended, so the popped
-    // state is re-fetched by index where needed; only its (cheap) message
-    // mask is kept across the whole pop instead of deep-copying the State.
-    const std::uint64_t cur_msgs = nodes[cur].state.msgs_remaining;
+    // Arena addresses are stable, so the popped node's state can be
+    // referenced across successor appends without re-fetching by index.
+    const State& cur_state = nodes[cur].state;
+    const std::uint64_t cur_msgs = cur_state.msgs_remaining();
 
     for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
       const std::uint64_t bit = std::uint64_t{1} << mi;
@@ -173,22 +205,16 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
       // i is usable only while every later message is still unconsumed
       // (skipping forward is allowed, going back is not).
       if (query.attacker == AttackerModel::CfiOrdered) {
-        const std::uint64_t later = ~((bit << 1) - 1);
-        const std::uint64_t later_in_range =
-            later & (query.messages.size() == 64
-                         ? ~std::uint64_t{0}
-                         : (std::uint64_t{1} << query.messages.size()) - 1);
+        const std::uint64_t later_in_range = ~((bit << 1) - 1) & full_msg_mask;
         if ((cur_msgs & later_in_range) != later_in_range)
           continue;
       }
 
-      // apply_message reads the state before any push_back below can
-      // invalidate the reference.
-      apply_message(nodes[cur].state, query.messages[mi], query.attacker, ck,
+      apply_message(cur_state, query.messages[mi], query.attacker, ck,
                     scratch);
       for (Transition& tr : scratch) {
-        ++result.transitions;
-        tr.next.msgs_remaining = cur_msgs & ~bit;
+        ++result.stats.transitions;
+        tr.next.set_msgs_remaining(cur_msgs & ~bit);
 
         const std::size_t ni = nodes.size();
         if (!limits.no_dedup) {
@@ -215,14 +241,23 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
             nodes[idx].hash_next = static_cast<std::int64_t>(ni);
           }
         }
-        nodes.push_back(Node{std::move(tr.next), static_cast<std::int64_t>(cur),
-                             std::move(tr.action), -1});
-        ++result.states_explored;
+        Node& added =
+            nodes.push_back(Node{std::move(tr.next),
+                                 static_cast<std::int64_t>(cur),
+                                 std::move(tr.action), -1});
+        nodes.add_bytes(added.state.heap_bytes() +
+                        added.action.args.capacity() * sizeof(int));
+        result.stats.state_bytes += sizeof(State) + added.state.heap_bytes();
+        ++result.stats.states;
+        result.stats.peak_bytes =
+            std::max(result.stats.peak_bytes, arena_bytes());
 
-        if (query.goal(nodes[ni].state))
+        if (query.goal(added.state))
           return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
 
-        if (limits.max_states && result.states_explored >= limits.max_states)
+        if (limits.max_states && result.stats.states >= limits.max_states)
+          return finish(Verdict::ResourceLimit, -1);
+        if (limits.max_bytes && arena_bytes() > limits.max_bytes)
           return finish(Verdict::ResourceLimit, -1);
         frontier.push_back(ni);
         result.stats.peak_frontier =
@@ -249,6 +284,9 @@ SearchResult search_escalating(const Query& query, const SearchLimits& limits,
       grown.max_states = static_cast<std::size_t>(
           static_cast<double>(grown.max_states) * policy.factor);
     if (grown.max_seconds > 0) grown.max_seconds *= policy.factor;
+    if (grown.max_bytes)
+      grown.max_bytes = static_cast<std::size_t>(
+          static_cast<double>(grown.max_bytes) * policy.factor);
     result = search(query, grown);
     accumulated.escalations += 1;
     accumulated.states += result.stats.states;
@@ -257,9 +295,14 @@ SearchResult search_escalating(const Query& query, const SearchLimits& limits,
     accumulated.hash_collisions += result.stats.hash_collisions;
     accumulated.peak_frontier =
         std::max(accumulated.peak_frontier, result.stats.peak_frontier);
+    accumulated.peak_bytes =
+        std::max(accumulated.peak_bytes, result.stats.peak_bytes);
+    accumulated.state_bytes += result.stats.state_bytes;
     accumulated.seconds += result.stats.seconds;
   }
-  // The decisive attempt's verdict/witness with whole-query work accounting.
+  // The decisive attempt's verdict/witness with whole-query work accounting;
+  // decisive_states alone tracks the final attempt, not the sum.
+  accumulated.decisive_states = result.stats.decisive_states;
   result.stats = accumulated;
   return result;
 }

@@ -88,8 +88,19 @@ struct SearchLimits {
   /// Wall-clock budget in seconds (0 = unlimited). Checked once per frontier
   /// pop, so even huge-frontier/tiny-fanout searches respect the budget.
   double max_seconds = 0.0;
+  /// Memory budget in bytes for the search's node arena (0 = unlimited).
+  /// Exceeding it returns ResourceLimit, exactly like max_states. The
+  /// accounting is capacity-based (arena chunks + per-state heap bytes), not
+  /// allocator-dependent, so byte-budget exhaustion is deterministic and
+  /// search_escalating() can grow this budget geometrically like the others.
+  std::size_t max_bytes = 0;
   /// Disable duplicate-state detection (ablation only; exponential blowup).
   bool no_dedup = false;
+  /// Debug mode: cross-check every incrementally maintained state digest
+  /// against a from-scratch State::full_hash() and abort on mismatch. Costs
+  /// a full rehash per generated successor; tests enable it to pin the
+  /// incremental XOR updates to the reference hash.
+  bool check_hashes = false;
   /// Test hook: replace State::hash() as the dedup key (e.g. a constant to
   /// force every insert through the collision-fallback path). Verdicts must
   /// not change under any override (tests/rosa_hash_test.cpp).
@@ -145,8 +156,33 @@ struct SearchStats {
   std::size_t dedup_hits = 0;       // successors pruned as already seen
   std::size_t hash_collisions = 0;  // distinct states sharing a 64-bit key
   std::size_t peak_frontier = 0;    // high-water mark of the BFS queue
+  /// High-water mark of the node arena in bytes (chunk reservations plus
+  /// per-state heap allocations); the arena only grows, so this is simply
+  /// its final size. Aggregated across queries by max, like peak_frontier.
+  std::size_t peak_bytes = 0;
+  /// Representation-only footprint: sum over explored states of
+  /// sizeof(State) plus the state's own heap bytes. Excludes search
+  /// bookkeeping (parent/collision links, stored actions, chunk reservation
+  /// slack), so state_bytes / states measures how compact the state
+  /// *representation* is, independently of the arena around it.
+  std::size_t state_bytes = 0;
   std::size_t escalations = 0;      // budget-doubled retries after ResourceLimit
+  /// States explored by the decisive (final) attempt. Equal to `states`
+  /// except under escalation, where `states` accumulates work across every
+  /// retry while this keeps the count of the attempt whose verdict the
+  /// result carries. The verdict cache's reuse rules reason over this:
+  /// "would a smaller budget have reached the same verdict" is a question
+  /// about one attempt, not about the sum of all retries (rosa/cache.cpp).
+  std::size_t decisive_states = 0;
   double seconds = 0.0;             // wall time
+
+  /// Average arena bytes per explored state (0 when nothing was explored) —
+  /// the memory-compactness figure bench_rosa_scaling reports.
+  double bytes_per_state() const {
+    return states ? static_cast<double>(peak_bytes) /
+                        static_cast<double>(states)
+                  : 0.0;
+  }
   /// Verdict-cache counters (rosa/cache.h). For a memoized query exactly one
   /// of cache_hits / cache_misses is 1 (uncacheable queries leave both 0);
   /// cache_joins marks a worker that blocked on another worker already
@@ -165,15 +201,17 @@ struct SearchStats {
 
 struct SearchResult {
   Verdict verdict = Verdict::Unreachable;
-  std::size_t states_explored = 0;
-  std::size_t transitions = 0;
-  double seconds = 0.0;
-  /// Extended counters; states/transitions/seconds mirror the fields above.
+  /// All work counters live here — single source of truth (the old
+  /// states_explored/transitions/seconds members duplicated stats.*).
   SearchStats stats;
   /// When Reachable: the instantiated syscall sequence that compromises the
   /// system (the paper's "solution"). Machine-readable Actions; replayable
   /// against the SimOS kernel (tests/witness_replay_test.cpp).
   std::vector<Action> witness;
+
+  std::size_t states_explored() const { return stats.states; }
+  std::size_t transitions() const { return stats.transitions; }
+  double seconds() const { return stats.seconds; }
 
   std::string to_string() const;
 };

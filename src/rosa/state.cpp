@@ -22,7 +22,50 @@ const T* find_by_id(const std::vector<T>& v, int id) {
   return nullptr;
 }
 
+const std::vector<int>& empty_pool() {
+  static const std::vector<int> empty;
+  return empty;
+}
+
+/// splitmix64 finalizer — the per-field mixer for object sub-hashes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Sequentially chain a field into an object sub-hash. Order within one
+/// object matters (like canonical()'s field order); objects themselves are
+/// combined by XOR, so the state digest is order-independent across objects
+/// — which is what makes the incremental XOR-out/XOR-in update sound.
+std::uint64_t chain(std::uint64_t h, std::uint64_t v) {
+  return mix64(h ^ v);
+}
+
+// Distinct seeds per object kind so a proc and a file with equal fields
+// cannot share a sub-hash.
+constexpr std::uint64_t kProcSeed = 0x50726f63ull;  // "Proc"
+constexpr std::uint64_t kFileSeed = 0x46696c65ull;  // "File"
+constexpr std::uint64_t kDirSeed = 0x446972ull;     // "Dir"
+constexpr std::uint64_t kSockSeed = 0x536f636bull;  // "Sock"
+constexpr std::uint64_t kMsgSeed = 0x4d736773ull;   // "Msgs"
+
 }  // namespace
+
+bool State::operator==(const State& other) const {
+  if (msgs_remaining_ != other.msgs_remaining_) return false;
+  if (procs != other.procs || files != other.files || dirs != other.dirs ||
+      socks != other.socks)
+    return false;
+  // Skeletons compare by contents (null == empty-by-contents only if both
+  // report the same pools and names).
+  if (world_ == other.world_) return true;
+  static const WorldSkeleton empty;
+  const WorldSkeleton& a = world_ ? *world_ : empty;
+  const WorldSkeleton& b = other.world_ ? *other.world_ : empty;
+  return a == b;
+}
 
 ProcObj* State::find_proc(int id) { return find_by_id(procs, id); }
 const ProcObj* State::find_proc(int id) const { return find_by_id(procs, id); }
@@ -54,32 +97,138 @@ int State::next_object_id() const {
   return max_id + 1;
 }
 
+void State::set_msgs_remaining(std::uint64_t m) {
+  if (digest_valid_) {
+    digest_ ^= chain(kMsgSeed, msgs_remaining_);
+    digest_ ^= chain(kMsgSeed, m);
+  }
+  msgs_remaining_ = m;
+}
+
+const std::vector<int>& State::users() const {
+  return world_ ? world_->users : empty_pool();
+}
+
+const std::vector<int>& State::groups() const {
+  return world_ ? world_->groups : empty_pool();
+}
+
+WorldSkeleton& State::mutable_world() {
+  // Copy-on-write: never mutate a skeleton other states may share.
+  auto w = world_ ? std::make_shared<WorldSkeleton>(*world_)
+                  : std::make_shared<WorldSkeleton>();
+  WorldSkeleton& ref = *w;
+  world_ = std::move(w);
+  return ref;
+}
+
+void State::set_users(std::vector<int> us) {
+  mutable_world().users = std::move(us);
+}
+
+void State::set_groups(std::vector<int> gs) {
+  mutable_world().groups = std::move(gs);
+}
+
+void State::add_user(int u) { mutable_world().users.push_back(u); }
+
+void State::add_group(int g) { mutable_world().groups.push_back(g); }
+
+void State::set_name(int id, std::string name) {
+  WorldSkeleton& w = mutable_world();
+  auto it = std::lower_bound(
+      w.names.begin(), w.names.end(), id,
+      [](const std::pair<int, std::string>& p, int key) { return p.first < key; });
+  if (it != w.names.end() && it->first == id)
+    it->second = std::move(name);
+  else
+    w.names.insert(it, {id, std::move(name)});
+}
+
+const std::string& State::name_of(int id) const {
+  // Objects materialized mid-search (creat) have no skeleton entry; render
+  // them the way rule_creat used to label them.
+  static const std::string created = "(created)";
+  if (!world_) return created;
+  auto it = std::lower_bound(
+      world_->names.begin(), world_->names.end(), id,
+      [](const std::pair<int, std::string>& p, int key) { return p.first < key; });
+  if (it != world_->names.end() && it->first == id) return it->second;
+  return created;
+}
+
+void State::add_file(FileObj f) {
+  if (digest_valid_) digest_ ^= file_subhash(f);
+  files.push_back(std::move(f));
+}
+
+void State::add_sock(SockObj s) {
+  if (digest_valid_) digest_ ^= sock_subhash(s);
+  socks.push_back(std::move(s));
+}
+
 void State::normalize() {
   auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
   std::sort(procs.begin(), procs.end(), by_id);
   std::sort(files.begin(), files.end(), by_id);
   std::sort(dirs.begin(), dirs.end(), by_id);
   std::sort(socks.begin(), socks.end(), by_id);
-  std::sort(users.begin(), users.end());
-  std::sort(groups.begin(), groups.end());
+  if (world_ && (!std::is_sorted(world_->users.begin(), world_->users.end()) ||
+                 !std::is_sorted(world_->groups.begin(),
+                                 world_->groups.end()))) {
+    WorldSkeleton& w = mutable_world();
+    std::sort(w.users.begin(), w.users.end());
+    std::sort(w.groups.begin(), w.groups.end());
+  }
   for (ProcObj& p : procs) {
     std::sort(p.supplementary.begin(), p.supplementary.end());
     p.supplementary.erase(
         std::unique(p.supplementary.begin(), p.supplementary.end()),
         p.supplementary.end());
   }
+  digest_valid_ = false;
+}
+
+bool State::is_normalized() const {
+  auto by_id = [](const auto& a, const auto& b) { return a.id < b.id; };
+  if (!std::is_sorted(procs.begin(), procs.end(), by_id) ||
+      !std::is_sorted(files.begin(), files.end(), by_id) ||
+      !std::is_sorted(dirs.begin(), dirs.end(), by_id) ||
+      !std::is_sorted(socks.begin(), socks.end(), by_id))
+    return false;
+  if (world_ && (!std::is_sorted(world_->users.begin(), world_->users.end()) ||
+                 !std::is_sorted(world_->groups.begin(), world_->groups.end())))
+    return false;
+  for (const ProcObj& p : procs) {
+    if (!std::is_sorted(p.supplementary.begin(), p.supplementary.end()))
+      return false;
+    if (std::adjacent_find(p.supplementary.begin(), p.supplementary.end()) !=
+        p.supplementary.end())
+      return false;
+  }
+  return true;
 }
 
 std::string State::canonical() const {
   // Object vectors are sorted by id (normalize()); serialize compactly.
+  // The reserve is an object-count-derived estimate of the final length
+  // (worst-case ~12 chars per numeric field) so typical states serialize
+  // with a single allocation.
   std::string out;
-  out.reserve(128);
+  std::size_t fd_entries = 0;
+  std::size_t supp_entries = 0;
+  for (const ProcObj& p : procs) {
+    fd_entries += p.rdfset.size() + p.wrfset.size();
+    supp_entries += p.supplementary.size();
+  }
+  out.reserve(24 + procs.size() * 60 + (fd_entries + supp_entries) * 8 +
+              files.size() * 32 + dirs.size() * 40 + socks.size() * 24);
   auto num = [&out](long long v) {
     out += std::to_string(v);
     out += ',';
   };
   out += 'M';
-  num(static_cast<long long>(msgs_remaining));
+  num(static_cast<long long>(msgs_remaining_));
   for (const ProcObj& p : procs) {
     out += 'P';
     num(p.id);
@@ -105,67 +254,90 @@ std::string State::canonical() const {
     out += 'S';
     num(s.id); num(s.owner_proc); num(s.port);
   }
-  // users/groups are immutable during search; excluded from the key.
+  // The skeleton (names, users/groups) is immutable during search;
+  // excluded from the key.
   return out;
 }
 
-std::uint64_t State::hash() const {
-  // FNV-1a 64 over the canonical() projection. Object-kind tags and
-  // per-object field counts are mixed in so that, like canonical()'s
-  // 'P'/'F'/'D'/'S' markers and separators, shifting a value between
-  // adjacent variable-length fields changes the digest.
-  std::uint64_t h = 14695981039346656037ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (i * 8)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(msgs_remaining);
-  for (const ProcObj& p : procs) {
-    mix(0x50);  // 'P'
-    mix(static_cast<std::uint64_t>(p.id));
-    mix(static_cast<std::uint64_t>(p.uid.real));
-    mix(static_cast<std::uint64_t>(p.uid.effective));
-    mix(static_cast<std::uint64_t>(p.uid.saved));
-    mix(static_cast<std::uint64_t>(p.gid.real));
-    mix(static_cast<std::uint64_t>(p.gid.effective));
-    mix(static_cast<std::uint64_t>(p.gid.saved));
-    mix(p.running ? 1 : 0);
-    mix(p.supplementary.size());
-    for (int g : p.supplementary) mix(static_cast<std::uint64_t>(g));
-    mix(p.rdfset.size());
-    for (int f : p.rdfset) mix(static_cast<std::uint64_t>(f));
-    mix(p.wrfset.size());
-    for (int f : p.wrfset) mix(static_cast<std::uint64_t>(f));
-  }
-  for (const FileObj& f : files) {
-    mix(0x46);  // 'F'
-    mix(static_cast<std::uint64_t>(f.id));
-    mix(static_cast<std::uint64_t>(f.meta.owner));
-    mix(static_cast<std::uint64_t>(f.meta.group));
-    mix(f.meta.mode.bits());
-  }
-  for (const DirObj& d : dirs) {
-    mix(0x44);  // 'D'
-    mix(static_cast<std::uint64_t>(d.id));
-    mix(static_cast<std::uint64_t>(d.meta.owner));
-    mix(static_cast<std::uint64_t>(d.meta.group));
-    mix(d.meta.mode.bits());
-    mix(static_cast<std::uint64_t>(d.inode));
-  }
-  for (const SockObj& s : socks) {
-    mix(0x53);  // 'S'
-    mix(static_cast<std::uint64_t>(s.id));
-    mix(static_cast<std::uint64_t>(s.owner_proc));
-    mix(static_cast<std::uint64_t>(s.port));
-  }
-  // users/groups are immutable during search; excluded, as in canonical().
+std::uint64_t State::proc_subhash(const ProcObj& p) {
+  std::uint64_t h = mix64(kProcSeed);
+  h = chain(h, static_cast<std::uint64_t>(p.id));
+  h = chain(h, static_cast<std::uint64_t>(p.uid.real));
+  h = chain(h, static_cast<std::uint64_t>(p.uid.effective));
+  h = chain(h, static_cast<std::uint64_t>(p.uid.saved));
+  h = chain(h, static_cast<std::uint64_t>(p.gid.real));
+  h = chain(h, static_cast<std::uint64_t>(p.gid.effective));
+  h = chain(h, static_cast<std::uint64_t>(p.gid.saved));
+  h = chain(h, p.running ? 1 : 0);
+  h = chain(h, p.supplementary.size());
+  for (int g : p.supplementary) h = chain(h, static_cast<std::uint64_t>(g));
+  h = chain(h, p.rdfset.size());
+  for (int f : p.rdfset) h = chain(h, static_cast<std::uint64_t>(f));
+  h = chain(h, p.wrfset.size());
+  for (int f : p.wrfset) h = chain(h, static_cast<std::uint64_t>(f));
   return h;
 }
 
+std::uint64_t State::file_subhash(const FileObj& f) {
+  std::uint64_t h = mix64(kFileSeed);
+  h = chain(h, static_cast<std::uint64_t>(f.id));
+  h = chain(h, static_cast<std::uint64_t>(f.meta.owner));
+  h = chain(h, static_cast<std::uint64_t>(f.meta.group));
+  h = chain(h, f.meta.mode.bits());
+  return h;
+}
+
+std::uint64_t State::dir_subhash(const DirObj& d) {
+  std::uint64_t h = mix64(kDirSeed);
+  h = chain(h, static_cast<std::uint64_t>(d.id));
+  h = chain(h, static_cast<std::uint64_t>(d.meta.owner));
+  h = chain(h, static_cast<std::uint64_t>(d.meta.group));
+  h = chain(h, d.meta.mode.bits());
+  h = chain(h, static_cast<std::uint64_t>(d.inode));
+  return h;
+}
+
+std::uint64_t State::sock_subhash(const SockObj& s) {
+  std::uint64_t h = mix64(kSockSeed);
+  h = chain(h, static_cast<std::uint64_t>(s.id));
+  h = chain(h, static_cast<std::uint64_t>(s.owner_proc));
+  h = chain(h, static_cast<std::uint64_t>(s.port));
+  return h;
+}
+
+std::uint64_t State::full_hash() const {
+  std::uint64_t h = chain(kMsgSeed, msgs_remaining_);
+  for (const ProcObj& p : procs) h ^= proc_subhash(p);
+  for (const FileObj& f : files) h ^= file_subhash(f);
+  for (const DirObj& d : dirs) h ^= dir_subhash(d);
+  for (const SockObj& s : socks) h ^= sock_subhash(s);
+  // The skeleton is excluded, as in canonical().
+  return h;
+}
+
+std::uint64_t State::hash() const {
+  if (!digest_valid_) {
+    digest_ = full_hash();
+    digest_valid_ = true;
+  }
+  return digest_;
+}
+
+std::size_t State::heap_bytes() const {
+  std::size_t b = 0;
+  b += procs.capacity() * sizeof(ProcObj);
+  for (const ProcObj& p : procs) {
+    b += p.supplementary.capacity() * sizeof(caps::Gid);
+    b += p.rdfset.heap_bytes() + p.wrfset.heap_bytes();
+  }
+  b += files.capacity() * sizeof(FileObj);
+  b += dirs.capacity() * sizeof(DirObj);
+  b += socks.capacity() * sizeof(SockObj);
+  return b;
+}
+
 bool canonical_equal(const State& a, const State& b) {
-  if (a.msgs_remaining != b.msgs_remaining) return false;
+  if (a.msgs_remaining() != b.msgs_remaining()) return false;
   if (a.procs.size() != b.procs.size() || a.files.size() != b.files.size() ||
       a.dirs.size() != b.dirs.size() || a.socks.size() != b.socks.size())
     return false;
@@ -213,19 +385,19 @@ std::string State::to_string() const {
     os << ">\n";
   }
   for (const DirObj& d : dirs)
-    os << "< " << d.id << " : Dir | name : \"" << d.name << "\" , perms : "
-       << d.meta.mode.to_string() << " , inode : " << d.inode
-       << " , owner : " << d.meta.owner << " , group : " << d.meta.group
-       << " >\n";
+    os << "< " << d.id << " : Dir | name : \"" << name_of(d.id)
+       << "\" , perms : " << d.meta.mode.to_string() << " , inode : "
+       << d.inode << " , owner : " << d.meta.owner << " , group : "
+       << d.meta.group << " >\n";
   for (const FileObj& f : files)
-    os << "< " << f.id << " : File | name : \"" << f.name << "\" , perms : "
-       << f.meta.mode.to_string() << " , owner : " << f.meta.owner
-       << " , group : " << f.meta.group << " >\n";
+    os << "< " << f.id << " : File | name : \"" << name_of(f.id)
+       << "\" , perms : " << f.meta.mode.to_string() << " , owner : "
+       << f.meta.owner << " , group : " << f.meta.group << " >\n";
   for (const SockObj& s : socks)
     os << "< " << s.id << " : Socket | owner : " << s.owner_proc
        << " , port : " << s.port << " >\n";
-  for (int u : users) os << "< User | uid : " << u << " >\n";
-  for (int g : groups) os << "< Group | gid : " << g << " >\n";
+  for (int u : users()) os << "< User | uid : " << u << " >\n";
+  for (int g : groups()) os << "< Group | gid : " << g << " >\n";
   return os.str();
 }
 

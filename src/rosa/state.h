@@ -6,15 +6,27 @@
 // original is written in Object Maude; here the same configuration is a C++
 // value type explored by an explicit-state search (rosa/search.h), with
 // syscall messages carried as a consumed-once bitmask.
+//
+// The representation is split for search throughput. Everything the rewrite
+// rules can mutate (object attributes, fd-sets, the message mask) lives
+// directly in State; everything they cannot — display names and the
+// user/group pools — lives in an immutable WorldSkeleton shared by every
+// state of one search via shared_ptr, so copying a state copies one pointer
+// instead of a pile of strings. The 64-bit dedup digest is maintained
+// incrementally: mutate_*()/add_*()/set_msgs_remaining() XOR the touched
+// object's sub-hash out and back in, so hashing a successor costs O(touched
+// objects), not O(state).
 #pragma once
 
 #include <cstdint>
-#include <set>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "caps/credentials.h"
 #include "os/access.h"
+#include "rosa/flat_set.h"
 
 namespace pa::rosa {
 
@@ -26,8 +38,8 @@ struct ProcObj {
   caps::IdTriple gid;
   std::vector<caps::Gid> supplementary;
   bool running = true;
-  std::set<int> rdfset;
-  std::set<int> wrfset;
+  FlatIntSet rdfset;
+  FlatIntSet wrfset;
 
   bool operator==(const ProcObj&) const = default;
 
@@ -40,11 +52,11 @@ struct ProcObj {
   }
 };
 
-/// File object: ownership and permissions; `name` is human-readable only
-/// (rewrite rules never consult it), exactly as in the paper.
+/// File object: ownership and permissions. The human-readable name lives in
+/// the WorldSkeleton (rewrite rules never consult it), exactly as in the
+/// paper where names are cosmetic attributes.
 struct FileObj {
   int id = 0;
-  std::string name;
   os::FileMeta meta;
 
   bool operator==(const FileObj&) const = default;
@@ -55,7 +67,6 @@ struct FileObj {
 /// pathname lookup on a single parent directory.
 struct DirObj {
   int id = 0;
-  std::string name;
   os::FileMeta meta;
   int inode = -1;
 
@@ -71,6 +82,20 @@ struct SockObj {
   bool operator==(const SockObj&) const = default;
 };
 
+/// The per-query immutable half of a configuration: display names for
+/// file/dir objects plus the user and group pools wildcard arguments draw
+/// from (constraining these bounds the search space, §V-B). Rewrite rules
+/// read but never write it, so every state of one search shares a single
+/// instance.
+struct WorldSkeleton {
+  /// id -> display name, sorted by id (files and dirs share the space).
+  std::vector<std::pair<int, std::string>> names;
+  std::vector<int> users;
+  std::vector<int> groups;
+
+  bool operator==(const WorldSkeleton&) const = default;
+};
+
 /// A ROSA configuration. Object vectors are kept sorted by id so that equal
 /// configurations serialize identically (canonical form for search dedup).
 struct State {
@@ -78,14 +103,8 @@ struct State {
   std::vector<FileObj> files;
   std::vector<DirObj> dirs;
   std::vector<SockObj> socks;
-  /// User / group objects: the uid and gid pools wildcard arguments draw
-  /// from (constraining these bounds the search space, §V-B).
-  std::vector<int> users;
-  std::vector<int> groups;
-  /// Bitmask over the query's message list: 1 = still consumable.
-  std::uint64_t msgs_remaining = 0;
 
-  bool operator==(const State&) const = default;
+  bool operator==(const State& other) const;
 
   ProcObj* find_proc(int id);
   const ProcObj* find_proc(int id) const;
@@ -105,30 +124,142 @@ struct State {
   /// Smallest object id not in use (for socket creation).
   int next_object_id() const;
 
-  /// Keep object vectors sorted by id; call after construction.
+  // --- message mask --------------------------------------------------------
+
+  std::uint64_t msgs_remaining() const { return msgs_remaining_; }
+  /// Digest-maintaining mask update (successor construction in the search).
+  void set_msgs_remaining(std::uint64_t m);
+
+  // --- world skeleton ------------------------------------------------------
+
+  const std::vector<int>& users() const;
+  const std::vector<int>& groups() const;
+  void set_users(std::vector<int> us);
+  void set_groups(std::vector<int> gs);
+  void add_user(int u);
+  void add_group(int g);
+  /// Register/replace the display name of a file or dir object.
+  void set_name(int id, std::string name);
+  /// Display name of a file/dir object; objects created mid-search have no
+  /// skeleton entry and render as "(created)".
+  const std::string& name_of(int id) const;
+  /// The shared skeleton (may be null when nothing was ever registered);
+  /// exposed so tests can assert successor states intern it.
+  const std::shared_ptr<const WorldSkeleton>& world() const { return world_; }
+
+  // --- digest-maintaining mutation -----------------------------------------
+  //
+  // The rewrite rules go through these so each successor's 64-bit digest is
+  // derived from its parent's in O(1): the touched object's sub-hash is
+  // XORed out, the field mutation applied, and the new sub-hash XORed in.
+  // Code that mutates the public vectors directly (state construction,
+  // tests) must call invalidate_hash() afterwards — or simply normalize(),
+  // which invalidates too. search() can cross-check the incremental digest
+  // against full_hash() via SearchLimits::check_hashes.
+
+  /// Mutate the object with this id through `fn`, keeping the cached digest
+  /// consistent. Returns fn's result. The object must exist.
+  template <typename F>
+  decltype(auto) mutate_proc(int id, F&& fn) {
+    return mutate_impl(*find_proc(id), std::forward<F>(fn));
+  }
+  template <typename F>
+  decltype(auto) mutate_file(int id, F&& fn) {
+    return mutate_impl(*find_file(id), std::forward<F>(fn));
+  }
+  template <typename F>
+  decltype(auto) mutate_dir(int id, F&& fn) {
+    return mutate_impl(*find_dir(id), std::forward<F>(fn));
+  }
+  template <typename F>
+  decltype(auto) mutate_sock(int id, F&& fn) {
+    return mutate_impl(*find_sock(id), std::forward<F>(fn));
+  }
+
+  /// Append a new object (id must exceed every existing object id, as
+  /// next_object_id() guarantees, so sortedness is preserved).
+  void add_file(FileObj f);
+  void add_sock(SockObj s);
+
+  /// Drop the cached digest (after direct mutation of public fields).
+  void invalidate_hash() const { digest_valid_ = false; }
+
+  /// Keep object vectors sorted by id; call after construction. Invalidates
+  /// the cached digest.
   void normalize();
 
-  /// Deterministic serialization — the reference dedup key. The search now
-  /// keys its seen-set on hash() and falls back to canonical_equal() on
+  /// True when normalize() would be a no-op (successors built by the rules
+  /// are normalized by construction; emit() verifies instead of re-sorting).
+  bool is_normalized() const;
+
+  /// Deterministic serialization — the reference dedup key. The search keys
+  /// its seen-set on hash() and falls back to canonical_equal() on
   /// collisions; canonical() remains the ground truth those two must match
-  /// (tests/rosa_hash_test.cpp).
+  /// (tests/rosa_hash_test.cpp). Covers exactly the mutable core: display
+  /// names and the user/group pools are excluded (immutable during search),
+  /// which also keeps query fingerprints (rosa/fingerprint.h) independent
+  /// of this representation split.
   std::string canonical() const;
 
-  /// 64-bit FNV-1a over exactly the fields canonical() serializes, without
-  /// materializing the string. Guarantees: canonical()-equal states hash
-  /// equal; distinct canonical forms collide only by hash accident, which
-  /// the search resolves via canonical_equal().
+  /// 64-bit digest over exactly the fields canonical() serializes: an XOR
+  /// of per-object splitmix64 sub-hashes plus the message-mask hash.
+  /// Cached; mutation through the helpers above updates it incrementally.
+  /// Guarantees: canonical()-equal states hash equal; distinct canonical
+  /// forms collide only by hash accident, which the search resolves via
+  /// canonical_equal().
   std::uint64_t hash() const;
+
+  /// hash() recomputed from scratch, ignoring the cache — the reference the
+  /// incremental digest is cross-checked against in debug mode.
+  std::uint64_t full_hash() const;
+
+  /// Per-object sub-hashes (exposed for the incremental-hash tests).
+  static std::uint64_t proc_subhash(const ProcObj& p);
+  static std::uint64_t file_subhash(const FileObj& f);
+  static std::uint64_t dir_subhash(const DirObj& d);
+  static std::uint64_t sock_subhash(const SockObj& s);
+
+  /// Heap bytes owned by this state beyond sizeof(State) — vector and
+  /// fd-set allocations. The shared skeleton is excluded (counted once per
+  /// search, not per node).
+  std::size_t heap_bytes() const;
 
   /// Multi-line rendering in a Maude-like object syntax (for reports and
   /// the worked example).
   std::string to_string() const;
+
+ private:
+  template <typename Obj, typename F>
+  decltype(auto) mutate_impl(Obj& obj, F&& fn) {
+    if (digest_valid_) digest_ ^= subhash_of(obj);
+    struct Reapply {
+      State* st;
+      Obj* obj;
+      ~Reapply() {
+        if (st->digest_valid_) st->digest_ ^= subhash_of(*obj);
+      }
+    } reapply{this, &obj};
+    return std::forward<F>(fn)(obj);
+  }
+
+  static std::uint64_t subhash_of(const ProcObj& p) { return proc_subhash(p); }
+  static std::uint64_t subhash_of(const FileObj& f) { return file_subhash(f); }
+  static std::uint64_t subhash_of(const DirObj& d) { return dir_subhash(d); }
+  static std::uint64_t subhash_of(const SockObj& s) { return sock_subhash(s); }
+
+  WorldSkeleton& mutable_world();
+
+  std::shared_ptr<const WorldSkeleton> world_;
+  /// Bitmask over the query's message list: 1 = still consumable.
+  std::uint64_t msgs_remaining_ = 0;
+  mutable std::uint64_t digest_ = 0;
+  mutable bool digest_valid_ = false;
 };
 
 /// Field-by-field comparison of exactly the canonical() projection:
 /// equivalent to a.canonical() == b.canonical() but with no allocation.
-/// (Unlike operator==, ignores display names and the immutable user/group
-/// pools, just as canonical() does.)
+/// (Unlike operator==, ignores the shared skeleton — display names and the
+/// immutable user/group pools — just as canonical() does.)
 bool canonical_equal(const State& a, const State& b);
 
 }  // namespace pa::rosa

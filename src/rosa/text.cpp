@@ -189,9 +189,10 @@ Query parse_query(std::string_view text) {
         else sc.err(str::cat("unknown attribute '", attr, "'"));
       }
       if (kind == "file")
-        q.initial.files.push_back(FileObj{id, std::move(name), meta});
+        q.initial.files.push_back(FileObj{id, meta});
       else
-        q.initial.dirs.push_back(DirObj{id, std::move(name), meta, inode});
+        q.initial.dirs.push_back(DirObj{id, meta, inode});
+      q.initial.set_name(id, std::move(name));
     } else if (kind == "socket") {
       SockObj s;
       s.id = sc.integer();
@@ -203,9 +204,9 @@ Query parse_query(std::string_view text) {
       }
       q.initial.socks.push_back(s);
     } else if (kind == "user") {
-      q.initial.users.push_back(sc.integer());
+      q.initial.add_user(sc.integer());
     } else if (kind == "group") {
-      q.initial.groups.push_back(sc.integer());
+      q.initial.add_group(sc.integer());
     } else if (kind == "msg") {
       std::string name = sc.word();
       auto sys = parse_sys(name);

@@ -76,10 +76,12 @@ rosa::State make_rosa(const RandomWorld& w) {
   p.uid = w.creds.uid;
   p.gid = w.creds.gid;
   st.procs.push_back(p);
-  st.files.push_back(rosa::FileObj{2, "/d/f", w.file_meta});
-  st.dirs.push_back(rosa::DirObj{3, "/d", w.dir_meta, 2});
-  st.users = {0, 998, 1000, 1001};
-  st.groups = {0, 15, 42, 1000};
+  st.files.push_back(rosa::FileObj{2, w.file_meta});
+  st.dirs.push_back(rosa::DirObj{3, w.dir_meta, 2});
+  st.set_name(2, "/d/f");
+  st.set_name(3, "/d");
+  st.set_users({0, 998, 1000, 1001});
+  st.set_groups({0, 15, 42, 1000});
   st.normalize();
   return st;
 }

@@ -20,9 +20,10 @@ Query chain_query(std::vector<Message> messages) {
   p.uid = {10, 10, 10};
   p.gid = {10, 10, 10};
   q.initial.procs.push_back(p);
-  q.initial.files.push_back(FileObj{3, "target", {40, 41, os::Mode(0000)}});
-  q.initial.users = {10};
-  q.initial.groups = {41};
+  q.initial.files.push_back(FileObj{3, {40, 41, os::Mode(0000)}});
+  q.initial.set_name(3, "target");
+  q.initial.set_users({10});
+  q.initial.set_groups({41});
   q.initial.normalize();
   q.messages = std::move(messages);
   q.goal = goal_file_in_rdfset(1, 3);

@@ -106,7 +106,7 @@ TEST(ExportTest, SearchStatsCsvAndTableShape) {
   rosa::SearchStats agg = a.search_stats();
   std::size_t states = 0;
   for (const auto& ev : a.verdicts)
-    for (const auto& r : ev.results) states += r.states_explored;
+    for (const auto& r : ev.results) states += r.states_explored();
   EXPECT_EQ(agg.states, states);
   EXPECT_GT(agg.states, 0u);
 

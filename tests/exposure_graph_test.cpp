@@ -65,10 +65,10 @@ rosa::Query small_query() {
   p.uid = {1000, 1000, 1000};
   p.gid = {1000, 1000, 1000};
   q.initial.procs.push_back(p);
-  q.initial.files.push_back(
-      rosa::FileObj{2, "f", {1000, 1000, os::Mode(0600)}});
-  q.initial.users = {1000};
-  q.initial.groups = {1000};
+  q.initial.files.push_back(rosa::FileObj{2, {1000, 1000, os::Mode(0600)}});
+  q.initial.set_name(2, "f");
+  q.initial.set_users({1000});
+  q.initial.set_groups({1000});
   q.initial.normalize();
   q.messages = {rosa::msg_open(1, 2, rosa::kAccRead, {}),
                 rosa::msg_chmod(1, 2, 0644, {})};
@@ -115,8 +115,8 @@ TEST(GraphTest, EdgeCountExceedsSearchTransitions) {
   q.goal = [](const rosa::State&) { return false; };
   rosa::SearchResult r = rosa::search(q);
   rosa::StateGraph g = rosa::explore_graph(q);
-  EXPECT_GE(g.edges.size(), r.transitions);
-  EXPECT_EQ(g.node_count(), r.states_explored);
+  EXPECT_GE(g.edges.size(), r.transitions());
+  EXPECT_EQ(g.node_count(), r.states_explored());
 }
 
 TEST(GraphTest, CfiOrderingMatchesSearch) {

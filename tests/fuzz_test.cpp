@@ -120,16 +120,16 @@ SequenceWorld random_world(std::mt19937& rng) {
   for (int f = 0; f < 2; ++f) {
     os::FileMeta meta{uids[rng() % 4], uids[rng() % 4],
                       os::Mode(modes[rng() % 6])};
-    w.rosa_state.files.push_back(
-        rosa::FileObj{10 + f, "f" + std::to_string(f), meta});
+    w.rosa_state.files.push_back(rosa::FileObj{10 + f, meta});
+    w.rosa_state.set_name(10 + f, "f" + std::to_string(f));
     os::FileMeta dmeta{uids[rng() % 4], 0,
                        os::Mode(static_cast<std::uint16_t>(
                            rng() % 2 ? 0755 : 0700))};
-    w.rosa_state.dirs.push_back(
-        rosa::DirObj{20 + f, "d" + std::to_string(f), dmeta, 10 + f});
+    w.rosa_state.dirs.push_back(rosa::DirObj{20 + f, dmeta, 10 + f});
+    w.rosa_state.set_name(20 + f, "d" + std::to_string(f));
   }
-  w.rosa_state.users = {0, 998, 1000, 1001};
-  w.rosa_state.groups = {0, 998, 1000, 1001};
+  w.rosa_state.set_users({0, 998, 1000, 1001});
+  w.rosa_state.set_groups({0, 998, 1000, 1001});
   w.rosa_state.normalize();
 
   caps::CapSet privs;
@@ -176,7 +176,7 @@ TEST_P(SequenceFuzz, KernelAndRulesAgreeAlongRandomTraces) {
     EXPECT_TRUE(r.ok()) << tr.action.to_string() << " failed with "
                         << os::errno_name(r.error());
     st = tr.next;
-    st.msgs_remaining = 0;
+    st.set_msgs_remaining(0);
   }
 }
 

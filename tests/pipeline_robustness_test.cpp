@@ -151,12 +151,12 @@ rosa::Query tuned_query(bool reachable_goal) {
   p.uid = {11, 10, 12};
   p.gid = {11, 10, 12};
   q.initial.procs.push_back(p);
-  q.initial.dirs.push_back(
-      rosa::DirObj{2, "/etc", {40, 41, os::Mode(0777)}, 3});
-  q.initial.files.push_back(
-      rosa::FileObj{3, "/etc/passwd", {40, 41, os::Mode(0000)}});
-  q.initial.users = {10};
-  q.initial.groups = {41};
+  q.initial.dirs.push_back(rosa::DirObj{2, {40, 41, os::Mode(0777)}, 3});
+  q.initial.files.push_back(rosa::FileObj{3, {40, 41, os::Mode(0000)}});
+  q.initial.set_name(2, "/etc");
+  q.initial.set_name(3, "/etc/passwd");
+  q.initial.set_users({10});
+  q.initial.set_groups({41});
   q.messages = {
       rosa::msg_open(1, 3, rosa::kAccRead, {}),
       rosa::msg_setuid(1, rosa::kWild, {caps::Capability::Setuid}),
@@ -213,7 +213,7 @@ TEST(EscalationTest, CapRespectedWhenBudgetStaysTooSmall) {
   // Widen the wildcard pools so the space is far larger than the final
   // 2 * 2^2 = 8 state cap and the ladder provably runs out of rounds.
   rosa::Query q = tuned_query(false);
-  for (int u = 100; u < 130; ++u) q.initial.users.push_back(u);
+  for (int u = 100; u < 130; ++u) q.initial.add_user(u);
   q.initial.normalize();
   rosa::SearchResult esc =
       rosa::search_escalating(q, tiny, rosa::EscalationPolicy{2, 2.0});
@@ -230,7 +230,7 @@ TEST(EscalationTest, DisabledPolicyChangesNothing) {
   rosa::SearchResult b =
       rosa::search_escalating(tuned_query(true), tiny, {});
   EXPECT_EQ(a.verdict, b.verdict);
-  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.states_explored(), b.states_explored());
   EXPECT_EQ(b.stats.escalations, 0u);
 }
 
@@ -249,7 +249,7 @@ TEST(EscalationTest, SerialAndParallelBatchesBitIdentical) {
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].verdict, parallel[i].verdict) << i;
-    EXPECT_EQ(serial[i].states_explored, parallel[i].states_explored) << i;
+    EXPECT_EQ(serial[i].states_explored(), parallel[i].states_explored()) << i;
     EXPECT_EQ(serial[i].stats.escalations, parallel[i].stats.escalations) << i;
     ASSERT_EQ(serial[i].witness.size(), parallel[i].witness.size()) << i;
     for (std::size_t w = 0; w < serial[i].witness.size(); ++w)

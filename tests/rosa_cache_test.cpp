@@ -30,11 +30,13 @@ Query open_query(int n_files, int mode_bits, Goal goal) {
   p.uid = {1000, 1000, 1000};
   p.gid = {1000, 1000, 1000};
   q.initial.procs.push_back(p);
-  for (int f = 0; f < n_files; ++f)
+  for (int f = 0; f < n_files; ++f) {
     q.initial.files.push_back(
-        FileObj{2 + f, "f", {1000, 1000, os::Mode(mode_bits)}});
-  q.initial.users = {1000};
-  q.initial.groups = {1000};
+        FileObj{2 + f, {1000, 1000, os::Mode(mode_bits)}});
+    q.initial.set_name(2 + f, "f");
+  }
+  q.initial.set_users({1000});
+  q.initial.set_groups({1000});
   q.initial.normalize();
   for (int f = 0; f < n_files; ++f)
     q.messages.push_back(msg_open(1, 2 + f, kAccRead, {}));
@@ -63,8 +65,8 @@ std::string hex_of(const Query& q, const SearchLimits& lim = {}) {
 /// Everything except wall time and the cache counters must agree.
 void expect_same_work(const SearchResult& a, const SearchResult& b) {
   EXPECT_EQ(a.verdict, b.verdict);
-  EXPECT_EQ(a.states_explored, b.states_explored);
-  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.states_explored(), b.states_explored());
+  EXPECT_EQ(a.transitions(), b.transitions());
   EXPECT_EQ(a.stats.states, b.stats.states);
   EXPECT_EQ(a.stats.transitions, b.stats.transitions);
   EXPECT_EQ(a.stats.dedup_hits, b.stats.dedup_hits);
@@ -133,7 +135,7 @@ TEST(FingerprintTest, SensitiveToEverySemanticInput) {
   // The user/group pools are omitted from State::canonical() but drive
   // wildcard instantiation, so the fingerprint must cover them explicitly.
   Query more_users = reachable_query();
-  more_users.initial.users.push_back(2000);
+  more_users.initial.add_user(2000);
   more_users.initial.normalize();
   EXPECT_NE(base, hex_of(more_users));
 }
@@ -174,7 +176,7 @@ TEST(QueryCacheTest, ExactRepeatIsABitIdenticalHit) {
   EXPECT_EQ(hit.stats.cache_misses, 0u);
   expect_same_work(miss, hit);
   // Rule-1 reuse is verbatim, down to the stored wall time.
-  EXPECT_EQ(hit.seconds, miss.seconds);
+  EXPECT_EQ(hit.seconds(), miss.seconds());
   EXPECT_EQ(hit.stats.seconds, miss.stats.seconds);
 
   QueryCache::Totals t = cache.totals();
@@ -212,7 +214,7 @@ TEST(QueryCacheTest, ReachableVerdictTransfersToCompatibleBudgets) {
   QueryCache cache;
   SearchResult proved = cache.run_cached(reachable_query(), states_budget(10'000));
   ASSERT_EQ(proved.verdict, Verdict::Reachable);
-  const std::size_t g = proved.states_explored;
+  const std::size_t g = proved.states_explored();
   ASSERT_GT(g, 1u);
 
   // Reusable at exactly G explored states and at an unlimited budget.
@@ -235,7 +237,7 @@ TEST(QueryCacheTest, UnreachableBoundaryIsStrict) {
   SearchResult proved =
       cache.run_cached(unreachable_query(), states_budget(10'000));
   ASSERT_EQ(proved.verdict, Verdict::Unreachable);
-  const std::size_t u = proved.states_explored;  // full space size
+  const std::size_t u = proved.states_explored();  // full space size
   ASSERT_GT(u, 1u);
 
   // Budget U+1 would have exhausted the space: hit.
@@ -264,7 +266,7 @@ TEST(QueryCacheTest, ResourceLimitReusableOnlyAtSmallerBudgets) {
   const Query q = unreachable_query(3);  // 8-state space
   SearchResult rl = cache.run_cached(q, states_budget(3));
   ASSERT_EQ(rl.verdict, Verdict::ResourceLimit);
-  ASSERT_EQ(rl.states_explored, 3u);
+  ASSERT_EQ(rl.states_explored(), 3u);
 
   // Equal and smaller budgets: exploring 3 states without a decision
   // implies the same at budget <= 3.
@@ -286,7 +288,7 @@ TEST(QueryCacheTest, ResourceLimitReusableOnlyAtSmallerBudgets) {
   EXPECT_EQ(definite.stats.cache_misses, 1u);
   ASSERT_EQ(definite.verdict, Verdict::Unreachable);
   SearchResult served =
-      cache.run_cached(q, states_budget(definite.states_explored + 1));
+      cache.run_cached(q, states_budget(definite.states_explored() + 1));
   EXPECT_EQ(served.stats.cache_hits, 1u);
   EXPECT_EQ(served.verdict, Verdict::Unreachable);
 }
@@ -310,6 +312,46 @@ TEST(QueryCacheTest, EscalatedDecisiveResultIsCached) {
   SearchResult plain = cache.run_cached(q, states_budget(9));
   EXPECT_EQ(plain.stats.cache_hits, 1u);
   EXPECT_EQ(plain.verdict, Verdict::Unreachable);
+}
+
+TEST(QueryCacheTest, ByteBudgetIsPartOfTheExactSignature) {
+  QueryCache cache;
+  SearchLimits bounded = states_budget(10'000);
+  bounded.max_bytes = 1u << 30;  // generous: never actually fires
+  SearchResult miss = cache.run_cached(reachable_query(), bounded);
+  ASSERT_EQ(miss.verdict, Verdict::Reachable);
+  EXPECT_EQ(miss.stats.cache_misses, 1u);
+
+  // Rule 1: identical byte budget replays verbatim.
+  SearchResult hit = cache.run_cached(reachable_query(), bounded);
+  EXPECT_EQ(hit.stats.cache_hits, 1u);
+  expect_same_work(miss, hit);
+
+  // A different byte budget is a different signature, and a byte-budgeted
+  // request must not borrow a definite verdict via rule 2 either (the
+  // stored entry proves nothing about where a byte cap would have fired).
+  SearchLimits other = bounded;
+  other.max_bytes = 1u << 29;
+  SearchResult re = cache.run_cached(reachable_query(), other);
+  EXPECT_EQ(re.stats.cache_misses, 1u);
+  expect_same_work(miss, re);  // same work either way — the cap never fires
+}
+
+TEST(QueryCacheTest, ByteLimitedResourceLimitIsNotStored) {
+  QueryCache cache;
+  SearchLimits starved = states_budget(10'000);
+  starved.max_bytes = 1;  // root node alone exceeds this
+  SearchResult rl = cache.run_cached(unreachable_query(), starved);
+  ASSERT_EQ(rl.verdict, Verdict::ResourceLimit);
+  // A byte-induced ResourceLimit says nothing about states-bounded budgets,
+  // so it must not enter the cache (like deadline-induced ones).
+  EXPECT_EQ(cache.totals().entries, 0u);
+
+  // And a pure states-bounded request afterwards searches fresh.
+  SearchResult fresh =
+      cache.run_cached(unreachable_query(), states_budget(10'000));
+  EXPECT_EQ(fresh.stats.cache_misses, 1u);
+  EXPECT_EQ(fresh.verdict, Verdict::Unreachable);
 }
 
 TEST(QueryCacheTest, CancelledSearchesAreNeverStored) {

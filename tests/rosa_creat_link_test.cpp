@@ -29,13 +29,15 @@ State hardlink_state() {
   st.procs.push_back(p);
   // /locked (0711: searchable but not listable... keep 0711 so the file is
   // nameable but the directory is not writable) containing secret 0644.
-  st.files.push_back(FileObj{kSecret, "secret", {0, 0, os::Mode(0644)}});
-  st.dirs.push_back(
-      DirObj{kLockedDir, "/locked", {0, 0, os::Mode(0711)}, kSecret});
+  st.files.push_back(FileObj{kSecret, {0, 0, os::Mode(0644)}});
+  st.dirs.push_back(DirObj{kLockedDir, {0, 0, os::Mode(0711)}, kSecret});
   // /tmp-like world-writable directory with a dangling entry.
-  st.dirs.push_back(DirObj{kTmpEntry, "/tmp", {0, 0, os::Mode(0777)}, -1});
-  st.users = {0, 1000};
-  st.groups = {0, 1000};
+  st.dirs.push_back(DirObj{kTmpEntry, {0, 0, os::Mode(0777)}, -1});
+  st.set_name(kSecret, "secret");
+  st.set_name(kLockedDir, "/locked");
+  st.set_name(kTmpEntry, "/tmp");
+  st.set_users({0, 1000});
+  st.set_groups({0, 1000});
   st.normalize();
   return st;
 }
@@ -101,6 +103,7 @@ TEST(HardlinkAttack, SearchRestrictionBypassedAfterUpcomingChmod) {
   ASSERT_EQ(linked.size(), 1u);
   State after = linked[0].next;
   after.find_dir(kLockedDir)->meta = {0, 0, os::Mode(0700)};
+  after.invalidate_hash();  // direct field write bypasses mutate_dir()
   auto opened = apply_message(after, msg_open(kProc, kSecret, kAccRead, {}));
   EXPECT_EQ(opened.size(), 1u) << "the /tmp alias keeps the file reachable";
 }

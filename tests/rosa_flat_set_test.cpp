@@ -1,0 +1,149 @@
+// Property tests for FlatIntSet, the sorted flat fd-set representation
+// behind ProcObj::rdfset/wrfset: randomized operation sequences are run
+// against std::set<int> as the reference implementation, and the two must
+// agree on every observable — return values, membership, size, and (most
+// importantly for canonical forms) ascending iteration order. A second
+// suite ties the container into state semantics: states differing only in
+// fd-set content must keep canonical_equal() in lockstep with canonical()
+// string equality.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include "rosa/flat_set.h"
+#include "rosa/state.h"
+
+namespace pa::rosa {
+namespace {
+
+std::vector<int> contents(const FlatIntSet& s) {
+  return std::vector<int>(s.begin(), s.end());
+}
+
+std::vector<int> contents(const std::set<int>& s) {
+  return std::vector<int>(s.begin(), s.end());
+}
+
+class FlatSetProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FlatSetProperty, MatchesStdSetUnderRandomOps) {
+  std::mt19937 rng(GetParam());
+  FlatIntSet flat;
+  std::set<int> ref;
+
+  for (int op = 0; op < 400; ++op) {
+    // Small value domain so inserts collide and erases often hit; values
+    // straddle the kInline boundary (the set outgrows the inline buffer
+    // regularly).
+    const int v = static_cast<int>(rng() % 16) - 2;  // includes negatives
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+        EXPECT_EQ(flat.insert(v), ref.insert(v).second);
+        break;
+      case 4:
+      case 5:
+        EXPECT_EQ(flat.erase(v), ref.erase(v) > 0);
+        break;
+      case 6:
+        EXPECT_EQ(flat.contains(v), ref.count(v) > 0);
+        EXPECT_EQ(flat.count(v), ref.count(v));
+        break;
+      default:
+        if (rng() % 16 == 0) {
+          flat.clear();
+          ref.clear();
+        }
+        break;
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+    ASSERT_EQ(flat.empty(), ref.empty());
+    ASSERT_EQ(contents(flat), contents(ref)) << "after op " << op;
+  }
+}
+
+TEST_P(FlatSetProperty, CopyAndMovePreserveContentsMidSequence) {
+  std::mt19937 rng(GetParam() + 1000);
+  FlatIntSet flat;
+  std::set<int> ref;
+  for (int i = 0; i < 40; ++i) {
+    const int v = static_cast<int>(rng() % 32);
+    flat.insert(v);
+    ref.insert(v);
+  }
+
+  FlatIntSet copy = flat;
+  EXPECT_EQ(contents(copy), contents(ref));
+  EXPECT_TRUE(copy == flat);
+
+  // Mutating the copy must not alias the original (deep copy across both
+  // inline and heap storage).
+  copy.insert(999);
+  EXPECT_FALSE(flat.contains(999));
+  EXPECT_FALSE(copy == flat);
+
+  FlatIntSet moved = std::move(copy);
+  EXPECT_TRUE(moved.contains(999));
+  EXPECT_EQ(moved.size(), ref.size() + 1);
+
+  FlatIntSet assigned;
+  assigned.insert(-5);
+  assigned = flat;
+  EXPECT_EQ(contents(assigned), contents(ref));
+}
+
+TEST_P(FlatSetProperty, StatesDifferingOnlyInFdSetsKeepCanonicalExact) {
+  std::mt19937 rng(GetParam() + 7777);
+  auto make = [&](std::mt19937& r) {
+    State st;
+    ProcObj p;
+    p.id = 1;
+    p.uid = {1000, 1000, 1000};
+    p.gid = {1000, 1000, 1000};
+    for (int i = 0; i < static_cast<int>(r() % 10); ++i)
+      p.rdfset.insert(10 + static_cast<int>(r() % 8));
+    for (int i = 0; i < static_cast<int>(r() % 10); ++i)
+      p.wrfset.insert(10 + static_cast<int>(r() % 8));
+    st.procs.push_back(p);
+    st.files.push_back(FileObj{10, {0, 0, os::Mode(0644)}});
+    st.set_users({0, 1000});
+    st.set_groups({0, 1000});
+    st.normalize();
+    return st;
+  };
+  State a = make(rng);
+  State b = make(rng);
+  EXPECT_EQ(canonical_equal(a, b), a.canonical() == b.canonical());
+  EXPECT_TRUE(canonical_equal(a, a));
+  if (a.canonical() == b.canonical()) {
+    EXPECT_EQ(a.hash(), b.hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatSetProperty, ::testing::Range(0u, 50u));
+
+TEST(FlatSetTest, StaysInlineUpToSixElements) {
+  FlatIntSet s;
+  for (int i = 0; i < static_cast<int>(FlatIntSet::kInline); ++i) {
+    s.insert(i * 3);
+    EXPECT_EQ(s.heap_bytes(), 0u) << "inline buffer should suffice";
+  }
+  s.insert(100);  // seventh element forces the heap
+  EXPECT_GT(s.heap_bytes(), 0u);
+  EXPECT_EQ(s.size(), FlatIntSet::kInline + 1);
+  s.clear();
+  EXPECT_EQ(s.heap_bytes(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSetTest, IterationIsAscendingLikeStdSet) {
+  FlatIntSet s{5, -1, 3, 3, 0, 12, 7, 5};
+  EXPECT_EQ(contents(s), (std::vector<int>{-1, 0, 3, 5, 7, 12}));
+}
+
+}  // namespace
+}  // namespace pa::rosa

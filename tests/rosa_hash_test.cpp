@@ -43,19 +43,23 @@ State random_state(std::mt19937& rng) {
   }
   const std::uint16_t modes[] = {0600, 0640, 0644, 0666, 0000, 0444, 0755};
   int nfiles = static_cast<int>(rng() % 4);
-  for (int i = 0; i < nfiles; ++i)
-    st.files.push_back(FileObj{10 + i, "f" + std::to_string(i),
-                               {id(), id(), os::Mode(modes[rng() % 7])}});
+  for (int i = 0; i < nfiles; ++i) {
+    st.files.push_back(
+        FileObj{10 + i, {id(), id(), os::Mode(modes[rng() % 7])}});
+    st.set_name(10 + i, "f" + std::to_string(i));
+  }
   int ndirs = static_cast<int>(rng() % 3);
-  for (int i = 0; i < ndirs; ++i)
-    st.dirs.push_back(DirObj{20 + i, "d" + std::to_string(i),
+  for (int i = 0; i < ndirs; ++i) {
+    st.dirs.push_back(DirObj{20 + i,
                              {id(), id(), os::Mode(modes[rng() % 7])},
                              rng() % 2 ? 10 + i : -1});
+    st.set_name(20 + i, "d" + std::to_string(i));
+  }
   if (rng() % 2)
     st.socks.push_back(SockObj{30, 1, rng() % 2 ? 80 : -1});
-  st.users = {0, 1000};
-  st.groups = {0, 1000};
-  st.msgs_remaining = rng() % 256;
+  st.set_users({0, 1000});
+  st.set_groups({0, 1000});
+  st.set_msgs_remaining(rng() % 256);
   st.normalize();
   return st;
 }
@@ -89,7 +93,9 @@ TEST_P(HashProperty, CanonicalEqualAgreesWithCanonicalStrings) {
   EXPECT_EQ(canonical_equal(b, a), canonical_equal(a, b));
   EXPECT_TRUE(canonical_equal(a, a));
   // And hash is consistent with the reference on the equal side.
-  if (a.canonical() == b.canonical()) EXPECT_EQ(a.hash(), b.hash());
+  if (a.canonical() == b.canonical()) {
+    EXPECT_EQ(a.hash(), b.hash());
+  }
 }
 
 TEST_P(HashProperty, SingleFieldPerturbationChangesCanonicalAndComparator) {
@@ -97,11 +103,12 @@ TEST_P(HashProperty, SingleFieldPerturbationChangesCanonicalAndComparator) {
   State a = random_state(rng);
   State b = a;
   switch (rng() % 4) {
-    case 0: b.msgs_remaining ^= 1; break;
+    case 0: b.set_msgs_remaining(b.msgs_remaining() ^ 1); break;
     case 1: b.procs.front().uid.effective += 1; break;
     case 2: b.procs.front().running = !b.procs.front().running; break;
     default: b.procs.front().rdfset.insert(99); break;
   }
+  b.invalidate_hash();  // direct field writes bypass the mutate_* helpers
   EXPECT_NE(a.canonical(), b.canonical());
   EXPECT_FALSE(canonical_equal(a, b));
   // Not guaranteed in theory, but with FNV-1a over <100 bytes a collision
@@ -117,10 +124,13 @@ TEST(HashTest, NameFieldsAreExcludedLikeCanonical) {
   // reference key merges.
   std::mt19937 rng(7);
   State a = random_state(rng);
-  if (a.files.empty())
-    a.files.push_back(FileObj{10, "f", {0, 0, os::Mode(0644)}});
+  if (a.files.empty()) {
+    a.files.push_back(FileObj{10, {0, 0, os::Mode(0644)}});
+    a.set_name(10, "f");
+    a.normalize();
+  }
   State b = a;
-  b.files.front().name = "renamed";
+  b.set_name(b.files.front().id, "renamed");
   EXPECT_EQ(a.canonical(), b.canonical());
   EXPECT_EQ(a.hash(), b.hash());
   EXPECT_TRUE(canonical_equal(a, b));
@@ -138,11 +148,12 @@ Query paper_example() {
   p.uid = {11, 10, 12};
   p.gid = {11, 10, 12};
   q.initial.procs.push_back(p);
-  q.initial.dirs.push_back(DirObj{2, "/etc", {40, 41, os::Mode(0777)}, 3});
-  q.initial.files.push_back(
-      FileObj{3, "/etc/passwd", {40, 41, os::Mode(0000)}});
-  q.initial.users = {10};
-  q.initial.groups = {41};
+  q.initial.dirs.push_back(DirObj{2, {40, 41, os::Mode(0777)}, 3});
+  q.initial.files.push_back(FileObj{3, {40, 41, os::Mode(0000)}});
+  q.initial.set_name(2, "/etc");
+  q.initial.set_name(3, "/etc/passwd");
+  q.initial.set_users({10});
+  q.initial.set_groups({41});
   q.messages = {
       msg_open(1, 3, kAccRead, {}),
       msg_setuid(1, kWild, {Capability::Setuid}),
@@ -156,8 +167,8 @@ Query paper_example() {
 
 void expect_identical(const SearchResult& a, const SearchResult& b) {
   EXPECT_EQ(a.verdict, b.verdict);
-  EXPECT_EQ(a.states_explored, b.states_explored);
-  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.states_explored(), b.states_explored());
+  EXPECT_EQ(a.transitions(), b.transitions());
   EXPECT_EQ(a.stats.dedup_hits, b.stats.dedup_hits);
   EXPECT_EQ(a.stats.peak_frontier, b.stats.peak_frontier);
   ASSERT_EQ(a.witness.size(), b.witness.size());
@@ -176,7 +187,7 @@ TEST(DegenerateHashTest, ConstantHashPreservesReachableVerdict) {
   SearchResult collided = search(q, degenerate);
   expect_identical(normal, collided);
   // Every distinct state beyond the first chained behind the single key.
-  EXPECT_EQ(collided.stats.hash_collisions, collided.states_explored - 1);
+  EXPECT_EQ(collided.stats.hash_collisions, collided.states_explored() - 1);
 }
 
 TEST(DegenerateHashTest, ConstantHashPreservesExhaustiveSearch) {
@@ -216,7 +227,7 @@ TEST(DegenerateHashTest, TwoBucketHashPreservesSearchOnRandomQueries) {
     SearchResult normal = search(q);
     SearchLimits degenerate;
     degenerate.hash_override = [](const State& st) {
-      return std::uint64_t{st.msgs_remaining % 2};
+      return std::uint64_t{st.msgs_remaining() % 2};
     };
     SearchResult collided = search(q, degenerate);
     expect_identical(normal, collided);

@@ -40,8 +40,9 @@ void expect_equivalent(const ProgramAnalysis& serial,
       // engine must reproduce the serial exploration exactly — not just the
       // verdict.
       EXPECT_EQ(s.results[a].verdict, p.results[a].verdict);
-      EXPECT_EQ(s.results[a].states_explored, p.results[a].states_explored);
-      EXPECT_EQ(s.results[a].transitions, p.results[a].transitions);
+      EXPECT_EQ(s.results[a].states_explored(),
+                p.results[a].states_explored());
+      EXPECT_EQ(s.results[a].transitions(), p.results[a].transitions());
       EXPECT_EQ(s.results[a].stats.dedup_hits, p.results[a].stats.dedup_hits);
       EXPECT_EQ(s.results[a].stats.hash_collisions,
                 p.results[a].stats.hash_collisions);
@@ -135,9 +136,10 @@ TEST(ParallelDiffTest, RunQueriesOrdersResultsLikeInputs) {
     p.gid = {1000, 1000, 1000};
     q.initial.procs.push_back(p);
     q.initial.files.push_back(
-        FileObj{2, "f", {1000, 1000, os::Mode(f % 2 ? 0600 : 0000)}});
-    q.initial.users = {1000};
-    q.initial.groups = {1000};
+        FileObj{2, {1000, 1000, os::Mode(f % 2 ? 0600 : 0000)}});
+    q.initial.set_name(2, "f");
+    q.initial.set_users({1000});
+    q.initial.set_groups({1000});
     q.initial.normalize();
     q.messages = {msg_open(1, 2, kAccRead, {})};
     q.goal = goal_file_in_rdfset(1, 2);
@@ -152,7 +154,7 @@ TEST(ParallelDiffTest, RunQueriesOrdersResultsLikeInputs) {
     EXPECT_EQ(serial[i].verdict,
               i % 2 ? Verdict::Reachable : Verdict::Unreachable);
     EXPECT_EQ(parallel[i].verdict, serial[i].verdict);
-    EXPECT_EQ(parallel[i].states_explored, serial[i].states_explored);
+    EXPECT_EQ(parallel[i].states_explored(), serial[i].states_explored());
   }
 }
 

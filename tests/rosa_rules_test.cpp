@@ -23,10 +23,10 @@ State base_state() {
   p.uid = {1000, 1000, 1000};
   p.gid = {1000, 1000, 1000};
   st.procs.push_back(p);
-  st.files.push_back(FileObj{kMem, "/dev/mem", {0, 15, os::Mode(0640)}});
-  st.dirs.push_back(DirObj{kDir, "/dev", {0, 0, os::Mode(0755)}, kMem});
-  st.users = {0, 1000};
-  st.groups = {0, 15, 1000};
+  st.files.push_back(FileObj{kMem, {0, 15, os::Mode(0640)}});
+  st.dirs.push_back(DirObj{kDir, {0, 0, os::Mode(0755)}, kMem});
+  st.set_users({0, 1000});
+  st.set_groups({0, 15, 1000});
   st.normalize();
   return st;
 }
@@ -50,8 +50,8 @@ TEST(OpenRule, DacReadSearchGrantsReadNotWrite) {
 
 TEST(OpenRule, WildcardFileAndMode) {
   State st = base_state();
-  st.files.push_back(FileObj{5, "/pub", {1000, 1000, os::Mode(0644)}});
-  st.dirs.push_back(DirObj{6, "/", {0, 0, os::Mode(0755)}, 5});
+  st.files.push_back(FileObj{5, {1000, 1000, os::Mode(0644)}});
+  st.dirs.push_back(DirObj{6, {0, 0, os::Mode(0755)}, 5});
   st.normalize();
   auto ts = apply_message(st, msg_open(kProc, kWild, kWild, {}));
   // Only the owned file opens, in r, w and rw modes (3 distinct successors).
@@ -146,8 +146,8 @@ TEST(UnlinkRule, RemovesDirectoryEntry) {
 
 TEST(RenameRule, RedirectsTargetEntry) {
   State st = base_state();
-  st.files.push_back(FileObj{5, "/dev/fake", {1000, 1000, os::Mode(0644)}});
-  st.dirs.push_back(DirObj{6, "/devB", {1000, 1000, os::Mode(0755)}, 5});
+  st.files.push_back(FileObj{5, {1000, 1000, os::Mode(0644)}});
+  st.dirs.push_back(DirObj{6, {1000, 1000, os::Mode(0755)}, 5});
   st.normalize();
   // Unprivileged rename of mem over fake fails (no write perm on /dev).
   EXPECT_TRUE(apply_message(st, msg_rename(kProc, kMem, 5, {})).empty());
@@ -169,7 +169,7 @@ TEST(SetuidRule, PrivilegedReachesAnyUser) {
 TEST(SetuidRule, UnprivilegedOnlyRealOrSaved) {
   State st = base_state();
   st.find_proc(kProc)->uid = {1000, 998, 1001};
-  st.users = {0, 998, 1000, 1001};
+  st.set_users({0, 998, 1000, 1001});
   auto ts = apply_message(st, msg_setuid(kProc, kWild, {}));
   // seteuid-style effective moves to 1000 or 1001 (998 is already e).
   EXPECT_EQ(ts.size(), 2u);

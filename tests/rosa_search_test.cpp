@@ -23,11 +23,12 @@ Query paper_example() {
   p.uid = {11, 10, 12};  // paper order: euid 10, ruid 11, suid 12
   p.gid = {11, 10, 12};
   q.initial.procs.push_back(p);
-  q.initial.dirs.push_back(DirObj{2, "/etc", {40, 41, os::Mode(0777)}, 3});
-  q.initial.files.push_back(
-      FileObj{3, "/etc/passwd", {40, 41, os::Mode(0000)}});
-  q.initial.users = {10};
-  q.initial.groups = {41};
+  q.initial.dirs.push_back(DirObj{2, {40, 41, os::Mode(0777)}, 3});
+  q.initial.files.push_back(FileObj{3, {40, 41, os::Mode(0000)}});
+  q.initial.set_name(2, "/etc");
+  q.initial.set_name(3, "/etc/passwd");
+  q.initial.set_users({10});
+  q.initial.set_groups({41});
   q.messages = {
       msg_open(1, 3, kAccRead, {}),
       msg_setuid(1, kWild, {Capability::Setuid}),
@@ -102,7 +103,7 @@ TEST(SearchTest, TimeLimitYieldsResourceLimit) {
   // Either the tiny space finished first or the clock fired; both verdicts
   // are legal, but with a space this small exhaustion wins. Use a goal
   // check on a bigger space instead: widen the pools.
-  for (int u = 100; u < 130; ++u) q.initial.users.push_back(u);
+  for (int u = 100; u < 130; ++u) q.initial.add_user(u);
   q.initial.normalize();
   r = search(q, limits);
   EXPECT_EQ(r.verdict, Verdict::ResourceLimit);
@@ -119,8 +120,8 @@ TEST(SearchTest, TimeLimitRespectedWithHugeFrontierAndTinyFanout) {
   // Widen the wildcard pools massively: setuid/chown instantiate against
   // every user, creating a frontier of thousands of states where each state
   // has few remaining messages (small fanout per pop).
-  for (int u = 100; u < 400; ++u) q.initial.users.push_back(u);
-  for (int g = 500; g < 700; ++g) q.initial.groups.push_back(g);
+  for (int u = 100; u < 400; ++u) q.initial.add_user(u);
+  for (int g = 500; g < 700; ++g) q.initial.add_group(g);
   q.initial.normalize();
 
   SearchLimits limits;
@@ -146,29 +147,31 @@ TEST(SearchTest, DedupCollapsesPermutations) {
   p.uid = {1000, 1000, 1000};
   p.gid = {1000, 1000, 1000};
   q.initial.procs.push_back(p);
-  q.initial.files.push_back(FileObj{2, "a", {1000, 1000, os::Mode(0600)}});
-  q.initial.files.push_back(FileObj{3, "b", {1000, 1000, os::Mode(0600)}});
-  q.initial.users = {1000};
-  q.initial.groups = {1000};
+  q.initial.files.push_back(FileObj{2, {1000, 1000, os::Mode(0600)}});
+  q.initial.files.push_back(FileObj{3, {1000, 1000, os::Mode(0600)}});
+  q.initial.set_name(2, "a");
+  q.initial.set_name(3, "b");
+  q.initial.set_users({1000});
+  q.initial.set_groups({1000});
   q.initial.normalize();
   q.messages = {msg_open(1, 2, kAccRead, {}), msg_open(1, 3, kAccRead, {})};
   q.goal = [](const State&) { return false; };
 
   SearchResult with_dedup = search(q);
   EXPECT_EQ(with_dedup.verdict, Verdict::Unreachable);
-  EXPECT_EQ(with_dedup.states_explored, 4u);  // init, a, b, ab
+  EXPECT_EQ(with_dedup.states_explored(), 4u);  // init, a, b, ab
 
   SearchLimits no_dedup;
   no_dedup.no_dedup = true;
   SearchResult without = search(q, no_dedup);
-  EXPECT_EQ(without.states_explored, 5u);  // ab counted twice
+  EXPECT_EQ(without.states_explored(), 5u);  // ab counted twice
 
-  // The diamond closure is exactly one dedup hit, and the stats mirror the
-  // legacy counters.
+  // The diamond closure is exactly one dedup hit, and the accessors mirror
+  // the stats counters.
   EXPECT_EQ(with_dedup.stats.dedup_hits, 1u);
   EXPECT_EQ(with_dedup.stats.hash_collisions, 0u);
-  EXPECT_EQ(with_dedup.stats.states, with_dedup.states_explored);
-  EXPECT_EQ(with_dedup.stats.transitions, with_dedup.transitions);
+  EXPECT_EQ(with_dedup.stats.states, with_dedup.states_explored());
+  EXPECT_EQ(with_dedup.stats.transitions, with_dedup.transitions());
   EXPECT_GE(with_dedup.stats.peak_frontier, 2u);
   EXPECT_EQ(without.stats.dedup_hits, 0u);
 }
@@ -186,7 +189,93 @@ TEST(SearchTest, EmptyMessageListOnlyChecksInitial) {
   q.messages.clear();
   SearchResult r = search(q);
   EXPECT_EQ(r.verdict, Verdict::Unreachable);
-  EXPECT_EQ(r.states_explored, 1u);
+  EXPECT_EQ(r.states_explored(), 1u);
+}
+
+TEST(SearchTest, PeakBytesIsPopulatedAndPlausible) {
+  SearchResult r = search(paper_example());
+  EXPECT_GT(r.stats.peak_bytes, 0u);
+  // Every node costs at least sizeof(State); the per-state average must be
+  // at least that and under a generous ceiling for such tiny states.
+  EXPECT_GE(r.stats.bytes_per_state(), double(sizeof(State)));
+  EXPECT_LT(r.stats.bytes_per_state(), 4096.0);
+}
+
+TEST(SearchTest, ByteLimitYieldsResourceLimit) {
+  Query q = paper_example();
+  q.goal = [](const State&) { return false; };
+  SearchLimits limits;
+  limits.max_bytes = 1;  // exhausted by the root node alone
+  SearchResult r = search(q, limits);
+  EXPECT_EQ(r.verdict, Verdict::ResourceLimit);
+  EXPECT_GT(r.stats.peak_bytes, 1u);
+}
+
+TEST(SearchTest, ByteLimitIsDeterministic) {
+  // Capacity-based accounting must make byte exhaustion reproducible: the
+  // same query and limit always stop at the same state count.
+  Query q = paper_example();
+  q.goal = [](const State&) { return false; };
+  for (int u = 100; u < 130; ++u) q.initial.add_user(u);
+  q.initial.normalize();
+  SearchLimits limits;
+  limits.max_bytes = 64 * 1024;
+  SearchResult a = search(q, limits);
+  SearchResult b = search(q, limits);
+  EXPECT_EQ(a.verdict, Verdict::ResourceLimit);
+  EXPECT_EQ(b.verdict, a.verdict);
+  EXPECT_EQ(b.stats.states, a.stats.states);
+  EXPECT_EQ(b.stats.peak_bytes, a.stats.peak_bytes);
+}
+
+TEST(SearchTest, GenerousByteLimitDoesNotChangeResult) {
+  Query q = paper_example();
+  SearchResult plain = search(q);
+  SearchLimits limits;
+  limits.max_bytes = 1u << 30;
+  SearchResult bounded = search(q, limits);
+  EXPECT_EQ(bounded.verdict, plain.verdict);
+  EXPECT_EQ(bounded.stats.states, plain.stats.states);
+  EXPECT_EQ(bounded.witness.size(), plain.witness.size());
+}
+
+TEST(SearchTest, EscalationGrowsByteBudget) {
+  Query q = paper_example();
+  q.goal = [](const State&) { return false; };
+  for (int u = 100; u < 130; ++u) q.initial.add_user(u);
+  q.initial.normalize();
+  SearchLimits limits;
+  limits.max_bytes = 16 * 1024;  // too small for the widened space
+  EscalationPolicy policy;
+  policy.rounds = 6;
+  policy.factor = 8.0;
+  SearchResult r = search_escalating(q, limits, policy);
+  EXPECT_EQ(r.verdict, Verdict::Unreachable);
+  EXPECT_GE(r.stats.escalations, 1u);
+}
+
+TEST(SearchTest, IncrementalHashMatchesFullRehash) {
+  // check_hashes cross-checks the XOR-maintained digest against a from-
+  // scratch rehash on every dedup lookup; any divergence aborts.
+  Query q = paper_example();
+  SearchLimits limits;
+  limits.check_hashes = true;
+  SearchResult r = search(q, limits);
+  EXPECT_EQ(r.verdict, Verdict::Reachable);
+
+  // Also drive the rules that the paper example does not reach (creat,
+  // link, rename, unlink, socket/bind, kill) under the cross-check.
+  Query wide = paper_example();
+  wide.goal = [](const State&) { return false; };
+  wide.messages.push_back(msg_creat(1, kWild, 0644, {}));
+  wide.messages.push_back(msg_link(1, kWild, kWild, {}));
+  wide.messages.push_back(msg_rename(1, kWild, kWild, {}));
+  wide.messages.push_back(msg_unlink(1, kWild, {}));
+  wide.messages.push_back(msg_socket(1, 0, {}));
+  wide.messages.push_back(msg_bind(1, kWild, kWild, {caps::Capability::NetBindService}));
+  SearchResult rw = search(wide, limits);
+  EXPECT_EQ(rw.verdict, Verdict::Unreachable);
+  EXPECT_GT(rw.stats.states, 1u);
 }
 
 TEST(GoalTest, Combinators) {

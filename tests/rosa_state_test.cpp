@@ -14,10 +14,12 @@ State tiny_state() {
   p.uid = {1000, 1000, 1000};
   p.gid = {1000, 1000, 1000};
   st.procs.push_back(p);
-  st.files.push_back(FileObj{3, "/dev/mem", {0, 15, os::Mode(0640)}});
-  st.dirs.push_back(DirObj{4, "/dev", {0, 0, os::Mode(0755)}, 3});
-  st.users = {0, 1000};
-  st.groups = {0, 15};
+  st.files.push_back(FileObj{3, {0, 15, os::Mode(0640)}});
+  st.dirs.push_back(DirObj{4, {0, 0, os::Mode(0755)}, 3});
+  st.set_name(3, "/dev/mem");
+  st.set_name(4, "/dev");
+  st.set_users({0, 1000});
+  st.set_groups({0, 15});
   st.normalize();
   return st;
 }
@@ -60,8 +62,8 @@ TEST(CanonicalTest, EqualStatesSerializeEqually) {
   c.files.push_back(b.files[0]);
   c.dirs = b.dirs;
   c.procs = b.procs;
-  c.users = {1000, 0};
-  c.groups = {15, 0};
+  c.set_users({1000, 0});
+  c.set_groups({15, 0});
   c.normalize();
   EXPECT_EQ(a.canonical(), c.canonical());
 }
@@ -77,7 +79,7 @@ TEST(CanonicalTest, DifferencesShowUp) {
   EXPECT_NE(a.canonical(), c.canonical());
 
   State d = tiny_state();
-  d.msgs_remaining = 5;
+  d.set_msgs_remaining(5);
   EXPECT_NE(a.canonical(), d.canonical());
 
   State e = tiny_state();
@@ -89,7 +91,7 @@ TEST(CanonicalTest, FileNameIsCosmetic) {
   // Names are human-readable only; rules and canonical form ignore them.
   State a = tiny_state();
   State b = tiny_state();
-  b.find_file(3)->name = "renamed";
+  b.set_name(3, "renamed");
   EXPECT_EQ(a.canonical(), b.canonical());
 }
 

@@ -30,7 +30,7 @@ TEST(TextTest, ParsesPaperExample) {
   EXPECT_EQ(q.initial.files[0].meta.mode, os::Mode(0));
   ASSERT_EQ(q.initial.dirs.size(), 1u);
   EXPECT_EQ(q.initial.dirs[0].inode, 3);
-  EXPECT_EQ(q.initial.users, std::vector<int>{10});
+  EXPECT_EQ(q.initial.users(), std::vector<int>{10});
   ASSERT_EQ(q.messages.size(), 4u);
   EXPECT_EQ(q.messages[0].sys, Sys::Open);
   EXPECT_EQ(q.messages[0].args, (std::vector<int>{3, kAccRead}));

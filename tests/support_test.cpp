@@ -121,9 +121,10 @@ TEST(MultiProcessRosa, ColludingProcessesCooperate) {
   p2.uid = {600, 600, 600};
   p2.gid = {600, 600, 600};
   st.procs = {p1, p2};
-  st.files.push_back(rosa::FileObj{3, "loot", {0, 0, os::Mode(0600)}});
-  st.users = {500, 600};
-  st.groups = {500, 600};
+  st.files.push_back(rosa::FileObj{3, {0, 0, os::Mode(0600)}});
+  st.set_name(3, "loot");
+  st.set_users({500, 600});
+  st.set_groups({500, 600});
   st.normalize();
 
   rosa::Query q;

@@ -121,11 +121,12 @@ TEST(WitnessReplayManual, PaperExampleWitnessExecutes) {
   p.uid = {11, 10, 12};
   p.gid = {11, 10, 12};
   q.initial.procs.push_back(p);
-  q.initial.dirs.push_back(DirObj{2, "/etc", {40, 41, os::Mode(0777)}, 3});
-  q.initial.files.push_back(
-      FileObj{3, "/etc/passwd", {40, 41, os::Mode(0000)}});
-  q.initial.users = {10};
-  q.initial.groups = {41};
+  q.initial.dirs.push_back(DirObj{2, {40, 41, os::Mode(0777)}, 3});
+  q.initial.files.push_back(FileObj{3, {40, 41, os::Mode(0000)}});
+  q.initial.set_name(2, "/etc");
+  q.initial.set_name(3, "/etc/passwd");
+  q.initial.set_users({10});
+  q.initial.set_groups({41});
   q.initial.normalize();
   q.messages = {
       msg_open(1, 3, kAccRead, {}),
@@ -153,9 +154,10 @@ TEST(WitnessReplayManual, TamperedWitnessFails) {
   p.uid = {10, 10, 10};
   p.gid = {10, 10, 10};
   q.initial.procs.push_back(p);
-  q.initial.files.push_back(FileObj{3, "f", {40, 41, os::Mode(0000)}});
-  q.initial.users = {10};
-  q.initial.groups = {41};
+  q.initial.files.push_back(FileObj{3, {40, 41, os::Mode(0000)}});
+  q.initial.set_name(3, "f");
+  q.initial.set_users({10});
+  q.initial.set_groups({41});
   q.initial.normalize();
   q.messages = {
       msg_open(1, 3, kAccRead, {}),
@@ -184,7 +186,8 @@ TEST(WitnessReplayManual, MaterializedInitialStateIsFaithful) {
   p.supplementary = {15, 42};
   p.rdfset.insert(3);
   st.procs.push_back(p);
-  st.files.push_back(FileObj{3, "f", {5, 8, os::Mode(0600)}});
+  st.files.push_back(FileObj{3, {5, 8, os::Mode(0600)}});
+  st.set_name(3, "f");
   st.socks.push_back(SockObj{4, 1, 8080});
   st.normalize();
 

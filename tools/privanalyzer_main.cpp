@@ -4,6 +4,9 @@
 //   privanalyzer prog.pir [more.pir ...] [options]
 //     --no-rosa            ChronoPriv epochs only (skip attack analysis)
 //     --max-states N       ROSA search budget per query (default 1000000)
+//     --max-bytes N        ROSA memory budget per query in arena bytes
+//                          (default unlimited; exceeded searches report as
+//                          Timeout like exhausted state budgets)
 //     --rosa-threads N     worker threads for the (epoch x attack) query
 //                          matrix (0 = hardware_concurrency, 1 = serial;
 //                          verdicts are identical for every N)
@@ -68,6 +71,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <prog.pir> [more programs...] [--no-rosa] [--max-states N]\n"
+               "       [--max-bytes N]\n"
                "       [--rosa-threads N] [--escalate-rounds N] [--deadline SECS]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
                "       [--indirect-calls conservative|refined|assume-none]\n"
@@ -273,6 +277,10 @@ int main(int argc, char** argv) {
       unsigned long long n = 0;
       if (!parse_count(argv[++i], &n)) return usage(argv[0]);
       opts.rosa_limits.max_states = static_cast<std::size_t>(n);
+    } else if (arg == "--max-bytes" && i + 1 < argc) {
+      unsigned long long n = 0;
+      if (!parse_count(argv[++i], &n)) return usage(argv[0]);
+      opts.rosa_limits.max_bytes = static_cast<std::size_t>(n);
     } else if (arg == "--attacker" && i + 1 < argc) {
       std::string m = argv[++i];
       if (m == "full") attacker = rosa::AttackerModel::Full;
