@@ -130,6 +130,22 @@ static void BM_DedupOff(benchmark::State& state) {
 }
 BENCHMARK(BM_DedupOff);
 
+// Intra-search scaling: one search, N workers expanding each BFS layer
+// (rosa/frontier.h). Arg(1) is the serial loop; higher args measure what
+// the layer-barrier determinism costs or buys at identical results.
+static void BM_IntraSearchWorkers(benchmark::State& state) {
+  rosa::Query q = impossible_query(8);
+  rosa::SearchLimits limits;
+  limits.search_threads = static_cast<unsigned>(state.range(0));
+  rosa::SearchResult last;
+  for (auto _ : state) {
+    last = rosa::search(q, limits);
+    benchmark::DoNotOptimize(last.stats.states);
+  }
+  report(state, last);
+}
+BENCHMARK(BM_IntraSearchWorkers)->Arg(1)->Arg(2)->Arg(4);
+
 namespace {
 
 /// The headline throughput/compactness measurement behind BENCH_rosa.json:
@@ -166,6 +182,34 @@ void write_perf_json(const std::string& path) {
         last.stats.states ? static_cast<double>(last.stats.state_bytes) /
                                 static_cast<double>(last.stats.states)
                           : 0.0);
+  }
+  // Per-worker intra-search scaling curve on the larger reference space:
+  // the layered engine is bit-identical at every worker count, so states is
+  // constant and the curve isolates pure wall-clock scaling (plus the
+  // w1-vs-serial overhead of the layer-barrier structure itself).
+  {
+    const rosa::Query q = impossible_query(8);
+    double serial_best = 0.0;
+    for (unsigned workers : {1u, 2u, 4u}) {
+      rosa::SearchLimits limits;
+      limits.search_threads = workers;
+      rosa::SearchResult last;
+      double best = 1e100;
+      for (int rep = 0; rep < 3; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        last = rosa::search(q, limits);
+        best = std::min(
+            best, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+      }
+      if (workers == 1) serial_best = best;
+      const std::string prefix = "intra_w" + std::to_string(workers) + "_";
+      metrics.emplace_back(prefix + "seconds", best);
+      metrics.emplace_back(prefix + "states_per_sec",
+                           static_cast<double>(last.stats.states) / best);
+      metrics.emplace_back(prefix + "speedup_vs_w1", serial_best / best);
+    }
   }
   if (!pa::bench::write_json_metrics(path, metrics)) {
     std::cerr << "cannot write " << path << "\n";

@@ -1,0 +1,776 @@
+#include "rosa/frontier.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "rosa/arena.h"
+#include "rosa/fingerprint.h"
+#include "rosa/shard_table.h"
+#include "support/diagnostics.h"
+#include "support/error.h"
+#include "support/faultpoint.h"
+#include "support/str.h"
+#include "support/thread_pool.h"
+
+namespace pa::rosa {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+/// Frame header: "s <16-hex digest> <decimal body length>". Rejects
+/// anything else, including lengths beyond 2^30 (no state serializes that
+/// large; a bigger claim means the file is damaged).
+bool parse_frame_header(std::string_view line, std::uint64_t* digest,
+                        std::size_t* len) {
+  if (!line.starts_with("s ") || line.size() < 20) return false;
+  std::uint64_t d = 0;
+  for (std::size_t k = 0; k < 16; ++k) {
+    const char c = line[2 + k];
+    int v = 0;
+    if (c >= '0' && c <= '9') v = c - '0';
+    else if (c >= 'a' && c <= 'f') v = c - 'a' + 10;
+    else return false;
+    d = (d << 4) | static_cast<std::uint64_t>(v);
+  }
+  if (line[18] != ' ') return false;
+  std::uint64_t n = 0;
+  for (std::size_t k = 19; k < line.size(); ++k) {
+    const char c = line[k];
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    if (n > (std::uint64_t{1} << 30)) return false;
+  }
+  *digest = d;
+  *len = static_cast<std::size_t>(n);
+  return true;
+}
+
+/// Per-process sequence distinguishing concurrent spill stores (the query
+/// fan-out can open one per worker); getpid() distinguishes processes that
+/// share a --spill-dir. Deliberately no wall clock or RNG: a crashed run's
+/// leftover directory under the same name is recognized and replaced.
+std::atomic<std::uint64_t> g_spill_seq{0};
+
+}  // namespace
+
+const std::string& spill_header_line() {
+  static const std::string header =
+      str::cat("privanalyzer-rosa-spill v1 model=", kRosaModelVersion);
+  return header;
+}
+
+std::optional<State> parse_canonical(
+    std::string_view text, std::shared_ptr<const WorldSkeleton> world) {
+  std::size_t i = 0;
+  auto peek = [&]() -> char { return i < text.size() ? text[i] : '\0'; };
+  // One canonical number: optional '-', digits, mandatory trailing ','.
+  // Parsed through a uint64 magnitude so the full message mask (printed as
+  // a negative long long when bit 63 is set) round-trips exactly.
+  auto num_ll = [&](long long* out) -> bool {
+    bool neg = false;
+    if (peek() == '-') {
+      neg = true;
+      ++i;
+    }
+    std::uint64_t mag = 0;
+    bool any = false;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      const auto d = static_cast<std::uint64_t>(text[i] - '0');
+      if (mag > (~std::uint64_t{0} - d) / 10) return false;
+      mag = mag * 10 + d;
+      ++i;
+      any = true;
+    }
+    if (!any || peek() != ',') return false;
+    ++i;
+    if (neg) {
+      if (mag > std::uint64_t{1} << 63) return false;
+      *out = static_cast<long long>(~mag + 1);
+    } else {
+      if (mag > static_cast<std::uint64_t>(
+                    std::numeric_limits<long long>::max()))
+        return false;
+      *out = static_cast<long long>(mag);
+    }
+    return true;
+  };
+  auto num_int = [&](int* out) -> bool {
+    long long v = 0;
+    if (!num_ll(&v)) return false;
+    if (v < std::numeric_limits<int>::min() ||
+        v > std::numeric_limits<int>::max())
+      return false;
+    *out = static_cast<int>(v);
+    return true;
+  };
+  auto at_number = [&]() -> bool {
+    const char c = peek();
+    return c == '-' || (c >= '0' && c <= '9');
+  };
+
+  if (peek() != 'M') return std::nullopt;
+  ++i;
+  long long msgs = 0;
+  if (!num_ll(&msgs)) return std::nullopt;
+
+  State st;
+  while (i < text.size()) {
+    const char tag = text[i++];
+    if (tag == 'P') {
+      ProcObj p;
+      if (!num_int(&p.id) || !num_int(&p.uid.real) ||
+          !num_int(&p.uid.effective) || !num_int(&p.uid.saved) ||
+          !num_int(&p.gid.real) || !num_int(&p.gid.effective) ||
+          !num_int(&p.gid.saved))
+        return std::nullopt;
+      const char run = peek();
+      if (run != 'r' && run != 'z') return std::nullopt;
+      ++i;
+      p.running = run == 'r';
+      while (at_number()) {
+        int g = 0;
+        if (!num_int(&g)) return std::nullopt;
+        p.supplementary.push_back(g);
+      }
+      if (peek() != 'R') return std::nullopt;
+      ++i;
+      while (at_number()) {
+        int f = 0;
+        if (!num_int(&f)) return std::nullopt;
+        p.rdfset.insert(f);
+      }
+      if (peek() != 'W') return std::nullopt;
+      ++i;
+      while (at_number()) {
+        int f = 0;
+        if (!num_int(&f)) return std::nullopt;
+        p.wrfset.insert(f);
+      }
+      st.procs.push_back(std::move(p));
+    } else if (tag == 'F') {
+      FileObj f;
+      int mode = 0;
+      if (!num_int(&f.id) || !num_int(&f.meta.owner) ||
+          !num_int(&f.meta.group) || !num_int(&mode))
+        return std::nullopt;
+      if (mode < 0 || mode > 07777) return std::nullopt;
+      f.meta.mode = os::Mode(static_cast<std::uint16_t>(mode));
+      st.files.push_back(f);
+    } else if (tag == 'D') {
+      DirObj d;
+      int mode = 0;
+      if (!num_int(&d.id) || !num_int(&d.meta.owner) ||
+          !num_int(&d.meta.group) || !num_int(&mode) || !num_int(&d.inode))
+        return std::nullopt;
+      if (mode < 0 || mode > 07777) return std::nullopt;
+      d.meta.mode = os::Mode(static_cast<std::uint16_t>(mode));
+      st.dirs.push_back(d);
+    } else if (tag == 'S') {
+      SockObj s;
+      if (!num_int(&s.id) || !num_int(&s.owner_proc) || !num_int(&s.port))
+        return std::nullopt;
+      st.socks.push_back(s);
+    } else {
+      return std::nullopt;
+    }
+  }
+  st.set_world(std::move(world));
+  st.set_msgs_remaining(static_cast<std::uint64_t>(msgs));
+  return st;
+}
+
+SpillStore::SpillStore(const std::string& root) {
+  PA_FAULTPOINT("rosa.spill_io");
+  dir_ = str::cat(root, "/rosa-spill-",
+                  static_cast<unsigned long long>(::getpid()), "-",
+                  g_spill_seq.fetch_add(1, std::memory_order_relaxed));
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);  // a crashed run's leftover
+  ec.clear();
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    support::fail_stage(
+        support::Stage::Rosa, support::DiagCode::FileNotFound, "",
+        str::cat("cannot create spill directory ", dir_, ": ", ec.message()));
+}
+
+SpillStore::~SpillStore() {
+  std::error_code ec;
+  std::filesystem::remove_all(dir_, ec);  // best effort on every exit path
+}
+
+std::string SpillStore::chunk_path(std::uint32_t chunk) const {
+  return str::cat(dir_, "/chunk-", chunk, ".spill");
+}
+
+SpillStore::Ref SpillStore::append(const State& st, std::uint64_t digest) {
+  PA_CHECK(chunks_written_ < (std::uint32_t{1} << 16),
+           "spill store: chunk count exceeds the packed-ref budget");
+  const std::string canon = st.canonical();
+  const Ref ref{chunks_written_,
+                spill_header_line().size() + 1 + buffer_.size()};
+  PA_CHECK(ref.offset < (std::uint64_t{1} << 48),
+           "spill store: frame offset exceeds the packed-ref budget");
+  const std::size_t before = buffer_.size();
+  buffer_ += "s ";
+  buffer_ += hex16(digest);
+  buffer_ += ' ';
+  buffer_ += std::to_string(canon.size());
+  buffer_ += '\n';
+  buffer_ += canon;
+  buffer_ += '\n';
+  ++spilled_states_;
+  spill_bytes_ += buffer_.size() - before;
+  if (buffer_.size() >= kFlushThreshold) flush();
+  return ref;
+}
+
+void SpillStore::flush() {
+  if (buffer_.empty()) return;
+  PA_FAULTPOINT("rosa.spill_io");
+  const std::string path = chunk_path(chunks_written_);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out) {
+      out << spill_header_line() << '\n' << buffer_ << "end\n";
+      out.flush();
+    }
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      support::fail_stage(support::Stage::Rosa,
+                          support::DiagCode::FileNotFound, "",
+                          str::cat("cannot write spill chunk ", tmp));
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    support::fail_stage(
+        support::Stage::Rosa, support::DiagCode::FileNotFound, "",
+        str::cat("cannot publish spill chunk ", path));
+  }
+  ++chunks_written_;
+  buffer_.clear();
+}
+
+State SpillReader::load(SpillStore::Ref ref,
+                        const std::shared_ptr<const WorldSkeleton>& world) {
+  const std::string path = store_->chunk_path(ref.chunk);
+  auto corrupt = [&path](std::string_view why) {
+    support::fail_stage(support::Stage::Rosa,
+                        support::DiagCode::BadFieldValue, "",
+                        str::cat("spill chunk ", path, ": ", why));
+  };
+  if (open_chunk_ != static_cast<std::int64_t>(ref.chunk)) {
+    open_chunk_ = -1;
+    in_.close();
+    in_.clear();
+    PA_FAULTPOINT("rosa.spill_io");
+    in_.open(path, std::ios::binary);
+    if (!in_)
+      support::fail_stage(support::Stage::Rosa,
+                          support::DiagCode::FileNotFound, "",
+                          str::cat("cannot open spill chunk ", path));
+    std::string header;
+    if (!std::getline(in_, header) || header != spill_header_line())
+      corrupt("incompatible header (stale version or not a spill chunk)");
+    open_chunk_ = static_cast<std::int64_t>(ref.chunk);
+  }
+  in_.clear();
+  if (!in_.seekg(static_cast<std::streamoff>(ref.offset)))
+    corrupt("frame offset out of range");
+  std::string line;
+  if (!std::getline(in_, line)) corrupt("truncated frame header");
+  std::uint64_t digest = 0;
+  std::size_t len = 0;
+  if (!parse_frame_header(line, &digest, &len))
+    corrupt("malformed frame header");
+  std::string canon(len, '\0');
+  in_.read(canon.data(), static_cast<std::streamsize>(len));
+  if (static_cast<std::size_t>(in_.gcount()) != len || in_.get() != '\n')
+    corrupt("truncated frame body");
+  std::optional<State> st = parse_canonical(canon, world);
+  if (!st) corrupt("unparseable canonical state");
+  if (st->full_hash() != digest) corrupt("state digest mismatch");
+  return std::move(*st);
+}
+
+namespace {
+
+/// Work-stealing distributor over a fixed item set: per-worker deques
+/// seeded round-robin, owners pop their own front, thieves take a victim's
+/// back. Nothing is added mid-phase, so a full empty sweep means the
+/// phase's queue is drained (completion itself is the TaskGroup barrier's
+/// job, not the scheduler's).
+class ChunkScheduler {
+ public:
+  static constexpr std::size_t kDone = ~std::size_t{0};
+
+  ChunkScheduler(std::size_t n_items, unsigned n_workers)
+      : queues_(std::max(1u, n_workers)) {
+    for (std::size_t c = 0; c < n_items; ++c)
+      queues_[c % queues_.size()].items.push_back(c);
+  }
+
+  std::size_t next(unsigned worker) {
+    {
+      Queue& own = queues_[worker];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.items.empty()) {
+        const std::size_t c = own.items.front();
+        own.items.pop_front();
+        return c;
+      }
+    }
+    for (std::size_t off = 1; off < queues_.size(); ++off) {
+      Queue& victim = queues_[(worker + off) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.items.empty()) {
+        const std::size_t c = victim.items.back();
+        victim.items.pop_back();
+        return c;
+      }
+    }
+    return kDone;
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::size_t> items;
+  };
+  std::vector<Queue> queues_;
+};
+
+/// Run one phase on workers 0..n_workers-1: the calling thread is worker 0,
+/// helpers run on the shared pool under a TaskGroup barrier. If worker 0
+/// throws, the group's destructor still waits for the helpers (without
+/// throwing), so `body` never dangles.
+void run_phase(support::ThreadPool* pool, unsigned n_workers,
+               const std::function<void(unsigned)>& body) {
+  if (pool == nullptr || n_workers <= 1) {
+    body(0);
+    return;
+  }
+  support::TaskGroup group(*pool);
+  for (unsigned w = 1; w < n_workers; ++w)
+    group.submit([&body, w] { body(w); });
+  body(0);
+  group.wait();
+}
+
+}  // namespace
+
+namespace detail {
+
+SearchResult search_layered(const Query& query, const SearchLimits& limits) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  SearchResult result;
+
+  const unsigned n_workers = limits.search_threads == 0
+                                 ? support::ThreadPool::hardware_threads()
+                                 : limits.search_threads;
+
+  Arena<SearchNode> nodes;
+  ShardTable seen;
+  const unsigned n_shards = seen.shard_count();
+  if (!limits.no_dedup) {
+    const std::size_t reserve_hint =
+        limits.max_states ? std::min<std::size_t>(limits.max_states, 4096)
+                          : 4096;
+    seen.reserve(reserve_hint / n_shards + 1);
+  }
+
+  auto state_key = [&limits](const State& st) {
+    if (limits.check_hashes)
+      PA_CHECK(st.hash() == st.full_hash(),
+               "incremental state digest diverged from full rehash");
+    return limits.hash_override ? limits.hash_override(st) : st.hash();
+  };
+
+  const std::uint64_t full_msg_mask =
+      query.messages.empty()
+          ? 0
+          : (query.messages.size() == 64
+                 ? ~std::uint64_t{0}
+                 : (std::uint64_t{1} << query.messages.size()) - 1);
+
+  State init = query.initial;
+  init.normalize();
+  init.set_msgs_remaining(full_msg_mask);
+  const std::shared_ptr<const WorldSkeleton> world = init.world();
+
+  // Identical byte accounting to the serial loop (same skeleton charge,
+  // same SearchNode arena), so max_bytes verdicts and peak_bytes agree
+  // between the engines on non-spill runs.
+  std::size_t skeleton_bytes = 0;
+  if (world) {
+    skeleton_bytes = sizeof(WorldSkeleton) +
+                     world->names.capacity() *
+                         sizeof(std::pair<int, std::string>) +
+                     (world->users.capacity() + world->groups.capacity()) *
+                         sizeof(int);
+    for (const auto& [id, name] : world->names)
+      skeleton_bytes += name.capacity() > 15 ? name.capacity() + 1 : 0;
+  }
+  auto arena_bytes = [&] { return skeleton_bytes + nodes.bytes(); };
+
+  // The spill store exists for the whole search when spilling is enabled
+  // (eager directory creation; see SpillStore), but frames are only written
+  // once the arena first exceeds the byte budget.
+  std::optional<SpillStore> store;
+  if (limits.spill_enabled()) store.emplace(limits.spill_dir);
+  bool spill_active = false;
+
+  auto finish = [&](Verdict v, std::int64_t goal_node) {
+    result.verdict = v;
+    result.stats.seconds = elapsed();
+    result.stats.decisive_states = result.stats.states;
+    if (store) {
+      result.stats.spilled_states = store->spilled_states();
+      result.stats.spill_bytes = store->spill_bytes();
+    }
+    if (goal_node >= 0) {
+      std::vector<Action> steps;
+      for (std::int64_t n = goal_node; n > 0;
+           n = nodes[static_cast<std::size_t>(n)].parent)
+        steps.push_back(nodes[static_cast<std::size_t>(n)].action);
+      result.witness.assign(steps.rbegin(), steps.rend());
+    }
+    return result;
+  };
+
+  {
+    const std::uint64_t init_key = state_key(init);
+    SearchNode& root =
+        nodes.push_back(SearchNode{std::move(init), -1, Action{}, -1});
+    nodes.add_bytes(root.state.heap_bytes());
+    result.stats.state_bytes = sizeof(State) + root.state.heap_bytes();
+    // Mirror the serial root insert: this entry is what makes a successor
+    // equal to the initial state a duplicate.
+    seen.try_insert(seen.shard_of(init_key), init_key, 0,
+                    [](std::uint32_t) { return false; });
+    result.stats.states = 1;
+    result.stats.peak_frontier = 1;
+    result.stats.peak_bytes = arena_bytes();
+    if (query.goal(root.state)) return finish(Verdict::Reachable, 0);
+  }
+
+  const AccessChecker& ck = query.checker ? *query.checker : linux_checker();
+
+  // Helper threads 1..n_workers-1; the calling thread is worker 0. One pool
+  // serves every phase of every layer.
+  std::optional<support::ThreadPool> pool;
+  if (n_workers > 1) pool.emplace(n_workers - 1);
+
+  enum : std::uint8_t { kKeep = 0, kDuplicate = 1, kCollision = 2 };
+
+  struct Candidate {
+    State state;
+    Action action;
+    std::uint64_t key = 0;  // dedup key (state_key of `state`)
+    std::int64_t parent = -1;
+    std::uint32_t shard = 0;
+    std::uint8_t decision = kKeep;
+    std::uint32_t entry = ShardTable::kNoEntry;
+  };
+
+  /// One parent chunk's expansion output. Candidates live in a per-chunk
+  /// arena: exactly one worker fills any given chunk, so addresses are
+  /// stable and the allocation schedule is scheduling-independent. `order`
+  /// lists candidate indices grouped by shard via a stable counting sort,
+  /// keeping generation order within each shard.
+  struct ChunkOut {
+    Arena<Candidate> cands;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> shard_start;  // size n_shards + 1
+    std::size_t base = 0;                    // global rank of candidate 0
+  };
+
+  // Node indices and candidate ranks share the table's 32-bit value space;
+  // the tag bit marks a not-yet-committed candidate rank.
+  constexpr std::uint32_t kCandTag = 0x80000000u;
+
+  auto unpack_ref = [](std::int64_t aux) {
+    return SpillStore::Ref{
+        static_cast<std::uint32_t>(static_cast<std::uint64_t>(aux) >> 48),
+        static_cast<std::uint64_t>(aux) & ((std::uint64_t{1} << 48) - 1)};
+  };
+
+  std::atomic<bool> out_of_time{false};
+
+  std::size_t layer_begin = 0;
+  std::size_t layer_end = nodes.size();
+
+  while (layer_begin < layer_end) {
+    if (limits.max_seconds > 0 && elapsed() > limits.max_seconds)
+      return finish(Verdict::ResourceLimit, -1);
+    if (limits.expired()) return finish(Verdict::ResourceLimit, -1);
+
+    // ---- Phase 1: expand the layer's parents over worker-stolen chunks.
+    const std::size_t layer_size = layer_end - layer_begin;
+    const std::size_t chunk_size = std::clamp<std::size_t>(
+        layer_size / (std::size_t{n_workers} * 8), 1, 256);
+    const std::size_t n_chunks = (layer_size + chunk_size - 1) / chunk_size;
+    std::vector<ChunkOut> chunks(n_chunks);
+
+    {
+      ChunkScheduler sched(n_chunks, n_workers);
+      auto expand = [&](unsigned worker) {
+        std::optional<SpillReader> reader;
+        if (store) reader.emplace(*store);
+        std::vector<Transition> scratch;
+        State loaded;
+        for (std::size_t ci;
+             (ci = sched.next(worker)) != ChunkScheduler::kDone;) {
+          if (out_of_time.load(std::memory_order_relaxed)) return;
+          ChunkOut& out = chunks[ci];
+          const std::size_t p_begin = layer_begin + ci * chunk_size;
+          const std::size_t p_end = std::min(layer_end, p_begin + chunk_size);
+          for (std::size_t p = p_begin; p < p_end; ++p) {
+            // One budget check per parent, mirroring the serial per-pop
+            // check. Only wall-clock/cancel limits — which are inherently
+            // scheduling-dependent — can cut a search short here.
+            if ((limits.max_seconds > 0 && elapsed() > limits.max_seconds) ||
+                limits.expired()) {
+              out_of_time.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const SearchNode& node = nodes[p];
+            const State* cur = &node.state;
+            if (node.aux >= 0) {
+              loaded = reader->load(unpack_ref(node.aux), world);
+              cur = &loaded;
+            }
+            const std::uint64_t cur_msgs = cur->msgs_remaining();
+            for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
+              const std::uint64_t bit = std::uint64_t{1} << mi;
+              if (!(cur_msgs & bit)) continue;
+              if (query.attacker == AttackerModel::CfiOrdered) {
+                const std::uint64_t later_in_range =
+                    ~((bit << 1) - 1) & full_msg_mask;
+                if ((cur_msgs & later_in_range) != later_in_range) continue;
+              }
+              apply_message(*cur, query.messages[mi], query.attacker, ck,
+                            scratch);
+              for (Transition& tr : scratch) {
+                tr.next.set_msgs_remaining(cur_msgs & ~bit);
+                const std::uint64_t key = state_key(tr.next);
+                out.cands.push_back(Candidate{
+                    std::move(tr.next), std::move(tr.action), key,
+                    static_cast<std::int64_t>(p), seen.shard_of(key), kKeep,
+                    ShardTable::kNoEntry});
+              }
+            }
+          }
+          // Stable counting sort of this chunk's candidates by shard.
+          const std::size_t n = out.cands.size();
+          out.shard_start.assign(n_shards + 1, 0);
+          for (std::size_t k = 0; k < n; ++k)
+            ++out.shard_start[out.cands[k].shard + 1];
+          for (unsigned s = 0; s < n_shards; ++s)
+            out.shard_start[s + 1] += out.shard_start[s];
+          out.order.resize(n);
+          std::vector<std::uint32_t> cursor(out.shard_start.begin(),
+                                            out.shard_start.end() - 1);
+          for (std::size_t k = 0; k < n; ++k)
+            out.order[cursor[out.cands[k].shard]++] =
+                static_cast<std::uint32_t>(k);
+        }
+      };
+      run_phase(pool ? &*pool : nullptr, n_workers, expand);
+    }
+
+    if (out_of_time.load(std::memory_order_relaxed))
+      return finish(Verdict::ResourceLimit, -1);
+
+    // Global candidate ranks: chunk order, then generation order — exactly
+    // the order the serial loop enumerates these transitions (a layer's
+    // parents are contiguous node indices, popped FIFO).
+    std::size_t total = 0;
+    for (ChunkOut& out : chunks) {
+      out.base = total;
+      total += out.cands.size();
+    }
+    std::vector<Candidate*> by_rank(total);
+    {
+      std::size_t r = 0;
+      for (ChunkOut& out : chunks)
+        for (std::size_t k = 0; k < out.cands.size(); ++k)
+          by_rank[r++] = &out.cands[k];
+    }
+    PA_CHECK(nodes.size() + total < kCandTag,
+             "layered ROSA engine supports at most 2^31 - 1 nodes");
+
+    // ---- Phase 2: dedup decisions, one worker per stolen shard. Within a
+    // shard, candidates are visited in ascending global rank, so every
+    // insert/duplicate/collision decision matches the serial replay; the
+    // shard is a pure function of the digest, so no decision can depend on
+    // which worker made it.
+    if (!limits.no_dedup && total > 0) {
+      ChunkScheduler sched(n_shards, n_workers);
+      auto dedup = [&](unsigned worker) {
+        std::optional<SpillReader> reader;
+        if (store) reader.emplace(*store);
+        State loaded;
+        for (std::size_t si;
+             (si = sched.next(worker)) != ChunkScheduler::kDone;) {
+          const unsigned shard = static_cast<unsigned>(si);
+          for (ChunkOut& out : chunks) {
+            for (std::uint32_t oi = out.shard_start[shard];
+                 oi < out.shard_start[shard + 1]; ++oi) {
+              Candidate& cd = out.cands[out.order[oi]];
+              const auto rank =
+                  static_cast<std::uint32_t>(out.base + out.order[oi]);
+              auto equal = [&](std::uint32_t value) {
+                const State* other = nullptr;
+                if (value & kCandTag) {
+                  other = &by_rank[value & ~kCandTag]->state;
+                } else {
+                  const SearchNode& n = nodes[value];
+                  if (n.aux >= 0) {
+                    loaded = reader->load(unpack_ref(n.aux), world);
+                    other = &loaded;
+                  } else {
+                    other = &n.state;
+                  }
+                }
+                return canonical_equal(*other, cd.state);
+              };
+              const ShardTable::Result res =
+                  seen.try_insert(shard, cd.key, kCandTag | rank, equal);
+              switch (res.outcome) {
+                case ShardTable::Outcome::Duplicate:
+                  cd.decision = kDuplicate;
+                  break;
+                case ShardTable::Outcome::Inserted:
+                  cd.decision = kKeep;
+                  cd.entry = res.entry;
+                  break;
+                case ShardTable::Outcome::InsertedCollision:
+                  cd.decision = kCollision;
+                  cd.entry = res.entry;
+                  break;
+              }
+            }
+          }
+        }
+      };
+      run_phase(pool ? &*pool : nullptr, n_workers, dedup);
+    }
+
+    // ---- Phase 3: serial rank-ordered commit, replaying the serial loop's
+    // counter updates and limit checks per candidate. Dedup decisions are
+    // prefix-stable (a candidate's verdict depends only on nodes and
+    // lower-ranked candidates), so an early exit at rank r — goal hit or
+    // max_states — leaves exactly the serial engine's state behind.
+    std::size_t pushed = 0;
+    const std::size_t last_parent = layer_end - 1;
+    for (std::size_t rank = 0; rank < total; ++rank) {
+      Candidate& cd = *by_rank[rank];
+      ++result.stats.transitions;
+      if (!limits.no_dedup) {
+        if (cd.decision == kDuplicate) {
+          ++result.stats.dedup_hits;
+          continue;
+        }
+        if (cd.decision == kCollision) ++result.stats.hash_collisions;
+      }
+      const std::size_t ni = nodes.size();
+      const std::size_t heap = cd.state.heap_bytes();
+      if (!spill_active) {
+        SearchNode& added = nodes.push_back(SearchNode{
+            std::move(cd.state), cd.parent, std::move(cd.action), -1});
+        nodes.add_bytes(added.state.heap_bytes() +
+                        added.action.args.capacity() * sizeof(int));
+        result.stats.state_bytes += sizeof(State) + added.state.heap_bytes();
+        ++result.stats.states;
+        result.stats.peak_bytes =
+            std::max(result.stats.peak_bytes, arena_bytes());
+        if (!limits.no_dedup && cd.entry != ShardTable::kNoEntry)
+          seen.set_value(cd.shard, cd.entry, static_cast<std::uint32_t>(ni));
+        if (query.goal(added.state))
+          return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
+        if (limits.max_states && result.stats.states >= limits.max_states)
+          return finish(Verdict::ResourceLimit, -1);
+        if (limits.max_bytes && arena_bytes() > limits.max_bytes) {
+          // The serial engine gives up here; with a spill directory the
+          // search keeps going, evicting every state committed from now on.
+          if (!store) return finish(Verdict::ResourceLimit, -1);
+          spill_active = true;
+        }
+      } else {
+        // Evicted commit: the canonical text goes to the store and the node
+        // keeps only parent/action plus the packed ref. The stored digest
+        // is the state's real full hash — never a hash_override value; the
+        // dedup key is finished with this state, only identity verification
+        // on read-back remains.
+        const SpillStore::Ref ref = store->append(cd.state, cd.state.hash());
+        const auto aux = static_cast<std::int64_t>(
+            (static_cast<std::uint64_t>(ref.chunk) << 48) | ref.offset);
+        SearchNode& added = nodes.push_back(
+            SearchNode{State{}, cd.parent, std::move(cd.action), aux});
+        nodes.add_bytes(added.action.args.capacity() * sizeof(int));
+        // state_bytes stays the logical footprint (what the states would
+        // occupy resident), so bytes_per_state is undistorted by spilling.
+        result.stats.state_bytes += sizeof(State) + heap;
+        ++result.stats.states;
+        result.stats.peak_bytes =
+            std::max(result.stats.peak_bytes, arena_bytes());
+        if (!limits.no_dedup && cd.entry != ShardTable::kNoEntry)
+          seen.set_value(cd.shard, cd.entry, static_cast<std::uint32_t>(ni));
+        if (query.goal(cd.state))
+          return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
+        if (limits.max_states && result.stats.states >= limits.max_states)
+          return finish(Verdict::ResourceLimit, -1);
+        // No byte-limit abort once spilling: the budget governs residency,
+        // not completion.
+      }
+      ++pushed;
+      // Serial frontier high-water replay: when the serial loop pushes this
+      // node, the deque holds the layer's not-yet-popped parents
+      // (last_parent - parent) plus every child pushed so far this layer.
+      result.stats.peak_frontier = std::max(
+          result.stats.peak_frontier,
+          (last_parent - static_cast<std::size_t>(cd.parent)) + pushed);
+    }
+
+    // Publish this layer's frames before anyone can reference them (the
+    // next layer's expansion and every later dedup probe).
+    if (store) store->flush();
+    layer_begin = layer_end;
+    layer_end = nodes.size();
+  }
+  return finish(Verdict::Unreachable, -1);
+}
+
+}  // namespace detail
+
+}  // namespace pa::rosa

@@ -1,0 +1,138 @@
+// Layered intra-search ROSA engine: a work-stealing BFS over one query's
+// state graph that is bit-identical to the serial loop in rosa/search.cpp at
+// every worker count, plus a disk-spillable frontier so searches whose node
+// arena outgrows SearchLimits::max_bytes complete instead of escalating.
+//
+// Determinism comes from layer-synchronous phases (DESIGN.md decision 11):
+// each BFS layer is expanded in parallel over contiguous parent chunks,
+// dedup decisions are made per digest shard in the exact serial enumeration
+// order, and the commit replay is serial and rank-ordered — so verdicts,
+// witnesses, and every work counter match the serial engine byte for byte.
+//
+// Spilling serializes committed states as canonical()-text frames into
+// chunk files under a per-search temp directory (atomic temp+rename per
+// chunk, corruption-tolerant on read like the verdict cache), keeping only
+// parent/action/spill-ref in memory for evicted nodes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rosa/rules.h"
+#include "rosa/search.h"
+#include "rosa/state.h"
+
+namespace pa::rosa {
+
+/// First line of every spill chunk file ("privanalyzer-rosa-spill v1
+/// model=<kRosaModelVersion>"); version- and model-stamped so a reader
+/// rejects frames written by an incompatible format or state model.
+const std::string& spill_header_line();
+
+/// Inverse of State::canonical(): rebuild a State (attached to `world`)
+/// from its canonical serialization. Returns nullopt on any malformed
+/// input. The rebuilt state's digest is left lazy — hash() recomputes the
+/// full hash on first use, exactly like a freshly-constructed state.
+std::optional<State> parse_canonical(
+    std::string_view text, std::shared_ptr<const WorldSkeleton> world);
+
+/// Append-only store of canonical state frames, split into chunk files
+/// under a per-search subdirectory of SearchLimits::spill_dir. Writes are
+/// buffered: append() queues a frame, flush() publishes the current chunk
+/// atomically (.tmp + rename), so readers only ever observe complete
+/// chunks. The layered engine flushes at every layer boundary; any frame a
+/// later phase can reference is therefore already on disk. The destructor
+/// removes the whole subdirectory on every exit path — success,
+/// resource-limit, cancellation, or an injected rosa.spill_io fault.
+class SpillStore {
+ public:
+  struct Ref {
+    std::uint32_t chunk = 0;
+    std::uint64_t offset = 0;  // byte offset of the frame within its chunk
+  };
+
+  /// Creates `<root>/rosa-spill-<pid>-<seq>` eagerly (even if nothing ever
+  /// spills) so directory I/O failures — and the rosa.spill_io fault point —
+  /// surface at search start rather than at an arbitrary search depth.
+  explicit SpillStore(const std::string& root);
+  ~SpillStore();
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Queue one frame holding st.canonical(). `digest` must be the state's
+  /// real full 64-bit digest (never a hash_override value); it is stored in
+  /// the frame and re-verified against the parsed state on load. Returns
+  /// the ref the frame is readable from after the next flush().
+  Ref append(const State& st, std::uint64_t digest);
+
+  /// Publish the buffered chunk (no-op when the buffer is empty).
+  void flush();
+
+  const std::string& dir() const { return dir_; }
+  std::string chunk_path(std::uint32_t chunk) const;
+  std::uint32_t chunks_written() const { return chunks_written_; }
+  std::size_t spilled_states() const { return spilled_states_; }
+  /// Total frame bytes appended (excludes per-chunk header/footer).
+  std::size_t spill_bytes() const { return spill_bytes_; }
+
+ private:
+  /// Auto-publish threshold: a chunk is flushed once its buffer exceeds
+  /// this, bounding both the memory held by pending frames and the size of
+  /// any single chunk file.
+  static constexpr std::size_t kFlushThreshold = std::size_t{4} << 20;
+
+  std::string dir_;
+  std::string buffer_;
+  std::uint32_t chunks_written_ = 0;
+  std::size_t spilled_states_ = 0;
+  std::size_t spill_bytes_ = 0;
+};
+
+/// Random-access reader over a SpillStore's published chunks. Each reader
+/// caches one open chunk stream, so per-worker readers give the layered
+/// engine lock-free point reads. Any corruption — missing chunk, stale
+/// header version, malformed or truncated frame, digest mismatch — raises a
+/// Stage::Rosa StageError instead of ever returning a wrong state.
+class SpillReader {
+ public:
+  explicit SpillReader(const SpillStore& store) : store_(&store) {}
+
+  /// Load the state at `ref`, attaching `world` as its skeleton.
+  State load(SpillStore::Ref ref,
+             const std::shared_ptr<const WorldSkeleton>& world);
+
+ private:
+  const SpillStore* store_;
+  std::ifstream in_;
+  std::int64_t open_chunk_ = -1;
+};
+
+namespace detail {
+
+/// One explored state, shared by the serial and the layered engines. Both
+/// append SearchNodes to the same Arena type and register the same heap
+/// bytes, so the chunk-reservation byte schedule — and with it every
+/// max_bytes verdict and peak_bytes figure — is identical whichever engine
+/// ran. `aux` is engine-owned: the serial loop uses it as the intrusive
+/// hash-chain link (next node with the same digest, -1 = chain end); the
+/// layered engine packs a spill ref ((chunk << 48) | offset) for states
+/// evicted to disk, -1 meaning resident in `state`.
+struct SearchNode {
+  State state;
+  std::int64_t parent = -1;
+  Action action;
+  std::int64_t aux = -1;
+};
+
+/// The layered engine. Dispatched from rosa::search() when
+/// limits.search_threads != 1 or limits.spill_enabled().
+SearchResult search_layered(const Query& query, const SearchLimits& limits);
+
+}  // namespace detail
+
+}  // namespace pa::rosa

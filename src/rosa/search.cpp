@@ -2,6 +2,7 @@
 
 #include "rosa/arena.h"
 #include "rosa/cache.h"
+#include "rosa/frontier.h"
 #include "rosa/rules.h"
 
 #include <chrono>
@@ -39,6 +40,8 @@ void SearchStats::merge(const SearchStats& other) {
   peak_frontier = std::max(peak_frontier, other.peak_frontier);
   peak_bytes = std::max(peak_bytes, other.peak_bytes);
   state_bytes += other.state_bytes;
+  spilled_states += other.spilled_states;
+  spill_bytes += other.spill_bytes;
   escalations += other.escalations;
   decisive_states += other.decisive_states;
   seconds += other.seconds;
@@ -53,6 +56,8 @@ std::string SearchStats::to_string() const {
                   " hash-collisions=", hash_collisions,
                   " peak-frontier=", peak_frontier,
                   " peak-bytes=", peak_bytes,
+                  " spilled-states=", spilled_states,
+                  " spill-bytes=", spill_bytes,
                   " escalations=", escalations, " cache-hits=", cache_hits,
                   " cache-misses=", cache_misses, " cache-joins=", cache_joins,
                   " time=", str::fixed(seconds, 3), "s");
@@ -76,6 +81,13 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
            "ROSA tracks at most 64 one-shot messages");
   PA_CHECK(static_cast<bool>(query.goal), "query has no goal predicate");
 
+  // Intra-search parallelism and frontier spilling both run on the layered
+  // engine (rosa/frontier.cpp), which is proven bit-identical to the serial
+  // loop below by tests/rosa_intra_parallel_diff_test.cpp. The serial loop
+  // stays as the reference implementation and the single-threaded default.
+  if (limits.search_threads != 1 || limits.spill_enabled())
+    return detail::search_layered(query, limits);
+
   const auto t0 = std::chrono::steady_clock::now();
   auto elapsed = [&t0] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -85,15 +97,13 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
 
   SearchResult result;
 
-  struct Node {
-    State state;
-    std::int64_t parent;
-    Action action;
-    /// Next node with the same 64-bit state hash (-1 = end of chain). The
-    /// seen-map stores one head index per hash; genuine collisions extend
-    /// this intrusive chain instead of allocating per-key buckets.
-    std::int64_t hash_next = -1;
-  };
+  // The node layout is shared with the layered engine so both charge the
+  // arena an identical byte schedule (see detail::SearchNode). Here `aux`
+  // is the intrusive hash chain: the next node with the same 64-bit state
+  // hash (-1 = end of chain); the seen-map stores one head index per hash,
+  // and genuine collisions extend the chain instead of allocating per-key
+  // buckets.
+  using Node = detail::SearchNode;
   // Chunked arena: node addresses are stable across appends (no whole-array
   // reallocation), and bytes() gives the footprint SearchLimits::max_bytes
   // bounds and SearchStats::peak_bytes reports.
@@ -230,15 +240,15 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
                 duplicate = true;
                 break;
               }
-              if (nodes[idx].hash_next < 0) break;
-              idx = static_cast<std::size_t>(nodes[idx].hash_next);
+              if (nodes[idx].aux < 0) break;
+              idx = static_cast<std::size_t>(nodes[idx].aux);
             }
             if (duplicate) {
               ++result.stats.dedup_hits;
               continue;
             }
             ++result.stats.hash_collisions;
-            nodes[idx].hash_next = static_cast<std::int64_t>(ni);
+            nodes[idx].aux = static_cast<std::int64_t>(ni);
           }
         }
         Node& added =
@@ -298,6 +308,8 @@ SearchResult search_escalating(const Query& query, const SearchLimits& limits,
     accumulated.peak_bytes =
         std::max(accumulated.peak_bytes, result.stats.peak_bytes);
     accumulated.state_bytes += result.stats.state_bytes;
+    accumulated.spilled_states += result.stats.spilled_states;
+    accumulated.spill_bytes += result.stats.spill_bytes;
     accumulated.seconds += result.stats.seconds;
   }
   // The decisive attempt's verdict/witness with whole-query work accounting;

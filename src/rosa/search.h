@@ -94,6 +94,21 @@ struct SearchLimits {
   /// allocator-dependent, so byte-budget exhaustion is deterministic and
   /// search_escalating() can grow this budget geometrically like the others.
   std::size_t max_bytes = 0;
+  /// Worker threads *inside* one search (1 = the classic serial loop, the
+  /// default; 0 = hardware_concurrency). Any value yields bit-identical
+  /// verdicts, witnesses, and work counters: values != 1 run the layered
+  /// engine (rosa/frontier.h), which expands each BFS layer in parallel but
+  /// commits it through a deterministic serial replay in the exact order
+  /// the serial loop would have enumerated candidates.
+  unsigned search_threads = 1;
+  /// Directory for disk-spillable frontiers. When set together with a
+  /// max_bytes budget, a search whose node arena would exceed the budget
+  /// serializes cold states to versioned temp files under this directory
+  /// and streams them back per layer, so the byte budget bounds *resident*
+  /// memory instead of total exploration — the search completes with the
+  /// same verdict/witness it would have produced unconstrained, rather
+  /// than returning ResourceLimit. Empty = spill disabled.
+  std::string spill_dir;
   /// Disable duplicate-state detection (ablation only; exponential blowup).
   bool no_dedup = false;
   /// Debug mode: cross-check every incrementally maintained state digest
@@ -120,6 +135,9 @@ struct SearchLimits {
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point{};
   }
+  /// True when the spill path is configured: it needs both a directory and
+  /// a byte budget to bound resident memory against.
+  bool spill_enabled() const { return !spill_dir.empty() && max_bytes > 0; }
   bool expired() const {
     return (cancel && cancel->load(std::memory_order_relaxed)) ||
            (has_deadline() && std::chrono::steady_clock::now() >= deadline);
@@ -166,6 +184,11 @@ struct SearchStats {
   /// slack), so state_bytes / states measures how compact the state
   /// *representation* is, independently of the arena around it.
   std::size_t state_bytes = 0;
+  /// States whose representation was written to a spill file instead of
+  /// kept resident (0 unless SearchLimits::spill_dir is in use).
+  std::size_t spilled_states = 0;
+  /// Bytes written to spill files (frame payloads plus per-frame headers).
+  std::size_t spill_bytes = 0;
   std::size_t escalations = 0;      // budget-doubled retries after ResourceLimit
   /// States explored by the decisive (final) attempt. Equal to `states`
   /// except under escalation, where `states` accumulates work across every

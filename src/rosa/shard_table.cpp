@@ -1,0 +1,41 @@
+#include "rosa/shard_table.h"
+
+#include "support/error.h"
+
+namespace pa::rosa {
+
+ShardTable::ShardTable(unsigned shard_bits) : bits_(shard_bits) {
+  PA_CHECK(shard_bits <= 16, "shard table: at most 2^16 shards");
+  shards_.resize(std::size_t{1} << bits_);
+}
+
+unsigned ShardTable::shard_of(std::uint64_t hash) const {
+  if (bits_ == 0) return 0;
+  // Top bits of a splitmix-style multiply: robust even under degenerate
+  // hash_override digests (a constant maps everything to one shard, which
+  // is slow but stays correct — the contract is determinism, not balance).
+  return static_cast<unsigned>((hash * 0x9e3779b97f4a7c15ull) >>
+                               (64 - bits_));
+}
+
+void ShardTable::set_value(unsigned shard, std::uint32_t entry,
+                           std::uint32_t value) {
+  shards_[shard].entries[entry].value = value;
+}
+
+std::uint32_t ShardTable::value_at(unsigned shard,
+                                   std::uint32_t entry) const {
+  return shards_[shard].entries[entry].value;
+}
+
+std::size_t ShardTable::size() const {
+  std::size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.entries.size();
+  return n;
+}
+
+void ShardTable::reserve(std::size_t per_shard) {
+  for (Shard& sh : shards_) sh.heads.reserve(per_shard);
+}
+
+}  // namespace pa::rosa

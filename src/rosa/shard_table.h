@@ -1,0 +1,119 @@
+// Sharded dedup table for the layered intra-search engine (rosa/frontier.h).
+//
+// The serial search keys its seen-set on 64-bit incremental state digests
+// and resolves collisions by exact canonical comparison along an intrusive
+// chain. This table keeps exactly those semantics but splits the key space
+// into 2^shard_bits shards by a mix of the digest, so the layered engine's
+// dedup phase can hand each shard to a different worker with no locking at
+// all: every candidate with a given digest maps to exactly one shard, and
+// two canonical-equal states always share a digest, so cross-shard
+// candidates can never be duplicates of each other.
+//
+// Thread-safety contract: concurrent calls must target DISTINCT shards
+// (each shard's map and entry vector are touched by at most one thread at a
+// time). The layered engine's phase barrier provides the happens-before
+// edge between phases; tests/rosa_shard_table_test.cpp fuzzes the semantics
+// against a plain std::unordered_map reference and runs the per-shard
+// concurrency contract under ThreadSanitizer.
+//
+// Values are caller-defined 32-bit payloads (the engine stores node indices
+// or tagged candidate ranks); `equal` is the caller's exact-state
+// comparison, invoked only on genuine digest matches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pa::rosa {
+
+class ShardTable {
+ public:
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
+  /// 2^shard_bits shards; 6 (64 shards) keeps per-shard contention-free
+  /// work chunky enough to steal while spreading real workloads evenly.
+  explicit ShardTable(unsigned shard_bits = 6);
+
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+
+  /// The unique shard a digest belongs to (deterministic; a function of the
+  /// digest only, so dedup decisions cannot depend on scheduling).
+  unsigned shard_of(std::uint64_t hash) const;
+
+  enum class Outcome : std::uint8_t {
+    Inserted,           // first entry for this digest
+    InsertedCollision,  // digest present but no exact match: chain extended
+    Duplicate,          // exact match found; nothing inserted
+  };
+
+  struct Result {
+    Outcome outcome;
+    std::uint32_t value;  // the duplicate's value, or the inserted value
+    std::uint32_t entry;  // handle for set_value() on the touched entry
+  };
+
+  /// Insert-or-find mirroring the serial loop: no digest -> insert; digest
+  /// present -> walk the chain calling equal(existing_value), first match
+  /// is a duplicate, otherwise append at the chain tail (one genuine
+  /// collision, exactly like the serial hash_next link). `shard` must be
+  /// shard_of(hash); split out so callers iterating one shard don't rehash.
+  template <typename Eq>
+  Result try_insert(unsigned shard, std::uint64_t hash, std::uint32_t value,
+                    Eq&& equal) {
+    Shard& sh = shards_[shard];
+    auto [it, fresh] = sh.heads.try_emplace(hash, kNoEntry);
+    if (fresh) {
+      const std::uint32_t e = append_entry(sh, value);
+      it->second = e;
+      return {Outcome::Inserted, value, e};
+    }
+    std::uint32_t idx = it->second;
+    for (;;) {
+      Entry& ent = sh.entries[idx];
+      if (equal(ent.value)) return {Outcome::Duplicate, ent.value, idx};
+      if (ent.next == kNoEntry) break;
+      idx = ent.next;
+    }
+    const std::uint32_t e = append_entry(sh, value);
+    sh.entries[idx].next = e;
+    return {Outcome::InsertedCollision, value, e};
+  }
+
+  /// Repoint an entry's payload (the engine swaps a candidate rank for the
+  /// committed node index). Same per-shard threading contract as
+  /// try_insert.
+  void set_value(unsigned shard, std::uint32_t entry, std::uint32_t value);
+
+  std::uint32_t value_at(unsigned shard, std::uint32_t entry) const;
+
+  /// Total entries across all shards (serial use only).
+  std::size_t size() const;
+
+  /// Pre-size every shard's head map (serial use only).
+  void reserve(std::size_t per_shard);
+
+ private:
+  struct Entry {
+    std::uint32_t value;
+    std::uint32_t next;  // kNoEntry = chain tail
+  };
+  struct Shard {
+    std::unordered_map<std::uint64_t, std::uint32_t> heads;
+    std::vector<Entry> entries;
+  };
+
+  std::uint32_t append_entry(Shard& sh, std::uint32_t value) {
+    sh.entries.push_back(Entry{value, kNoEntry});
+    return static_cast<std::uint32_t>(sh.entries.size() - 1);
+  }
+
+  unsigned bits_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace pa::rosa

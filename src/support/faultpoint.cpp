@@ -21,6 +21,7 @@ constexpr const char* kCompiledInPoints[] = {
     "thread_pool.task",     // support/thread_pool.cpp: task boundary
     "rosa.search",          // rosa/search.cpp: search() entry
     "rosa.cache_load",      // privanalyzer/pipeline.cpp: --rosa-cache load
+    "rosa.spill_io",        // rosa/frontier.cpp: spill dir/chunk I/O
 };
 
 struct PointState {

@@ -62,7 +62,8 @@ TEST_F(FaultPointTest, RegistryListsEveryCompiledInPoint) {
   std::vector<std::string> points = fp::registered_points();
   for (const char* expected :
        {"loader.load_program", "verifier.verify", "world.make",
-        "thread_pool.task", "rosa.search", "rosa.cache_load"})
+        "thread_pool.task", "rosa.search", "rosa.cache_load",
+        "rosa.spill_io"})
     EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
         << expected;
 }
@@ -117,6 +118,12 @@ TEST_F(FaultPointTest, SoakEveryPointIsolatedAndDiagnosed) {
   // the whole query matrix without ever reaching the armed rosa.search point.
   opts.rosa_cache_file = ::testing::TempDir() + "/soakdemo.rosa-cache";
   std::remove(opts.rosa_cache_file.c_str());
+  // Spill-enabled limits make every search construct a SpillStore, whose
+  // eager directory creation is the first rosa.spill_io site — reachable
+  // even for this syscall-free program's zero-successor searches. Spilling
+  // preserves verdicts, so the unarmed runs behave as before.
+  opts.rosa_limits.spill_dir = ::testing::TempDir();
+  opts.rosa_limits.max_bytes = 1;
 
   for (const std::string& point : fp::registered_points()) {
     SCOPED_TRACE(point);

@@ -16,66 +16,22 @@
 #include "rosa/cache.h"
 #include "rosa/fingerprint.h"
 #include "rosa/query.h"
+#include "rosa_test_util.h"
 
 namespace pa::rosa {
 namespace {
 
-// A tiny but non-trivial search problem: proc 1 (uid 1000) may open each of
-// `n_files` files it owns, so the reachable space is the 2^n_files subsets
-// of open files — big enough to exercise budgets deterministically.
-Query open_query(int n_files, int mode_bits, Goal goal) {
-  Query q;
-  ProcObj p;
-  p.id = 1;
-  p.uid = {1000, 1000, 1000};
-  p.gid = {1000, 1000, 1000};
-  q.initial.procs.push_back(p);
-  for (int f = 0; f < n_files; ++f) {
-    q.initial.files.push_back(
-        FileObj{2 + f, {1000, 1000, os::Mode(mode_bits)}});
-    q.initial.set_name(2 + f, "f");
-  }
-  q.initial.set_users({1000});
-  q.initial.set_groups({1000});
-  q.initial.normalize();
-  for (int f = 0; f < n_files; ++f)
-    q.messages.push_back(msg_open(1, 2 + f, kAccRead, {}));
-  q.goal = std::move(goal);
-  return q;
-}
-
-Query reachable_query() {
-  return open_query(2, 0600, goal_file_in_rdfset(1, 3));
-}
-Query unreachable_query(int n_files = 2) {
-  return open_query(n_files, 0600, goal_proc_terminated(1));
-}
-
-SearchLimits states_budget(std::size_t n) {
-  SearchLimits lim;
-  lim.max_states = n;
-  return lim;
-}
+// The handmade query set and the work-equality predicate are shared with the
+// other differential suites (see rosa_test_util.h).
+using rosa_test::expect_same_work;
+using rosa_test::open_query;
+using rosa_test::reachable_query;
+using rosa_test::states_budget;
+using rosa_test::unreachable_query;
 
 std::string hex_of(const Query& q, const SearchLimits& lim = {}) {
   std::optional<Fingerprint> fp = fingerprint_query(q, lim);
   return fp ? fp->to_hex() : std::string("<uncacheable>");
-}
-
-/// Everything except wall time and the cache counters must agree.
-void expect_same_work(const SearchResult& a, const SearchResult& b) {
-  EXPECT_EQ(a.verdict, b.verdict);
-  EXPECT_EQ(a.states_explored(), b.states_explored());
-  EXPECT_EQ(a.transitions(), b.transitions());
-  EXPECT_EQ(a.stats.states, b.stats.states);
-  EXPECT_EQ(a.stats.transitions, b.stats.transitions);
-  EXPECT_EQ(a.stats.dedup_hits, b.stats.dedup_hits);
-  EXPECT_EQ(a.stats.hash_collisions, b.stats.hash_collisions);
-  EXPECT_EQ(a.stats.peak_frontier, b.stats.peak_frontier);
-  EXPECT_EQ(a.stats.escalations, b.stats.escalations);
-  ASSERT_EQ(a.witness.size(), b.witness.size());
-  for (std::size_t i = 0; i < a.witness.size(); ++i)
-    EXPECT_EQ(a.witness[i].to_string(), b.witness[i].to_string());
 }
 
 // --- Fingerprints ----------------------------------------------------------

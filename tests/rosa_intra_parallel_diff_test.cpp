@@ -1,0 +1,207 @@
+// Differential test for the intra-search layered engine
+// (SearchLimits::search_threads, rosa/frontier.h): one search expanded by a
+// work-stealing worker team must be indistinguishable — bit for bit — from
+// the classic serial loop. The full Table-III query matrix is diffed against
+// the seed goldens at search_threads ∈ {2, 4}, cached and uncached, with
+// check_hashes pinning every incremental digest; a second pass compares the
+// serial and threaded runs field by field, including the counters the
+// goldens deliberately omit (peak_bytes, state_bytes, decisive_states).
+// Layer-barrier determinism is the property under test: Phase 1 may expand
+// parents in any order across workers, but the rank-ordered commit replay
+// must reproduce the serial enumeration exactly (DESIGN.md, decision 11).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rosa/cache.h"
+#include "rosa_test_util.h"
+
+namespace pa {
+namespace {
+
+using rosa_test::Golden;
+using rosa_test::Matrix;
+
+rosa::SearchLimits limits_with_workers(unsigned search_threads) {
+  rosa::SearchLimits limits = rosa_test::table3_limits();
+  limits.search_threads = search_threads;
+  return limits;
+}
+
+/// Stricter than the golden comparison: every counter the engine maintains,
+/// including the ones excluded from golden lines because they pin the node
+/// layout rather than the model. The layered engine shares the serial
+/// engine's node type, so even the byte accounting must agree exactly.
+void expect_identical_runs(const rosa::SearchResult& serial,
+                           const rosa::SearchResult& layered) {
+  rosa_test::expect_same_work(serial, layered);
+  EXPECT_EQ(serial.stats.peak_bytes, layered.stats.peak_bytes);
+  EXPECT_EQ(serial.stats.state_bytes, layered.stats.state_bytes);
+  EXPECT_EQ(serial.stats.decisive_states, layered.stats.decisive_states);
+  EXPECT_EQ(serial.stats.spilled_states, layered.stats.spilled_states);
+  EXPECT_EQ(serial.stats.spill_bytes, layered.stats.spill_bytes);
+}
+
+void expect_matches_golden(unsigned search_threads, bool cached) {
+  const Golden golden = rosa_test::load_golden();
+  ASSERT_EQ(golden.qlines.size(), 96u) << "golden file out of shape";
+  const Matrix m = rosa_test::build_matrix();
+  ASSERT_EQ(m.queries.size(), golden.qlines.size());
+
+  const rosa::SearchLimits limits = limits_with_workers(search_threads);
+  rosa::QueryCache cache;
+  std::vector<rosa::SearchResult> results =
+      rosa::run_queries(m.queries, limits, /*n_threads=*/1, {},
+                        cached ? &cache : nullptr);
+  for (std::size_t i = 0; i < m.queries.size(); ++i)
+    EXPECT_EQ(rosa_test::render_line(m.queries[i], results[i], limits),
+              golden.qlines[i])
+        << m.labels[i] << " (search_threads=" << search_threads
+        << " cached=" << cached << ")";
+}
+
+TEST(IntraParallelDiffTest, TwoWorkerUncachedMatchesSeedGoldens) {
+  expect_matches_golden(2, false);
+}
+
+TEST(IntraParallelDiffTest, FourWorkerUncachedMatchesSeedGoldens) {
+  expect_matches_golden(4, false);
+}
+
+TEST(IntraParallelDiffTest, TwoWorkerCachedMatchesSeedGoldens) {
+  expect_matches_golden(2, true);
+}
+
+TEST(IntraParallelDiffTest, FourWorkerCachedMatchesSeedGoldens) {
+  expect_matches_golden(4, true);
+}
+
+TEST(IntraParallelDiffTest, FullStatsIdenticalAcrossWorkerCounts) {
+  const Matrix m = rosa_test::build_matrix();
+  std::vector<rosa::SearchResult> serial =
+      rosa::run_queries(m.queries, limits_with_workers(1), 1);
+  for (unsigned w : {2u, 4u}) {
+    std::vector<rosa::SearchResult> layered =
+        rosa::run_queries(m.queries, limits_with_workers(w), 1);
+    ASSERT_EQ(layered.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE(m.labels[i] + " search_threads=" + std::to_string(w));
+      expect_identical_runs(serial[i], layered[i]);
+    }
+  }
+}
+
+TEST(IntraParallelDiffTest, VulnerableFractionsMatchSeedGoldens) {
+  // The headline Table-III fractions through the full pipeline with the
+  // layered engine doing every search.
+  const Golden golden = rosa_test::load_golden();
+  ASSERT_EQ(golden.fractions.size(), 5u) << "golden file out of shape";
+
+  privanalyzer::PipelineOptions full;
+  full.rosa_limits = limits_with_workers(4);
+  full.rosa_threads = 1;
+  std::vector<privanalyzer::ProgramAnalysis> analyses =
+      privanalyzer::analyze_baseline(full);
+  ASSERT_EQ(analyses.size(), golden.fractions.size());
+  for (std::size_t i = 0; i < analyses.size(); ++i) {
+    const privanalyzer::ProgramAnalysis& a = analyses[i];
+    std::string line = str::cat("f ", a.program);
+    for (std::size_t atk = 0; atk < 4; ++atk)
+      line += str::cat(" ", str::fixed(a.vulnerable_fraction(atk), 6));
+    EXPECT_EQ(line, golden.fractions[i]);
+  }
+}
+
+TEST(IntraParallelDiffTest, HardwareConcurrencyMatchesSerialToo) {
+  // search_threads = 0 resolves to hardware_concurrency — whatever that is
+  // on the host, the result must not change.
+  for (const rosa::Query& q :
+       {rosa_test::reachable_query(), rosa_test::unreachable_query(4)}) {
+    rosa::SearchLimits serial_lim, hw_lim;
+    hw_lim.search_threads = 0;
+    expect_identical_runs(rosa::search(q, serial_lim),
+                          rosa::search(q, hw_lim));
+  }
+}
+
+TEST(IntraParallelDiffTest, ConstantHashOverrideStillBitIdentical) {
+  // A constant hash forces every candidate through the collision-fallback
+  // path and funnels all dedup work into a single shard — the worst case
+  // for the sharded table. Counters (including hash_collisions) must still
+  // replay the serial engine exactly.
+  rosa::SearchLimits serial_lim, layered_lim;
+  serial_lim.hash_override = [](const rosa::State&) {
+    return std::uint64_t{42};
+  };
+  layered_lim = serial_lim;
+  layered_lim.search_threads = 4;
+  for (const rosa::Query& q :
+       {rosa_test::reachable_query(), rosa_test::unreachable_query(3)}) {
+    expect_identical_runs(rosa::search(q, serial_lim),
+                          rosa::search(q, layered_lim));
+  }
+}
+
+TEST(IntraParallelDiffTest, NoDedupAblationStillBitIdentical) {
+  // no_dedup skips the sharded phase entirely; the layered engine must
+  // still commit candidates in serial rank order.
+  rosa::SearchLimits serial_lim, layered_lim;
+  serial_lim.no_dedup = true;
+  serial_lim.max_states = 500;  // the ablated space is exponential
+  layered_lim = serial_lim;
+  layered_lim.search_threads = 3;
+  const rosa::Query q = rosa_test::unreachable_query(3);
+  expect_identical_runs(rosa::search(q, serial_lim),
+                        rosa::search(q, layered_lim));
+}
+
+TEST(IntraParallelDiffTest, EscalationReplaysIdentically) {
+  // search_escalating re-runs the layered engine with grown budgets; the
+  // accumulated counters must match the serial escalation exactly.
+  const rosa::Query q = rosa_test::unreachable_query(3);  // 8-state space
+  const rosa::EscalationPolicy esc{3, 2.0};               // budgets 2,4,8,16
+  rosa::SearchLimits serial_lim = rosa_test::states_budget(2);
+  rosa::SearchLimits layered_lim = serial_lim;
+  layered_lim.search_threads = 4;
+  rosa::SearchResult serial = rosa::search_escalating(q, serial_lim, esc);
+  rosa::SearchResult layered = rosa::search_escalating(q, layered_lim, esc);
+  ASSERT_EQ(serial.verdict, rosa::Verdict::Unreachable);
+  EXPECT_EQ(serial.stats.escalations, 3u);
+  expect_identical_runs(serial, layered);
+}
+
+TEST(IntraParallelDiffTest, SpillForcedRunMatchesUnconstrained) {
+  // Acceptance check for the spillable frontier: a byte budget far below
+  // the search's real footprint plus a spill directory must complete with
+  // the unconstrained verdict and witness instead of ResourceLimit.
+  // (tests/rosa_spill_test.cpp exercises the spill machinery in depth.)
+  const rosa::Query q = rosa_test::unreachable_query(8);  // 256-state space
+  rosa::SearchLimits unconstrained;
+  rosa::SearchResult full = rosa::search(q, unconstrained);
+  ASSERT_EQ(full.verdict, rosa::Verdict::Unreachable);
+  ASSERT_EQ(full.stats.states, 256u);
+
+  rosa::SearchLimits starved;
+  // A quarter of the measured footprint: guaranteed to fire mid-search.
+  starved.max_bytes = full.stats.peak_bytes / 4;
+  ASSERT_GT(starved.max_bytes, 0u);
+  ASSERT_EQ(rosa::search(q, starved).verdict, rosa::Verdict::ResourceLimit);
+
+  rosa::SearchLimits spilling = starved;
+  spilling.spill_dir = ::testing::TempDir();
+  rosa::SearchResult spilled = rosa::search(q, spilling);
+  EXPECT_EQ(spilled.verdict, full.verdict);
+  EXPECT_GT(spilled.stats.spilled_states, 0u);
+  EXPECT_GT(spilled.stats.spill_bytes, 0u);
+  EXPECT_EQ(spilled.stats.states, full.stats.states);
+  EXPECT_EQ(spilled.stats.transitions, full.stats.transitions);
+  EXPECT_EQ(spilled.stats.dedup_hits, full.stats.dedup_hits);
+  EXPECT_EQ(spilled.stats.peak_frontier, full.stats.peak_frontier);
+  ASSERT_EQ(spilled.witness.size(), full.witness.size());
+  for (std::size_t i = 0; i < full.witness.size(); ++i)
+    EXPECT_EQ(spilled.witness[i].to_string(), full.witness[i].to_string());
+}
+
+}  // namespace
+}  // namespace pa

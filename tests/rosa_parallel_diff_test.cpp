@@ -10,6 +10,7 @@
 #include "privanalyzer/pipeline.h"
 #include "rosa/query.h"
 #include "rosa/replay.h"
+#include "rosa_test_util.h"
 
 namespace pa::privanalyzer {
 namespace {
@@ -128,23 +129,9 @@ TEST(ParallelDiffTest, RunQueriesOrdersResultsLikeInputs) {
   // later queries finish first.
   using namespace rosa;
   std::vector<Query> queries;
-  for (int f = 0; f < 6; ++f) {
-    Query q;
-    ProcObj p;
-    p.id = 1;
-    p.uid = {1000, 1000, 1000};
-    p.gid = {1000, 1000, 1000};
-    q.initial.procs.push_back(p);
-    q.initial.files.push_back(
-        FileObj{2, {1000, 1000, os::Mode(f % 2 ? 0600 : 0000)}});
-    q.initial.set_name(2, "f");
-    q.initial.set_users({1000});
-    q.initial.set_groups({1000});
-    q.initial.normalize();
-    q.messages = {msg_open(1, 2, kAccRead, {})};
-    q.goal = goal_file_in_rdfset(1, 2);
-    queries.push_back(std::move(q));
-  }
+  for (int f = 0; f < 6; ++f)
+    queries.push_back(rosa_test::open_query(1, f % 2 ? 0600 : 0000,
+                                            goal_file_in_rdfset(1, 2)));
   std::vector<SearchResult> serial = run_queries(queries, {}, 1);
   std::vector<SearchResult> parallel = run_queries(queries, {}, 4);
   ASSERT_EQ(serial.size(), queries.size());

@@ -7,124 +7,37 @@
 // incrementally maintained digest is cross-checked against a from-scratch
 // State::full_hash() along the way.
 //
-// hash_collisions is deliberately excluded: which distinct states share a
-// 64-bit key is a property of the hash function, not of the model, and the
-// refactor replaced FNV-over-canonical with incremental XOR hashing.
+// The golden matrix machinery (build_matrix, table3_limits, render_line,
+// load_golden) is shared with the other differential suites via
+// rosa_test_util.h.
 #include <gtest/gtest.h>
 
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "attacks/scenario.h"
-#include "privanalyzer/efficacy.h"
 #include "rosa/cache.h"
-#include "rosa/fingerprint.h"
-#include "rosa/query.h"
-#include "rosa/search.h"
+#include "rosa_test_util.h"
 #include "support/str.h"
 
 namespace pa {
 namespace {
 
-struct Golden {
-  std::vector<std::string> qlines;     // normalized "q fp verdict ..." lines
-  std::vector<std::string> fractions;  // normalized "f program v v v v" lines
-};
-
-// Collapse runs of spaces and drop the trailing "# label" comment so lines
-// compare on content only.
-std::string normalize(const std::string& line) {
-  std::istringstream in(line);
-  std::string tok, out;
-  while (in >> tok) {
-    if (tok == "#") break;
-    if (!out.empty()) out += ' ';
-    out += tok;
-  }
-  return out;
-}
-
-Golden load_golden() {
-  const std::string path =
-      std::string(PA_SOURCE_DIR) + "/tests/golden/rosa_table3_seed.txt";
-  std::ifstream in(path);
-  EXPECT_TRUE(in) << "missing golden file " << path;
-  Golden g;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.rfind("q ", 0) == 0) g.qlines.push_back(normalize(line));
-    if (line.rfind("f ", 0) == 0) g.fractions.push_back(normalize(line));
-  }
-  return g;
-}
-
-struct Matrix {
-  std::vector<rosa::Query> queries;
-  std::vector<std::string> labels;
-};
-
-// The exact construction the seed capture used: every (program, epoch,
-// attack) cell of Table III.
-Matrix build_matrix() {
-  privanalyzer::PipelineOptions chrono_only;
-  chrono_only.run_rosa = false;
-  std::vector<privanalyzer::ProgramAnalysis> analyses =
-      privanalyzer::analyze_baseline(chrono_only);
-  std::vector<programs::ProgramSpec> specs =
-      programs::all_baseline_programs();
-
-  Matrix m;
-  for (std::size_t p = 0; p < specs.size(); ++p) {
-    const auto syscalls = specs[p].syscalls_used();
-    for (const chronopriv::EpochRow& row : analyses[p].chrono.rows) {
-      attacks::ScenarioInput in = attacks::scenario_from_epoch(
-          row, syscalls, specs[p].scenario_extra_users,
-          specs[p].scenario_extra_groups);
-      for (const attacks::AttackInfo& a : attacks::modeled_attacks()) {
-        m.queries.push_back(attacks::build_attack_query(a.id, in));
-        m.labels.push_back(
-            str::cat(specs[p].name, "/", row.name, "/", a.name));
-      }
-    }
-  }
-  return m;
-}
-
-rosa::SearchLimits table3_limits() {
-  rosa::SearchLimits limits;
-  limits.max_states = 1'000'000;
-  limits.check_hashes = true;  // pin incremental digests to full_hash()
-  return limits;
-}
-
-std::string render_line(const rosa::Query& q, const rosa::SearchResult& r,
-                        const rosa::SearchLimits& limits) {
-  const auto fp = rosa::fingerprint_query(q, limits);
-  std::string line = str::cat(
-      "q ", fp ? fp->to_hex() : std::string("uncacheable"), " ",
-      rosa::verdict_name(r.verdict), " ", r.stats.states, " ",
-      r.stats.transitions, " ", r.stats.dedup_hits, " ",
-      r.stats.peak_frontier, " ", r.witness.size());
-  for (const rosa::Action& a : r.witness)
-    line += str::cat(" ", a.to_string());
-  return line;
-}
+using rosa_test::Golden;
+using rosa_test::Matrix;
 
 void expect_matches_golden(unsigned n_threads, bool cached) {
-  const Golden golden = load_golden();
+  const Golden golden = rosa_test::load_golden();
   ASSERT_EQ(golden.qlines.size(), 96u) << "golden file out of shape";
-  const Matrix m = build_matrix();
+  const Matrix m = rosa_test::build_matrix();
   ASSERT_EQ(m.queries.size(), golden.qlines.size());
 
-  const rosa::SearchLimits limits = table3_limits();
+  const rosa::SearchLimits limits = rosa_test::table3_limits();
   rosa::QueryCache cache;
   std::vector<rosa::SearchResult> results =
       rosa::run_queries(m.queries, limits, n_threads, {},
                         cached ? &cache : nullptr);
   for (std::size_t i = 0; i < m.queries.size(); ++i)
-    EXPECT_EQ(render_line(m.queries[i], results[i], limits),
+    EXPECT_EQ(rosa_test::render_line(m.queries[i], results[i], limits),
               golden.qlines[i])
         << m.labels[i] << " (threads=" << n_threads
         << " cached=" << cached << ")";
@@ -147,11 +60,11 @@ TEST(ReprDiffTest, FourThreadCachedMatchesSeedGoldens) {
 }
 
 TEST(ReprDiffTest, VulnerableFractionsMatchSeedGoldens) {
-  const Golden golden = load_golden();
+  const Golden golden = rosa_test::load_golden();
   ASSERT_EQ(golden.fractions.size(), 5u) << "golden file out of shape";
 
   privanalyzer::PipelineOptions full;
-  full.rosa_limits = table3_limits();
+  full.rosa_limits = rosa_test::table3_limits();
   full.rosa_threads = 1;
   std::vector<privanalyzer::ProgramAnalysis> analyses =
       privanalyzer::analyze_baseline(full);

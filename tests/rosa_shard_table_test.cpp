@@ -1,0 +1,203 @@
+// Tests for the sharded dedup table behind the layered intra-search engine
+// (rosa/shard_table.h): outcome semantics against a plain reference map,
+// randomized interleaved insert/lookup/set_value fuzzing with forced digest
+// collisions, and the distinct-shards concurrency contract (the test TSan
+// runs to prove the no-locking design sound).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "rosa/shard_table.h"
+
+namespace pa::rosa {
+namespace {
+
+using Outcome = ShardTable::Outcome;
+
+TEST(ShardTableTest, InsertFindDuplicateAndCollision) {
+  ShardTable t;
+  const std::uint64_t h = 0xdeadbeefull;
+  const unsigned shard = t.shard_of(h);
+
+  // First digest sighting: plain insert.
+  auto r1 = t.try_insert(shard, h, 7, [](std::uint32_t) { return false; });
+  EXPECT_EQ(r1.outcome, Outcome::Inserted);
+  EXPECT_EQ(r1.value, 7u);
+
+  // Same digest, equal() accepts: duplicate, reports the existing value.
+  auto r2 = t.try_insert(shard, h, 8, [](std::uint32_t v) { return v == 7; });
+  EXPECT_EQ(r2.outcome, Outcome::Duplicate);
+  EXPECT_EQ(r2.value, 7u);
+  EXPECT_EQ(r2.entry, r1.entry);
+
+  // Same digest, equal() rejects: a genuine collision extends the chain.
+  auto r3 = t.try_insert(shard, h, 8, [](std::uint32_t) { return false; });
+  EXPECT_EQ(r3.outcome, Outcome::InsertedCollision);
+  EXPECT_EQ(r3.value, 8u);
+  EXPECT_NE(r3.entry, r1.entry);
+
+  // The chain now holds both; equal() sees values in insertion order.
+  std::vector<std::uint32_t> seen;
+  auto r4 = t.try_insert(shard, h, 9, [&](std::uint32_t v) {
+    seen.push_back(v);
+    return v == 8;
+  });
+  EXPECT_EQ(r4.outcome, Outcome::Duplicate);
+  EXPECT_EQ(r4.value, 8u);
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{7, 8}));
+
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(ShardTableTest, SetValueRepointsAnEntry) {
+  // The engine inserts tagged candidate ranks during the dedup phase and
+  // repoints them to committed node indices afterwards.
+  ShardTable t;
+  const std::uint64_t h = 123;
+  const unsigned shard = t.shard_of(h);
+  auto r = t.try_insert(shard, h, 0x80000005u,
+                        [](std::uint32_t) { return false; });
+  ASSERT_EQ(r.outcome, Outcome::Inserted);
+  EXPECT_EQ(t.value_at(shard, r.entry), 0x80000005u);
+  t.set_value(shard, r.entry, 42);
+  EXPECT_EQ(t.value_at(shard, r.entry), 42u);
+
+  auto dup = t.try_insert(shard, h, 99, [](std::uint32_t v) { return v == 42; });
+  EXPECT_EQ(dup.outcome, Outcome::Duplicate);
+  EXPECT_EQ(dup.value, 42u);
+}
+
+TEST(ShardTableTest, ShardOfIsDeterministicInRangeAndSpreads) {
+  ShardTable t;
+  ASSERT_EQ(t.shard_count(), 64u);
+  std::unordered_set<unsigned> hit;
+  for (std::uint64_t h = 0; h < 4096; ++h) {
+    const unsigned s = t.shard_of(h);
+    EXPECT_LT(s, t.shard_count());
+    EXPECT_EQ(s, t.shard_of(h));  // pure function of the digest
+    hit.insert(s);
+  }
+  // The multiplicative mix must actually spread sequential digests.
+  EXPECT_EQ(hit.size(), 64u);
+
+  ShardTable one(0);
+  EXPECT_EQ(one.shard_count(), 1u);
+  EXPECT_EQ(one.shard_of(0xffffffffffffffffull), 0u);
+}
+
+// Randomized differential fuzz: the table must agree with a single flat
+// reference map under interleaved insert/lookup/set_value, including under
+// forced digest collisions (digest = identity % 17, so ~every insert chains).
+TEST(ShardTableTest, FuzzMatchesReferenceMapUnderForcedCollisions) {
+  std::mt19937 rng(0xc0ffee);
+  for (int round = 0; round < 8; ++round) {
+    ShardTable t(round % 2 ? 6 : 2);  // 64 shards and 4 shards
+    // identity -> value, the semantics the table must reproduce.
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    // value -> identity, so equal() can be written the way the engine
+    // writes it (values are opaque handles to states).
+    std::unordered_map<std::uint32_t, std::uint64_t> ident_of;
+    // identity -> (shard, entry) for set_value fuzzing.
+    std::unordered_map<std::uint64_t, std::pair<unsigned, std::uint32_t>>
+        entry_of;
+    std::uint32_t next_value = 0;
+
+    std::uniform_int_distribution<std::uint64_t> pick_identity(0, 199);
+    std::uniform_int_distribution<int> pick_op(0, 9);
+    for (int step = 0; step < 4000; ++step) {
+      const std::uint64_t identity = pick_identity(rng);
+      const std::uint64_t digest = identity % 17;  // heavy forced collisions
+      const unsigned shard = t.shard_of(digest);
+      if (pick_op(rng) == 0 && !entry_of.empty()) {
+        // Repoint a random existing entry to a fresh value.
+        auto it = entry_of.begin();
+        std::advance(it, static_cast<long>(rng() % entry_of.size()));
+        const std::uint32_t nv = next_value++;
+        t.set_value(it->second.first, it->second.second, nv);
+        ident_of[nv] = it->first;
+        ref[it->first] = nv;
+        continue;
+      }
+      const std::uint32_t v = next_value++;
+      auto r = t.try_insert(shard, digest, v, [&](std::uint32_t existing) {
+        return ident_of.at(existing) == identity;
+      });
+      auto ref_it = ref.find(identity);
+      if (ref_it != ref.end()) {
+        EXPECT_EQ(r.outcome, Outcome::Duplicate);
+        EXPECT_EQ(r.value, ref_it->second);
+      } else {
+        // New identity: inserted, chained iff another identity shares the
+        // digest already.
+        bool digest_taken = false;
+        for (const auto& [id, val] : ref)
+          digest_taken |= (id % 17) == digest && id != identity;
+        EXPECT_EQ(r.outcome, digest_taken ? Outcome::InsertedCollision
+                                          : Outcome::Inserted);
+        EXPECT_EQ(r.value, v);
+        ident_of[v] = identity;
+        ref[identity] = v;
+        entry_of[identity] = {shard, r.entry};
+      }
+      EXPECT_EQ(t.value_at(shard, r.entry), ref.at(identity));
+    }
+    EXPECT_EQ(t.size(), ref.size());
+  }
+}
+
+// The concurrency contract: concurrent calls are safe as long as they target
+// distinct shards. Four threads each own a quarter of the shards and insert
+// thousands of keys into their own shards only — ThreadSanitizer (the CI
+// tsan leg) proves the absence of lurking shared state inside the table.
+TEST(ShardTableTest, DistinctShardsAreConcurrencySafe) {
+  ShardTable t;
+  const unsigned n_threads = 4;
+  const unsigned shards_per_thread = t.shard_count() / n_threads;
+
+  // Pre-bucket digests by shard so each thread stays inside its own range.
+  std::vector<std::vector<std::uint64_t>> by_shard(t.shard_count());
+  for (std::uint64_t h = 0; h < 200'000; ++h) {
+    std::vector<std::uint64_t>& bucket = by_shard[t.shard_of(h)];
+    if (bucket.size() < 512) bucket.push_back(h);
+  }
+
+  std::vector<std::thread> threads;
+  for (unsigned ti = 0; ti < n_threads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (unsigned s = ti * shards_per_thread;
+           s < (ti + 1) * shards_per_thread; ++s) {
+        for (std::uint64_t h : by_shard[s]) {
+          auto r = t.try_insert(s, h, static_cast<std::uint32_t>(h),
+                                [](std::uint32_t) { return false; });
+          ASSERT_EQ(r.outcome, Outcome::Inserted);
+          // Exercise the repoint path concurrently too.
+          t.set_value(s, r.entry, static_cast<std::uint32_t>(h) + 1);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::size_t expected = 0;
+  for (const std::vector<std::uint64_t>& bucket : by_shard)
+    expected += bucket.size();
+  EXPECT_EQ(t.size(), expected);
+
+  // Every inserted digest is findable afterwards with its repointed value.
+  for (unsigned s = 0; s < t.shard_count(); ++s) {
+    for (std::uint64_t h : by_shard[s]) {
+      auto r = t.try_insert(s, h, 0, [&](std::uint32_t v) {
+        return v == static_cast<std::uint32_t>(h) + 1;
+      });
+      EXPECT_EQ(r.outcome, Outcome::Duplicate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pa::rosa

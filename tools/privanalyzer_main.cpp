@@ -10,6 +10,16 @@
 //     --rosa-threads N     worker threads for the (epoch x attack) query
 //                          matrix (0 = hardware_concurrency, 1 = serial;
 //                          verdicts are identical for every N)
+//     --search-threads N   worker threads INSIDE each ROSA search
+//                          (work-stealing layered BFS; 0 =
+//                          hardware_concurrency, default 1 = classic serial
+//                          loop; results are bit-identical for every N)
+//     --spill-dir DIR      with --max-bytes: spill cold frontier states to
+//                          chunk files under DIR once the in-memory arena
+//                          exceeds the byte budget, so over-budget searches
+//                          complete (same verdicts) instead of reporting
+//                          Timeout; the per-search temp subdirectory is
+//                          removed when the search ends
 //     --escalate-rounds N  retry ResourceLimit queries with geometrically
 //                          doubled budgets, up to N extra rounds (default 0;
 //                          shrinks the presumed-invulnerable bucket)
@@ -71,7 +81,7 @@ namespace {
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <prog.pir> [more programs...] [--no-rosa] [--max-states N]\n"
-               "       [--max-bytes N]\n"
+               "       [--max-bytes N] [--search-threads N] [--spill-dir DIR]\n"
                "       [--rosa-threads N] [--escalate-rounds N] [--deadline SECS]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
                "       [--indirect-calls conservative|refined|assume-none]\n"
@@ -281,6 +291,12 @@ int main(int argc, char** argv) {
       unsigned long long n = 0;
       if (!parse_count(argv[++i], &n)) return usage(argv[0]);
       opts.rosa_limits.max_bytes = static_cast<std::size_t>(n);
+    } else if (arg == "--search-threads" && i + 1 < argc) {
+      unsigned long long n = 0;
+      if (!parse_count(argv[++i], &n)) return usage(argv[0]);
+      opts.rosa_limits.search_threads = static_cast<unsigned>(n);
+    } else if (arg == "--spill-dir" && i + 1 < argc) {
+      opts.rosa_limits.spill_dir = argv[++i];
     } else if (arg == "--attacker" && i + 1 < argc) {
       std::string m = argv[++i];
       if (m == "full") attacker = rosa::AttackerModel::Full;
