@@ -1,0 +1,107 @@
+#include "daemon/client.h"
+
+#include <chrono>
+
+#include "support/diagnostics.h"
+#include "support/str.h"
+
+namespace pa::daemon {
+namespace {
+
+using support::DiagCode;
+using support::Stage;
+
+[[noreturn]] void client_fail(const std::string& what) {
+  support::fail_stage(Stage::Daemon, DiagCode::ProtocolError, "", what);
+}
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Client::Client(const std::string& socket_path)
+    : sock_(support::connect_unix(socket_path)) {}
+
+void Client::absorb(const Frame& f) {
+  if (f.type == MsgType::Result) {
+    pending_results_.push_back(ResultMsg::from_frame(f));
+  } else if (f.type == MsgType::Event) {
+    if (on_event_) on_event_(EventMsg::from_frame(f));
+  }
+}
+
+Frame Client::request(const Frame& req, MsgType a, MsgType b, int timeout_ms) {
+  write_frame(sock_, req);
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  for (;;) {
+    int remaining = static_cast<int>(deadline - now_ms());
+    if (remaining <= 0)
+      client_fail(str::cat("timed out waiting for a ", msg_type_name(a),
+                           " reply"));
+    std::optional<Frame> f = read_frame(sock_, remaining);
+    if (!f) client_fail("server closed the connection mid-request");
+    if (f->type == a || f->type == b) return std::move(*f);
+    if (f->type == MsgType::ErrorMsg)
+      client_fail(str::cat("server error: ",
+                           kv_get(decode_kv(f->payload), "error")));
+    absorb(*f);
+  }
+}
+
+SubmitReply Client::submit(const JobRequest& req, int timeout_ms) {
+  return SubmitReply::from_frame(
+      request(req.to_frame(), MsgType::SubmitOk, MsgType::Rejected,
+              timeout_ms));
+}
+
+StatusReply Client::status(std::uint64_t job_id, int timeout_ms) {
+  Frame req{MsgType::Status, encode_kv({{"job_id", std::to_string(job_id)}})};
+  return StatusReply::from_frame(
+      request(req, MsgType::StatusReply, MsgType::StatusReply, timeout_ms));
+}
+
+StatusReply Client::cancel(std::uint64_t job_id, int timeout_ms) {
+  Frame req{MsgType::Cancel, encode_kv({{"job_id", std::to_string(job_id)}})};
+  return StatusReply::from_frame(
+      request(req, MsgType::StatusReply, MsgType::StatusReply, timeout_ms));
+}
+
+bool Client::ping(int timeout_ms) {
+  request(Frame{MsgType::Ping, ""}, MsgType::Pong, MsgType::Pong, timeout_ms);
+  return true;
+}
+
+bool Client::shutdown(const std::string& mode, int timeout_ms) {
+  Frame req{MsgType::Shutdown, encode_kv({{"mode", mode}})};
+  request(req, MsgType::Draining, MsgType::Draining, timeout_ms);
+  return true;
+}
+
+ResultMsg Client::wait_result(std::uint64_t job_id, int timeout_ms) {
+  const std::int64_t deadline = now_ms() + timeout_ms;
+  for (;;) {
+    for (auto it = pending_results_.begin(); it != pending_results_.end();
+         ++it) {
+      if (it->job_id != job_id) continue;
+      ResultMsg r = std::move(*it);
+      pending_results_.erase(it);
+      return r;
+    }
+    int remaining = static_cast<int>(deadline - now_ms());
+    if (remaining <= 0)
+      client_fail(str::cat("timed out waiting for job ", job_id,
+                           "'s result"));
+    std::optional<Frame> f = read_frame(sock_, remaining);
+    if (!f) client_fail("server closed the connection before the result");
+    if (f->type == MsgType::ErrorMsg)
+      client_fail(str::cat("server error: ",
+                           kv_get(decode_kv(f->payload), "error")));
+    absorb(*f);
+  }
+}
+
+}  // namespace pa::daemon

@@ -1,0 +1,56 @@
+// Synchronous privanalyzerd client: one connection, request/reply calls,
+// with interleaved Event and Result frames buffered or dispatched so the
+// server may stream job progress at any time. Used by tools/pa_client and
+// the daemon test/soak harnesses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "daemon/proto.h"
+#include "support/socket.h"
+
+namespace pa::daemon {
+
+class Client {
+ public:
+  /// Connect (throws a Stage::Daemon StageError when the server is absent).
+  explicit Client(const std::string& socket_path);
+
+  using EventFn = std::function<void(const EventMsg&)>;
+  /// Callback for Event frames observed while waiting for replies/results.
+  void on_event(EventFn fn) { on_event_ = std::move(fn); }
+
+  /// Submit a job; the reply says admitted (job id) or rejected (reason).
+  SubmitReply submit(const JobRequest& req, int timeout_ms = 30'000);
+  StatusReply status(std::uint64_t job_id, int timeout_ms = 30'000);
+  /// Request cooperative cancellation; returns the job's state at request
+  /// time (the terminal state arrives as a Result).
+  StatusReply cancel(std::uint64_t job_id, int timeout_ms = 30'000);
+  bool ping(int timeout_ms = 30'000);
+  /// Ask the server to drain (mode "drain") or cancel-and-exit ("abort");
+  /// true once the Draining ack arrived.
+  bool shutdown(const std::string& mode = "drain", int timeout_ms = 30'000);
+
+  /// Block until `job_id`'s Result frame arrives (events dispatched along
+  /// the way). Throws a Stage::Daemon StageError on timeout, protocol
+  /// error, or a server-sent Error frame.
+  ResultMsg wait_result(std::uint64_t job_id, int timeout_ms = 120'000);
+
+  /// Raw frame access for protocol tests (malformed input, half-close).
+  support::Socket& socket() { return sock_; }
+
+ private:
+  /// Write `req`, then read until a frame of type `a` (or `b`) arrives,
+  /// buffering Results and dispatching Events seen along the way.
+  Frame request(const Frame& req, MsgType a, MsgType b, int timeout_ms);
+  void absorb(const Frame& f);  // stash a Result / dispatch an Event
+
+  support::Socket sock_;
+  EventFn on_event_;
+  std::vector<ResultMsg> pending_results_;
+};
+
+}  // namespace pa::daemon

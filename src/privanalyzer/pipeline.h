@@ -90,6 +90,10 @@ inline constexpr int kExitOk = 0;
 inline constexpr int kExitAllFailed = 1;
 inline constexpr int kExitUsage = 2;
 inline constexpr int kExitPartialFailure = 3;
+/// SIGINT/SIGTERM interrupted the batch: in-flight searches were cancelled
+/// cooperatively (spill dirs cleaned, persistent caches already flushed for
+/// completed programs) and remaining programs were skipped.
+inline constexpr int kExitInterrupted = 4;
 
 /// Everything PrivAnalyzer produces for one program: the static report, the
 /// dynamic epoch table, and the per-epoch vulnerability matrix.

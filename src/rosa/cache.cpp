@@ -3,15 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <list>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
+#include "support/faultpoint.h"
 #include "support/str.h"
 
 namespace pa::rosa {
@@ -60,6 +64,13 @@ std::string fmt_double(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
+}
+
+/// Exponential backoff before retry `attempt` (1-based) of a transient
+/// persistent-cache I/O failure: 1ms, 2ms, 4ms, ... Small absolute values —
+/// the retries target fs hiccups (and injected faults), not outages.
+void backoff_sleep(int attempt) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1LL << (attempt - 1)));
 }
 
 }  // namespace
@@ -177,6 +188,17 @@ SearchResult result_from_entry(const QueryCache::Entry& e) {
   return r;
 }
 
+/// Estimated resident footprint of one stored entry, for the byte-budget
+/// eviction policy. Deliberately coarse (container headers + payload plus a
+/// flat allowance for the map node and control block): the budget bounds
+/// growth, it does not meter an allocator.
+std::size_t entry_bytes(const QueryCache::Entry& e) {
+  std::size_t b = sizeof(Slot) + sizeof(Fingerprint) + 96;
+  b += e.witness.capacity() * sizeof(Action);
+  for (const Action& a : e.witness) b += a.args.capacity() * sizeof(int);
+  return b;
+}
+
 }  // namespace
 
 struct QueryCache::Shard {
@@ -190,7 +212,25 @@ struct QueryCache::Shard {
   std::atomic<std::size_t> loaded{0};
 };
 
-QueryCache::QueryCache(unsigned shards) {
+/// Recency bookkeeping for the byte-budget eviction policy. Leaf lock: mu is
+/// never held while a shard map_mu or slot mutex is acquired (victims are
+/// collected under mu, then evicted after releasing it), so it cannot
+/// participate in a lock cycle. The LRU order is approximate under races —
+/// an entry touched between victim collection and eviction is still dropped
+/// — which costs at most a recompute, never correctness.
+struct QueryCache::Lru {
+  std::mutex mu;
+  std::list<Fingerprint> order;  // front = most recently used
+  std::unordered_map<Fingerprint,
+                     std::pair<std::list<Fingerprint>::iterator, std::size_t>,
+                     FingerprintHash>
+      pos;
+  std::size_t bytes = 0;   // estimated resident footprint
+  std::size_t budget = 0;  // 0 = unlimited
+  std::atomic<std::size_t> evictions{0};
+};
+
+QueryCache::QueryCache(unsigned shards) : lru_(std::make_unique<Lru>()) {
   if (shards == 0) shards = 1;
   shards_.reserve(shards);
   for (unsigned i = 0; i < shards; ++i)
@@ -198,6 +238,73 @@ QueryCache::QueryCache(unsigned shards) {
 }
 
 QueryCache::~QueryCache() = default;
+
+void QueryCache::set_byte_budget(std::size_t bytes) {
+  std::vector<Fingerprint> victims;
+  {
+    std::lock_guard<std::mutex> lk(lru_->mu);
+    lru_->budget = bytes;
+    while (lru_->budget != 0 && lru_->bytes > lru_->budget &&
+           !lru_->order.empty()) {
+      const Fingerprint victim = lru_->order.back();
+      lru_->bytes -= lru_->pos.at(victim).second;
+      lru_->pos.erase(victim);
+      lru_->order.pop_back();
+      victims.push_back(victim);
+    }
+  }
+  for (const Fingerprint& fp : victims) evict_entry(fp);
+}
+
+void QueryCache::lru_note(const Fingerprint& fp, std::size_t bytes) {
+  std::vector<Fingerprint> victims;
+  {
+    std::lock_guard<std::mutex> lk(lru_->mu);
+    auto it = lru_->pos.find(fp);
+    if (it != lru_->pos.end()) {
+      lru_->order.splice(lru_->order.begin(), lru_->order, it->second.first);
+      if (bytes != 0) {
+        lru_->bytes -= it->second.second;
+        lru_->bytes += bytes;
+        it->second.second = bytes;
+      }
+    } else if (bytes != 0) {
+      lru_->order.push_front(fp);
+      lru_->pos.emplace(fp, std::make_pair(lru_->order.begin(), bytes));
+      lru_->bytes += bytes;
+    } else {
+      return;  // touch of an entry the budget already dropped
+    }
+    // Evict from the cold tail; the >1 guard keeps the entry just used even
+    // when it alone exceeds the budget (dropping it would only thrash).
+    while (lru_->budget != 0 && lru_->bytes > lru_->budget &&
+           lru_->order.size() > 1) {
+      const Fingerprint victim = lru_->order.back();
+      lru_->bytes -= lru_->pos.at(victim).second;
+      lru_->pos.erase(victim);
+      lru_->order.pop_back();
+      victims.push_back(victim);
+    }
+  }
+  for (const Fingerprint& victim : victims) evict_entry(victim);
+}
+
+void QueryCache::evict_entry(const Fingerprint& fp) {
+  Shard& sh = shard_for(fp);
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lk(sh.map_mu);
+    auto it = sh.slots.find(fp);
+    if (it == sh.slots.end()) return;
+    slot = it->second;
+  }
+  std::lock_guard<std::mutex> lk(slot->m);
+  if (!slot->has_entry) return;
+  slot->has_entry = false;
+  slot->entry = Entry{};
+  sh.entries.fetch_sub(1, std::memory_order_relaxed);
+  lru_->evictions.fetch_add(1, std::memory_order_relaxed);
+}
 
 QueryCache::Shard& QueryCache::shard_for(const Fingerprint& fp) const {
   return *shards_[static_cast<std::size_t>(FingerprintHash{}(fp)) %
@@ -228,6 +335,8 @@ SearchResult QueryCache::run_cached(const Query& query,
       r.stats.cache_joins = joined ? 1 : 0;
       sh.hits.fetch_add(1, std::memory_order_relaxed);
       if (joined) sh.joins.fetch_add(1, std::memory_order_relaxed);
+      lk.unlock();
+      lru_note(*fp, 0);  // refresh recency so hot entries survive the budget
       return r;
     }
     if (!slot->computing) break;
@@ -249,17 +358,21 @@ SearchResult QueryCache::run_cached(const Query& query,
 
   lk.lock();
   slot->computing = false;
+  std::size_t stored_bytes = 0;
   if (std::optional<Entry> e = make_entry(r, limits, escalation)) {
     if (!slot->has_entry) {
       slot->has_entry = true;
       slot->entry = std::move(*e);
       sh.entries.fetch_add(1, std::memory_order_relaxed);
+      stored_bytes = entry_bytes(slot->entry);
     } else if (should_replace(slot->entry, *e)) {
       slot->entry = std::move(*e);
+      stored_bytes = entry_bytes(slot->entry);
     }
   }
   slot->cv.notify_all();
   lk.unlock();
+  if (stored_bytes != 0) lru_note(*fp, stored_bytes);
 
   r.stats.cache_misses = 1;
   r.stats.cache_joins = joined ? 1 : 0;
@@ -276,6 +389,11 @@ QueryCache::Totals QueryCache::totals() const {
     t.joins += sh->joins.load(std::memory_order_relaxed);
     t.entries += sh->entries.load(std::memory_order_relaxed);
     t.loaded += sh->loaded.load(std::memory_order_relaxed);
+  }
+  t.evictions = lru_->evictions.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(lru_->mu);
+    t.resident_bytes = lru_->bytes;
   }
   return t;
 }
@@ -338,12 +456,32 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
     return false;
   };
 
-  std::ifstream in(path);
-  if (!in) return true;  // missing file: cold cache, not an error
-
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) return fail("read error");
+  // The read itself is retried: a transient I/O failure (or an injected
+  // rosa.cache_store fault) should not silently discard a warm cache that a
+  // second attempt would have read fine. Malformed *content* below is never
+  // retried — parsing is deterministic.
+  std::string text;
+  std::string transient;
+  bool have_text = false;
+  for (int attempt = 1; attempt <= kIoAttempts && !have_text; ++attempt) {
+    if (attempt > 1) backoff_sleep(attempt - 1);
+    try {
+      PA_FAULTPOINT("rosa.cache_store");
+      std::ifstream in(path);
+      if (!in) return true;  // missing file: cold cache, not an error
+      text.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+      if (in.bad()) {
+        transient = "read error";
+        continue;
+      }
+      have_text = true;
+    } catch (const support::StageError& e) {
+      transient = e.what();
+    }
+  }
+  if (!have_text)
+    return fail(str::cat(transient, " (after ", kIoAttempts, " attempts)"));
 
   std::istringstream lines(text);
   std::string line;
@@ -460,6 +598,7 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
   }
   if (!saw_end) return fail("missing end sentinel (truncated file)");
 
+  std::vector<std::pair<Fingerprint, std::size_t>> accepted;
   for (auto& [fp, e] : parsed) {
     Shard& sh = shard_for(fp);
     std::shared_ptr<Slot> slot;
@@ -475,8 +614,12 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
       slot->entry = std::move(e);
       sh.entries.fetch_add(1, std::memory_order_relaxed);
       sh.loaded.fetch_add(1, std::memory_order_relaxed);
+      accepted.emplace_back(fp, entry_bytes(slot->entry));
     }
   }
+  // Budget accounting outside every shard/slot lock; loading more than the
+  // budget immediately evicts the oldest-loaded entries.
+  for (const auto& [fp, bytes] : accepted) lru_note(fp, bytes);
   return true;
 }
 
@@ -512,31 +655,45 @@ bool QueryCache::save_file(const std::string& path,
   }
   std::sort(rendered.begin(), rendered.end());
 
+  // Each temp-write + rename attempt is all-or-nothing; transient failures
+  // (fs hiccups, the rosa.cache_store fault point) are retried with bounded
+  // exponential backoff before the caller's warn-and-carry-on path engages.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      if (warning) *warning = str::cat("cannot write rosa cache ", tmp);
-      return false;
-    }
-    out << header_line() << "\n";
-    for (const auto& [hex, block] : rendered) out << block;
-    out << "end\n";
-    out.flush();
-    if (!out) {
-      if (warning) *warning = str::cat("write error on rosa cache ", tmp);
-      std::remove(tmp.c_str());
-      return false;
+  std::string why;
+  for (int attempt = 1; attempt <= kIoAttempts; ++attempt) {
+    if (attempt > 1) backoff_sleep(attempt - 1);
+    try {
+      PA_FAULTPOINT("rosa.cache_store");
+      {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out) {
+          why = str::cat("cannot write rosa cache ", tmp);
+          continue;
+        }
+        out << header_line() << "\n";
+        for (const auto& [hex, block] : rendered) out << block;
+        out << "end\n";
+        out.flush();
+        if (!out) {
+          why = str::cat("write error on rosa cache ", tmp);
+          std::remove(tmp.c_str());
+          continue;
+        }
+      }
+      if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        why = str::cat("cannot rename ", tmp, " to ", path, ": ",
+                       std::strerror(errno));
+        std::remove(tmp.c_str());
+        continue;
+      }
+      return true;
+    } catch (const support::StageError& e) {
+      why = e.what();
     }
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (warning)
-      *warning = str::cat("cannot rename ", tmp, " to ", path, ": ",
-                          std::strerror(errno));
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  if (warning)
+    *warning = str::cat(why, " (after ", kIoAttempts, " attempts)");
+  return false;
 }
 
 }  // namespace pa::rosa

@@ -68,6 +68,23 @@ class QueryCache {
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
+  /// Persistent-file I/O attempts per load_file/save_file call: transient
+  /// failures (the `rosa.cache_store` fault point, read errors, a failed
+  /// temp write/rename) are retried with bounded exponential backoff this
+  /// many times before the call degrades to its warn-and-return-false path.
+  /// Malformed *content* is never retried — parsing is deterministic, so a
+  /// corrupt cache is rejected on the first attempt like before.
+  static constexpr int kIoAttempts = 3;
+
+  /// Byte budget for resident entries (0 = unlimited, the default). When a
+  /// store pushes the estimated resident footprint past the budget,
+  /// least-recently-used entries are evicted (never the entry just stored
+  /// or reused) until it fits again. Eviction only ever costs a future
+  /// recompute — a re-submitted query misses and searches afresh — so every
+  /// reuse rule stays intact. This is what lets privanalyzerd keep one
+  /// resident multi-tenant cache without unbounded growth.
+  void set_byte_budget(std::size_t bytes);
+
   /// Memoized search_escalating(): fingerprint the query, return a stored
   /// reusable result if present, otherwise search and (when the result is
   /// storable per the rules above) store it. Uncacheable queries fall
@@ -76,13 +93,16 @@ class QueryCache {
   SearchResult run_cached(const Query& query, const SearchLimits& limits,
                           const EscalationPolicy& escalation = {});
 
-  /// Lifetime aggregate of every run_cached call (monotone; thread-safe).
+  /// Lifetime aggregate of every run_cached call (monotone except the
+  /// resident gauges; thread-safe).
   struct Totals {
     std::size_t hits = 0;    // served from a stored entry
     std::size_t misses = 0;  // searched (and possibly stored)
     std::size_t joins = 0;   // blocked on another worker's in-flight search
     std::size_t entries = 0; // entries currently stored
     std::size_t loaded = 0;  // entries accepted by load_file
+    std::size_t evictions = 0;      // entries dropped by the byte budget
+    std::size_t resident_bytes = 0; // estimated footprint of stored entries
   };
   Totals totals() const;
 
@@ -93,12 +113,17 @@ class QueryCache {
   /// cache, returns true with nothing loaded. Version/model mismatch or any
   /// malformation (bad header, bad entry, missing `end` sentinel): the file
   /// is ignored wholesale — the cache stays empty, `*warning` explains why,
-  /// and false is returned. Never throws on bad input.
+  /// and false is returned. Transient read failures are retried up to
+  /// kIoAttempts times with exponential backoff before degrading the same
+  /// way. Never throws on bad input.
   bool load_file(const std::string& path, std::string* warning = nullptr);
 
   /// Atomically rewrite `path` (write temp + rename) with every stored
-  /// entry in deterministic (fingerprint-sorted) order. Returns false with
-  /// `*warning` set on I/O failure.
+  /// entry in deterministic (fingerprint-sorted) order. Each temp
+  /// write/rename attempt passes the `rosa.cache_store` fault point;
+  /// transient failures are retried up to kIoAttempts times with
+  /// exponential backoff. Returns false with `*warning` set once every
+  /// attempt failed.
   bool save_file(const std::string& path, std::string* warning = nullptr) const;
 
   /// Implementation detail (public only so cache.cpp's file-local helpers
@@ -107,10 +132,20 @@ class QueryCache {
 
  private:
   struct Shard;
+  struct Lru;
 
   Shard& shard_for(const Fingerprint& fp) const;
 
+  /// Record that `fp` was stored/reused with an entry of `bytes` estimated
+  /// footprint (bytes == 0: touch only), then evict whatever the budget no
+  /// longer covers. Must be called WITHOUT any shard/slot lock held.
+  void lru_note(const Fingerprint& fp, std::size_t bytes);
+
+  /// Drop one fingerprint's stored entry (budget eviction).
+  void evict_entry(const Fingerprint& fp);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<Lru> lru_;
 };
 
 }  // namespace pa::rosa

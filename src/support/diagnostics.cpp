@@ -14,6 +14,7 @@ std::string_view stage_name(Stage s) {
     case Stage::Rosa: return "rosa";
     case Stage::Pipeline: return "pipeline";
     case Stage::Lint: return "lint";
+    case Stage::Daemon: return "daemon";
     case Stage::Unknown: return "unknown";
   }
   return "?";
@@ -42,6 +43,7 @@ std::string_view diag_code_name(DiagCode c) {
     case DiagCode::DeadlineExceeded: return "deadline-exceeded";
     case DiagCode::CacheLoadFailed: return "cache-load-failed";
     case DiagCode::CacheSaveFailed: return "cache-save-failed";
+    case DiagCode::ProtocolError: return "protocol-error";
     case DiagCode::InternalError: return "internal-error";
     case DiagCode::RedundantPrivRemove: return "redundant-priv-remove";
     case DiagCode::NeverRaisedPrivilege: return "never-raised-privilege";
@@ -61,7 +63,8 @@ std::optional<DiagCode> parse_diag_code(std::string_view name) {
       DiagCode::ParseFailed,    DiagCode::VerifyFailed,
       DiagCode::FileNotFound,   DiagCode::FaultInjected,
       DiagCode::DeadlineExceeded, DiagCode::CacheLoadFailed,
-      DiagCode::CacheSaveFailed, DiagCode::InternalError,
+      DiagCode::CacheSaveFailed, DiagCode::ProtocolError,
+      DiagCode::InternalError,
       DiagCode::RedundantPrivRemove, DiagCode::NeverRaisedPrivilege,
       DiagCode::RaiseWithoutLower, DiagCode::UnreachableBlock,
       DiagCode::EmptyIndirectTargets, DiagCode::UnusedPrivilegeEpoch,

@@ -28,6 +28,7 @@ enum class Stage {
   Rosa,        // bounded search / query matrix
   Pipeline,    // driver-level (batching, deadlines)
   Lint,        // PrivLint findings (src/lint/)
+  Daemon,      // privanalyzerd service layer (src/daemon/)
   Unknown,
 };
 
@@ -51,6 +52,7 @@ enum class DiagCode {
   DeadlineExceeded,    // PipelineOptions::max_total_seconds hit
   CacheLoadFailed,     // --rosa-cache file corrupt/stale; ignored, ran cold
   CacheSaveFailed,     // --rosa-cache file could not be (re)written
+  ProtocolError,       // privanalyzerd wire-protocol violation (bad frame)
   InternalError,       // any exception without a structured payload
   // PrivLint check codes (src/lint/). One code per pass; the kebab-case
   // names below double as the pass names and the `!lint-allow:` spellings.

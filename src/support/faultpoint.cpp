@@ -21,7 +21,12 @@ constexpr const char* kCompiledInPoints[] = {
     "thread_pool.task",     // support/thread_pool.cpp: task boundary
     "rosa.search",          // rosa/search.cpp: search() entry
     "rosa.cache_load",      // privanalyzer/pipeline.cpp: --rosa-cache load
+    "rosa.cache_store",     // rosa/cache.cpp: persistent-file I/O attempt
+                            // (recoverable: one fault = one retried attempt)
     "rosa.spill_io",        // rosa/frontier.cpp: spill dir/chunk I/O
+    "daemon.accept",        // support/socket.cpp: listener accept path
+    "daemon.read",          // support/socket.cpp: connection frame read
+    "daemon.write",         // support/socket.cpp: connection frame write
 };
 
 struct PointState {
@@ -56,6 +61,7 @@ Stage stage_from_point(const std::string& name) {
   if (name.starts_with("world.")) return Stage::World;
   if (name.starts_with("rosa.")) return Stage::Rosa;
   if (name.starts_with("thread_pool.")) return Stage::Pipeline;
+  if (name.starts_with("daemon.")) return Stage::Daemon;
   return Stage::Unknown;
 }
 

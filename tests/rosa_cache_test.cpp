@@ -17,6 +17,7 @@
 #include "rosa/fingerprint.h"
 #include "rosa/query.h"
 #include "rosa_test_util.h"
+#include "support/faultpoint.h"
 
 namespace pa::rosa {
 namespace {
@@ -560,6 +561,141 @@ TEST(CachePipelineTest, PersistentFileWarmsARepeatRun) {
     warned |= d.code == support::DiagCode::CacheLoadFailed;
   EXPECT_TRUE(warned);
   std::remove(path.c_str());
+}
+
+// --- Byte-budget LRU eviction (the resident multi-tenant cache mode) ------
+
+TEST(CacheEvictionTest, ByteBudgetBoundsResidentEntries) {
+  QueryCache cache;
+  cache.set_byte_budget(1);  // pathological: room for at most one entry
+  const SearchLimits lim = states_budget(10'000);
+  // Distinct mode bits -> distinct fingerprints -> distinct entries.
+  for (int i = 0; i < 6; ++i)
+    cache.run_cached(open_query(2, 0600 + i, goal_file_in_rdfset(1, 3)), lim);
+
+  QueryCache::Totals t = cache.totals();
+  EXPECT_EQ(t.misses, 6u);
+  EXPECT_GT(t.evictions, 0u);
+  // The budget keeps the newest entry and evicts the rest: resident count
+  // stays bounded instead of growing with the workload.
+  EXPECT_LE(cache.size(), 1u);
+  EXPECT_LE(t.entries, 1u);
+}
+
+TEST(CacheEvictionTest, EvictionOnlyCostsARecompute) {
+  QueryCache cache;
+  cache.set_byte_budget(1);
+  const SearchLimits lim = states_budget(10'000);
+  SearchResult first = cache.run_cached(reachable_query(), lim);
+  // Push the first entry out...
+  cache.run_cached(unreachable_query(), lim);
+  // ...and re-ask the evicted question: a fresh miss, same answer, same
+  // work — eviction can never change a verdict or a witness.
+  SearchResult again = cache.run_cached(reachable_query(), lim);
+  EXPECT_EQ(again.stats.cache_misses, 1u);
+  EXPECT_EQ(again.stats.cache_hits, 0u);
+  expect_same_work(first, again);
+}
+
+TEST(CacheEvictionTest, UnlimitedBudgetNeverEvicts) {
+  QueryCache cache;
+  const SearchLimits lim = states_budget(10'000);
+  for (int i = 0; i < 6; ++i)
+    cache.run_cached(open_query(2, 0600 + i, goal_file_in_rdfset(1, 3)), lim);
+  EXPECT_EQ(cache.totals().evictions, 0u);
+  EXPECT_EQ(cache.size(), 6u);
+  EXPECT_GT(cache.totals().resident_bytes, 0u);
+}
+
+TEST(CacheEvictionTest, HitRefreshesRecency) {
+  const SearchLimits lim = states_budget(10'000);
+  // Entry sizes vary by query, so measure them with an unbudgeted probe
+  // first; the budget below fits exactly A plus C, never B.
+  QueryCache probe;
+  probe.run_cached(reachable_query(), lim);
+  const std::size_t size_a = probe.totals().resident_bytes;
+  probe.run_cached(unreachable_query(), lim);
+  const std::size_t size_ab = probe.totals().resident_bytes;
+  probe.run_cached(open_query(2, 0604, goal_file_in_rdfset(1, 3)), lim);
+  const std::size_t size_c = probe.totals().resident_bytes - size_ab;
+
+  QueryCache cache;
+  SearchResult a = cache.run_cached(reachable_query(), lim);
+  cache.run_cached(unreachable_query(), lim);
+  // Touching A makes B the least-recently-used entry, so when the budget
+  // bites it is B that goes — recency is refreshed on hits, not just stores.
+  SearchResult touch = cache.run_cached(reachable_query(), lim);
+  EXPECT_EQ(touch.stats.cache_hits, 1u);
+  cache.set_byte_budget(size_a + size_c);
+  cache.run_cached(open_query(2, 0604, goal_file_in_rdfset(1, 3)), lim);
+  EXPECT_GT(cache.totals().evictions, 0u);
+  SearchResult still_hit = cache.run_cached(reachable_query(), lim);
+  EXPECT_EQ(still_hit.stats.cache_hits, 1u);
+  expect_same_work(a, still_hit);
+}
+
+// --- Transient persistent-file I/O is retried with bounded backoff --------
+
+class CacheStoreRetryTest : public PersistentCacheTest {
+ protected:
+  void SetUp() override {
+    PersistentCacheTest::SetUp();
+    support::faultpoint::disarm_all();
+  }
+  void TearDown() override {
+    support::faultpoint::disarm_all();
+    PersistentCacheTest::TearDown();
+  }
+};
+
+TEST_F(CacheStoreRetryTest, SaveRetriesThroughOneInjectedFault) {
+  QueryCache cache;
+  cache.run_cached(reachable_query(), states_budget(10'000));
+  support::faultpoint::arm("rosa.cache_store");
+  std::string warn;
+  // One injected fault = one failed attempt; the retry succeeds and the
+  // file is complete and loadable.
+  EXPECT_TRUE(cache.save_file(path_, &warn)) << warn;
+  EXPECT_TRUE(warn.empty());
+  EXPECT_FALSE(support::faultpoint::armed("rosa.cache_store"));
+  QueryCache reader;
+  EXPECT_TRUE(reader.load_file(path_, &warn)) << warn;
+  EXPECT_EQ(reader.totals().loaded, 1u);
+}
+
+TEST_F(CacheStoreRetryTest, SaveDegradesAfterExhaustingAttempts) {
+  QueryCache cache;
+  cache.run_cached(reachable_query(), states_budget(10'000));
+  // A hopeless destination fails every attempt; an injected fault on the
+  // middle retry (arming is single-shot, so only one attempt can be faulted)
+  // is folded into the same bounded-attempt accounting.
+  support::faultpoint::arm("rosa.cache_store", 2);
+  std::string warn;
+  EXPECT_FALSE(cache.save_file("/nonexistent-dir/sub/cache.rosa", &warn));
+  EXPECT_NE(warn.find("attempts"), std::string::npos) << warn;
+  EXPECT_FALSE(support::faultpoint::armed("rosa.cache_store"));
+}
+
+TEST_F(CacheStoreRetryTest, PersistentSaveToBadDirectoryStillFails) {
+  QueryCache cache;
+  cache.run_cached(reachable_query(), states_budget(10'000));
+  std::string warn;
+  // A genuinely impossible path exhausts the retries and degrades with a
+  // warning — never throws, never loops forever.
+  EXPECT_FALSE(cache.save_file("/nonexistent-dir/sub/cache.rosa", &warn));
+  EXPECT_FALSE(warn.empty());
+}
+
+TEST_F(CacheStoreRetryTest, LoadRetriesThroughOneInjectedFault) {
+  QueryCache writer;
+  writer.run_cached(reachable_query(), states_budget(10'000));
+  ASSERT_TRUE(writer.save_file(path_));
+  support::faultpoint::arm("rosa.cache_store");
+  QueryCache reader;
+  std::string warn;
+  EXPECT_TRUE(reader.load_file(path_, &warn)) << warn;
+  EXPECT_EQ(reader.totals().loaded, 1u);
+  EXPECT_FALSE(support::faultpoint::armed("rosa.cache_store"));
 }
 
 // --- Regression: ProcObj::creds() normalizes supplementary groups once ----

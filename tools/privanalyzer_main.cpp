@@ -56,7 +56,16 @@
 // analyze is reported on stderr with its structured diagnostics and the
 // remaining programs still run. Exit codes: 0 = every program analyzed,
 // 1 = every program failed, 2 = usage error, 3 = partial failure (some
-// programs analyzed, some failed).
+// programs analyzed, some failed), 4 = interrupted (SIGINT/SIGTERM).
+//
+// SIGINT/SIGTERM trigger cooperative cancellation, not _exit: the flag is
+// threaded into every ROSA search (rosa::SearchLimits::cancel), so in-flight
+// searches stop at their next frontier pop, spill directories are removed by
+// their normal RAII cleanup, the persistent --rosa-cache file keeps the
+// atomic checkpoints already written for completed programs, and the batch
+// exits with the distinct code 4.
+#include <atomic>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -78,6 +87,20 @@ using namespace pa;
 
 namespace {
 
+/// Set by the SIGINT/SIGTERM handler; polled by every ROSA search through
+/// SearchLimits::cancel and by the batch loop between programs.
+std::atomic<bool> g_interrupted{false};
+
+void handle_interrupt(int) { g_interrupted.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_interrupt;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <prog.pir> [more programs...] [--no-rosa] [--max-states N]\n"
@@ -89,7 +112,7 @@ int usage(const char* argv0) {
                "       [--simplify] [--stats] [--rosa-cache FILE]\n"
                "       [--no-rosa-cache] [--lint] [--lint-json]\n"
                "exit codes: 0 ok, 1 all programs failed, 2 usage, 3 partial "
-               "failure\n";
+               "failure,\n             4 interrupted (SIGINT/SIGTERM)\n";
   return privanalyzer::kExitUsage;
 }
 
@@ -232,6 +255,7 @@ privanalyzer::ProgramAnalysis run_one(
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  install_signal_handlers();
   std::vector<std::string> paths;
   privanalyzer::PipelineOptions opts;
   rosa::AttackerModel attacker = rosa::AttackerModel::Full;
@@ -326,14 +350,27 @@ int main(int argc, char** argv) {
   if (opts.rosa_cache)
     opts.rosa_cache_instance = std::make_shared<rosa::QueryCache>();
 
+  // Cooperative interruption: every search polls this flag at its frontier
+  // pops, so Ctrl-C unwinds through the normal return path (spill-dir RAII
+  // cleanup, per-program cache flushes) instead of killing the process.
+  opts.rosa_limits.cancel = &g_interrupted;
+
   // Per-program isolation: one bad file reports its diagnostics and the
   // rest of the batch still runs; the exit code distinguishes partial from
   // total failure.
   std::vector<privanalyzer::ProgramAnalysis> analyses;
   for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (g_interrupted.load()) break;
     if (i > 0) std::cout << "\n" << std::string(72, '=') << "\n\n";
     analyses.push_back(
         run_one(paths[i], opts, attacker, print_ir, print_stats));
+  }
+  if (g_interrupted.load()) {
+    std::cerr << "interrupted: cancelled in-flight searches and skipped "
+              << (paths.size() - analyses.size())
+              << " remaining program(s) (exit code "
+              << privanalyzer::kExitInterrupted << ")\n";
+    return privanalyzer::kExitInterrupted;
   }
   const int code =
       privanalyzer::batch_exit_code(analyses, /*empty_is_failure=*/true);
