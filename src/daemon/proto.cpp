@@ -199,6 +199,7 @@ Frame JobRequest::to_frame() const {
       {"deadline_secs", str::fixed(deadline_secs, 3)},
       {"run_rosa", run_rosa ? "1" : "0"},
       {"use_cache", use_cache ? "1" : "0"},
+      {"reduction", reduction ? "1" : "0"},
   };
   return Frame{MsgType::Submit, encode_kv(kv)};
 }
@@ -220,6 +221,7 @@ JobRequest JobRequest::from_frame(const Frame& f) {
   r.deadline_secs = kv_get_double(kv, "deadline_secs", r.deadline_secs);
   r.run_rosa = kv_get_bool(kv, "run_rosa", r.run_rosa);
   r.use_cache = kv_get_bool(kv, "use_cache", r.use_cache);
+  r.reduction = kv_get_bool(kv, "reduction", r.reduction);
   return r;
 }
 

@@ -114,6 +114,7 @@ struct JobRequest {
   double deadline_secs = 0.0;  // per-job wall budget (0 = server default)
   bool run_rosa = true;
   bool use_cache = true;  // consult the daemon's resident verdict cache
+  bool reduction = true;  // symmetry + partial-order reduction (rosa/canon.h)
 
   Frame to_frame() const;
   static JobRequest from_frame(const Frame& f);

@@ -154,7 +154,7 @@ std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
   std::ostringstream os;
   os << "program,epoch,attack,verdict,states,transitions,dedup_hits,"
         "hash_collisions,peak_frontier,peak_bytes,bytes_per_state,"
-        "spilled_states,spill_bytes,"
+        "spilled_states,spill_bytes,symmetry_pruned,por_pruned,"
         "escalations,cache_hits,cache_misses,cache_joins,seconds\n";
   for (const ProgramAnalysis& a : analyses) {
     for (const attacks::EpochVerdicts& ev : a.verdicts) {
@@ -169,6 +169,7 @@ std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
            << r.stats.peak_frontier << ',' << r.stats.peak_bytes << ','
            << str::fixed(r.stats.bytes_per_state(), 1) << ','
            << r.stats.spilled_states << ',' << r.stats.spill_bytes << ','
+           << r.stats.symmetry_pruned << ',' << r.stats.por_pruned << ','
            << r.stats.escalations << ','
            << r.stats.cache_hits << ',' << r.stats.cache_misses << ','
            << r.stats.cache_joins << ',' << str::fixed(r.stats.seconds, 6)

@@ -28,7 +28,9 @@ std::string efficacy_to_markdown(const std::vector<ProgramAnalysis>& analyses);
 
 /// Per-query ROSA search statistics as CSV:
 /// program,epoch,attack,verdict,states,transitions,dedup_hits,
-/// hash_collisions,peak_frontier,peak_bytes,bytes_per_state,escalations,seconds
+/// hash_collisions,peak_frontier,peak_bytes,bytes_per_state,
+/// spilled_states,spill_bytes,symmetry_pruned,por_pruned,escalations,
+/// cache_hits,cache_misses,cache_joins,seconds
 std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses);
 
 }  // namespace pa::privanalyzer

@@ -408,12 +408,12 @@ std::size_t QueryCache::size() const {
 // ---------------------------------------------------------------------------
 // Persistence. Versioned text format, all-or-nothing load:
 //
-//   privanalyzer-rosa-cache v3 model=<kRosaModelVersion>
+//   privanalyzer-rosa-cache v4 model=<kRosaModelVersion>
 //   e <fp> <verdict> <states> <transitions> <seconds> <dedup> <collisions>
 //     <peak-frontier> <peak-bytes> <state-bytes> <escalations>
 //     <decisive-states> <sig-max-states> <sig-max-seconds> <sig-max-bytes>
 //     <sig-rounds> <sig-factor> <sig-spill> <spilled-states> <spill-bytes>
-//     <decisive-budget> <n-witness>                            (one line)
+//     <symmetry-pruned> <por-pruned> <decisive-budget> <n-witness> (one line)
 //   w <sys> <proc> <privs> <n-args> <args...>           (n-witness lines)
 //   end
 //
@@ -421,8 +421,10 @@ std::size_t QueryCache::size() const {
 // (the final attempt's state count, which the reuse rules reason over;
 // <states> stays the cumulative across-retries total). v3 added the
 // frontier-spill surface: sig-spill (0/1, part of the rule-1 signature)
-// plus the spilled-states/spill-bytes work counters. Older files are
-// rejected by the
+// plus the spilled-states/spill-bytes work counters. v4 added the
+// reduction counters symmetry-pruned/por-pruned (reduced and unreduced
+// runs never share an entry — SearchLimits::reduction is salted into the
+// fingerprint). Older files are rejected by the
 // version header like any other stale cache. Any deviation — wrong version,
 // wrong model salt, malformed line, missing `end` sentinel (truncation) —
 // rejects the whole file: a cache may always be discarded, never trusted
@@ -432,7 +434,7 @@ std::size_t QueryCache::size() const {
 namespace {
 
 std::string header_line() {
-  return str::cat("privanalyzer-rosa-cache v3 model=", kRosaModelVersion);
+  return str::cat("privanalyzer-rosa-cache v4 model=", kRosaModelVersion);
 }
 
 std::vector<std::string_view> fields(std::string_view line) {
@@ -505,7 +507,7 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
       continue;
     }
     const std::vector<std::string_view> f = fields(line);
-    if (f.size() != 23 || f[0] != "e") return fail("malformed entry line");
+    if (f.size() != 25 || f[0] != "e") return fail("malformed entry line");
     const std::optional<Fingerprint> fp = Fingerprint::from_hex(f[1]);
     const std::optional<Verdict> verdict = parse_verdict(f[2]);
     const auto states = parse_u64(f[3]);
@@ -526,13 +528,16 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
     const auto sig_spill = parse_u64(f[18]);
     const auto spilled_states = parse_u64(f[19]);
     const auto spill_bytes = parse_u64(f[20]);
-    const auto decisive = parse_u64(f[21]);
-    const auto n_witness = parse_u64(f[22]);
+    const auto symmetry_pruned = parse_u64(f[21]);
+    const auto por_pruned = parse_u64(f[22]);
+    const auto decisive = parse_u64(f[23]);
+    const auto n_witness = parse_u64(f[24]);
     if (!fp || !verdict || !states || !transitions || !seconds || !dedup ||
         !collisions || !peak || !peak_bytes || !state_bytes ||
         !escalations || !decisive_states || !sig_states || !sig_seconds ||
         !sig_bytes || !sig_rounds || !sig_factor || !sig_spill ||
-        *sig_spill > 1 || !spilled_states || !spill_bytes || !decisive ||
+        *sig_spill > 1 || !spilled_states || !spill_bytes ||
+        !symmetry_pruned || !por_pruned || !decisive ||
         !n_witness || *n_witness > 4096)
       return fail("malformed entry line");
 
@@ -556,6 +561,8 @@ bool QueryCache::load_file(const std::string& path, std::string* warning) {
     e.sig_spill = *sig_spill != 0;
     e.stats.spilled_states = *spilled_states;
     e.stats.spill_bytes = *spill_bytes;
+    e.stats.symmetry_pruned = *symmetry_pruned;
+    e.stats.por_pruned = *por_pruned;
     e.decisive_budget = *decisive;
     if (e.stats.decisive_states > e.stats.states)
       return fail("inconsistent entry (decisive > cumulative states)");
@@ -642,7 +649,8 @@ bool QueryCache::save_file(const std::string& path,
           e.sig_max_states, " ", fmt_double(e.sig_max_seconds), " ",
           e.sig_max_bytes, " ", e.sig_rounds, " ", fmt_double(e.sig_factor),
           " ", e.sig_spill ? 1 : 0, " ", e.stats.spilled_states, " ",
-          e.stats.spill_bytes, " ", e.decisive_budget, " ",
+          e.stats.spill_bytes, " ", e.stats.symmetry_pruned, " ",
+          e.stats.por_pruned, " ", e.decisive_budget, " ",
           e.witness.size(), "\n");
       for (const Action& a : e.witness) {
         block += str::cat("w ", sys_name(a.sys), " ", a.proc, " ",

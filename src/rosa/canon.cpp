@@ -1,0 +1,289 @@
+#include "rosa/canon.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rosa/checker.h"
+#include "rosa/rules.h"
+
+namespace pa::rosa {
+namespace {
+
+// Collects every uid (resp. gid) value that occurs concretely in the
+// initial configuration or as a concrete message argument. Pool ids outside
+// this set are free: no rule, checker decision, or goal can ever
+// distinguish them from each other.
+struct UsedIds {
+  std::vector<int> users;
+  std::vector<int> groups;
+
+  void user(int id) {
+    if (id != kWild) users.push_back(id);
+  }
+  void group(int id) {
+    if (id != kWild) groups.push_back(id);
+  }
+};
+
+void collect_state_ids(const State& st, UsedIds& used) {
+  for (const ProcObj& p : st.procs) {
+    used.user(p.uid.real);
+    used.user(p.uid.effective);
+    used.user(p.uid.saved);
+    used.group(p.gid.real);
+    used.group(p.gid.effective);
+    used.group(p.gid.saved);
+    for (int g : p.supplementary) used.group(g);
+  }
+  for (const FileObj& f : st.files) {
+    used.user(f.meta.owner);
+    used.group(f.meta.group);
+  }
+  for (const DirObj& d : st.dirs) {
+    used.user(d.meta.owner);
+    used.group(d.meta.group);
+  }
+}
+
+void collect_message_ids(const Message& m, UsedIds& used) {
+  switch (m.sys) {
+    case Sys::Setuid:
+    case Sys::Seteuid:
+      used.user(m.args[0]);
+      break;
+    case Sys::Setresuid:
+      used.user(m.args[0]);
+      used.user(m.args[1]);
+      used.user(m.args[2]);
+      break;
+    case Sys::Setgid:
+    case Sys::Setegid:
+      used.group(m.args[0]);
+      break;
+    case Sys::Setresgid:
+      used.group(m.args[0]);
+      used.group(m.args[1]);
+      used.group(m.args[2]);
+      break;
+    case Sys::Chown:
+    case Sys::Fchown:
+      used.user(m.args[1]);
+      used.group(m.args[2]);
+      break;
+    default:
+      // Every other argument is an object id, mode, port, or signal —
+      // never an identity.
+      break;
+  }
+}
+
+std::vector<int> free_ids(const std::vector<int>& pool,
+                          std::vector<int>& used) {
+  std::sort(used.begin(), used.end());
+  used.erase(std::unique(used.begin(), used.end()), used.end());
+  std::vector<int> out;
+  for (int id : pool)
+    if (!std::binary_search(used.begin(), used.end(), id)) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool is_free(const std::vector<int>& pool, int id) {
+  return std::binary_search(pool.begin(), pool.end(), id);
+}
+
+// First-occurrence mapper for one identity pool: the i-th distinct free id
+// visited maps to the i-th smallest free id. note() must be called in the
+// fixed scan order; lookups afterwards.
+class Mapper {
+ public:
+  explicit Mapper(const std::vector<int>& free) : free_(free) {}
+
+  void note(int id) {
+    if (!is_free(free_, id)) return;
+    for (const auto& [from, to] : map_)
+      if (from == id) return;
+    map_.emplace_back(id, free_[map_.size()]);
+  }
+
+  /// The mapping as a *permutation* of the whole free pool, sparse
+  /// non-identity pairs only. The occurring ids map per first occurrence;
+  /// the rest of the pool maps order-preservingly onto the vacated ids. A
+  /// genuine permutation (rather than the bare injection on occurring ids)
+  /// is what makes renamings composable and invertible during witness
+  /// reconstruction: a wildcard instantiation can introduce an id the
+  /// composed renaming has already routed elsewhere, and only a bijection
+  /// gives it a well-defined preimage.
+  std::vector<std::pair<int, int>> permutation() const {
+    std::vector<std::pair<int, int>> out;
+    for (const auto& [from, to] : map_)
+      if (from != to) out.emplace_back(from, to);
+    if (out.empty()) return out;  // occurring ids already canonical
+    std::vector<int> sources;  // free \ occurring, ascending
+    std::vector<int> targets;  // free \ {first |occurring| ids}, ascending
+    for (int id : free_) {
+      bool occurs = false;
+      for (const auto& [from, to] : map_) occurs |= (from == id);
+      if (!occurs) sources.push_back(id);
+    }
+    for (std::size_t i = map_.size(); i < free_.size(); ++i)
+      targets.push_back(free_[i]);
+    for (std::size_t i = 0; i < sources.size(); ++i)
+      if (sources[i] != targets[i]) out.emplace_back(sources[i], targets[i]);
+    return out;
+  }
+
+ private:
+  const std::vector<int>& free_;
+  std::vector<std::pair<int, int>> map_;  // first-occurrence order
+};
+
+int rename_one(const std::vector<std::pair<int, int>>& map, int id) {
+  for (const auto& [from, to] : map)
+    if (from == id) return to;
+  return id;
+}
+
+int unrename_one(const std::vector<std::pair<int, int>>& map, int id) {
+  for (const auto& [from, to] : map)
+    if (to == id) return from;
+  return id;
+}
+
+}  // namespace
+
+SymmetryInfo compute_symmetry(const Query& query) {
+  if (!query.goal.info().identity_invariant) return {};
+  const AccessChecker& ck = query.checker ? *query.checker : linux_checker();
+  if (!ck.identity_symmetric()) return {};
+  // FixedArgs pins every argument, so free ids can never enter a state;
+  // canonicalization would be a guaranteed identity pass. Skip the scans.
+  if (query.attacker == AttackerModel::FixedArgs) return {};
+
+  UsedIds used;
+  collect_state_ids(query.initial, used);
+  for (const Message& m : query.messages) collect_message_ids(m, used);
+
+  SymmetryInfo sym;
+  sym.free_users = free_ids(query.initial.users(), used.users);
+  sym.free_groups = free_ids(query.initial.groups(), used.groups);
+  if (!sym.enabled()) return {};
+  return sym;
+}
+
+Renaming canonicalize(State& st, const SymmetryInfo& sym) {
+  if (!sym.enabled()) return {};
+
+  // Pass 1: compute the first-occurrence mapping over the fixed scan order.
+  // Supplementary vectors are deliberately not scanned: they are immutable
+  // during search, so anything in them occurs in the initial state and is
+  // not free (the property that makes first-occurrence renaming exact).
+  Mapper users(sym.free_users);
+  Mapper groups(sym.free_groups);
+  for (const ProcObj& p : st.procs) {
+    users.note(p.uid.real);
+    users.note(p.uid.effective);
+    users.note(p.uid.saved);
+    groups.note(p.gid.real);
+    groups.note(p.gid.effective);
+    groups.note(p.gid.saved);
+  }
+  for (const FileObj& f : st.files) {
+    users.note(f.meta.owner);
+    groups.note(f.meta.group);
+  }
+  for (const DirObj& d : st.dirs) {
+    users.note(d.meta.owner);
+    groups.note(d.meta.group);
+  }
+
+  Renaming sigma;
+  sigma.users = users.permutation();
+  sigma.groups = groups.permutation();
+  if (sigma.identity()) return sigma;
+
+  // Pass 2: rewrite through mutate_*() so the XOR digest stays incremental.
+  const auto u = [&](int id) { return rename_one(sigma.users, id); };
+  const auto g = [&](int id) { return rename_one(sigma.groups, id); };
+  for (const ProcObj& p : st.procs) {
+    if (u(p.uid.real) == p.uid.real && u(p.uid.effective) == p.uid.effective &&
+        u(p.uid.saved) == p.uid.saved && g(p.gid.real) == p.gid.real &&
+        g(p.gid.effective) == p.gid.effective && g(p.gid.saved) == p.gid.saved)
+      continue;
+    st.mutate_proc(p.id, [&](ProcObj& q) {
+      q.uid = {u(q.uid.real), u(q.uid.effective), u(q.uid.saved)};
+      q.gid = {g(q.gid.real), g(q.gid.effective), g(q.gid.saved)};
+    });
+  }
+  for (const FileObj& f : st.files) {
+    if (u(f.meta.owner) == f.meta.owner && g(f.meta.group) == f.meta.group)
+      continue;
+    st.mutate_file(f.id, [&](FileObj& q) {
+      q.meta.owner = u(q.meta.owner);
+      q.meta.group = g(q.meta.group);
+    });
+  }
+  for (const DirObj& d : st.dirs) {
+    if (u(d.meta.owner) == d.meta.owner && g(d.meta.group) == d.meta.group)
+      continue;
+    st.mutate_dir(d.id, [&](DirObj& q) {
+      q.meta.owner = u(q.meta.owner);
+      q.meta.group = g(q.meta.group);
+    });
+  }
+  return sigma;
+}
+
+void compose_renaming(Renaming& rho, const Renaming& sigma) {
+  const auto compose_one = [](std::vector<std::pair<int, int>>& r,
+                              const std::vector<std::pair<int, int>>& s) {
+    std::vector<std::pair<int, int>> out;
+    // Ids moved by rho: follow through sigma.
+    for (const auto& [from, via] : r) {
+      int to = rename_one(s, via);
+      if (from != to) out.emplace_back(from, to);
+    }
+    // Ids fixed by rho but moved by sigma. (Both maps are permutations, so
+    // sparse non-identity support is closed: an id in rho's image but not
+    // its domain cannot exist.)
+    for (const auto& [from, to] : s) {
+      bool in_rho_domain = false;
+      for (const auto& [rf, rt] : r) in_rho_domain |= (rf == from);
+      if (!in_rho_domain && from != to) out.emplace_back(from, to);
+    }
+    r = std::move(out);
+  };
+  compose_one(rho.users, sigma.users);
+  compose_one(rho.groups, sigma.groups);
+}
+
+void unrename_action(Action& a, const Renaming& rho) {
+  if (rho.identity()) return;
+  switch (a.sys) {
+    case Sys::Setuid:
+    case Sys::Seteuid:
+      a.args[0] = unrename_one(rho.users, a.args[0]);
+      break;
+    case Sys::Setresuid:
+      for (int i = 0; i < 3; ++i)
+        a.args[i] = unrename_one(rho.users, a.args[i]);
+      break;
+    case Sys::Setgid:
+    case Sys::Setegid:
+      a.args[0] = unrename_one(rho.groups, a.args[0]);
+      break;
+    case Sys::Setresgid:
+      for (int i = 0; i < 3; ++i)
+        a.args[i] = unrename_one(rho.groups, a.args[i]);
+      break;
+    case Sys::Chown:
+    case Sys::Fchown:
+      a.args[1] = unrename_one(rho.users, a.args[1]);
+      a.args[2] = unrename_one(rho.groups, a.args[2]);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace pa::rosa

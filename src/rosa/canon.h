@@ -1,0 +1,87 @@
+// Symmetry reduction for ROSA: canonicalize states modulo permutations of
+// the *free* wildcard identities.
+//
+// The WorldSkeleton's user/group pools deliberately over-provision ids for
+// wildcard set*id/chown arguments to range over (the paper's §V-B state
+// bound). Any pool id that occurs neither in the initial configuration nor
+// as a concrete message argument is "free": the access-control models
+// shipped here decide purely by id equality and set membership
+// (AccessChecker::identity_symmetric()), so permuting free uids among
+// themselves — and, independently, free gids — maps reachable states to
+// reachable states and preserves every identity-invariant goal. Exploring
+// one representative per orbit is therefore sound, and on pool-heavy
+// workloads collapses the space by nearly the orbit size (k free ids that a
+// wildcard can land on become 1 choice instead of k).
+//
+// canonicalize() picks the representative by first-occurrence renaming over
+// a fixed scan order of identity-valued *scalar* fields (uid/gid triples in
+// process order, then file/dir owner/group in object order): the i-th
+// distinct free id encountered is renamed to the i-th smallest free id.
+// Scan positions never depend on the id values themselves, so two states in
+// the same orbit visit the same positions and map to the identical
+// representative — this is the classic scalarset canonicalization, and here
+// it is *exact*, not heuristic, because free ids can only ever occur in
+// those scalar fields: supplementary group vectors are immutable during
+// search and anything in them (or anywhere else in the initial state) is by
+// definition not free. One O(objects) pass, no permutation enumeration, and
+// the rewrite goes through State::mutate_*() so the incremental XOR digest
+// stays O(changed objects).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "rosa/search.h"
+#include "rosa/state.h"
+
+namespace pa::rosa {
+
+/// The free identity pools of one query, computed once per search.
+/// Default-constructed = symmetry reduction disabled.
+struct SymmetryInfo {
+  std::vector<int> free_users;   // sorted ascending
+  std::vector<int> free_groups;  // sorted ascending
+
+  /// A single free id only permutes with itself, so at least two are
+  /// needed (per pool) before any state can be non-canonical.
+  bool enabled() const {
+    return free_users.size() > 1 || free_groups.size() > 1;
+  }
+};
+
+/// Compute the free pools for `query`, or a disabled SymmetryInfo when the
+/// reduction does not apply: the goal is not identity-invariant, the
+/// checker is not identity-symmetric, or the attacker model fixes every
+/// argument (free ids can then never enter a state at all).
+SymmetryInfo compute_symmetry(const Query& query);
+
+/// The identity permutation a canonicalization applied, as sparse
+/// old-id -> new-id pairs (identity mappings omitted). Witness
+/// reconstruction composes these along the goal path and applies the
+/// inverse to id-typed action arguments, so reported witnesses replay from
+/// the *original* initial state (rosa/replay.h) even though the search
+/// walked renamed representatives.
+struct Renaming {
+  std::vector<std::pair<int, int>> users;
+  std::vector<std::pair<int, int>> groups;
+
+  bool identity() const { return users.empty() && groups.empty(); }
+};
+
+/// Rewrite `st` to its orbit representative in place (incremental-digest
+/// safe); returns the renaming that was applied. Identity when the state
+/// was already canonical — the common case, and the fast path: the mapping
+/// is computed first and the state is only touched when it is non-trivial.
+Renaming canonicalize(State& st, const SymmetryInfo& sym);
+
+/// rho := sigma ∘ rho over the free pools (ids missing from a map are
+/// implicitly fixed). Used to accumulate per-node renamings along a
+/// witness path.
+void compose_renaming(Renaming& rho, const Renaming& sigma);
+
+/// Apply rho^{-1} to the id-typed arguments of `a` (set*id targets and
+/// chown/fchown owner/group); all other argument kinds are object ids or
+/// modes and are never renamed.
+void unrename_action(Action& a, const Renaming& rho);
+
+}  // namespace pa::rosa

@@ -12,11 +12,14 @@
 #include <limits>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "rosa/arena.h"
+#include "rosa/canon.h"
 #include "rosa/fingerprint.h"
+#include "rosa/independence.h"
 #include "rosa/shard_table.h"
 #include "support/diagnostics.h"
 #include "support/error.h"
@@ -449,6 +452,16 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
   if (limits.spill_enabled()) store.emplace(limits.spill_dir);
   bool spill_active = false;
 
+  // Reductions (rosa/canon.h, rosa/independence.h). Canonicalization and
+  // ample choice are pure functions of the expanded state, so the parallel
+  // expansion stays scheduling-independent; the pruning counters are
+  // replayed in the serial commit so they match the serial engine exactly.
+  const ReductionPlan plan = make_reduction_plan(query, limits);
+  // Node index -> non-identity canonicalization renaming, for translating
+  // witness actions back to the original identity frame. Written only by
+  // the serial commit phase.
+  std::unordered_map<std::size_t, Renaming> renames;
+
   auto finish = [&](Verdict v, std::int64_t goal_node) {
     result.verdict = v;
     result.stats.seconds = elapsed();
@@ -458,11 +471,21 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
       result.stats.spill_bytes = store->spill_bytes();
     }
     if (goal_node >= 0) {
-      std::vector<Action> steps;
+      std::vector<std::size_t> path;
       for (std::int64_t n = goal_node; n > 0;
            n = nodes[static_cast<std::size_t>(n)].parent)
-        steps.push_back(nodes[static_cast<std::size_t>(n)].action);
-      result.witness.assign(steps.rbegin(), steps.rend());
+        path.push_back(static_cast<std::size_t>(n));
+      std::reverse(path.begin(), path.end());
+      // Stored actions live in the canonical frame of their parent; undo
+      // the accumulated renaming per step, then fold in this step's own.
+      Renaming rho;
+      for (std::size_t n : path) {
+        Action step = nodes[n].action;
+        unrename_action(step, rho);
+        result.witness.push_back(std::move(step));
+        const auto it = renames.find(n);
+        if (it != renames.end()) compose_renaming(rho, it->second);
+      }
     }
     return result;
   };
@@ -493,10 +516,14 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
   enum : std::uint8_t { kKeep = 0, kDuplicate = 1, kCollision = 2 };
 
   struct Candidate {
-    State state;
+    State state;   // canonical form (post-renaming) when symmetry is on
     Action action;
+    Renaming sigma;         // the canonicalization renaming (empty = identity)
     std::uint64_t key = 0;  // dedup key (state_key of `state`)
     std::int64_t parent = -1;
+    // The parent's deferred-message charge, attached to its first candidate
+    // so the serial commit replays por_pruned exactly once per parent.
+    std::uint32_t parent_pruned = 0;
     std::uint32_t shard = 0;
     std::uint8_t decision = kKeep;
     std::uint32_t entry = ShardTable::kNoEntry;
@@ -547,6 +574,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
         std::optional<SpillReader> reader;
         if (store) reader.emplace(*store);
         std::vector<Transition> scratch;
+        std::vector<ExpandedTransition> expanded;
         State loaded;
         for (std::size_t ci;
              (ci = sched.next(worker)) != ChunkScheduler::kDone;) {
@@ -569,25 +597,20 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
               loaded = reader->load(unpack_ref(node.aux), world);
               cur = &loaded;
             }
-            const std::uint64_t cur_msgs = cur->msgs_remaining();
-            for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
-              const std::uint64_t bit = std::uint64_t{1} << mi;
-              if (!(cur_msgs & bit)) continue;
-              if (query.attacker == AttackerModel::CfiOrdered) {
-                const std::uint64_t later_in_range =
-                    ~((bit << 1) - 1) & full_msg_mask;
-                if ((cur_msgs & later_in_range) != later_in_range) continue;
-              }
-              apply_message(*cur, query.messages[mi], query.attacker, ck,
-                            scratch);
-              for (Transition& tr : scratch) {
-                tr.next.set_msgs_remaining(cur_msgs & ~bit);
-                const std::uint64_t key = state_key(tr.next);
-                out.cands.push_back(Candidate{
-                    std::move(tr.next), std::move(tr.action), key,
-                    static_cast<std::int64_t>(p), seen.shard_of(key), kKeep,
-                    ShardTable::kNoEntry});
-              }
+            std::uint32_t parent_pruned = static_cast<std::uint32_t>(
+                expand_state(*cur, query, ck,
+                             plan.por() ? &plan.table : nullptr, full_msg_mask,
+                             expanded, scratch));
+            for (ExpandedTransition& et : expanded) {
+              Transition& tr = et.tr;
+              Renaming sigma;
+              if (plan.sym()) sigma = canonicalize(tr.next, plan.symmetry);
+              const std::uint64_t key = state_key(tr.next);
+              out.cands.push_back(Candidate{
+                  std::move(tr.next), std::move(tr.action), std::move(sigma),
+                  key, static_cast<std::int64_t>(p), parent_pruned,
+                  seen.shard_of(key), kKeep, ShardTable::kNoEntry});
+              parent_pruned = 0;  // charge only the first candidate
             }
           }
           // Stable counting sort of this chunk's candidates by shard.
@@ -696,6 +719,11 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
     for (std::size_t rank = 0; rank < total; ++rank) {
       Candidate& cd = *by_rank[rank];
       ++result.stats.transitions;
+      // Replay the serial engine's pruning counters: the parent's deferred
+      // charge rides on its first candidate, renaming is counted for every
+      // generated candidate (duplicates included), both before dedup.
+      result.stats.por_pruned += cd.parent_pruned;
+      if (!cd.sigma.identity()) ++result.stats.symmetry_pruned;
       if (!limits.no_dedup) {
         if (cd.decision == kDuplicate) {
           ++result.stats.dedup_hits;
@@ -711,6 +739,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
         nodes.add_bytes(added.state.heap_bytes() +
                         added.action.args.capacity() * sizeof(int));
         result.stats.state_bytes += sizeof(State) + added.state.heap_bytes();
+        if (!cd.sigma.identity()) renames.emplace(ni, std::move(cd.sigma));
         ++result.stats.states;
         result.stats.peak_bytes =
             std::max(result.stats.peak_bytes, arena_bytes());
@@ -741,6 +770,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
         // state_bytes stays the logical footprint (what the states would
         // occupy resident), so bytes_per_state is undistorted by spilling.
         result.stats.state_bytes += sizeof(State) + heap;
+        if (!cd.sigma.identity()) renames.emplace(ni, std::move(cd.sigma));
         ++result.stats.states;
         result.stats.peak_bytes =
             std::max(result.stats.peak_bytes, arena_bytes());

@@ -2,9 +2,12 @@
 
 #include "rosa/arena.h"
 #include "rosa/cache.h"
+#include "rosa/canon.h"
 #include "rosa/frontier.h"
+#include "rosa/independence.h"
 #include "rosa/rules.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <unordered_map>
@@ -42,6 +45,8 @@ void SearchStats::merge(const SearchStats& other) {
   state_bytes += other.state_bytes;
   spilled_states += other.spilled_states;
   spill_bytes += other.spill_bytes;
+  symmetry_pruned += other.symmetry_pruned;
+  por_pruned += other.por_pruned;
   escalations += other.escalations;
   decisive_states += other.decisive_states;
   seconds += other.seconds;
@@ -58,6 +63,8 @@ std::string SearchStats::to_string() const {
                   " peak-bytes=", peak_bytes,
                   " spilled-states=", spilled_states,
                   " spill-bytes=", spill_bytes,
+                  " symmetry-pruned=", symmetry_pruned,
+                  " por-pruned=", por_pruned,
                   " escalations=", escalations, " cache-hits=", cache_hits,
                   " cache-misses=", cache_misses, " cache-joins=", cache_joins,
                   " time=", str::fixed(seconds, 3), "s");
@@ -157,16 +164,37 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
   }
   auto arena_bytes = [&] { return skeleton_bytes + nodes.bytes(); };
 
+  // Symmetry + partial-order reduction plan (rosa/canon.h,
+  // rosa/independence.h); empty when limits.reduction is off or the query
+  // is ineligible, in which case the loop below degenerates to the classic
+  // unreduced reference search.
+  const ReductionPlan plan = make_reduction_plan(query, limits);
+  // Node index -> the (non-identity) renaming its state underwent during
+  // canonicalization, needed to translate witness actions back into the
+  // original identity frame. Sparse: most canonicalizations are identities.
+  std::unordered_map<std::size_t, Renaming> renames;
+
   auto finish = [&](Verdict v, std::int64_t goal_node) {
     result.verdict = v;
     result.stats.seconds = elapsed();
     result.stats.decisive_states = result.stats.states;
     if (goal_node >= 0) {
-      std::vector<Action> steps;
+      std::vector<std::size_t> path;
       for (std::int64_t n = goal_node; n > 0;
            n = nodes[static_cast<std::size_t>(n)].parent)
-        steps.push_back(nodes[static_cast<std::size_t>(n)].action);
-      result.witness.assign(steps.rbegin(), steps.rend());
+        path.push_back(static_cast<std::size_t>(n));
+      std::reverse(path.begin(), path.end());
+      // Stored actions live in the canonical frame of their parent, i.e.
+      // the original frame composed with rho = sigma_{i-1} ∘ … ∘ sigma_1.
+      // Undo rho per step, then fold in this step's own renaming.
+      Renaming rho;
+      for (std::size_t n : path) {
+        Action step = nodes[n].action;
+        unrename_action(step, rho);
+        result.witness.push_back(std::move(step));
+        const auto it = renames.find(n);
+        if (it != renames.end()) compose_renaming(rho, it->second);
+      }
     }
     return result;
   };
@@ -190,6 +218,7 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
   // message) pair.
   const AccessChecker& ck = query.checker ? *query.checker : linux_checker();
   std::vector<Transition> scratch;
+  std::vector<ExpandedTransition> expanded;
 
   while (!frontier.empty()) {
     // The wall-clock budget, the batch-wide deadline, and the cooperative
@@ -205,74 +234,69 @@ SearchResult search(const Query& query, const SearchLimits& limits) {
     // Arena addresses are stable, so the popped node's state can be
     // referenced across successor appends without re-fetching by index.
     const State& cur_state = nodes[cur].state;
-    const std::uint64_t cur_msgs = cur_state.msgs_remaining();
 
-    for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
-      const std::uint64_t bit = std::uint64_t{1} << mi;
-      if (!(cur_msgs & bit)) continue;
-
-      // CFI-ordered attackers must issue syscalls in program order: message
-      // i is usable only while every later message is still unconsumed
-      // (skipping forward is allowed, going back is not).
-      if (query.attacker == AttackerModel::CfiOrdered) {
-        const std::uint64_t later_in_range = ~((bit << 1) - 1) & full_msg_mask;
-        if ((cur_msgs & later_in_range) != later_in_range)
-          continue;
+    // expand_state applies either the chosen ample set (POR) or every
+    // unconsumed message (including the CfiOrdered program-order gate),
+    // buffering successors in the exact order the classic loop produced.
+    result.stats.por_pruned +=
+        expand_state(cur_state, query, ck, plan.por() ? &plan.table : nullptr,
+                     full_msg_mask, expanded, scratch);
+    for (ExpandedTransition& et : expanded) {
+      Transition& tr = et.tr;
+      ++result.stats.transitions;
+      Renaming sigma;
+      if (plan.sym()) {
+        sigma = canonicalize(tr.next, plan.symmetry);
+        if (!sigma.identity()) ++result.stats.symmetry_pruned;
       }
 
-      apply_message(cur_state, query.messages[mi], query.attacker, ck,
-                    scratch);
-      for (Transition& tr : scratch) {
-        ++result.stats.transitions;
-        tr.next.set_msgs_remaining(cur_msgs & ~bit);
-
-        const std::size_t ni = nodes.size();
-        if (!limits.no_dedup) {
-          auto [it, inserted] = seen.try_emplace(state_key(tr.next), ni);
-          if (!inserted) {
-            // Hash already present: walk the chain; exact match = duplicate,
-            // otherwise it is a genuine 64-bit collision and the new state
-            // joins the chain.
-            std::size_t idx = it->second;
-            bool duplicate = false;
-            for (;;) {
-              if (canonical_equal(nodes[idx].state, tr.next)) {
-                duplicate = true;
-                break;
-              }
-              if (nodes[idx].aux < 0) break;
-              idx = static_cast<std::size_t>(nodes[idx].aux);
+      const std::size_t ni = nodes.size();
+      if (!limits.no_dedup) {
+        auto [it, inserted] = seen.try_emplace(state_key(tr.next), ni);
+        if (!inserted) {
+          // Hash already present: walk the chain; exact match = duplicate,
+          // otherwise it is a genuine 64-bit collision and the new state
+          // joins the chain.
+          std::size_t idx = it->second;
+          bool duplicate = false;
+          for (;;) {
+            if (canonical_equal(nodes[idx].state, tr.next)) {
+              duplicate = true;
+              break;
             }
-            if (duplicate) {
-              ++result.stats.dedup_hits;
-              continue;
-            }
-            ++result.stats.hash_collisions;
-            nodes[idx].aux = static_cast<std::int64_t>(ni);
+            if (nodes[idx].aux < 0) break;
+            idx = static_cast<std::size_t>(nodes[idx].aux);
           }
+          if (duplicate) {
+            ++result.stats.dedup_hits;
+            continue;
+          }
+          ++result.stats.hash_collisions;
+          nodes[idx].aux = static_cast<std::int64_t>(ni);
         }
-        Node& added =
-            nodes.push_back(Node{std::move(tr.next),
-                                 static_cast<std::int64_t>(cur),
-                                 std::move(tr.action), -1});
-        nodes.add_bytes(added.state.heap_bytes() +
-                        added.action.args.capacity() * sizeof(int));
-        result.stats.state_bytes += sizeof(State) + added.state.heap_bytes();
-        ++result.stats.states;
-        result.stats.peak_bytes =
-            std::max(result.stats.peak_bytes, arena_bytes());
-
-        if (query.goal(added.state))
-          return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
-
-        if (limits.max_states && result.stats.states >= limits.max_states)
-          return finish(Verdict::ResourceLimit, -1);
-        if (limits.max_bytes && arena_bytes() > limits.max_bytes)
-          return finish(Verdict::ResourceLimit, -1);
-        frontier.push_back(ni);
-        result.stats.peak_frontier =
-            std::max(result.stats.peak_frontier, frontier.size());
       }
+      Node& added =
+          nodes.push_back(Node{std::move(tr.next),
+                               static_cast<std::int64_t>(cur),
+                               std::move(tr.action), -1});
+      nodes.add_bytes(added.state.heap_bytes() +
+                      added.action.args.capacity() * sizeof(int));
+      result.stats.state_bytes += sizeof(State) + added.state.heap_bytes();
+      if (!sigma.identity()) renames.emplace(ni, std::move(sigma));
+      ++result.stats.states;
+      result.stats.peak_bytes =
+          std::max(result.stats.peak_bytes, arena_bytes());
+
+      if (query.goal(added.state))
+        return finish(Verdict::Reachable, static_cast<std::int64_t>(ni));
+
+      if (limits.max_states && result.stats.states >= limits.max_states)
+        return finish(Verdict::ResourceLimit, -1);
+      if (limits.max_bytes && arena_bytes() > limits.max_bytes)
+        return finish(Verdict::ResourceLimit, -1);
+      frontier.push_back(ni);
+      result.stats.peak_frontier =
+          std::max(result.stats.peak_frontier, frontier.size());
     }
   }
   return finish(Verdict::Unreachable, -1);
@@ -310,6 +334,8 @@ SearchResult search_escalating(const Query& query, const SearchLimits& limits,
     accumulated.state_bytes += result.stats.state_bytes;
     accumulated.spilled_states += result.stats.spilled_states;
     accumulated.spill_bytes += result.stats.spill_bytes;
+    accumulated.symmetry_pruned += result.stats.symmetry_pruned;
+    accumulated.por_pruned += result.stats.por_pruned;
     accumulated.seconds += result.stats.seconds;
   }
   // The decisive attempt's verdict/witness with whole-query work accounting;

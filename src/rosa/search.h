@@ -34,6 +34,26 @@ class QueryCache;  // rosa/cache.h
 /// exactly the same states. Ad-hoc lambdas convert implicitly and carry no
 /// key, which simply makes their queries uncacheable; the builders in
 /// rosa/query.h all return keyed goals.
+/// Static annotations on a goal predicate that the reduction machinery
+/// (rosa/canon.h, rosa/independence.h) needs to stay sound. Builders in
+/// rosa/query.h fill these in; ad-hoc lambda goals keep the conservative
+/// defaults, which disable both reductions for the query.
+struct GoalInfo {
+  /// True when the predicate's value is invariant under any permutation of
+  /// uid values and (separately) gid values across the whole state — the
+  /// precondition for symmetry reduction. All the shipped builders qualify:
+  /// they inspect fdsets, sockets, and running flags, never identities.
+  bool identity_invariant = false;
+  /// True when the touch sets below are exhaustive, i.e. the predicate
+  /// reads *only* the listed per-process resources. False means "reads
+  /// unknown state", which makes every message goal-visible and turns
+  /// partial-order reduction into a no-op (safe default).
+  bool touch_known = false;
+  std::vector<int> fd_procs;    // reads rdfset/wrfset of these procs
+  std::vector<int> run_procs;   // reads the running flag of these procs
+  std::vector<int> sock_procs;  // reads sockets/bound ports of these procs
+};
+
 class Goal {
  public:
   Goal() = default;
@@ -53,9 +73,16 @@ class Goal {
   /// Stable identity for fingerprinting; empty = uncacheable.
   const std::string& cache_key() const { return key_; }
 
+  const GoalInfo& info() const { return info_; }
+  Goal& with_info(GoalInfo info) {
+    info_ = std::move(info);
+    return *this;
+  }
+
  private:
   std::function<bool(const State&)> fn_;
   std::string key_;
+  GoalInfo info_;
 };
 
 /// A search problem: initial configuration, one-shot messages, and the
@@ -111,6 +138,16 @@ struct SearchLimits {
   std::string spill_dir;
   /// Disable duplicate-state detection (ablation only; exponential blowup).
   bool no_dedup = false;
+  /// Symmetry + partial-order reduction (rosa/canon.h, rosa/independence.h).
+  /// On by default: states are canonicalized modulo wildcard-identity
+  /// permutations before dedup, and each frontier pop expands only an
+  /// ample subset of the unconsumed messages when the rest provably
+  /// commutes past it. Verdicts, vulnerable_fractions, and witness
+  /// *validity* are preserved exactly (tests/rosa_reduction_diff_test.cpp);
+  /// work counters and the particular witness found may differ from the
+  /// unreduced run, so the flag is salted into cache fingerprints. Set
+  /// false (`--no-reduction`) for A/B ablation against the full space.
+  bool reduction = true;
   /// Debug mode: cross-check every incrementally maintained state digest
   /// against a from-scratch State::full_hash() and abort on mismatch. Costs
   /// a full rehash per generated successor; tests enable it to pin the
@@ -189,6 +226,13 @@ struct SearchStats {
   std::size_t spilled_states = 0;
   /// Bytes written to spill files (frame payloads plus per-frame headers).
   std::size_t spill_bytes = 0;
+  /// Successors whose canonicalization applied a non-identity wildcard
+  /// identity renaming (rosa/canon.h) — each one is a state the unreduced
+  /// search would have treated as distinct from its orbit representative.
+  std::size_t symmetry_pruned = 0;
+  /// Unconsumed messages deferred at frontier pops because the chosen
+  /// ample set (rosa/independence.h) provably commutes past them.
+  std::size_t por_pruned = 0;
   std::size_t escalations = 0;      // budget-doubled retries after ResourceLimit
   /// States explored by the decisive (final) attempt. Equal to `states`
   /// except under escalation, where `states` accumulates work across every

@@ -5,6 +5,7 @@
 //     --max-states N     ROSA state budget per query
 //     --escalate-rounds N budget escalation rounds
 //     --no-cache         bypass the daemon's resident verdict cache
+//     --no-reduction     disable symmetry + partial-order search reduction
 //     --no-wait          print the job id and exit without waiting
 //   pa_client --socket PATH status JOB_ID
 //   pa_client --socket PATH cancel JOB_ID
@@ -30,7 +31,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --socket PATH COMMAND\n"
                "  submit FILE|builtin:NAME [--deadline S] [--max-states N]\n"
-               "         [--escalate-rounds N] [--no-cache] [--no-wait]\n"
+               "         [--escalate-rounds N] [--no-cache] [--no-reduction]\n"
+               "         [--no-wait]\n"
                "  status JOB_ID | cancel JOB_ID | ping | shutdown [--abort]\n";
   return privanalyzer::kExitUsage;
 }
@@ -43,6 +45,7 @@ int cmd_submit(daemon::Client& client, const std::vector<std::string>& args) {
     const std::string& a = args[i];
     if (a == "--no-wait") wait = false;
     else if (a == "--no-cache") req.use_cache = false;
+    else if (a == "--no-reduction") req.reduction = false;
     else if (a == "--deadline" && i + 1 < args.size())
       req.deadline_secs = std::stod(args[++i]);
     else if (a == "--max-states" && i + 1 < args.size())
