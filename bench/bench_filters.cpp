@@ -1,0 +1,143 @@
+// EpochFilter benchmarks: what per-epoch syscall filters cost to build and
+// enforce, and how much attack surface they remove (DESIGN.md decision 14).
+//
+// The google-benchmark cases time the three pipeline configurations on one
+// representative Table-II program; the --json side channel sweeps every
+// baseline program in report mode and appends filter-size and reduction
+// metrics to the shared BENCH_rosa.json artifact (the CI perf smoke asserts
+// the reduction exists and the refined-subset invariant holds).
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "filters/epoch_filter.h"
+#include "privanalyzer/pipeline.h"
+#include "programs/world.h"
+
+using namespace pa;
+
+namespace {
+
+privanalyzer::PipelineOptions make_options(privanalyzer::FilterMode mode) {
+  privanalyzer::PipelineOptions opts;
+  opts.filters = mode;
+  opts.run_rosa = false;  // isolate measurement + synthesis + enforcement
+  return opts;
+}
+
+const programs::ProgramSpec& reference_program() {
+  // sshd: the largest Table-II epoch structure (and a signal handler, so
+  // the handler-root closure path is exercised).
+  static const programs::ProgramSpec spec = [] {
+    for (programs::ProgramSpec& s : programs::all_baseline_programs())
+      if (s.name == "sshd") return std::move(s);
+    return programs::all_baseline_programs().front();
+  }();
+  return spec;
+}
+
+}  // namespace
+
+// Baseline: the plain instrumented run, no point capture, no filters.
+static void BM_PipelineFiltersOff(benchmark::State& state) {
+  const programs::ProgramSpec& spec = reference_program();
+  const auto opts = make_options(privanalyzer::FilterMode::Off);
+  for (auto _ : state) {
+    privanalyzer::ProgramAnalysis a = privanalyzer::analyze_program(spec, opts);
+    benchmark::DoNotOptimize(a.chrono.total_instructions);
+  }
+}
+BENCHMARK(BM_PipelineFiltersOff);
+
+// Report mode adds point capture during execution plus the two static
+// reachable-syscall closures (conservative + refined).
+static void BM_PipelineFiltersReport(benchmark::State& state) {
+  const programs::ProgramSpec& spec = reference_program();
+  const auto opts = make_options(privanalyzer::FilterMode::Report);
+  for (auto _ : state) {
+    privanalyzer::ProgramAnalysis a = privanalyzer::analyze_program(spec, opts);
+    benchmark::DoNotOptimize(a.filter_report.epochs.size());
+  }
+}
+BENCHMARK(BM_PipelineFiltersReport);
+
+// Enforce mode re-executes the program with the allowlists installed — the
+// full double-run cost an enforcing deployment would pay.
+static void BM_PipelineFiltersEnforce(benchmark::State& state) {
+  const programs::ProgramSpec& spec = reference_program();
+  const auto opts = make_options(privanalyzer::FilterMode::Enforce);
+  for (auto _ : state) {
+    privanalyzer::ProgramAnalysis a = privanalyzer::analyze_program(spec, opts);
+    benchmark::DoNotOptimize(a.filter_violations);
+    if (a.filter_violations != 0)
+      state.SkipWithError("conservative filter denied a legitimate syscall");
+  }
+}
+BENCHMARK(BM_PipelineFiltersEnforce);
+
+namespace {
+
+/// The metrics side channel: sweep every Table-II program in report mode
+/// and append per-program filter sizes plus the aggregate reduction and
+/// soundness-invariant counters to the shared perf artifact.
+void write_filter_json(const std::string& path) {
+  std::vector<std::pair<std::string, double>> metrics;
+  double reduced_epochs = 0;
+  double subset_violations = 0;
+  double total_epochs = 0;
+  const auto opts = make_options(privanalyzer::FilterMode::Report);
+  for (const programs::ProgramSpec& spec : programs::all_baseline_programs()) {
+    const privanalyzer::ProgramAnalysis a =
+        privanalyzer::try_analyze_program(spec, opts);
+    if (!a.ok() || a.filter_report.empty()) {
+      std::cerr << "filter sweep failed for " << spec.name << "\n";
+      std::exit(1);
+    }
+    const double surface =
+        static_cast<double>(a.filter_report.program_syscalls.size());
+    double cons_total = 0;
+    double refined_total = 0;
+    double min_ratio = 1.0;
+    for (const filters::EpochFilter& e : a.filter_report.epochs) {
+      ++total_epochs;
+      cons_total += static_cast<double>(e.conservative.size());
+      refined_total += static_cast<double>(e.refined.size());
+      if (surface > 0)
+        min_ratio = std::min(
+            min_ratio, static_cast<double>(e.conservative.size()) / surface);
+      if (e.conservative.size() < a.filter_report.program_syscalls.size())
+        ++reduced_epochs;
+      if (!std::includes(e.conservative.begin(), e.conservative.end(),
+                         e.refined.begin(), e.refined.end()))
+        ++subset_violations;
+    }
+    const std::string prefix = "filters_" + spec.name + "_";
+    metrics.emplace_back(prefix + "surface", surface);
+    metrics.emplace_back(prefix + "conservative_total", cons_total);
+    metrics.emplace_back(prefix + "refined_total", refined_total);
+    metrics.emplace_back(prefix + "min_epoch_ratio", min_ratio);
+  }
+  metrics.emplace_back("filters_total_epochs", total_epochs);
+  metrics.emplace_back("filters_reduced_epochs", reduced_epochs);
+  metrics.emplace_back("filters_refined_subset_violations", subset_violations);
+  if (!pa::bench::append_json_metrics(path, metrics)) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "appended filter metrics to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = pa::bench::take_json_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) write_filter_json(json_path);
+  return 0;
+}

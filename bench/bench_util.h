@@ -1,6 +1,7 @@
 // Shared helpers for the paper-artifact benchmark binaries.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -122,6 +123,43 @@ inline bool write_json_metrics(
   }
   out << "\n}\n";
   return static_cast<bool>(out);
+}
+
+/// Merge metrics into an existing flat JSON metrics file (or create it).
+/// Keys already present are overwritten in place; new keys append at the
+/// end. Lets several bench binaries feed one artifact (BENCH_rosa.json)
+/// without clobbering each other's sections.
+inline bool append_json_metrics(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::vector<std::pair<std::string, double>> merged;
+  if (std::ifstream in(path); in) {
+    // The file is our own write_json_metrics output: one "key": value per
+    // line. Anything unparseable is simply dropped from the merge.
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto open_q = line.find('"');
+      const auto close_q = line.find('"', open_q + 1);
+      const auto colon = line.find(':', close_q + 1);
+      if (open_q == std::string::npos || close_q == std::string::npos ||
+          colon == std::string::npos)
+        continue;
+      try {
+        merged.emplace_back(line.substr(open_q + 1, close_q - open_q - 1),
+                            std::stod(line.substr(colon + 1)));
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  for (const auto& [key, value] : metrics) {
+    auto it = std::find_if(merged.begin(), merged.end(),
+                           [&](const auto& kv) { return kv.first == key; });
+    if (it != merged.end())
+      it->second = value;
+    else
+      merged.emplace_back(key, value);
+  }
+  return write_json_metrics(path, merged);
 }
 
 }  // namespace pa::bench

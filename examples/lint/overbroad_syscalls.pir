@@ -1,0 +1,28 @@
+; PrivLint fixture: seeded overbroad-epoch-syscalls defect (and nothing
+; else). Both capabilities are raised, used, and lowered, so the classic
+; hygiene passes stay quiet — but the final priv_remove drops only CapKill.
+; CapChown stays permitted for the rest of execution even though nothing
+; raises it again, while a chown syscall remains reachable: a hijacked
+; thread could raise CapChown and drive it. The remove should cover both
+; capabilities (or the epoch should run under an enforced syscall filter).
+;
+; !name: overbroad_syscalls
+; !description: lint fixture - permitted-but-dead cap with gated syscall reachable
+; !permitted: CapChown,CapKill
+; !uid: 1000
+; !gid: 1000
+
+func @main(0) {
+entry:
+  %0 = syscall open("/tmp/scratch", 2)
+  priv_raise {CapChown}
+  %1 = syscall chown(%0, 0)
+  priv_lower {CapChown}
+  priv_raise {CapKill}
+  %2 = syscall kill(7, 15)
+  priv_lower {CapKill}
+  priv_remove {CapKill}
+  %3 = syscall chown(%0, 1000)
+  %4 = syscall close(%0)
+  exit 0
+}

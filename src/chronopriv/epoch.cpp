@@ -3,7 +3,23 @@
 namespace pa::chronopriv {
 
 void EpochTracker::on_instruction(const os::Process& p,
-                                  const ir::Function& /*fn*/) {
+                                  const ir::Function& fn) {
+  // Legacy point-free entry: block -1 means "no point info", so point
+  // capture (which needs real block/ip coordinates) records nothing.
+  on_instruction_at(p, fn, /*block=*/-1, /*ip=*/0);
+}
+
+void EpochTracker::record_point(const ir::Function& fn, int block,
+                                std::size_t ip) {
+  if (block < 0) return;
+  PointMap& points = points_[current_index_];
+  auto [it, inserted] = points.try_emplace({fn.name(), block}, ip);
+  if (!inserted && ip < it->second) it->second = ip;
+}
+
+void EpochTracker::on_instruction_at(const os::Process& p,
+                                     const ir::Function& fn, int block,
+                                     std::size_t ip) {
   ++total_;
   // Fast path: privilege state unchanged since the previous instruction.
   // ChronoPriv records the permitted set and the real/effective/saved
@@ -15,31 +31,56 @@ void EpochTracker::on_instruction(const os::Process& p,
       p.creds.gid == current_key_.creds.gid) {
     ++epochs_[current_index_].instructions;
     ++timeline_.back().length;
+    if (record_points_) {
+      // Record every non-straight-line transfer: function entries, branch
+      // targets, and return sites all start a fresh suffix of execution
+      // whose syscalls must be in this epoch's filter.
+      const bool sequential =
+          &fn == last_fn_ && block == last_block_ && ip == last_ip_ + 1;
+      if (!sequential) record_point(fn, block, ip);
+      last_fn_ = &fn;
+      last_block_ = block;
+      last_ip_ = ip;
+    }
     return;
   }
 
   EpochKey key{p.privs.permitted(),
                caps::Credentials{p.creds.uid, p.creds.gid, {}}};
   timeline_.push_back(EpochSegment{key, total_ - 1, 1});
+  current_index_ = SIZE_MAX;
   for (std::size_t i = 0; i < epochs_.size(); ++i) {
     if (epochs_[i].key == key) {
       ++epochs_[i].instructions;
-      current_key_ = std::move(key);
       current_index_ = i;
-      return;
+      break;
     }
   }
-  epochs_.push_back(
-      Epoch{key, 1, static_cast<int>(epochs_.size())});
+  if (current_index_ == SIZE_MAX) {
+    epochs_.push_back(Epoch{key, 1, static_cast<int>(epochs_.size())});
+    points_.emplace_back();
+    current_index_ = epochs_.size() - 1;
+  }
   current_key_ = std::move(key);
-  current_index_ = epochs_.size() - 1;
+  if (record_points_) {
+    // An epoch boundary always starts a fresh suffix.
+    record_point(fn, block, ip);
+    last_fn_ = &fn;
+    last_block_ = block;
+    last_ip_ = ip;
+  }
+  if (on_epoch_change_) on_epoch_change_(current_index_);
 }
 
 void EpochTracker::reset() {
   epochs_.clear();
   timeline_.clear();
+  points_.clear();
   total_ = 0;
   current_index_ = SIZE_MAX;
+  last_fn_ = nullptr;
+  last_block_ = -1;
+  last_ip_ = SIZE_MAX;
 }
 
 }  // namespace pa::chronopriv

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "caps/credentials.h"
@@ -44,6 +47,29 @@ class EpochTracker final : public vm::Tracer {
  public:
   void on_instruction(const os::Process& p,
                       const ir::Function& fn) override;
+  void on_instruction_at(const os::Process& p, const ir::Function& fn,
+                         int block, std::size_t ip) override;
+
+  /// Observed entry points into one epoch: (function, block) -> lowest
+  /// instruction offset at which execution entered the block while the
+  /// epoch was in force. Every instruction executed in the epoch lies in
+  /// the suffix of some recorded point, so the points are sound roots for
+  /// static reachable-syscall closure (filters/epoch_filter.h).
+  using PointMap = std::map<std::pair<std::string, int>, std::size_t>;
+
+  /// Enable point capture (off by default: the extra bookkeeping is only
+  /// needed when synthesizing per-epoch syscall filters).
+  void set_record_points(bool on) { record_points_ = on; }
+  /// Parallel to epochs(); empty maps unless point recording was on.
+  const std::vector<PointMap>& epoch_points() const { return points_; }
+
+  /// Invoked with the new epoch index whenever execution crosses into a
+  /// different epoch row (including the very first instruction), before the
+  /// instruction's effects. Drives the kernel's per-epoch filter transition
+  /// in enforcement mode.
+  void set_epoch_change_hook(std::function<void(std::size_t)> hook) {
+    on_epoch_change_ = std::move(hook);
+  }
 
   /// Epochs in order of first appearance.
   const std::vector<Epoch>& epochs() const { return epochs_; }
@@ -54,12 +80,24 @@ class EpochTracker final : public vm::Tracer {
   void reset();
 
  private:
+  void record_point(const ir::Function& fn, int block, std::size_t ip);
+
   std::vector<Epoch> epochs_;
   std::vector<EpochSegment> timeline_;
+  std::vector<PointMap> points_;
   std::uint64_t total_ = 0;
   // Cache of the current epoch to avoid a search per instruction.
   EpochKey current_key_;
   std::size_t current_index_ = SIZE_MAX;
+  // Point capture: a point is recorded whenever control flow is not
+  // straight-line (function entry, branch target, return site, epoch
+  // boundary) — i.e. whenever the instruction is not the sequential
+  // successor of the previous one.
+  bool record_points_ = false;
+  const ir::Function* last_fn_ = nullptr;
+  int last_block_ = -1;
+  std::size_t last_ip_ = SIZE_MAX;
+  std::function<void(std::size_t)> on_epoch_change_;
 };
 
 }  // namespace pa::chronopriv

@@ -34,4 +34,14 @@ ChronoReport run_instrumented(os::Kernel& kernel, const ir::Module& module,
                               const std::string& entry = "main",
                               long* exit_code = nullptr);
 
+/// Variant driving a caller-supplied tracker, so the caller can configure
+/// point capture or an epoch-change hook (filter enforcement) beforehand and
+/// inspect epoch_points() afterwards.
+ChronoReport run_instrumented_with(os::Kernel& kernel,
+                                   const ir::Module& module, os::Pid pid,
+                                   EpochTracker& tracker,
+                                   std::vector<ir::RtValue> args = {},
+                                   const std::string& entry = "main",
+                                   long* exit_code = nullptr);
+
 }  // namespace pa::chronopriv

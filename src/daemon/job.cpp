@@ -94,6 +94,13 @@ privanalyzer::PipelineOptions make_pipeline_options(
       req.deadline_secs > 0 ? req.deadline_secs : default_deadline_secs;
   opts.rosa_cache = req.use_cache;
   if (req.use_cache) opts.rosa_cache_instance = std::move(cache);
+  auto mode = privanalyzer::parse_filter_mode(req.filters);
+  if (!mode)
+    support::fail_stage(support::Stage::Daemon, DiagCode::BadFieldValue,
+                        req.name,
+                        str::cat("unknown filters mode '", req.filters,
+                                 "' (expected off, report, or enforce)"));
+  opts.filters = *mode;
   return opts;
 }
 
@@ -162,6 +169,30 @@ std::string render_job_result(const ProgramAnalysis& analysis) {
     for (std::size_t a = 0; a < attacks::modeled_attacks().size(); ++a)
       out += str::cat("vulnerable attack", a + 1, " ",
                       str::fixed(analysis.vulnerable_fraction(a), 6), "\n");
+  if (!analysis.filter_report.empty()) {
+    const std::size_t surface =
+        analysis.filter_report.program_syscalls.size();
+    for (std::size_t i = 0; i < analysis.filter_report.epochs.size(); ++i) {
+      const filters::EpochFilter& e = analysis.filter_report.epochs[i];
+      out += str::cat("filter ", e.epoch, " conservative=",
+                      e.conservative.size(), " refined=", e.refined.size(),
+                      " surface=", surface, " reduced=",
+                      e.conservative.size() < surface ? 1 : 0, "\n");
+      if (i < analysis.filtered_verdicts.size()) {
+        out += str::cat("fverdicts ", e.epoch, " ");
+        for (attacks::CellVerdict v : analysis.filtered_verdicts[i].verdicts)
+          out.push_back(attacks::cell_symbol(v));
+        out.push_back('\n');
+      }
+    }
+    if (analysis.filter_violations > 0)
+      out += str::cat("filter_violations ", analysis.filter_violations, "\n");
+    if (!analysis.filtered_verdicts.empty())
+      for (std::size_t a = 0; a < attacks::modeled_attacks().size(); ++a)
+        out += str::cat("filtered_vulnerable attack", a + 1, " ",
+                        str::fixed(analysis.filtered_vulnerable_fraction(a), 6),
+                        "\n");
+  }
   return out;
 }
 

@@ -115,6 +115,10 @@ struct JobRequest {
   bool run_rosa = true;
   bool use_cache = true;  // consult the daemon's resident verdict cache
   bool reduction = true;  // symmetry + partial-order reduction (rosa/canon.h)
+  /// EpochFilter mode: "off" | "report" | "enforce" (filter_mode_name
+  /// spelling; unknown values are a job-level usage error, not a protocol
+  /// error). Enforced jobs use the default -EPERM violation semantics.
+  std::string filters = "off";
 
   Frame to_frame() const;
   static JobRequest from_frame(const Frame& f);

@@ -23,8 +23,11 @@ CallGraph CallGraph::build(const Module& module, IndirectCallPolicy policy) {
     if (f.address_taken()) cg.address_taken_.insert(f.name());
 
   dataflow::FuncPtrResult funcptrs;
-  if (policy == IndirectCallPolicy::Refined)
+  if (policy == IndirectCallPolicy::Refined) {
     funcptrs = dataflow::analyze_func_ptrs(module);
+    cg.handlers_.insert(funcptrs.signal_handlers.begin(),
+                        funcptrs.signal_handlers.end());
+  }
 
   for (const Function& f : module.functions()) {
     auto& out = cg.edges_[f.name()];
@@ -50,12 +53,30 @@ CallGraph CallGraph::build(const Module& module, IndirectCallPolicy policy) {
             }
             break;
           case Opcode::Syscall:
-            // signal(signo, @handler): the handler becomes asynchronously
+            // signal(signo, handler): the handler becomes asynchronously
             // callable; record it so analyses can treat it as a root.
+            // Literal @handler operands are roots under every policy. A
+            // register-valued handler is resolved by the function-pointer
+            // propagation under Refined; under Conservative any unary
+            // address-taken function may be registered (the propagated
+            // values all originate from address-taken marking sites, so the
+            // refined handler set stays a subset of this).
             if (inst.symbol == "signal") {
-              for (const Operand& op : inst.operands)
+              bool saw_register_handler = false;
+              for (std::size_t i = 1; i < inst.operands.size(); ++i) {
+                const Operand& op = inst.operands[i];
                 if (op.kind() == Operand::Kind::Func)
                   cg.handlers_.insert(op.str_value());
+                else if (op.kind() == Operand::Kind::Reg)
+                  saw_register_handler = true;
+              }
+              if (saw_register_handler &&
+                  policy == IndirectCallPolicy::Conservative) {
+                for (const std::string& t : cg.address_taken_)
+                  if (module.has_function(t) &&
+                      module.function(t).num_params() == 1)
+                    cg.handlers_.insert(t);
+              }
             }
             break;
           default:

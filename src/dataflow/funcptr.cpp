@@ -29,7 +29,8 @@ struct Global {
 
   bool operator==(const Global& o) const {
     return param_in == o.param_in && ret_out == o.ret_out &&
-           result.callind_targets == o.result.callind_targets;
+           result.callind_targets == o.result.callind_targets &&
+           result.signal_handlers == o.result.signal_handlers;
   }
 };
 
@@ -111,6 +112,19 @@ void solve_function(Global& g, const ir::Module& module,
           std::set<std::string> out = eval_operand(env, inst.operands[0]);
           g.ret_out[fname].insert(out.begin(), out.end());
         }
+        break;
+      case ir::Opcode::Syscall:
+        // `syscall signal(signo, handler)` registers its handler operand as
+        // an asynchronous entry point — whether it is a literal @func or a
+        // propagated register value. Handlers run with one argument (the
+        // signal number); the VM aborts any other arity, so filter on it.
+        if (inst.symbol == "signal" && inst.operands.size() >= 2) {
+          for (const std::string& h : eval_operand(env, inst.operands[1]))
+            if (module.has_function(h) && module.function(h).num_params() == 1)
+              g.result.signal_handlers.insert(h);
+        }
+        // The syscall's own result is an integer, never a FuncRef.
+        if (inst.dest != ir::kNoReg) env.erase(inst.dest);
         break;
       default:
         // Arithmetic, comparisons, syscalls, privops: the destination (if

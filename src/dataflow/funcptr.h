@@ -38,6 +38,14 @@ struct FuncPtrResult {
   /// register share an entry (their target sets are unioned).
   std::map<std::string, std::map<int, std::set<std::string>>> callind_targets;
 
+  /// Functions that can reach a `syscall signal(signo, handler)` handler
+  /// operand — literal @func operands and propagated register values alike,
+  /// arity-filtered to unary functions (the VM invokes handlers with the
+  /// signal number as their only argument). These are asynchronous-entry
+  /// roots: reachability analyses must treat them like address-taken entry
+  /// points or they drop handler-only syscalls.
+  std::set<std::string> signal_handlers;
+
   /// Targets for a `callind` through `reg` in `fname` (empty set if the
   /// register never holds a FuncRef of matching arity — a lint finding).
   const std::set<std::string>& targets(const std::string& fname,

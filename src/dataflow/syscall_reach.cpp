@@ -1,0 +1,110 @@
+#include "dataflow/syscall_reach.h"
+
+#include <vector>
+
+namespace pa::dataflow {
+
+SyscallReach::SyscallReach(const ir::Module& module,
+                           ir::IndirectCallPolicy policy)
+    : module_(&module), cg_(ir::CallGraph::build(module, policy)) {
+  // Direct syscalls per function, then close over the call graph. The
+  // reachable set from f is finite and reachable_from already computes the
+  // transitive callee set, so no worklist is needed here.
+  std::map<std::string, std::set<std::string>> direct;
+  for (const ir::Function& f : module.functions()) {
+    std::set<std::string>& d = direct[f.name()];
+    for (const ir::BasicBlock& bb : f.blocks())
+      for (const ir::Instruction& inst : bb.instructions)
+        if (inst.op == ir::Opcode::Syscall) d.insert(inst.symbol);
+  }
+  for (const ir::Function& f : module.functions()) {
+    std::set<std::string>& closure = closures_[f.name()];
+    for (const std::string& g : cg_.reachable_from(f.name())) {
+      auto it = direct.find(g);
+      if (it != direct.end())
+        closure.insert(it->second.begin(), it->second.end());
+    }
+  }
+  for (const std::string& h : cg_.signal_handlers()) {
+    const std::set<std::string>& c = function_closure(h);
+    handler_syscalls_.insert(c.begin(), c.end());
+  }
+}
+
+const std::set<std::string>& SyscallReach::function_closure(
+    const std::string& fname) const {
+  auto it = closures_.find(fname);
+  return it == closures_.end() ? empty_ : it->second;
+}
+
+void SyscallReach::add_instruction(const std::string& fname,
+                                   const ir::Instruction& inst,
+                                   std::set<std::string>& out) const {
+  switch (inst.op) {
+    case ir::Opcode::Syscall:
+      out.insert(inst.symbol);
+      break;
+    case ir::Opcode::Call: {
+      const std::set<std::string>& c = function_closure(inst.symbol);
+      out.insert(c.begin(), c.end());
+      break;
+    }
+    case ir::Opcode::CallInd: {
+      if (cg_.policy() == ir::IndirectCallPolicy::AssumeNone) break;
+      const std::set<std::string>& targets =
+          cg_.policy() == ir::IndirectCallPolicy::Refined
+              ? cg_.refined_targets(fname, inst.operands[0].reg_index())
+              : cg_.address_taken();
+      for (const std::string& t : targets) {
+        const std::set<std::string>& c = function_closure(t);
+        out.insert(c.begin(), c.end());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+const std::set<std::string>& SyscallReach::block_contribution(
+    const std::string& fname, int block) const {
+  auto key = std::make_pair(fname, block);
+  auto it = block_memo_.find(key);
+  if (it != block_memo_.end()) return it->second;
+  std::set<std::string> out;
+  const ir::Function& f = module_->function(fname);
+  for (const ir::Instruction& inst : f.block(block).instructions)
+    add_instruction(fname, inst, out);
+  return block_memo_.emplace(std::move(key), std::move(out)).first->second;
+}
+
+std::set<std::string> SyscallReach::from_point(const std::string& fname,
+                                               int block,
+                                               std::size_t ip) const {
+  std::set<std::string> out;
+  if (!module_->has_function(fname)) return out;
+  const ir::Function& f = module_->function(fname);
+  if (block < 0 || block >= static_cast<int>(f.blocks().size())) return out;
+
+  // Suffix of the starting block.
+  const ir::BasicBlock& bb = f.block(block);
+  for (std::size_t i = ip; i < bb.instructions.size(); ++i)
+    add_instruction(fname, bb.instructions[i], out);
+
+  // Whole blocks CFG-reachable from the starting block's terminator. The
+  // starting block is deliberately NOT pre-seeded: if a loop re-enters it,
+  // its full contribution (including instructions before `ip`) applies.
+  std::set<int> seen;
+  std::vector<int> work = bb.successors();
+  while (!work.empty()) {
+    int b = work.back();
+    work.pop_back();
+    if (!seen.insert(b).second) continue;
+    const std::set<std::string>& c = block_contribution(fname, b);
+    out.insert(c.begin(), c.end());
+    for (int s : f.block(b).successors()) work.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace pa::dataflow

@@ -1,0 +1,67 @@
+// Interprocedural reachable-syscall analysis: which SimOS syscalls can
+// execution starting at a given program point still reach?
+//
+// The per-function closures R(f) = direct syscalls of f ∪ ⋃ R(callees) are
+// a fixpoint over ir::CallGraph under the chosen indirect-call policy.
+// Point queries walk the CFG forward from (function, block, instruction):
+// the suffix of the starting block contributes its own syscalls plus the
+// closures of everything it calls, and every CFG-reachable successor block
+// contributes likewise. Registered signal handlers are asynchronous entry
+// points — a delivered signal can run them from ANY point — so their
+// closures (handler_syscalls()) must be unioned into every filter root set.
+//
+// Because the Refined call graph's edges, indirect targets, and handler set
+// are always subsets of the Conservative ones, refined reachable sets are
+// subsets of conservative ones point-for-point — the invariant behind the
+// refined ⊆ conservative filter guarantee (tests/filter_soundness_test.cpp).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "ir/callgraph.h"
+#include "ir/module.h"
+
+namespace pa::dataflow {
+
+class SyscallReach {
+ public:
+  SyscallReach(const ir::Module& module, ir::IndirectCallPolicy policy);
+
+  /// Syscalls reachable from the entry of `fname` (R(f) above).
+  const std::set<std::string>& function_closure(const std::string& fname) const;
+
+  /// Syscalls reachable from the execution point (fname, block, ip):
+  /// the block's suffix starting at instruction `ip`, closed over calls
+  /// and CFG successors. Does NOT include handler_syscalls().
+  std::set<std::string> from_point(const std::string& fname, int block,
+                                   std::size_t ip) const;
+
+  /// Union of closures of every registered signal handler.
+  const std::set<std::string>& handler_syscalls() const {
+    return handler_syscalls_;
+  }
+
+  const ir::CallGraph& callgraph() const { return cg_; }
+
+ private:
+  /// Syscalls contributed by one instruction (its own symbol for Syscall,
+  /// callee closures for Call/CallInd).
+  void add_instruction(const std::string& fname, const ir::Instruction& inst,
+                       std::set<std::string>& out) const;
+  /// Whole-block contribution (suffix from 0), memoized.
+  const std::set<std::string>& block_contribution(const std::string& fname,
+                                                  int block) const;
+
+  const ir::Module* module_;
+  ir::CallGraph cg_;
+  std::map<std::string, std::set<std::string>> closures_;
+  std::set<std::string> handler_syscalls_;
+  mutable std::map<std::pair<std::string, int>, std::set<std::string>>
+      block_memo_;
+  std::set<std::string> empty_;
+};
+
+}  // namespace pa::dataflow

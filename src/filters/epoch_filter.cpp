@@ -1,0 +1,104 @@
+#include "filters/epoch_filter.h"
+
+#include "dataflow/syscall_reach.h"
+#include "support/str.h"
+
+namespace pa::filters {
+namespace {
+
+std::set<std::string> epoch_closure(
+    const dataflow::SyscallReach& reach,
+    const chronopriv::EpochTracker::PointMap& points) {
+  // Every observed entry point roots a forward closure; a delivered signal
+  // can additionally run any registered handler at any instruction, so the
+  // handler closures are part of every epoch's surface.
+  std::set<std::string> out = reach.handler_syscalls();
+  for (const auto& [point, ip] : points) {
+    std::set<std::string> c =
+        reach.from_point(point.first, point.second, ip);
+    out.insert(c.begin(), c.end());
+  }
+  return out;
+}
+
+void append_name_array(std::string& out, const std::set<std::string>& names) {
+  out += '[';
+  bool first = true;
+  for (const std::string& n : names) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += n;  // syscall names are plain identifiers; nothing to escape
+    out += '"';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+int FilterReport::reduced_epochs() const {
+  int n = 0;
+  for (const EpochFilter& e : epochs)
+    if (e.conservative.size() < program_syscalls.size()) ++n;
+  return n;
+}
+
+FilterReport synthesize_filters(
+    const ir::Module& module, const chronopriv::ChronoReport& chrono,
+    const std::vector<chronopriv::EpochTracker::PointMap>& points) {
+  FilterReport report;
+  report.program = chrono.program;
+  for (const ir::Function& f : module.functions())
+    for (const ir::BasicBlock& bb : f.blocks())
+      for (const ir::Instruction& inst : bb.instructions)
+        if (inst.op == ir::Opcode::Syscall)
+          report.program_syscalls.insert(inst.symbol);
+
+  dataflow::SyscallReach conservative(module,
+                                      ir::IndirectCallPolicy::Conservative);
+  dataflow::SyscallReach refined(module, ir::IndirectCallPolicy::Refined);
+
+  for (std::size_t i = 0; i < chrono.rows.size(); ++i) {
+    EpochFilter ef;
+    ef.epoch = chrono.rows[i].name;
+    if (i < points.size()) {
+      ef.conservative = epoch_closure(conservative, points[i]);
+      ef.refined = epoch_closure(refined, points[i]);
+    }
+    report.epochs.push_back(std::move(ef));
+  }
+  return report;
+}
+
+os::FilterStack to_filter_stack(const FilterReport& report,
+                                os::FilterAction action) {
+  os::FilterStack stack;
+  stack.action = action;
+  for (const EpochFilter& e : report.epochs)
+    stack.filters.push_back(os::SyscallFilter{e.epoch, e.conservative});
+  return stack;
+}
+
+std::string filters_to_json(const FilterReport& report) {
+  std::string out = str::cat("{\"program\":\"", report.program,
+                             "\",\"syscall_surface\":");
+  append_name_array(out, report.program_syscalls);
+  out += ",\"epochs\":[";
+  bool first = true;
+  for (const EpochFilter& e : report.epochs) {
+    if (!first) out += ',';
+    first = false;
+    out += str::cat("{\"epoch\":\"", e.epoch, "\",\"conservative_size\":",
+                    e.conservative.size(),
+                    ",\"refined_size\":", e.refined.size(),
+                    ",\"conservative\":");
+    append_name_array(out, e.conservative);
+    out += ",\"refined\":";
+    append_name_array(out, e.refined);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pa::filters

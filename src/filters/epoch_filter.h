@@ -1,0 +1,61 @@
+// Per-epoch syscall-filter synthesis: the static side of EpochFilter.
+//
+// For every privilege epoch ChronoPriv measured, take the epoch's observed
+// entry points (EpochTracker::epoch_points) as roots and close them over the
+// static call graph (dataflow/syscall_reach.h) under BOTH indirect-call
+// policies. Registered signal handlers are asynchronous roots for every
+// epoch. The conservative closure is the enforceable allowlist — sound by
+// construction, so installing it (os/filter.h) never perturbs a legitimate
+// run; the refined closure is always a subset and quantifies how much the
+// function-pointer propagation tightens the attack surface.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chronopriv/epoch.h"
+#include "chronopriv/report.h"
+#include "ir/module.h"
+#include "os/filter.h"
+
+namespace pa::filters {
+
+/// One epoch's synthesized allowlists.
+struct EpochFilter {
+  std::string epoch;  // the ChronoReport row name, e.g. "passwd_priv2"
+  std::set<std::string> conservative;
+  std::set<std::string> refined;  // always ⊆ conservative
+};
+
+struct FilterReport {
+  std::string program;
+  /// Parallel to the ChronoReport's rows (epoch order of first appearance).
+  std::vector<EpochFilter> epochs;
+  /// Syscall names the whole program can execute (the unfiltered surface
+  /// every per-epoch reduction is measured against).
+  std::set<std::string> program_syscalls;
+
+  bool empty() const { return epochs.empty(); }
+  /// Number of epochs whose conservative allowlist is strictly smaller
+  /// than the program's full syscall surface.
+  int reduced_epochs() const;
+};
+
+/// Synthesize filters for a measured run. `chrono` and `points` must come
+/// from the same tracker (rows parallel to point maps) over `module` — the
+/// post-AutoPriv module that actually executed.
+FilterReport synthesize_filters(
+    const ir::Module& module, const chronopriv::ChronoReport& chrono,
+    const std::vector<chronopriv::EpochTracker::PointMap>& points);
+
+/// Lower a report to the kernel's enforcement form. Enforcement always uses
+/// the conservative sets (the sound ones); `action` picks the violation
+/// semantics.
+os::FilterStack to_filter_stack(const FilterReport& report,
+                                os::FilterAction action);
+
+/// Flat JSON export (documented in docs/formats.md).
+std::string filters_to_json(const FilterReport& report);
+
+}  // namespace pa::filters

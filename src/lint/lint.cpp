@@ -84,6 +84,9 @@ const std::vector<LintPassInfo>& lint_passes() {
       {support::DiagCode::UnusedPrivilegeEpoch, "unused-privilege-epoch",
        "raise..lower region in which nothing can use the raised capability",
        support::Severity::Warning},
+      {support::DiagCode::OverbroadEpochSyscalls, "overbroad-epoch-syscalls",
+       "permitted-but-dead capability with its gated syscalls still reachable",
+       support::Severity::Warning},
   };
   return kPasses;
 }
@@ -108,6 +111,8 @@ LintReport run_lints(const programs::ProgramSpec& spec,
        detail::check_empty_indirect_targets},
       {support::DiagCode::UnusedPrivilegeEpoch,
        detail::check_unused_privilege_epoch},
+      {support::DiagCode::OverbroadEpochSyscalls,
+       detail::check_overbroad_epoch_syscalls},
   };
 
   LintReport report;

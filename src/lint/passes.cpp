@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "dataflow/solver.h"
+#include "dataflow/syscall_reach.h"
 #include "support/str.h"
 
 namespace pa::lint::detail {
@@ -392,6 +393,91 @@ void check_unused_privilege_epoch(const PassContext& ctx,
                                 "} from this priv_raise");
         out.push_back(std::move(finding));
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// overbroad-epoch-syscalls: at the program point after a priv_remove in
+// @main, the permitted set may retain capabilities that privilege liveness
+// proves are never raised again — yet syscalls gated on those capabilities
+// stay statically reachable (dataflow::SyscallReach, including registered
+// signal handlers). Legitimate execution never needs the pairing, but a
+// hijacked thread can raise the still-permitted capability and drive the
+// still-reachable syscall: exactly the surface an EpochFilter or a wider
+// priv_remove would close. Anchored at priv_remove sites in @main because
+// only there is the permitted set known (other functions run in unknown
+// caller contexts).
+void check_overbroad_epoch_syscalls(const PassContext& ctx,
+                                    std::vector<Finding>& out) {
+  const ir::Module& m = ctx.spec.module;
+  if (!m.has_function("main")) return;
+  const ir::Function& f = m.function("main");
+  bool has_remove = false;
+  for (const ir::BasicBlock& bb : f.blocks())
+    for (const ir::Instruction& inst : bb.instructions)
+      if (inst.op == ir::Opcode::PrivRemove) has_remove = true;
+  if (!has_remove) return;
+
+  const dataflow::SyscallReach reach(m, ctx.options.indirect_calls);
+
+  // Forward may-permitted facts (same lattice as redundant-priv-remove).
+  std::function<CapSet(const ir::Instruction&, const CapSet&)> transfer =
+      [](const ir::Instruction& inst, const CapSet& before) {
+        if (inst.op == ir::Opcode::PrivRemove)
+          return before - inst.operands[0].caps_value();
+        return before;
+      };
+  std::function<CapSet(const CapSet&, const CapSet&)> join =
+      [](const CapSet& a, const CapSet& b) { return a | b; };
+  const auto permitted = dataflow::solve_forward<CapSet>(
+      f, ctx.spec.launch_permitted, CapSet{}, transfer, join);
+
+  // Backward privilege liveness: caps that may still be raised later
+  // (handler caps stay live to exit, matching AutoPriv's semantics).
+  const auto live = ctx.liveness.analyze("main", ctx.liveness.handler_caps());
+
+  for (int b = 0; b < static_cast<int>(f.blocks().size()); ++b) {
+    CapSet before = permitted.in[static_cast<std::size_t>(b)];
+    const auto live_before = ctx.liveness.instruction_facts(
+        "main", b, live.out[static_cast<std::size_t>(b)]);
+    const auto& insts = f.block(b).instructions;
+    for (int i = 0; i < static_cast<int>(insts.size()); ++i) {
+      const ir::Instruction& inst = insts[static_cast<std::size_t>(i)];
+      const CapSet after = transfer(inst, before);
+      before = after;
+      if (inst.op != ir::Opcode::PrivRemove) continue;
+      const CapSet dead = after - live_before[static_cast<std::size_t>(i) + 1];
+      if (dead.empty()) continue;
+      std::set<std::string> reachable = reach.from_point(f.name(), b,
+                                                         static_cast<std::size_t>(i) + 1);
+      reachable.insert(reach.handler_syscalls().begin(),
+                       reach.handler_syscalls().end());
+      CapSet overbroad;
+      std::string gated;
+      for (const std::string& s : reachable) {
+        const CapSet rel = syscall_relevant_caps(s) & dead;
+        if (rel.empty()) continue;
+        overbroad |= rel;
+        if (!gated.empty()) gated += ", ";
+        gated += s;
+      }
+      if (overbroad.empty()) continue;
+      Finding finding;
+      finding.code = support::DiagCode::OverbroadEpochSyscalls;
+      finding.severity = support::Severity::Warning;
+      finding.function = f.name();
+      finding.block = b;
+      finding.instr = i;
+      finding.caps = overbroad;
+      finding.message = str::cat(
+          "epoch after this priv_remove keeps {", cap_list(overbroad),
+          "} permitted but never raises it again, while syscalls gated on "
+          "it stay reachable (", gated, ")");
+      finding.hint = str::cat("add {", cap_list(overbroad),
+                              "} to this priv_remove, or enforce a syscall "
+                              "filter (--filters=enforce)");
+      out.push_back(std::move(finding));
     }
   }
 }

@@ -25,5 +25,6 @@ void check_raise_without_lower(const PassContext&, std::vector<Finding>&);
 void check_unreachable_block(const PassContext&, std::vector<Finding>&);
 void check_empty_indirect_targets(const PassContext&, std::vector<Finding>&);
 void check_unused_privilege_epoch(const PassContext&, std::vector<Finding>&);
+void check_overbroad_epoch_syscalls(const PassContext&, std::vector<Finding>&);
 
 }  // namespace pa::lint::detail

@@ -1,0 +1,43 @@
+// Per-epoch syscall filters: the SimOS analogue of a temporally-partitioned
+// seccomp policy. A FilterStack holds one allowlist per privilege epoch of
+// the instrumented program; the kernel consults the ACTIVE filter at syscall
+// dispatch (vm/syscall_bridge.cpp) and transitions between filters when the
+// epoch tracker crosses an epoch boundary. Filters synthesized from the
+// conservative reachable-syscall closure (filters/epoch_filter.h) are sound:
+// enforcement is a no-op for every legitimate execution.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pa::os {
+
+/// What happens when a filtered syscall is attempted.
+enum class FilterAction {
+  Eperm,  // fail the call with -EPERM, let the program continue
+  Kill,   // terminate the process (exit code 128 + SIGSYS), seccomp-style
+};
+
+/// One epoch's allowlist.
+struct SyscallFilter {
+  std::string epoch;                // epoch row name, for diagnostics
+  std::set<std::string> allowed;    // permitted syscall names
+};
+
+/// The full per-process policy: one filter per epoch, in epoch-row order.
+struct FilterStack {
+  std::vector<SyscallFilter> filters;
+  FilterAction action = FilterAction::Eperm;
+};
+
+/// A denied dispatch, recorded by the kernel for reports and tests.
+struct FilterViolation {
+  int pid = 0;
+  std::string epoch;
+  std::string syscall;
+  FilterAction action = FilterAction::Eperm;
+};
+
+}  // namespace pa::os

@@ -83,4 +83,38 @@ SysResult Kernel::sys_exit(Pid pid, int code) {
   return 0;
 }
 
+void Kernel::install_filters(Pid pid, FilterStack stack) {
+  process(pid);  // PA_CHECKs the pid
+  if (stack.filters.empty()) {
+    filters_.erase(pid);
+    return;
+  }
+  filters_[pid] = FilterState{std::move(stack), 0};
+}
+
+void Kernel::set_filter_epoch(Pid pid, std::size_t index) {
+  auto it = filters_.find(pid);
+  if (it == filters_.end()) return;
+  const std::size_t last = it->second.stack.filters.size() - 1;
+  it->second.active = index < last ? index : last;
+}
+
+std::optional<std::int64_t> Kernel::filter_check(Pid pid,
+                                                 const std::string& name) {
+  auto it = filters_.find(pid);
+  if (it == filters_.end()) return std::nullopt;
+  FilterState& fs = it->second;
+  const SyscallFilter& filter = fs.stack.filters[fs.active];
+  if (filter.allowed.contains(name)) return std::nullopt;
+  violations_.push_back(
+      FilterViolation{pid, filter.epoch, name, fs.stack.action});
+  count("filter_violation");
+  if (fs.stack.action == FilterAction::Kill) {
+    Process& p = process(pid);
+    p.state = ProcState::Zombie;
+    p.exit_code = 128 + 31;  // 128 + SIGSYS, what seccomp's kill looks like
+  }
+  return -static_cast<std::int64_t>(Errno::Eperm);
+}
+
 }  // namespace pa::os

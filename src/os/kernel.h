@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "os/filter.h"
 #include "os/net.h"
 #include "os/process.h"
 #include "os/vfs.h"
@@ -111,6 +112,23 @@ class Kernel {
   /// Syscall-count statistics (per syscall name), for reports and tests.
   const std::map<std::string, long>& syscall_counts() const { return counts_; }
 
+  // -- Per-epoch syscall filters (os/filter.h) --------------------------------
+  /// Install a filter stack for `pid`; epoch 0's filter becomes active.
+  /// An empty stack allows everything (no policy installed).
+  void install_filters(Pid pid, FilterStack stack);
+  /// Activate the filter for epoch `index` (clamped to the last filter, so
+  /// an epoch discovered beyond the synthesized stack keeps the tightest
+  /// known policy rather than failing open).
+  void set_filter_epoch(Pid pid, std::size_t index);
+  bool has_filters(Pid pid) const { return filters_.contains(pid); }
+  /// Consulted by vm::dispatch_syscall before any sys_* handler runs.
+  /// Disengaged = allowed; engaged = the -errno to return (and, under
+  /// FilterAction::Kill, the process has been terminated).
+  std::optional<std::int64_t> filter_check(Pid pid, const std::string& name);
+  const std::vector<FilterViolation>& filter_violations() const {
+    return violations_;
+  }
+
  private:
   OpenFile* open_file(Pid pid, Fd fd);
   void count(std::string_view name) { ++counts_[std::string(name)]; }
@@ -118,11 +136,18 @@ class Kernel {
                            const std::function<caps::CredChange(
                                caps::IdTriple&, bool)>& apply);
 
+  struct FilterState {
+    FilterStack stack;
+    std::size_t active = 0;
+  };
+
   Vfs vfs_;
   NetStack net_;
   std::map<Pid, Process> procs_;
   Pid next_pid_ = 100;
   std::map<std::string, long> counts_;
+  std::map<Pid, FilterState> filters_;
+  std::vector<FilterViolation> violations_;
 };
 
 }  // namespace pa::os

@@ -180,4 +180,48 @@ std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses) {
   return os.str();
 }
 
+std::string filters_to_csv(const std::vector<ProgramAnalysis>& analyses) {
+  std::ostringstream os;
+  os << "program,epoch,conservative_size,refined_size,surface,reduced,"
+        "baseline_vulnerable,filtered_vulnerable\n";
+  for (const ProgramAnalysis& a : analyses) {
+    if (a.filter_report.empty()) continue;
+    const std::size_t surface = a.filter_report.program_syscalls.size();
+    for (std::size_t i = 0; i < a.filter_report.epochs.size(); ++i) {
+      const filters::EpochFilter& e = a.filter_report.epochs[i];
+      std::string baseline;
+      std::string filtered;
+      for (std::size_t atk = 0; atk < attacks::modeled_attacks().size();
+           ++atk) {
+        baseline += i < a.verdicts.size()
+                        ? attacks::cell_symbol(a.verdicts[i].verdicts[atk])
+                        : '-';
+        filtered +=
+            i < a.filtered_verdicts.size()
+                ? attacks::cell_symbol(a.filtered_verdicts[i].verdicts[atk])
+                : '-';
+      }
+      os << q(a.program) << ',' << q(e.epoch) << ',' << e.conservative.size()
+         << ',' << e.refined.size() << ',' << surface << ','
+         << (e.conservative.size() < surface ? 1 : 0) << ',' << q(baseline)
+         << ',' << q(filtered) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string filters_to_json(const std::vector<ProgramAnalysis>& analyses) {
+  std::string out = "[";
+  bool first = true;
+  for (const ProgramAnalysis& a : analyses) {
+    if (a.filter_report.empty()) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\n ";
+    out += filters::filters_to_json(a.filter_report);
+  }
+  out += "\n]\n";
+  return out;
+}
+
 }  // namespace pa::privanalyzer

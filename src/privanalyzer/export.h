@@ -33,4 +33,16 @@ std::string efficacy_to_markdown(const std::vector<ProgramAnalysis>& analyses);
 /// cache_hits,cache_misses,cache_joins,seconds
 std::string search_stats_to_csv(const std::vector<ProgramAnalysis>& analyses);
 
+/// Per-epoch EpochFilter metrics as CSV (empty-report analyses skipped):
+/// program,epoch,conservative_size,refined_size,surface,reduced,
+/// baseline_vulnerable,filtered_vulnerable
+/// where the vulnerable columns are the epoch-weighted any-attack verdict
+/// cells ("V"/"x"/"T" per attack, joined without separators).
+std::string filters_to_csv(const std::vector<ProgramAnalysis>& analyses);
+
+/// Per-program filter reports as a JSON array (filters::filters_to_json
+/// objects; documented in docs/formats.md). Analyses without a report are
+/// skipped; "[]" when none have one.
+std::string filters_to_json(const std::vector<ProgramAnalysis>& analyses);
+
 }  // namespace pa::privanalyzer

@@ -17,10 +17,36 @@ std::string_view analysis_status_name(AnalysisStatus s) {
   return "?";
 }
 
+std::string_view filter_mode_name(FilterMode m) {
+  switch (m) {
+    case FilterMode::Off: return "off";
+    case FilterMode::Report: return "report";
+    case FilterMode::Enforce: return "enforce";
+  }
+  return "?";
+}
+
+std::optional<FilterMode> parse_filter_mode(std::string_view name) {
+  for (FilterMode m : {FilterMode::Off, FilterMode::Report,
+                       FilterMode::Enforce})
+    if (filter_mode_name(m) == name) return m;
+  return std::nullopt;
+}
+
 double ProgramAnalysis::vulnerable_fraction(std::size_t attack) const {
   double total = 0.0;
   for (std::size_t i = 0; i < verdicts.size() && i < chrono.rows.size(); ++i)
     if (verdicts[i].verdicts[attack] == attacks::CellVerdict::Vulnerable)
+      total += chrono.rows[i].fraction;
+  return total;
+}
+
+double ProgramAnalysis::filtered_vulnerable_fraction(std::size_t attack) const {
+  double total = 0.0;
+  for (std::size_t i = 0;
+       i < filtered_verdicts.size() && i < chrono.rows.size(); ++i)
+    if (filtered_verdicts[i].verdicts[attack] ==
+        attacks::CellVerdict::Vulnerable)
       total += chrono.rows[i].fraction;
   return total;
 }
@@ -60,14 +86,67 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
   if (options.simplify_after_autopriv) ir::simplify(module);
 
   // Stage 2: ChronoPriv measured execution in the right world.
-  os::Kernel kernel =
-      options.world_factory
-          ? options.world_factory()
-          : (spec.refactored_world ? programs::make_refactored_world()
-                                   : programs::make_standard_world());
+  auto make_world = [&options, &spec]() {
+    return options.world_factory
+               ? options.world_factory()
+               : (spec.refactored_world ? programs::make_refactored_world()
+                                        : programs::make_standard_world());
+  };
+  os::Kernel kernel = make_world();
   os::Pid pid = programs::spawn_program(kernel, spec);
-  out.chrono = chronopriv::run_instrumented(kernel, module, pid, spec.args,
-                                            "main", &out.exit_code);
+  if (options.filters == FilterMode::Off) {
+    out.chrono = chronopriv::run_instrumented(kernel, module, pid, spec.args,
+                                              "main", &out.exit_code);
+  } else {
+    // Measurement run with point capture: the observed per-epoch entry
+    // points are the roots the static reachable-syscall closure grows from.
+    chronopriv::EpochTracker tracker;
+    tracker.set_record_points(true);
+    out.chrono = chronopriv::run_instrumented_with(
+        kernel, module, pid, tracker, spec.args, "main", &out.exit_code);
+    out.filter_report = filters::synthesize_filters(module, out.chrono,
+                                                    tracker.epoch_points());
+
+    if (options.filters == FilterMode::Enforce) {
+      // Re-execute in a fresh, identically-constructed world with the
+      // conservative allowlists installed. Execution is deterministic, so
+      // epoch indices are discovered in the same order as the measurement
+      // run and the epoch-change hook keeps the active filter in lockstep.
+      // Sound filters make this run bit-identical to the measurement.
+      os::Kernel enforced_kernel = make_world();
+      os::Pid enforced_pid = programs::spawn_program(enforced_kernel, spec);
+      enforced_kernel.install_filters(
+          enforced_pid,
+          filters::to_filter_stack(out.filter_report, options.filter_action));
+      chronopriv::EpochTracker enforced_tracker;
+      enforced_tracker.set_epoch_change_hook(
+          [&enforced_kernel, enforced_pid](std::size_t epoch) {
+            enforced_kernel.set_filter_epoch(enforced_pid, epoch);
+          });
+      long enforced_exit = 0;
+      chronopriv::ChronoReport enforced = chronopriv::run_instrumented_with(
+          enforced_kernel, module, enforced_pid, enforced_tracker, spec.args,
+          "main", &enforced_exit);
+      out.filter_violations =
+          static_cast<int>(enforced_kernel.filter_violations().size());
+      if (out.filter_violations > 0) {
+        const os::FilterViolation& v =
+            enforced_kernel.filter_violations().front();
+        out.diagnostics.push_back(support::Diagnostic{
+            support::Stage::ChronoPriv, support::Severity::Warning,
+            support::DiagCode::FilterViolation, spec.name,
+            str::cat("enforced epoch filter denied ", out.filter_violations,
+                     " syscall(s); first: ", v.syscall, " in epoch ",
+                     v.epoch,
+                     " — the conservative closure should be sound, so this "
+                     "indicates nondeterminism or a reachability bug")});
+      }
+      // The enforced run IS the reported execution in this mode; for sound
+      // filters it reproduces the measurement bit-identically.
+      out.chrono = std::move(enforced);
+      out.exit_code = enforced_exit;
+    }
+  }
 
   // Stage 3: one ROSA query per (epoch x attack), fanned out across
   // options.rosa_threads workers (the queries are independent; results are
@@ -111,6 +190,29 @@ ProgramAnalysis analyze_program(const programs::ProgramSpec& spec,
     out.verdicts =
         attacks::analyze_epochs(out.chrono.rows, inputs, limits,
                                 options.rosa_threads, escalation, cache.get());
+
+    // The filtered matrix: the same queries with each epoch's attacker
+    // constrained to the epoch's conservative allowlist — what an exploit
+    // could still do with the filters installed. The baseline matrix above
+    // is untouched (Off/Report/Enforce all report identical baselines).
+    if (options.filters != FilterMode::Off && !out.filter_report.empty()) {
+      std::vector<attacks::ScenarioInput> filtered_inputs;
+      filtered_inputs.reserve(out.chrono.rows.size());
+      for (std::size_t i = 0; i < out.chrono.rows.size(); ++i) {
+        std::vector<std::string> allowed;
+        if (i < out.filter_report.epochs.size()) {
+          for (const std::string& s : syscalls)
+            if (out.filter_report.epochs[i].conservative.contains(s))
+              allowed.push_back(s);
+        }
+        filtered_inputs.push_back(attacks::scenario_from_epoch(
+            out.chrono.rows[i], allowed, spec.scenario_extra_users,
+            spec.scenario_extra_groups));
+      }
+      out.filtered_verdicts = attacks::analyze_epochs(
+          out.chrono.rows, filtered_inputs, limits, options.rosa_threads,
+          escalation, cache.get());
+    }
 
     if (cache && !options.rosa_cache_file.empty()) {
       std::string warn;

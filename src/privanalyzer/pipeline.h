@@ -11,11 +11,22 @@
 #include "attacks/scenario.h"
 #include "autopriv/report.h"
 #include "chronopriv/instrument.h"
+#include "filters/epoch_filter.h"
 #include "lint/lint.h"
 #include "programs/world.h"
 #include "support/diagnostics.h"
 
 namespace pa::privanalyzer {
+
+/// EpochFilter modes (--filters): Report synthesizes per-epoch syscall
+/// allowlists and re-runs the attack matrix under them; Enforce additionally
+/// installs the conservative allowlists in the kernel and re-executes the
+/// program under them (a no-op for legitimate runs — the soundness gate).
+enum class FilterMode { Off, Report, Enforce };
+
+std::string_view filter_mode_name(FilterMode m);
+/// Inverse of filter_mode_name ("off"/"report"/"enforce"); nullopt on junk.
+std::optional<FilterMode> parse_filter_mode(std::string_view name);
 
 struct PipelineOptions {
   autopriv::Options autopriv;
@@ -73,6 +84,13 @@ struct PipelineOptions {
   /// `privanalyzer --lint` mode's exit code, not the pipeline's.
   bool run_lint = false;
   lint::LintOptions lint;
+  /// EpochFilter synthesis/enforcement (see FilterMode above). The baseline
+  /// ChronoPriv table and ROSA matrix are produced identically in every
+  /// mode; Report/Enforce additionally fill ProgramAnalysis::filter_report
+  /// and filtered_verdicts.
+  FilterMode filters = FilterMode::Off;
+  /// Violation semantics when filters are enforced (os/filter.h).
+  os::FilterAction filter_action = os::FilterAction::Eperm;
 };
 
 /// Outcome of one program's trip through the pipeline.
@@ -103,6 +121,16 @@ struct ProgramAnalysis {
   chronopriv::ChronoReport chrono;
   /// Parallel to chrono.rows; empty when run_rosa was false.
   std::vector<attacks::EpochVerdicts> verdicts;
+  /// Per-epoch syscall allowlists (empty when PipelineOptions::filters was
+  /// Off). Rows parallel to chrono.rows.
+  filters::FilterReport filter_report;
+  /// The attack matrix re-run with each epoch's attacker constrained to its
+  /// conservative allowlist; parallel to chrono.rows, empty unless filters
+  /// were on and ROSA ran. The baseline `verdicts` are untouched.
+  std::vector<attacks::EpochVerdicts> filtered_verdicts;
+  /// Syscalls the enforced filters denied (Enforce mode; 0 for sound
+  /// conservative filters — anything else raises a FilterViolation warning).
+  int filter_violations = 0;
   long exit_code = 0;
   /// Failed analyses (status != Ok) carry the failure in `diagnostics` and
   /// whatever partial results the stages produced before throwing; batch
@@ -116,6 +144,10 @@ struct ProgramAnalysis {
   /// index into attacks::modeled_attacks()) was feasible. Timeout epochs are
   /// excluded (the paper treats them as presumed-invulnerable).
   double vulnerable_fraction(std::size_t attack) const;
+
+  /// As vulnerable_fraction, over the filtered matrix (0.0 when filters
+  /// were off — callers should gate on filtered_verdicts.empty()).
+  double filtered_vulnerable_fraction(std::size_t attack) const;
 
   /// Aggregate ROSA counters over every (epoch × attack) query this
   /// analysis ran (rendered by `privanalyzer --stats`).

@@ -143,6 +143,50 @@ std::string render_lint_reports(const std::vector<lint::LintReport>& reports) {
   return os.str();
 }
 
+std::string render_filter_report(const std::vector<ProgramAnalysis>& analyses) {
+  std::ostringstream os;
+  bool any = false;
+  for (const ProgramAnalysis& a : analyses) {
+    if (a.filter_report.empty()) continue;
+    if (!any)
+      os << "EpochFilter allowlists (conservative = enforceable closure, "
+            "refined = funcptr-tightened subset)\n";
+    any = true;
+    os << "  " << str::pad_right("Epoch", 18) << str::pad_left("Cons", 6)
+       << str::pad_left("Refd", 6) << str::pad_left("Surface", 9)
+       << "  Reduced  1 2 3 4 (filtered)\n";
+    const std::size_t surface = a.filter_report.program_syscalls.size();
+    for (std::size_t i = 0; i < a.filter_report.epochs.size(); ++i) {
+      const filters::EpochFilter& e = a.filter_report.epochs[i];
+      os << "  " << str::pad_right(e.epoch, 18)
+         << str::pad_left(std::to_string(e.conservative.size()), 6)
+         << str::pad_left(std::to_string(e.refined.size()), 6)
+         << str::pad_left(std::to_string(surface), 9) << "  "
+         << str::pad_right(e.conservative.size() < surface ? "yes" : "no", 7)
+         << "  ";
+      if (i < a.filtered_verdicts.size()) {
+        for (attacks::CellVerdict v : a.filtered_verdicts[i].verdicts)
+          os << attacks::cell_symbol(v) << ' ';
+      } else {
+        os << "- - - - ";
+      }
+      os << "\n";
+    }
+    os << "  -> " << a.program << ": " << a.filter_report.reduced_epochs()
+       << "/" << a.filter_report.epochs.size() << " epoch(s) reduced";
+    if (a.filter_violations > 0)
+      os << "; " << a.filter_violations << " VIOLATION(S)";
+    if (!a.filtered_verdicts.empty()) {
+      os << "; vulnerable fraction per attack:";
+      for (std::size_t k = 0; k < attacks::modeled_attacks().size(); ++k)
+        os << " " << str::percent(a.vulnerable_fraction(k)) << "->"
+           << str::percent(a.filtered_vulnerable_fraction(k));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 std::string render_analysis_diagnostics(const ProgramAnalysis& analysis) {
   std::ostringstream os;
   if (analysis.ok() && analysis.diagnostics.empty()) return "";

@@ -39,4 +39,10 @@ std::string render_search_stats(const std::vector<ProgramAnalysis>& analyses);
 /// failed or degraded analyses. Empty string when the analysis is clean.
 std::string render_analysis_diagnostics(const ProgramAnalysis& analysis);
 
+/// EpochFilter block (--filters=report|enforce): per-epoch allowlist sizes
+/// against the program's full syscall surface, the filtered verdict columns
+/// when the matrix was re-run, and per-attack vulnerable-fraction deltas.
+/// Empty string for analyses without a filter report.
+std::string render_filter_report(const std::vector<ProgramAnalysis>& analyses);
+
 }  // namespace pa::privanalyzer

@@ -45,12 +45,14 @@ std::string_view diag_code_name(DiagCode c) {
     case DiagCode::CacheSaveFailed: return "cache-save-failed";
     case DiagCode::ProtocolError: return "protocol-error";
     case DiagCode::InternalError: return "internal-error";
+    case DiagCode::FilterViolation: return "filter-violation";
     case DiagCode::RedundantPrivRemove: return "redundant-priv-remove";
     case DiagCode::NeverRaisedPrivilege: return "never-raised-privilege";
     case DiagCode::RaiseWithoutLower: return "raise-without-lower";
     case DiagCode::UnreachableBlock: return "unreachable-block";
     case DiagCode::EmptyIndirectTargets: return "empty-indirect-targets";
     case DiagCode::UnusedPrivilegeEpoch: return "unused-privilege-epoch";
+    case DiagCode::OverbroadEpochSyscalls: return "overbroad-epoch-syscalls";
   }
   return "?";
 }
@@ -64,10 +66,11 @@ std::optional<DiagCode> parse_diag_code(std::string_view name) {
       DiagCode::FileNotFound,   DiagCode::FaultInjected,
       DiagCode::DeadlineExceeded, DiagCode::CacheLoadFailed,
       DiagCode::CacheSaveFailed, DiagCode::ProtocolError,
-      DiagCode::InternalError,
+      DiagCode::InternalError,  DiagCode::FilterViolation,
       DiagCode::RedundantPrivRemove, DiagCode::NeverRaisedPrivilege,
       DiagCode::RaiseWithoutLower, DiagCode::UnreachableBlock,
       DiagCode::EmptyIndirectTargets, DiagCode::UnusedPrivilegeEpoch,
+      DiagCode::OverbroadEpochSyscalls,
   };
   for (DiagCode c : kAll)
     if (diag_code_name(c) == name) return c;

@@ -54,6 +54,7 @@ enum class DiagCode {
   CacheSaveFailed,     // --rosa-cache file could not be (re)written
   ProtocolError,       // privanalyzerd wire-protocol violation (bad frame)
   InternalError,       // any exception without a structured payload
+  FilterViolation,     // enforced epoch filter denied a syscall (--filters)
   // PrivLint check codes (src/lint/). One code per pass; the kebab-case
   // names below double as the pass names and the `!lint-allow:` spellings.
   RedundantPrivRemove,   // priv_remove of caps provably not permitted there
@@ -62,6 +63,7 @@ enum class DiagCode {
   UnreachableBlock,      // basic block unreachable from the entry block
   EmptyIndirectTargets,  // callind whose refined target set is empty
   UnusedPrivilegeEpoch,  // raise..lower region where nothing can use the cap
+  OverbroadEpochSyscalls,  // epoch reaches privileged syscalls for dead caps
 };
 
 std::string_view stage_name(Stage s);

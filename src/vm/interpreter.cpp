@@ -91,7 +91,9 @@ bool Interpreter::step() {
     if (++executed_ > limits_.max_instructions)
       fail(str::cat("instruction budget exhausted (",
                     limits_.max_instructions, ")"));
-    if (tracer_) tracer_->on_instruction(kernel_->process(pid_), *frame.fn);
+    if (tracer_)
+      tracer_->on_instruction_at(kernel_->process(pid_), *frame.fn,
+                                 frame.block, frame.ip);
 
     // The kernel may have killed us (signal from another process).
     if (!kernel_->process(pid_).alive()) {

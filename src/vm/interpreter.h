@@ -21,6 +21,16 @@ class Tracer {
  public:
   virtual ~Tracer() = default;
   virtual void on_instruction(const os::Process& p, const ir::Function& fn) = 0;
+  /// Point-precise variant: additionally carries the basic-block index and
+  /// the instruction's offset within it. The interpreter calls this one;
+  /// tracers that don't care about program points inherit the default
+  /// forwarding to on_instruction.
+  virtual void on_instruction_at(const os::Process& p, const ir::Function& fn,
+                                 int block, std::size_t ip) {
+    (void)block;
+    (void)ip;
+    on_instruction(p, fn);
+  }
 };
 
 struct RunLimits {

@@ -49,6 +49,11 @@ class MultiTracer final : public Tracer {
     for (Tracer* t : tracers_) t->on_instruction(p, fn);
   }
 
+  void on_instruction_at(const os::Process& p, const ir::Function& fn,
+                         int block, std::size_t ip) override {
+    for (Tracer* t : tracers_) t->on_instruction_at(p, fn, block, ip);
+  }
+
  private:
   std::vector<Tracer*> tracers_;
 };

@@ -27,6 +27,11 @@ std::int64_t dispatch_syscall(os::Kernel& k, os::Pid pid,
                               std::span<const ir::RtValue> args) {
   using os::Mode;
 
+  // Per-epoch syscall filters gate the whole table: a denied name never
+  // reaches its sys_* handler (and under FilterAction::Kill the process is
+  // already a zombie by the time we return).
+  if (auto denied = k.filter_check(pid, name)) return *denied;
+
   if (name == "open") {
     unsigned flags = static_cast<unsigned>(as_int(args, 1));
     Mode mode = args.size() > 2

@@ -164,6 +164,7 @@ TEST(MessageTest, JobRequestRoundTripsEveryField) {
   req.deadline_secs = 1.5;
   req.run_rosa = false;
   req.use_cache = false;
+  req.filters = "enforce";
 
   JobRequest back = JobRequest::from_frame(req.to_frame());
   EXPECT_EQ(back.kind, req.kind);
@@ -177,6 +178,14 @@ TEST(MessageTest, JobRequestRoundTripsEveryField) {
   EXPECT_DOUBLE_EQ(back.deadline_secs, req.deadline_secs);
   EXPECT_EQ(back.run_rosa, req.run_rosa);
   EXPECT_EQ(back.use_cache, req.use_cache);
+  EXPECT_EQ(back.filters, req.filters);
+}
+
+TEST(MessageTest, FiltersKeyDefaultsToOffWhenAbsent) {
+  // Pre-filter clients omit the key; the daemon must treat that as "off".
+  Frame f{MsgType::Submit,
+          encode_kv({{"kind", "builtin"}, {"source", "ping"}})};
+  EXPECT_EQ(JobRequest::from_frame(f).filters, "off");
 }
 
 TEST(MessageTest, RepliesRoundTrip) {

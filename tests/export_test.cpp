@@ -73,6 +73,41 @@ TEST(ExportTest, MarkdownTable) {
   EXPECT_NE(md.find("|---|"), std::string::npos);
 }
 
+TEST(ExportTest, FiltersCsvAndJsonShape) {
+  ProgramAnalysis a = tiny_analysis();
+  // No filter report -> both exports degrade to empty containers.
+  EXPECT_EQ(str::split(filters_to_csv({a}), '\n').size(), 1u);  // header only
+  EXPECT_EQ(filters_to_json({a}), "[\n]\n");
+
+  a.filter_report.program = "demo";
+  a.filter_report.program_syscalls = {"open", "kill", "close"};
+  filters::EpochFilter e1;
+  e1.epoch = "demo_priv1";
+  e1.conservative = {"open", "kill", "close"};
+  e1.refined = {"open", "kill", "close"};
+  filters::EpochFilter e2;
+  e2.epoch = "demo_priv2";
+  e2.conservative = {"close"};
+  e2.refined = {"close"};
+  a.filter_report.epochs = {e1, e2};
+  a.filtered_verdicts = a.verdicts;
+  a.filtered_verdicts[0].verdicts[0] = CellVerdict::Safe;
+
+  std::string csv = filters_to_csv({a});
+  auto lines = str::split(csv, '\n');
+  ASSERT_EQ(lines.size(), 3u);  // header + one row per epoch
+  EXPECT_TRUE(str::starts_with(lines[0], "program,epoch,conservative_size"));
+  // priv1: full surface (3 of 3, not reduced), baseline VxxT filtered xxxT.
+  EXPECT_NE(lines[1].find("\"demo_priv1\",3,3,3,0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"VxxT\",\"xxxT\""), std::string::npos);
+  // priv2: reduced to 1 of 3.
+  EXPECT_NE(lines[2].find("\"demo_priv2\",1,1,3,1"), std::string::npos);
+
+  std::string json = filters_to_json({a});
+  EXPECT_NE(json.find("\"program\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"conservative\":[\"close\"]"), std::string::npos);
+}
+
 TEST(ExportTest, CsvQuotesEmbeddedQuotes) {
   ProgramAnalysis a = tiny_analysis();
   a.chrono.rows[0].name = "odd\"name";

@@ -46,6 +46,8 @@ TEST(LintFixturesTest, EachFiresExactlyItsOwnCheck) {
        support::Severity::Error},
       {"/examples/lint/unused_epoch.pir", DiagCode::UnusedPrivilegeEpoch,
        support::Severity::Warning},
+      {"/examples/lint/overbroad_syscalls.pir",
+       DiagCode::OverbroadEpochSyscalls, support::Severity::Warning},
   };
   for (const FixtureCase& c : cases) {
     SCOPED_TRACE(c.file);
@@ -105,6 +107,16 @@ TEST(LintOptionsTest, AllowDirectiveSuppresses) {
   EXPECT_TRUE(unsuppressed.suppressed.empty());
 }
 
+TEST(LintOptionsTest, AllowDirectiveSuppressesOverbroadEpochSyscalls) {
+  programs::ProgramSpec spec =
+      load_example("/examples/lint/overbroad_syscalls.pir");
+  spec.lint_allow.insert(DiagCode::OverbroadEpochSyscalls);
+  lint::LintReport report = lint::run_lints(spec);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].code, DiagCode::OverbroadEpochSyscalls);
+}
+
 TEST(LintOptionsTest, DisabledPassDoesNotRun) {
   programs::ProgramSpec spec =
       load_example("/examples/lint/redundant_remove.pir");
@@ -146,7 +158,7 @@ TEST(LintOptionsTest, LoaderRejectsUnknownAllowCode) {
 // The pass registry and the shared diag-code vocabulary.
 
 TEST(LintRegistryTest, PassNamesRoundTripThroughDiagCodes) {
-  EXPECT_EQ(lint::lint_passes().size(), 6u);
+  EXPECT_EQ(lint::lint_passes().size(), 7u);
   for (const lint::LintPassInfo& pass : lint::lint_passes()) {
     EXPECT_EQ(pass.name, support::diag_code_name(pass.code));
     auto parsed = support::parse_diag_code(pass.name);

@@ -6,6 +6,7 @@
 // equality of spill-forced searches — including threaded ones — against
 // unconstrained in-memory runs.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -30,7 +31,11 @@ class SpillTest : public ::testing::Test {
  protected:
   void SetUp() override {
     fp::disarm_all();
-    root_ = ::testing::TempDir() + "/rosa_spill_test_root";
+    // Suffix with the pid: ctest runs each discovered case as its own
+    // process, and concurrently-scheduled cases must not clobber each
+    // other's directory.
+    root_ = ::testing::TempDir() + "/rosa_spill_test_root_" +
+            std::to_string(::getpid());
     fs::remove_all(root_);
     fs::create_directories(root_);
   }

@@ -6,6 +6,7 @@
 //     --escalate-rounds N budget escalation rounds
 //     --no-cache         bypass the daemon's resident verdict cache
 //     --no-reduction     disable symmetry + partial-order search reduction
+//     --filters MODE     EpochFilter mode: off (default) | report | enforce
 //     --no-wait          print the job id and exit without waiting
 //   pa_client --socket PATH status JOB_ID
 //   pa_client --socket PATH cancel JOB_ID
@@ -32,7 +33,7 @@ int usage(const char* argv0) {
             << " --socket PATH COMMAND\n"
                "  submit FILE|builtin:NAME [--deadline S] [--max-states N]\n"
                "         [--escalate-rounds N] [--no-cache] [--no-reduction]\n"
-               "         [--no-wait]\n"
+               "         [--filters off|report|enforce] [--no-wait]\n"
                "  status JOB_ID | cancel JOB_ID | ping | shutdown [--abort]\n";
   return privanalyzer::kExitUsage;
 }
@@ -46,6 +47,11 @@ int cmd_submit(daemon::Client& client, const std::vector<std::string>& args) {
     if (a == "--no-wait") wait = false;
     else if (a == "--no-cache") req.use_cache = false;
     else if (a == "--no-reduction") req.reduction = false;
+    else if (a == "--filters" && i + 1 < args.size()) {
+      req.filters = args[++i];
+      if (!privanalyzer::parse_filter_mode(req.filters))
+        return privanalyzer::kExitUsage;
+    }
     else if (a == "--deadline" && i + 1 < args.size())
       req.deadline_secs = std::stod(args[++i]);
     else if (a == "--max-states" && i + 1 < args.size())

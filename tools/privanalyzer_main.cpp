@@ -51,6 +51,20 @@
 //                          Lint defaults to refined indirect calls unless
 //                          --indirect-calls says otherwise.
 //     --lint-json          as --lint, but emit a JSON array on stdout
+//     --filters MODE       EpochFilter allowlists: off (default) | report
+//                          (synthesize per-epoch syscall filters + re-run
+//                          the attack matrix against them, print the
+//                          EpochFilter block) | enforce (as report, but the
+//                          measured run is replayed under kernel-side
+//                          filter enforcement; conservative filters are
+//                          provably a no-op for legitimate runs)
+//     --filter-action A    what an enforced filter does on a denied
+//                          syscall: eperm (default; dispatch returns
+//                          -EPERM) | kill (SIGSYS-style process kill,
+//                          exit code 128+31)
+//     --filters-json FILE  write the per-program filter reports as a JSON
+//                          array to FILE ('-' = stdout); format documented
+//                          in docs/formats.md
 //
 // Batch runs are fault-isolated: a program that fails to load, verify, or
 // analyze is reported on stderr with its structured diagnostics and the
@@ -67,6 +81,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -112,6 +127,9 @@ int usage(const char* argv0) {
                "       [--assume-no-indirect] [--world-file world.world]\n"
                "       [--simplify] [--stats] [--rosa-cache FILE]\n"
                "       [--no-rosa-cache] [--lint] [--lint-json]\n"
+               "       [--filters off|report|enforce] [--filter-action "
+               "eperm|kill]\n"
+               "       [--filters-json FILE]\n"
                "exit codes: 0 ok, 1 all programs failed, 2 usage, 3 partial "
                "failure,\n             4 interrupted (SIGINT/SIGTERM)\n";
   return privanalyzer::kExitUsage;
@@ -247,6 +265,8 @@ privanalyzer::ProgramAnalysis run_one(
     if (print_stats)
       std::cout << "\n" << privanalyzer::render_search_stats({analysis});
   }
+  if (!analysis.filter_report.empty())
+    std::cout << "\n" << privanalyzer::render_filter_report({analysis});
   // Degraded-but-ok analyses (e.g. deadline warnings) report on stderr too.
   std::cerr << privanalyzer::render_analysis_diagnostics(analysis);
   return analysis;
@@ -264,6 +284,7 @@ int main(int argc, char** argv) {
   bool print_stats = false;
   bool lint_mode = false;
   bool lint_json = false;
+  std::string filters_json_file;
   std::optional<ir::IndirectCallPolicy> indirect_override;
 
   for (int i = 1; i < argc; ++i) {
@@ -305,6 +326,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--lint-json") {
       lint_mode = true;
       lint_json = true;
+    } else if (arg == "--filters" && i + 1 < argc) {
+      auto mode = privanalyzer::parse_filter_mode(argv[++i]);
+      if (!mode) return usage(argv[0]);
+      opts.filters = *mode;
+    } else if (arg.rfind("--filters=", 0) == 0) {
+      auto mode =
+          privanalyzer::parse_filter_mode(arg.substr(strlen("--filters=")));
+      if (!mode) return usage(argv[0]);
+      opts.filters = *mode;
+    } else if (arg == "--filter-action" && i + 1 < argc) {
+      std::string a = argv[++i];
+      if (a == "eperm") opts.filter_action = os::FilterAction::Eperm;
+      else if (a == "kill") opts.filter_action = os::FilterAction::Kill;
+      else return usage(argv[0]);
+    } else if (arg == "--filters-json" && i + 1 < argc) {
+      filters_json_file = argv[++i];
     } else if (arg == "--world-file" && i + 1 < argc) {
       std::string wpath = argv[++i];
       opts.world_factory = [wpath] { return os::world_from_file(wpath); };
@@ -348,6 +385,11 @@ int main(int argc, char** argv) {
     std::cerr << "error: --rosa-cache and --no-rosa-cache conflict\n";
     return usage(argv[0]);
   }
+  // --filters-json without an explicit mode implies report (otherwise the
+  // export would always be an empty array).
+  if (!filters_json_file.empty() &&
+      opts.filters == privanalyzer::FilterMode::Off)
+    opts.filters = privanalyzer::FilterMode::Report;
   // One verdict cache for the whole batch, so program N+1 reuses program
   // N's searches (and the persistent file, when given, is shared).
   if (opts.rosa_cache)
@@ -374,6 +416,19 @@ int main(int argc, char** argv) {
               << " remaining program(s) (exit code "
               << privanalyzer::kExitInterrupted << ")\n";
     return privanalyzer::kExitInterrupted;
+  }
+  if (!filters_json_file.empty()) {
+    const std::string json = privanalyzer::filters_to_json(analyses);
+    if (filters_json_file == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream out(filters_json_file);
+      out << json;
+      if (!out) {
+        std::cerr << "error: cannot write " << filters_json_file << "\n";
+        return privanalyzer::kExitUsage;
+      }
+    }
   }
   const int code =
       privanalyzer::batch_exit_code(analyses, /*empty_is_failure=*/true);
