@@ -8,6 +8,7 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -109,17 +110,30 @@ inline std::string take_json_flag(int& argc, char** argv) {
 }
 
 /// Write a flat JSON object of numeric metrics, insertion order preserved —
-/// the machine-readable side channel the CI perf-smoke leg parses.
+/// the machine-readable side channel the CI perf-smoke leg parses. A
+/// `hardware_threads` key is always stamped in (callers may override it):
+/// speedup metrics are meaningless on runners with fewer cores than the
+/// bench's worker counts, and CI gates its assertions on this value.
 inline bool write_json_metrics(
     const std::string& path,
     const std::vector<std::pair<std::string, double>>& metrics) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   out.precision(17);
+  bool have_hw = false;
+  for (const auto& [key, value] : metrics)
+    if (key == "hardware_threads") have_hw = true;
   out << "{";
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    if (i) out << ",";
-    out << "\n  \"" << metrics[i].first << "\": " << metrics[i].second;
+  bool first = true;
+  if (!have_hw) {
+    out << "\n  \"hardware_threads\": "
+        << static_cast<double>(std::thread::hardware_concurrency());
+    first = false;
+  }
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << key << "\": " << value;
   }
   out << "\n}\n";
   return static_cast<bool>(out);

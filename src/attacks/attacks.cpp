@@ -1,6 +1,7 @@
 #include "attacks/attacks.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 
 #include "rosa/query.h"
@@ -14,102 +15,116 @@ using rosa::Message;
 using rosa::Query;
 using rosa::State;
 
-/// Syscalls relevant to each attack (the per-attack input tailoring of
-/// §VII-A): file attacks use the file and credential syscalls, the bind
-/// attack uses the socket syscalls, the kill attack uses kill plus the
-/// credential syscalls (CAP_SETUID lets the attacker become the victim's
-/// uid and pass the kill(2) permission check).
-const std::set<std::string>& relevant_syscalls(AttackId attack) {
-  static const std::set<std::string> file_attack = {
-      "open",   "chmod",  "fchmod",    "chown",  "fchown",    "unlink",
-      "rename", "creat",  "link",      "setuid", "seteuid",   "setresuid",
-      "setgid", "setegid", "setresgid"};
-  static const std::set<std::string> bind_attack = {"socket", "bind",
-                                                    "connect"};
-  static const std::set<std::string> kill_attack = {
-      "kill", "setuid", "seteuid", "setresuid"};
+// Attack-set bits for per-message ownership in the union message list:
+// which of Table I's attacks may fire the message. This is §VII-A's
+// relevance tailoring, expressed as a mask over one shared list instead of
+// four separate tailored lists.
+constexpr std::uint64_t kR = 1;  // ReadDevMem
+constexpr std::uint64_t kW = 2;  // WriteDevMem
+constexpr std::uint64_t kB = 4;  // BindPrivilegedPort
+constexpr std::uint64_t kK = 8;  // KillServer
+
+std::uint64_t attack_bit(AttackId attack) {
   switch (attack) {
-    case AttackId::ReadDevMem:
-    case AttackId::WriteDevMem:
-      return file_attack;
-    case AttackId::BindPrivilegedPort:
-      return bind_attack;
-    case AttackId::KillServer:
-      return kill_attack;
+    case AttackId::ReadDevMem: return kR;
+    case AttackId::WriteDevMem: return kW;
+    case AttackId::BindPrivilegedPort: return kB;
+    case AttackId::KillServer: return kK;
   }
   PA_UNREACHABLE("attack id");
 }
 
-void add_messages(Query& q, const ScenarioInput& in, AttackId attack) {
-  const std::set<std::string>& relevant = relevant_syscalls(attack);
+/// Append the union message list — every syscall any Table-I attack is
+/// interested in, with open split into a read-mode and a write-mode message
+/// so each /dev/mem attack selects its own access mode — and return
+/// `attack`'s fireable mask over it. The list is byte-identical for all
+/// four attacks of an epoch (same syscalls, same args, same privileges):
+/// that is what lets rosa::run_queries fuse the epoch's queries into one
+/// exploration, the mask being the only per-attack residue. File attacks
+/// own the file and credential syscalls, the bind attack the socket
+/// syscalls, the kill attack kill plus the setuid family (CAP_SETUID lets
+/// the attacker become the victim's uid and pass the kill(2) permission
+/// check).
+std::uint64_t add_messages(Query& q, const ScenarioInput& in,
+                           AttackId attack) {
   const caps::CapSet privs = in.permitted;
-  for (const std::string& name : in.syscalls) {
-    if (!relevant.contains(name)) continue;
-    auto sys = rosa::parse_sys(name);
-    if (!sys) continue;  // syscall exists but is outside ROSA's model
+  const std::uint64_t want = attack_bit(attack);
+  std::uint64_t mask = 0;
+  auto push = [&](rosa::Sys sys, std::vector<int> args,
+                  std::uint64_t owners) {
+    if (owners & want) mask |= std::uint64_t{1} << q.messages.size();
     Message m;
-    m.sys = *sys;
+    m.sys = sys;
     m.proc = kVictimProc;
     m.privs = privs;
+    m.args = std::move(args);
+    q.messages.push_back(std::move(m));
+  };
+  for (const std::string& name : in.syscalls) {
+    auto sys = rosa::parse_sys(name);
+    if (!sys) continue;  // syscall exists but is outside ROSA's model
     switch (*sys) {
       case rosa::Sys::Open:
-        m.args = {rosa::kWild,
-                  attack == AttackId::WriteDevMem ? rosa::kAccWrite
-                                                  : rosa::kAccRead};
+        push(*sys, {rosa::kWild, rosa::kAccRead}, kR);
+        push(*sys, {rosa::kWild, rosa::kAccWrite}, kW);
         break;
       case rosa::Sys::Chmod:
       case rosa::Sys::Fchmod:
-        m.args = {rosa::kWild, 0777};
+        push(*sys, {rosa::kWild, 0777}, kR | kW);
         break;
       case rosa::Sys::Chown:
       case rosa::Sys::Fchown:
-        m.args = {rosa::kWild, rosa::kWild, rosa::kWild};
+        push(*sys, {rosa::kWild, rosa::kWild, rosa::kWild}, kR | kW);
         break;
       case rosa::Sys::Unlink:
-        m.args = {rosa::kWild};
+        push(*sys, {rosa::kWild}, kR | kW);
         break;
       case rosa::Sys::Rename:
-        m.args = {rosa::kWild, rosa::kWild};
+        push(*sys, {rosa::kWild, rosa::kWild}, kR | kW);
         break;
       case rosa::Sys::Creat:
-        m.args = {rosa::kWild, 0666};
+        push(*sys, {rosa::kWild, 0666}, kR | kW);
         break;
       case rosa::Sys::Link:
-        m.args = {rosa::kWild, rosa::kWild};
+        push(*sys, {rosa::kWild, rosa::kWild}, kR | kW);
         break;
       case rosa::Sys::Setuid:
       case rosa::Sys::Seteuid:
-      case rosa::Sys::Setgid:
-      case rosa::Sys::Setegid:
-        m.args = {rosa::kWild};
+        push(*sys, {rosa::kWild}, kR | kW | kK);
         break;
       case rosa::Sys::Setresuid:
+        push(*sys, {rosa::kWild, rosa::kWild, rosa::kWild}, kR | kW | kK);
+        break;
+      case rosa::Sys::Setgid:
+      case rosa::Sys::Setegid:
+        push(*sys, {rosa::kWild}, kR | kW);
+        break;
       case rosa::Sys::Setresgid:
-        m.args = {rosa::kWild, rosa::kWild, rosa::kWild};
+        push(*sys, {rosa::kWild, rosa::kWild, rosa::kWild}, kR | kW);
         break;
       case rosa::Sys::Kill:
-        m.args = {kServerProc, 9};
+        push(*sys, {kServerProc, 9}, kK);
         break;
       case rosa::Sys::Socket:
-        m.args = {0};
+        push(*sys, {0}, kB);
         break;
       case rosa::Sys::Bind:
-        m.args = {rosa::kWild, rosa::kWild};
-        break;
       case rosa::Sys::Connect:
-        m.args = {rosa::kWild, rosa::kWild};
+        push(*sys, {rosa::kWild, rosa::kWild}, kB);
         break;
     }
-    q.messages.push_back(std::move(m));
   }
+  return mask;
 }
 
-void add_pools(State& st, const ScenarioInput& in, AttackId attack) {
-  std::set<int> users = {caps::kRootUid, in.creds.uid.real,
+/// The union id pools: every value any of the four attacks' searches may
+/// need for a wildcard argument (the server uid is always present now that
+/// the server process is part of every attack's world).
+void add_pools(State& st, const ScenarioInput& in) {
+  std::set<int> users = {caps::kRootUid, kServerUid, in.creds.uid.real,
                          in.creds.uid.effective, in.creds.uid.saved};
   std::set<int> groups = {caps::kRootGid, kKmemGid, in.creds.gid.real,
                           in.creds.gid.effective, in.creds.gid.saved};
-  if (attack == AttackId::KillServer) users.insert(kServerUid);
   for (int u : in.extra_users) users.insert(u);
   for (int g : in.extra_groups) groups.insert(g);
   st.set_users(std::vector<int>(users.begin(), users.end()));
@@ -135,6 +150,11 @@ const std::vector<AttackInfo>& modeled_attacks() {
 rosa::Query build_attack_query(AttackId attack, const ScenarioInput& in) {
   Query q;
 
+  // One union world, built identically for all four attacks of an epoch:
+  // the victim and the critical server both exist, and so do /dev/mem and
+  // the /etc decoys, whichever attack is being asked about. Per-attack
+  // tailoring lives entirely in q.goal and q.msg_mask, so the four queries
+  // share a world signature and fuse into one exploration.
   rosa::ProcObj victim;
   victim.id = kVictimProc;
   victim.uid = in.creds.uid;
@@ -142,65 +162,59 @@ rosa::Query build_attack_query(AttackId attack, const ScenarioInput& in) {
   victim.supplementary = in.creds.supplementary;
   q.initial.procs.push_back(std::move(victim));
 
+  rosa::ProcObj server;
+  server.id = kServerProc;
+  server.uid = caps::IdTriple{kServerUid, kServerUid, kServerUid};
+  server.gid = caps::IdTriple{kServerUid, kServerUid, kServerUid};
+  q.initial.procs.push_back(std::move(server));
+
+  // /dev (root:root 0755) containing /dev/mem (root:kmem 0640).
+  q.initial.dirs.push_back(rosa::DirObj{
+      kDevDir, os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
+      kDevMemFile});
+  q.initial.files.push_back(rosa::FileObj{
+      kDevMemFile, os::FileMeta{caps::kRootUid, kKmemGid, os::Mode(0640)}});
+  // The /etc files every evaluated program touches; wildcard file arguments
+  // range over these too, as in the paper's input files.
+  q.initial.files.push_back(rosa::FileObj{
+      kShadowFile, os::FileMeta{caps::kRootUid, 42, os::Mode(0640)}});
+  q.initial.files.push_back(rosa::FileObj{
+      kPasswdFile,
+      os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0644)}});
+  q.initial.dirs.push_back(rosa::DirObj{
+      kEtcDir, os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
+      kShadowFile});
+  q.initial.dirs.push_back(rosa::DirObj{
+      kEtcDir2, os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
+      kPasswdFile});
+  q.initial.set_name(kDevDir, "/dev");
+  q.initial.set_name(kDevMemFile, "/dev/mem");
+  q.initial.set_name(kShadowFile, "/etc/shadow");
+  q.initial.set_name(kPasswdFile, "/etc/passwd");
+  q.initial.set_name(kEtcDir, "/etc");
+  q.initial.set_name(kEtcDir2, "/etc");
+
   switch (attack) {
     case AttackId::ReadDevMem:
-    case AttackId::WriteDevMem: {
-      // /dev (root:root 0755) containing /dev/mem (root:kmem 0640).
-      q.initial.dirs.push_back(rosa::DirObj{
-          kDevDir,
-          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
-          kDevMemFile});
-      q.initial.files.push_back(rosa::FileObj{
-          kDevMemFile,
-          os::FileMeta{caps::kRootUid, kKmemGid, os::Mode(0640)}});
-      // The /etc files every evaluated program touches; wildcard file
-      // arguments range over these too, as in the paper's input files.
-      q.initial.files.push_back(rosa::FileObj{
-          kShadowFile,
-          os::FileMeta{caps::kRootUid, 42, os::Mode(0640)}});
-      q.initial.files.push_back(rosa::FileObj{
-          kPasswdFile,
-          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0644)}});
-      q.initial.dirs.push_back(rosa::DirObj{
-          kEtcDir,
-          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
-          kShadowFile});
-      q.initial.dirs.push_back(rosa::DirObj{
-          kEtcDir2,
-          os::FileMeta{caps::kRootUid, caps::kRootGid, os::Mode(0755)},
-          kPasswdFile});
-      q.initial.set_name(kDevDir, "/dev");
-      q.initial.set_name(kDevMemFile, "/dev/mem");
-      q.initial.set_name(kShadowFile, "/etc/shadow");
-      q.initial.set_name(kPasswdFile, "/etc/passwd");
-      q.initial.set_name(kEtcDir, "/etc");
-      q.initial.set_name(kEtcDir2, "/etc");
-      q.goal = attack == AttackId::ReadDevMem
-                   ? rosa::goal_file_in_rdfset(kVictimProc, kDevMemFile)
-                   : rosa::goal_file_in_wrfset(kVictimProc, kDevMemFile);
-      q.description = attack == AttackId::ReadDevMem
-                          ? "victim opens /dev/mem for reading"
-                          : "victim opens /dev/mem for writing";
+      q.goal = rosa::goal_file_in_rdfset(kVictimProc, kDevMemFile);
+      q.description = "victim opens /dev/mem for reading";
       break;
-    }
+    case AttackId::WriteDevMem:
+      q.goal = rosa::goal_file_in_wrfset(kVictimProc, kDevMemFile);
+      q.description = "victim opens /dev/mem for writing";
+      break;
     case AttackId::BindPrivilegedPort:
       q.goal = rosa::goal_privileged_port_bound(kVictimProc);
       q.description = "victim binds a socket to a privileged port";
       break;
-    case AttackId::KillServer: {
-      rosa::ProcObj server;
-      server.id = kServerProc;
-      server.uid = caps::IdTriple{kServerUid, kServerUid, kServerUid};
-      server.gid = caps::IdTriple{kServerUid, kServerUid, kServerUid};
-      q.initial.procs.push_back(std::move(server));
+    case AttackId::KillServer:
       q.goal = rosa::goal_proc_terminated(kServerProc);
       q.description = "critical server terminated by SIGKILL";
       break;
-    }
   }
 
-  add_pools(q.initial, in, attack);
-  add_messages(q, in, attack);
+  add_pools(q.initial, in);
+  q.msg_mask = add_messages(q, in, attack);
   q.attacker = in.attacker;
   q.initial.normalize();
   return q;

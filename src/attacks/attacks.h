@@ -1,8 +1,12 @@
 // The four privilege-escalation attacks of the paper's Table I, expressed as
-// ROSA queries. Each query is tailored (as §VII-A describes) with the
-// processes and files the attack needs and the subset of the program's
-// syscalls relevant to it; every message may use the epoch's entire
-// permitted privilege set — the paper's strong attack model.
+// ROSA queries. All four queries of an epoch share ONE union world — the
+// victim, the critical server, /dev/mem and the /etc decoys, and a single
+// union message list; §VII-A's per-attack tailoring ("the subset of the
+// program's syscalls relevant to it") is expressed through Query::msg_mask,
+// which selects the attack's fireable messages out of the shared list. The
+// shared world is what lets rosa::run_queries fuse an epoch's queries into
+// one exploration. Every message may use the epoch's entire permitted
+// privilege set — the paper's strong attack model.
 #pragma once
 
 #include <string>

@@ -74,9 +74,12 @@ std::vector<EpochVerdicts> analyze_epochs(
   std::vector<EpochVerdicts> out;
   out.reserve(rows.size());
 
-  if (n_threads == 1) {
+  if (n_threads == 1 && !limits.fused) {
     // The pre-parallel engine, preserved byte-for-byte (modulo the same
-    // per-query escalation ladder the parallel path runs).
+    // per-query escalation ladder the parallel path runs). Fused runs take
+    // the batch path even single-threaded: run_queries needs the whole
+    // epoch matrix in one call to group the four attacks of an epoch by
+    // world signature.
     for (std::size_t i = 0; i < rows.size(); ++i) {
       if (limits.expired()) {
         // Batch deadline: remaining epochs get hourglass cells, matching

@@ -87,6 +87,7 @@ privanalyzer::PipelineOptions make_pipeline_options(
   opts.rosa_limits.max_bytes = req.max_bytes;
   opts.rosa_limits.search_threads = req.search_threads;
   opts.rosa_limits.reduction = req.reduction;
+  opts.rosa_limits.fused = req.fused;
   opts.rosa_limits.cancel = cancel;
   opts.rosa_threads = req.rosa_threads;
   opts.rosa_escalation_rounds = req.escalate_rounds;

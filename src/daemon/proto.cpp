@@ -200,6 +200,7 @@ Frame JobRequest::to_frame() const {
       {"run_rosa", run_rosa ? "1" : "0"},
       {"use_cache", use_cache ? "1" : "0"},
       {"reduction", reduction ? "1" : "0"},
+      {"fused", fused ? "1" : "0"},
       {"filters", filters},
   };
   return Frame{MsgType::Submit, encode_kv(kv)};
@@ -223,6 +224,7 @@ JobRequest JobRequest::from_frame(const Frame& f) {
   r.run_rosa = kv_get_bool(kv, "run_rosa", r.run_rosa);
   r.use_cache = kv_get_bool(kv, "use_cache", r.use_cache);
   r.reduction = kv_get_bool(kv, "reduction", r.reduction);
+  r.fused = kv_get_bool(kv, "fused", r.fused);
   r.filters = kv_get(kv, "filters", r.filters);
   return r;
 }

@@ -115,6 +115,7 @@ struct JobRequest {
   bool run_rosa = true;
   bool use_cache = true;  // consult the daemon's resident verdict cache
   bool reduction = true;  // symmetry + partial-order reduction (rosa/canon.h)
+  bool fused = true;      // fuse each epoch's attacks into one exploration
   /// EpochFilter mode: "off" | "report" | "enforce" (filter_mode_name
   /// spelling; unknown values are a job-level usage error, not a protocol
   /// error). Enforced jobs use the default -EPERM violation semantics.

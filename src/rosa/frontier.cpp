@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -553,6 +554,8 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
 
   std::atomic<bool> out_of_time{false};
 
+  if (n_workers > 1) result.stats.engage_threshold = kLayerEngageThreshold;
+
   std::size_t layer_begin = 0;
   std::size_t layer_end = nodes.size();
 
@@ -563,13 +566,26 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
 
     // ---- Phase 1: expand the layer's parents over worker-stolen chunks.
     const std::size_t layer_size = layer_end - layer_begin;
-    const std::size_t chunk_size = std::clamp<std::size_t>(
-        layer_size / (std::size_t{n_workers} * 8), 1, 256);
+    // Adaptive engagement: below the threshold the barrier + steal overhead
+    // dwarfs the layer's actual work, so run every phase on the calling
+    // thread as one chunk. Pure scheduling — phase outputs are unchanged.
+    const bool engage = n_workers > 1 && layer_size >= kLayerEngageThreshold;
+    const unsigned layer_workers = engage ? n_workers : 1;
+    if (n_workers > 1) {
+      if (engage)
+        ++result.stats.layers_engaged;
+      else
+        ++result.stats.layers_serial;
+    }
+    const std::size_t chunk_size =
+        engage ? std::clamp<std::size_t>(
+                     layer_size / (std::size_t{n_workers} * 8), 1, 256)
+               : layer_size;
     const std::size_t n_chunks = (layer_size + chunk_size - 1) / chunk_size;
     std::vector<ChunkOut> chunks(n_chunks);
 
     {
-      ChunkScheduler sched(n_chunks, n_workers);
+      ChunkScheduler sched(n_chunks, layer_workers);
       auto expand = [&](unsigned worker) {
         std::optional<SpillReader> reader;
         if (store) reader.emplace(*store);
@@ -600,7 +616,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
             std::uint32_t parent_pruned = static_cast<std::uint32_t>(
                 expand_state(*cur, query, ck,
                              plan.por() ? &plan.table : nullptr, full_msg_mask,
-                             expanded, scratch));
+                             query.msg_mask, expanded, scratch));
             for (ExpandedTransition& et : expanded) {
               Transition& tr = et.tr;
               Renaming sigma;
@@ -628,7 +644,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
                 static_cast<std::uint32_t>(k);
         }
       };
-      run_phase(pool ? &*pool : nullptr, n_workers, expand);
+      run_phase(pool ? &*pool : nullptr, layer_workers, expand);
     }
 
     if (out_of_time.load(std::memory_order_relaxed))
@@ -658,7 +674,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
     // shard is a pure function of the digest, so no decision can depend on
     // which worker made it.
     if (!limits.no_dedup && total > 0) {
-      ChunkScheduler sched(n_shards, n_workers);
+      ChunkScheduler sched(n_shards, layer_workers);
       auto dedup = [&](unsigned worker) {
         std::optional<SpillReader> reader;
         if (store) reader.emplace(*store);
@@ -706,7 +722,7 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
           }
         }
       };
-      run_phase(pool ? &*pool : nullptr, n_workers, dedup);
+      run_phase(pool ? &*pool : nullptr, layer_workers, dedup);
     }
 
     // ---- Phase 3: serial rank-ordered commit, replaying the serial loop's
@@ -799,6 +815,483 @@ SearchResult search_layered(const Query& query, const SearchLimits& limits) {
     layer_end = nodes.size();
   }
   return finish(Verdict::Unreachable, -1);
+}
+
+namespace {
+
+/// Visit the set bits of `bits` as member indices, ascending.
+template <typename Fn>
+void for_each_member(std::uint64_t bits, Fn&& fn) {
+  while (bits) {
+    const int m = std::countr_zero(bits);
+    bits &= bits - 1;
+    fn(static_cast<std::size_t>(m));
+  }
+}
+
+}  // namespace
+
+std::vector<SearchResult> search_fused_layered(std::span<const Query> group,
+                                               const SearchLimits& limits) {
+  // Preconditions (shared world, ≤64 members, equal plans, no spill) were
+  // validated by search_fused, which dispatches here.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
+
+  const std::size_t n_members = group.size();
+  const Query& world_q = group[0];
+  std::vector<SearchResult> results(n_members);
+
+  const unsigned n_workers = limits.search_threads == 0
+                                 ? support::ThreadPool::hardware_threads()
+                                 : limits.search_threads;
+
+  Arena<SearchNode> nodes;
+  ShardTable seen;
+  const unsigned n_shards = seen.shard_count();
+  if (!limits.no_dedup) {
+    const std::size_t reserve_hint =
+        limits.max_states ? std::min<std::size_t>(limits.max_states, 4096)
+                          : 4096;
+    seen.reserve(reserve_hint / n_shards + 1);
+  }
+
+  auto state_key = [&limits](const State& st) {
+    if (limits.check_hashes)
+      PA_CHECK(st.hash() == st.full_hash(),
+               "incremental state digest diverged from full rehash");
+    return limits.hash_override ? limits.hash_override(st) : st.hash();
+  };
+
+  const std::uint64_t full_msg_mask =
+      world_q.messages.empty()
+          ? 0
+          : (world_q.messages.size() == 64
+                 ? ~std::uint64_t{0}
+                 : (std::uint64_t{1} << world_q.messages.size()) - 1);
+
+  // Per-member replay state: the union walk is global, every counter a
+  // member's standalone run would have produced is re-enacted on the side
+  // (see search_fused in rosa/search.cpp for the membership argument).
+  struct FMember {
+    std::uint64_t mask = 0;
+    SearchStats stats;
+    ArenaSim sim;
+    // Node indices (ascending) of this member's share of the current BFS
+    // layer, plus a cursor/push count replaying the standalone deque's
+    // high-water mark: at a push, the standalone frontier holds the
+    // member's parents strictly after the current one plus its children
+    // pushed so far this layer.
+    std::vector<std::size_t> parents;
+    std::vector<std::size_t> next_parents;
+    std::size_t cursor = 0;
+    std::size_t pushed = 0;
+  };
+  std::vector<FMember> members(n_members);
+  for (std::size_t m = 0; m < n_members; ++m)
+    members[m].mask = group[m].msg_mask & full_msg_mask;
+
+  std::uint64_t live = n_members == 64 ? ~std::uint64_t{0}
+                                       : (std::uint64_t{1} << n_members) - 1;
+  auto members_of = [&](std::uint64_t consumed) {
+    std::uint64_t ms = 0;
+    for (std::size_t m = 0; m < n_members; ++m)
+      if (!(consumed & ~members[m].mask)) ms |= std::uint64_t{1} << m;
+    return ms;
+  };
+
+  State init = world_q.initial;
+  init.normalize();
+  init.set_msgs_remaining(full_msg_mask);
+  const std::shared_ptr<const WorldSkeleton> world = init.world();
+
+  std::size_t skeleton_bytes = 0;
+  if (world) {
+    skeleton_bytes = sizeof(WorldSkeleton) +
+                     world->names.capacity() *
+                         sizeof(std::pair<int, std::string>) +
+                     (world->users.capacity() + world->groups.capacity()) *
+                         sizeof(int);
+    for (const auto& [id, name] : world->names)
+      skeleton_bytes += name.capacity() > 15 ? name.capacity() + 1 : 0;
+  }
+
+  const ReductionPlan plan = make_reduction_plan(world_q, limits);
+  std::unordered_map<std::size_t, Renaming> renames;
+
+  auto decide = [&](std::size_t m, Verdict v, std::int64_t goal_node) {
+    FMember& mem = members[m];
+    SearchResult& res = results[m];
+    res.verdict = v;
+    mem.stats.seconds = elapsed();
+    mem.stats.decisive_states = mem.stats.states;
+    if (goal_node >= 0) {
+      std::vector<std::size_t> path;
+      for (std::int64_t nd = goal_node; nd > 0;
+           nd = nodes[static_cast<std::size_t>(nd)].parent)
+        path.push_back(static_cast<std::size_t>(nd));
+      std::reverse(path.begin(), path.end());
+      Renaming rho;
+      for (std::size_t nd : path) {
+        Action step = nodes[nd].action;
+        unrename_action(step, rho);
+        res.witness.push_back(std::move(step));
+        const auto it = renames.find(nd);
+        if (it != renames.end()) compose_renaming(rho, it->second);
+      }
+    }
+    res.stats = mem.stats;
+    live &= ~(std::uint64_t{1} << m);
+  };
+
+  {
+    const std::uint64_t init_key = state_key(init);
+    SearchNode& root =
+        nodes.push_back(SearchNode{std::move(init), -1, Action{}, -1});
+    const std::size_t heap = root.state.heap_bytes();
+    nodes.add_bytes(heap);
+    seen.try_insert(seen.shard_of(init_key), init_key, 0,
+                    [](std::uint32_t) { return false; });
+    for (std::size_t m = 0; m < n_members; ++m) {
+      FMember& mem = members[m];
+      mem.stats.state_bytes = sizeof(State) + heap;
+      mem.sim.push(heap);
+      mem.stats.states = 1;
+      mem.parents.push_back(0);
+      mem.stats.peak_frontier = 1;
+      mem.stats.peak_bytes = skeleton_bytes + mem.sim.bytes();
+      if (group[m].goal(root.state)) decide(m, Verdict::Reachable, 0);
+    }
+  }
+
+  const AccessChecker& ck =
+      world_q.checker ? *world_q.checker : linux_checker();
+
+  std::optional<support::ThreadPool> pool;
+  if (n_workers > 1) pool.emplace(n_workers - 1);
+
+  enum : std::uint8_t { kKeep = 0, kDuplicate = 1, kCollision = 2 };
+
+  struct Candidate {
+    State state;
+    Action action;
+    Renaming sigma;
+    std::uint64_t key = 0;
+    // Membership of this candidate's state, and the accumulated membership
+    // of the dedup chain it probed (complete whenever no duplicate stopped
+    // the walk early — exactly when the collision charge needs it).
+    std::uint64_t members = 0;
+    std::uint64_t chain_members = 0;
+    std::int64_t parent = -1;
+    std::uint32_t parent_pruned = 0;
+    std::uint32_t shard = 0;
+    std::uint8_t decision = kKeep;
+    std::uint32_t entry = ShardTable::kNoEntry;
+  };
+
+  struct ChunkOut {
+    Arena<Candidate> cands;
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint32_t> shard_start;
+    std::size_t base = 0;
+  };
+
+  constexpr std::uint32_t kCandTag = 0x80000000u;
+
+  std::atomic<bool> out_of_time{false};
+
+  // Engagement stats are kept in locals (member stats freeze at decision
+  // time) and patched onto the rank-0 result at the end, next to
+  // fused_world_states.
+  std::size_t layers_engaged = 0;
+  std::size_t layers_serial = 0;
+  // Live-owned commit count. `nodes.size()` would over-report here: unlike
+  // the serial engine, this one also commits orphan candidates (to back
+  // their already-published table entries), and those are charged to nobody.
+  std::size_t live_world_states = nodes.size();  // the root layer
+
+  std::size_t layer_begin = 0;
+  std::size_t layer_end = nodes.size();
+
+  while (live && layer_begin < layer_end) {
+    if ((limits.max_seconds > 0 && elapsed() > limits.max_seconds) ||
+        limits.expired()) {
+      for_each_member(live,
+                      [&](std::size_t m) { decide(m, Verdict::ResourceLimit, -1); });
+      break;
+    }
+
+    // Snapshots for the parallel phases: decisions only happen in the
+    // serial phase 3, so holding the layer-entry live set and fire mask
+    // fixed keeps phases 1–2 scheduling-independent AND stops the orphan
+    // cascade — a parent no live member owns expands to nothing here, so
+    // orphan nodes never breed past one generation.
+    const std::uint64_t layer_live = live;
+    std::uint64_t layer_fire = 0;
+    for_each_member(layer_live,
+                    [&](std::size_t m) { layer_fire |= members[m].mask; });
+
+    const std::size_t layer_size = layer_end - layer_begin;
+    const bool engage = n_workers > 1 && layer_size >= kLayerEngageThreshold;
+    const unsigned layer_workers = engage ? n_workers : 1;
+    if (n_workers > 1) {
+      if (engage)
+        ++layers_engaged;
+      else
+        ++layers_serial;
+    }
+    const std::size_t chunk_size =
+        engage ? std::clamp<std::size_t>(
+                     layer_size / (std::size_t{n_workers} * 8), 1, 256)
+               : layer_size;
+    const std::size_t n_chunks = (layer_size + chunk_size - 1) / chunk_size;
+    std::vector<ChunkOut> chunks(n_chunks);
+
+    {
+      ChunkScheduler sched(n_chunks, layer_workers);
+      auto expand = [&](unsigned worker) {
+        std::vector<Transition> scratch;
+        std::vector<ExpandedTransition> expanded;
+        for (std::size_t ci;
+             (ci = sched.next(worker)) != ChunkScheduler::kDone;) {
+          if (out_of_time.load(std::memory_order_relaxed)) return;
+          ChunkOut& out = chunks[ci];
+          const std::size_t p_begin = layer_begin + ci * chunk_size;
+          const std::size_t p_end = std::min(layer_end, p_begin + chunk_size);
+          for (std::size_t p = p_begin; p < p_end; ++p) {
+            if ((limits.max_seconds > 0 && elapsed() > limits.max_seconds) ||
+                limits.expired()) {
+              out_of_time.store(true, std::memory_order_relaxed);
+              return;
+            }
+            const SearchNode& node = nodes[p];
+            const std::uint64_t p_consumed =
+                full_msg_mask & ~node.state.msgs_remaining();
+            if (!(members_of(p_consumed) & layer_live)) continue;
+            std::uint32_t parent_pruned = static_cast<std::uint32_t>(
+                expand_state(node.state, world_q, ck,
+                             plan.por() ? &plan.table : nullptr, full_msg_mask,
+                             layer_fire, expanded, scratch));
+            for (ExpandedTransition& et : expanded) {
+              Transition& tr = et.tr;
+              Renaming sigma;
+              if (plan.sym()) sigma = canonicalize(tr.next, plan.symmetry);
+              const std::uint64_t key = state_key(tr.next);
+              const std::uint64_t cand_members =
+                  members_of(p_consumed | (std::uint64_t{1} << et.msg));
+              out.cands.push_back(Candidate{
+                  std::move(tr.next), std::move(tr.action), std::move(sigma),
+                  key, cand_members, 0, static_cast<std::int64_t>(p),
+                  parent_pruned, seen.shard_of(key), kKeep,
+                  ShardTable::kNoEntry});
+              parent_pruned = 0;  // charge only the first candidate
+            }
+          }
+          const std::size_t n = out.cands.size();
+          out.shard_start.assign(n_shards + 1, 0);
+          for (std::size_t k = 0; k < n; ++k)
+            ++out.shard_start[out.cands[k].shard + 1];
+          for (unsigned s = 0; s < n_shards; ++s)
+            out.shard_start[s + 1] += out.shard_start[s];
+          out.order.resize(n);
+          std::vector<std::uint32_t> cursor(out.shard_start.begin(),
+                                            out.shard_start.end() - 1);
+          for (std::size_t k = 0; k < n; ++k)
+            out.order[cursor[out.cands[k].shard]++] =
+                static_cast<std::uint32_t>(k);
+        }
+      };
+      run_phase(pool ? &*pool : nullptr, layer_workers, expand);
+    }
+
+    if (out_of_time.load(std::memory_order_relaxed)) {
+      for_each_member(live,
+                      [&](std::size_t m) { decide(m, Verdict::ResourceLimit, -1); });
+      break;
+    }
+
+    std::size_t total = 0;
+    for (ChunkOut& out : chunks) {
+      out.base = total;
+      total += out.cands.size();
+    }
+    std::vector<Candidate*> by_rank(total);
+    {
+      std::size_t r = 0;
+      for (ChunkOut& out : chunks)
+        for (std::size_t k = 0; k < out.cands.size(); ++k)
+          by_rank[r++] = &out.cands[k];
+    }
+    PA_CHECK(nodes.size() + total < kCandTag,
+             "layered ROSA engine supports at most 2^31 - 1 nodes");
+
+    if (!limits.no_dedup && total > 0) {
+      ChunkScheduler sched(n_shards, layer_workers);
+      auto dedup = [&](unsigned worker) {
+        for (std::size_t si;
+             (si = sched.next(worker)) != ChunkScheduler::kDone;) {
+          const unsigned shard = static_cast<unsigned>(si);
+          for (ChunkOut& out : chunks) {
+            for (std::uint32_t oi = out.shard_start[shard];
+                 oi < out.shard_start[shard + 1]; ++oi) {
+              Candidate& cd = out.cands[out.order[oi]];
+              const auto rank =
+                  static_cast<std::uint32_t>(out.base + out.order[oi]);
+              auto equal = [&](std::uint32_t value) {
+                const State* other = nullptr;
+                std::uint64_t other_members = 0;
+                if (value & kCandTag) {
+                  const Candidate* oc = by_rank[value & ~kCandTag];
+                  other = &oc->state;
+                  other_members = oc->members;
+                } else {
+                  const SearchNode& n = nodes[value];
+                  other = &n.state;
+                  other_members =
+                      members_of(full_msg_mask & ~n.state.msgs_remaining());
+                }
+                // Accumulate the chain's membership before the equality
+                // test: a member is charged a hash collision exactly when
+                // its own standalone chain (the member-intrinsic states
+                // here) was non-empty.
+                cd.chain_members |= other_members;
+                return canonical_equal(*other, cd.state);
+              };
+              const ShardTable::Result res =
+                  seen.try_insert(shard, cd.key, kCandTag | rank, equal);
+              switch (res.outcome) {
+                case ShardTable::Outcome::Duplicate:
+                  cd.decision = kDuplicate;
+                  break;
+                case ShardTable::Outcome::Inserted:
+                  cd.decision = kKeep;
+                  cd.entry = res.entry;
+                  break;
+                case ShardTable::Outcome::InsertedCollision:
+                  cd.decision = kCollision;
+                  cd.entry = res.entry;
+                  break;
+              }
+            }
+          }
+        }
+      };
+      run_phase(pool ? &*pool : nullptr, layer_workers, dedup);
+    }
+
+    // ---- Phase 3: serial rank-ordered commit, replaying each live
+    // member's standalone counters and limit checks per candidate.
+    for (std::size_t rank = 0; rank < total && live; ++rank) {
+      Candidate& cd = *by_rank[rank];
+      // The parent's deferred-message charge rides its first candidate and
+      // goes to the parent's own live owners (its standalone pop charge) —
+      // not to the candidate's membership, which can be narrower.
+      if (cd.parent_pruned) {
+        const SearchNode& pn = nodes[static_cast<std::size_t>(cd.parent)];
+        const std::uint64_t p_owner =
+            members_of(full_msg_mask & ~pn.state.msgs_remaining()) & live;
+        for_each_member(p_owner, [&](std::size_t m) {
+          members[m].stats.por_pruned += cd.parent_pruned;
+        });
+      }
+      const std::uint64_t live_tr = cd.members & live;
+      for_each_member(live_tr,
+                      [&](std::size_t m) { ++members[m].stats.transitions; });
+      if (!cd.sigma.identity())
+        for_each_member(live_tr, [&](std::size_t m) {
+          ++members[m].stats.symmetry_pruned;
+        });
+      if (!limits.no_dedup) {
+        if (cd.decision == kDuplicate) {
+          for_each_member(live_tr, [&](std::size_t m) {
+            ++members[m].stats.dedup_hits;
+          });
+          continue;
+        }
+        if (cd.decision == kCollision)
+          for_each_member(live_tr & cd.chain_members, [&](std::size_t m) {
+            ++members[m].stats.hash_collisions;
+          });
+      }
+      // Commit globally even when live_tr is empty: phase 2 already
+      // published this rank's tagged table entry, so the node must exist to
+      // back it. Orphans are charged to nobody, never goal-checked, and —
+      // via the phase-1 dead-parent skip — never expanded.
+      const std::size_t ni = nodes.size();
+      if (live_tr) ++live_world_states;
+      SearchNode& added = nodes.push_back(SearchNode{
+          std::move(cd.state), cd.parent, std::move(cd.action), -1});
+      const std::size_t heap = added.state.heap_bytes();
+      const std::size_t extra =
+          heap + added.action.args.capacity() * sizeof(int);
+      nodes.add_bytes(extra);
+      if (!cd.sigma.identity()) renames.emplace(ni, std::move(cd.sigma));
+      if (!limits.no_dedup && cd.entry != ShardTable::kNoEntry)
+        seen.set_value(cd.shard, cd.entry, static_cast<std::uint32_t>(ni));
+
+      for_each_member(live_tr, [&](std::size_t m) {
+        FMember& mem = members[m];
+        mem.stats.state_bytes += sizeof(State) + heap;
+        mem.sim.push(extra);
+        ++mem.stats.states;
+        mem.stats.peak_bytes =
+            std::max(mem.stats.peak_bytes, skeleton_bytes + mem.sim.bytes());
+        if (group[m].goal(added.state)) {
+          decide(m, Verdict::Reachable, static_cast<std::int64_t>(ni));
+          return;
+        }
+        if (limits.max_states && mem.stats.states >= limits.max_states) {
+          decide(m, Verdict::ResourceLimit, -1);
+          return;
+        }
+        if (limits.max_bytes &&
+            skeleton_bytes + mem.sim.bytes() > limits.max_bytes) {
+          decide(m, Verdict::ResourceLimit, -1);
+          return;
+        }
+        while (mem.cursor < mem.parents.size() &&
+               mem.parents[mem.cursor] < static_cast<std::size_t>(cd.parent))
+          ++mem.cursor;
+        const std::size_t remaining = mem.parents.size() - mem.cursor - 1;
+        ++mem.pushed;
+        mem.next_parents.push_back(ni);
+        mem.stats.peak_frontier =
+            std::max(mem.stats.peak_frontier, remaining + mem.pushed);
+      });
+    }
+
+    // Layer swap + drain detection: a live member whose share of the next
+    // layer is empty has no states left anywhere — deciding here is
+    // stats-identical to its standalone mid-layer exit, because no
+    // member-owned candidate can occur after the member's last parent's
+    // children (child membership ⊆ parent membership).
+    for_each_member(live, [&](std::size_t m) {
+      FMember& mem = members[m];
+      mem.parents = std::move(mem.next_parents);
+      mem.next_parents.clear();
+      mem.cursor = 0;
+      mem.pushed = 0;
+      if (mem.parents.empty()) decide(m, Verdict::Unreachable, -1);
+    });
+    layer_begin = layer_end;
+    layer_end = nodes.size();
+  }
+  // Defensive: the drain check above decides every member before the global
+  // layer can empty with members still live.
+  for_each_member(live,
+                  [&](std::size_t m) { decide(m, Verdict::Unreachable, -1); });
+
+  results[0].stats.fused_world_states = live_world_states;
+  if (n_workers > 1) {
+    results[0].stats.engage_threshold = kLayerEngageThreshold;
+    results[0].stats.layers_engaged = layers_engaged;
+    results[0].stats.layers_serial = layers_serial;
+  }
+  return results;
 }
 
 }  // namespace detail

@@ -15,12 +15,15 @@
 // parent/action/spill-ref in memory for evicted nodes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rosa/rules.h"
 #include "rosa/search.h"
@@ -132,6 +135,46 @@ struct SearchNode {
 /// The layered engine. Dispatched from rosa::search() when
 /// limits.search_threads != 1 or limits.spill_enabled().
 SearchResult search_layered(const Query& query, const SearchLimits& limits);
+
+/// Minimum layer size (parent count) at which the layered engine engages
+/// its worker pool for a layer; smaller layers run every phase on the
+/// calling thread alone, skipping the barrier + shard-steal overhead that
+/// dwarfs the actual work on tiny frontiers (the intra_w2/intra_w4 < 1
+/// regression in BENCH_rosa.json). Purely a scheduling knob: phase results
+/// are a pure function of the layer contents, identical at every worker
+/// count.
+inline constexpr std::size_t kLayerEngageThreshold = 256;
+
+/// Replays the Arena<SearchNode> byte schedule for one member of a fused
+/// search as a pure function of that member's own commit sequence: chunk
+/// reservations (16, then doubling up to the 128 cap) plus the registered
+/// per-node extra heap bytes. After k push() calls with the same extras a
+/// standalone run registered, bytes() equals that run's nodes.bytes() after
+/// k commits — so skeleton_bytes + bytes() replays arena_bytes() exactly,
+/// and with it every max_bytes verdict and peak_bytes figure.
+struct ArenaSim {
+  std::size_t size = 0;
+  std::size_t reserved = 0;
+  std::size_t extra = 0;
+  std::size_t next_cap = 16;
+
+  void push(std::size_t extra_bytes) {
+    if (size == reserved) {
+      reserved += next_cap;
+      next_cap = std::min<std::size_t>(next_cap * 2, 128);
+    }
+    ++size;
+    extra += extra_bytes;
+  }
+  std::size_t bytes() const { return reserved * sizeof(SearchNode) + extra; }
+};
+
+/// The fused multi-goal layered engine: search_fused's counterpart of
+/// search_layered, dispatched when limits.search_threads != 1. Same
+/// preconditions as search_fused; spilling is unsupported (run_queries
+/// never fuses spill-enabled batches).
+std::vector<SearchResult> search_fused_layered(std::span<const Query> group,
+                                               const SearchLimits& limits);
 
 }  // namespace detail
 

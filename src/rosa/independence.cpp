@@ -204,6 +204,15 @@ IndependenceTable IndependenceTable::build(const Query& query) {
   if (n == 0 || n > 64) return t;
   // Program-ordered attackers make firing order observable by construction.
   if (query.attacker == AttackerModel::CfiOrdered) return t;
+  // Proper message masks disable POR. Per-goal ample choices would diverge
+  // at states shared across a fused group (each member sees a different
+  // unconsumed-but-fireable set), and the reduction is measured inert on
+  // the masked attack matrix anyway (por_pruned = 0 across all of Table
+  // III: the single-process attack scenarios' set*id messages couple
+  // everything — see the header's footprint-coarseness note).
+  const std::uint64_t full =
+      n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  if ((query.msg_mask & full) != full) return t;
   // An unknown goal touch set means every message must be assumed visible,
   // which rejects every candidate ample set — don't bother building.
   const GoalInfo& goal = query.goal.info();
@@ -298,12 +307,15 @@ ReductionPlan make_reduction_plan(const Query& query,
 std::size_t expand_state(const State& cur, const Query& query,
                          const AccessChecker& checker,
                          const IndependenceTable* table,
-                         std::uint64_t full_msg_mask,
+                         std::uint64_t full_msg_mask, std::uint64_t fire_mask,
                          std::vector<ExpandedTransition>& out,
                          std::vector<Transition>& scratch) {
   out.clear();
   const std::uint64_t cur_msgs = cur.msgs_remaining();
-  if (!cur_msgs) return 0;
+  // Masked-out messages stay in msgs_remaining forever (shared canonical
+  // representation across masks); they simply never fire.
+  const std::uint64_t fire = cur_msgs & fire_mask;
+  if (!fire) return 0;
 
   const auto expand_one = [&](std::size_t mi) {
     apply_message(cur, query.messages[mi], query.attacker, checker, scratch);
@@ -348,7 +360,7 @@ std::size_t expand_state(const State& cur, const Query& query,
 
   for (std::size_t mi = 0; mi < query.messages.size(); ++mi) {
     const std::uint64_t bit = std::uint64_t{1} << mi;
-    if (!(cur_msgs & bit)) continue;
+    if (!(fire & bit)) continue;
     // CFI-ordered attackers must issue syscalls in program order: message
     // i is usable only while every later message is still unconsumed
     // (skipping forward is allowed, going back is not).

@@ -67,6 +67,10 @@ class IndependenceTable {
   std::uint64_t dep_mask(std::size_t i) const { return dep_[i]; }
   /// Bit i set: message i can change the goal predicate's value.
   std::uint64_t visible_mask() const { return visible_; }
+  /// Bit i set: message i's process is absent — it never fires and never
+  /// seeds an ample set. Exposed so fused-search grouping can compare two
+  /// queries' tables field-for-field.
+  std::uint64_t dead_mask() const { return dead_; }
   bool independent(std::size_t i, std::size_t j) const {
     return !(dep_[i] & (std::uint64_t{1} << j));
   }
@@ -112,16 +116,23 @@ struct ExpandedTransition {
 };
 
 /// Expand one state: apply the chosen ample set's messages (or, without an
-/// enabled `table`, every unconsumed message) in ascending index order,
-/// appending the successors to `out` in exactly the order the unreduced
-/// serial loop enumerates them. Returns the number of unconsumed messages
-/// deferred by the ample choice (the state's por_pruned charge; 0 on full
-/// expansion). `scratch` is reusable transition storage. The CfiOrdered
-/// program-order gate is applied here in both modes.
+/// enabled `table`, every unconsumed message allowed by `fire_mask`) in
+/// ascending index order, appending the successors to `out` in exactly the
+/// order the unreduced serial loop enumerates them. Returns the number of
+/// unconsumed messages deferred by the ample choice (the state's por_pruned
+/// charge; 0 on full expansion). `scratch` is reusable transition storage.
+/// The CfiOrdered program-order gate is applied here in both modes, always
+/// against the FULL message list: masked-out later messages are never
+/// consumed, so the gate degenerates to program order over the mask's
+/// subsequence — the same semantics a tailored per-attack message list had.
+/// `fire_mask` is the query's msg_mask for standalone searches and the
+/// union of the live members' masks for the fused engines; the POR path
+/// ignores it (IndependenceTable::build refuses proper masks, and fused
+/// groups only enable POR when every member's mask is full).
 std::size_t expand_state(const State& cur, const Query& query,
                          const AccessChecker& checker,
                          const IndependenceTable* table,
-                         std::uint64_t full_msg_mask,
+                         std::uint64_t full_msg_mask, std::uint64_t fire_mask,
                          std::vector<ExpandedTransition>& out,
                          std::vector<Transition>& scratch);
 

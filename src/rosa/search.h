@@ -106,6 +106,15 @@ struct Query {
   /// efficacy of different OS privilege models). Non-owning; defaults to
   /// Linux capabilities.
   const AccessChecker* checker = nullptr;
+  /// Which messages the attacker may actually fire (bit i = messages[i];
+  /// default: all). Masked-out messages can never fire, but their
+  /// msgs_remaining bits stay SET forever, so two queries over the same
+  /// message list that differ only in mask share canonical state
+  /// representations — the property the fused multi-goal engine's shared
+  /// dedup rests on, and what lets the (epoch × attack) matrix pose every
+  /// attack against one union world. Proper masks are salted into the
+  /// query fingerprint; full-mask fingerprints are unchanged.
+  std::uint64_t msg_mask = ~std::uint64_t{0};
 };
 
 struct SearchLimits {
@@ -168,6 +177,15 @@ struct SearchLimits {
   /// with ResourceLimit. run_queries wires this up automatically for its
   /// deadline handling; callers can also supply their own flag.
   const std::atomic<bool>* cancel = nullptr;
+  /// Fused multi-goal search (run_queries only): group the batch by world
+  /// signature (fingerprint minus goal identity and message mask) and run
+  /// ONE exploration per group, deciding every goal of the group in a
+  /// single pass. Per-query verdicts, witnesses, work counters, and cache
+  /// entries are bit-identical to the unfused per-query runs
+  /// (tests/rosa_fused_diff_test.cpp); only the fused_* observability
+  /// counters differ, so the flag is NOT part of cache fingerprints. Set
+  /// false (`--no-fused-search`) for A/B ablation.
+  bool fused = true;
 
   bool has_deadline() const {
     return deadline != std::chrono::steady_clock::time_point{};
@@ -234,6 +252,29 @@ struct SearchStats {
   /// ample set (rosa/independence.h) provably commutes past them.
   std::size_t por_pruned = 0;
   std::size_t escalations = 0;      // budget-doubled retries after ResourceLimit
+  /// Fused multi-goal search observability (zero on unfused runs; never
+  /// part of bit-identity comparisons or persistent cache entries).
+  /// Size of the world group this query was decided in (1 = ran alone);
+  /// aggregated by max, so the matrix figure reports the largest group.
+  std::size_t fused_group_size = 0;
+  /// Whole explorations the group fan-in avoided, charged once per group to
+  /// its first member (group size minus explorations actually run).
+  std::size_t fused_searches_saved = 0;
+  /// States explored by the group's shared exploration, charged once per
+  /// group to its first member. Summing this across a fused matrix and
+  /// comparing against the sum of per-query `states` (which replay the
+  /// standalone counts) measures the fused states-explored reduction.
+  std::size_t fused_world_states = 0;
+  /// Layered-engine adaptive engagement (rosa/frontier.cpp): layers with
+  /// fewer parents than `engage_threshold` run the phases on the calling
+  /// thread alone instead of paying barrier + shard overhead on a tiny
+  /// frontier. Recorded only when the layered engine runs with >1 workers;
+  /// aggregated like the other shape figures (threshold by max, layer
+  /// counts by sum). Bit-identity of every other counter is unaffected —
+  /// the phase replay is worker-count-independent.
+  std::size_t engage_threshold = 0;
+  std::size_t layers_engaged = 0;   // layers expanded with the full worker set
+  std::size_t layers_serial = 0;    // layers below the threshold: inline
   /// States explored by the decisive (final) attempt. Equal to `states`
   /// except under escalation, where `states` accumulates work across every
   /// retry while this keeps the count of the attempt whose verdict the
@@ -318,5 +359,42 @@ std::vector<SearchResult> run_queries(std::span<const Query> queries,
                                       unsigned n_threads = 0,
                                       const EscalationPolicy& escalation = {},
                                       QueryCache* cache = nullptr);
+
+namespace detail {
+
+/// Fused multi-goal search: ONE exploration over a group of queries that
+/// share a world (initial state, pools, message list, attacker, checker
+/// identity) and differ only in goal and msg_mask. results[i] is
+/// bit-identical to search(group[i], limits) — verdict, witness, and every
+/// work counter — because each member's run is replayed exactly inside the
+/// shared exploration: a state belongs to member m iff its consumed-message
+/// set lies inside m's mask (an intrinsic property of the state, so the
+/// m-subsequence of the fused FIFO commit order IS m's standalone order,
+/// and dedup/collision decisions restricted to m's states match m's own
+/// seen-set), per-member frontier and arena-byte schedules are simulated
+/// against the serial engine's exact formulas, and each goal's first hit is
+/// recorded at its serial decisive rank. Decided goals retire from the
+/// live set; exploration ends when all are decided or the frontier drains.
+///
+/// Preconditions (the run_queries grouping guarantees them; callers passing
+/// hand-built groups must too): every member yields the same ReductionPlan
+/// (same symmetry eligibility, identical independence tables — proper
+/// masks disable POR, so masked groups always qualify), spilling is off,
+/// and the group has at most 64 members. Dispatches to the layered engine
+/// when limits.search_threads != 1, with identical per-member results.
+std::vector<SearchResult> search_fused(std::span<const Query> group,
+                                       const SearchLimits& limits);
+
+/// search_fused + the per-member escalation ladder: a round re-runs ONLY
+/// the still-undecided (ResourceLimit) members with geometrically grown
+/// budgets — decided members keep their verdicts and witnesses from the
+/// round that decided them, which is exact because a definite verdict is a
+/// budget-monotone fact. Per-member stats accumulate across the rounds the
+/// member participated in, exactly like search_escalating.
+std::vector<SearchResult> search_fused_escalating(
+    std::span<const Query> group, const SearchLimits& limits,
+    const EscalationPolicy& policy);
+
+}  // namespace detail
 
 }  // namespace pa::rosa

@@ -120,7 +120,7 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <prog.pir> [more programs...] [--no-rosa] [--max-states N]\n"
                "       [--max-bytes N] [--search-threads N] [--spill-dir DIR]\n"
-               "       [--no-reduction]\n"
+               "       [--no-reduction] [--no-fused-search]\n"
                "       [--rosa-threads N] [--escalate-rounds N] [--deadline SECS]\n"
                "       [--attacker full|cfi-ordered|fixed-args] [--print-ir]\n"
                "       [--indirect-calls conservative|refined|assume-none]\n"
@@ -361,6 +361,8 @@ int main(int argc, char** argv) {
       opts.rosa_limits.spill_dir = argv[++i];
     } else if (arg == "--no-reduction") {
       opts.rosa_limits.reduction = false;
+    } else if (arg == "--no-fused-search") {
+      opts.rosa_limits.fused = false;
     } else if (arg == "--attacker" && i + 1 < argc) {
       std::string m = argv[++i];
       if (m == "full") attacker = rosa::AttackerModel::Full;
